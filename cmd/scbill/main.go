@@ -1,0 +1,153 @@
+// Command scbill computes an itemized electricity bill for a facility
+// load profile under a contract specification.
+//
+// The contract comes from a JSON spec file (see contract.Spec); the load
+// either from a CSV file ("timestamp,kw" rows) or from the synthetic
+// facility-load generator.
+//
+// Usage:
+//
+//	scbill -contract site.json -load meter.csv
+//	scbill -contract site.json -base-mw 12 -peak-ratio 1.8 -days 30
+//	scbill -contract site.json -base-mw 12 -monthly   # bill per month
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/report"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func main() {
+	contractPath := flag.String("contract", "", "path to a JSON contract spec (required)")
+	loadPath := flag.String("load", "", "path to a timestamp,kw CSV load profile")
+	baseMW := flag.Float64("base-mw", 12, "synthetic load: base facility power in MW")
+	peakRatio := flag.Float64("peak-ratio", 1.5, "synthetic load: peak-to-average ratio")
+	days := flag.Int("days", 30, "synthetic load: span in days")
+	seed := flag.Int64("seed", 1, "synthetic load: random seed")
+	monthly := flag.Bool("monthly", false, "bill per calendar month instead of one period")
+	jsonOut := flag.Bool("json", false, "emit the bill as JSON instead of a rendered table")
+	flag.Parse()
+
+	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "scbill:", err)
+		os.Exit(1)
+	}
+}
+
+func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool) error {
+	if contractPath == "" {
+		return fmt.Errorf("-contract is required")
+	}
+	data, err := os.ReadFile(contractPath)
+	if err != nil {
+		return err
+	}
+	spec, err := contract.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+
+	load, err := loadProfile(loadPath, baseMW, peakRatio, days, seed)
+	if err != nil {
+		return err
+	}
+	// Dynamic tariffs need a feed; provide a flat reference feed over
+	// the profile span (real deployments would pass market data).
+	feed := timeseries.ConstantPrice(load.Start(), time.Hour,
+		int(load.End().Sub(load.Start())/time.Hour)+1, 0.045)
+	c, err := spec.Build(contract.BuildContext{Feed: feed})
+	if err != nil {
+		return err
+	}
+
+	if monthly {
+		bills, err := contract.BillMonths(c, load, contract.BillingInput{})
+		if err != nil {
+			return err
+		}
+		for _, b := range bills {
+			if jsonOut {
+				if err := printBillJSON(b); err != nil {
+					return err
+				}
+				continue
+			}
+			printBill(b)
+			fmt.Println()
+		}
+		if !jsonOut {
+			fmt.Printf("Grand total: %s\n", contract.TotalOf(bills))
+		}
+		return nil
+	}
+
+	analysis, err := core.Analyze(c, load, contract.BillingInput{})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printBillJSON(analysis.Bill)
+	}
+	printBill(analysis.Bill)
+	fmt.Println()
+	fmt.Print(report.KV([][2]string{
+		{"Typology profile", analysis.Profile.String()},
+		{"Load factor", fmt.Sprintf("%.2f", analysis.LoadFactor)},
+		{"Demand share of bill", fmt.Sprintf("%.1f%%", analysis.DemandShare*100)},
+		{"Effective all-in rate", analysis.EffectiveRate.String()},
+	}))
+	for _, inc := range analysis.Incentives {
+		fmt.Println("incentive:", inc)
+	}
+	return nil
+}
+
+func loadProfile(path string, baseMW, peakRatio float64, days int, seed int64) (*timeseries.PowerSeries, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return timeseries.ReadPowerCSV(f)
+	}
+	return hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start:         time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC),
+		Span:          time.Duration(days) * 24 * time.Hour,
+		Interval:      15 * time.Minute,
+		Base:          units.Power(baseMW) * units.Megawatt,
+		PeakToAverage: peakRatio,
+		NoiseSigma:    0.02,
+		Seed:          seed,
+	})
+}
+
+func printBillJSON(b *contract.Bill) error {
+	data, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func printBill(b *contract.Bill) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Bill for %s  [%s – %s]", b.Contract,
+			b.PeriodStart.Format("2006-01-02"), b.PeriodEnd.Format("2006-01-02")),
+		"Line item", "Quantity", "Amount")
+	for _, l := range b.Lines {
+		tbl.AddRow(l.Description, l.Quantity, l.Amount.String())
+	}
+	tbl.AddRow("TOTAL", b.Energy.String(), b.Total.String())
+	fmt.Print(tbl.Render())
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "site.json")
+	spec := `{"name":"test-site","tariffs":[{"type":"fixed","rate":0.07}],"demand_charges":[{"price_per_kw":12}]}`
+	if err := os.WriteFile(p, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSyntheticLoad(t *testing.T) {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMonthly(t *testing.T) {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVLoad(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "load.csv")
+	csv := "timestamp,kw\n2016-01-01T00:00:00Z,1000\n2016-01-01T00:15:00Z,1200\n2016-01-01T00:30:00Z,900\n"
+	if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 10, 1.5, 7, 1, false, false); err == nil {
+		t.Error("missing contract should fail")
+	}
+	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := run(bad, "", 10, 1.5, 7, 1, false, false); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false); err == nil {
+		t.Error("missing CSV should fail")
+	}
+	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false); err == nil {
+		t.Error("invalid synthetic parameters should fail")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+}

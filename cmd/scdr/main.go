@@ -1,0 +1,123 @@
+// Command scdr evaluates a demand-response participation decision: a
+// facility baseline, a DR program, a dispatched event window and an SC
+// response strategy, producing the bill delta, settlement and net
+// benefit — the arithmetic behind the paper's "is the incentive high
+// enough?" question.
+//
+// Usage:
+//
+//	scdr -strategy cap -cap-mw 8
+//	scdr -strategy shed -fraction 0.1 -incentive 0.6
+//	scdr -strategy shift -fraction 0.3 -op-cost 0.02
+//	scdr -strategy gen -gen-mw 3 -fuel-cost 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	strategyName := flag.String("strategy", "cap", "response strategy: cap, shed, shift or gen")
+	capMW := flag.Float64("cap-mw", 8, "cap strategy: facility cap in MW")
+	fraction := flag.Float64("fraction", 0.1, "shed/shift strategies: load fraction")
+	genMW := flag.Float64("gen-mw", 3, "gen strategy: on-site generation capacity in MW")
+	fuelCost := flag.Float64("fuel-cost", 0.25, "gen strategy: fuel cost per kWh")
+	opCost := flag.Float64("op-cost", 0.05, "cap/shed/shift strategies: operational cost per kWh")
+	incentive := flag.Float64("incentive", 0.50, "program energy incentive per kWh curtailed")
+	committedMW := flag.Float64("committed-mw", 2, "program committed reduction in MW")
+	eventHours := flag.Float64("event-hours", 1, "dispatch window length in hours")
+	baseMW := flag.Float64("base-mw", 10, "facility base load in MW")
+	seed := flag.Int64("seed", 5, "baseline seed")
+	flag.Parse()
+
+	if err := run(*strategyName, *capMW, *fraction, *genMW, *fuelCost, *opCost,
+		*incentive, *committedMW, *eventHours, *baseMW, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "scdr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(strategyName string, capMW, fraction, genMW, fuelCost, opCost,
+	incentive, committedMW, eventHours, baseMW float64, seed int64) error {
+
+	start := time.Date(2016, time.August, 1, 0, 0, 0, 0, time.UTC)
+	baseline, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: units.Power(baseMW) * units.Megawatt, PeakToAverage: 1.3,
+		NoiseSigma: 0.02, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var strategy dr.Strategy
+	switch strategyName {
+	case "cap":
+		strategy = &dr.CapStrategy{
+			Cap: units.Power(capMW) * units.Megawatt, OpCostPerKWh: units.EnergyPrice(opCost)}
+	case "shed":
+		strategy = &dr.ShedStrategy{Fraction: fraction, OpCostPerKWh: units.EnergyPrice(opCost)}
+	case "shift":
+		strategy = &dr.ShiftStrategy{
+			Fraction: fraction, RecoverySpan: 4 * time.Hour, OpCostPerKWh: units.EnergyPrice(opCost)}
+	case "gen":
+		strategy = &dr.GenStrategy{
+			Capacity: units.Power(genMW) * units.Megawatt, FuelCostPerKWh: units.EnergyPrice(fuelCost)}
+	default:
+		return fmt.Errorf("unknown strategy %q (want cap, shed, shift or gen)", strategyName)
+	}
+
+	c := &contract.Contract{
+		Name:          "dr-site",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(12)},
+	}
+	committed := units.Power(committedMW) * units.Megawatt
+	program := &market.Program{
+		Kind:                 market.EmergencyDR,
+		CommittedReduction:   committed,
+		EnergyIncentive:      units.EnergyPrice(incentive),
+		UnderDeliveryPenalty: units.EnergyPrice(incentive), // symmetric
+	}
+	events := []market.Event{{
+		Start:              start.Add(14*24*time.Hour + 15*time.Hour),
+		Duration:           time.Duration(eventHours * float64(time.Hour)),
+		RequestedReduction: committed,
+	}}
+
+	ev, err := dr.Evaluate(c, baseline, strategy, program, events, contract.BillingInput{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("DR participation evaluation — strategy %s\n\n", ev.Strategy)
+	fmt.Print(report.KV([][2]string{
+		{"Baseline bill", ev.BaselineBill.Total.String()},
+		{"Bill with response", ev.ResponseBill.Total.String()},
+		{"Bill savings", ev.BillSavings().String()},
+		{"Curtailed energy", ev.Settlement.CurtailedEnergy.String()},
+		{"Shortfall energy", ev.Settlement.ShortfallEnergy.String()},
+		{"Energy payment", ev.Settlement.EnergyPayment.String()},
+		{"Penalty", ev.Settlement.Penalty.String()},
+		{"Operational cost", ev.OpCost.String()},
+		{"NET BENEFIT", ev.NetBenefit.String()},
+	}))
+	if ev.WorthIt() {
+		fmt.Println("\nParticipation pays at this incentive level.")
+	} else {
+		fmt.Println("\nParticipation does NOT pay — the paper's usual finding for compute-bearing load.")
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"cap", "shed", "shift", "gen"} {
+		if err := run(s, 8, 0.1, 3, 0.25, 0.05, 0.5, 2, 1, 10, 5); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunUnknownStrategy(t *testing.T) {
+	if err := run("bogus", 8, 0.1, 3, 0.25, 0.05, 0.5, 2, 1, 10, 5); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestRunInvalidStrategyParams(t *testing.T) {
+	if err := run("cap", 0, 0.1, 3, 0.25, 0.05, 0.5, 2, 1, 10, 5); err == nil {
+		t.Error("zero cap should fail")
+	}
+	if err := run("shed", 8, 0, 3, 0.25, 0.05, 0.5, 2, 1, 10, 5); err == nil {
+		t.Error("zero shed fraction should fail")
+	}
+}

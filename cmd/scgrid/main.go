@@ -1,0 +1,115 @@
+// Command scgrid explores the ESP side of the relationship: it builds a
+// regional demand profile with wind and solar fleets, forms wholesale
+// prices on the net load, detects grid-stress events and shows the DR
+// dispatches an emergency program would issue.
+//
+// Usage:
+//
+//	scgrid -days 7
+//	scgrid -days 30 -solar-mw 1500 -wind-mw 2500 -stress-quantile 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	days := flag.Int("days", 7, "span in days")
+	baseGW := flag.Float64("base-gw", 5, "regional average demand in GW")
+	solarMW := flag.Float64("solar-mw", 800, "solar fleet nameplate in MW")
+	windMW := flag.Float64("wind-mw", 1200, "wind fleet nameplate in MW")
+	stressQuantile := flag.Float64("stress-quantile", 0.97, "net-load quantile that defines grid stress")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	if err := run(*days, *baseGW, *solarMW, *windMW, *stressQuantile, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "scgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(days int, baseGW, solarMW, windMW, stressQuantile float64, seed int64) error {
+	start := time.Date(2016, time.July, 4, 0, 0, 0, 0, time.UTC)
+	cfg := grid.DefaultRegion(start)
+	cfg.Span = time.Duration(days) * 24 * time.Hour
+	cfg.BaseLoad = units.Power(baseGW) * units.Gigawatt
+	cfg.Seed = seed
+	demandLoad, err := grid.SystemLoad(cfg)
+	if err != nil {
+		return err
+	}
+	solar, err := grid.Solar(demandLoad, grid.SolarConfig{
+		Capacity: units.Power(solarMW) * units.Megawatt, CloudNoise: 0.3, Seed: seed + 1})
+	if err != nil {
+		return err
+	}
+	wind, err := grid.Wind(demandLoad, grid.WindConfig{
+		Capacity: units.Power(windMW) * units.Megawatt,
+		MeanCF:   0.35, Persistence: 0.97, Sigma: 0.03, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+	net, err := grid.NetLoad(demandLoad, solar, wind)
+	if err != nil {
+		return err
+	}
+
+	pm := market.DefaultPriceModel(cfg.BaseLoad + cfg.BaseLoad/2)
+	rt, err := pm.PriceSeries(net)
+	if err != nil {
+		return err
+	}
+	da, err := pm.DayAheadPrice(net)
+	if err != nil {
+		return err
+	}
+
+	threshold, err := net.Percentile(stressQuantile)
+	if err != nil {
+		return err
+	}
+	stress, err := grid.DetectStress(net, threshold)
+	if err != nil {
+		return err
+	}
+
+	peakDemand, _, _ := demandLoad.Peak()
+	peakNet, _, _ := net.Peak()
+	fmt.Printf("Regional simulation: %d days, %.1f GW average demand\n\n", days, baseGW)
+	fmt.Print(report.KV([][2]string{
+		{"Demand peak", peakDemand.String()},
+		{"Net-load peak", peakNet.String()},
+		{"Solar energy", solar.Energy().String()},
+		{"Wind energy", wind.Energy().String()},
+		{"Mean RT price", rt.Mean().String()},
+		{"Mean DA price", da.Mean().String()},
+		{"Stress threshold", threshold.String()},
+		{"Stress events", fmt.Sprintf("%d", len(stress))},
+	}))
+
+	if len(stress) > 0 {
+		program := &market.Program{
+			Kind:               market.EmergencyDR,
+			CommittedReduction: 50 * units.Megawatt,
+			EnergyIncentive:    0.60,
+			MaxEventDuration:   2 * time.Hour,
+			MaxEventsPerPeriod: 10,
+		}
+		events := program.DispatchFromStress(stress)
+		tbl := report.NewTable("Emergency DR dispatches", "Start", "Duration", "Requested")
+		for _, e := range events {
+			tbl.AddRow(e.Start.Format("2006-01-02 15:04"), e.Duration.String(), e.RequestedReduction.String())
+		}
+		fmt.Println()
+		fmt.Print(tbl.Render())
+	}
+	return nil
+}

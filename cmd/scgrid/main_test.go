@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunRegion(t *testing.T) {
+	if err := run(3, 5, 800, 1200, 0.97, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegionQuiet(t *testing.T) {
+	// A very high stress quantile still works (few or no events).
+	if err := run(2, 5, 0, 0, 0.999, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegionValidation(t *testing.T) {
+	if err := run(0, 5, 800, 1200, 0.97, 1); err == nil {
+		t.Error("zero days should fail")
+	}
+	if err := run(3, 0, 800, 1200, 0.97, 1); err == nil {
+		t.Error("zero base load should fail")
+	}
+}

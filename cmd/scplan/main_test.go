@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/contingency"
+)
+
+func writeFiles(t *testing.T) (plan, site string) {
+	t.Helper()
+	dir := t.TempDir()
+	plan = filepath.Join(dir, "plan.json")
+	spec := &contingency.PlanSpec{
+		Name: "test-plan",
+		Levels: []contingency.LevelSpec{
+			{Name: "watch", Trigger: "price-above", PriceThreshold: 0.15,
+				Strategy: contingency.StrategySpec{Type: "shed", Fraction: 0.05}},
+			{Name: "emergency", Trigger: "emergency-declared",
+				Strategy: contingency.StrategySpec{Type: "cap", CapKW: 9000}},
+		},
+	}
+	data, err := contingency.EncodePlanSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(plan, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	site = filepath.Join(dir, "site.json")
+	contractSpec := `{"name":"plan-site","tariffs":[{"type":"fixed","rate":0.06}],"emergencies":[{"cap_kw":9000,"penalty":2.0}]}`
+	if err := os.WriteFile(site, []byte(contractSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return plan, site
+}
+
+func TestRunPlan(t *testing.T) {
+	plan, site := writeFiles(t)
+	if err := run(plan, site, 12, 2, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanNoEvents(t *testing.T) {
+	plan, site := writeFiles(t)
+	if err := run(plan, site, 12, 0, 0, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanValidation(t *testing.T) {
+	plan, site := writeFiles(t)
+	if err := run("", site, 12, 1, 1, 11); err == nil {
+		t.Error("missing plan should fail")
+	}
+	if err := run(plan, "", 12, 1, 1, 11); err == nil {
+		t.Error("missing contract should fail")
+	}
+	if err := run("/nonexistent.json", site, 12, 1, 1, 11); err == nil {
+		t.Error("missing plan file should fail")
+	}
+	if err := run(plan, "/nonexistent.json", 12, 1, 1, 11); err == nil {
+		t.Error("missing contract file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := run(bad, site, 12, 1, 1, 11); err == nil {
+		t.Error("bad plan JSON should fail")
+	}
+	if err := run(plan, bad, 12, 1, 1, 11); err == nil {
+		t.Error("bad contract JSON should fail")
+	}
+}

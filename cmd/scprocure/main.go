@@ -1,0 +1,111 @@
+// Command scprocure simulates a CSCS-style public electricity tender:
+// a contract model with a multi-variable price formula, a renewable-mix
+// floor and (optionally) demand charges disallowed, evaluated over
+// synthetic ESP bids against the buyer's reference load.
+//
+// Usage:
+//
+//	scprocure -bids 25
+//	scprocure -bids 40 -renewable-min 0.9 -allow-demand-charges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/hpc"
+	"repro/internal/procurement"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	nBids := flag.Int("bids", 25, "number of synthetic ESP bids")
+	renewableMin := flag.Float64("renewable-min", 0.80, "required renewable supply-mix fraction")
+	allowDC := flag.Bool("allow-demand-charges", false, "permit bids with demand-charge riders")
+	compliant := flag.Float64("compliant-fraction", 0.7, "fraction of generated bids meeting all rules")
+	baseMW := flag.Float64("base-mw", 5, "buyer's average load in MW")
+	seed := flag.Int64("seed", 17, "bid generation seed")
+	statusQuoRate := flag.Float64("status-quo-rate", 0.075, "status-quo fixed tariff rate per kWh")
+	flag.Parse()
+
+	if err := run(*nBids, *renewableMin, *allowDC, *compliant, *baseMW, *seed, *statusQuoRate); err != nil {
+		fmt.Fprintln(os.Stderr, "scprocure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nBids int, renewableMin float64, allowDC bool, compliantFrac, baseMW float64, seed int64, statusQuoRate float64) error {
+	refLoad, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC),
+		Span:  365 * 24 * time.Hour, Interval: time.Hour,
+		Base: units.Power(baseMW) * units.Megawatt, PeakToAverage: 1.4,
+		NoiseSigma: 0.02, Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	tender := &procurement.Tender{
+		Name:                  "public tender",
+		Variables:             procurement.CSCSVariables(),
+		RenewableShareMin:     renewableMin,
+		DisallowDemandCharges: !allowDC,
+		ReferenceLoad:         refLoad,
+	}
+	bids, err := procurement.GenerateBids(tender, procurement.BidGenConfig{
+		N: nBids, CompliantFraction: compliantFrac, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	outcome, err := tender.Run(bids)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Tender outcome (%d bids, ≥%.0f%% renewables, demand charges %s)",
+			nBids, renewableMin*100, map[bool]string{true: "allowed", false: "disallowed"}[allowDC]),
+		"Rank", "Bidder", "Rate", "Annual cost", "Renewables", "Status")
+	rank := 0
+	for _, s := range outcome.Ranked {
+		status := "rejected: " + s.Reason
+		rankStr := ""
+		if s.Compliant {
+			rank++
+			rankStr = fmt.Sprintf("%d", rank)
+			status = "compliant"
+		}
+		tbl.AddRow(rankStr, s.Bid.Bidder, s.Bid.EffectiveRate().String(),
+			s.AnnualCost.String(), fmt.Sprintf("%.0f%%", s.Bid.RenewableShare*100), status)
+	}
+	fmt.Print(tbl.Render())
+
+	if outcome.Winner == nil {
+		fmt.Println("\nNo compliant bid received.")
+		return nil
+	}
+	statusQuo := &contract.Contract{
+		Name:          "status-quo",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(units.EnergyPrice(statusQuoRate))},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(11)},
+	}
+	base, won, saved, err := tender.Savings(outcome, statusQuo)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.KV([][2]string{
+		{"Winner", outcome.Winner.Bid.Bidder},
+		{"Status-quo annual cost", base.String()},
+		{"Winning annual cost", won.String()},
+		{"Annual savings", saved.String()},
+		{"Savings", fmt.Sprintf("%.1f%%", saved.Float()/base.Float()*100)},
+	}))
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunTender(t *testing.T) {
+	if err := run(15, 0.8, false, 0.7, 5, 17, 0.075); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTenderAllowingDemandCharges(t *testing.T) {
+	if err := run(15, 0.8, true, 0.7, 5, 17, 0.075); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTenderNoCompliantBids(t *testing.T) {
+	// Zero compliant fraction: every bid violates something, but the
+	// command reports the empty outcome instead of erroring.
+	if err := run(5, 0.9, false, 0, 5, 3, 0.075); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTenderValidation(t *testing.T) {
+	if err := run(0, 0.8, false, 0.7, 5, 17, 0.075); err == nil {
+		t.Error("zero bids should fail")
+	}
+	if err := run(5, 1.5, false, 0.7, 5, 17, 0.075); err == nil {
+		t.Error("bad renewable floor should fail")
+	}
+}

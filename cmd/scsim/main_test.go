@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratedWorkload(t *testing.T) {
+	if err := run("small", 6, 0.8, "backfill", 0, false, false, "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFCFSWithCapAndShutdown(t *testing.T) {
+	if err := run("small", 6, 0.8, "fcfs", 1.0, false, true, "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPriceAware(t *testing.T) {
+	if err := run("small", 6, 0.8, "backfill", 0, true, false, "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithContract(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "site.json")
+	spec := `{"name":"sim-site","tariffs":[{"type":"fixed","rate":0.07}]}`
+	if err := os.WriteFile(p, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("small", 6, 0.8, "backfill", 0, false, false, p, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSWFTrace(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "trace.swf")
+	swf := "; test\n1 0 10 3600 32 -1 -1 32 7200 -1 1 1 1 1 1 1 -1 -1\n"
+	if err := os.WriteFile(p, []byte(swf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("small", 6, 0.8, "backfill", 0, false, false, "", p, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", 6, 0.8, "backfill", 0, false, false, "", "", 1); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run("small", 6, 0.8, "bogus", 0, false, false, "", "", 1); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if err := run("small", 6, 0.8, "backfill", 0, false, false, "/nonexistent.json", "", 1); err == nil {
+		t.Error("missing contract file should fail")
+	}
+	if err := run("small", 6, 0.8, "backfill", 0, false, false, "", "/nonexistent.swf", 1); err == nil {
+		t.Error("missing SWF file should fail")
+	}
+}

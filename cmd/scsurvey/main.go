@@ -1,0 +1,131 @@
+// Command scsurvey regenerates the paper's exhibits from the encoded
+// survey dataset: Table 1 (site roster), Table 2 (component matrix and
+// RNP), Figure 1 (contract typology), and any of the derived experiments
+// E1–E10.
+//
+// Usage:
+//
+//	scsurvey -table 1            # print Table 1
+//	scsurvey -table 2            # print Table 2
+//	scsurvey -figure 1           # print Figure 1
+//	scsurvey -exp E2             # run one derived experiment
+//	scsurvey -all                # run every exhibit in order
+//	scsurvey -all -markdown      # emit Markdown instead of ASCII
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/survey"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print paper table 1 or 2")
+	figure := flag.Int("figure", 0, "print paper figure 1")
+	expID := flag.String("exp", "", "run one experiment by ID (T1, T2, F1, E1..E16)")
+	all := flag.Bool("all", false, "run every exhibit in order")
+	questions := flag.Bool("questions", false, "print the §3.1 survey instrument")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
+	csvOut := flag.Bool("csv", false, "emit CSV tables instead of ASCII")
+	flag.Parse()
+
+	format := formatASCII
+	switch {
+	case *markdown:
+		format = formatMarkdown
+	case *csvOut:
+		format = formatCSV
+	}
+	if *questions {
+		printTable(survey.QuestionsTable(), format)
+		return
+	}
+	if err := run(*table, *figure, *expID, *all, format); err != nil {
+		fmt.Fprintln(os.Stderr, "scsurvey:", err)
+		os.Exit(1)
+	}
+}
+
+// format selects the table output encoding.
+type format int
+
+const (
+	formatASCII format = iota
+	formatMarkdown
+	formatCSV
+)
+
+func run(table, figure int, expID string, all bool, f format) error {
+	switch {
+	case all:
+		exhibits, err := exp.RunAll()
+		if err != nil {
+			return err
+		}
+		for _, e := range exhibits {
+			printExhibit(e, f)
+			fmt.Println(strings.Repeat("─", 72))
+		}
+		return nil
+	case expID != "":
+		e, err := exp.Run(expID)
+		if err != nil {
+			return err
+		}
+		printExhibit(e, f)
+		return nil
+	case table == 1:
+		printTable(survey.Table1(), f)
+		return nil
+	case table == 2:
+		t, err := survey.Table2()
+		if err != nil {
+			return err
+		}
+		printTable(t, f)
+		return nil
+	case figure == 1:
+		fmt.Print(report.RenderTree(survey.Figure1()))
+		return nil
+	default:
+		return fmt.Errorf("nothing to do; try -table 1, -table 2, -figure 1, -exp E2 or -all")
+	}
+}
+
+func printExhibit(e *exp.Exhibit, f format) {
+	if e.Table != nil {
+		switch f {
+		case formatMarkdown:
+			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+			if e.PaperClaim != "" {
+				fmt.Printf("> %s\n\n", e.PaperClaim)
+			}
+			fmt.Println(e.Table.Markdown())
+			for _, n := range e.Notes {
+				fmt.Printf("- %s\n", n)
+			}
+			fmt.Println()
+			return
+		case formatCSV:
+			fmt.Print(e.Table.CSV())
+			return
+		}
+	}
+	fmt.Print(e.Render())
+}
+
+func printTable(t *report.Table, f format) {
+	switch f {
+	case formatMarkdown:
+		fmt.Println(t.Markdown())
+	case formatCSV:
+		fmt.Print(t.CSV())
+	default:
+		fmt.Println(t.Render())
+	}
+}

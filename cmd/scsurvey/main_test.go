@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	cases := []struct {
+		name          string
+		table, figure int
+		exp           string
+		all           bool
+		format        format
+		err           bool
+	}{
+		{name: "table1", table: 1},
+		{name: "table2", table: 2},
+		{name: "table2-md", table: 2, format: formatMarkdown},
+		{name: "table2-csv", table: 2, format: formatCSV},
+		{name: "figure1", figure: 1},
+		{name: "exp", exp: "E3"},
+		{name: "exp-md", exp: "E3", format: formatMarkdown},
+		{name: "exp-csv", exp: "E3", format: formatCSV},
+		{name: "figure-exp-md", exp: "F1", format: formatMarkdown},
+		{name: "bad exp", exp: "E99", err: true},
+		{name: "nothing", err: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.table, c.figure, c.exp, c.all, c.format)
+			if (err != nil) != c.err {
+				t.Errorf("run(%+v) error = %v", c, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// Contingency-planning example — the paper's §5 future work, executable:
+// a site defines an escalation ladder (price watch → grid-stress shed →
+// emergency cap), evaluates it against a month of grid conditions, and
+// reads off the impact analysis: what each level did, what it cost, what
+// it saved, and whether the site stayed emergency-compliant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/contingency"
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	start := time.Date(2016, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+	baseline, err := repro.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 12 * units.Megawatt, PeakToAverage: 1.3, NoiseSigma: 0.02, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := &repro.Contract{
+		Name:          "plan-site",
+		Tariffs:       []repro.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*repro.DemandCharge{demand.SimpleCharge(12)},
+		Emergencies: []*contract.EmergencyObligation{{
+			Name: "regional emergency DR", Cap: 9 * units.Megawatt, Penalty: 2.0,
+		}},
+	}
+
+	plan := &contingency.Plan{
+		Name: "site contingency plan",
+		Levels: []contingency.Level{
+			{
+				Name:     "price-watch",
+				Trigger:  contingency.Trigger{Kind: contingency.PriceAbove, PriceThreshold: 0.15},
+				Strategy: &dr.ShedStrategy{Fraction: 0.05, OpCostPerKWh: 0.01},
+			},
+			{
+				Name:     "stress-shed",
+				Trigger:  contingency.Trigger{Kind: contingency.GridStress},
+				Strategy: &dr.ShedStrategy{Fraction: 0.10, OpCostPerKWh: 0.02},
+			},
+			{
+				Name:     "emergency-cap",
+				Trigger:  contingency.Trigger{Kind: contingency.EmergencyDeclared},
+				Strategy: &dr.CapStrategy{Cap: 9 * units.Megawatt, OpCostPerKWh: 0.20},
+			},
+		},
+	}
+
+	// The month's grid conditions.
+	region := grid.DefaultRegion(start)
+	regional, err := grid.SystemLoad(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := market.DefaultPriceModel(5500 * units.Megawatt)
+	prices, err := pm.PriceSeries(regional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := contingency.Signals{
+		Prices: prices,
+		Stress: []grid.StressEvent{
+			{Start: start.Add(5*24*time.Hour + 17*time.Hour), Duration: 2 * time.Hour},
+			{Start: start.Add(12*24*time.Hour + 18*time.Hour), Duration: time.Hour},
+		},
+		Emergencies: []contract.EmergencyEvent{
+			{Start: start.Add(20*24*time.Hour + 15*time.Hour), Duration: 2 * time.Hour},
+		},
+	}
+
+	im, err := contingency.Evaluate(plan, c, baseline, sig)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := report.NewTable("Impact per escalation level",
+		"Level", "Activations", "Active for", "Curtailed", "Op cost")
+	for _, l := range im.Levels {
+		tbl.AddRow(l.Level, fmt.Sprintf("%d", l.Activations),
+			l.ActiveFor.String(), l.Curtailed.String(), l.OpCost.String())
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	fmt.Print(report.KV([][2]string{
+		{"Baseline bill", im.BaselineBill.Total.String()},
+		{"Planned bill", im.PlannedBill.Total.String()},
+		{"Bill savings", im.BillSavings().String()},
+		{"Operational cost", im.TotalOpCost.String()},
+		{"NET BENEFIT", im.NetBenefit.String()},
+		{"Emergency compliant", fmt.Sprintf("%v", im.EmergencyCompliant)},
+	}))
+	fmt.Println("\n\"SCs should consider designing and potentially implementing contingency")
+	fmt.Println("planning for power management in collaboration with their ESP.\" — §4")
+}

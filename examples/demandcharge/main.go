@@ -1,0 +1,77 @@
+// Demand-charge study: reproduce, on synthetic facility load, the shape
+// the paper cites from Xu & Li — the peakier the load (higher
+// peak-to-average ratio), the larger the share of the bill the demand
+// charge takes — and show what peak shaving buys back.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/hpc"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	c := &repro.Contract{
+		Name:          "industrial-style",
+		Tariffs:       []repro.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*repro.DemandCharge{demand.SimpleCharge(13)},
+	}
+
+	// Part 1: demand share vs peak/average ratio.
+	tbl := report.NewTable("Demand-charge share vs peak/average ratio (10 MW base, one month)",
+		"Peak/Avg", "Demand share", "Monthly total")
+	for _, ratio := range []float64{1.0, 1.5, 2.0, 3.0, 4.0} {
+		load := mustLoad(ratio)
+		bill, err := repro.ComputeBill(c, load, contract.BillingInput{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(fmt.Sprintf("%.1f", ratio),
+			fmt.Sprintf("%.1f%%", bill.DemandShare()*100), bill.Total.String())
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println()
+
+	// Part 2: peak shaving on a peaky month.
+	load := mustLoad(2.5)
+	results, err := core.PeakShaveSweep(c, load, []float64{0, 0.1, 0.2, 0.3, 0.4}, contract.BillingInput{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shaveTbl := report.NewTable("Peak shaving on a 2.5× peak/avg month",
+		"Shave", "Bill", "Savings", "Compute energy lost")
+	for _, r := range results {
+		shaveTbl.AddRow(
+			fmt.Sprintf("%.0f%%", r.Fraction*100),
+			r.ShavedTotal.String(), r.Savings.String(), r.EnergyLost.String())
+	}
+	fmt.Print(shaveTbl.Render())
+	fmt.Println("\nThe first shaving percents are nearly free (spikes are rare and short);")
+	fmt.Println("this is why the paper recommends SCs 'focus on energy efficiency in order")
+	fmt.Println("to reduce job costs with respect to demand charges and powerbands'.")
+}
+
+func mustLoad(ratio float64) *repro.PowerSeries {
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start:         time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC),
+		Span:          30 * 24 * time.Hour,
+		Interval:      15 * time.Minute,
+		Base:          10 * units.Megawatt,
+		PeakToAverage: ratio,
+		NoiseSigma:    0.02,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return load
+}

@@ -1,0 +1,95 @@
+// DR event walkthrough: the grid gets stressed, the ESP dispatches an
+// emergency-DR event, and the supercomputing center answers with three
+// different strategies — power capping, office-load shedding and on-site
+// generation — each settled against the program and costed against its
+// own operational impact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	start := time.Date(2016, time.July, 18, 0, 0, 0, 0, time.UTC)
+
+	// ESP side: a stressed summer week.
+	region := grid.DefaultRegion(start)
+	region.Span = 7 * 24 * time.Hour
+	regional, err := grid.SystemLoad(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threshold, err := regional.Percentile(0.98)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stress, err := grid.DetectStress(regional, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	program := &repro.DRProgram{
+		Kind:                 market.EmergencyDR,
+		CommittedReduction:   3 * units.Megawatt,
+		EnergyIncentive:      0.60,
+		UnderDeliveryPenalty: 0.30,
+		MaxEventDuration:     time.Hour,
+		MaxEventsPerPeriod:   3,
+	}
+	events := program.DispatchFromStress(stress)
+	fmt.Printf("Grid stress: %d events above %s; program dispatches %d.\n\n",
+		len(stress), threshold, len(events))
+
+	// SC side: a 20 MW site under a typical contract.
+	baseline, err := repro.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 7 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 20 * units.Megawatt, PeakToAverage: 1.25, NoiseSigma: 0.02, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &repro.Contract{
+		Name:          "summer-site",
+		Tariffs:       []repro.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*repro.DemandCharge{demand.SimpleCharge(12)},
+	}
+
+	strategies := []repro.DRStrategy{
+		&dr.CapStrategy{Cap: 18 * units.Megawatt, OpCostPerKWh: 0.80}, // curtails compute: expensive
+		&dr.ShedStrategy{Fraction: 0.08, OpCostPerKWh: 0.02},          // office/support load: cheap
+		&dr.GenStrategy{Capacity: 3 * units.Megawatt, FuelCostPerKWh: 0.25},
+	}
+
+	tbl := report.NewTable("Strategy comparison for the dispatched events",
+		"Strategy", "Curtailed", "Bill savings", "Program net", "Op cost", "NET BENEFIT", "Worth it?")
+	for _, s := range strategies {
+		ev, err := repro.EvaluateDR(c, baseline, s, program, events, contract.BillingInput{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(
+			ev.Strategy,
+			ev.Settlement.CurtailedEnergy.String(),
+			ev.BillSavings().String(),
+			ev.Settlement.Net.String(),
+			ev.OpCost.String(),
+			ev.NetBenefit.String(),
+			report.Check(ev.WorthIt()),
+		)
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println("\nCapping compute rarely pays (the paper's central finding); shedding")
+	fmt.Println("non-mission load or running on-site generation can — exactly the LANL path.")
+}

@@ -1,0 +1,79 @@
+// Good-neighbor example (§3.4): a site forecasts its own baseline load,
+// detects the deviations a benchmark campaign will cause, and phones its
+// ESP ahead of time — the proactive reporting six of the ten surveyed
+// sites practice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/dr"
+	"repro/internal/forecast"
+	"repro/internal/hpc"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func main() {
+	start := time.Date(2016, time.May, 2, 0, 0, 0, 0, time.UTC)
+	const interval = 15 * time.Minute
+	perDay := int((24 * time.Hour) / interval)
+
+	// Two weeks of normal operation at 12 MW.
+	clean, err := repro.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 14 * 24 * time.Hour, Interval: interval,
+		Base: 12 * units.Megawatt, PeakToAverage: 1, DiurnalSwing: 0.05,
+		NoiseSigma: 0.01, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Week two gains three HPL benchmark runs at +4 MW for two hours.
+	samples := clean.Samples()
+	runs := []int{7*perDay + 40, 9*perDay + 50, 12*perDay + 60}
+	for _, at := range runs {
+		for j := 0; j < 8; j++ {
+			samples[at+j] += 4 * units.Megawatt
+		}
+	}
+	actualSeries, err := timeseries.NewPower(clean.Start(), clean.Interval(), samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Forecast week two from week one with a seasonal-naive baseline.
+	week1, err := clean.Window(start, start.Add(7*24*time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := &forecast.SeasonalNaive{Period: perDay}
+	baseline, err := forecast.ForecastPower(model, week1, 7*perDay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	week2, err := actualSeries.Window(baseline.Start(), baseline.End())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	devs, err := forecast.DetectDeviations(week2, baseline, 1*units.Megawatt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Detected %d significant deviations from the forecast baseline.\n\n", len(devs))
+
+	policy := dr.GoodNeighborPolicy{
+		LeadTime:     24 * time.Hour,
+		MinDeviation: 1 * units.Megawatt,
+	}
+	notes := policy.Notify(devs, func(forecast.Deviation) string { return "HPL benchmark run" })
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	fmt.Println("\n\"By being good neighbors, SCs act proactively as allies towards the ESPs")
+	fmt.Println("by reporting maintenance periods, benchmarks and other events.\" — §3.4")
+}

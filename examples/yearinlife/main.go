@@ -1,0 +1,117 @@
+// A year in the life of a supercomputing center's electricity contract:
+// twelve monthly bills with a ratchet demand charge, a summer of
+// emergency-DR events answered by a battery, and a year-end procurement
+// decision — the full stack of the library in one run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/procurement"
+	"repro/internal/report"
+	"repro/internal/storage"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func main() {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+	// The site: 12 MW average with seasonal benchmark campaigns.
+	load, err := repro.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 365 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 12 * units.Megawatt, PeakToAverage: 1.5, NoiseSigma: 0.02,
+		DiurnalSwing: 0.03, Seed: 2016,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The contract: fixed energy + ratchet demand charge (one bad month
+	// haunts the year).
+	c := &repro.Contract{
+		Name:          "annual-contract",
+		Tariffs:       []repro.Tariff{tariff.MustNewFixed(0.065)},
+		DemandCharges: []*repro.DemandCharge{demand.MustNewCharge(12, demand.Ratchet, 0, 0.8)},
+	}
+
+	// Twelve monthly bills.
+	scenario := &core.Scenario{Contract: c, Load: load}
+	res, err := scenario.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable("Monthly bills (ratchet demand charge)",
+		"Month", "Energy", "Peak", "Total")
+	for _, b := range res.Bills {
+		tbl.AddRow(b.PeriodStart.Format("Jan"), b.Energy.String(), b.PeakDemand.String(), b.Total.String())
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("\nAnnual total: %s\n\n", res.Total)
+
+	// Summer DR: three emergency events answered by an 8 MWh battery.
+	events := []repro.DREvent{
+		{Start: start.Add((31+28+31+30+31+20)*24*time.Hour + 15*time.Hour), Duration: time.Hour, RequestedReduction: 3000},
+		{Start: start.Add((31+28+31+30+31+30+14)*24*time.Hour + 16*time.Hour), Duration: 2 * time.Hour, RequestedReduction: 3000},
+		{Start: start.Add((31+28+31+30+31+30+31+8)*24*time.Hour + 14*time.Hour), Duration: time.Hour, RequestedReduction: 3000},
+	}
+	program := &repro.DRProgram{
+		Kind: market.EmergencyDR, CommittedReduction: 3000,
+		EnergyIncentive: 0.55, UnderDeliveryPenalty: 0.25,
+	}
+	battery := &storage.Battery{
+		Capacity: 8 * units.MegawattHour, MaxCharge: 2 * units.Megawatt,
+		MaxDischarge: 4 * units.Megawatt, RoundTripEfficiency: 0.9, InitialSoC: 1,
+	}
+	ev, err := repro.EvaluateDR(c, load,
+		&dr.StorageStrategy{Battery: battery, CycleCostPerKWh: 0.04},
+		program, events, contract.BillingInput{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.KV([][2]string{
+		{"DR strategy", ev.Strategy},
+		{"Curtailed over 3 events", ev.Settlement.CurtailedEnergy.String()},
+		{"Program net", ev.Settlement.Net.String()},
+		{"DR net benefit", ev.NetBenefit.String()},
+	}))
+
+	// Year end: put the supply through a CSCS-style tender.
+	hourly, err := load.Resample(time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tender := &repro.Tender{
+		Name: "year-end tender", Variables: procurement.CSCSVariables(),
+		RenewableShareMin: 0.80, DisallowDemandCharges: true,
+		ReferenceLoad: hourly,
+	}
+	bids, err := procurement.GenerateBids(tender, procurement.BidGenConfig{N: 20, CompliantFraction: 0.7, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := tender.Run(bids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, won, saved, err := tender.Savings(outcome, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(report.KV([][2]string{
+		{"Tender winner", outcome.Winner.Bid.Bidder},
+		{"Old contract, next year", base.String()},
+		{"Tendered contract", won.String()},
+		{"Procurement savings", fmt.Sprintf("%s (%.1f%%)", saved, saved.Float()/base.Float()*100)},
+	}))
+}

@@ -1,0 +1,200 @@
+package repro
+
+// Integration tests: full pipelines across subsystem boundaries, the
+// kind of wiring the per-package unit tests cannot see.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/procurement"
+	"repro/internal/sched"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+// TestIntegrationWorkloadToBill drives jobs through the scheduler and
+// bills the resulting facility profile: the energy billed must equal the
+// energy simulated, and the billed peak the simulated peak.
+func TestIntegrationWorkloadToBill(t *testing.T) {
+	start := time.Date(2016, time.June, 1, 0, 0, 0, 0, time.UTC)
+	m := hpc.SmallSiteMachine()
+	wcfg := hpc.DefaultWorkload()
+	wcfg.Span = 24 * time.Hour
+	jobs, err := hpc.GenerateWorkload(m, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Simulate(m, jobs, sched.Config{Start: start, Horizon: 36 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &contract.Contract{
+		Name:          "integration",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.07)},
+		DemandCharges: []*demand.Charge{demand.MustNewCharge(10, demand.SinglePeak, 0, 0)},
+	}
+	bill, err := contract.ComputeBill(c, res.FacilityLoad, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(bill.Energy-res.FacilityLoad.Energy())) > 1e-6 {
+		t.Error("billed energy must equal simulated energy")
+	}
+	peak, _, _ := res.FacilityLoad.Peak()
+	if bill.PeakDemand != peak {
+		t.Error("billed peak must equal simulated peak")
+	}
+	// Cross-check the energy line: energy × rate within rounding.
+	energyLine := bill.ComponentTotal(contract.CompFixedTariff)
+	want := units.EnergyPrice(0.07).Cost(bill.Energy)
+	if d := energyLine - want; d < -2 || d > 2 {
+		t.Errorf("energy line %v vs %v", energyLine, want)
+	}
+}
+
+// TestIntegrationGridToDR runs the whole supply-side chain: regional
+// load → renewables → net load → prices + stress → program dispatch →
+// SC response → settlement. Every link must stay consistent.
+func TestIntegrationGridToDR(t *testing.T) {
+	start := time.Date(2016, time.July, 4, 0, 0, 0, 0, time.UTC)
+	region := grid.DefaultRegion(start)
+	region.Span = 7 * 24 * time.Hour
+	demandLoad, err := grid.SystemLoad(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solar, err := grid.Solar(demandLoad, grid.SolarConfig{Capacity: 800 * units.Megawatt, CloudNoise: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := grid.NetLoad(demandLoad, solar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold, err := net.Percentile(0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stress, err := grid.DetectStress(net, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stress) == 0 {
+		t.Fatal("a 98th-percentile threshold must produce stress events")
+	}
+	program := &market.Program{
+		Kind: market.EmergencyDR, CommittedReduction: 2 * units.Megawatt,
+		EnergyIncentive: 0.6, MaxEventDuration: time.Hour, MaxEventsPerPeriod: 3,
+	}
+	events := program.DispatchFromStress(stress)
+	if len(events) == 0 || len(events) > 3 {
+		t.Fatalf("dispatches = %d", len(events))
+	}
+
+	baseline, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 7 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 15 * units.Megawatt, PeakToAverage: 1.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &contract.Contract{Name: "site", Tariffs: []tariff.Tariff{tariff.MustNewFixed(0.06)}}
+	ev, err := dr.Evaluate(c, baseline, &dr.ShedStrategy{Fraction: 0.15, OpCostPerKWh: 0.01},
+		program, events, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settlement consistency: curtailment matches the bill delta's
+	// energy within rounding (the shed energy left the bill).
+	savedEnergy := float64(ev.BaselineBill.Energy - ev.ResponseBill.Energy)
+	if math.Abs(savedEnergy-float64(ev.Settlement.CurtailedEnergy)) > 1 {
+		t.Errorf("curtailed %v vs billed delta %v kWh", ev.Settlement.CurtailedEnergy, savedEnergy)
+	}
+	if ev.Settlement.EnergyPayment <= 0 {
+		t.Error("dispatched events with real shedding must earn payment")
+	}
+}
+
+// TestIntegrationTenderedContractRebills closes the procurement loop:
+// the winner's contract, billed over the tender's own reference load,
+// reproduces the auction's scored cost exactly.
+func TestIntegrationTenderedContractRebills(t *testing.T) {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	refLoad, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 365 * 24 * time.Hour, Interval: time.Hour,
+		Base: 5 * units.Megawatt, PeakToAverage: 1.3, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tender := &procurement.Tender{
+		Name: "loop", Variables: procurement.CSCSVariables(),
+		RenewableShareMin: 0.8, DisallowDemandCharges: true, ReferenceLoad: refLoad,
+	}
+	bids, err := procurement.GenerateBids(tender, procurement.BidGenConfig{N: 15, CompliantFraction: 0.8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := tender.Run(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Winner == nil {
+		t.Fatal("no winner")
+	}
+	won, err := outcome.WinnerContract("tendered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill, err := contract.ComputeBill(won, refLoad, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.Total != outcome.Winner.AnnualCost {
+		t.Errorf("re-billed %v vs scored %v", bill.Total, outcome.Winner.AnnualCost)
+	}
+}
+
+// TestIntegrationScenarioMatchesManualBilling cross-checks core.Scenario
+// against manual month splitting.
+func TestIntegrationScenarioMatchesManualBilling(t *testing.T) {
+	start := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 61 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 9 * units.Megawatt, PeakToAverage: 1.4, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &contract.Contract{
+		Name:          "cross-check",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.08)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(11)},
+	}
+	scenario := &core.Scenario{Contract: c, Load: load}
+	res, err := scenario.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := contract.BillMonths(c, load, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bills) != len(manual) {
+		t.Fatalf("months: %d vs %d", len(res.Bills), len(manual))
+	}
+	for i := range manual {
+		if res.Bills[i].Total != manual[i].Total {
+			t.Errorf("month %d: %v vs %v", i, res.Bills[i].Total, manual[i].Total)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package calendar provides the wall-clock machinery behind electricity
+// contracts: billing periods (calendar months by convention), time-of-use
+// windows (season × day-kind × hour-band rules, as in "day/night pricing"
+// and "seasonal pricing" from the paper's typology), and holiday calendars
+// that shift weekday rules to off-peak.
+package calendar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Season is a coarse part of the year used by seasonal tariffs.
+type Season int
+
+// Seasons. Utilities usually distinguish only summer/winter, but shoulder
+// seasons appear in some European contracts.
+const (
+	AllYear Season = iota
+	Summer
+	Winter
+	Shoulder
+)
+
+var seasonNames = map[Season]string{
+	AllYear:  "all-year",
+	Summer:   "summer",
+	Winter:   "winter",
+	Shoulder: "shoulder",
+}
+
+// String returns the season name.
+func (s Season) String() string {
+	if n, ok := seasonNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Season(%d)", int(s))
+}
+
+// SeasonOf maps a month to a season under the conventional northern-
+// hemisphere utility definition: June–September summer, November–February
+// winter, the rest shoulder.
+func SeasonOf(t time.Time) Season {
+	switch t.Month() {
+	case time.June, time.July, time.August, time.September:
+		return Summer
+	case time.November, time.December, time.January, time.February:
+		return Winter
+	default:
+		return Shoulder
+	}
+}
+
+// DayKind classifies a day for TOU purposes.
+type DayKind int
+
+// Day kinds.
+const (
+	AnyDay DayKind = iota
+	Weekday
+	Weekend
+	Holiday
+)
+
+var dayKindNames = map[DayKind]string{
+	AnyDay:  "any-day",
+	Weekday: "weekday",
+	Weekend: "weekend",
+	Holiday: "holiday",
+}
+
+// String returns the day-kind name.
+func (d DayKind) String() string {
+	if n, ok := dayKindNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("DayKind(%d)", int(d))
+}
+
+// HolidayCalendar is a set of dates (at midnight in some location) that
+// count as holidays; holidays are treated as off-peak by TOU tariffs.
+type HolidayCalendar struct {
+	days map[string]bool
+}
+
+// NewHolidayCalendar builds a calendar from a list of dates. Only the
+// year, month and day of each time are significant.
+func NewHolidayCalendar(dates ...time.Time) *HolidayCalendar {
+	c := &HolidayCalendar{days: make(map[string]bool, len(dates))}
+	for _, d := range dates {
+		c.days[dateKey(d)] = true
+	}
+	return c
+}
+
+func dateKey(t time.Time) string { return t.Format("2006-01-02") }
+
+// IsHoliday reports whether t falls on a holiday.
+func (c *HolidayCalendar) IsHoliday(t time.Time) bool {
+	if c == nil {
+		return false
+	}
+	return c.days[dateKey(t)]
+}
+
+// Add marks an additional date as a holiday.
+func (c *HolidayCalendar) Add(d time.Time) { c.days[dateKey(d)] = true }
+
+// Len returns the number of holidays.
+func (c *HolidayCalendar) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.days)
+}
+
+// KindOf classifies instant t given an optional holiday calendar
+// (holidays dominate, then weekend, then weekday).
+func KindOf(t time.Time, holidays *HolidayCalendar) DayKind {
+	if holidays.IsHoliday(t) {
+		return Holiday
+	}
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		return Weekend
+	default:
+		return Weekday
+	}
+}
+
+// HourBand is a half-open daily hour range [From, To). A band with
+// From ≥ To wraps past midnight (e.g. 22→6 is the classic night band).
+type HourBand struct {
+	From int // inclusive hour 0..23
+	To   int // exclusive hour 0..24; if ≤ From the band wraps midnight
+}
+
+// Contains reports whether the hour of t lies in the band.
+func (b HourBand) Contains(t time.Time) bool {
+	h := t.Hour()
+	if b.From < b.To {
+		return h >= b.From && h < b.To
+	}
+	// Wrapping band (or empty when From==To which we treat as full day).
+	if b.From == b.To {
+		return true
+	}
+	return h >= b.From || h < b.To
+}
+
+// Validate checks the band's hour fields are in range.
+func (b HourBand) Validate() error {
+	if b.From < 0 || b.From > 23 || b.To < 0 || b.To > 24 {
+		return fmt.Errorf("calendar: hour band %d-%d out of range", b.From, b.To)
+	}
+	return nil
+}
+
+// String formats the band as "HH-HH".
+func (b HourBand) String() string { return fmt.Sprintf("%02d-%02d", b.From, b.To) }
+
+// Rule matches instants by season, day kind and hour band. Zero values
+// (AllYear, AnyDay, HourBand{0,0}) match everything, so the zero Rule is
+// a catch-all.
+type Rule struct {
+	Season  Season
+	DayKind DayKind
+	Hours   HourBand
+}
+
+// Matches reports whether the rule applies at instant t.
+func (r Rule) Matches(t time.Time, holidays *HolidayCalendar) bool {
+	if r.Season != AllYear && SeasonOf(t) != r.Season {
+		return false
+	}
+	if r.DayKind != AnyDay {
+		k := KindOf(t, holidays)
+		if r.DayKind == Weekday && k != Weekday {
+			return false
+		}
+		if r.DayKind == Weekend && k != Weekend && k != Holiday {
+			// Holidays count as weekend/off-peak days.
+			return false
+		}
+		if r.DayKind == Holiday && k != Holiday {
+			return false
+		}
+	}
+	return r.Hours.Contains(t)
+}
+
+// String describes the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s/%s/%s", r.Season, r.DayKind, r.Hours)
+}
+
+// BillingPeriod is a half-open interval [Start, End) over which a bill is
+// computed — conventionally a calendar month.
+type BillingPeriod struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Contains reports whether t falls inside the period.
+func (p BillingPeriod) Contains(t time.Time) bool {
+	return !t.Before(p.Start) && t.Before(p.End)
+}
+
+// Duration returns the period length.
+func (p BillingPeriod) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// Validate checks End is after Start.
+func (p BillingPeriod) Validate() error {
+	if !p.End.After(p.Start) {
+		return errors.New("calendar: billing period end must be after start")
+	}
+	return nil
+}
+
+// String formats the period.
+func (p BillingPeriod) String() string {
+	return fmt.Sprintf("[%s, %s)", p.Start.Format("2006-01-02"), p.End.Format("2006-01-02"))
+}
+
+// MonthOf returns the calendar-month billing period containing t, in t's
+// location.
+func MonthOf(t time.Time) BillingPeriod {
+	y, m, _ := t.Date()
+	start := time.Date(y, m, 1, 0, 0, 0, 0, t.Location())
+	return BillingPeriod{Start: start, End: start.AddDate(0, 1, 0)}
+}
+
+// MonthsBetween returns the consecutive calendar-month periods covering
+// [from, to). The first and last periods are clipped to the range.
+func MonthsBetween(from, to time.Time) []BillingPeriod {
+	if !to.After(from) {
+		return nil
+	}
+	var out []BillingPeriod
+	cur := from
+	for cur.Before(to) {
+		p := MonthOf(cur)
+		start := p.Start
+		if start.Before(from) {
+			start = from
+		}
+		end := p.End
+		if end.After(to) {
+			end = to
+		}
+		out = append(out, BillingPeriod{Start: start, End: end})
+		cur = p.End
+	}
+	return out
+}
+
+// YearOf returns the calendar-year billing period containing t. Annual
+// ratchet demand charges reference this.
+func YearOf(t time.Time) BillingPeriod {
+	start := time.Date(t.Year(), time.January, 1, 0, 0, 0, 0, t.Location())
+	return BillingPeriod{Start: start, End: start.AddDate(1, 0, 0)}
+}
+
+// Schedule maps instants to named bands via an ordered rule list: the
+// first matching rule's label wins, with a default label when none match.
+// This is the general form of a TOU tariff's time structure.
+type Schedule struct {
+	entries  []ScheduleEntry
+	fallback string
+	holidays *HolidayCalendar
+}
+
+// ScheduleEntry pairs a Rule with the label it assigns.
+type ScheduleEntry struct {
+	Rule  Rule
+	Label string
+}
+
+// NewSchedule builds a Schedule. The fallback label applies when no rule
+// matches; holidays may be nil.
+func NewSchedule(fallback string, holidays *HolidayCalendar, entries ...ScheduleEntry) (*Schedule, error) {
+	if fallback == "" {
+		return nil, errors.New("calendar: schedule needs a fallback label")
+	}
+	for _, e := range entries {
+		if e.Label == "" {
+			return nil, errors.New("calendar: schedule entry needs a label")
+		}
+		if err := e.Rule.Hours.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Schedule{entries: entries, fallback: fallback, holidays: holidays}, nil
+}
+
+// MustNewSchedule is NewSchedule that panics on error.
+func MustNewSchedule(fallback string, holidays *HolidayCalendar, entries ...ScheduleEntry) *Schedule {
+	s, err := NewSchedule(fallback, holidays, entries...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LabelAt returns the label in effect at instant t.
+func (s *Schedule) LabelAt(t time.Time) string {
+	for _, e := range s.entries {
+		if e.Rule.Matches(t, s.holidays) {
+			return e.Label
+		}
+	}
+	return s.fallback
+}
+
+// Labels returns all distinct labels the schedule can produce, sorted,
+// always including the fallback.
+func (s *Schedule) Labels() []string {
+	set := map[string]bool{s.fallback: true}
+	for _, e := range s.entries {
+		set[e.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fallback returns the schedule's default label.
+func (s *Schedule) Fallback() string { return s.fallback }
+
+// DayNight returns the classic two-band day/night schedule mentioned in
+// the paper ("day/night pricing"): label "peak" on weekdays dayFrom–dayTo,
+// "offpeak" otherwise.
+func DayNight(dayFrom, dayTo int, holidays *HolidayCalendar) *Schedule {
+	return MustNewSchedule("offpeak", holidays, ScheduleEntry{
+		Rule:  Rule{DayKind: Weekday, Hours: HourBand{From: dayFrom, To: dayTo}},
+		Label: "peak",
+	})
+}
+
+// SeasonalDayNight returns a three-band schedule with a distinct summer
+// peak: "summer-peak" on summer weekdays dayFrom–dayTo, "peak" on other
+// weekdays in the same hours, "offpeak" otherwise.
+func SeasonalDayNight(dayFrom, dayTo int, holidays *HolidayCalendar) *Schedule {
+	return MustNewSchedule("offpeak", holidays,
+		ScheduleEntry{
+			Rule:  Rule{Season: Summer, DayKind: Weekday, Hours: HourBand{From: dayFrom, To: dayTo}},
+			Label: "summer-peak",
+		},
+		ScheduleEntry{
+			Rule:  Rule{DayKind: Weekday, Hours: HourBand{From: dayFrom, To: dayTo}},
+			Label: "peak",
+		},
+	)
+}

@@ -1,0 +1,326 @@
+package calendar
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func date(y int, m time.Month, d, h int) time.Time {
+	return time.Date(y, m, d, h, 0, 0, 0, time.UTC)
+}
+
+func TestSeasonOf(t *testing.T) {
+	cases := map[time.Month]Season{
+		time.January:   Winter,
+		time.February:  Winter,
+		time.March:     Shoulder,
+		time.April:     Shoulder,
+		time.May:       Shoulder,
+		time.June:      Summer,
+		time.July:      Summer,
+		time.August:    Summer,
+		time.September: Summer,
+		time.October:   Shoulder,
+		time.November:  Winter,
+		time.December:  Winter,
+	}
+	for m, want := range cases {
+		if got := SeasonOf(date(2016, m, 15, 12)); got != want {
+			t.Errorf("SeasonOf(%v) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestSeasonString(t *testing.T) {
+	if Summer.String() != "summer" || AllYear.String() != "all-year" {
+		t.Error("season names wrong")
+	}
+	if Season(99).String() == "" {
+		t.Error("unknown season should still format")
+	}
+}
+
+func TestDayKindString(t *testing.T) {
+	if Weekday.String() != "weekday" || DayKind(42).String() == "" {
+		t.Error("day kind names wrong")
+	}
+}
+
+func TestHolidayCalendar(t *testing.T) {
+	newYear := date(2016, time.January, 1, 0)
+	c := NewHolidayCalendar(newYear)
+	if !c.IsHoliday(date(2016, time.January, 1, 17)) {
+		t.Error("same date, different hour should be holiday")
+	}
+	if c.IsHoliday(date(2016, time.January, 2, 0)) {
+		t.Error("next day should not be holiday")
+	}
+	c.Add(date(2016, time.December, 25, 0))
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	var nilCal *HolidayCalendar
+	if nilCal.IsHoliday(newYear) {
+		t.Error("nil calendar has no holidays")
+	}
+	if nilCal.Len() != 0 {
+		t.Error("nil calendar Len should be 0")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	hol := NewHolidayCalendar(date(2016, time.January, 1, 0)) // a Friday
+	if got := KindOf(date(2016, time.January, 1, 9), hol); got != Holiday {
+		t.Errorf("holiday Friday = %v", got)
+	}
+	if got := KindOf(date(2016, time.January, 2, 9), hol); got != Weekend { // Saturday
+		t.Errorf("Saturday = %v", got)
+	}
+	if got := KindOf(date(2016, time.January, 4, 9), hol); got != Weekday { // Monday
+		t.Errorf("Monday = %v", got)
+	}
+}
+
+func TestHourBand(t *testing.T) {
+	day := HourBand{From: 8, To: 20}
+	if !day.Contains(date(2016, time.March, 1, 8)) {
+		t.Error("8:00 should be inside 8-20")
+	}
+	if day.Contains(date(2016, time.March, 1, 20)) {
+		t.Error("20:00 should be outside 8-20 (half-open)")
+	}
+	night := HourBand{From: 22, To: 6}
+	if !night.Contains(date(2016, time.March, 1, 23)) || !night.Contains(date(2016, time.March, 1, 3)) {
+		t.Error("wrapping band should contain 23:00 and 03:00")
+	}
+	if night.Contains(date(2016, time.March, 1, 12)) {
+		t.Error("wrapping band should not contain noon")
+	}
+	full := HourBand{}
+	if !full.Contains(date(2016, time.March, 1, 0)) || !full.Contains(date(2016, time.March, 1, 23)) {
+		t.Error("zero band should match all hours")
+	}
+}
+
+func TestHourBandValidate(t *testing.T) {
+	if err := (HourBand{From: 0, To: 24}).Validate(); err != nil {
+		t.Errorf("0-24 should validate: %v", err)
+	}
+	if err := (HourBand{From: -1, To: 5}).Validate(); err == nil {
+		t.Error("negative From should fail")
+	}
+	if err := (HourBand{From: 0, To: 25}).Validate(); err == nil {
+		t.Error("To>24 should fail")
+	}
+	if (HourBand{From: 8, To: 20}).String() != "08-20" {
+		t.Error("band format wrong")
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	hol := NewHolidayCalendar(date(2016, time.July, 4, 0)) // a Monday
+	summerWeekdayDay := Rule{Season: Summer, DayKind: Weekday, Hours: HourBand{From: 8, To: 20}}
+
+	if !summerWeekdayDay.Matches(date(2016, time.July, 5, 12), hol) {
+		t.Error("summer Tuesday noon should match")
+	}
+	if summerWeekdayDay.Matches(date(2016, time.July, 4, 12), hol) {
+		t.Error("holiday should not match Weekday rule")
+	}
+	if summerWeekdayDay.Matches(date(2016, time.January, 5, 12), hol) {
+		t.Error("winter should not match Summer rule")
+	}
+	if summerWeekdayDay.Matches(date(2016, time.July, 5, 22), hol) {
+		t.Error("night hour should not match")
+	}
+
+	weekendRule := Rule{DayKind: Weekend}
+	if !weekendRule.Matches(date(2016, time.July, 4, 12), hol) {
+		t.Error("holiday should count as weekend/off-peak")
+	}
+	if !weekendRule.Matches(date(2016, time.July, 9, 12), hol) {
+		t.Error("Saturday should match Weekend")
+	}
+
+	holidayRule := Rule{DayKind: Holiday}
+	if !holidayRule.Matches(date(2016, time.July, 4, 12), hol) {
+		t.Error("holiday should match Holiday rule")
+	}
+	if holidayRule.Matches(date(2016, time.July, 9, 12), hol) {
+		t.Error("plain Saturday should not match Holiday rule")
+	}
+
+	catchAll := Rule{}
+	if !catchAll.Matches(date(2016, time.March, 13, 4), hol) {
+		t.Error("zero rule should match everything")
+	}
+	if catchAll.String() == "" {
+		t.Error("rule should format")
+	}
+}
+
+func TestBillingPeriod(t *testing.T) {
+	p := MonthOf(date(2016, time.February, 14, 12))
+	if !p.Start.Equal(date(2016, time.February, 1, 0)) {
+		t.Errorf("Start = %v", p.Start)
+	}
+	if !p.End.Equal(date(2016, time.March, 1, 0)) {
+		t.Errorf("End = %v", p.End)
+	}
+	if !p.Contains(date(2016, time.February, 29, 23)) {
+		t.Error("leap day should be inside Feb 2016")
+	}
+	if p.Contains(p.End) {
+		t.Error("period is half-open")
+	}
+	if p.Duration() != 29*24*time.Hour {
+		t.Errorf("Duration = %v", p.Duration())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := (BillingPeriod{Start: p.End, End: p.Start}).Validate(); err == nil {
+		t.Error("inverted period should fail validation")
+	}
+	if p.String() == "" {
+		t.Error("period should format")
+	}
+}
+
+func TestYearOf(t *testing.T) {
+	p := YearOf(date(2016, time.July, 4, 12))
+	if !p.Start.Equal(date(2016, time.January, 1, 0)) || !p.End.Equal(date(2017, time.January, 1, 0)) {
+		t.Errorf("YearOf = %v", p)
+	}
+}
+
+func TestMonthsBetween(t *testing.T) {
+	from := date(2016, time.January, 15, 0)
+	to := date(2016, time.March, 10, 0)
+	periods := MonthsBetween(from, to)
+	if len(periods) != 3 {
+		t.Fatalf("len = %d", len(periods))
+	}
+	if !periods[0].Start.Equal(from) {
+		t.Error("first period should clip to from")
+	}
+	if !periods[0].End.Equal(date(2016, time.February, 1, 0)) {
+		t.Error("first period should end at month boundary")
+	}
+	if !periods[2].End.Equal(to) {
+		t.Error("last period should clip to to")
+	}
+	// Contiguity.
+	for i := 1; i < len(periods); i++ {
+		if !periods[i].Start.Equal(periods[i-1].End) {
+			t.Errorf("gap between period %d and %d", i-1, i)
+		}
+	}
+	if got := MonthsBetween(to, from); got != nil {
+		t.Error("inverted range should be nil")
+	}
+}
+
+func TestScheduleDayNight(t *testing.T) {
+	hol := NewHolidayCalendar(date(2016, time.July, 4, 0))
+	s := DayNight(8, 20, hol)
+	if got := s.LabelAt(date(2016, time.July, 5, 12)); got != "peak" {
+		t.Errorf("weekday noon = %q", got)
+	}
+	if got := s.LabelAt(date(2016, time.July, 5, 22)); got != "offpeak" {
+		t.Errorf("weekday night = %q", got)
+	}
+	if got := s.LabelAt(date(2016, time.July, 9, 12)); got != "offpeak" {
+		t.Errorf("Saturday noon = %q", got)
+	}
+	if got := s.LabelAt(date(2016, time.July, 4, 12)); got != "offpeak" {
+		t.Errorf("holiday noon = %q", got)
+	}
+	labels := s.Labels()
+	if len(labels) != 2 || labels[0] != "offpeak" || labels[1] != "peak" {
+		t.Errorf("Labels = %v", labels)
+	}
+	if s.Fallback() != "offpeak" {
+		t.Error("fallback wrong")
+	}
+}
+
+func TestSeasonalDayNight(t *testing.T) {
+	s := SeasonalDayNight(8, 20, nil)
+	if got := s.LabelAt(date(2016, time.July, 5, 12)); got != "summer-peak" {
+		t.Errorf("summer weekday noon = %q", got)
+	}
+	if got := s.LabelAt(date(2016, time.January, 5, 12)); got != "peak" {
+		t.Errorf("winter weekday noon = %q", got)
+	}
+	if got := s.LabelAt(date(2016, time.July, 5, 23)); got != "offpeak" {
+		t.Errorf("summer weekday night = %q", got)
+	}
+	if len(s.Labels()) != 3 {
+		t.Errorf("Labels = %v", s.Labels())
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule("", nil); err == nil {
+		t.Error("empty fallback should fail")
+	}
+	if _, err := NewSchedule("x", nil, ScheduleEntry{Label: ""}); err == nil {
+		t.Error("empty entry label should fail")
+	}
+	if _, err := NewSchedule("x", nil, ScheduleEntry{Label: "y", Rule: Rule{Hours: HourBand{From: 99}}}); err == nil {
+		t.Error("invalid hour band should fail")
+	}
+}
+
+func TestMustNewSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSchedule should panic")
+		}
+	}()
+	MustNewSchedule("", nil)
+}
+
+// Property: MonthsBetween periods tile the range exactly: contiguous,
+// first starts at from, last ends at to.
+func TestQuickMonthsBetweenTiles(t *testing.T) {
+	f := func(startDay uint16, lenDays uint16) bool {
+		from := date(2015, time.January, 1, 0).AddDate(0, 0, int(startDay%2000))
+		to := from.AddDate(0, 0, int(lenDays%1500)+1)
+		periods := MonthsBetween(from, to)
+		if len(periods) == 0 {
+			return false
+		}
+		if !periods[0].Start.Equal(from) || !periods[len(periods)-1].End.Equal(to) {
+			return false
+		}
+		for i := 1; i < len(periods); i++ {
+			if !periods[i].Start.Equal(periods[i-1].End) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every instant gets exactly one label from a schedule, and it
+// is one of Labels().
+func TestQuickScheduleTotal(t *testing.T) {
+	s := SeasonalDayNight(7, 21, nil)
+	valid := map[string]bool{}
+	for _, l := range s.Labels() {
+		valid[l] = true
+	}
+	f := func(hours uint32) bool {
+		ts := date(2016, time.January, 1, 0).Add(time.Duration(hours%87600) * time.Hour)
+		return valid[s.LabelAt(ts)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package colo models the colocation split incentive the paper's related
+// work analyzes (Islam et al.'s "paying to save" rewards and Ren &
+// Islam's "why do I turn off my servers?", §2): in a colocation data
+// center the operator pays the power bill while tenants control the
+// workload, so tenants are "shielded from the direct consequences of the
+// power bill" and have no reason to curtail. The studied remedy — also
+// quoted by the paper — is a reverse auction: the operator buys
+// curtailment from tenants, who bid their reserve prices.
+//
+// The package provides the tenant model, two standard auction pricing
+// rules (pay-as-bid and uniform clearing price), and the operator's
+// decision problem: is buying tenant flexibility cheaper than the
+// penalty/charge it avoids?
+package colo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Tenant is one colocation customer.
+type Tenant struct {
+	// Name identifies the tenant.
+	Name string
+	// Baseline is the tenant's draw during the event window.
+	Baseline units.Power
+	// Flexible is how much of that draw the tenant could shed.
+	Flexible units.Power
+	// ReservePrice is the minimum reward per kWh curtailed at which the
+	// tenant participates (its private cost of degraded service).
+	ReservePrice units.EnergyPrice
+}
+
+// Validate checks tenant fields.
+func (t *Tenant) Validate() error {
+	if t.Name == "" {
+		return errors.New("colo: tenant needs a name")
+	}
+	if t.Baseline < 0 || t.Flexible < 0 {
+		return errors.New("colo: tenant powers must be non-negative")
+	}
+	if t.Flexible > t.Baseline {
+		return errors.New("colo: flexible power cannot exceed baseline")
+	}
+	if t.ReservePrice < 0 {
+		return errors.New("colo: reserve price must be non-negative")
+	}
+	return nil
+}
+
+// PricingRule selects how auction winners are paid.
+type PricingRule int
+
+// Pricing rules.
+const (
+	// PayAsBid pays each winner its own reserve price.
+	PayAsBid PricingRule = iota
+	// UniformPrice pays every winner the highest accepted reserve price
+	// (the clearing price) — incentive-compatible but costlier.
+	UniformPrice
+)
+
+// String returns the rule name.
+func (p PricingRule) String() string {
+	switch p {
+	case PayAsBid:
+		return "pay-as-bid"
+	case UniformPrice:
+		return "uniform-price"
+	default:
+		return fmt.Sprintf("PricingRule(%d)", int(p))
+	}
+}
+
+// Allocation is one tenant's accepted curtailment.
+type Allocation struct {
+	Tenant    *Tenant
+	Reduction units.Power
+	// PricePaid is the per-kWh reward the tenant receives.
+	PricePaid units.EnergyPrice
+	// Payment is the total reward for the event.
+	Payment units.Money
+}
+
+// AuctionResult is the outcome of a reverse auction.
+type AuctionResult struct {
+	// Target and Achieved are the requested and procured reductions.
+	Target   units.Power
+	Achieved units.Power
+	// Winners in merit order (cheapest first).
+	Winners []Allocation
+	// TotalPayment is the operator's reward outlay.
+	TotalPayment units.Money
+	// ClearingPrice is the marginal accepted reserve price.
+	ClearingPrice units.EnergyPrice
+}
+
+// Shortfall returns the unprocured reduction.
+func (r *AuctionResult) Shortfall() units.Power {
+	if r.Achieved >= r.Target {
+		return 0
+	}
+	return r.Target - r.Achieved
+}
+
+// ReverseAuction procures `target` load reduction for an event of the
+// given duration from the tenants, cheapest reserve prices first. The
+// marginal winner may be accepted partially.
+func ReverseAuction(tenants []*Tenant, target units.Power, duration time.Duration, rule PricingRule) (*AuctionResult, error) {
+	if target <= 0 {
+		return nil, errors.New("colo: auction target must be positive")
+	}
+	if duration <= 0 {
+		return nil, errors.New("colo: event duration must be positive")
+	}
+	if len(tenants) == 0 {
+		return nil, errors.New("colo: no tenants")
+	}
+	for _, t := range tenants {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	order := append([]*Tenant(nil), tenants...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return order[a].ReservePrice < order[b].ReservePrice
+	})
+	res := &AuctionResult{Target: target}
+	remaining := target
+	for _, t := range order {
+		if remaining <= 0 {
+			break
+		}
+		if t.Flexible <= 0 {
+			continue
+		}
+		take := units.MinPower(t.Flexible, remaining)
+		res.Winners = append(res.Winners, Allocation{Tenant: t, Reduction: take})
+		res.Achieved += take
+		res.ClearingPrice = t.ReservePrice
+		remaining -= take
+	}
+	if len(res.Winners) == 0 {
+		return nil, errors.New("colo: no tenant offered flexibility")
+	}
+	// Settle.
+	hours := duration.Hours()
+	for i := range res.Winners {
+		w := &res.Winners[i]
+		switch rule {
+		case UniformPrice:
+			w.PricePaid = res.ClearingPrice
+		default:
+			w.PricePaid = w.Tenant.ReservePrice
+		}
+		energy := units.Energy(float64(w.Reduction) * hours)
+		w.Payment = w.PricePaid.Cost(energy)
+		res.TotalPayment += w.Payment
+	}
+	return res, nil
+}
+
+// OperatorDecision frames the operator's choice for one event: buy
+// tenant flexibility or absorb the avoidable cost (penalty, demand
+// charge, forgone program revenue).
+type OperatorDecision struct {
+	// Auction is the procurement outcome.
+	Auction *AuctionResult
+	// AvoidableCost is what the operator pays if it does nothing.
+	AvoidableCost units.Money
+	// ResidualCost prices the auction shortfall at the avoidable
+	// cost's pro-rata rate (partial procurement avoids only part).
+	ResidualCost units.Money
+	// Net = AvoidableCost − TotalPayment − ResidualCost: positive means
+	// running the auction pays.
+	Net units.Money
+}
+
+// Decide evaluates the operator's choice. avoidableCost is the full cost
+// of non-response; it scales pro-rata with any auction shortfall.
+func Decide(auction *AuctionResult, avoidableCost units.Money) (*OperatorDecision, error) {
+	if auction == nil {
+		return nil, errors.New("colo: nil auction result")
+	}
+	if avoidableCost < 0 {
+		return nil, errors.New("colo: avoidable cost must be non-negative")
+	}
+	d := &OperatorDecision{Auction: auction, AvoidableCost: avoidableCost}
+	if auction.Target > 0 {
+		frac := float64(auction.Shortfall()) / float64(auction.Target)
+		d.ResidualCost = avoidableCost.MulFloat(frac)
+	}
+	d.Net = avoidableCost - auction.TotalPayment - d.ResidualCost
+	return d, nil
+}
+
+// SplitIncentiveBaseline states the no-mechanism outcome the literature
+// describes: tenants shielded from the power bill curtail nothing, so
+// the operator absorbs the entire avoidable cost.
+func SplitIncentiveBaseline(avoidableCost units.Money) units.Money {
+	return avoidableCost
+}

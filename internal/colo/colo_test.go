@@ -1,0 +1,183 @@
+package colo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func tenants() []*Tenant {
+	return []*Tenant{
+		{Name: "web-tier", Baseline: 2000, Flexible: 500, ReservePrice: 0.20},
+		{Name: "batch-analytics", Baseline: 3000, Flexible: 2000, ReservePrice: 0.05},
+		{Name: "database", Baseline: 1500, Flexible: 100, ReservePrice: 1.50},
+		{Name: "dev-cluster", Baseline: 1000, Flexible: 800, ReservePrice: 0.10},
+	}
+}
+
+func TestTenantValidate(t *testing.T) {
+	bad := []*Tenant{
+		{Name: "", Baseline: 1, Flexible: 1},
+		{Name: "x", Baseline: -1},
+		{Name: "x", Baseline: 1, Flexible: 2},
+		{Name: "x", Baseline: 1, Flexible: 1, ReservePrice: -1},
+	}
+	for i, tn := range bad {
+		if err := tn.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	good := &Tenant{Name: "x", Baseline: 10, Flexible: 5, ReservePrice: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good tenant: %v", err)
+	}
+}
+
+func TestPricingRuleString(t *testing.T) {
+	if PayAsBid.String() != "pay-as-bid" || UniformPrice.String() != "uniform-price" {
+		t.Error("rule names")
+	}
+	if PricingRule(9).String() == "" {
+		t.Error("unknown rule should format")
+	}
+}
+
+func TestReverseAuctionMeritOrder(t *testing.T) {
+	res, err := ReverseAuction(tenants(), 2500, time.Hour, PayAsBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merit order: batch (0.05, 2000) then dev (0.10, 500 of 800).
+	if len(res.Winners) != 2 {
+		t.Fatalf("winners = %d", len(res.Winners))
+	}
+	if res.Winners[0].Tenant.Name != "batch-analytics" || res.Winners[0].Reduction != 2000 {
+		t.Errorf("first winner = %+v", res.Winners[0])
+	}
+	if res.Winners[1].Tenant.Name != "dev-cluster" || res.Winners[1].Reduction != 500 {
+		t.Errorf("second winner = %+v", res.Winners[1])
+	}
+	if res.Achieved != 2500 || res.Shortfall() != 0 {
+		t.Errorf("achieved = %v", res.Achieved)
+	}
+	if res.ClearingPrice != 0.10 {
+		t.Errorf("clearing price = %v", res.ClearingPrice)
+	}
+	// Pay-as-bid payments: 2000 kWh × 0.05 + 500 kWh × 0.10 = 150.
+	if res.TotalPayment != units.CurrencyUnits(150) {
+		t.Errorf("total payment = %v", res.TotalPayment)
+	}
+}
+
+func TestReverseAuctionUniformPrice(t *testing.T) {
+	res, err := ReverseAuction(tenants(), 2500, time.Hour, UniformPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All winners paid the clearing price 0.10: 2500 kWh × 0.10 = 250.
+	if res.TotalPayment != units.CurrencyUnits(250) {
+		t.Errorf("uniform total = %v", res.TotalPayment)
+	}
+	for _, w := range res.Winners {
+		if w.PricePaid != 0.10 {
+			t.Errorf("winner %s paid %v", w.Tenant.Name, w.PricePaid)
+		}
+	}
+}
+
+func TestReverseAuctionShortfall(t *testing.T) {
+	res, err := ReverseAuction(tenants(), 10000, time.Hour, PayAsBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All flexibility: 500+2000+100+800 = 3400.
+	if res.Achieved != 3400 {
+		t.Errorf("achieved = %v", res.Achieved)
+	}
+	if res.Shortfall() != 6600 {
+		t.Errorf("shortfall = %v", res.Shortfall())
+	}
+	if len(res.Winners) != 4 {
+		t.Errorf("winners = %d", len(res.Winners))
+	}
+}
+
+func TestReverseAuctionValidation(t *testing.T) {
+	if _, err := ReverseAuction(tenants(), 0, time.Hour, PayAsBid); err == nil {
+		t.Error("zero target should fail")
+	}
+	if _, err := ReverseAuction(tenants(), 100, 0, PayAsBid); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := ReverseAuction(nil, 100, time.Hour, PayAsBid); err == nil {
+		t.Error("no tenants should fail")
+	}
+	rigid := []*Tenant{{Name: "rigid", Baseline: 100, Flexible: 0}}
+	if _, err := ReverseAuction(rigid, 100, time.Hour, PayAsBid); err == nil {
+		t.Error("no flexibility should fail")
+	}
+	bad := []*Tenant{{Name: "", Baseline: 100, Flexible: 10}}
+	if _, err := ReverseAuction(bad, 100, time.Hour, PayAsBid); err == nil {
+		t.Error("invalid tenant should fail")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	res, err := ReverseAuction(tenants(), 2500, time.Hour, PayAsBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Avoidable cost 5000 (e.g. emergency penalty): auction pays 150,
+	// full procurement → net 4850.
+	d, err := Decide(res, units.CurrencyUnits(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ResidualCost != 0 {
+		t.Errorf("residual = %v", d.ResidualCost)
+	}
+	if d.Net != units.CurrencyUnits(4850) {
+		t.Errorf("net = %v", d.Net)
+	}
+	// Shortfall scenario: only 3400 of 10000 procured → 66% residual.
+	short, err := ReverseAuction(tenants(), 10000, time.Hour, PayAsBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decide(short, units.CurrencyUnits(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResidualCost != units.CurrencyUnits(6600) {
+		t.Errorf("residual = %v", d2.ResidualCost)
+	}
+	// Errors.
+	if _, err := Decide(nil, 0); err == nil {
+		t.Error("nil auction should fail")
+	}
+	if _, err := Decide(res, -1); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestSplitIncentiveBaseline(t *testing.T) {
+	// The documented no-mechanism outcome: operator absorbs everything.
+	if SplitIncentiveBaseline(units.CurrencyUnits(5000)) != units.CurrencyUnits(5000) {
+		t.Error("baseline must equal the full avoidable cost")
+	}
+}
+
+func TestUniformCostsAtLeastPayAsBid(t *testing.T) {
+	pab, err := ReverseAuction(tenants(), 3000, time.Hour, PayAsBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := ReverseAuction(tenants(), 3000, time.Hour, UniformPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.TotalPayment < pab.TotalPayment {
+		t.Errorf("uniform %v must cost at least pay-as-bid %v", uni.TotalPayment, pab.TotalPayment)
+	}
+}

@@ -1,0 +1,321 @@
+// Package contingency implements the paper's proposed future work made
+// concrete: "we foresee a future need for contingency planning, where
+// specific actions can be applied in SC operation, to adhere to grid
+// conditions ... This approach will enable SCs to perform impact analysis
+// of contingency planning on their operation" (§5).
+//
+// A Plan is an ordered escalation ladder: each Level pairs a Trigger
+// (a grid condition — price above a threshold, a declared stress event,
+// a grid emergency, the site's own load approaching a peak budget) with
+// a response Strategy from package dr. Evaluating a plan against a
+// facility baseline and a set of grid signals produces the windows each
+// level activates in, applies the strategies, and reports the full
+// operational and economic impact — the "impact analysis" the paper
+// calls for.
+package contingency
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/market"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// TriggerKind selects what grid condition arms a level.
+type TriggerKind int
+
+// Trigger kinds, in rough order of severity.
+const (
+	// PriceAbove fires while the real-time price exceeds Threshold.
+	PriceAbove TriggerKind = iota
+	// GridStress fires during detected regional stress events.
+	GridStress
+	// EmergencyDeclared fires during declared grid emergencies (the
+	// mandatory emergency-DR condition).
+	EmergencyDeclared
+	// OwnLoadAbove fires while the site's own baseline load exceeds
+	// PowerBudget (demand-charge self-protection).
+	OwnLoadAbove
+)
+
+var triggerNames = map[TriggerKind]string{
+	PriceAbove:        "price-above",
+	GridStress:        "grid-stress",
+	EmergencyDeclared: "emergency-declared",
+	OwnLoadAbove:      "own-load-above",
+}
+
+// String returns the trigger name.
+func (k TriggerKind) String() string {
+	if n, ok := triggerNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("TriggerKind(%d)", int(k))
+}
+
+// Trigger is one armed grid condition.
+type Trigger struct {
+	Kind TriggerKind
+	// PriceThreshold applies to PriceAbove.
+	PriceThreshold units.EnergyPrice
+	// PowerBudget applies to OwnLoadAbove.
+	PowerBudget units.Power
+}
+
+// Validate checks the trigger's parameters.
+func (t Trigger) Validate() error {
+	switch t.Kind {
+	case PriceAbove:
+		if t.PriceThreshold <= 0 {
+			return errors.New("contingency: price trigger needs a positive threshold")
+		}
+	case OwnLoadAbove:
+		if t.PowerBudget <= 0 {
+			return errors.New("contingency: own-load trigger needs a positive budget")
+		}
+	case GridStress, EmergencyDeclared:
+		// No parameters.
+	default:
+		return fmt.Errorf("contingency: unknown trigger kind %d", int(t.Kind))
+	}
+	return nil
+}
+
+// Level is one rung of the escalation ladder.
+type Level struct {
+	// Name identifies the level ("watch", "curtail", "emergency").
+	Name string
+	// Trigger arms the level.
+	Trigger Trigger
+	// Strategy is the response applied while the level is the highest
+	// active one.
+	Strategy dr.Strategy
+}
+
+// Plan is an ordered escalation ladder; later levels outrank earlier
+// ones when several trigger at once.
+type Plan struct {
+	Name   string
+	Levels []Level
+}
+
+// Validate checks the plan.
+func (p *Plan) Validate() error {
+	if p == nil || len(p.Levels) == 0 {
+		return errors.New("contingency: plan needs at least one level")
+	}
+	seen := map[string]bool{}
+	for i, l := range p.Levels {
+		if l.Name == "" {
+			return fmt.Errorf("contingency: level %d needs a name", i)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("contingency: duplicate level %q", l.Name)
+		}
+		seen[l.Name] = true
+		if l.Strategy == nil {
+			return fmt.Errorf("contingency: level %q needs a strategy", l.Name)
+		}
+		if err := l.Trigger.Validate(); err != nil {
+			return fmt.Errorf("contingency: level %q: %w", l.Name, err)
+		}
+	}
+	return nil
+}
+
+// Signals carries the grid conditions a plan is evaluated against.
+type Signals struct {
+	// Prices is the real-time price feed (needed by PriceAbove levels).
+	Prices *timeseries.PriceSeries
+	// Stress are detected regional stress events.
+	Stress []grid.StressEvent
+	// Emergencies are declared grid emergencies.
+	Emergencies []contract.EmergencyEvent
+}
+
+// LevelImpact reports one level's contribution.
+type LevelImpact struct {
+	Level string
+	// Activations is the number of contiguous windows the level ran in.
+	Activations int
+	// ActiveFor is the total activated duration.
+	ActiveFor time.Duration
+	// Curtailed is the strategy's reported reduction.
+	Curtailed units.Energy
+	// OpCost is the strategy's own cost.
+	OpCost units.Money
+}
+
+// Impact is the plan's full impact analysis.
+type Impact struct {
+	// BaselineBill and PlannedBill compare the billing outcome without
+	// and with the plan.
+	BaselineBill *contract.Bill
+	PlannedBill  *contract.Bill
+	// Levels holds per-level contributions in ladder order.
+	Levels []LevelImpact
+	// TotalOpCost sums the strategies' costs.
+	TotalOpCost units.Money
+	// NetBenefit = bill savings − operational cost.
+	NetBenefit units.Money
+	// Load is the facility profile with the plan applied.
+	Load *timeseries.PowerSeries
+	// EmergencyCompliant reports whether, with the plan applied, the
+	// site stayed at or below every declared emergency cap (checked
+	// against the contract's obligations).
+	EmergencyCompliant bool
+}
+
+// BillSavings returns baseline minus planned totals.
+func (im *Impact) BillSavings() units.Money {
+	return im.BaselineBill.Total - im.PlannedBill.Total
+}
+
+// Evaluate runs the plan: it determines, per metering interval, the
+// highest triggered level, converts each level's intervals into event
+// windows, applies the strategies in ladder order, bills both profiles
+// under the contract and checks emergency compliance.
+func Evaluate(p *Plan, c *contract.Contract, baseline *timeseries.PowerSeries, sig Signals) (*Impact, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if baseline == nil || baseline.Len() == 0 {
+		return nil, errors.New("contingency: baseline required")
+	}
+	for _, l := range p.Levels {
+		if l.Trigger.Kind == PriceAbove && sig.Prices == nil {
+			return nil, fmt.Errorf("contingency: level %q needs a price feed in the signals", l.Name)
+		}
+	}
+
+	// 1. Per-interval highest active level (-1 = none).
+	active := make([]int, baseline.Len())
+	for i := range active {
+		active[i] = -1
+		ts := baseline.TimeAt(i)
+		for li, l := range p.Levels { // later levels overwrite earlier
+			if triggered(l.Trigger, ts, baseline.At(i), sig) {
+				active[i] = li
+			}
+		}
+	}
+
+	// 2. Contiguous runs per level → event windows.
+	windows := make([][]market.Event, len(p.Levels))
+	runStart := -1
+	runLevel := -1
+	flush := func(endIdx int) {
+		if runLevel >= 0 {
+			windows[runLevel] = append(windows[runLevel], market.Event{
+				Start:    baseline.TimeAt(runStart),
+				Duration: time.Duration(endIdx-runStart) * baseline.Interval(),
+			})
+		}
+		runStart, runLevel = -1, -1
+	}
+	for i, li := range active {
+		if li != runLevel {
+			flush(i)
+			if li >= 0 {
+				runStart, runLevel = i, li
+			}
+		}
+	}
+	flush(baseline.Len())
+
+	// 3. Apply strategies in ladder order.
+	in := contract.BillingInput{Events: sig.Emergencies}
+	impact := &Impact{}
+	load := baseline
+	for li, l := range p.Levels {
+		var activeFor time.Duration
+		for _, w := range windows[li] {
+			activeFor += w.Duration
+		}
+		lvl := LevelImpact{Level: l.Name, Activations: len(windows[li]), ActiveFor: activeFor}
+		if len(windows[li]) > 0 {
+			resp, err := l.Strategy.Respond(load, windows[li])
+			if err != nil {
+				return nil, fmt.Errorf("contingency: level %q: %w", l.Name, err)
+			}
+			load = resp.Load
+			lvl.Curtailed = resp.CurtailedEnergy
+			lvl.OpCost = resp.OpCost
+			impact.TotalOpCost += resp.OpCost
+		}
+		impact.Levels = append(impact.Levels, lvl)
+	}
+	impact.Load = load
+
+	// 4. Bill both profiles.
+	baseBill, err := contract.ComputeBill(c, baseline, in)
+	if err != nil {
+		return nil, err
+	}
+	planBill, err := contract.ComputeBill(c, load, in)
+	if err != nil {
+		return nil, err
+	}
+	impact.BaselineBill = baseBill
+	impact.PlannedBill = planBill
+	impact.NetBenefit = impact.BillSavings() - impact.TotalOpCost
+
+	// 5. Emergency compliance with the plan applied.
+	impact.EmergencyCompliant = compliant(c, load, sig.Emergencies)
+	return impact, nil
+}
+
+func triggered(t Trigger, ts time.Time, own units.Power, sig Signals) bool {
+	switch t.Kind {
+	case PriceAbove:
+		price, _ := sig.Prices.PriceAt(ts)
+		return price > t.PriceThreshold
+	case GridStress:
+		for _, s := range sig.Stress {
+			if !ts.Before(s.Start) && ts.Before(s.Start.Add(s.Duration)) {
+				return true
+			}
+		}
+		return false
+	case EmergencyDeclared:
+		for _, e := range sig.Emergencies {
+			if e.Covers(ts) {
+				return true
+			}
+		}
+		return false
+	case OwnLoadAbove:
+		return own > t.PowerBudget
+	default:
+		return false
+	}
+}
+
+func compliant(c *contract.Contract, load *timeseries.PowerSeries, emergencies []contract.EmergencyEvent) bool {
+	if len(c.Emergencies) == 0 || len(emergencies) == 0 {
+		return true
+	}
+	for i := 0; i < load.Len(); i++ {
+		ts := load.TimeAt(i)
+		for _, e := range emergencies {
+			if !e.Covers(ts) {
+				continue
+			}
+			for _, o := range c.Emergencies {
+				if load.At(i) > o.Cap {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+package contingency
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.September, 5, 0, 0, 0, 0, time.UTC)
+
+func flat(n int, p units.Power) *timeseries.PowerSeries {
+	return timeseries.ConstantPower(t0, 15*time.Minute, n, p)
+}
+
+func testContract() *contract.Contract {
+	return &contract.Contract{
+		Name:          "plan-site",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(12)},
+		Emergencies: []*contract.EmergencyObligation{{
+			Name: "regional", Cap: 8000, Penalty: 2.0,
+		}},
+	}
+}
+
+func twoLevelPlan() *Plan {
+	return &Plan{
+		Name: "standard",
+		Levels: []Level{
+			{
+				Name:     "price-watch",
+				Trigger:  Trigger{Kind: PriceAbove, PriceThreshold: 0.20},
+				Strategy: &dr.ShedStrategy{Fraction: 0.05, OpCostPerKWh: 0.01},
+			},
+			{
+				Name:     "emergency",
+				Trigger:  Trigger{Kind: EmergencyDeclared},
+				Strategy: &dr.CapStrategy{Cap: 8000, OpCostPerKWh: 0.10},
+			},
+		},
+	}
+}
+
+func TestTriggerKindString(t *testing.T) {
+	for _, k := range []TriggerKind{PriceAbove, GridStress, EmergencyDeclared, OwnLoadAbove} {
+		if k.String() == "" {
+			t.Errorf("kind %d should name", int(k))
+		}
+	}
+	if TriggerKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestTriggerValidate(t *testing.T) {
+	bad := []Trigger{
+		{Kind: PriceAbove},
+		{Kind: OwnLoadAbove},
+		{Kind: TriggerKind(42)},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	good := []Trigger{
+		{Kind: PriceAbove, PriceThreshold: 0.1},
+		{Kind: GridStress},
+		{Kind: EmergencyDeclared},
+		{Kind: OwnLoadAbove, PowerBudget: 1000},
+	}
+	for i, tr := range good {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("case %d should pass: %v", i, err)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := twoLevelPlan().Validate(); err != nil {
+		t.Errorf("good plan: %v", err)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err == nil {
+		t.Error("nil plan should fail")
+	}
+	if err := (&Plan{}).Validate(); err == nil {
+		t.Error("empty plan should fail")
+	}
+	bad := []*Plan{
+		{Levels: []Level{{Name: "", Strategy: &dr.ShedStrategy{Fraction: 0.1}, Trigger: Trigger{Kind: GridStress}}}},
+		{Levels: []Level{
+			{Name: "a", Strategy: &dr.ShedStrategy{Fraction: 0.1}, Trigger: Trigger{Kind: GridStress}},
+			{Name: "a", Strategy: &dr.ShedStrategy{Fraction: 0.1}, Trigger: Trigger{Kind: GridStress}},
+		}},
+		{Levels: []Level{{Name: "a", Trigger: Trigger{Kind: GridStress}}}},
+		{Levels: []Level{{Name: "a", Strategy: &dr.ShedStrategy{Fraction: 0.1}, Trigger: Trigger{Kind: PriceAbove}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	plan := twoLevelPlan()
+	c := testContract()
+	baseline := flat(96, 10000)
+	if _, err := Evaluate(&Plan{}, c, baseline, Signals{}); err == nil {
+		t.Error("invalid plan should fail")
+	}
+	if _, err := Evaluate(plan, &contract.Contract{Name: "x"}, baseline, Signals{}); err == nil {
+		t.Error("invalid contract should fail")
+	}
+	if _, err := Evaluate(plan, c, nil, Signals{}); err == nil {
+		t.Error("nil baseline should fail")
+	}
+	// PriceAbove level without a feed.
+	if _, err := Evaluate(plan, c, baseline, Signals{}); err == nil {
+		t.Error("missing price feed should fail")
+	}
+}
+
+func TestEvaluateQuietGrid(t *testing.T) {
+	plan := twoLevelPlan()
+	c := testContract()
+	baseline := flat(96, 10000)
+	prices := timeseries.ConstantPrice(t0, time.Hour, 24, 0.05) // always cheap
+	im, err := Evaluate(plan, c, baseline, Signals{Prices: prices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.BillSavings() != 0 || im.TotalOpCost != 0 {
+		t.Error("quiet grid: plan should do nothing")
+	}
+	for _, l := range im.Levels {
+		if l.Activations != 0 {
+			t.Errorf("level %s activated on a quiet grid", l.Level)
+		}
+	}
+	if !im.EmergencyCompliant {
+		t.Error("no emergencies → compliant")
+	}
+	// Load untouched.
+	for i := 0; i < baseline.Len(); i++ {
+		if im.Load.At(i) != baseline.At(i) {
+			t.Fatal("quiet plan must not modify the load")
+		}
+	}
+}
+
+func TestEvaluatePriceLevelActivates(t *testing.T) {
+	plan := twoLevelPlan()
+	c := testContract()
+	baseline := flat(96, 10000)
+	// Expensive hours 10–12.
+	priceSamples := make([]units.EnergyPrice, 24)
+	for i := range priceSamples {
+		priceSamples[i] = 0.05
+	}
+	priceSamples[10], priceSamples[11] = 0.50, 0.50
+	prices := timeseries.MustNewPrice(t0, time.Hour, priceSamples)
+
+	im, err := Evaluate(plan, c, baseline, Signals{Prices: prices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	watch := im.Levels[0]
+	if watch.Activations != 1 || watch.ActiveFor != 2*time.Hour {
+		t.Errorf("price-watch = %+v", watch)
+	}
+	// 5% of 10 MW for 2 h = 1 MWh curtailed.
+	if math.Abs(watch.Curtailed.MWh()-1) > 1e-9 {
+		t.Errorf("curtailed = %v", watch.Curtailed)
+	}
+	if im.Levels[1].Activations != 0 {
+		t.Error("emergency level should stay quiet")
+	}
+}
+
+func TestEvaluateEmergencyOutranksPrice(t *testing.T) {
+	plan := twoLevelPlan()
+	c := testContract()
+	baseline := flat(96, 12000)
+	// Expensive everywhere AND an emergency over hours 10–12: the
+	// emergency level (later in the ladder) must own those hours.
+	prices := timeseries.ConstantPrice(t0, time.Hour, 24, 0.50)
+	emergency := []contract.EmergencyEvent{{Start: t0.Add(10 * time.Hour), Duration: 2 * time.Hour}}
+	im, err := Evaluate(plan, c, baseline, Signals{Prices: prices, Emergencies: emergency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := im.Levels[1]
+	if em.ActiveFor != 2*time.Hour {
+		t.Errorf("emergency active for %v, want 2 h", em.ActiveFor)
+	}
+	// Price level owns the remaining 22 h.
+	if im.Levels[0].ActiveFor != 22*time.Hour {
+		t.Errorf("price level active for %v, want 22 h", im.Levels[0].ActiveFor)
+	}
+	// During the emergency the cap strategy pushed load to 8 MW: the
+	// plan keeps the site compliant and avoids the 2.0/kWh penalty.
+	if !im.EmergencyCompliant {
+		t.Error("plan should make the site emergency-compliant")
+	}
+	// Without the plan the site is non-compliant (12 MW > 8 MW cap).
+	if compliant(c, baseline, emergency) {
+		t.Error("baseline should violate the emergency cap")
+	}
+	// And the penalty avoidance shows up as positive net benefit.
+	if im.NetBenefit <= 0 {
+		t.Errorf("net benefit = %v, want positive (penalty avoided)", im.NetBenefit)
+	}
+}
+
+func TestEvaluateOwnLoadTrigger(t *testing.T) {
+	plan := &Plan{
+		Name: "self-protect",
+		Levels: []Level{{
+			Name:     "peak-guard",
+			Trigger:  Trigger{Kind: OwnLoadAbove, PowerBudget: 11000},
+			Strategy: &dr.CapStrategy{Cap: 11000, OpCostPerKWh: 0.01},
+		}},
+	}
+	c := testContract()
+	samples := make([]units.Power, 96)
+	for i := range samples {
+		samples[i] = 10000
+	}
+	for i := 40; i < 44; i++ {
+		samples[i] = 14000
+	}
+	baseline := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+	im, err := Evaluate(plan, c, baseline, Signals{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Levels[0].Activations != 1 {
+		t.Errorf("peak-guard activations = %d", im.Levels[0].Activations)
+	}
+	peak, _, _ := im.Load.Peak()
+	if peak > 11000 {
+		t.Errorf("planned peak = %v, want ≤ budget", peak)
+	}
+	// Demand-charge savings: billed demand falls 14 MW → at most 11 MW.
+	if im.BillSavings() <= 0 {
+		t.Error("peak guard should save demand charges")
+	}
+}
+
+func TestEvaluateGridStressTrigger(t *testing.T) {
+	plan := &Plan{
+		Name: "stress-response",
+		Levels: []Level{{
+			Name:     "stress-shed",
+			Trigger:  Trigger{Kind: GridStress},
+			Strategy: &dr.ShedStrategy{Fraction: 0.10, OpCostPerKWh: 0.01},
+		}},
+	}
+	c := testContract()
+	baseline := flat(96, 10000)
+	stress := []grid.StressEvent{{Start: t0.Add(6 * time.Hour), Duration: time.Hour}}
+	im, err := Evaluate(plan, c, baseline, Signals{Stress: stress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Levels[0].ActiveFor != time.Hour {
+		t.Errorf("active for %v", im.Levels[0].ActiveFor)
+	}
+	if math.Abs(im.Levels[0].Curtailed.MWh()-1) > 1e-9 {
+		t.Errorf("curtailed = %v", im.Levels[0].Curtailed)
+	}
+}

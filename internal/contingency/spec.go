@@ -1,0 +1,150 @@
+package contingency
+
+// JSON-serializable contingency-plan specifications, so plans can live
+// in version control next to the contracts they protect and be executed
+// by cmd/scplan.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// PlanSpec is the serializable form of a Plan.
+type PlanSpec struct {
+	Name   string      `json:"name"`
+	Levels []LevelSpec `json:"levels"`
+}
+
+// LevelSpec configures one escalation level.
+type LevelSpec struct {
+	Name string `json:"name"`
+	// Trigger is "price-above", "grid-stress", "emergency-declared" or
+	// "own-load-above".
+	Trigger string `json:"trigger"`
+	// PriceThreshold applies to price-above (currency/kWh).
+	PriceThreshold float64 `json:"price_threshold,omitempty"`
+	// PowerBudgetKW applies to own-load-above.
+	PowerBudgetKW float64 `json:"power_budget_kw,omitempty"`
+	// Strategy configures the response.
+	Strategy StrategySpec `json:"strategy"`
+}
+
+// StrategySpec configures a dr.Strategy. Type selects the variant:
+// "cap" (CapKW), "shed" (Fraction), "shift" (Fraction, RecoveryMinutes),
+// "gen" (CapacityKW, FuelCost), or "storage" (CapacityKWh, MaxChargeKW,
+// MaxDischargeKW, Efficiency, CycleCost).
+type StrategySpec struct {
+	Type string `json:"type"`
+	// Common knobs.
+	OpCost float64 `json:"op_cost,omitempty"`
+	// cap
+	CapKW float64 `json:"cap_kw,omitempty"`
+	// shed / shift
+	Fraction        float64 `json:"fraction,omitempty"`
+	RecoveryMinutes int     `json:"recovery_minutes,omitempty"`
+	// gen
+	CapacityKW float64 `json:"capacity_kw,omitempty"`
+	FuelCost   float64 `json:"fuel_cost,omitempty"`
+	// storage
+	CapacityKWh    float64 `json:"capacity_kwh,omitempty"`
+	MaxChargeKW    float64 `json:"max_charge_kw,omitempty"`
+	MaxDischargeKW float64 `json:"max_discharge_kw,omitempty"`
+	Efficiency     float64 `json:"efficiency,omitempty"`
+	CycleCost      float64 `json:"cycle_cost,omitempty"`
+}
+
+// Build turns the spec into an executable strategy.
+func (s StrategySpec) Build() (dr.Strategy, error) {
+	switch s.Type {
+	case "cap":
+		return &dr.CapStrategy{
+			Cap: units.Power(s.CapKW), OpCostPerKWh: units.EnergyPrice(s.OpCost)}, nil
+	case "shed":
+		return &dr.ShedStrategy{
+			Fraction: s.Fraction, OpCostPerKWh: units.EnergyPrice(s.OpCost)}, nil
+	case "shift":
+		rec := s.RecoveryMinutes
+		if rec == 0 {
+			rec = 240
+		}
+		return &dr.ShiftStrategy{
+			Fraction: s.Fraction, RecoverySpan: time.Duration(rec) * time.Minute,
+			OpCostPerKWh: units.EnergyPrice(s.OpCost)}, nil
+	case "gen":
+		return &dr.GenStrategy{
+			Capacity: units.Power(s.CapacityKW), FuelCostPerKWh: units.EnergyPrice(s.FuelCost)}, nil
+	case "storage":
+		eff := s.Efficiency
+		if eff == 0 {
+			eff = 0.9
+		}
+		return &dr.StorageStrategy{
+			Battery: &storage.Battery{
+				Capacity:            units.Energy(s.CapacityKWh),
+				MaxCharge:           units.Power(s.MaxChargeKW),
+				MaxDischarge:        units.Power(s.MaxDischargeKW),
+				RoundTripEfficiency: eff,
+				InitialSoC:          1,
+			},
+			CycleCostPerKWh: units.EnergyPrice(s.CycleCost),
+		}, nil
+	default:
+		return nil, fmt.Errorf("contingency: unknown strategy type %q", s.Type)
+	}
+}
+
+// Build turns the spec into an executable plan.
+func (ps *PlanSpec) Build() (*Plan, error) {
+	if ps.Name == "" {
+		return nil, errors.New("contingency: plan spec needs a name")
+	}
+	plan := &Plan{Name: ps.Name}
+	for i, ls := range ps.Levels {
+		trigger := Trigger{}
+		switch ls.Trigger {
+		case "price-above":
+			trigger.Kind = PriceAbove
+			trigger.PriceThreshold = units.EnergyPrice(ls.PriceThreshold)
+		case "grid-stress":
+			trigger.Kind = GridStress
+		case "emergency-declared":
+			trigger.Kind = EmergencyDeclared
+		case "own-load-above":
+			trigger.Kind = OwnLoadAbove
+			trigger.PowerBudget = units.Power(ls.PowerBudgetKW)
+		default:
+			return nil, fmt.Errorf("contingency: level %d: unknown trigger %q", i, ls.Trigger)
+		}
+		strategy, err := ls.Strategy.Build()
+		if err != nil {
+			return nil, fmt.Errorf("contingency: level %d: %w", i, err)
+		}
+		plan.Levels = append(plan.Levels, Level{
+			Name: ls.Name, Trigger: trigger, Strategy: strategy,
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// ParsePlanSpec decodes a JSON plan spec.
+func ParsePlanSpec(data []byte) (*PlanSpec, error) {
+	var ps PlanSpec
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("contingency: bad plan JSON: %w", err)
+	}
+	return &ps, nil
+}
+
+// EncodePlanSpec encodes a spec as indented JSON.
+func EncodePlanSpec(ps *PlanSpec) ([]byte, error) {
+	return json.MarshalIndent(ps, "", "  ")
+}

@@ -1,0 +1,102 @@
+package contingency
+
+import (
+	"strings"
+	"testing"
+)
+
+func fullPlanSpec() *PlanSpec {
+	return &PlanSpec{
+		Name: "full",
+		Levels: []LevelSpec{
+			{Name: "watch", Trigger: "price-above", PriceThreshold: 0.15,
+				Strategy: StrategySpec{Type: "shed", Fraction: 0.05, OpCost: 0.01}},
+			{Name: "stress", Trigger: "grid-stress",
+				Strategy: StrategySpec{Type: "shift", Fraction: 0.2}},
+			{Name: "guard", Trigger: "own-load-above", PowerBudgetKW: 11000,
+				Strategy: StrategySpec{Type: "cap", CapKW: 11000, OpCost: 0.1}},
+			{Name: "emergency", Trigger: "emergency-declared",
+				Strategy: StrategySpec{Type: "gen", CapacityKW: 3000, FuelCost: 0.25}},
+			{Name: "battery", Trigger: "emergency-declared",
+				Strategy: StrategySpec{Type: "storage", CapacityKWh: 4000,
+					MaxChargeKW: 1000, MaxDischargeKW: 2000, CycleCost: 0.05}},
+		},
+	}
+}
+
+func TestPlanSpecBuild(t *testing.T) {
+	// Duplicate level trigger is fine; duplicate names are not — so
+	// rename the fifth level check by building the valid spec.
+	spec := fullPlanSpec()
+	plan, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Levels) != 5 {
+		t.Fatalf("levels = %d", len(plan.Levels))
+	}
+	if plan.Levels[0].Trigger.Kind != PriceAbove || plan.Levels[0].Trigger.PriceThreshold != 0.15 {
+		t.Errorf("level 0 trigger = %+v", plan.Levels[0].Trigger)
+	}
+	if plan.Levels[2].Trigger.PowerBudget != 11000 {
+		t.Errorf("level 2 budget = %v", plan.Levels[2].Trigger.PowerBudget)
+	}
+	names := []string{"shed", "shift", "power-cap", "onsite-gen", "storage"}
+	for i, want := range names {
+		if !strings.Contains(plan.Levels[i].Strategy.Name(), want) {
+			t.Errorf("level %d strategy = %q, want %q", i, plan.Levels[i].Strategy.Name(), want)
+		}
+	}
+}
+
+func TestPlanSpecBuildErrors(t *testing.T) {
+	cases := []*PlanSpec{
+		{},
+		{Name: "x"},
+		{Name: "x", Levels: []LevelSpec{{Name: "a", Trigger: "bogus",
+			Strategy: StrategySpec{Type: "shed", Fraction: 0.1}}}},
+		{Name: "x", Levels: []LevelSpec{{Name: "a", Trigger: "grid-stress",
+			Strategy: StrategySpec{Type: "bogus"}}}},
+		{Name: "x", Levels: []LevelSpec{{Name: "a", Trigger: "price-above",
+			Strategy: StrategySpec{Type: "shed", Fraction: 0.1}}}}, // zero threshold fails validation
+	}
+	for i, ps := range cases {
+		if _, err := ps.Build(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestStrategySpecDefaults(t *testing.T) {
+	shift, err := (StrategySpec{Type: "shift", Fraction: 0.2}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shift.Name(), "4h0m0s") {
+		t.Errorf("default recovery span missing: %q", shift.Name())
+	}
+	st, err := (StrategySpec{Type: "storage", CapacityKWh: 1000, MaxChargeKW: 100, MaxDischargeKW: 200}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() == "" {
+		t.Error("storage strategy should name")
+	}
+}
+
+func TestPlanSpecJSONRoundTrip(t *testing.T) {
+	data, err := EncodePlanSpec(fullPlanSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlanSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "full" || len(back.Levels) != 5 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := ParsePlanSpec([]byte("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

@@ -1,0 +1,55 @@
+package contract
+
+// JSON export for bills — the machine-readable counterpart of the
+// rendered bill, with currency amounts as floats and typology components
+// by name.
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// billJSON is the serialized shape.
+type billJSON struct {
+	Contract    string         `json:"contract"`
+	PeriodStart time.Time      `json:"period_start"`
+	PeriodEnd   time.Time      `json:"period_end"`
+	EnergyKWh   float64        `json:"energy_kwh"`
+	PeakKW      float64        `json:"peak_kw"`
+	Lines       []lineItemJSON `json:"lines"`
+	Total       float64        `json:"total"`
+	DemandShare float64        `json:"demand_share"`
+}
+
+type lineItemJSON struct {
+	Component   string  `json:"component"`
+	Description string  `json:"description"`
+	Quantity    string  `json:"quantity"`
+	Amount      float64 `json:"amount"`
+}
+
+// JSON serializes the bill as indented JSON.
+func (b *Bill) JSON() ([]byte, error) {
+	out := billJSON{
+		Contract:    b.Contract,
+		PeriodStart: b.PeriodStart,
+		PeriodEnd:   b.PeriodEnd,
+		EnergyKWh:   float64(b.Energy),
+		PeakKW:      float64(b.PeakDemand),
+		Total:       b.Total.Float(),
+		DemandShare: b.DemandShare(),
+	}
+	for _, l := range b.Lines {
+		comp := "fee"
+		if l.Component >= 0 {
+			comp = l.Component.String()
+		}
+		out.Lines = append(out.Lines, lineItemJSON{
+			Component:   comp,
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			Amount:      l.Amount.Float(),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

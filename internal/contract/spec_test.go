@@ -1,0 +1,170 @@
+package contract
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func fullSpec() *Spec {
+	return &Spec{
+		Name: "site-x",
+		Tariffs: []TariffSpec{
+			{Type: "fixed", Rate: 0.08},
+			{Type: "tou", DayRate: 0.20, NightRate: 0.05, DayFrom: 7, DayTo: 21},
+		},
+		DemandCharges: []DemandChargeSpec{{PricePerKW: 12}},
+		Powerbands:    []PowerbandSpec{{LowerKW: 1000, UpperKW: 9000, UnderPenalty: 0.5, OverPenalty: 1}},
+		Emergencies:   []EmergencySpec{{Name: "grid-emergency", CapKW: 5000, NoticeMinutes: 30, Penalty: 2}},
+		Fees:          []FeeSpec{{Name: "metering", Amount: 500}},
+	}
+}
+
+func TestSpecBuildFull(t *testing.T) {
+	c, err := fullSpec().Build(BuildContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Classify(c)
+	if !p.FixedTariff || !p.TOUTariff || !p.DemandCharge || !p.Powerband || !p.EmergencyDR {
+		t.Errorf("profile = %+v", p)
+	}
+	if c.Emergencies[0].Notice != 30*time.Minute {
+		t.Errorf("notice = %v", c.Emergencies[0].Notice)
+	}
+	if c.Fees[0].Amount != units.CurrencyUnits(500) {
+		t.Errorf("fee = %v", c.Fees[0].Amount)
+	}
+}
+
+func TestSpecBuildDynamic(t *testing.T) {
+	feed := timeseries.ConstantPrice(t0, time.Hour, 24, 0.10)
+	s := &Spec{
+		Name:    "dyn",
+		Tariffs: []TariffSpec{{Type: "dynamic", Multiplier: 1.2, Adder: 0.01}},
+	}
+	c, err := s.Build(BuildContext{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Classify(c).DynamicTariff {
+		t.Error("should classify dynamic")
+	}
+	// Default multiplier.
+	s2 := &Spec{Name: "dyn2", Tariffs: []TariffSpec{{Type: "dynamic"}}}
+	c2, err := s2.Build(BuildContext{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Tariffs[0].PriceAt(t0)
+	if got != 0.10 {
+		t.Errorf("default multiplier price = %v", got)
+	}
+}
+
+func TestSpecBuildSeasonalTOU(t *testing.T) {
+	s := &Spec{
+		Name: "seasonal",
+		Tariffs: []TariffSpec{
+			{Type: "tou", DayRate: 0.18, NightRate: 0.06, SummerDayRate: 0.25},
+		},
+	}
+	c, err := s.Build(BuildContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// July weekday noon should price at the summer rate (default 8-20 band).
+	july := time.Date(2016, time.July, 5, 12, 0, 0, 0, time.UTC)
+	if got := c.Tariffs[0].PriceAt(july); got != 0.25 {
+		t.Errorf("summer day price = %v", got)
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	cases := []*Spec{
+		{},          // no name
+		{Name: "x"}, // no tariffs
+		{Name: "x", Tariffs: []TariffSpec{{Type: "bogus"}}},
+		{Name: "x", Tariffs: []TariffSpec{{Type: "dynamic"}}}, // no feed
+		{Name: "x", Tariffs: []TariffSpec{{Type: "fixed", Rate: -1}}},
+		{Name: "x", Tariffs: []TariffSpec{{Type: "fixed", Rate: 0.1}},
+			DemandCharges: []DemandChargeSpec{{PricePerKW: 10, Method: "bogus"}}},
+		{Name: "x", Tariffs: []TariffSpec{{Type: "fixed", Rate: 0.1}},
+			Powerbands: []PowerbandSpec{{UpperKW: -5}}},
+		{Name: "x", Tariffs: []TariffSpec{{Type: "fixed", Rate: 0.1}},
+			Emergencies: []EmergencySpec{{CapKW: -1}}},
+	}
+	for i, s := range cases {
+		if _, err := s.Build(BuildContext{}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSpecBuildCPP(t *testing.T) {
+	s := &Spec{
+		Name: "cpp-site",
+		Tariffs: []TariffSpec{
+			{Type: "cpp", Rate: 0.08, CriticalRate: 1.2, MaxCriticalEvents: 10},
+		},
+	}
+	c, err := s.Build(BuildContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPP classifies as dynamic.
+	if !Classify(c).DynamicTariff {
+		t.Error("CPP should classify dynamic")
+	}
+	// Invalid CPP parameters fail.
+	bad := &Spec{Name: "x", Tariffs: []TariffSpec{{Type: "cpp", Rate: 0.08, CriticalRate: 0}}}
+	if _, err := bad.Build(BuildContext{}); err == nil {
+		t.Error("zero critical rate should fail")
+	}
+	badBase := &Spec{Name: "x", Tariffs: []TariffSpec{{Type: "cpp", Rate: -1, CriticalRate: 1}}}
+	if _, err := badBase.Build(BuildContext{}); err == nil {
+		t.Error("negative base rate should fail")
+	}
+}
+
+func TestSpecDemandChargeMethods(t *testing.T) {
+	for _, m := range []string{"", "n-peak-average", "single-peak", "ratchet"} {
+		spec := DemandChargeSpec{PricePerKW: 10, Method: m, NPeaks: 3, RatchetFraction: 0.8}
+		if _, err := spec.build(); err != nil {
+			t.Errorf("method %q: %v", m, err)
+		}
+	}
+}
+
+func TestSpecPowerbandUpperOnly(t *testing.T) {
+	pb, err := (PowerbandSpec{UpperKW: 9000, OverPenalty: 1}).build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.HasLower {
+		t.Error("upper-only band should not have a lower limit")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	data, err := EncodeSpec(fullSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "site-x") {
+		t.Error("encoded JSON should carry name")
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "site-x" || len(back.Tariffs) != 2 || len(back.Emergencies) != 1 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := ParseSpec([]byte("{bad json")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

@@ -1,0 +1,128 @@
+package contract
+
+// This file models the paper's Figure 1, "Overview of contract typology",
+// as a data structure so the figure can be regenerated (and extended)
+// programmatically.
+
+// TypologyNode is one node of the typology tree.
+type TypologyNode struct {
+	// Title is the node label as it appears in Figure 1.
+	Title string
+	// Detail is the paper's characterization of the node.
+	Detail string
+	// Component is the typology leaf this node corresponds to, or -1
+	// for structural nodes (root and branches).
+	Component Component
+	// Encourages names the consumption behaviour the element rewards.
+	Encourages string
+	// Children are the sub-nodes.
+	Children []*TypologyNode
+}
+
+// IsLeaf reports whether the node is a typology leaf.
+func (n *TypologyNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Walk visits the tree depth-first, pre-order, calling fn with each node
+// and its depth.
+func (n *TypologyNode) Walk(fn func(node *TypologyNode, depth int)) {
+	var rec func(node *TypologyNode, depth int)
+	rec = func(node *TypologyNode, depth int) {
+		fn(node, depth)
+		for _, c := range node.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+}
+
+// Leaves returns the leaf nodes in pre-order.
+func (n *TypologyNode) Leaves() []*TypologyNode {
+	var out []*TypologyNode
+	n.Walk(func(node *TypologyNode, _ int) {
+		if node.IsLeaf() {
+			out = append(out, node)
+		}
+	})
+	return out
+}
+
+// Find returns the first node with the given title, or nil.
+func (n *TypologyNode) Find(title string) *TypologyNode {
+	var found *TypologyNode
+	n.Walk(func(node *TypologyNode, _ int) {
+		if found == nil && node.Title == title {
+			found = node
+		}
+	})
+	return found
+}
+
+// Typology returns the paper's Figure 1 as a tree: three branches
+// (tariffs mapped to kWh, demand charges mapped to kW, other) with the
+// six leaves that form the columns of Table 2.
+func Typology() *TypologyNode {
+	return &TypologyNode{
+		Title:     "SC electricity service contract",
+		Detail:    "constituent parts of SC electricity service contracts (location-specific service fees and taxes excluded)",
+		Component: -1,
+		Children: []*TypologyNode{
+			{
+				Title:     "Tariffs (energy mapped to kWh)",
+				Detail:    "price per kWh of consumption",
+				Component: -1,
+				Children: []*TypologyNode{
+					{
+						Title:      "Fixed",
+						Detail:     "price fixed throughout a contractual period",
+						Component:  CompFixedTariff,
+						Encourages: "energy efficiency (no demand-side management incentive)",
+					},
+					{
+						Title:      "Time-of-use",
+						Detail:     "price varies across a known, contractually defined time period (seasonal, day/night)",
+						Component:  CompTOUTariff,
+						Encourages: "static demand-side management",
+					},
+					{
+						Title:      "Dynamically variable",
+						Detail:     "price subject to real-time communication between consumer and provider",
+						Component:  CompDynamicTariff,
+						Encourages: "demand response",
+					},
+				},
+			},
+			{
+				Title:     "Demand charges (power mapped to kW)",
+				Detail:    "price determined by magnitude of peak power consumption",
+				Component: -1,
+				Children: []*TypologyNode{
+					{
+						Title:      "Demand charges",
+						Detail:     "billed on peak consumption across a billing period (e.g. three 15 MW peaks)",
+						Component:  CompDemandCharge,
+						Encourages: "demand-side management (not real-time DR)",
+					},
+					{
+						Title:      "Powerband",
+						Detail:     "upper (and optionally lower) consumption boundaries with continuous sampling; outside-band consumption carries high additional cost",
+						Component:  CompPowerband,
+						Encourages: "demand-side management (not real-time DR)",
+					},
+				},
+			},
+			{
+				Title:     "Other",
+				Detail:    "components mapped to neither kWh nor kW",
+				Component: -1,
+				Children: []*TypologyNode{
+					{
+						Title:      "Emergency DR",
+						Detail:     "mandatory incentive-based program imposing consumption reduction or a cap to preserve grid reliability",
+						Component:  CompEmergencyDR,
+						Encourages: "emergency curtailment (mandatory, imposed on the SC)",
+					},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,370 @@
+// Package dr implements the supercomputing-center side of demand
+// response: the load-management strategies a site can deploy when its ESP
+// dispatches an event, the operational-cost accounting that decides
+// whether participating is worth it, and the "good neighbor" notification
+// protocol the paper reports (sites proactively phoning in maintenance
+// periods, benchmarks and other events that make their consumption
+// deviate from default operation).
+//
+// Strategies transform a facility load profile in response to dispatched
+// events and report their own operational cost — the checkpoint overhead,
+// lost compute value or generator fuel that the paper identifies as the
+// reason "the economic incentive offered through tariffs and DR programs
+// is not high enough to alter operation strategies in SCs".
+package dr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/forecast"
+	"repro/internal/market"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Response is a strategy's answer to a set of dispatched events.
+type Response struct {
+	// Load is the modified facility profile.
+	Load *timeseries.PowerSeries
+	// CurtailedEnergy is the total event-window reduction achieved.
+	CurtailedEnergy units.Energy
+	// OpCost is the strategy's own operational cost (lost compute,
+	// checkpoint overhead, generator fuel).
+	OpCost units.Money
+}
+
+// Strategy is one SC load-management capability.
+type Strategy interface {
+	// Name identifies the strategy in reports and ablations.
+	Name() string
+	// Respond applies the strategy to the baseline load for the given
+	// events.
+	Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error)
+}
+
+// inEvent reports whether instant t falls inside any event.
+func inEvent(t time.Time, events []market.Event) bool {
+	for _, e := range events {
+		if !t.Before(e.Start) && t.Before(e.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// CapStrategy clamps facility power to Cap during events — the "power
+// capping" strategy from the EE HPC survey. OpCostPerKWh prices the
+// compute lost to the cap (jobs run slower or wait).
+type CapStrategy struct {
+	Cap          units.Power
+	OpCostPerKWh units.EnergyPrice
+}
+
+// Name implements Strategy.
+func (s *CapStrategy) Name() string { return fmt.Sprintf("power-cap(%s)", s.Cap) }
+
+// Respond implements Strategy.
+func (s *CapStrategy) Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error) {
+	if s.Cap <= 0 {
+		return nil, errors.New("dr: cap must be positive")
+	}
+	if s.OpCostPerKWh < 0 {
+		return nil, errors.New("dr: op cost must be non-negative")
+	}
+	samples := make([]units.Power, baseline.Len())
+	var curtailed units.Energy
+	h := baseline.Interval().Hours()
+	for i := 0; i < baseline.Len(); i++ {
+		p := baseline.At(i)
+		if inEvent(baseline.TimeAt(i), events) && p > s.Cap {
+			curtailed += units.Energy(float64(p-s.Cap) * h)
+			p = s.Cap
+		}
+		samples[i] = p
+	}
+	load, err := timeseries.NewPower(baseline.Start(), baseline.Interval(), samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Load:            load,
+		CurtailedEnergy: curtailed,
+		OpCost:          s.OpCostPerKWh.Cost(curtailed),
+	}, nil
+}
+
+// ShedStrategy drops a fixed fraction of instantaneous load during
+// events — the LANL-style sheddable office/support load that does not
+// touch the compute mission. OpCostPerKWh prices occupant impact.
+type ShedStrategy struct {
+	Fraction     float64
+	OpCostPerKWh units.EnergyPrice
+}
+
+// Name implements Strategy.
+func (s *ShedStrategy) Name() string { return fmt.Sprintf("shed(%.0f%%)", s.Fraction*100) }
+
+// Respond implements Strategy.
+func (s *ShedStrategy) Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error) {
+	if s.Fraction <= 0 || s.Fraction > 1 {
+		return nil, errors.New("dr: shed fraction must be in (0,1]")
+	}
+	if s.OpCostPerKWh < 0 {
+		return nil, errors.New("dr: op cost must be non-negative")
+	}
+	samples := make([]units.Power, baseline.Len())
+	var curtailed units.Energy
+	h := baseline.Interval().Hours()
+	for i := 0; i < baseline.Len(); i++ {
+		p := baseline.At(i)
+		if inEvent(baseline.TimeAt(i), events) {
+			cut := units.Power(float64(p) * s.Fraction)
+			curtailed += units.Energy(float64(cut) * h)
+			p -= cut
+		}
+		samples[i] = p
+	}
+	load, err := timeseries.NewPower(baseline.Start(), baseline.Interval(), samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Load: load, CurtailedEnergy: curtailed, OpCost: s.OpCostPerKWh.Cost(curtailed)}, nil
+}
+
+// ShiftStrategy moves a fraction of event-window energy into the
+// RecoverySpan following each event (the checkpoint-and-resume pattern:
+// work is not lost, it is delayed and reappears as a rebound). The
+// strategy is energy-conserving up to profile boundaries.
+type ShiftStrategy struct {
+	Fraction     float64
+	RecoverySpan time.Duration
+	// OpCostPerKWh prices the checkpoint/restart overhead per shifted kWh.
+	OpCostPerKWh units.EnergyPrice
+}
+
+// Name implements Strategy.
+func (s *ShiftStrategy) Name() string {
+	return fmt.Sprintf("shift(%.0f%% over %s)", s.Fraction*100, s.RecoverySpan)
+}
+
+// Respond implements Strategy.
+func (s *ShiftStrategy) Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error) {
+	if s.Fraction <= 0 || s.Fraction > 1 {
+		return nil, errors.New("dr: shift fraction must be in (0,1]")
+	}
+	if s.RecoverySpan <= 0 {
+		return nil, errors.New("dr: recovery span must be positive")
+	}
+	if s.OpCostPerKWh < 0 {
+		return nil, errors.New("dr: op cost must be non-negative")
+	}
+	interval := baseline.Interval()
+	samples := baseline.Samples()
+	h := interval.Hours()
+	var shifted units.Energy
+	for _, e := range events {
+		// Collect the energy removed during this event.
+		var removed float64 // kWh
+		for i := 0; i < len(samples); i++ {
+			ts := baseline.TimeAt(i)
+			if !ts.Before(e.Start) && ts.Before(e.End()) {
+				cut := float64(samples[i]) * s.Fraction
+				samples[i] -= units.Power(cut)
+				removed += cut * h
+			}
+		}
+		if removed == 0 {
+			continue
+		}
+		shifted += units.Energy(removed)
+		// Spread it uniformly over the recovery span after the event.
+		recIntervals := int(s.RecoverySpan / interval)
+		if recIntervals < 1 {
+			recIntervals = 1
+		}
+		addPower := removed / (float64(recIntervals) * h)
+		startIdx, ok := baseline.IndexAt(e.End())
+		if !ok {
+			continue // recovery starts past the profile; energy leaves the window
+		}
+		for k := 0; k < recIntervals && startIdx+k < len(samples); k++ {
+			samples[startIdx+k] += units.Power(addPower)
+		}
+	}
+	load, err := timeseries.NewPower(baseline.Start(), interval, samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Load: load, CurtailedEnergy: shifted, OpCost: s.OpCostPerKWh.Cost(shifted)}, nil
+}
+
+// GenStrategy runs on-site generation during events, netting up to
+// Capacity off the metered load — the LANL configuration ("they have
+// on-site generation and participate in generation and voltage control
+// programs"). FuelCostPerKWh prices the generated energy.
+type GenStrategy struct {
+	Capacity       units.Power
+	FuelCostPerKWh units.EnergyPrice
+}
+
+// Name implements Strategy.
+func (s *GenStrategy) Name() string { return fmt.Sprintf("onsite-gen(%s)", s.Capacity) }
+
+// Respond implements Strategy.
+func (s *GenStrategy) Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error) {
+	if s.Capacity <= 0 {
+		return nil, errors.New("dr: generation capacity must be positive")
+	}
+	if s.FuelCostPerKWh < 0 {
+		return nil, errors.New("dr: fuel cost must be non-negative")
+	}
+	samples := make([]units.Power, baseline.Len())
+	var generated units.Energy
+	h := baseline.Interval().Hours()
+	for i := 0; i < baseline.Len(); i++ {
+		p := baseline.At(i)
+		if inEvent(baseline.TimeAt(i), events) {
+			g := units.MinPower(s.Capacity, p)
+			generated += units.Energy(float64(g) * h)
+			p -= g
+		}
+		samples[i] = p
+	}
+	load, err := timeseries.NewPower(baseline.Start(), baseline.Interval(), samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Load: load, CurtailedEnergy: generated, OpCost: s.FuelCostPerKWh.Cost(generated)}, nil
+}
+
+// Evaluation is the full economics of one DR participation decision.
+type Evaluation struct {
+	Strategy string
+	// BaselineBill and ResponseBill are the contract bills without and
+	// with the response applied.
+	BaselineBill *contract.Bill
+	ResponseBill *contract.Bill
+	// Settlement is the program payout for the delivered reduction.
+	Settlement *market.Settlement
+	// OpCost is the strategy's own cost.
+	OpCost units.Money
+	// NetBenefit = bill savings + settlement net − op cost. The paper's
+	// core finding is that this is usually not high enough to alter SC
+	// operation; this field is that claim made computable.
+	NetBenefit units.Money
+}
+
+// BillSavings returns baseline minus response bill totals.
+func (e *Evaluation) BillSavings() units.Money {
+	return e.BaselineBill.Total - e.ResponseBill.Total
+}
+
+// WorthIt reports whether participation pays.
+func (e *Evaluation) WorthIt() bool { return e.NetBenefit > 0 }
+
+// Evaluate runs the full decision: apply the strategy to the baseline,
+// re-bill under the contract, settle with the program, subtract
+// operational cost.
+func Evaluate(
+	c *contract.Contract,
+	baseline *timeseries.PowerSeries,
+	strategy Strategy,
+	program *market.Program,
+	events []market.Event,
+	in contract.BillingInput,
+) (*Evaluation, error) {
+	if strategy == nil {
+		return nil, errors.New("dr: nil strategy")
+	}
+	resp, err := strategy.Respond(baseline, events)
+	if err != nil {
+		return nil, err
+	}
+	baseBill, err := contract.ComputeBill(c, baseline, in)
+	if err != nil {
+		return nil, err
+	}
+	respBill, err := contract.ComputeBill(c, resp.Load, in)
+	if err != nil {
+		return nil, err
+	}
+	var settlement *market.Settlement
+	if program != nil {
+		settlement, err = program.Settle(baseline, resp.Load, events)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		settlement = &market.Settlement{}
+	}
+	ev := &Evaluation{
+		Strategy:     strategy.Name(),
+		BaselineBill: baseBill,
+		ResponseBill: respBill,
+		Settlement:   settlement,
+		OpCost:       resp.OpCost,
+	}
+	ev.NetBenefit = ev.BillSavings() + settlement.Net - resp.OpCost
+	return ev, nil
+}
+
+// Notification is one good-neighbor call to the ESP.
+type Notification struct {
+	// SendAt is when the site should notify the ESP (lead time before
+	// the deviation).
+	SendAt time.Time
+	// Deviation is what is being reported.
+	Deviation forecast.Deviation
+	// Reason is the operator-supplied cause ("benchmark run",
+	// "maintenance", ...); empty for unexplained deviations.
+	Reason string
+}
+
+// String renders the call as an operator would log it.
+func (n Notification) String() string {
+	r := n.Reason
+	if r == "" {
+		r = "unexplained deviation"
+	}
+	return fmt.Sprintf("[%s] notify ESP: %s (%s)", n.SendAt.Format("2006-01-02 15:04"), n.Deviation, r)
+}
+
+// GoodNeighborPolicy converts detected deviations into ESP notifications.
+// The paper: "SCs act proactively as allies towards the ESPs by reporting
+// (i.e. via phone) maintenance periods, benchmarks and other events which
+// make their power consumption deviate significantly from default
+// operation"; six of ten sites do this, some by contract, some as good
+// business practice.
+type GoodNeighborPolicy struct {
+	// LeadTime is how far ahead of a planned deviation the site calls.
+	LeadTime time.Duration
+	// MinDeviation filters reportable deviations.
+	MinDeviation units.Power
+	// ByContract records whether reporting is a contractual obligation
+	// (vs. voluntary good business practice).
+	ByContract bool
+}
+
+// Notify builds the notification schedule for a set of deviations, each
+// optionally annotated by a reason lookup (may be nil).
+func (p GoodNeighborPolicy) Notify(devs []forecast.Deviation, reasonFor func(forecast.Deviation) string) []Notification {
+	var out []Notification
+	for _, d := range devs {
+		if d.Peak < p.MinDeviation {
+			continue
+		}
+		reason := ""
+		if reasonFor != nil {
+			reason = reasonFor(d)
+		}
+		out = append(out, Notification{
+			SendAt:    d.Start.Add(-p.LeadTime),
+			Deviation: d,
+			Reason:    reason,
+		})
+	}
+	return out
+}

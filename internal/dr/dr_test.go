@@ -1,0 +1,323 @@
+package dr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/forecast"
+	"repro/internal/market"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.August, 1, 0, 0, 0, 0, time.UTC)
+
+func flat(n int, p units.Power) *timeseries.PowerSeries {
+	return timeseries.ConstantPower(t0, 15*time.Minute, n, p)
+}
+
+func oneHourEvent(startOffset time.Duration) []market.Event {
+	return []market.Event{{
+		Start: t0.Add(startOffset), Duration: time.Hour, RequestedReduction: 2000,
+	}}
+}
+
+func TestCapStrategy(t *testing.T) {
+	s := &CapStrategy{Cap: 8000, OpCostPerKWh: 0.3}
+	baseline := flat(8, 10000) // 2 hours
+	resp, err := s.Respond(baseline, oneHourEvent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hour capped to 8 MW, second untouched.
+	for i := 0; i < 4; i++ {
+		if resp.Load.At(i) != 8000 {
+			t.Errorf("sample %d = %v, want capped 8000", i, resp.Load.At(i))
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if resp.Load.At(i) != 10000 {
+			t.Errorf("sample %d = %v, want 10000", i, resp.Load.At(i))
+		}
+	}
+	// Curtailed 2 MW × 1 h = 2 MWh; op cost 2000 × 0.3 = 600.
+	if math.Abs(resp.CurtailedEnergy.MWh()-2) > 1e-9 {
+		t.Errorf("curtailed = %v", resp.CurtailedEnergy)
+	}
+	if resp.OpCost != units.CurrencyUnits(600) {
+		t.Errorf("op cost = %v", resp.OpCost)
+	}
+	if !strings.Contains(s.Name(), "power-cap") {
+		t.Error("name")
+	}
+}
+
+func TestCapStrategyValidation(t *testing.T) {
+	if _, err := (&CapStrategy{Cap: 0}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("zero cap should fail")
+	}
+	if _, err := (&CapStrategy{Cap: 1, OpCostPerKWh: -1}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("negative op cost should fail")
+	}
+}
+
+func TestShedStrategy(t *testing.T) {
+	s := &ShedStrategy{Fraction: 0.10, OpCostPerKWh: 0.1}
+	baseline := flat(8, 10000)
+	resp, err := s.Respond(baseline, oneHourEvent(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Load.At(0) != 10000 {
+		t.Error("pre-event load should be untouched")
+	}
+	if resp.Load.At(4) != 9000 {
+		t.Errorf("event load = %v, want 9000", resp.Load.At(4))
+	}
+	if math.Abs(resp.CurtailedEnergy.MWh()-1) > 1e-9 {
+		t.Errorf("curtailed = %v", resp.CurtailedEnergy)
+	}
+	if !strings.Contains(s.Name(), "shed") {
+		t.Error("name")
+	}
+}
+
+func TestShedStrategyValidation(t *testing.T) {
+	if _, err := (&ShedStrategy{Fraction: 0}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := (&ShedStrategy{Fraction: 1.5}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	if _, err := (&ShedStrategy{Fraction: 0.5, OpCostPerKWh: -1}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestShiftStrategyConservesEnergy(t *testing.T) {
+	s := &ShiftStrategy{Fraction: 0.5, RecoverySpan: time.Hour, OpCostPerKWh: 0.05}
+	baseline := flat(12, 10000) // 3 hours
+	events := oneHourEvent(0)
+	resp, err := s.Respond(baseline, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event hour halves; the hour after gains the removed energy.
+	if resp.Load.At(0) != 5000 {
+		t.Errorf("event sample = %v", resp.Load.At(0))
+	}
+	if resp.Load.At(4) != 15000 {
+		t.Errorf("rebound sample = %v, want 15000", resp.Load.At(4))
+	}
+	if resp.Load.At(9) != 10000 {
+		t.Errorf("post-recovery sample = %v", resp.Load.At(9))
+	}
+	// Total energy conserved.
+	if math.Abs(float64(resp.Load.Energy()-baseline.Energy())) > 1e-6 {
+		t.Errorf("shift should conserve energy: %v vs %v", resp.Load.Energy(), baseline.Energy())
+	}
+	if math.Abs(resp.CurtailedEnergy.MWh()-5) > 1e-9 {
+		t.Errorf("shifted = %v", resp.CurtailedEnergy)
+	}
+	if !strings.Contains(s.Name(), "shift") {
+		t.Error("name")
+	}
+}
+
+func TestShiftStrategyEventAtProfileEnd(t *testing.T) {
+	// Event ending past the profile: removed energy leaves the window.
+	s := &ShiftStrategy{Fraction: 1, RecoverySpan: time.Hour}
+	baseline := flat(4, 10000) // exactly one hour
+	events := oneHourEvent(0)
+	resp, err := s.Respond(baseline, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if resp.Load.At(i) != 0 {
+			t.Errorf("sample %d = %v, want 0", i, resp.Load.At(i))
+		}
+	}
+}
+
+func TestShiftStrategyValidation(t *testing.T) {
+	if _, err := (&ShiftStrategy{Fraction: 0, RecoverySpan: time.Hour}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("zero fraction")
+	}
+	if _, err := (&ShiftStrategy{Fraction: 0.5, RecoverySpan: 0}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("zero recovery span")
+	}
+	if _, err := (&ShiftStrategy{Fraction: 0.5, RecoverySpan: time.Hour, OpCostPerKWh: -1}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("negative cost")
+	}
+}
+
+func TestGenStrategy(t *testing.T) {
+	s := &GenStrategy{Capacity: 3000, FuelCostPerKWh: 0.25}
+	baseline := flat(8, 10000)
+	resp, err := s.Respond(baseline, oneHourEvent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Load.At(0) != 7000 {
+		t.Errorf("netted load = %v", resp.Load.At(0))
+	}
+	if math.Abs(resp.CurtailedEnergy.MWh()-3) > 1e-9 {
+		t.Errorf("generated = %v", resp.CurtailedEnergy)
+	}
+	// Generation larger than load nets to zero, not negative.
+	small := flat(4, 1000)
+	resp2, err := s.Respond(small, oneHourEvent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Load.At(0) != 0 {
+		t.Errorf("over-generation should clamp at 0, got %v", resp2.Load.At(0))
+	}
+	if !strings.Contains(s.Name(), "onsite-gen") {
+		t.Error("name")
+	}
+}
+
+func TestGenStrategyValidation(t *testing.T) {
+	if _, err := (&GenStrategy{Capacity: 0}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("zero capacity")
+	}
+	if _, err := (&GenStrategy{Capacity: 1, FuelCostPerKWh: -1}).Respond(flat(1, 1), nil); err == nil {
+		t.Error("negative fuel cost")
+	}
+}
+
+func drContract() *contract.Contract {
+	return &contract.Contract{
+		Name:          "dr-test",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.10)},
+		DemandCharges: []*demand.Charge{demand.MustNewCharge(15, demand.SinglePeak, 0, 0)},
+	}
+}
+
+func TestEvaluatePositiveCase(t *testing.T) {
+	// Baseline has its monthly peak inside the event window; capping it
+	// cuts the demand charge and earns program payments.
+	samples := make([]units.Power, 96)
+	for i := range samples {
+		samples[i] = 8000
+	}
+	for i := 40; i < 44; i++ {
+		samples[i] = 12000 // one-hour peak
+	}
+	baseline := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+	events := []market.Event{{Start: t0.Add(10 * time.Hour), Duration: time.Hour, RequestedReduction: 4000}}
+	program := &market.Program{
+		Kind: market.EmergencyDR, CommittedReduction: 4000,
+		EnergyIncentive: 0.50,
+	}
+	strategy := &CapStrategy{Cap: 8000, OpCostPerKWh: 0.05}
+
+	ev, err := Evaluate(drContract(), baseline, strategy, program, events, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand charge falls from 12000×15 to 8000×15 → 60000 saved.
+	if got := ev.BillSavings(); got < units.CurrencyUnits(60000) {
+		t.Errorf("bill savings = %v, want ≥ 60000", got)
+	}
+	if ev.Settlement.CurtailedEnergy.MWh() < 3.9 {
+		t.Errorf("curtailed = %v", ev.Settlement.CurtailedEnergy)
+	}
+	if !ev.WorthIt() {
+		t.Errorf("net benefit = %v, should be positive", ev.NetBenefit)
+	}
+	if ev.Strategy == "" {
+		t.Error("strategy name should be recorded")
+	}
+}
+
+func TestEvaluateNegativeCase(t *testing.T) {
+	// Flat load, event far from any peak, high op cost, weak incentive:
+	// the paper's usual outcome — not worth it.
+	baseline := flat(96, 8000)
+	events := []market.Event{{Start: t0.Add(10 * time.Hour), Duration: time.Hour, RequestedReduction: 2000}}
+	program := &market.Program{
+		Kind: market.EmergencyDR, CommittedReduction: 2000,
+		EnergyIncentive: 0.05, UnderDeliveryPenalty: 0.0,
+	}
+	// Shedding compute at 2.00/kWh lost value versus 0.05 incentive.
+	strategy := &ShedStrategy{Fraction: 0.25, OpCostPerKWh: 2.0}
+	ev, err := Evaluate(drContract(), baseline, strategy, program, events, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.WorthIt() {
+		t.Errorf("net benefit = %v, should be negative for costly shedding", ev.NetBenefit)
+	}
+}
+
+func TestEvaluateWithoutProgram(t *testing.T) {
+	baseline := flat(96, 8000)
+	ev, err := Evaluate(drContract(), baseline, &CapStrategy{Cap: 7000}, nil, oneHourEvent(0), contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Settlement.Net != 0 {
+		t.Error("no program, no settlement")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	baseline := flat(4, 8000)
+	if _, err := Evaluate(drContract(), baseline, nil, nil, nil, contract.BillingInput{}); err == nil {
+		t.Error("nil strategy should fail")
+	}
+	badC := &contract.Contract{Name: "bad"}
+	if _, err := Evaluate(badC, baseline, &CapStrategy{Cap: 1000}, nil, nil, contract.BillingInput{}); err == nil {
+		t.Error("invalid contract should fail")
+	}
+	badS := &CapStrategy{Cap: 0}
+	if _, err := Evaluate(drContract(), baseline, badS, nil, nil, contract.BillingInput{}); err == nil {
+		t.Error("invalid strategy should fail")
+	}
+	badP := &market.Program{CommittedReduction: 0}
+	if _, err := Evaluate(drContract(), baseline, &CapStrategy{Cap: 1000}, badP, nil, contract.BillingInput{}); err == nil {
+		t.Error("invalid program should fail")
+	}
+}
+
+func TestGoodNeighborNotify(t *testing.T) {
+	devs := []forecast.Deviation{
+		{Start: t0.Add(24 * time.Hour), Duration: 2 * time.Hour, Peak: 5000, Above: true},
+		{Start: t0.Add(48 * time.Hour), Duration: time.Hour, Peak: 100, Above: false}, // below threshold
+	}
+	policy := GoodNeighborPolicy{LeadTime: 4 * time.Hour, MinDeviation: 1000, ByContract: false}
+	notes := policy.Notify(devs, func(d forecast.Deviation) string {
+		if d.Above {
+			return "benchmark run"
+		}
+		return "maintenance"
+	})
+	if len(notes) != 1 {
+		t.Fatalf("notes = %d, want 1 (threshold filters the second)", len(notes))
+	}
+	if !notes[0].SendAt.Equal(t0.Add(20 * time.Hour)) {
+		t.Errorf("SendAt = %v, want 4 h lead", notes[0].SendAt)
+	}
+	if notes[0].Reason != "benchmark run" {
+		t.Errorf("reason = %q", notes[0].Reason)
+	}
+	if !strings.Contains(notes[0].String(), "benchmark run") {
+		t.Error("notification should format with reason")
+	}
+	// Nil reason lookup.
+	notes2 := policy.Notify(devs, nil)
+	if len(notes2) != 1 || notes2[0].Reason != "" {
+		t.Error("nil reason lookup should produce empty reasons")
+	}
+	if !strings.Contains(notes2[0].String(), "unexplained") {
+		t.Error("empty reason should render as unexplained")
+	}
+}

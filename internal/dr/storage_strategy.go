@@ -1,0 +1,80 @@
+package dr
+
+// StorageStrategy answers DR dispatches with a behind-the-meter battery:
+// it discharges for the duration of each event and recharges outside
+// events at a throttled rate so the rebound cannot create a new peak.
+// Unlike compute curtailment, battery response has no mission impact —
+// its operational cost is cycle wear, priced per kWh of throughput.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/market"
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// StorageStrategy is a battery-backed DR response.
+type StorageStrategy struct {
+	// Battery is the storage system (required).
+	Battery *storage.Battery
+	// CycleCostPerKWh prices battery wear per kWh discharged.
+	CycleCostPerKWh units.EnergyPrice
+	// RechargeHeadroom bounds recharge draw outside events, as a
+	// fraction of the battery's MaxCharge (default 1.0 = full rate).
+	RechargeHeadroom float64
+}
+
+// Name implements Strategy.
+func (s *StorageStrategy) Name() string {
+	if s.Battery == nil {
+		return "storage(unconfigured)"
+	}
+	return fmt.Sprintf("storage(%s)", s.Battery.Capacity)
+}
+
+// Respond implements Strategy.
+func (s *StorageStrategy) Respond(baseline *timeseries.PowerSeries, events []market.Event) (*Response, error) {
+	if s.Battery == nil {
+		return nil, errors.New("dr: storage strategy needs a battery")
+	}
+	if s.CycleCostPerKWh < 0 {
+		return nil, errors.New("dr: cycle cost must be non-negative")
+	}
+	headroom := s.RechargeHeadroom
+	if headroom == 0 {
+		headroom = 1
+	}
+	if headroom < 0 || headroom > 1 {
+		return nil, errors.New("dr: recharge headroom must be in (0,1]")
+	}
+	rechargeRate := units.Power(float64(s.Battery.MaxCharge) * headroom)
+	// Recharging must never set a new billing peak: outside events the
+	// draw is bounded by the baseline's own peak.
+	basePeak, _, err := baseline.Peak()
+	if err != nil {
+		return nil, err
+	}
+	res, err := storage.RunPolicy(s.Battery, baseline, func(i int, load units.Power, soc float64) units.Power {
+		if inEvent(baseline.TimeAt(i), events) {
+			return -s.Battery.MaxDischarge // discharge as hard as allowed
+		}
+		room := basePeak - load
+		if room <= 0 {
+			return 0
+		}
+		return units.MinPower(rechargeRate, room)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Load:            res.Net,
+		CurtailedEnergy: res.Discharged,
+		OpCost:          s.CycleCostPerKWh.Cost(res.Discharged + res.Charged),
+	}, nil
+}
+
+var _ Strategy = (*StorageStrategy)(nil)

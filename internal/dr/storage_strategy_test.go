@@ -1,0 +1,127 @@
+package dr
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/market"
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func testBattery() *storage.Battery {
+	return &storage.Battery{
+		Capacity:            4 * units.MegawattHour,
+		MaxCharge:           1 * units.Megawatt,
+		MaxDischarge:        2 * units.Megawatt,
+		RoundTripEfficiency: 0.9,
+		InitialSoC:          1,
+	}
+}
+
+func TestStorageStrategyRespond(t *testing.T) {
+	s := &StorageStrategy{Battery: testBattery(), CycleCostPerKWh: 0.05}
+	baseline := flat(12, 10000) // 3 hours at 15 min
+	events := oneHourEvent(time.Hour)
+	resp, err := s.Respond(baseline, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the event (samples 4–7): discharge 2 MW → net 8 MW.
+	for i := 4; i < 8; i++ {
+		if resp.Load.At(i) != 8000 {
+			t.Errorf("event sample %d = %v, want 8000", i, resp.Load.At(i))
+		}
+	}
+	// Outside events recharging is peak-aware: the net load never
+	// exceeds the baseline's own peak.
+	for i := 8; i < 12; i++ {
+		if resp.Load.At(i) > 10000+1e-9 {
+			t.Errorf("rebound sample %d = %v sets a new peak", i, resp.Load.At(i))
+		}
+	}
+	// 2 MW × 1 h discharged.
+	if resp.CurtailedEnergy.MWh() < 1.99 {
+		t.Errorf("curtailed = %v", resp.CurtailedEnergy)
+	}
+	if resp.OpCost <= 0 {
+		t.Error("cycle wear should cost something")
+	}
+	if !strings.Contains(s.Name(), "storage") {
+		t.Error("name")
+	}
+}
+
+func TestStorageStrategyValidation(t *testing.T) {
+	baseline := flat(4, 1000)
+	if _, err := (&StorageStrategy{}).Respond(baseline, nil); err == nil {
+		t.Error("nil battery should fail")
+	}
+	if (&StorageStrategy{}).Name() == "" {
+		t.Error("unconfigured name should still render")
+	}
+	if _, err := (&StorageStrategy{Battery: testBattery(), CycleCostPerKWh: -1}).Respond(baseline, nil); err == nil {
+		t.Error("negative cycle cost should fail")
+	}
+	if _, err := (&StorageStrategy{Battery: testBattery(), RechargeHeadroom: 2}).Respond(baseline, nil); err == nil {
+		t.Error("headroom > 1 should fail")
+	}
+	bad := &storage.Battery{}
+	if _, err := (&StorageStrategy{Battery: bad}).Respond(baseline, nil); err == nil {
+		t.Error("invalid battery should fail")
+	}
+}
+
+func TestStorageStrategyInFullEvaluation(t *testing.T) {
+	// Storage answers an event with zero mission impact: for a typical
+	// incentive it should be worth it where compute capping is not.
+	s := &StorageStrategy{Battery: testBattery(), CycleCostPerKWh: 0.05}
+	baseline := flat(96, 10000)
+	events := oneHourEvent(10 * time.Hour)
+	program := &market.Program{
+		Kind: market.EmergencyDR, CommittedReduction: 2000, EnergyIncentive: 0.50,
+	}
+	ev, err := Evaluate(drContract(), baseline, s, program, events, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Settlement.CurtailedEnergy.MWh() < 1.9 {
+		t.Errorf("curtailed = %v", ev.Settlement.CurtailedEnergy)
+	}
+	if !ev.WorthIt() {
+		t.Errorf("battery DR at 0.50/kWh should pay: net %v", ev.NetBenefit)
+	}
+}
+
+func TestStorageStrategyRechargeUsesValleyRoom(t *testing.T) {
+	// A valley after the event gives the battery recharge room bounded
+	// by the baseline peak.
+	s := &StorageStrategy{Battery: testBattery(), RechargeHeadroom: 0.5}
+	samples := make([]units.Power, 12)
+	for i := range samples {
+		samples[i] = 10000
+	}
+	for i := 8; i < 12; i++ {
+		samples[i] = 8000 // valley
+	}
+	baseline := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+	resp, err := s.Respond(baseline, oneHourEvent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the valley the battery recharges at the throttled 0.5 MW.
+	for i := 8; i < 12; i++ {
+		if resp.Load.At(i) != 8500 {
+			t.Errorf("valley sample %d = %v, want 8500 (throttled recharge)", i, resp.Load.At(i))
+		}
+	}
+	// Flat stretch outside events: no room, no recharge.
+	for i := 4; i < 8; i++ {
+		if resp.Load.At(i) != 10000 {
+			t.Errorf("flat sample %d = %v, want untouched", i, resp.Load.At(i))
+		}
+	}
+}

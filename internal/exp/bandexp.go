@@ -1,0 +1,104 @@
+package exp
+
+// E20: living inside a powerband (§3.2.2). Half the surveyed sites are
+// subject to powerbands with upper AND lower limits under continuous
+// sampling; a batch facility's utilization troughs violate the lower
+// limit just as its bursts violate the upper. A battery running a
+// band-keeping policy — discharge above the band, charge below it —
+// absorbs both kinds of excursion.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/hpc"
+	"repro/internal/report"
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func init() {
+	register("E20", runE20)
+}
+
+// E20Result compares band compliance with and without the battery.
+type E20Result struct {
+	RawCompliance  float64
+	RawPenalty     units.Money
+	KeptCompliance float64
+	KeptPenalty    units.Money
+	Cycles         float64
+}
+
+// bandKeeper returns a storage dispatch policy that holds the net load
+// inside [lower, upper].
+func bandKeeper(load *timeseries.PowerSeries, lower, upper units.Power) func(i int, p units.Power, soc float64) units.Power {
+	return func(i int, p units.Power, soc float64) units.Power {
+		switch {
+		case p > upper:
+			return -(p - upper) // discharge the excess
+		case p < lower:
+			return lower - p // charge up to the floor
+		default:
+			return 0
+		}
+	}
+}
+
+// RunE20 builds a volatile week (big diurnal swing and noise around
+// 10 MW), prices it against an [8 MW, 12 MW] powerband, and lets a
+// battery keep the band.
+func RunE20() (*E20Result, error) {
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: expStart, Span: 7 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 10 * units.Megawatt, PeakToAverage: 1.4,
+		DiurnalSwing: 0.25, NoiseSigma: 0.03, Seed: 29,
+	})
+	if err != nil {
+		return nil, err
+	}
+	band, err := demand.NewPowerband(8*units.Megawatt, 12*units.Megawatt, 0.20, 0.40)
+	if err != nil {
+		return nil, err
+	}
+	b := &storage.Battery{
+		Capacity:            12 * units.MegawattHour,
+		MaxCharge:           3 * units.Megawatt,
+		MaxDischarge:        4 * units.Megawatt,
+		RoundTripEfficiency: 0.90,
+		InitialSoC:          0.5,
+	}
+	res, err := storage.RunPolicy(b, load, bandKeeper(load, band.Lower, band.Upper))
+	if err != nil {
+		return nil, err
+	}
+	return &E20Result{
+		RawCompliance:  band.ComplianceRatio(load),
+		RawPenalty:     band.Cost(load),
+		KeptCompliance: band.ComplianceRatio(res.Net),
+		KeptPenalty:    band.Cost(res.Net),
+		Cycles:         res.EquivalentFullCycles,
+	}, nil
+}
+
+func runE20() (*Exhibit, error) {
+	res, err := RunE20()
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Powerband [8 MW, 12 MW] compliance over a volatile week (10 MW site)",
+		"Operation", "In-band samples", "Weekly penalty")
+	tbl.AddRow("raw batch facility", fmt.Sprintf("%.1f%%", res.RawCompliance*100), res.RawPenalty.String())
+	tbl.AddRow("with band-keeping battery", fmt.Sprintf("%.1f%%", res.KeptCompliance*100), res.KeptPenalty.String())
+	return &Exhibit{
+		ID:         "E20",
+		Title:      "Living inside a powerband (extension, §3.2.2)",
+		PaperClaim: "§3.2.2: a powerband dictates consumption boundaries (upper and, optionally, lower) with continuous sampling; consumption outside the limits carries high additional cost. Five of the ten sites are subject to one.",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("The battery runs %.1f equivalent full cycles for the week — the powerband's continuous sampling is why storage (or the idle-power floor of NOT shutting nodes down) is the natural compliance tool, unlike the three-peak demand charge where only rare peaks matter.", res.Cycles),
+		},
+	}, nil
+}

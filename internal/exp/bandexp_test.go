@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE20BatteryImprovesBandCompliance(t *testing.T) {
+	res, err := RunE20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw profile must actually violate the band (otherwise the
+	// experiment is vacuous).
+	if res.RawCompliance > 0.9 {
+		t.Errorf("raw compliance %.2f too high — scenario degenerate", res.RawCompliance)
+	}
+	if res.KeptCompliance <= res.RawCompliance {
+		t.Errorf("band keeping must improve compliance: %.2f → %.2f",
+			res.RawCompliance, res.KeptCompliance)
+	}
+	if res.KeptPenalty >= res.RawPenalty {
+		t.Errorf("band keeping must cut the penalty: %v → %v",
+			res.RawPenalty, res.KeptPenalty)
+	}
+	// Substantial improvement, not a rounding artifact.
+	if res.KeptCompliance < res.RawCompliance+0.2 {
+		t.Errorf("improvement too small: %.2f → %.2f", res.RawCompliance, res.KeptCompliance)
+	}
+	if res.Cycles <= 0 {
+		t.Error("the battery must actually cycle")
+	}
+}
+
+func TestE20Exhibit(t *testing.T) {
+	e, err := Run("E20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Render(), "band-keeping battery") {
+		t.Error("E20 table incomplete")
+	}
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE21CBLAccuracyAndGaming(t *testing.T) {
+	rows, err := RunE21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]E21Row{}
+	for _, r := range rows {
+		byName[r.Behaviour[:6]] = r // key by prefix: honest/non-pa/look-b
+	}
+	honest := byName["honest"]
+	nonpart := byName["non-pa"]
+	gamer := byName["look-b"]
+	// Honest: CBL matches truth.
+	if honest.CBLCurtailment != honest.TrueCurtailment {
+		t.Errorf("honest: CBL %v vs truth %v", honest.CBLCurtailment, honest.TrueCurtailment)
+	}
+	// Non-participant: zero credited, zero paid.
+	if nonpart.CBLCurtailment != 0 || nonpart.Payment != 0 {
+		t.Errorf("non-participant credited %v / paid %v", nonpart.CBLCurtailment, nonpart.Payment)
+	}
+	// Gamer: credited despite zero truth, paid the same as the honest
+	// curtailer — the pathology.
+	if gamer.TrueCurtailment != 0 {
+		t.Fatal("scenario broken: gamer sheds nothing")
+	}
+	if gamer.CBLCurtailment != honest.CBLCurtailment {
+		t.Errorf("gamer credited %v, want same as honest %v", gamer.CBLCurtailment, honest.CBLCurtailment)
+	}
+	if gamer.Payment != honest.Payment {
+		t.Errorf("gamer paid %v, honest paid %v", gamer.Payment, honest.Payment)
+	}
+}
+
+func TestE21Exhibit(t *testing.T) {
+	e, err := Run("E21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Render(), "look-back gamer") {
+		t.Error("E21 table incomplete")
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+// E15: the colocation split incentive and its reverse-auction remedy
+// (§2, Islam et al. / Ren & Islam). A colocation operator facing a
+// mandatory emergency-DR curtailment compares doing nothing (tenants are
+// power-shielded and will not curtail) against buying tenant flexibility
+// in a reverse auction under both pricing rules.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colo"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func init() {
+	register("E15", runE15)
+}
+
+// E15Result summarizes the operator's options for one event.
+type E15Result struct {
+	AvoidableCost units.Money
+	DoNothing     units.Money
+	PayAsBid      *colo.OperatorDecision
+	Uniform       *colo.OperatorDecision
+}
+
+// RunE15 evaluates a 2.5 MW, 2-hour mandatory curtailment for a colo
+// with four tenants of differing flexibility and reserve prices. The
+// avoidable cost is the emergency penalty for non-compliance:
+// 2.5 MW × 2 h × 2.00/kWh = 10,000.
+func RunE15() (*E15Result, error) {
+	tenants := []*colo.Tenant{
+		{Name: "web-tier", Baseline: 2 * units.Megawatt, Flexible: 500, ReservePrice: 0.20},
+		{Name: "batch-analytics", Baseline: 3 * units.Megawatt, Flexible: 2000, ReservePrice: 0.05},
+		{Name: "database", Baseline: 1500, Flexible: 100, ReservePrice: 1.50},
+		{Name: "dev-cluster", Baseline: 1000, Flexible: 800, ReservePrice: 0.10},
+	}
+	const (
+		// 2.5 MW makes dev-cluster the marginal winner, separating the
+		// two pricing rules.
+		target   = 2500 * units.Kilowatt
+		duration = 2 * time.Hour
+	)
+	avoidable := units.EnergyPrice(2.0).Cost(target.Over(duration))
+
+	pab, err := colo.ReverseAuction(tenants, target, duration, colo.PayAsBid)
+	if err != nil {
+		return nil, err
+	}
+	pabDecision, err := colo.Decide(pab, avoidable)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := colo.ReverseAuction(tenants, target, duration, colo.UniformPrice)
+	if err != nil {
+		return nil, err
+	}
+	uniDecision, err := colo.Decide(uni, avoidable)
+	if err != nil {
+		return nil, err
+	}
+	return &E15Result{
+		AvoidableCost: avoidable,
+		DoNothing:     colo.SplitIncentiveBaseline(avoidable),
+		PayAsBid:      pabDecision,
+		Uniform:       uniDecision,
+	}, nil
+}
+
+func runE15() (*Exhibit, error) {
+	res, err := RunE15()
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Colocation operator's options for a 2.5 MW × 2 h mandatory curtailment",
+		"Option", "Reward outlay", "Residual cost", "Operator cost", "Saved vs doing nothing")
+	doNothing := res.DoNothing
+	tbl.AddRow("do nothing (split incentive)", "0.00", doNothing.String(), doNothing.String(), "0.00")
+	for _, opt := range []struct {
+		name string
+		d    *colo.OperatorDecision
+	}{
+		{"reverse auction, pay-as-bid", res.PayAsBid},
+		{"reverse auction, uniform price", res.Uniform},
+	} {
+		cost := opt.d.Auction.TotalPayment + opt.d.ResidualCost
+		tbl.AddRow(opt.name,
+			opt.d.Auction.TotalPayment.String(),
+			opt.d.ResidualCost.String(),
+			cost.String(),
+			(doNothing - cost).String(),
+		)
+	}
+	return &Exhibit{
+		ID:         "E15",
+		Title:      "Colocation split incentive and the reverse-auction remedy (extension, §2)",
+		PaperClaim: "§2: colocation tenants are shielded from the power bill (\"split incentive\"), so \"a special incentive for tenants is needed ... for example via reverse auctioning which was implemented in contracts with the tenants.\"",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("Both auction designs procure the full 2.5 MW; pay-as-bid costs the operator %s, uniform pricing %s (it pays every winner the marginal bid) — either beats absorbing the %s penalty the split incentive would otherwise leave on the table.",
+				res.PayAsBid.Auction.TotalPayment, res.Uniform.Auction.TotalPayment, res.DoNothing),
+		},
+	}, nil
+}

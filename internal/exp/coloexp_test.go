@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/colo"
+)
+
+func TestE15AuctionBeatsSplitIncentive(t *testing.T) {
+	res, err := RunE15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doing nothing costs the full penalty.
+	if res.DoNothing != res.AvoidableCost {
+		t.Error("split-incentive baseline must equal the avoidable cost")
+	}
+	// Both auctions procure fully and net positive.
+	for name, d := range map[string]*colo.OperatorDecision{
+		"pay-as-bid": res.PayAsBid,
+		"uniform":    res.Uniform,
+	} {
+		if d.Auction.Shortfall() != 0 {
+			t.Errorf("%s: auction should procure the full target", name)
+		}
+		if d.Net <= 0 {
+			t.Errorf("%s: auction net %v should beat the penalty", name, d.Net)
+		}
+	}
+	// Uniform pricing pays the clearing price to everyone: strictly
+	// more than pay-as-bid here (distinct reserve prices, marginal
+	// winner above the cheapest).
+	if res.Uniform.Auction.TotalPayment <= res.PayAsBid.Auction.TotalPayment {
+		t.Errorf("uniform %v should cost more than pay-as-bid %v",
+			res.Uniform.Auction.TotalPayment, res.PayAsBid.Auction.TotalPayment)
+	}
+}
+
+func TestE15Exhibit(t *testing.T) {
+	e, err := Run("E15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render()
+	for _, want := range []string{"split incentive", "pay-as-bid", "uniform"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E15 missing %q", want)
+		}
+	}
+	if len(e.Table.Rows) != 3 {
+		t.Errorf("rows = %d", len(e.Table.Rows))
+	}
+}

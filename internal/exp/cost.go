@@ -1,0 +1,252 @@
+package exp
+
+// Cost-structure experiments: E2 (demand-charge share vs peak/average
+// ratio), E3 (powerband vs demand charge sensitivity), E4 (CSCS-style
+// tender savings).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/hpc"
+	"repro/internal/procurement"
+	"repro/internal/report"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func init() {
+	register("E2", runE2)
+	register("E3", runE3)
+	register("E4", runE4)
+}
+
+var expStart = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// E2Point is one row of the E2 sweep, exported for the test layer.
+type E2Point struct {
+	PeakToAverage float64
+	LoadFactor    float64
+	DemandShare   float64
+	Total         units.Money
+}
+
+// SweepE2 runs the E2 sweep and returns the raw points.
+func SweepE2(ratios []float64) ([]E2Point, error) {
+	c := &contract.Contract{
+		Name:          "industrial-style",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(13)},
+	}
+	out := make([]E2Point, 0, len(ratios))
+	for _, r := range ratios {
+		load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+			Start: expStart, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+			Base: 10 * units.Megawatt, PeakToAverage: r, NoiseSigma: 0.02, Seed: 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bill, err := contract.ComputeBill(c, load, contract.BillingInput{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E2Point{
+			PeakToAverage: r,
+			LoadFactor:    load.LoadFactor(),
+			DemandShare:   bill.DemandShare(),
+			Total:         bill.Total,
+		})
+	}
+	return out, nil
+}
+
+func runE2() (*Exhibit, error) {
+	ratios := []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	points, err := SweepE2(ratios)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Demand-charge share of the monthly bill vs peak/average ratio (10 MW base load)",
+		"Peak/Avg", "Load factor", "Demand share", "Monthly total")
+	for _, p := range points {
+		tbl.AddRow(
+			fmt.Sprintf("%.1f", p.PeakToAverage),
+			fmt.Sprintf("%.2f", p.LoadFactor),
+			fmt.Sprintf("%.1f%%", p.DemandShare*100),
+			p.Total.String(),
+		)
+	}
+	return &Exhibit{
+		ID:         "E2",
+		Title:      "Demand-charge share grows with peak/average power ratio",
+		PaperClaim: "§2 (Xu & Li): the share of the power charge within the electricity bill increases with the ratio of peak versus average power consumption.",
+		Table:      tbl,
+		Notes: []string{
+			"The share is monotone in the ratio across the sweep, reproducing the cited result's shape.",
+		},
+	}, nil
+}
+
+// E3Point is one row of the E3 comparison.
+type E3Point struct {
+	Excursions    int
+	DemandCharge  units.Money
+	PowerbandCost units.Money
+}
+
+// SweepE3 builds a load with a controlled number of one-hour excursions
+// to 14 MW over a 10 MW base and compares a 3-peak demand charge against
+// a powerband with a 12 MW ceiling.
+func SweepE3(excursionCounts []int) ([]E3Point, error) {
+	dc := demand.SimpleCharge(13)
+	band, err := demand.NewUpperPowerband(12*units.Megawatt, 0.40)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E3Point, 0, len(excursionCounts))
+	for _, n := range excursionCounts {
+		samples := make([]units.Power, 30*96) // a 15-min-metered month
+		for i := range samples {
+			samples[i] = 10 * units.Megawatt
+		}
+		// n one-hour excursions to 14 MW, one per day starting at noon.
+		for k := 0; k < n && k < 30; k++ {
+			at := k*96 + 48
+			for j := 0; j < 4; j++ {
+				samples[at+j] = 14 * units.Megawatt
+			}
+		}
+		load, err := timeseries.NewPower(expStart, 15*time.Minute, samples)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E3Point{
+			Excursions:    n,
+			DemandCharge:  dc.Cost(load, 0),
+			PowerbandCost: band.Cost(load),
+		})
+	}
+	return out, nil
+}
+
+func runE3() (*Exhibit, error) {
+	counts := []int{0, 1, 3, 5, 10, 20}
+	points, err := SweepE3(counts)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Powerband vs demand charge under repeated excursions (10 MW base, 14 MW spikes, 12 MW band)",
+		"Excursions/month", "3-peak demand charge", "Powerband penalty")
+	for _, p := range points {
+		tbl.AddRow(fmt.Sprintf("%d", p.Excursions), p.DemandCharge.String(), p.PowerbandCost.String())
+	}
+	return &Exhibit{
+		ID:         "E3",
+		Title:      "Powerbands sample continuously; demand charges saturate at N peaks",
+		PaperClaim: "§3.2.2: powerbands are a variation over demand charges with upper/lower limits and continuous sampling, as opposed to measuring a fixed number of peaks.",
+		Table:      tbl,
+		Notes: []string{
+			"The demand charge is flat once ≥3 excursions exist (only the top three peaks bill); the powerband penalty keeps growing with every excursion.",
+		},
+	}, nil
+}
+
+// E4Result summarizes the tender simulation.
+type E4Result struct {
+	Winner      string
+	WinnerRate  units.EnergyPrice
+	StatusQuo   units.Money
+	WinnerCost  units.Money
+	Savings     units.Money
+	CompliantOf int
+	TotalBids   int
+}
+
+// RunTenderE4 executes the CSCS-style tender simulation.
+func RunTenderE4() (*E4Result, *procurement.Outcome, error) {
+	refLoad, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: expStart, Span: 365 * 24 * time.Hour, Interval: time.Hour,
+		Base: 5 * units.Megawatt, PeakToAverage: 1.4, NoiseSigma: 0.02, Seed: 3,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tender := &procurement.Tender{
+		Name:                  "CSCS-style public tender",
+		Variables:             procurement.CSCSVariables(),
+		RenewableShareMin:     0.80,
+		DisallowDemandCharges: true,
+		ReferenceLoad:         refLoad,
+	}
+	bids, err := procurement.GenerateBids(tender, procurement.BidGenConfig{
+		N: 25, CompliantFraction: 0.7, Seed: 17,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	outcome, err := tender.Run(bids)
+	if err != nil {
+		return nil, nil, err
+	}
+	statusQuo := &contract.Contract{
+		Name:          "pre-tender contract",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.075)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(11)},
+	}
+	base, won, saved, err := tender.Savings(outcome, statusQuo)
+	if err != nil {
+		return nil, nil, err
+	}
+	compliant := 0
+	for _, s := range outcome.Ranked {
+		if s.Compliant {
+			compliant++
+		}
+	}
+	return &E4Result{
+		Winner:      outcome.Winner.Bid.Bidder,
+		WinnerRate:  outcome.Winner.Bid.EffectiveRate(),
+		StatusQuo:   base,
+		WinnerCost:  won,
+		Savings:     saved,
+		CompliantOf: compliant,
+		TotalBids:   len(bids),
+	}, outcome, nil
+}
+
+func runE4() (*Exhibit, error) {
+	res, outcome, err := RunTenderE4()
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("CSCS-style tender: top compliant bids vs status quo",
+		"Rank", "Bidder", "Effective rate", "Annual cost", "Renewables")
+	rank := 1
+	for _, s := range outcome.Ranked {
+		if !s.Compliant || rank > 5 {
+			continue
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", rank),
+			s.Bid.Bidder,
+			s.Bid.EffectiveRate().String(),
+			s.AnnualCost.String(),
+			fmt.Sprintf("%.0f%%", s.Bid.RenewableShare*100),
+		)
+		rank++
+	}
+	return &Exhibit{
+		ID:         "E4",
+		Title:      "Public tender with demand-charge removal, 80% renewables, 4-variable bid formula",
+		PaperClaim: "§4: CSCS transformed from passive consumer to active procurement, removing demand charges, requiring 80% renewables and a 4-variable price formula — yielding a direct economic benefit.",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("%d of %d bids compliant; winner %s at %s.", res.CompliantOf, res.TotalBids, res.Winner, res.WinnerRate),
+			fmt.Sprintf("Status quo %s/yr vs winner %s/yr: savings %s/yr.", res.StatusQuo, res.WinnerCost, res.Savings),
+		},
+	}, nil
+}

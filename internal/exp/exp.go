@@ -1,0 +1,121 @@
+// Package exp implements the reproduction's experiment harness: one
+// runner per paper exhibit (Table 1, Table 2, Figure 1) and one per
+// quantified narrative claim (E1–E10, indexed in DESIGN.md). Each runner
+// is deterministic, returns a structured result plus a rendered table,
+// and asserts nothing itself — the accompanying tests pin the qualitative
+// shape (who wins, what is monotone, where crossovers fall), and
+// EXPERIMENTS.md records paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Exhibit is one reproduced table/figure/claim.
+type Exhibit struct {
+	// ID is the experiment index ("T1", "E2", ...).
+	ID string
+	// Title describes the exhibit.
+	Title string
+	// PaperClaim quotes or paraphrases what the paper reports.
+	PaperClaim string
+	// Table is the regenerated output (nil for figures).
+	Table *report.Table
+	// Figure is the regenerated tree output ("" for tables).
+	Figure string
+	// Notes records measured findings and any deviation from the paper.
+	Notes []string
+}
+
+// Render returns the exhibit as terminal text.
+func (e *Exhibit) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", e.ID, e.Title)
+	if e.PaperClaim != "" {
+		fmt.Fprintf(&b, "Paper: %s\n", e.PaperClaim)
+	}
+	b.WriteString("\n")
+	if e.Table != nil {
+		b.WriteString(e.Table.Render())
+	}
+	if e.Figure != "" {
+		b.WriteString(e.Figure)
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "\nNote: %s", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Runner produces one exhibit.
+type Runner func() (*Exhibit, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// Run executes the runner for an experiment ID.
+func Run(id string) (*Exhibit, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}
+
+// IDs lists the registered experiments in a stable order (T* first,
+// then E* numerically).
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := idKey(out[a]), idKey(out[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// idKey orders T1 < T2 < F1 < E1 < E2 < ... < E10.
+func idKey(id string) int {
+	if id == "" {
+		return 1 << 20
+	}
+	var base int
+	switch id[0] {
+	case 'T':
+		base = 0
+	case 'F':
+		base = 100
+	case 'E':
+		base = 200
+	default:
+		base = 1000
+	}
+	n := 0
+	fmt.Sscanf(id[1:], "%d", &n)
+	return base + n
+}
+
+// RunAll executes every registered experiment in order.
+func RunAll() ([]*Exhibit, error) {
+	var out []*Exhibit
+	for _, id := range IDs() {
+		e, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", id, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestRegistryAndIDs(t *testing.T) {
+	ids := IDs()
+	want := []string{"T1", "T2", "F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], w)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown ID should fail")
+	}
+}
+
+func TestRunAllProducesRenderableExhibits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	exhibits, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exhibits {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("exhibit %q incomplete", e.ID)
+		}
+		out := e.Render()
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("%s render missing ID", e.ID)
+		}
+		if e.Table == nil && e.Figure == "" {
+			t.Errorf("%s has neither table nor figure", e.ID)
+		}
+	}
+}
+
+func TestT1HasTenSites(t *testing.T) {
+	e, err := Run("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Table.Rows) != 10 {
+		t.Errorf("Table 1 rows = %d", len(e.Table.Rows))
+	}
+}
+
+func TestT2HasTenSitesAndRNP(t *testing.T) {
+	e, err := Run("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Table.Rows) != 10 {
+		t.Errorf("Table 2 rows = %d", len(e.Table.Rows))
+	}
+	out := e.Table.Render()
+	for _, rnp := range []string{"SC", "Internal", "External"} {
+		if !strings.Contains(out, rnp) {
+			t.Errorf("Table 2 missing RNP %q", rnp)
+		}
+	}
+}
+
+func TestF1HasThreeBranchesAndSixLeaves(t *testing.T) {
+	e, err := Run("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Tariffs", "Demand charges", "Other", "Fixed", "Time-of-use", "Dynamically variable", "Powerband", "Emergency DR"} {
+		if !strings.Contains(e.Figure, want) {
+			t.Errorf("Figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestE1ReportsDiscrepancies(t *testing.T) {
+	e, err := Run("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(e.Notes, "\n")
+	if !strings.Contains(joined, "disagreement") {
+		t.Error("E1 must surface the text/matrix disagreements")
+	}
+	if !strings.Contains(joined, "6 of 10 sites communicate") {
+		t.Errorf("E1 must report the swing-communication count: %s", joined)
+	}
+}
+
+func TestE2ShareMonotoneInRatio(t *testing.T) {
+	points, err := SweepE2([]float64{1.0, 1.5, 2.0, 3.0, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].DemandShare <= points[i-1].DemandShare {
+			t.Errorf("demand share must grow with peak/avg: %.3f then %.3f at ratio %.1f",
+				points[i-1].DemandShare, points[i].DemandShare, points[i].PeakToAverage)
+		}
+	}
+	// Load factor is the inverse measure: must fall.
+	for i := 1; i < len(points); i++ {
+		if points[i].LoadFactor >= points[i-1].LoadFactor {
+			t.Error("load factor must fall as the ratio grows")
+		}
+	}
+	// At ratio 4, demand charges dominate a large share of the bill.
+	last := points[len(points)-1]
+	if last.DemandShare < 0.3 {
+		t.Errorf("at 4× peak/avg demand share = %.2f, expected a heavy share", last.DemandShare)
+	}
+}
+
+func TestE3PowerbandSensitiveDemandChargeSaturates(t *testing.T) {
+	points, err := SweepE3([]int{0, 1, 3, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := map[int]E3Point{}
+	for _, p := range points {
+		byN[p.Excursions] = p
+	}
+	// No excursions: powerband free, demand charge bills the base load.
+	if byN[0].PowerbandCost != 0 {
+		t.Error("no excursions, no powerband cost")
+	}
+	// Demand charge saturates at 3 peaks.
+	if byN[3].DemandCharge != byN[20].DemandCharge {
+		t.Errorf("demand charge must saturate: %v at 3 vs %v at 20",
+			byN[3].DemandCharge, byN[20].DemandCharge)
+	}
+	// Powerband keeps growing.
+	if !(byN[1].PowerbandCost < byN[5].PowerbandCost && byN[5].PowerbandCost < byN[20].PowerbandCost) {
+		t.Error("powerband penalty must grow with every excursion")
+	}
+	// Crossover: with many excursions the powerband exceeds... or at
+	// least keeps penalizing while the demand charge is flat.
+	growth := byN[20].PowerbandCost - byN[3].PowerbandCost
+	if growth <= 0 {
+		t.Error("powerband growth beyond 3 excursions must be positive")
+	}
+}
+
+func TestE4TenderSavesMoney(t *testing.T) {
+	res, outcome, err := RunTenderE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Savings <= 0 {
+		t.Errorf("CSCS-style tender should beat the status quo: savings %v", res.Savings)
+	}
+	if outcome.Winner == nil {
+		t.Fatal("no winner")
+	}
+	if outcome.Winner.Bid.RenewableShare < 0.80 {
+		t.Error("winner must satisfy the 80% renewable floor")
+	}
+	if outcome.Winner.Bid.DemandCharge != nil {
+		t.Error("winner must not carry demand charges")
+	}
+	if res.CompliantOf == 0 || res.CompliantOf > res.TotalBids {
+		t.Errorf("compliant = %d of %d", res.CompliantOf, res.TotalBids)
+	}
+}
+
+func TestE5BenefitGrowsWithWindow(t *testing.T) {
+	points, err := SweepE5([]time.Duration{15 * time.Minute, 30 * time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Curtailed <= points[i-1].Curtailed {
+			t.Error("longer windows curtail more energy")
+		}
+		if points[i].NetBenefit <= points[i-1].NetBenefit {
+			t.Error("cheap shedding: longer windows earn more")
+		}
+	}
+	// Office shedding is cheap: even 15 minutes should pay.
+	if points[0].NetBenefit <= 0 {
+		t.Errorf("15-min window net benefit = %v, want positive", points[0].NetBenefit)
+	}
+}
+
+func TestE6BreakEvenGrowsWithComputeValue(t *testing.T) {
+	values := []units.EnergyPrice{0.10, 0.50, 1.00, 2.00, 5.00}
+	points, err := SweepE6(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].BreakEven < points[i-1].BreakEven {
+			t.Error("break-even incentive must grow with compute value")
+		}
+	}
+	// The paper's claim: at SC-typical compute value (several units/kWh)
+	// the market incentive does not pay.
+	last := points[len(points)-1]
+	if last.PaysAtMarketRate {
+		t.Error("at 5.00/kWh compute value, a 0.50/kWh incentive must not pay")
+	}
+	// And at near-zero compute value it does.
+	if !points[0].PaysAtMarketRate {
+		t.Error("at 0.10/kWh compute value the incentive should pay")
+	}
+}
+
+func TestE7DetectsAllInjectedEvents(t *testing.T) {
+	for _, th := range []units.Power{500, 1000, 2000} {
+		res, notes, err := RunE7(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected < res.Injected {
+			t.Errorf("threshold %v: detected %d of %d injected events", th, res.Detected, res.Injected)
+		}
+		if res.Notified == 0 {
+			t.Errorf("threshold %v: no notifications issued", th)
+		}
+		if len(notes) != res.Notified {
+			t.Error("notification count mismatch")
+		}
+	}
+	// Spurious detections shrink as the threshold grows.
+	lo, _, _ := RunE7(500)
+	hi, _, _ := RunE7(2000)
+	if hi.Spurious > lo.Spurious {
+		t.Errorf("spurious detections should not grow with threshold: %d → %d", lo.Spurious, hi.Spurious)
+	}
+}
+
+func TestE8ReproducesFERCScale(t *testing.T) {
+	points, err := SweepE8([]float64{0.01, 0.066, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byF := map[float64]float64{}
+	for _, p := range points {
+		byF[p.EnrolledFraction] = p.PeakReduction
+	}
+	// Enrolled 6.6% → ≈6.6% peak reduction.
+	got := byF[0.066]
+	if got < 0.060 || got > 0.072 {
+		t.Errorf("6.6%% enrollment gives %.1f%% reduction, want ≈6.6%%", got*100)
+	}
+	// Monotone in enrollment.
+	if !(byF[0.01] < byF[0.066] && byF[0.066] < byF[0.10]) {
+		t.Error("peak reduction must grow with enrollment")
+	}
+}
+
+func TestE9BatchRampsDwarfSmoothed(t *testing.T) {
+	res, err := RunE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SCMaxRamp <= 0 {
+		t.Fatal("no ramping measured")
+	}
+	if float64(res.SCMaxRamp) < 3*float64(res.SmoothedMaxRamp) {
+		t.Errorf("batch max ramp %v should dwarf smoothed %v", res.SCMaxRamp, res.SmoothedMaxRamp)
+	}
+}
+
+func TestE10IncentiveMapping(t *testing.T) {
+	points, err := SweepE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var fixedSav, touSav, dynSav units.Money
+	for _, p := range points {
+		switch p.Kind.String() {
+		case "fixed":
+			fixedSav = p.Savings
+		case "time-of-use":
+			touSav = p.Savings
+		case "dynamic":
+			dynSav = p.Savings
+		}
+	}
+	// Fixed: shifting conserves energy → savings ≈ 0 (within rounding).
+	if fixedSav < -units.CurrencyUnits(1) || fixedSav > units.CurrencyUnits(1) {
+		t.Errorf("fixed-tariff savings = %v, want ≈0", fixedSav)
+	}
+	// TOU and dynamic reward the shift.
+	if touSav <= units.CurrencyUnits(10) {
+		t.Errorf("TOU savings = %v, want clearly positive", touSav)
+	}
+	if dynSav <= 0 {
+		t.Errorf("dynamic savings = %v, want positive", dynSav)
+	}
+}

@@ -1,0 +1,235 @@
+package exp
+
+// Extension experiments beyond the paper's own exhibits: E11 evaluates
+// the contingency-planning framework the paper proposes as future work
+// (§5), and E12 ablates the two ways a scheduler can honor a power cap
+// (blocking starts vs DVFS down-shifting) — one of the design choices
+// DESIGN.md calls out.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contingency"
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+func init() {
+	register("E11", runE11)
+	register("E12", runE12)
+}
+
+// E11Result summarizes one contingency-plan evaluation.
+type E11Result struct {
+	Impact *contingency.Impact
+	// BaselineCompliant reports whether the unmanaged site would have
+	// met the emergency caps.
+	BaselineCompliant bool
+}
+
+// RunE11 evaluates a three-level contingency plan (price watch → grid
+// stress shed → emergency cap) on a month with expensive afternoons,
+// two stress events and one declared emergency.
+func RunE11() (*E11Result, error) {
+	baseline, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: expStart, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 12 * units.Megawatt, PeakToAverage: 1.3, NoiseSigma: 0.02, Seed: 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &contract.Contract{
+		Name:          "plan-site",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(12)},
+		Emergencies: []*contract.EmergencyObligation{{
+			Name: "regional", Cap: 9 * units.Megawatt, Penalty: 2.0,
+		}},
+	}
+	plan := &contingency.Plan{
+		Name: "three-level",
+		Levels: []contingency.Level{
+			{
+				Name:     "price-watch",
+				Trigger:  contingency.Trigger{Kind: contingency.PriceAbove, PriceThreshold: 0.15},
+				Strategy: &dr.ShedStrategy{Fraction: 0.05, OpCostPerKWh: 0.01},
+			},
+			{
+				Name:     "stress-shed",
+				Trigger:  contingency.Trigger{Kind: contingency.GridStress},
+				Strategy: &dr.ShedStrategy{Fraction: 0.10, OpCostPerKWh: 0.02},
+			},
+			{
+				Name:     "emergency-cap",
+				Trigger:  contingency.Trigger{Kind: contingency.EmergencyDeclared},
+				Strategy: &dr.CapStrategy{Cap: 9 * units.Megawatt, OpCostPerKWh: 0.20},
+			},
+		},
+	}
+	// Signals: regional prices from a net-load model, two stress events,
+	// one declared emergency.
+	region := grid.DefaultRegion(expStart)
+	regional, err := grid.SystemLoad(region)
+	if err != nil {
+		return nil, err
+	}
+	pm := market.DefaultPriceModel(55 * units.Power(100) * units.Megawatt) // 5.5 GW
+	prices, err := pm.PriceSeries(regional)
+	if err != nil {
+		return nil, err
+	}
+	sig := contingency.Signals{
+		Prices: prices,
+		Stress: []grid.StressEvent{
+			{Start: expStart.Add(5*24*time.Hour + 17*time.Hour), Duration: 2 * time.Hour},
+			{Start: expStart.Add(12*24*time.Hour + 18*time.Hour), Duration: time.Hour},
+		},
+		Emergencies: []contract.EmergencyEvent{
+			{Start: expStart.Add(20*24*time.Hour + 15*time.Hour), Duration: 2 * time.Hour},
+		},
+	}
+	impact, err := contingency.Evaluate(plan, c, baseline, sig)
+	if err != nil {
+		return nil, err
+	}
+	// Baseline compliance: re-evaluate a do-nothing plan? Simpler: the
+	// baseline profile peaks above 9 MW during the emergency with high
+	// probability; compute directly.
+	baseCompliant := true
+	for i := 0; i < baseline.Len(); i++ {
+		ts := baseline.TimeAt(i)
+		for _, e := range sig.Emergencies {
+			if e.Covers(ts) && baseline.At(i) > c.Emergencies[0].Cap {
+				baseCompliant = false
+			}
+		}
+	}
+	return &E11Result{Impact: impact, BaselineCompliant: baseCompliant}, nil
+}
+
+func runE11() (*Exhibit, error) {
+	res, err := RunE11()
+	if err != nil {
+		return nil, err
+	}
+	im := res.Impact
+	tbl := report.NewTable("Contingency-plan impact analysis (12 MW site, one month)",
+		"Level", "Activations", "Active for", "Curtailed", "Op cost")
+	for _, l := range im.Levels {
+		tbl.AddRow(l.Level, fmt.Sprintf("%d", l.Activations), l.ActiveFor.String(),
+			l.Curtailed.String(), l.OpCost.String())
+	}
+	return &Exhibit{
+		ID:         "E11",
+		Title:      "Contingency planning with impact analysis (the paper's future work)",
+		PaperClaim: "§5: \"we foresee a future need for contingency planning, where specific actions can be applied in SC operation, to adhere to grid conditions ... enable SCs to perform impact analysis of contingency planning on their operation.\"",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("Baseline bill %s → planned bill %s (savings %s); operational cost %s; net benefit %s.",
+				im.BaselineBill.Total, im.PlannedBill.Total, im.BillSavings(), im.TotalOpCost, im.NetBenefit),
+			fmt.Sprintf("Emergency compliance: baseline %v → with plan %v.",
+				res.BaselineCompliant, im.EmergencyCompliant),
+		},
+	}, nil
+}
+
+// E12Point compares cap-handling modes for one cap level.
+type E12Point struct {
+	CapFractionOfPeak float64
+	// BlockingMakespan and DVFSMakespan are the times to drain the
+	// trace under each mode.
+	BlockingMakespan time.Duration
+	DVFSMakespan     time.Duration
+	// BlockingUnstarted counts jobs the blocking mode never started.
+	BlockingUnstarted int
+	DVFSUnstarted     int
+}
+
+// SweepE12 runs the same trace under a permanent IT-power cap handled by
+// blocking starts vs DVFS down-shifting.
+func SweepE12(capFractions []float64) ([]E12Point, error) {
+	node := &hpc.NodeSpec{
+		Name:      "dvfs-node",
+		IdlePower: 0.05,
+		States: []hpc.PowerState{
+			{Name: "nominal", FreqFactor: 1.0, Power: 0.35},
+			{Name: "balanced", FreqFactor: 0.85, Power: 0.27},
+			{Name: "powersave", FreqFactor: 0.65, Power: 0.20},
+		},
+		Cores: 32,
+	}
+	m, err := hpc.NewMachine("dvfs-cluster", node, 2000, hpc.PUEModel{Fixed: 50, Factor: 1.1})
+	if err != nil {
+		return nil, err
+	}
+	wcfg := hpc.DefaultWorkload()
+	wcfg.Span = 24 * time.Hour
+	wcfg.Seed = 23
+	jobs, err := hpc.GenerateWorkload(m, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	itPeak := units.Power(float64(node.States[0].Power) * float64(m.Nodes))
+	out := make([]E12Point, 0, len(capFractions))
+	for _, f := range capFractions {
+		cap := units.Power(float64(itPeak) * f)
+		base := sched.Config{
+			Start: expStart, PowerCap: cap, ShutdownIdle: true,
+			Horizon: 72 * time.Hour,
+		}
+		blocking, err := sched.Simulate(m, jobs, base)
+		if err != nil {
+			return nil, err
+		}
+		withDVFS := base
+		withDVFS.DVFSUnderCap = true
+		dvfs, err := sched.Simulate(m, jobs, withDVFS)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E12Point{
+			CapFractionOfPeak: f,
+			BlockingMakespan:  blocking.Makespan,
+			DVFSMakespan:      dvfs.Makespan,
+			BlockingUnstarted: blocking.Unstarted,
+			DVFSUnstarted:     dvfs.Unstarted,
+		})
+	}
+	return out, nil
+}
+
+func runE12() (*Exhibit, error) {
+	points, err := SweepE12([]float64{0.6, 0.4, 0.3})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Honoring a power cap: blocking starts vs DVFS down-shift (2000-node cluster, 24 h trace)",
+		"Cap (% of IT peak)", "Blocking makespan", "DVFS makespan", "Blocking unstarted", "DVFS unstarted")
+	for _, p := range points {
+		tbl.AddRow(
+			fmt.Sprintf("%.0f%%", p.CapFractionOfPeak*100),
+			p.BlockingMakespan.Round(time.Minute).String(),
+			p.DVFSMakespan.Round(time.Minute).String(),
+			fmt.Sprintf("%d", p.BlockingUnstarted),
+			fmt.Sprintf("%d", p.DVFSUnstarted),
+		)
+	}
+	return &Exhibit{
+		ID:         "E12",
+		Title:      "Power-cap ablation: blocking vs DVFS (coarse-grained power management)",
+		PaperClaim: "§2 (EE HPC WG prior work): power-aware job scheduling, power capping and shutdown are the most effective strategies SCs could employ in response to ESP programs.",
+		Table:      tbl,
+		Notes: []string{
+			"A crossover appears: at moderate caps blocking wins (DVFS stretches jobs the cap would have admitted anyway), while under tight caps DVFS wins by keeping the machine computing instead of idling the queue — power capping policy must be cap-depth-aware.",
+		},
+	}, nil
+}

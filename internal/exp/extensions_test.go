@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE11PlanPaysAndRestoresCompliance(t *testing.T) {
+	res, err := RunE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := res.Impact
+	// The plan must turn a non-compliant baseline into a compliant one.
+	if res.BaselineCompliant {
+		t.Error("scenario should start non-compliant (emergency cap below load)")
+	}
+	if !im.EmergencyCompliant {
+		t.Error("plan should restore emergency compliance")
+	}
+	// All three levels see action.
+	if len(im.Levels) != 3 {
+		t.Fatalf("levels = %d", len(im.Levels))
+	}
+	for _, l := range im.Levels {
+		if l.Activations == 0 {
+			t.Errorf("level %s never activated", l.Level)
+		}
+	}
+	// Penalty avoidance plus price shedding should net positive.
+	if im.NetBenefit <= 0 {
+		t.Errorf("net benefit = %v, want positive", im.NetBenefit)
+	}
+	if im.BillSavings() <= im.TotalOpCost {
+		t.Error("savings must exceed operational cost in this scenario")
+	}
+}
+
+func TestE11Exhibit(t *testing.T) {
+	e, err := Run("E11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render()
+	for _, want := range []string{"price-watch", "stress-shed", "emergency-cap", "compliance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E11 missing %q", want)
+		}
+	}
+}
+
+func TestE12Crossover(t *testing.T) {
+	points, err := SweepE12([]float64{0.6, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCap := map[float64]E12Point{}
+	for _, p := range points {
+		byCap[p.CapFractionOfPeak] = p
+	}
+	moderate := byCap[0.6]
+	tight := byCap[0.3]
+	// Moderate cap: blocking at least as good (DVFS stretches runtimes
+	// that would have fit anyway).
+	if moderate.BlockingMakespan > moderate.DVFSMakespan {
+		t.Errorf("moderate cap: blocking %v should not lose to DVFS %v",
+			moderate.BlockingMakespan, moderate.DVFSMakespan)
+	}
+	// Tight cap: DVFS wins by keeping the machine busy.
+	if tight.DVFSMakespan >= tight.BlockingMakespan {
+		t.Errorf("tight cap: DVFS %v should beat blocking %v",
+			tight.DVFSMakespan, tight.BlockingMakespan)
+	}
+	// Tightening the cap never shortens the blocking makespan.
+	if tight.BlockingMakespan < moderate.BlockingMakespan {
+		t.Error("tighter caps cannot drain faster under blocking")
+	}
+}
+
+func TestE12Exhibit(t *testing.T) {
+	e, err := Run("E12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Render(), "crossover") {
+		t.Error("E12 should describe the crossover")
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, want := range []string{"E11", "E12", "E13", "E14"} {
+		if !have[want] {
+			t.Errorf("extension experiment %s missing: %v", want, IDs())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+// E17: GreenSDA flexibility contracts (§2 [5,6]) — designed in the
+// literature "specifically aimed at enabling data center power
+// flexibility; however, these were not implemented". Implemented here:
+// a site under a GreenSDA adapts into green windows and out of red ones,
+// and both sides gain — the economics the design intended, measured.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/greensla"
+	"repro/internal/report"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func init() {
+	register("E17", runE17)
+}
+
+// E17Result compares passive and adaptive behaviour under a GreenSDA.
+type E17Result struct {
+	PassiveNet units.Money
+	ActiveNet  units.Money
+	// Saving = passive − active.
+	Saving units.Money
+	// AbsorbedGreen and AvoidedRed are the flexibility delivered.
+	AbsorbedGreen units.Energy
+	AvoidedRed    units.Energy
+	// FlatNet is the same consumption priced flat, for reference.
+	FlatNet units.Money
+}
+
+// RunE17 evaluates a week under a GreenSDA with daily green (midday
+// solar surplus) and red (evening peak) windows.
+func RunE17() (*E17Result, error) {
+	baseline := timeseries.ConstantPower(expStart, time.Hour, 7*24, 10*units.Megawatt)
+	var windows []greensla.Window
+	for d := 0; d < 7; d++ {
+		day := expStart.Add(time.Duration(d) * 24 * time.Hour)
+		windows = append(windows,
+			greensla.Window{Kind: greensla.Green, Start: day.Add(11 * time.Hour), Duration: 3 * time.Hour},
+			greensla.Window{Kind: greensla.Red, Start: day.Add(18 * time.Hour), Duration: 2 * time.Hour},
+		)
+	}
+	a := &greensla.Agreement{
+		BaseRate:           0.080,
+		GreenDiscount:      0.030,
+		RedReward:          0.200,
+		CommittedReduction: 2 * units.Megawatt,
+		Penalty:            0.300,
+	}
+	passive, err := a.Settle(baseline, baseline, windows)
+	if err != nil {
+		return nil, err
+	}
+	adapted, err := greensla.Adapt(baseline, windows, 2*units.Megawatt, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	active, err := a.Settle(baseline, adapted, windows)
+	if err != nil {
+		return nil, err
+	}
+	return &E17Result{
+		PassiveNet:    passive.Net,
+		ActiveNet:     active.Net,
+		Saving:        passive.Net - active.Net,
+		AbsorbedGreen: active.AbsorbedGreen,
+		AvoidedRed:    active.AvoidedRed,
+		FlatNet:       a.BaseRate.Cost(baseline.Energy()),
+	}, nil
+}
+
+func runE17() (*Exhibit, error) {
+	res, err := RunE17()
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("A week under a GreenSDA (10 MW site, daily green/red windows)",
+		"Behaviour", "Weekly net cost", "Green absorbed", "Red avoided")
+	tbl.AddRow("flat contract (reference)", res.FlatNet.String(), "—", "—")
+	tbl.AddRow("GreenSDA, no adaptation", res.PassiveNet.String(), "0", "0")
+	tbl.AddRow("GreenSDA, adapting", res.ActiveNet.String(),
+		res.AbsorbedGreen.String(), res.AvoidedRed.String())
+	return &Exhibit{
+		ID:         "E17",
+		Title:      "GreenSDA flexibility contracts, implemented (extension, §2 [5,6])",
+		PaperClaim: "§2: \"some projects designed contracts that are specifically aimed at enabling data center power flexibility; however, these were not implemented.\"",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("Adapting saves the site %s per week versus riding the GreenSDA passively, while delivering the ESP %s of green absorption and %s of scarcity avoidance — the win-win the design intended.",
+				res.Saving, res.AbsorbedGreen, res.AvoidedRed),
+			"A site that signs a GreenSDA but cannot adapt pays more than under a flat contract (penalties outweigh window discounts) — flexibility contracts only make sense for flexible consumers, which is the paper's recurring theme.",
+		},
+	}, nil
+}

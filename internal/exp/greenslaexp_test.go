@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE17AdaptationPaysBothSides(t *testing.T) {
+	res, err := RunE17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saving <= 0 {
+		t.Errorf("adapting must beat passive: saving %v", res.Saving)
+	}
+	if res.AbsorbedGreen <= 0 || res.AvoidedRed <= 0 {
+		t.Errorf("flexibility must be delivered: %+v", res)
+	}
+	// The cautionary half of the story: a passive site under a GreenSDA
+	// pays more than under the flat reference (penalties dominate).
+	if res.PassiveNet <= res.FlatNet {
+		t.Errorf("passive GreenSDA %v should exceed flat %v", res.PassiveNet, res.FlatNet)
+	}
+	// And the adapting site beats the flat contract.
+	if res.ActiveNet >= res.FlatNet {
+		t.Errorf("adaptive GreenSDA %v should beat flat %v", res.ActiveNet, res.FlatNet)
+	}
+}
+
+func TestE17Exhibit(t *testing.T) {
+	e, err := Run("E17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render()
+	for _, want := range []string{"GreenSDA", "adapting", "win-win"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E17 missing %q", want)
+		}
+	}
+}

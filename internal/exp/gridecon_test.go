@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestE18AllocationStory(t *testing.T) {
+	res, err := RunE18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareOf := func(a *grid.Allocation, name string) float64 {
+		s, err := a.ShareOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Share
+	}
+	// Shares sum to 1 under both rules.
+	for _, a := range []*grid.Allocation{res.Coincident, res.NonCoincident} {
+		var sum float64
+		for _, s := range a.Shares {
+			sum += s.Share
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%v shares sum to %v", a.Rule, sum)
+		}
+	}
+	// The night-peaking industrial overpays under demand charges.
+	ind := "industrial (night)"
+	if shareOf(res.NonCoincident, ind) <= shareOf(res.Coincident, ind) {
+		t.Error("off-peak consumer must overpay under non-coincident allocation")
+	}
+	// The on-peak office underpays under demand charges.
+	off := "office park (evening)"
+	if shareOf(res.NonCoincident, off) >= shareOf(res.Coincident, off) {
+		t.Error("on-peak consumer must underpay under non-coincident allocation")
+	}
+	// The flat SC is mispriced least: its rule-to-rule share delta is
+	// the smallest of the three.
+	sc := "supercomputer (flat)"
+	scDelta := abs(shareOf(res.NonCoincident, sc) - shareOf(res.Coincident, sc))
+	for _, name := range []string{ind, off} {
+		if d := abs(shareOf(res.NonCoincident, name) - shareOf(res.Coincident, name)); d <= scDelta {
+			t.Errorf("flat SC should be mispriced least: sc %v vs %s %v", scDelta, name, d)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestE19LandscapeMatchesPaper(t *testing.T) {
+	res, err := RunE19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rank1.MW() < 10 {
+		t.Errorf("rank 1 = %v", res.Rank1)
+	}
+	if res.Rank500.KW() < 20 || res.Rank500.KW() > 120 {
+		t.Errorf("rank 500 = %v, want ≈40 kW", res.Rank500)
+	}
+	if res.Rank50 < res.Rank167 || res.Rank167 < res.Rank500 {
+		t.Error("powers must fall with rank")
+	}
+	if res.Top50Sum.MW() < 30 {
+		t.Errorf("Top50 aggregate = %v", res.Top50Sum)
+	}
+}
+
+func TestE18E19Exhibits(t *testing.T) {
+	for id, want := range map[string]string{
+		"E18": "Demand-charge share",
+		"E19": "Top50 aggregate",
+	} {
+		e, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(e.Render(), want) {
+			t.Errorf("%s missing %q", id, want)
+		}
+	}
+}

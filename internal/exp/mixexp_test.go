@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE23MatchingGap(t *testing.T) {
+	res, err := RunE23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	// The portfolio covers the clause annually…
+	if !res.AnnualPasses {
+		t.Errorf("annual share %.2f should pass the 0.80 floor", r.AnnualShare)
+	}
+	// …but not hour-by-hour: intermittency opens a material gap.
+	if res.TimeMatchedPasses {
+		t.Errorf("time-matched share %.2f should fail the 0.80 floor", r.TimeMatchedShare)
+	}
+	if r.MatchingGap() < 0.1 {
+		t.Errorf("matching gap %.2f too small — scenario degenerate", r.MatchingGap())
+	}
+	// Sanity: time-matched can never exceed annual.
+	if r.TimeMatchedShare > r.AnnualShare+1e-9 {
+		t.Error("time-matched share cannot exceed annual share")
+	}
+}
+
+func TestE23Exhibit(t *testing.T) {
+	e, err := Run("E23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Render(), "matching gap") {
+		t.Error("E23 table incomplete")
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE22ProductEconomics(t *testing.T) {
+	points, err := RunE22([]int{1, 5, 20, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		// Emergency scales linearly with dispatches; regulation is flat.
+		if i > 0 {
+			prev := points[i-1]
+			if p.EmergencyNet <= prev.EmergencyNet {
+				t.Error("emergency revenue must grow with dispatch frequency")
+			}
+			if p.RegulationNet != prev.RegulationNet {
+				t.Error("regulation revenue is dispatch-independent")
+			}
+			if p.CapacityNet <= prev.CapacityNet {
+				t.Error("capacity revenue grows (energy part) with dispatches")
+			}
+		}
+		// At every frequency in the sweep, availability-style products
+		// beat pure emergency DR at low frequencies.
+		if p.EventsPerYear <= 5 && p.EmergencyNet >= p.CapacityNet {
+			t.Errorf("at %d dispatches/yr emergency %v should trail capacity %v",
+				p.EventsPerYear, p.EmergencyNet, p.CapacityNet)
+		}
+	}
+	// Rare-event regime: even regulation (the smallest standing payment
+	// here) beats emergency DR.
+	if points[0].EmergencyNet >= points[0].RegulationNet {
+		t.Errorf("1 dispatch/yr: emergency %v should trail regulation %v",
+			points[0].EmergencyNet, points[0].RegulationNet)
+	}
+}
+
+func TestE22Exhibit(t *testing.T) {
+	e, err := Run("E22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Emergency DR", "Capacity bidding", "Regulation"} {
+		if !strings.Contains(e.Render(), want) {
+			t.Errorf("E22 missing %q", want)
+		}
+	}
+}

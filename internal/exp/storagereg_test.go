@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestE13SavingsGrowThenSaturate(t *testing.T) {
+	points, err := SweepE13([]units.Energy{
+		1 * units.MegawattHour, 2 * units.MegawattHour,
+		4 * units.MegawattHour, 8 * units.MegawattHour,
+		16 * units.MegawattHour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings grow with battery size (small tolerance for recharge
+	// energy costs) and every size saves something.
+	tol := points[len(points)-1].Savings / 50
+	for i := 1; i < len(points); i++ {
+		if points[i].Savings < points[i-1].Savings-tol {
+			t.Errorf("bigger battery must not save less: %v then %v",
+				points[i-1].Savings, points[i].Savings)
+		}
+	}
+	for _, p := range points {
+		if p.Savings <= 0 {
+			t.Errorf("battery %v should save under depth-sized shaving, got %v",
+				p.BatteryCapacity, p.Savings)
+		}
+	}
+	// Saturation: beyond the discharge-rate limit (4 MW, reached near
+	// 4.4 MWh), extra capacity buys nothing — the two largest sizes
+	// save (nearly) the same.
+	last := points[len(points)-1].Savings
+	prev := points[len(points)-2].Savings
+	diff := last - prev
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > last*15/100 {
+		t.Errorf("savings should saturate: %v then %v", prev, last)
+	}
+}
+
+func TestE14ScoreMonotoneInRamp(t *testing.T) {
+	points, err := SweepE14([]units.RampRate{20, 100, 500, 2000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Score < points[i-1].Score {
+			t.Errorf("faster ramps must not score lower: %v then %v",
+				points[i-1].Score, points[i].Score)
+		}
+		if points[i].Payment < points[i-1].Payment {
+			t.Error("payment must follow score")
+		}
+	}
+	// The fast end approaches a perfect score; the slow end is poor.
+	if points[len(points)-1].Score < 0.95 {
+		t.Errorf("10 MW/min should track nearly perfectly: %v", points[len(points)-1].Score)
+	}
+	if points[0].Score > 0.8 {
+		t.Errorf("20 kW/min should track poorly: %v", points[0].Score)
+	}
+}
+
+func TestE13E14Exhibits(t *testing.T) {
+	for _, id := range []string{"E13", "E14"} {
+		e, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if e.Table == nil || len(e.Table.Rows) == 0 {
+			t.Errorf("%s should render a table", id)
+		}
+	}
+}

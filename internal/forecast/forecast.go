@@ -1,0 +1,394 @@
+// Package forecast implements the load-forecasting models the SC–ESP
+// relationship relies on: the paper reports that sites collaborate with
+// their ESPs "for forecasting of deviations from normal power consumption
+// patterns" and that six of ten sites communicate swings in load. The
+// models here (seasonal naive, moving average, simple exponential
+// smoothing, additive Holt-Winters) produce a baseline expectation of
+// facility load; the deviation detector compares actual consumption to
+// that baseline and emits the events a "good neighbor" site would phone
+// in to its ESP (maintenance windows, benchmark runs, outages).
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Errors returned by models.
+var (
+	ErrNotFitted  = errors.New("forecast: model not fitted")
+	ErrTooShort   = errors.New("forecast: series too short for this model")
+	ErrBadHorizon = errors.New("forecast: horizon must be positive")
+	ErrBadParam   = errors.New("forecast: parameter out of range")
+)
+
+// Model is a univariate point-forecast model over equally spaced samples.
+type Model interface {
+	// Name identifies the model in reports and ablations.
+	Name() string
+	// Fit estimates model state from a history. It may be called again
+	// to refit on new data.
+	Fit(history []float64) error
+	// Forecast returns h steps of point forecasts after the history.
+	Forecast(h int) ([]float64, error)
+}
+
+// SeasonalNaive repeats the last observed season: the forecast for step
+// t+k is the observation one period before. With Period = one day of
+// samples this is the classic "same time yesterday" facility baseline.
+type SeasonalNaive struct {
+	Period int
+	season []float64
+}
+
+// Name implements Model.
+func (m *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", m.Period) }
+
+// Fit stores the last full period of the history.
+func (m *SeasonalNaive) Fit(history []float64) error {
+	if m.Period <= 0 {
+		return fmt.Errorf("%w: period must be positive", ErrBadParam)
+	}
+	if len(history) < m.Period {
+		return ErrTooShort
+	}
+	m.season = append(m.season[:0], history[len(history)-m.Period:]...)
+	return nil
+}
+
+// Forecast implements Model.
+func (m *SeasonalNaive) Forecast(h int) ([]float64, error) {
+	if m.season == nil {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.season[i%m.Period]
+	}
+	return out, nil
+}
+
+// MovingAverage forecasts the mean of the last Window observations,
+// held flat over the horizon.
+type MovingAverage struct {
+	Window int
+	level  float64
+	fitted bool
+}
+
+// Name implements Model.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", m.Window) }
+
+// Fit computes the trailing-window mean.
+func (m *MovingAverage) Fit(history []float64) error {
+	if m.Window <= 0 {
+		return fmt.Errorf("%w: window must be positive", ErrBadParam)
+	}
+	if len(history) < m.Window {
+		return ErrTooShort
+	}
+	var sum float64
+	for _, x := range history[len(history)-m.Window:] {
+		sum += x
+	}
+	m.level = sum / float64(m.Window)
+	m.fitted = true
+	return nil
+}
+
+// Forecast implements Model.
+func (m *MovingAverage) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.level
+	}
+	return out, nil
+}
+
+// SES is simple exponential smoothing with smoothing factor Alpha∈(0,1].
+type SES struct {
+	Alpha  float64
+	level  float64
+	fitted bool
+}
+
+// Name implements Model.
+func (m *SES) Name() string { return fmt.Sprintf("ses(%.2f)", m.Alpha) }
+
+// Fit runs the smoother over the history.
+func (m *SES) Fit(history []float64) error {
+	if m.Alpha <= 0 || m.Alpha > 1 {
+		return fmt.Errorf("%w: alpha must be in (0,1]", ErrBadParam)
+	}
+	if len(history) == 0 {
+		return ErrTooShort
+	}
+	level := history[0]
+	for _, x := range history[1:] {
+		level = m.Alpha*x + (1-m.Alpha)*level
+	}
+	m.level = level
+	m.fitted = true
+	return nil
+}
+
+// Forecast implements Model.
+func (m *SES) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.level
+	}
+	return out, nil
+}
+
+// HoltWinters is additive triple exponential smoothing: level + trend +
+// additive seasonality of the given Period. It needs at least two full
+// periods of history.
+type HoltWinters struct {
+	Alpha, Beta, Gamma float64
+	Period             int
+
+	level, trend float64
+	seasonal     []float64
+	fitted       bool
+	// lastIndex is where the fitted history ended, so forecasts pick
+	// the right seasonal slot.
+	lastIndex int
+}
+
+// Name implements Model.
+func (m *HoltWinters) Name() string {
+	return fmt.Sprintf("holt-winters(%.2f,%.2f,%.2f,p=%d)", m.Alpha, m.Beta, m.Gamma, m.Period)
+}
+
+// Fit estimates level, trend and seasonal components.
+func (m *HoltWinters) Fit(history []float64) error {
+	if m.Alpha <= 0 || m.Alpha > 1 || m.Beta < 0 || m.Beta > 1 || m.Gamma < 0 || m.Gamma > 1 {
+		return fmt.Errorf("%w: smoothing factors out of range", ErrBadParam)
+	}
+	if m.Period <= 0 {
+		return fmt.Errorf("%w: period must be positive", ErrBadParam)
+	}
+	p := m.Period
+	if len(history) < 2*p {
+		return ErrTooShort
+	}
+	// Initial level: mean of first season. Initial trend: mean period-
+	// over-period change. Initial seasonal: first-season deviations.
+	var s1 float64
+	for _, x := range history[:p] {
+		s1 += x
+	}
+	level := s1 / float64(p)
+	var tr float64
+	for i := 0; i < p; i++ {
+		tr += (history[p+i] - history[i]) / float64(p)
+	}
+	trend := tr / float64(p)
+	seasonal := make([]float64, p)
+	for i := 0; i < p; i++ {
+		seasonal[i] = history[i] - level
+	}
+	// Run the recursions over the remaining history.
+	for t := p; t < len(history); t++ {
+		x := history[t]
+		si := t % p
+		prevLevel := level
+		level = m.Alpha*(x-seasonal[si]) + (1-m.Alpha)*(level+trend)
+		trend = m.Beta*(level-prevLevel) + (1-m.Beta)*trend
+		seasonal[si] = m.Gamma*(x-level) + (1-m.Gamma)*seasonal[si]
+	}
+	m.level, m.trend, m.seasonal, m.fitted = level, trend, seasonal, true
+	m.lastIndex = len(history)
+	return nil
+}
+
+// Forecast implements Model.
+func (m *HoltWinters) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		si := (m.lastIndex + i) % m.Period
+		out[i] = m.level + float64(i+1)*m.trend + m.seasonal[si]
+	}
+	return out, nil
+}
+
+// ForecastPower fits the model on a power series and returns the h-step
+// forecast as a power series starting where the history ends.
+func ForecastPower(m Model, history *timeseries.PowerSeries, h int) (*timeseries.PowerSeries, error) {
+	xs := make([]float64, history.Len())
+	for i := 0; i < history.Len(); i++ {
+		xs[i] = float64(history.At(i))
+	}
+	if err := m.Fit(xs); err != nil {
+		return nil, err
+	}
+	fc, err := m.Forecast(h)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]units.Power, len(fc))
+	for i, v := range fc {
+		samples[i] = units.Power(v)
+	}
+	return timeseries.NewPower(history.End(), history.Interval(), samples)
+}
+
+// Accuracy metrics over paired actual/forecast slices.
+
+// MAE returns the mean absolute error.
+func MAE(actual, predicted []float64) (float64, error) {
+	if err := checkPairs(actual, predicted); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(actual)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(actual, predicted []float64) (float64, error) {
+	if err := checkPairs(actual, predicted); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(actual))), nil
+}
+
+// MAPE returns the mean absolute percentage error, skipping zero actuals.
+func MAPE(actual, predicted []float64) (float64, error) {
+	if err := checkPairs(actual, predicted); err != nil {
+		return 0, err
+	}
+	var sum float64
+	n := 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		d := (actual[i] - predicted[i]) / actual[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("forecast: MAPE undefined for all-zero actuals")
+	}
+	return sum / float64(n) * 100, nil
+}
+
+func checkPairs(actual, predicted []float64) error {
+	if len(actual) == 0 {
+		return errors.New("forecast: empty evaluation window")
+	}
+	if len(actual) != len(predicted) {
+		return errors.New("forecast: actual and predicted lengths differ")
+	}
+	return nil
+}
+
+// Deviation is a contiguous run where actual load strays from the
+// forecast baseline by more than a threshold — the event a good-neighbor
+// SC reports to its ESP.
+type Deviation struct {
+	// Start of the run (first deviating interval).
+	Start time.Time
+	// Duration of the run.
+	Duration time.Duration
+	// Peak absolute deviation in kW over the run.
+	Peak units.Power
+	// Above is true when consumption exceeds the baseline.
+	Above bool
+}
+
+// String formats the deviation the way an operator would report it.
+func (d Deviation) String() string {
+	dir := "below"
+	if d.Above {
+		dir = "above"
+	}
+	return fmt.Sprintf("deviation %s baseline from %s for %s (peak %s)",
+		dir, d.Start.Format("2006-01-02 15:04"), d.Duration, d.Peak)
+}
+
+// DetectDeviations compares an actual load profile to a baseline and
+// returns every run where |actual − baseline| > threshold. The two
+// series must be aligned.
+func DetectDeviations(actual, baseline *timeseries.PowerSeries, threshold units.Power) ([]Deviation, error) {
+	diff, err := actual.Sub(baseline)
+	if err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, errors.New("forecast: threshold must be non-negative")
+	}
+	var out []Deviation
+	var cur *Deviation
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for i := 0; i < diff.Len(); i++ {
+		d := diff.At(i)
+		abs := d
+		above := true
+		if abs < 0 {
+			abs = -abs
+			above = false
+		}
+		if abs <= threshold {
+			flush()
+			continue
+		}
+		if cur == nil || cur.Above != above {
+			flush()
+			cur = &Deviation{Start: diff.TimeAt(i), Above: above}
+		}
+		cur.Duration += diff.Interval()
+		if abs > cur.Peak {
+			cur.Peak = abs
+		}
+	}
+	flush()
+	return out, nil
+}

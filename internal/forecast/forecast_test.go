@@ -1,0 +1,331 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.May, 2, 0, 0, 0, 0, time.UTC)
+
+func TestSeasonalNaive(t *testing.T) {
+	m := &SeasonalNaive{Period: 3}
+	if err := m.Fit([]float64{9, 9, 9, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 1, 2}
+	for i, w := range want {
+		if fc[i] != w {
+			t.Errorf("fc[%d] = %v, want %v", i, fc[i], w)
+		}
+	}
+}
+
+func TestSeasonalNaiveErrors(t *testing.T) {
+	m := &SeasonalNaive{Period: 0}
+	if err := m.Fit([]float64{1, 2}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero period: %v", err)
+	}
+	m2 := &SeasonalNaive{Period: 5}
+	if err := m2.Fit([]float64{1, 2}); err != ErrTooShort {
+		t.Errorf("short fit: %v", err)
+	}
+	if _, err := m2.Forecast(3); err != ErrNotFitted {
+		t.Errorf("unfitted forecast: %v", err)
+	}
+	m3 := &SeasonalNaive{Period: 2}
+	if err := m3.Fit([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.Forecast(0); err != ErrBadHorizon {
+		t.Errorf("zero horizon: %v", err)
+	}
+	if m3.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := &MovingAverage{Window: 4}
+	if err := m.Fit([]float64{100, 100, 2, 4, 6, 8}); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc[0] != 5 || fc[1] != 5 {
+		t.Errorf("fc = %v, want flat 5", fc)
+	}
+}
+
+func TestMovingAverageErrors(t *testing.T) {
+	if err := (&MovingAverage{}).Fit([]float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Error("zero window")
+	}
+	m := &MovingAverage{Window: 10}
+	if err := m.Fit([]float64{1, 2}); err != ErrTooShort {
+		t.Error("short history")
+	}
+	if _, err := m.Forecast(1); err != ErrNotFitted {
+		t.Error("unfitted")
+	}
+	m2 := &MovingAverage{Window: 2}
+	if err := m2.Fit([]float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Forecast(-1); err != ErrBadHorizon {
+		t.Error("bad horizon")
+	}
+	if m2.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestSES(t *testing.T) {
+	// Alpha=1 tracks the last observation exactly.
+	m := &SES{Alpha: 1}
+	if err := m.Fit([]float64{5, 9, 2}); err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := m.Forecast(1)
+	if fc[0] != 2 {
+		t.Errorf("alpha=1 should track last obs, got %v", fc[0])
+	}
+	// Small alpha stays near the initial level.
+	m2 := &SES{Alpha: 0.01}
+	if err := m2.Fit([]float64{10, 20, 20, 20}); err != nil {
+		t.Fatal(err)
+	}
+	fc2, _ := m2.Forecast(1)
+	if !(fc2[0] > 10 && fc2[0] < 11) {
+		t.Errorf("small alpha should stay near 10, got %v", fc2[0])
+	}
+}
+
+func TestSESErrors(t *testing.T) {
+	if err := (&SES{Alpha: 0}).Fit([]float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Error("alpha 0")
+	}
+	if err := (&SES{Alpha: 1.1}).Fit([]float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Error("alpha > 1")
+	}
+	if err := (&SES{Alpha: 0.5}).Fit(nil); err != ErrTooShort {
+		t.Error("empty history")
+	}
+	m := &SES{Alpha: 0.5}
+	if _, err := m.Forecast(1); err != ErrNotFitted {
+		t.Error("unfitted")
+	}
+	if err := m.Fit([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); err != ErrBadHorizon {
+		t.Error("bad horizon")
+	}
+	if m.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestHoltWintersRecoversSeasonalPattern(t *testing.T) {
+	// Pure seasonal signal, no trend: HW should forecast it well.
+	period := 24
+	var history []float64
+	for d := 0; d < 14; d++ {
+		for h := 0; h < period; h++ {
+			history = append(history, 1000+500*math.Sin(2*math.Pi*float64(h)/float64(period)))
+		}
+	}
+	m := &HoltWinters{Alpha: 0.3, Beta: 0.05, Gamma: 0.3, Period: period}
+	if err := m.Fit(history); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actual []float64
+	for h := 0; h < period; h++ {
+		actual = append(actual, 1000+500*math.Sin(2*math.Pi*float64(h)/float64(period)))
+	}
+	mape, err := MAPE(actual, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 5 {
+		t.Errorf("HW MAPE on clean seasonal = %.2f%%, want < 5%%", mape)
+	}
+}
+
+func TestHoltWintersTracksTrend(t *testing.T) {
+	// Linear ramp with flat seasonality: forecast should keep climbing.
+	period := 4
+	var history []float64
+	for i := 0; i < 40; i++ {
+		history = append(history, float64(i))
+	}
+	m := &HoltWinters{Alpha: 0.5, Beta: 0.5, Gamma: 0.1, Period: period}
+	if err := m.Fit(history); err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := m.Forecast(4)
+	for i := 1; i < len(fc); i++ {
+		if fc[i] <= fc[i-1] {
+			t.Errorf("trend forecast should increase: %v", fc)
+			break
+		}
+	}
+	if math.Abs(fc[0]-40) > 3 {
+		t.Errorf("first step = %v, want ≈40", fc[0])
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	if err := (&HoltWinters{Alpha: 0, Period: 4}).Fit(make([]float64, 20)); !errors.Is(err, ErrBadParam) {
+		t.Error("bad alpha")
+	}
+	if err := (&HoltWinters{Alpha: 0.5, Beta: 2, Period: 4}).Fit(make([]float64, 20)); !errors.Is(err, ErrBadParam) {
+		t.Error("bad beta")
+	}
+	if err := (&HoltWinters{Alpha: 0.5, Period: 0}).Fit(make([]float64, 20)); !errors.Is(err, ErrBadParam) {
+		t.Error("bad period")
+	}
+	m := &HoltWinters{Alpha: 0.5, Beta: 0.1, Gamma: 0.1, Period: 12}
+	if err := m.Fit(make([]float64, 20)); err != ErrTooShort {
+		t.Error("short history")
+	}
+	if _, err := m.Forecast(1); err != ErrNotFitted {
+		t.Error("unfitted")
+	}
+	if m.Name() == "" {
+		t.Error("name")
+	}
+	m2 := &HoltWinters{Alpha: 0.5, Beta: 0.1, Gamma: 0.1, Period: 2}
+	if err := m2.Fit([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Forecast(0); err != ErrBadHorizon {
+		t.Error("bad horizon")
+	}
+}
+
+func TestForecastPower(t *testing.T) {
+	history := timeseries.ConstantPower(t0, time.Hour, 48, 5000)
+	m := &SeasonalNaive{Period: 24}
+	fc, err := ForecastPower(m, history, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fc.Start().Equal(history.End()) {
+		t.Error("forecast should start where history ends")
+	}
+	if fc.Len() != 24 || fc.At(0) != 5000 {
+		t.Errorf("forecast = %v", fc)
+	}
+	// Fit error propagates.
+	short := timeseries.ConstantPower(t0, time.Hour, 3, 5000)
+	if _, err := ForecastPower(m, short, 24); err == nil {
+		t.Error("short history should fail")
+	}
+	// Forecast error propagates.
+	if _, err := ForecastPower(&SeasonalNaive{Period: 24}, history, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestAccuracyMetrics(t *testing.T) {
+	actual := []float64{10, 20, 30}
+	pred := []float64{12, 18, 30}
+	mae, err := MAE(actual, pred)
+	if err != nil || math.Abs(mae-4.0/3) > 1e-12 {
+		t.Errorf("MAE = %v (%v)", mae, err)
+	}
+	rmse, err := RMSE(actual, pred)
+	if err != nil || math.Abs(rmse-math.Sqrt(8.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v (%v)", rmse, err)
+	}
+	// Percentage errors: 20%, 10%, 0% → MAPE 10%.
+	mape, err := MAPE(actual, pred)
+	if err != nil || math.Abs(mape-10) > 1e-9 {
+		t.Errorf("MAPE = %v (%v)", mape, err)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty MAE")
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched RMSE")
+	}
+	if _, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero MAPE")
+	}
+	// Zero actuals are skipped, not fatal, when some are nonzero.
+	mape, err := MAPE([]float64{0, 10}, []float64{5, 11})
+	if err != nil || math.Abs(mape-10) > 1e-9 {
+		t.Errorf("MAPE skipping zeros = %v (%v)", mape, err)
+	}
+}
+
+func TestDetectDeviations(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, 15*time.Minute, 8, 10000)
+	actual := timeseries.MustNewPower(t0, 15*time.Minute, []units.Power{
+		10000, 10100, 14000, 15000, 10000, 6000, 10050, 10000,
+	})
+	devs, err := DetectDeviations(actual, baseline, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 {
+		t.Fatalf("deviations = %d, want 2: %v", len(devs), devs)
+	}
+	up := devs[0]
+	if !up.Above || up.Duration != 30*time.Minute || up.Peak != 5000 {
+		t.Errorf("up deviation = %+v", up)
+	}
+	down := devs[1]
+	if down.Above || down.Peak != 4000 {
+		t.Errorf("down deviation = %+v", down)
+	}
+	if up.String() == "" || down.String() == "" {
+		t.Error("deviations should format")
+	}
+}
+
+func TestDetectDeviationsErrors(t *testing.T) {
+	a := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	b := timeseries.ConstantPower(t0, time.Hour, 5, 1000)
+	if _, err := DetectDeviations(a, b, 100); err == nil {
+		t.Error("misaligned series should fail")
+	}
+	c := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	if _, err := DetectDeviations(a, c, -1); err == nil {
+		t.Error("negative threshold should fail")
+	}
+	devs, err := DetectDeviations(a, c, 0)
+	if err != nil || len(devs) != 0 {
+		t.Errorf("identical series should have no deviations: %v (%v)", devs, err)
+	}
+}
+
+func TestDeviationAdjacentOpposingRunsSplit(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Hour, 2, 10000)
+	actual := timeseries.MustNewPower(t0, time.Hour, []units.Power{15000, 5000})
+	devs, err := DetectDeviations(actual, baseline, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 || !devs[0].Above || devs[1].Above {
+		t.Errorf("opposing runs should split: %v", devs)
+	}
+}

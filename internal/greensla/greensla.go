@@ -1,0 +1,207 @@
+// Package greensla implements GreenSDA-style supply-demand agreements —
+// the contract design the paper's related work describes as "specifically
+// aimed at enabling data center power flexibility" (Basmadjian et al.,
+// GreenSDA/GreenSLA, §2) and notes were designed but never implemented.
+// Here they are implemented.
+//
+// Under a GreenSDA the ESP sends the data center typed adaptation
+// windows: green windows during renewable surplus, where extra
+// consumption is rewarded with a discount, and red windows during
+// scarcity, where reductions below the baseline earn a reward and a
+// committed reduction is enforced with a penalty. The package models the
+// agreement, settles adapted consumption against it, and provides an
+// energy-conserving adapter that shifts load from red into green windows.
+package greensla
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// WindowKind types an adaptation window.
+type WindowKind int
+
+// Window kinds.
+const (
+	// Green marks renewable surplus: consumption is encouraged.
+	Green WindowKind = iota
+	// Red marks scarcity: reduction below baseline is requested.
+	Red
+)
+
+// String returns the kind name.
+func (k WindowKind) String() string {
+	switch k {
+	case Green:
+		return "green"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// Window is one ESP adaptation signal.
+type Window struct {
+	Kind     WindowKind
+	Start    time.Time
+	Duration time.Duration
+}
+
+// End returns the window's end instant.
+func (w Window) End() time.Time { return w.Start.Add(w.Duration) }
+
+// covers reports whether t falls inside the window.
+func (w Window) covers(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End())
+}
+
+// Agreement is the GreenSDA's economic terms.
+type Agreement struct {
+	// BaseRate prices all energy.
+	BaseRate units.EnergyPrice
+	// GreenDiscount is subtracted from the base rate for energy
+	// consumed during green windows.
+	GreenDiscount units.EnergyPrice
+	// RedReward pays per kWh avoided (below baseline) in red windows.
+	RedReward units.EnergyPrice
+	// CommittedReduction is the reduction the DC promises in every red
+	// window; shortfalls pay Penalty per kWh.
+	CommittedReduction units.Power
+	Penalty            units.EnergyPrice
+}
+
+// Validate checks the agreement.
+func (a *Agreement) Validate() error {
+	if a.BaseRate <= 0 {
+		return errors.New("greensla: base rate must be positive")
+	}
+	if a.GreenDiscount < 0 || a.GreenDiscount > a.BaseRate {
+		return errors.New("greensla: green discount must be in [0, base rate]")
+	}
+	if a.RedReward < 0 || a.Penalty < 0 {
+		return errors.New("greensla: reward and penalty must be non-negative")
+	}
+	if a.CommittedReduction < 0 {
+		return errors.New("greensla: committed reduction must be non-negative")
+	}
+	return nil
+}
+
+// Settlement is the outcome of one settlement period.
+type Settlement struct {
+	// EnergyCost is base-rate cost of the adapted consumption.
+	EnergyCost units.Money
+	// GreenCredit is the discount earned in green windows.
+	GreenCredit units.Money
+	// RedReward is the avoidance payment earned in red windows.
+	RedReward units.Money
+	// Penalty charges red-window under-delivery.
+	Penalty units.Money
+	// Net = EnergyCost − GreenCredit − RedReward + Penalty.
+	Net units.Money
+	// AbsorbedGreen is extra energy (above baseline) taken in green
+	// windows — the flexibility the ESP wanted.
+	AbsorbedGreen units.Energy
+	// AvoidedRed is energy avoided (below baseline) in red windows.
+	AvoidedRed units.Energy
+}
+
+// Settle prices adapted consumption against the agreement, measuring
+// adaptation against the declared baseline. The series must be aligned.
+func (a *Agreement) Settle(baseline, adapted *timeseries.PowerSeries, windows []Window) (*Settlement, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	diff, err := adapted.Sub(baseline) // positive = consuming more
+	if err != nil {
+		return nil, err
+	}
+	s := &Settlement{EnergyCost: a.BaseRate.Cost(adapted.Energy())}
+	h := adapted.Interval().Hours()
+	for i := 0; i < adapted.Len(); i++ {
+		ts := adapted.TimeAt(i)
+		for _, w := range windows {
+			if !w.covers(ts) {
+				continue
+			}
+			switch w.Kind {
+			case Green:
+				// Discount on all green-window consumption.
+				e := units.Energy(float64(adapted.At(i)) * h)
+				s.GreenCredit += a.GreenDiscount.Cost(e)
+				if d := diff.At(i); d > 0 {
+					s.AbsorbedGreen += units.Energy(float64(d) * h)
+				}
+			case Red:
+				avoided := -diff.At(i)
+				if avoided < 0 {
+					avoided = 0
+				}
+				e := units.Energy(float64(avoided) * h)
+				s.AvoidedRed += e
+				s.RedReward += a.RedReward.Cost(e)
+				if avoided < a.CommittedReduction {
+					short := units.Energy(float64(a.CommittedReduction-avoided) * h)
+					s.Penalty += a.Penalty.Cost(short)
+				}
+			}
+			break // at most one window per instant governs
+		}
+	}
+	s.Net = s.EnergyCost - s.GreenCredit - s.RedReward + s.Penalty
+	return s, nil
+}
+
+// Adapt shifts load from red windows into green windows, energy-
+// conserving: each red window sheds up to the agreement's committed
+// reduction (bounded by fraction×load), and the removed energy is
+// spread uniformly over the green windows. Red energy that finds no
+// green window to land in is simply not shifted.
+func Adapt(baseline *timeseries.PowerSeries, windows []Window, committed units.Power, fraction float64) (*timeseries.PowerSeries, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, errors.New("greensla: fraction must be in (0,1]")
+	}
+	if committed <= 0 {
+		return nil, errors.New("greensla: committed reduction must be positive")
+	}
+	samples := baseline.Samples()
+	h := baseline.Interval().Hours()
+
+	var greenIdx []int
+	for i := 0; i < baseline.Len(); i++ {
+		ts := baseline.TimeAt(i)
+		for _, w := range windows {
+			if w.Kind == Green && w.covers(ts) {
+				greenIdx = append(greenIdx, i)
+				break
+			}
+		}
+	}
+	var removedKWh float64
+	for i := 0; i < baseline.Len(); i++ {
+		ts := baseline.TimeAt(i)
+		for _, w := range windows {
+			if w.Kind != Red || !w.covers(ts) {
+				continue
+			}
+			cut := units.MinPower(committed, units.Power(float64(samples[i])*fraction))
+			if cut > 0 {
+				samples[i] -= cut
+				removedKWh += float64(cut) * h
+			}
+			break
+		}
+	}
+	if removedKWh > 0 && len(greenIdx) > 0 {
+		add := removedKWh / (float64(len(greenIdx)) * h)
+		for _, i := range greenIdx {
+			samples[i] += units.Power(add)
+		}
+	}
+	return timeseries.NewPower(baseline.Start(), baseline.Interval(), samples)
+}

@@ -1,0 +1,177 @@
+package greensla
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.November, 7, 0, 0, 0, 0, time.UTC)
+
+func agreement() *Agreement {
+	return &Agreement{
+		BaseRate:           0.080,
+		GreenDiscount:      0.030,
+		RedReward:          0.200,
+		CommittedReduction: 2000,
+		Penalty:            0.300,
+	}
+}
+
+// dayWindows puts a green window over hours 2–4 and a red window over
+// hours 8–10.
+func dayWindows() []Window {
+	return []Window{
+		{Kind: Green, Start: t0.Add(2 * time.Hour), Duration: 2 * time.Hour},
+		{Kind: Red, Start: t0.Add(8 * time.Hour), Duration: 2 * time.Hour},
+	}
+}
+
+func TestWindowKindString(t *testing.T) {
+	if Green.String() != "green" || Red.String() != "red" || WindowKind(9).String() == "" {
+		t.Error("window kind names")
+	}
+}
+
+func TestAgreementValidate(t *testing.T) {
+	if err := agreement().Validate(); err != nil {
+		t.Errorf("good agreement: %v", err)
+	}
+	bad := []*Agreement{
+		{BaseRate: 0},
+		{BaseRate: 0.08, GreenDiscount: 0.1},
+		{BaseRate: 0.08, RedReward: -1},
+		{BaseRate: 0.08, CommittedReduction: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSettleNoAdaptationPaysPenalties(t *testing.T) {
+	a := agreement()
+	baseline := timeseries.ConstantPower(t0, time.Hour, 12, 10000)
+	s, err := a.Settle(baseline, baseline, dayWindows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No adaptation: zero avoided, zero absorbed.
+	if s.AvoidedRed != 0 || s.AbsorbedGreen != 0 {
+		t.Errorf("no adaptation should measure zero: %+v", s)
+	}
+	// Red penalty: 2 h × 2 MW committed shortfall × 0.30 = 1200.
+	if s.Penalty != units.CurrencyUnits(1200) {
+		t.Errorf("penalty = %v", s.Penalty)
+	}
+	// Green discount still applies to consumption in the window:
+	// 2 h × 10 MW × 0.03 = 600.
+	if s.GreenCredit != units.CurrencyUnits(600) {
+		t.Errorf("green credit = %v", s.GreenCredit)
+	}
+	// Energy cost: 120 MWh × 0.08 = 9600. Net = 9600 − 600 + 1200.
+	if s.Net != units.CurrencyUnits(9600-600+1200) {
+		t.Errorf("net = %v", s.Net)
+	}
+}
+
+func TestAdaptShiftsRedIntoGreen(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Hour, 12, 10000)
+	adapted, err := Adapt(baseline, dayWindows(), 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy conserved.
+	if math.Abs(float64(adapted.Energy()-baseline.Energy())) > 1e-6 {
+		t.Errorf("energy changed: %v vs %v", adapted.Energy(), baseline.Energy())
+	}
+	// Red hours (8,9) reduced by committed 2 MW.
+	if adapted.At(8) != 8000 || adapted.At(9) != 8000 {
+		t.Errorf("red hours = %v, %v", adapted.At(8), adapted.At(9))
+	}
+	// Green hours (2,3) absorb the 4 MWh: +2 MW each.
+	if adapted.At(2) != 12000 || adapted.At(3) != 12000 {
+		t.Errorf("green hours = %v, %v", adapted.At(2), adapted.At(3))
+	}
+	// Other hours untouched.
+	if adapted.At(0) != 10000 || adapted.At(11) != 10000 {
+		t.Error("hours outside windows must be untouched")
+	}
+}
+
+func TestAdaptValidation(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	if _, err := Adapt(baseline, nil, 2000, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := Adapt(baseline, nil, 0, 0.5); err == nil {
+		t.Error("zero commitment should fail")
+	}
+	// No green windows: red energy is not shifted (stays removed? no —
+	// not shifted at all when nothing can absorb it... it IS removed
+	// from red and dropped if no green exists; assert conservation only
+	// when green windows exist).
+	redOnly := []Window{{Kind: Red, Start: t0, Duration: time.Hour}}
+	adapted, err := Adapt(baseline, redOnly, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.At(0) != 500 {
+		t.Errorf("red-only adaptation = %v", adapted.At(0))
+	}
+}
+
+func TestAdaptationBeatsNoAdaptation(t *testing.T) {
+	a := agreement()
+	baseline := timeseries.ConstantPower(t0, time.Hour, 12, 10000)
+	windows := dayWindows()
+	passive, err := a.Settle(baseline, baseline, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := Adapt(baseline, windows, 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := a.Settle(baseline, adapted, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active.Net >= passive.Net {
+		t.Errorf("adaptation should pay: active %v vs passive %v", active.Net, passive.Net)
+	}
+	if active.AvoidedRed.MWh() < 3.9 || active.AbsorbedGreen.MWh() < 3.9 {
+		t.Errorf("flexibility delivered: %+v", active)
+	}
+	if active.Penalty != 0 {
+		t.Errorf("full delivery should avoid penalties, got %v", active.Penalty)
+	}
+}
+
+func TestSettleValidation(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	short := timeseries.ConstantPower(t0, time.Hour, 3, 1000)
+	if _, err := agreement().Settle(baseline, short, nil); err == nil {
+		t.Error("misaligned should fail")
+	}
+	bad := &Agreement{}
+	if _, err := bad.Settle(baseline, baseline, nil); err == nil {
+		t.Error("invalid agreement should fail")
+	}
+}
+
+func TestSettleNoWindowsIsPlainEnergyBill(t *testing.T) {
+	a := agreement()
+	baseline := timeseries.ConstantPower(t0, time.Hour, 10, 5000)
+	s, err := a.Settle(baseline, baseline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Net != a.BaseRate.Cost(baseline.Energy()) {
+		t.Errorf("no windows: net %v should equal plain energy cost", s.Net)
+	}
+}

@@ -1,0 +1,146 @@
+package grid
+
+// Infrastructure cost allocation — the economics behind §1's opening:
+// "the transmission and distribution grid infrastructure is sized and
+// operated to meet the peak demand needs (kW) of the consumers", and
+// ESPs recover those costs "by including demand charges ... where a
+// consumer that has [a] peakier load profile shares the higher cost of
+// the investment."
+//
+// The model: a feeder's capacity cost is driven by the coincident system
+// peak (the one interval where the sum of all consumers peaks). Two
+// standard allocation rules are implemented:
+//
+//   - CoincidentPeak: each consumer pays in proportion to its draw at
+//     the system-peak interval (pure cost causation);
+//   - NonCoincidentPeak: each consumer pays in proportion to its own
+//     individual peak (what a simple demand charge actually measures).
+//
+// The gap between the two is the classic critique of demand charges: a
+// consumer whose private peak is off the system peak overpays under
+// non-coincident allocation.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// AllocationRule selects how capacity cost is split.
+type AllocationRule int
+
+// Allocation rules.
+const (
+	// CoincidentPeak allocates by draw at the system-peak interval.
+	CoincidentPeak AllocationRule = iota
+	// NonCoincidentPeak allocates by each consumer's own peak.
+	NonCoincidentPeak
+)
+
+// String returns the rule name.
+func (r AllocationRule) String() string {
+	switch r {
+	case CoincidentPeak:
+		return "coincident-peak"
+	case NonCoincidentPeak:
+		return "non-coincident-peak"
+	default:
+		return fmt.Sprintf("AllocationRule(%d)", int(r))
+	}
+}
+
+// Consumer is one load on the shared feeder.
+type Consumer struct {
+	Name string
+	Load *timeseries.PowerSeries
+}
+
+// AllocationShare is one consumer's outcome.
+type AllocationShare struct {
+	Name string
+	// AtSystemPeak is the consumer's draw at the coincident peak.
+	AtSystemPeak units.Power
+	// OwnPeak is the consumer's individual peak.
+	OwnPeak units.Power
+	// Share is the fraction of the capacity cost allocated.
+	Share float64
+	// Cost is the allocated amount.
+	Cost units.Money
+}
+
+// Allocation is the result of splitting a capacity cost.
+type Allocation struct {
+	Rule AllocationRule
+	// SystemPeak is the coincident peak of the summed load.
+	SystemPeak units.Power
+	Shares     []AllocationShare
+}
+
+// AllocateCapacityCost splits capacityCost across the consumers under
+// the rule. All loads must be aligned.
+func AllocateCapacityCost(consumers []Consumer, capacityCost units.Money, rule AllocationRule) (*Allocation, error) {
+	if len(consumers) == 0 {
+		return nil, errors.New("grid: no consumers")
+	}
+	if capacityCost < 0 {
+		return nil, errors.New("grid: capacity cost must be non-negative")
+	}
+	total := consumers[0].Load
+	var err error
+	for _, c := range consumers[1:] {
+		total, err = total.Add(c.Load)
+		if err != nil {
+			return nil, fmt.Errorf("grid: consumer %q misaligned: %w", c.Name, err)
+		}
+	}
+	systemPeak, peakAt, err := total.Peak()
+	if err != nil {
+		return nil, err
+	}
+	out := &Allocation{Rule: rule, SystemPeak: systemPeak}
+	var denom float64
+	for _, c := range consumers {
+		idx, _ := c.Load.IndexAt(peakAt)
+		atPeak := c.Load.At(idx)
+		own, _, err := c.Load.Peak()
+		if err != nil {
+			return nil, err
+		}
+		share := AllocationShare{Name: c.Name, AtSystemPeak: atPeak, OwnPeak: own}
+		switch rule {
+		case CoincidentPeak:
+			denom += float64(atPeak)
+		case NonCoincidentPeak:
+			denom += float64(own)
+		default:
+			return nil, fmt.Errorf("grid: unknown allocation rule %d", int(rule))
+		}
+		out.Shares = append(out.Shares, share)
+	}
+	if denom <= 0 {
+		return nil, errors.New("grid: consumers draw no power at the allocation basis")
+	}
+	for i := range out.Shares {
+		s := &out.Shares[i]
+		switch rule {
+		case CoincidentPeak:
+			s.Share = float64(s.AtSystemPeak) / denom
+		case NonCoincidentPeak:
+			s.Share = float64(s.OwnPeak) / denom
+		}
+		s.Cost = capacityCost.MulFloat(s.Share)
+	}
+	return out, nil
+}
+
+// ShareOf returns the named consumer's share, or an error.
+func (a *Allocation) ShareOf(name string) (AllocationShare, error) {
+	for _, s := range a.Shares {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return AllocationShare{}, fmt.Errorf("grid: no consumer %q in allocation", name)
+}

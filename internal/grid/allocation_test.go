@@ -1,0 +1,115 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// mkLoad builds an hourly series from kW values.
+func mkLoad(kw ...float64) *timeseries.PowerSeries {
+	samples := make([]units.Power, len(kw))
+	for i, v := range kw {
+		samples[i] = units.Power(v)
+	}
+	return timeseries.MustNewPower(t0, time.Hour, samples)
+}
+
+func TestAllocationRuleString(t *testing.T) {
+	if CoincidentPeak.String() != "coincident-peak" || NonCoincidentPeak.String() != "non-coincident-peak" {
+		t.Error("rule names")
+	}
+	if AllocationRule(9).String() == "" {
+		t.Error("unknown rule should format")
+	}
+}
+
+func TestCoincidentVsNonCoincident(t *testing.T) {
+	// Consumer A peaks WITH the system (hour 1), B peaks at hour 0 when
+	// the system is slack. Summed load: 150, 220, 70 → system peak at
+	// hour 1 where A draws 200 and B only 20.
+	a := Consumer{Name: "evening-peaker", Load: mkLoad(50, 200, 50)}
+	b := Consumer{Name: "night-peaker", Load: mkLoad(100, 20, 20)}
+
+	cost := units.CurrencyUnits(1000)
+	co, err := AllocateCapacityCost([]Consumer{a, b}, cost, CoincidentPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.SystemPeak != 220 {
+		t.Errorf("system peak = %v", co.SystemPeak)
+	}
+	sa, _ := co.ShareOf("evening-peaker")
+	sb, _ := co.ShareOf("night-peaker")
+	// At the system peak A draws 200, B draws 20 → shares 10/11, 1/11.
+	if math.Abs(sa.Share-200.0/220) > 1e-9 || math.Abs(sb.Share-20.0/220) > 1e-9 {
+		t.Errorf("coincident shares = %v, %v", sa.Share, sb.Share)
+	}
+	// Exactness: shares sum to the full cost within rounding.
+	if d := sa.Cost + sb.Cost - cost; d < -2 || d > 2 {
+		t.Errorf("allocated %v of %v", sa.Cost+sb.Cost, cost)
+	}
+
+	nc, err := AllocateCapacityCost([]Consumer{a, b}, cost, NonCoincidentPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := nc.ShareOf("evening-peaker")
+	nb, _ := nc.ShareOf("night-peaker")
+	// Own peaks 200 and 100 → shares 2/3 and 1/3.
+	if math.Abs(na.Share-2.0/3) > 1e-9 || math.Abs(nb.Share-1.0/3) > 1e-9 {
+		t.Errorf("non-coincident shares = %v, %v", na.Share, nb.Share)
+	}
+	// The §1 critique, quantified: the off-peak consumer pays more under
+	// the non-coincident rule than its cost causation.
+	if nb.Share <= sb.Share {
+		t.Error("night peaker must overpay under non-coincident allocation")
+	}
+}
+
+func TestPeakierConsumerPaysMore(t *testing.T) {
+	// Two consumers with identical energy; one flat, one peaky. The
+	// §1 claim: the peakier profile shares the higher cost.
+	flat := Consumer{Name: "flat", Load: mkLoad(100, 100, 100, 100)}
+	peaky := Consumer{Name: "peaky", Load: mkLoad(10, 370, 10, 10)}
+	alloc, err := AllocateCapacityCost([]Consumer{flat, peaky}, units.CurrencyUnits(1000), NonCoincidentPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := alloc.ShareOf("flat")
+	p, _ := alloc.ShareOf("peaky")
+	if p.Cost <= f.Cost {
+		t.Errorf("peaky %v must pay more than flat %v", p.Cost, f.Cost)
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	a := Consumer{Name: "a", Load: mkLoad(1, 2)}
+	if _, err := AllocateCapacityCost(nil, 0, CoincidentPeak); err == nil {
+		t.Error("no consumers should fail")
+	}
+	if _, err := AllocateCapacityCost([]Consumer{a}, -1, CoincidentPeak); err == nil {
+		t.Error("negative cost should fail")
+	}
+	short := Consumer{Name: "b", Load: mkLoad(1)}
+	if _, err := AllocateCapacityCost([]Consumer{a, short}, 0, CoincidentPeak); err == nil {
+		t.Error("misaligned should fail")
+	}
+	zero := Consumer{Name: "z", Load: mkLoad(0, 0)}
+	if _, err := AllocateCapacityCost([]Consumer{zero}, 100, CoincidentPeak); err == nil {
+		t.Error("zero draw should fail")
+	}
+	if _, err := AllocateCapacityCost([]Consumer{a}, 0, AllocationRule(9)); err == nil {
+		t.Error("unknown rule should fail")
+	}
+	alloc, err := AllocateCapacityCost([]Consumer{a}, 100, CoincidentPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alloc.ShareOf("missing"); err == nil {
+		t.Error("unknown consumer should fail")
+	}
+}

@@ -1,0 +1,263 @@
+// Package grid simulates the electricity-service-provider side of the
+// relationship: regional system demand, renewable generation with its
+// intermittency and variable output, the resulting net load on
+// dispatchable generation, and the grid-stress events that trigger
+// emergency demand response.
+//
+// The models are deliberately simple, standard shapes — diurnal/weekly
+// demand cycles, a solar bell curve with cloud noise, an autoregressive
+// wind process — because the paper's claims depend only on the
+// qualitative structure: peaks are expensive (capacity is sized to peak,
+// §1), renewables add volatility, and scarcity hours are when flexible
+// consumers matter.
+package grid
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// RegionConfig parameterizes a synthetic regional system-load profile.
+type RegionConfig struct {
+	// Start, Span, Interval delimit the generated series.
+	Start    time.Time
+	Span     time.Duration
+	Interval time.Duration
+	// BaseLoad is the average regional demand.
+	BaseLoad units.Power
+	// DiurnalSwing is the relative day/night amplitude (e.g. 0.25).
+	DiurnalSwing float64
+	// WeekendDip is the relative demand reduction on weekends.
+	WeekendDip float64
+	// SeasonalSwing is the relative winter/summer amplitude.
+	SeasonalSwing float64
+	// NoiseSigma is the relative sample noise.
+	NoiseSigma float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultRegion returns a mid-size balancing area (≈5 GW average) for
+// one simulated month at 15-minute resolution.
+func DefaultRegion(start time.Time) RegionConfig {
+	return RegionConfig{
+		Start: start, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+		BaseLoad: 5 * units.Gigawatt, DiurnalSwing: 0.22, WeekendDip: 0.10,
+		SeasonalSwing: 0.10, NoiseSigma: 0.01, Seed: 1,
+	}
+}
+
+// SystemLoad generates the regional demand profile.
+func SystemLoad(cfg RegionConfig) (*timeseries.PowerSeries, error) {
+	if cfg.Span <= 0 || cfg.Interval <= 0 {
+		return nil, errors.New("grid: span and interval must be positive")
+	}
+	if cfg.BaseLoad <= 0 {
+		return nil, errors.New("grid: base load must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.Span / cfg.Interval)
+	if n <= 0 {
+		return nil, errors.New("grid: span shorter than interval")
+	}
+	samples := make([]units.Power, n)
+	base := float64(cfg.BaseLoad)
+	for i := range samples {
+		ts := cfg.Start.Add(time.Duration(i) * cfg.Interval)
+		v := base
+		// Diurnal: trough ~04:00, peak ~18:00.
+		hour := float64(ts.Hour()) + float64(ts.Minute())/60
+		v += base * cfg.DiurnalSwing * math.Sin((hour-10)/24*2*math.Pi)
+		// Weekly.
+		if wd := ts.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			v -= base * cfg.WeekendDip
+		}
+		// Seasonal: peak mid-winter (northern heating-dominated region).
+		doy := float64(ts.YearDay())
+		v += base * cfg.SeasonalSwing * math.Cos(doy/365*2*math.Pi)
+		// Noise.
+		if cfg.NoiseSigma > 0 {
+			v += base * cfg.NoiseSigma * rng.NormFloat64()
+		}
+		if v < 0 {
+			v = 0
+		}
+		samples[i] = units.Power(v)
+	}
+	return timeseries.NewPower(cfg.Start, cfg.Interval, samples)
+}
+
+// SolarConfig parameterizes a solar fleet.
+type SolarConfig struct {
+	// Capacity is the fleet nameplate.
+	Capacity units.Power
+	// CloudNoise is the relative variability from passing clouds.
+	CloudNoise float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Solar generates fleet output aligned with a template series (same
+// start/interval/length): a daylight bell curve scaled by capacity with
+// multiplicative cloud noise.
+func Solar(template *timeseries.PowerSeries, cfg SolarConfig) (*timeseries.PowerSeries, error) {
+	if template == nil || template.Len() == 0 {
+		return nil, errors.New("grid: solar needs a template series")
+	}
+	if cfg.Capacity < 0 || cfg.CloudNoise < 0 {
+		return nil, errors.New("grid: solar capacity and noise must be non-negative")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	samples := make([]units.Power, template.Len())
+	for i := range samples {
+		ts := template.TimeAt(i)
+		hour := float64(ts.Hour()) + float64(ts.Minute())/60
+		// Daylight bell between 6 and 18, peaking at noon.
+		var f float64
+		if hour > 6 && hour < 18 {
+			f = math.Sin((hour - 6) / 12 * math.Pi)
+		}
+		if f > 0 && cfg.CloudNoise > 0 {
+			f *= 1 - cfg.CloudNoise*rng.Float64()
+		}
+		samples[i] = units.Power(float64(cfg.Capacity) * f)
+	}
+	return timeseries.NewPower(template.Start(), template.Interval(), samples)
+}
+
+// WindConfig parameterizes a wind fleet.
+type WindConfig struct {
+	// Capacity is the fleet nameplate.
+	Capacity units.Power
+	// MeanCF is the long-run capacity factor (e.g. 0.35).
+	MeanCF float64
+	// Persistence in (0,1) is the AR(1) coefficient of the capacity-
+	// factor process; higher = smoother.
+	Persistence float64
+	// Sigma is the innovation scale of the AR process.
+	Sigma float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Wind generates fleet output aligned with a template series using a
+// clamped AR(1) capacity-factor process.
+func Wind(template *timeseries.PowerSeries, cfg WindConfig) (*timeseries.PowerSeries, error) {
+	if template == nil || template.Len() == 0 {
+		return nil, errors.New("grid: wind needs a template series")
+	}
+	if cfg.Capacity < 0 {
+		return nil, errors.New("grid: wind capacity must be non-negative")
+	}
+	if cfg.MeanCF < 0 || cfg.MeanCF > 1 {
+		return nil, errors.New("grid: mean capacity factor must be in [0,1]")
+	}
+	if cfg.Persistence <= 0 || cfg.Persistence >= 1 {
+		return nil, errors.New("grid: persistence must be in (0,1)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	samples := make([]units.Power, template.Len())
+	cf := cfg.MeanCF
+	for i := range samples {
+		cf = cfg.MeanCF + cfg.Persistence*(cf-cfg.MeanCF) + cfg.Sigma*rng.NormFloat64()
+		if cf < 0 {
+			cf = 0
+		}
+		if cf > 1 {
+			cf = 1
+		}
+		samples[i] = units.Power(float64(cfg.Capacity) * cf)
+	}
+	return timeseries.NewPower(template.Start(), template.Interval(), samples)
+}
+
+// NetLoad returns demand minus renewable generation, floored at zero
+// (surplus renewable hours clamp; curtailment is outside scope).
+func NetLoad(demand *timeseries.PowerSeries, renewables ...*timeseries.PowerSeries) (*timeseries.PowerSeries, error) {
+	net := demand
+	var err error
+	for _, r := range renewables {
+		net, err = net.Sub(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return net.Map(func(p units.Power) units.Power {
+		if p < 0 {
+			return 0
+		}
+		return p
+	}), nil
+}
+
+// StressEvent is a contiguous run where net load exceeds a capacity
+// threshold — the condition under which ESPs dispatch emergency DR.
+type StressEvent struct {
+	Start    time.Time
+	Duration time.Duration
+	// PeakNetLoad is the highest net load during the event.
+	PeakNetLoad units.Power
+	// Shortfall is the integrated energy above the threshold.
+	Shortfall units.Energy
+}
+
+// DetectStress scans a net-load profile against a dispatch threshold and
+// returns the stress events (minimum one interval long).
+func DetectStress(netLoad *timeseries.PowerSeries, threshold units.Power) ([]StressEvent, error) {
+	if threshold <= 0 {
+		return nil, errors.New("grid: stress threshold must be positive")
+	}
+	var out []StressEvent
+	var cur *StressEvent
+	h := netLoad.Interval().Hours()
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for i := 0; i < netLoad.Len(); i++ {
+		p := netLoad.At(i)
+		if p <= threshold {
+			flush()
+			continue
+		}
+		if cur == nil {
+			cur = &StressEvent{Start: netLoad.TimeAt(i)}
+		}
+		cur.Duration += netLoad.Interval()
+		if p > cur.PeakNetLoad {
+			cur.PeakNetLoad = p
+		}
+		cur.Shortfall += units.Energy(float64(p-threshold) * h)
+	}
+	flush()
+	return out, nil
+}
+
+// PeakReduction quantifies how much a demand-side intervention lowered
+// the regional peak: it compares the peaks of two net-load profiles and
+// returns the absolute and relative reduction. This is the quantity
+// behind FERC's "DR programs throughout the United States have the
+// potential to reduce peak load by 6.6%" estimate cited in §1.
+func PeakReduction(before, after *timeseries.PowerSeries) (units.Power, float64, error) {
+	pb, _, err := before.Peak()
+	if err != nil {
+		return 0, 0, err
+	}
+	pa, _, err := after.Peak()
+	if err != nil {
+		return 0, 0, err
+	}
+	abs := pb - pa
+	rel := 0.0
+	if pb > 0 {
+		rel = float64(abs) / float64(pb)
+	}
+	return abs, rel, nil
+}

@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.January, 4, 0, 0, 0, 0, time.UTC) // a Monday
+
+func TestSystemLoadValidation(t *testing.T) {
+	bad := []RegionConfig{
+		{},
+		{Span: time.Hour, Interval: 0, BaseLoad: 1},
+		{Span: time.Hour, Interval: time.Hour, BaseLoad: 0},
+		{Span: time.Minute, Interval: time.Hour, BaseLoad: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := SystemLoad(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSystemLoadShape(t *testing.T) {
+	cfg := DefaultRegion(t0)
+	cfg.NoiseSigma = 0 // deterministic shape checks
+	s, err := SystemLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 30*96 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Mean near the base load.
+	if math.Abs(float64(s.Mean()-cfg.BaseLoad)) > float64(cfg.BaseLoad)*0.1 {
+		t.Errorf("mean = %v, want ≈%v", s.Mean(), cfg.BaseLoad)
+	}
+	// Evening (18:00 Monday) above early morning (04:00 Monday).
+	evening, _ := s.IndexAt(t0.Add(18 * time.Hour))
+	morning, _ := s.IndexAt(t0.Add(4 * time.Hour))
+	if s.At(evening) <= s.At(morning) {
+		t.Errorf("diurnal shape: evening %v should exceed morning %v", s.At(evening), s.At(morning))
+	}
+	// Weekend (Saturday noon) below weekday (Monday noon).
+	satNoon, _ := s.IndexAt(t0.Add(5*24*time.Hour + 12*time.Hour))
+	monNoon, _ := s.IndexAt(t0.Add(12 * time.Hour))
+	if s.At(satNoon) >= s.At(monNoon) {
+		t.Errorf("weekend dip: sat %v should be below mon %v", s.At(satNoon), s.At(monNoon))
+	}
+}
+
+func TestSystemLoadDeterministic(t *testing.T) {
+	cfg := DefaultRegion(t0)
+	a, _ := SystemLoad(cfg)
+	b, _ := SystemLoad(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatal("equal seeds must reproduce")
+		}
+	}
+}
+
+func TestSolar(t *testing.T) {
+	template := timeseries.ConstantPower(t0, 15*time.Minute, 96, 0)
+	s, err := Solar(template, SolarConfig{Capacity: 1000, CloudNoise: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midnight zero, noon at capacity.
+	if s.At(0) != 0 {
+		t.Errorf("midnight output = %v", s.At(0))
+	}
+	noon, _ := s.IndexAt(t0.Add(12 * time.Hour))
+	if math.Abs(float64(s.At(noon))-1000) > 10 {
+		t.Errorf("noon output = %v, want ≈1000", s.At(noon))
+	}
+	// Cloud noise only reduces output.
+	cloudy, err := Solar(template, SolarConfig{Capacity: 1000, CloudNoise: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if cloudy.At(i) > s.At(i)+1e-9 {
+			t.Fatalf("clouds must not increase output at %d", i)
+		}
+	}
+}
+
+func TestSolarValidation(t *testing.T) {
+	template := timeseries.ConstantPower(t0, time.Hour, 24, 0)
+	if _, err := Solar(nil, SolarConfig{}); err == nil {
+		t.Error("nil template should fail")
+	}
+	if _, err := Solar(template, SolarConfig{Capacity: -1}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := Solar(template, SolarConfig{CloudNoise: -1}); err == nil {
+		t.Error("negative noise should fail")
+	}
+}
+
+func TestWind(t *testing.T) {
+	template := timeseries.ConstantPower(t0, 15*time.Minute, 960, 0)
+	w, err := Wind(template, WindConfig{
+		Capacity: 2000, MeanCF: 0.35, Persistence: 0.95, Sigma: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output bounded by nameplate and non-negative.
+	for i := 0; i < w.Len(); i++ {
+		if w.At(i) < 0 || w.At(i) > 2000 {
+			t.Fatalf("wind output %v out of [0, capacity]", w.At(i))
+		}
+	}
+	// Long-run mean near MeanCF × capacity (loose bound).
+	mean := float64(w.Mean())
+	if mean < 0.2*2000 || mean > 0.5*2000 {
+		t.Errorf("wind mean = %v, want ≈700", mean)
+	}
+}
+
+func TestWindValidation(t *testing.T) {
+	template := timeseries.ConstantPower(t0, time.Hour, 24, 0)
+	bad := []WindConfig{
+		{Capacity: -1, MeanCF: 0.3, Persistence: 0.9},
+		{Capacity: 1, MeanCF: 1.5, Persistence: 0.9},
+		{Capacity: 1, MeanCF: 0.3, Persistence: 0},
+		{Capacity: 1, MeanCF: 0.3, Persistence: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Wind(template, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := Wind(nil, WindConfig{Capacity: 1, MeanCF: 0.3, Persistence: 0.9}); err == nil {
+		t.Error("nil template should fail")
+	}
+}
+
+func TestNetLoad(t *testing.T) {
+	demand := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	re := timeseries.MustNewPower(t0, time.Hour, []units.Power{200, 1200, 0, 500})
+	net, err := NetLoad(demand, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Power{800, 0, 1000, 500} // clamped at zero in hour 2
+	for i, w := range want {
+		if net.At(i) != w {
+			t.Errorf("net[%d] = %v, want %v", i, net.At(i), w)
+		}
+	}
+	// Misaligned renewables error.
+	short := timeseries.ConstantPower(t0, time.Hour, 3, 100)
+	if _, err := NetLoad(demand, short); err == nil {
+		t.Error("misaligned should fail")
+	}
+}
+
+func TestDetectStress(t *testing.T) {
+	net := timeseries.MustNewPower(t0, 15*time.Minute, []units.Power{
+		900, 1100, 1300, 950, 1050, 900,
+	})
+	events, err := DetectStress(net, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	e := events[0]
+	if e.Duration != 30*time.Minute || e.PeakNetLoad != 1300 {
+		t.Errorf("event = %+v", e)
+	}
+	// Shortfall: (100+300) kW × 0.25 h = 100 kWh.
+	if math.Abs(e.Shortfall.KWh()-100) > 1e-9 {
+		t.Errorf("shortfall = %v", e.Shortfall)
+	}
+	if _, err := DetectStress(net, 0); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	quiet, err := DetectStress(net, 5000)
+	if err != nil || len(quiet) != 0 {
+		t.Error("no stress expected above all samples")
+	}
+}
+
+func TestPeakReduction(t *testing.T) {
+	before := timeseries.MustNewPower(t0, time.Hour, []units.Power{900, 1000, 950})
+	after := timeseries.MustNewPower(t0, time.Hour, []units.Power{900, 934, 900})
+	abs, rel, err := PeakReduction(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs != 66 {
+		t.Errorf("abs = %v", abs)
+	}
+	if math.Abs(rel-0.066) > 1e-9 {
+		t.Errorf("rel = %v, want 0.066", rel)
+	}
+	empty := timeseries.MustNewPower(t0, time.Hour, nil)
+	if _, _, err := PeakReduction(empty, after); err == nil {
+		t.Error("empty before should fail")
+	}
+	if _, _, err := PeakReduction(before, empty); err == nil {
+		t.Error("empty after should fail")
+	}
+	// Zero peak guards division.
+	zeros := timeseries.ConstantPower(t0, time.Hour, 3, 0)
+	_, rel0, err := PeakReduction(zeros, zeros)
+	if err != nil || rel0 != 0 {
+		t.Errorf("zero-peak rel = %v (%v)", rel0, err)
+	}
+}

@@ -1,0 +1,100 @@
+package grid
+
+// Supply-mix accounting: the machinery behind CSCS's 80 % renewable
+// requirement (§4). Two accounting conventions exist and diverge, and
+// the difference matters for contract language:
+//
+//   - annual matching: renewable energy bought over the year ÷ energy
+//     consumed over the year (how such clauses are usually settled);
+//   - time matching: in every metering interval, only renewable
+//     generation actually available then counts toward the share.
+//
+// A site that consumes flat 24×7 against a solar-heavy mix can be 100 %
+// renewable annually while far lower time-matched.
+
+import (
+	"errors"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// MixReport summarizes renewable coverage of a consumption profile.
+type MixReport struct {
+	// Consumed is the site's total energy.
+	Consumed units.Energy
+	// RenewableAvailable is the renewable generation allocated to the
+	// site over the period (its contracted share of the fleet).
+	RenewableAvailable units.Energy
+	// AnnualShare is min(1, RenewableAvailable/Consumed).
+	AnnualShare float64
+	// TimeMatchedShare counts, interval by interval, only renewable
+	// energy actually generated while the site consumed.
+	TimeMatchedShare float64
+}
+
+// MatchingGap returns annual minus time-matched share (≥ 0 in practice).
+func (r *MixReport) MatchingGap() float64 { return r.AnnualShare - r.TimeMatchedShare }
+
+// RenewableShare computes both accounting conventions for a consumption
+// profile against an allocated renewable-generation profile (aligned
+// series: same start, interval, length).
+func RenewableShare(consumption, renewable *timeseries.PowerSeries) (*MixReport, error) {
+	if consumption == nil || renewable == nil {
+		return nil, errors.New("grid: mix accounting needs both profiles")
+	}
+	if consumption.Len() == 0 {
+		return nil, errors.New("grid: empty consumption profile")
+	}
+	if !consumption.Start().Equal(renewable.Start()) ||
+		consumption.Interval() != renewable.Interval() ||
+		consumption.Len() != renewable.Len() {
+		return nil, timeseries.ErrMisaligned
+	}
+	rep := &MixReport{
+		Consumed:           consumption.Energy(),
+		RenewableAvailable: renewable.Energy(),
+	}
+	if rep.Consumed <= 0 {
+		return nil, errors.New("grid: consumption must be positive")
+	}
+	// Annual matching.
+	rep.AnnualShare = float64(rep.RenewableAvailable) / float64(rep.Consumed)
+	if rep.AnnualShare > 1 {
+		rep.AnnualShare = 1
+	}
+	// Time matching: per interval, covered = min(consumed, renewable).
+	var covered float64
+	h := consumption.Interval().Hours()
+	for i := 0; i < consumption.Len(); i++ {
+		c := float64(consumption.At(i))
+		r := float64(renewable.At(i))
+		if r < 0 {
+			r = 0
+		}
+		m := c
+		if r < c {
+			m = r
+		}
+		if m > 0 {
+			covered += m * h
+		}
+	}
+	rep.TimeMatchedShare = covered / float64(rep.Consumed)
+	return rep, nil
+}
+
+// VerifyMixClause checks a contracted renewable-share floor under the
+// chosen accounting convention.
+func VerifyMixClause(rep *MixReport, floor float64, timeMatched bool) (bool, error) {
+	if rep == nil {
+		return false, errors.New("grid: nil mix report")
+	}
+	if floor < 0 || floor > 1 {
+		return false, errors.New("grid: floor must be in [0,1]")
+	}
+	if timeMatched {
+		return rep.TimeMatchedShare >= floor, nil
+	}
+	return rep.AnnualShare >= floor, nil
+}

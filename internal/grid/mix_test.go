@@ -1,0 +1,107 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func TestRenewableShareFlatVsSolar(t *testing.T) {
+	// Flat 1 MW consumption for a day; allocated solar with 24 MWh
+	// total but concentrated in daylight.
+	consumption := timeseries.ConstantPower(t0, time.Hour, 24, 1000)
+	solarSamples := make([]units.Power, 24)
+	for h := 8; h < 16; h++ {
+		solarSamples[h] = 3000 // 8 h × 3 MW = 24 MWh
+	}
+	renewable := timeseries.MustNewPower(t0, time.Hour, solarSamples)
+
+	rep, err := RenewableShare(consumption, renewable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annually: 24 MWh renewable vs 24 MWh consumed → 100 %.
+	if math.Abs(rep.AnnualShare-1) > 1e-9 {
+		t.Errorf("annual share = %v", rep.AnnualShare)
+	}
+	// Time-matched: only the 8 daylight hours are covered → 8/24.
+	if math.Abs(rep.TimeMatchedShare-8.0/24) > 1e-9 {
+		t.Errorf("time-matched share = %v", rep.TimeMatchedShare)
+	}
+	if rep.MatchingGap() <= 0 {
+		t.Error("solar against flat load must show a matching gap")
+	}
+}
+
+func TestRenewableSharePerfectMatch(t *testing.T) {
+	c := timeseries.ConstantPower(t0, time.Hour, 24, 1000)
+	rep, err := RenewableShare(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnnualShare != 1 || rep.TimeMatchedShare != 1 || rep.MatchingGap() != 0 {
+		t.Errorf("perfect match: %+v", rep)
+	}
+}
+
+func TestRenewableSharePartial(t *testing.T) {
+	c := timeseries.ConstantPower(t0, time.Hour, 10, 1000)
+	r := timeseries.ConstantPower(t0, time.Hour, 10, 800)
+	rep, err := RenewableShare(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AnnualShare-0.8) > 1e-9 || math.Abs(rep.TimeMatchedShare-0.8) > 1e-9 {
+		t.Errorf("constant partial: %+v", rep)
+	}
+}
+
+func TestRenewableShareValidation(t *testing.T) {
+	c := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	if _, err := RenewableShare(nil, c); err == nil {
+		t.Error("nil consumption should fail")
+	}
+	if _, err := RenewableShare(c, nil); err == nil {
+		t.Error("nil renewable should fail")
+	}
+	short := timeseries.ConstantPower(t0, time.Hour, 3, 500)
+	if _, err := RenewableShare(c, short); err == nil {
+		t.Error("misaligned should fail")
+	}
+	empty := timeseries.MustNewPower(t0, time.Hour, nil)
+	if _, err := RenewableShare(empty, empty); err == nil {
+		t.Error("empty should fail")
+	}
+	zeros := timeseries.ConstantPower(t0, time.Hour, 4, 0)
+	if _, err := RenewableShare(zeros, c); err == nil {
+		t.Error("zero consumption should fail")
+	}
+	// Negative renewable samples clamp, not crash.
+	neg := timeseries.ConstantPower(t0, time.Hour, 4, -100)
+	rep, err := RenewableShare(c, neg)
+	if err != nil || rep.TimeMatchedShare != 0 {
+		t.Errorf("negative renewables should count as zero: %+v (%v)", rep, err)
+	}
+}
+
+func TestVerifyMixClause(t *testing.T) {
+	rep := &MixReport{AnnualShare: 0.85, TimeMatchedShare: 0.60}
+	// CSCS-style 80 % floor passes annually, fails time-matched.
+	ok, err := VerifyMixClause(rep, 0.80, false)
+	if err != nil || !ok {
+		t.Errorf("annual clause: %v %v", ok, err)
+	}
+	ok, err = VerifyMixClause(rep, 0.80, true)
+	if err != nil || ok {
+		t.Errorf("time-matched clause should fail: %v %v", ok, err)
+	}
+	if _, err := VerifyMixClause(nil, 0.8, false); err == nil {
+		t.Error("nil report should fail")
+	}
+	if _, err := VerifyMixClause(rep, 1.5, false); err == nil {
+		t.Error("bad floor should fail")
+	}
+}

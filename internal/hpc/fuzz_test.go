@@ -1,0 +1,30 @@
+package hpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSWF checks the SWF parser never panics and that every job it
+// accepts validates. Run with `go test -fuzz=FuzzParseSWF`; the seed
+// corpus runs on every ordinary `go test`.
+func FuzzParseSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; empty\n")
+	f.Add("1 0 10 3600 32 -1 -1 32 7200\n")
+	f.Add("1 -5 10 3600 32 -1 -1 32 7200\n")
+	f.Add("x y z\n")
+	f.Add("1 0 10 3600 0 -1 -1 0 7200\n")
+	f.Add("9223372036854775807 0 10 3600 32 -1 -1 32 7200\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := ParseSWF(strings.NewReader(input), SWFConfig{})
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("parser accepted an invalid job: %v", err)
+			}
+		}
+	})
+}

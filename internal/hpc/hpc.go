@@ -1,0 +1,490 @@
+// Package hpc models the supercomputing facility itself: compute nodes
+// with power states (DVFS), the machine room's cooling overhead (PUE),
+// batch jobs with power profiles, and synthetic workload generation
+// calibrated to the magnitudes the paper reports (facility feeders of
+// 10–60 MW at the large US sites; 40 kW to 10+ MW across the Top500).
+//
+// The package supplies the demand side of every experiment: either
+// job-level traces scheduled by package sched, or statistically shaped
+// facility load profiles for billing studies where job-level detail is
+// irrelevant.
+package hpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// PowerState is one DVFS operating point of a node: relative frequency
+// and the node power drawn at full load in this state.
+type PowerState struct {
+	// Name of the state ("turbo", "nominal", "powersave").
+	Name string
+	// FreqFactor is performance relative to nominal (1.0 = nominal).
+	FreqFactor float64
+	// Power is the node's full-load draw in this state.
+	Power units.Power
+}
+
+// NodeSpec describes one compute-node model.
+type NodeSpec struct {
+	// Name of the node model.
+	Name string
+	// IdlePower is the draw of a powered-on but idle node.
+	IdlePower units.Power
+	// States are the DVFS operating points, ordered fastest first.
+	// States[0] is the default full-power state.
+	States []PowerState
+	// Cores per node (scheduling granularity is whole nodes; cores
+	// inform job sizing only).
+	Cores int
+}
+
+// Validate checks the node spec.
+func (n *NodeSpec) Validate() error {
+	if n.IdlePower < 0 {
+		return errors.New("hpc: idle power must be non-negative")
+	}
+	if len(n.States) == 0 {
+		return errors.New("hpc: node needs at least one power state")
+	}
+	for i, s := range n.States {
+		if s.FreqFactor <= 0 {
+			return fmt.Errorf("hpc: state %d has non-positive frequency factor", i)
+		}
+		if s.Power < n.IdlePower {
+			return fmt.Errorf("hpc: state %d full-load power below idle power", i)
+		}
+	}
+	if n.Cores <= 0 {
+		return errors.New("hpc: node needs at least one core")
+	}
+	return nil
+}
+
+// MaxPower returns the node's highest full-load draw across states.
+func (n *NodeSpec) MaxPower() units.Power {
+	var best units.Power
+	for _, s := range n.States {
+		if s.Power > best {
+			best = s.Power
+		}
+	}
+	return best
+}
+
+// DefaultNode returns a node spec representative of a 2016-era HPC node:
+// dual-socket, ~350 W idle-inclusive full load, with powersave states.
+func DefaultNode() *NodeSpec {
+	return &NodeSpec{
+		Name:      "2s-xeon",
+		IdlePower: 0.120,
+		States: []PowerState{
+			{Name: "nominal", FreqFactor: 1.0, Power: 0.350},
+			{Name: "balanced", FreqFactor: 0.85, Power: 0.270},
+			{Name: "powersave", FreqFactor: 0.65, Power: 0.200},
+		},
+		Cores: 32,
+	}
+}
+
+// PUEModel converts IT (compute) power into total facility power.
+// Real facilities have load-dependent PUE — cooling is less efficient at
+// partial load — so the model is affine: total = Fixed + IT × Factor.
+type PUEModel struct {
+	// Fixed is the load-independent facility overhead (lighting, UPS
+	// losses, baseline cooling).
+	Fixed units.Power
+	// Factor multiplies IT power (≥ 1; 1.1 is a modern efficient SC).
+	Factor float64
+}
+
+// Validate checks the model.
+func (p PUEModel) Validate() error {
+	if p.Factor < 1 {
+		return errors.New("hpc: PUE factor must be >= 1")
+	}
+	if p.Fixed < 0 {
+		return errors.New("hpc: fixed overhead must be non-negative")
+	}
+	return nil
+}
+
+// Total returns facility power for a given IT power.
+func (p PUEModel) Total(it units.Power) units.Power {
+	return p.Fixed + units.Power(float64(it)*p.Factor)
+}
+
+// EffectivePUE returns total/IT at the given IT power (∞ avoided by
+// returning Factor for zero IT).
+func (p PUEModel) EffectivePUE(it units.Power) float64 {
+	if it <= 0 {
+		return p.Factor
+	}
+	return float64(p.Total(it)) / float64(it)
+}
+
+// Machine is a homogeneous cluster: N nodes of one spec plus a PUE model.
+type Machine struct {
+	Name  string
+	Node  *NodeSpec
+	Nodes int
+	PUE   PUEModel
+}
+
+// NewMachine validates and returns a machine.
+func NewMachine(name string, node *NodeSpec, nodes int, pue PUEModel) (*Machine, error) {
+	if node == nil {
+		return nil, errors.New("hpc: machine needs a node spec")
+	}
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, errors.New("hpc: machine needs at least one node")
+	}
+	if err := pue.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Name: name, Node: node, Nodes: nodes, PUE: pue}, nil
+}
+
+// PeakFacilityPower returns the feeder-level peak: all nodes at max
+// state through the PUE model.
+func (m *Machine) PeakFacilityPower() units.Power {
+	return m.PUE.Total(units.Power(float64(m.Node.MaxPower()) * float64(m.Nodes)))
+}
+
+// IdleFacilityPower returns facility power with every node idle.
+func (m *Machine) IdleFacilityPower() units.Power {
+	return m.PUE.Total(units.Power(float64(m.Node.IdlePower) * float64(m.Nodes)))
+}
+
+// Top50Machine returns a machine representative of the paper's Top50
+// target population: ~10 MW IT load (≈28600 nodes at 350 W) with an
+// efficient cooling plant, giving a feeder peak near 12 MW.
+func Top50Machine() *Machine {
+	m, err := NewMachine("top50-class", DefaultNode(), 28600, PUEModel{Fixed: 800, Factor: 1.08})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SmallSiteMachine returns a machine representative of the paper's
+// "smaller site" (rank ~167 on the 2015 Top500): ~1 MW IT load.
+func SmallSiteMachine() *Machine {
+	m, err := NewMachine("rank167-class", DefaultNode(), 2860, PUEModel{Fixed: 150, Factor: 1.25})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Job is one batch job.
+type Job struct {
+	// ID is unique within a workload.
+	ID int
+	// Arrival is when the job enters the queue, as an offset from the
+	// workload start.
+	Arrival time.Duration
+	// Walltime is the requested (limit) runtime.
+	Walltime time.Duration
+	// Runtime is the actual runtime at nominal frequency (≤ Walltime).
+	Runtime time.Duration
+	// Nodes is the number of whole nodes requested.
+	Nodes int
+	// PowerFraction is the job's average draw per node as a fraction of
+	// the node's full-load state power (0,1]; CPU-bound ≈ 1, memory- or
+	// IO-bound lower.
+	PowerFraction float64
+	// Checkpointable marks jobs that can be preempted and resumed at a
+	// bounded cost (relevant to DR strategies).
+	Checkpointable bool
+}
+
+// Validate checks job fields.
+func (j *Job) Validate() error {
+	if j.Arrival < 0 {
+		return errors.New("hpc: job arrival must be non-negative")
+	}
+	if j.Runtime <= 0 || j.Walltime <= 0 {
+		return errors.New("hpc: job runtime and walltime must be positive")
+	}
+	if j.Runtime > j.Walltime {
+		return errors.New("hpc: job runtime exceeds walltime")
+	}
+	if j.Nodes <= 0 {
+		return errors.New("hpc: job needs at least one node")
+	}
+	if j.PowerFraction <= 0 || j.PowerFraction > 1 {
+		return errors.New("hpc: power fraction must be in (0,1]")
+	}
+	return nil
+}
+
+// NodePower returns the job's per-node draw when running in the given
+// power state: idle power plus the job's fraction of the dynamic range.
+func (j *Job) NodePower(spec *NodeSpec, state PowerState) units.Power {
+	dynamic := float64(state.Power - spec.IdlePower)
+	return spec.IdlePower + units.Power(dynamic*j.PowerFraction)
+}
+
+// WorkloadConfig parameterizes the synthetic trace generator.
+type WorkloadConfig struct {
+	// Span is the length of the generated trace.
+	Span time.Duration
+	// TargetUtilization is the long-run fraction of node-hours demanded
+	// (SCs run hot: the paper stresses "high system utilization"; 0.9+
+	// is typical).
+	TargetUtilization float64
+	// MeanRuntime is the mean job runtime (lognormal).
+	MeanRuntime time.Duration
+	// MaxJobFraction caps single-job size as a fraction of the machine.
+	MaxJobFraction float64
+	// CheckpointableFraction of jobs can be checkpointed.
+	CheckpointableFraction float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultWorkload returns a one-week, 90 %-utilization configuration.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Span:                   7 * 24 * time.Hour,
+		TargetUtilization:      0.90,
+		MeanRuntime:            4 * time.Hour,
+		MaxJobFraction:         0.25,
+		CheckpointableFraction: 0.5,
+		Seed:                   1,
+	}
+}
+
+// GenerateWorkload produces a synthetic job trace for the machine. Jobs
+// arrive by a Poisson process whose rate is chosen so expected node-hour
+// demand matches TargetUtilization; runtimes are lognormal; node counts
+// follow the power-of-two-heavy distribution observed in production HPC
+// traces; power fractions are beta-shaped around 0.75.
+func GenerateWorkload(m *Machine, cfg WorkloadConfig) ([]*Job, error) {
+	if m == nil {
+		return nil, errors.New("hpc: nil machine")
+	}
+	if cfg.Span <= 0 {
+		return nil, errors.New("hpc: workload span must be positive")
+	}
+	if cfg.TargetUtilization <= 0 || cfg.TargetUtilization > 1 {
+		return nil, errors.New("hpc: target utilization must be in (0,1]")
+	}
+	if cfg.MeanRuntime <= 0 {
+		return nil, errors.New("hpc: mean runtime must be positive")
+	}
+	if cfg.MaxJobFraction <= 0 || cfg.MaxJobFraction > 1 {
+		return nil, errors.New("hpc: max job fraction must be in (0,1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	maxNodes := int(float64(m.Nodes) * cfg.MaxJobFraction)
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	meanNodes := meanJobNodes(maxNodes)
+	// Poisson arrival rate so that rate × E[runtime] × E[nodes] equals
+	// the demanded node-hours.
+	demandNodeHours := float64(m.Nodes) * cfg.Span.Hours() * cfg.TargetUtilization
+	perJobNodeHours := cfg.MeanRuntime.Hours() * meanNodes
+	expectedJobs := demandNodeHours / perJobNodeHours
+	meanInterarrival := cfg.Span.Hours() / expectedJobs
+
+	var jobs []*Job
+	id := 0
+	at := 0.0 // hours
+	for {
+		at += rng.ExpFloat64() * meanInterarrival
+		if at >= cfg.Span.Hours() {
+			break
+		}
+		runtime := lognormalDuration(rng, cfg.MeanRuntime)
+		j := &Job{
+			ID:             id,
+			Arrival:        time.Duration(at * float64(time.Hour)),
+			Runtime:        runtime,
+			Walltime:       time.Duration(float64(runtime) * (1.1 + rng.Float64())),
+			Nodes:          sampleJobNodes(rng, maxNodes),
+			PowerFraction:  samplePowerFraction(rng),
+			Checkpointable: rng.Float64() < cfg.CheckpointableFraction,
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("hpc: generated invalid job: %w", err)
+		}
+		jobs = append(jobs, j)
+		id++
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	return jobs, nil
+}
+
+// lognormalDuration draws a lognormal duration with the given mean and a
+// shape typical of HPC runtimes (sigma 1.0, capped at 10× mean).
+func lognormalDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	const sigma = 1.0
+	mu := math.Log(mean.Hours()) - sigma*sigma/2
+	h := math.Exp(mu + sigma*rng.NormFloat64())
+	if h > 10*mean.Hours() {
+		h = 10 * mean.Hours()
+	}
+	if h < 1.0/60 {
+		h = 1.0 / 60 // one minute floor
+	}
+	return time.Duration(h * float64(time.Hour))
+}
+
+// sampleJobNodes draws a node count: mostly small powers of two, with a
+// heavy tail of large jobs up to maxNodes.
+func sampleJobNodes(rng *rand.Rand, maxNodes int) int {
+	u := rng.Float64()
+	var n int
+	switch {
+	case u < 0.5: // small jobs: 1..16 nodes
+		n = 1 << rng.Intn(5)
+	case u < 0.85: // medium: 32..256
+		n = 32 << rng.Intn(4)
+	default: // large: up to the cap
+		n = maxNodes/4 + rng.Intn(maxNodes/2+1)
+	}
+	if n > maxNodes {
+		n = maxNodes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// meanJobNodes approximates the expectation of sampleJobNodes, used for
+// arrival-rate calibration.
+func meanJobNodes(maxNodes int) float64 {
+	// E[small] = (1+2+4+8+16)/5 = 6.2, weight 0.5.
+	// E[medium] = (32+64+128+256)/4 = 120, weight 0.35.
+	// E[large] ≈ maxNodes/2, weight 0.15.
+	e := 0.5*6.2 + 0.35*120 + 0.15*float64(maxNodes)/2
+	if e > float64(maxNodes) {
+		e = float64(maxNodes)
+	}
+	return e
+}
+
+// samplePowerFraction draws a job's power intensity: beta(5,2)-like,
+// mean ≈ 0.71, support (0.2, 1].
+func samplePowerFraction(rng *rand.Rand) float64 {
+	// Sum of two uniforms biased high, clamped.
+	f := 0.2 + 0.8*math.Sqrt(rng.Float64())
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// TotalNodeHours sums node-hours over a trace.
+func TotalNodeHours(jobs []*Job) float64 {
+	var nh float64
+	for _, j := range jobs {
+		nh += float64(j.Nodes) * j.Runtime.Hours()
+	}
+	return nh
+}
+
+// LoadProfileConfig parameterizes SyntheticFacilityLoad, the statistical
+// (non-job-level) facility load generator used by billing experiments.
+type LoadProfileConfig struct {
+	// Start and Span delimit the profile; Interval is the metering step.
+	Start    time.Time
+	Span     time.Duration
+	Interval time.Duration
+	// Base is the facility's average load.
+	Base units.Power
+	// PeakToAverage sets how peaky the profile is (≥ 1). A flat
+	// profile has 1.0; the paper's demand-charge discussion sweeps this.
+	PeakToAverage float64
+	// DiurnalSwing is the relative amplitude of the day/night cycle
+	// (0 = none; SCs are famously flat compared to offices).
+	DiurnalSwing float64
+	// NoiseSigma is the relative σ of sample-to-sample noise.
+	NoiseSigma float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// SyntheticFacilityLoad generates a facility load profile with a
+// controlled peak-to-average ratio: a base load with optional diurnal
+// swing and noise, plus rare short spikes sized so the profile's peak is
+// close to Base × PeakToAverage (the spike pattern models benchmark runs
+// and acceptance tests — the events the paper says sites phone in).
+func SyntheticFacilityLoad(cfg LoadProfileConfig) (*timeseries.PowerSeries, error) {
+	if cfg.Span <= 0 || cfg.Interval <= 0 {
+		return nil, errors.New("hpc: span and interval must be positive")
+	}
+	if cfg.Base <= 0 {
+		return nil, errors.New("hpc: base load must be positive")
+	}
+	if cfg.PeakToAverage < 1 {
+		return nil, errors.New("hpc: peak-to-average must be >= 1")
+	}
+	if cfg.NoiseSigma < 0 || cfg.DiurnalSwing < 0 {
+		return nil, errors.New("hpc: noise and diurnal swing must be non-negative")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.Span / cfg.Interval)
+	if n <= 0 {
+		return nil, errors.New("hpc: span shorter than interval")
+	}
+	samples := make([]units.Power, n)
+	perDay := int((24 * time.Hour) / cfg.Interval)
+	if perDay < 1 {
+		perDay = 1
+	}
+	base := float64(cfg.Base)
+	for i := range samples {
+		v := base
+		if cfg.DiurnalSwing > 0 {
+			phase := 2 * math.Pi * float64(i%perDay) / float64(perDay)
+			v += base * cfg.DiurnalSwing * math.Sin(phase-math.Pi/2)
+		}
+		if cfg.NoiseSigma > 0 {
+			v += base * cfg.NoiseSigma * rng.NormFloat64()
+		}
+		if v < 0 {
+			v = 0
+		}
+		samples[i] = units.Power(v)
+	}
+	// Inject spikes: roughly one per day, an hour long, reaching the
+	// target peak.
+	if cfg.PeakToAverage > 1 {
+		peak := base * cfg.PeakToAverage
+		spikeLen := int(time.Hour / cfg.Interval)
+		if spikeLen < 1 {
+			spikeLen = 1
+		}
+		days := n / perDay
+		if days < 1 {
+			days = 1
+		}
+		for d := 0; d < days; d++ {
+			at := d*perDay + rng.Intn(perDay)
+			for k := 0; k < spikeLen && at+k < n; k++ {
+				samples[at+k] = units.Power(peak)
+			}
+		}
+		// Guarantee at least one exact peak even for sub-day spans.
+		at := rng.Intn(n)
+		samples[at] = units.Power(peak)
+	}
+	return timeseries.NewPower(cfg.Start, cfg.Interval, samples)
+}

@@ -1,0 +1,375 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNodeSpecValidate(t *testing.T) {
+	good := DefaultNode()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default node should validate: %v", err)
+	}
+	bad := []*NodeSpec{
+		{IdlePower: -1, States: []PowerState{{FreqFactor: 1, Power: 1}}, Cores: 1},
+		{IdlePower: 0, States: nil, Cores: 1},
+		{IdlePower: 0, States: []PowerState{{FreqFactor: 0, Power: 1}}, Cores: 1},
+		{IdlePower: 2, States: []PowerState{{FreqFactor: 1, Power: 1}}, Cores: 1},
+		{IdlePower: 0, States: []PowerState{{FreqFactor: 1, Power: 1}}, Cores: 0},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad node %d should fail", i)
+		}
+	}
+}
+
+func TestNodeMaxPower(t *testing.T) {
+	n := DefaultNode()
+	if got := n.MaxPower(); got != 0.350 {
+		t.Errorf("MaxPower = %v", got)
+	}
+}
+
+func TestPUEModel(t *testing.T) {
+	p := PUEModel{Fixed: 100, Factor: 1.2}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Total(1000); got != 1300 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := p.EffectivePUE(1000); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("EffectivePUE = %v", got)
+	}
+	if got := p.EffectivePUE(0); got != 1.2 {
+		t.Errorf("zero-IT PUE = %v", got)
+	}
+	if err := (PUEModel{Factor: 0.9}).Validate(); err == nil {
+		t.Error("factor < 1 should fail")
+	}
+	if err := (PUEModel{Fixed: -1, Factor: 1.1}).Validate(); err == nil {
+		t.Error("negative fixed should fail")
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	node := DefaultNode()
+	if _, err := NewMachine("x", nil, 10, PUEModel{Factor: 1.1}); err == nil {
+		t.Error("nil node should fail")
+	}
+	if _, err := NewMachine("x", node, 0, PUEModel{Factor: 1.1}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NewMachine("x", node, 10, PUEModel{Factor: 0.5}); err == nil {
+		t.Error("bad PUE should fail")
+	}
+	bad := &NodeSpec{States: nil, Cores: 1}
+	if _, err := NewMachine("x", bad, 10, PUEModel{Factor: 1.1}); err == nil {
+		t.Error("invalid node should fail")
+	}
+}
+
+func TestReferenceMachinesMatchPaperMagnitudes(t *testing.T) {
+	big := Top50Machine()
+	peak := big.PeakFacilityPower()
+	// The paper: major US sites above 10 MW in 2013, feeders up to 60 MW.
+	if peak.MW() < 10 || peak.MW() > 60 {
+		t.Errorf("Top50 peak = %v, want 10–60 MW", peak)
+	}
+	if big.IdleFacilityPower() >= peak {
+		t.Error("idle must be below peak")
+	}
+	small := SmallSiteMachine()
+	sp := small.PeakFacilityPower()
+	if sp.MW() < 0.5 || sp.MW() > 3 {
+		t.Errorf("small site peak = %v, want ≈1 MW class", sp)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := &Job{Arrival: 0, Runtime: time.Hour, Walltime: 2 * time.Hour, Nodes: 4, PowerFraction: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good job: %v", err)
+	}
+	bad := []*Job{
+		{Arrival: -1, Runtime: 1, Walltime: 1, Nodes: 1, PowerFraction: 0.5},
+		{Runtime: 0, Walltime: 1, Nodes: 1, PowerFraction: 0.5},
+		{Runtime: 2, Walltime: 1, Nodes: 1, PowerFraction: 0.5},
+		{Runtime: 1, Walltime: 1, Nodes: 0, PowerFraction: 0.5},
+		{Runtime: 1, Walltime: 1, Nodes: 1, PowerFraction: 0},
+		{Runtime: 1, Walltime: 1, Nodes: 1, PowerFraction: 1.5},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("bad job %d should fail", i)
+		}
+	}
+}
+
+func TestJobNodePower(t *testing.T) {
+	spec := DefaultNode()
+	j := &Job{Runtime: time.Hour, Walltime: time.Hour, Nodes: 1, PowerFraction: 1}
+	full := j.NodePower(spec, spec.States[0])
+	if full != spec.States[0].Power {
+		t.Errorf("full-power job draw = %v", full)
+	}
+	j.PowerFraction = 0.5
+	half := j.NodePower(spec, spec.States[0])
+	want := spec.IdlePower + (spec.States[0].Power-spec.IdlePower)/2
+	if math.Abs(float64(half-want)) > 1e-9 {
+		t.Errorf("half-power draw = %v, want %v", half, want)
+	}
+	// Powersave state draws less for the same job.
+	save := j.NodePower(spec, spec.States[2])
+	if save >= half {
+		t.Error("powersave state should draw less")
+	}
+}
+
+func TestGenerateWorkloadValidationErrors(t *testing.T) {
+	m := SmallSiteMachine()
+	cases := []WorkloadConfig{
+		{},
+		{Span: time.Hour, TargetUtilization: 0},
+		{Span: time.Hour, TargetUtilization: 2, MeanRuntime: time.Hour, MaxJobFraction: 0.5},
+		{Span: time.Hour, TargetUtilization: 0.9, MeanRuntime: 0, MaxJobFraction: 0.5},
+		{Span: time.Hour, TargetUtilization: 0.9, MeanRuntime: time.Hour, MaxJobFraction: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := GenerateWorkload(m, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := GenerateWorkload(nil, DefaultWorkload()); err == nil {
+		t.Error("nil machine should fail")
+	}
+}
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	m := SmallSiteMachine()
+	cfg := DefaultWorkload()
+	jobs, err := GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 50 {
+		t.Fatalf("only %d jobs generated", len(jobs))
+	}
+	maxNodes := int(float64(m.Nodes) * cfg.MaxJobFraction)
+	var prev time.Duration
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", j.ID, err)
+		}
+		if j.Nodes > maxNodes {
+			t.Fatalf("job %d exceeds size cap: %d nodes", j.ID, j.Nodes)
+		}
+		if j.Arrival < prev {
+			t.Fatal("jobs must be sorted by arrival")
+		}
+		prev = j.Arrival
+		if j.Arrival >= cfg.Span {
+			t.Fatal("arrivals must lie inside the span")
+		}
+	}
+	// Node-hour demand should land within a factor ~2 of the target
+	// (it is a random process).
+	demand := TotalNodeHours(jobs)
+	target := float64(m.Nodes) * cfg.Span.Hours() * cfg.TargetUtilization
+	if demand < target*0.5 || demand > target*2.0 {
+		t.Errorf("node-hours = %.0f, target %.0f", demand, target)
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	m := SmallSiteMachine()
+	cfg := DefaultWorkload()
+	a, err := GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs between equal-seed runs", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	c, err := GenerateWorkload(m, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		diff := false
+		for i := range a {
+			if *a[i] != *c[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds should produce different traces")
+	}
+}
+
+func TestSyntheticFacilityLoadValidation(t *testing.T) {
+	cases := []LoadProfileConfig{
+		{},
+		{Span: time.Hour, Interval: 0, Base: 1000, PeakToAverage: 1},
+		{Span: time.Hour, Interval: time.Minute, Base: 0, PeakToAverage: 1},
+		{Span: time.Hour, Interval: time.Minute, Base: 1000, PeakToAverage: 0.5},
+		{Span: time.Hour, Interval: time.Minute, Base: 1000, PeakToAverage: 1, NoiseSigma: -1},
+		{Span: time.Minute, Interval: time.Hour, Base: 1000, PeakToAverage: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := SyntheticFacilityLoad(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSyntheticFacilityLoadFlat(t *testing.T) {
+	s, err := SyntheticFacilityLoad(LoadProfileConfig{
+		Start: t0, Span: 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 10000, PeakToAverage: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 96 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	peak, _, _ := s.Peak()
+	if peak != 10000 || s.Mean() != 10000 {
+		t.Errorf("flat profile: peak %v mean %v", peak, s.Mean())
+	}
+}
+
+func TestSyntheticFacilityLoadPeakTarget(t *testing.T) {
+	for _, ratio := range []float64{1.5, 2.0, 3.0} {
+		s, err := SyntheticFacilityLoad(LoadProfileConfig{
+			Start: t0, Span: 7 * 24 * time.Hour, Interval: 15 * time.Minute,
+			Base: 10000, PeakToAverage: ratio, NoiseSigma: 0.02, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, _, _ := s.Peak()
+		wantPeak := 10000 * ratio
+		if math.Abs(float64(peak)-wantPeak) > wantPeak*0.05 {
+			t.Errorf("ratio %.1f: peak = %v, want ≈%v", ratio, peak, wantPeak)
+		}
+		// Mean should stay near base (spikes are rare).
+		if math.Abs(float64(s.Mean())-10000) > 2000 {
+			t.Errorf("ratio %.1f: mean drifted to %v", ratio, s.Mean())
+		}
+	}
+}
+
+func TestSyntheticFacilityLoadDiurnal(t *testing.T) {
+	s, err := SyntheticFacilityLoad(LoadProfileConfig{
+		Start: t0, Span: 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 10000, PeakToAverage: 1, DiurnalSwing: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midnight sample should be near the trough, midday near the crest.
+	if s.At(0) >= s.At(48) {
+		t.Errorf("diurnal: midnight %v should be below midday %v", s.At(0), s.At(48))
+	}
+	mn, _ := s.Min()
+	if mn < 7000 {
+		t.Errorf("trough too deep: %v", mn)
+	}
+}
+
+func TestSyntheticLoadDeterministic(t *testing.T) {
+	cfg := LoadProfileConfig{
+		Start: t0, Span: 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 10000, PeakToAverage: 2, NoiseSigma: 0.05, Seed: 9,
+	}
+	a, _ := SyntheticFacilityLoad(cfg)
+	b, _ := SyntheticFacilityLoad(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatal("equal seeds must reproduce the trace")
+		}
+	}
+}
+
+// Property: generated profiles are non-negative and have peak within a
+// small tolerance of base × ratio for ratios > 1.
+func TestQuickSyntheticLoadInvariants(t *testing.T) {
+	f := func(seed int64, ratioPct uint8) bool {
+		ratio := 1 + float64(ratioPct%200)/100 // 1.00–2.99
+		s, err := SyntheticFacilityLoad(LoadProfileConfig{
+			Start: t0, Span: 48 * time.Hour, Interval: 15 * time.Minute,
+			Base: 8000, PeakToAverage: ratio, NoiseSigma: 0.03, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		mn, _ := s.Min()
+		if mn < 0 {
+			return false
+		}
+		peak, _, _ := s.Peak()
+		return float64(peak) <= 8000*ratio*1.15+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalNodeHours(t *testing.T) {
+	jobs := []*Job{
+		{Nodes: 2, Runtime: time.Hour},
+		{Nodes: 3, Runtime: 2 * time.Hour},
+	}
+	if got := TotalNodeHours(jobs); got != 8 {
+		t.Errorf("TotalNodeHours = %v", got)
+	}
+	if TotalNodeHours(nil) != 0 {
+		t.Error("empty = 0")
+	}
+}
+
+func BenchmarkGenerateWorkloadWeek(b *testing.B) {
+	m := Top50Machine()
+	cfg := DefaultWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorkload(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticFacilityLoadYear(b *testing.B) {
+	cfg := LoadProfileConfig{
+		Start: t0, Span: 365 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 12000, PeakToAverage: 1.8, NoiseSigma: 0.04, DiurnalSwing: 0.05, Seed: 5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SyntheticFacilityLoad(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

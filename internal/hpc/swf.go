@@ -1,0 +1,166 @@
+package hpc
+
+// Standard Workload Format (SWF) interop. SWF is the de-facto archive
+// format for production batch traces (the Parallel Workloads Archive):
+// one job per line, 18 whitespace-separated fields, ';' comment lines.
+// Supporting it lets the simulator replay real site traces in place of
+// the synthetic generator, and export generated traces for other tools.
+//
+// Field mapping used here (0-based SWF field numbers):
+//
+//	0  job number          → Job.ID
+//	1  submit time (s)     → Job.Arrival
+//	3  run time (s)        → Job.Runtime
+//	4  allocated processors → Job.Nodes (processors/CoresPerNode, ≥1)
+//	8  requested time (s)  → Job.Walltime (falls back to run time)
+//
+// Unused fields are written as -1, the SWF "unknown" marker.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SWFConfig controls the SWF ↔ Job mapping.
+type SWFConfig struct {
+	// CoresPerNode converts SWF processor counts into whole nodes
+	// (default 1: treat processors as nodes).
+	CoresPerNode int
+	// DefaultPowerFraction is assigned to imported jobs, which carry no
+	// power information (default 0.75).
+	DefaultPowerFraction float64
+	// CheckpointableFraction marks every k-th job checkpointable when
+	// > 0 (SWF has no such flag); 0 imports none.
+	CheckpointableFraction float64
+}
+
+func (c SWFConfig) withDefaults() SWFConfig {
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 1
+	}
+	if c.DefaultPowerFraction <= 0 || c.DefaultPowerFraction > 1 {
+		c.DefaultPowerFraction = 0.75
+	}
+	return c
+}
+
+// ParseSWF reads an SWF trace into jobs, skipping comment lines and
+// jobs with unknown (-1) run time or processor count.
+func ParseSWF(r io.Reader, cfg SWFConfig) ([]*Job, error) {
+	c := cfg.withDefaults()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var jobs []*Job
+	lineNo := 0
+	kept := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 9 {
+			return nil, fmt.Errorf("hpc: SWF line %d has %d fields, need at least 9", lineNo, len(fields))
+		}
+		get := func(i int) (int64, error) {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("hpc: SWF line %d field %d: %w", lineNo, i, err)
+			}
+			return v, nil
+		}
+		id, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		submit, err := get(1)
+		if err != nil {
+			return nil, err
+		}
+		runSecs, err := get(3)
+		if err != nil {
+			return nil, err
+		}
+		procs, err := get(4)
+		if err != nil {
+			return nil, err
+		}
+		reqSecs, err := get(8)
+		if err != nil {
+			return nil, err
+		}
+		if runSecs <= 0 || procs <= 0 || submit < 0 {
+			continue // unknown or zero-length jobs are not simulable
+		}
+		nodes := int(procs) / c.CoresPerNode
+		if nodes < 1 {
+			nodes = 1
+		}
+		walltime := time.Duration(reqSecs) * time.Second
+		runtime := time.Duration(runSecs) * time.Second
+		if walltime < runtime {
+			walltime = runtime
+		}
+		j := &Job{
+			ID:            int(id),
+			Arrival:       time.Duration(submit) * time.Second,
+			Runtime:       runtime,
+			Walltime:      walltime,
+			Nodes:         nodes,
+			PowerFraction: c.DefaultPowerFraction,
+		}
+		if c.CheckpointableFraction > 0 {
+			period := int(1 / c.CheckpointableFraction)
+			if period < 1 {
+				period = 1
+			}
+			j.Checkpointable = kept%period == 0
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("hpc: SWF line %d: %w", lineNo, err)
+		}
+		jobs = append(jobs, j)
+		kept++
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("hpc: SWF trace contained no usable jobs")
+	}
+	return jobs, nil
+}
+
+// WriteSWF exports jobs as an SWF trace (18 fields, unknowns as -1).
+func WriteSWF(w io.Writer, jobs []*Job, cfg SWFConfig) error {
+	c := cfg.withDefaults()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "; SWF export from the scgrid HPC simulator")
+	fmt.Fprintln(bw, "; fields: job submit wait run procs avgcpu mem reqprocs reqtime reqmem status user group app queue partition prevjob thinktime")
+	for _, j := range jobs {
+		procs := j.Nodes * c.CoresPerNode
+		fields := []int64{
+			int64(j.ID),
+			int64(j.Arrival / time.Second),
+			-1,
+			int64(j.Runtime / time.Second),
+			int64(procs),
+			-1, -1,
+			int64(procs),
+			int64(j.Walltime / time.Second),
+			-1, 1, -1, -1, -1, -1, -1, -1, -1,
+		}
+		parts := make([]string, len(fields))
+		for i, f := range fields {
+			parts[i] = strconv.FormatInt(f, 10)
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,144 @@
+package hpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSWF = `; Comment header
+; another comment
+
+1 0 10 3600 32 -1 -1 32 7200 -1 1 1 1 1 1 1 -1 -1
+2 600 5 1800 64 -1 -1 64 1800 -1 1 1 1 1 1 1 -1 -1
+3 1200 -1 -1 16 -1 -1 16 3600 -1 0 1 1 1 1 1 -1 -1
+4 1800 0 60 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	jobs, err := ParseSWF(strings.NewReader(sampleSWF), SWFConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 has unknown runtime → skipped.
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	j1 := jobs[0]
+	if j1.ID != 1 || j1.Arrival != 0 || j1.Runtime != time.Hour || j1.Nodes != 32 {
+		t.Errorf("job 1 = %+v", j1)
+	}
+	if j1.Walltime != 2*time.Hour {
+		t.Errorf("job 1 walltime = %v", j1.Walltime)
+	}
+	// Job 4's requested time is -1 → walltime falls back to runtime.
+	j4 := jobs[2]
+	if j4.Walltime != j4.Runtime {
+		t.Errorf("job 4 walltime = %v, want runtime fallback", j4.Walltime)
+	}
+	if j1.PowerFraction != 0.75 {
+		t.Errorf("default power fraction = %v", j1.PowerFraction)
+	}
+}
+
+func TestParseSWFCoresPerNode(t *testing.T) {
+	jobs, err := ParseSWF(strings.NewReader(sampleSWF), SWFConfig{CoresPerNode: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Nodes != 1 {
+		t.Errorf("32 procs / 32 cores = %d nodes", jobs[0].Nodes)
+	}
+	// 1-processor job still gets one whole node.
+	if jobs[2].Nodes != 1 {
+		t.Errorf("single-proc job nodes = %d", jobs[2].Nodes)
+	}
+}
+
+func TestParseSWFCheckpointableFraction(t *testing.T) {
+	jobs, err := ParseSWF(strings.NewReader(sampleSWF), SWFConfig{CheckpointableFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, j := range jobs {
+		if j.Checkpointable {
+			n++
+		}
+	}
+	if n != 2 { // every 2nd of 3 kept jobs, starting with the first
+		t.Errorf("checkpointable = %d of %d", n, len(jobs))
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line": "1 0 10 3600 32\n",
+		"bad number": "x 0 10 3600 32 -1 -1 32 7200\n",
+		"empty":      "; only comments\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSWF(strings.NewReader(in), SWFConfig{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	m := SmallSiteMachine()
+	cfg := DefaultWorkload()
+	cfg.Span = 12 * time.Hour
+	orig, err := GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig, SWFConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf, SWFConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip: %d vs %d jobs", len(back), len(orig))
+	}
+	for i := range orig {
+		o, b := orig[i], back[i]
+		if o.ID != b.ID || o.Nodes != b.Nodes {
+			t.Fatalf("job %d identity mismatch", i)
+		}
+		// Times round to seconds in SWF.
+		if d := o.Arrival - b.Arrival; d < -time.Second || d > time.Second {
+			t.Fatalf("job %d arrival drift %v", i, d)
+		}
+		if d := o.Runtime - b.Runtime; d < -time.Second || d > time.Second {
+			t.Fatalf("job %d runtime drift %v", i, d)
+		}
+	}
+}
+
+func TestSWFExportIsSimulable(t *testing.T) {
+	// An exported-and-reimported trace must run through the simulator.
+	m := SmallSiteMachine()
+	cfg := DefaultWorkload()
+	cfg.Span = 6 * time.Hour
+	orig, err := GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig, SWFConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf, SWFConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range back {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("imported job invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package hpc
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTop500MatchesPaperRange(t *testing.T) {
+	list, err := DefaultTop500().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 500 {
+		t.Fatalf("len = %d", len(list))
+	}
+	// §1: range 40 kW to 10+ MW.
+	if list[0].MW() < 10 {
+		t.Errorf("rank 1 = %v, want 10+ MW", list[0])
+	}
+	// Study floor: rank 50 sits in the MW class.
+	if list[49].MW() < 1 || list[49].MW() > 4 {
+		t.Errorf("rank 50 = %v, want ≈2 MW", list[49])
+	}
+	tail := list[499]
+	if tail.KW() < 20 || tail.KW() > 120 {
+		t.Errorf("rank 500 = %v, want ≈40 kW", tail)
+	}
+	// Monotone descending.
+	for i := 1; i < len(list); i++ {
+		if list[i] > list[i-1] {
+			t.Fatalf("list not monotone at rank %d", i+1)
+		}
+	}
+	// Top50 aggregate: a grid-significant load (tens to hundreds of MW).
+	agg := Top50Aggregate(list)
+	if agg.MW() < 30 || agg.MW() > 400 {
+		t.Errorf("Top50 aggregate = %v", agg)
+	}
+}
+
+func TestTop500Deterministic(t *testing.T) {
+	a, _ := DefaultTop500().Generate()
+	b, _ := DefaultTop500().Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal seeds must reproduce the list")
+		}
+	}
+}
+
+func TestTop500Validation(t *testing.T) {
+	bad := []Top500Model{
+		{TopPower: 0, MidPower: 100, TailPower: 40},
+		{TopPower: 1000, MidPower: 100, TailPower: 0},
+		{TopPower: 40, MidPower: 100, TailPower: 1000},
+		{TopPower: 1000, MidPower: 2000, TailPower: 40},
+		{TopPower: 1000, MidPower: 100, TailPower: 40, JitterSigma: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+		if _, err := m.Generate(); err == nil {
+			t.Errorf("case %d generate should fail", i)
+		}
+	}
+}
+
+func TestTop50AggregateShortList(t *testing.T) {
+	short := []units.Power{100, 200}
+	if got := Top50Aggregate(short); got != 300 {
+		t.Errorf("short aggregate = %v", got)
+	}
+	if Top50Aggregate(nil) != 0 {
+		t.Error("empty aggregate = 0")
+	}
+}

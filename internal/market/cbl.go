@@ -1,0 +1,84 @@
+package market
+
+// Customer baseline load (CBL). Real DR programs cannot observe the
+// counterfactual "what would the site have consumed?" — they estimate it
+// from metering history, conventionally as the average of the same
+// clock window over the N most recent event-free days. The estimate is
+// gameable: consumption inflated during the look-back window becomes
+// phantom curtailment during the event. This file implements the CBL
+// and thereby makes that pathology measurable (E21).
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// CBLBaseline builds a settlement baseline over the actual metered
+// series: inside event windows each interval is replaced by the mean of
+// the same time-of-day interval over the `days` preceding days that are
+// event-free at that clock slot; outside events the actual value is
+// kept (settlement only reads the baseline inside events).
+//
+// An interval whose look-back finds no event-free history keeps the
+// actual value (no curtailment credited).
+func CBLBaseline(actual *timeseries.PowerSeries, events []Event, days int) (*timeseries.PowerSeries, error) {
+	if actual == nil || actual.Len() == 0 {
+		return nil, errors.New("market: empty metered series")
+	}
+	if days <= 0 {
+		return nil, errors.New("market: CBL needs at least one look-back day")
+	}
+	perDay := int((24 * time.Hour) / actual.Interval())
+	if perDay <= 0 || (24*time.Hour)%actual.Interval() != 0 {
+		return nil, errors.New("market: CBL needs an interval dividing 24h")
+	}
+	inEvent := func(t time.Time) bool {
+		for _, e := range events {
+			if !t.Before(e.Start) && t.Before(e.End()) {
+				return true
+			}
+		}
+		return false
+	}
+	samples := actual.Samples()
+	for i := 0; i < actual.Len(); i++ {
+		ts := actual.TimeAt(i)
+		if !inEvent(ts) {
+			continue
+		}
+		var sum float64
+		n := 0
+		for d := 1; d <= days; d++ {
+			j := i - d*perDay
+			if j < 0 {
+				break
+			}
+			if inEvent(actual.TimeAt(j)) {
+				continue // skip event days in the look-back
+			}
+			sum += float64(actual.At(j))
+			n++
+		}
+		if n > 0 {
+			samples[i] = units.Power(sum / float64(n))
+		}
+	}
+	return timeseries.NewPower(actual.Start(), actual.Interval(), samples)
+}
+
+// SettleWithCBL settles a participant using a CBL estimated from its own
+// metered history rather than a trusted baseline — what real programs do.
+func (p *Program) SettleWithCBL(actual *timeseries.PowerSeries, events []Event, lookbackDays int) (*Settlement, *timeseries.PowerSeries, error) {
+	cbl, err := CBLBaseline(actual, events, lookbackDays)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := p.Settle(cbl, actual, events)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, cbl, nil
+}

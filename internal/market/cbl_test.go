@@ -1,0 +1,138 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// weekSeries builds 7 days of hourly samples from a per-hour function.
+func weekSeries(f func(day, hour int) float64) *timeseries.PowerSeries {
+	samples := make([]units.Power, 7*24)
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			samples[d*24+h] = units.Power(f(d, h))
+		}
+	}
+	return timeseries.MustNewPower(t0, time.Hour, samples)
+}
+
+func TestCBLBaselineHonestSite(t *testing.T) {
+	// Flat 10 MW history; event on day 6, 14:00–16:00, shed to 8 MW.
+	event := Event{Start: t0.Add(6*24*time.Hour + 14*time.Hour), Duration: 2 * time.Hour, RequestedReduction: 2000}
+	actual := weekSeries(func(d, h int) float64 {
+		if d == 6 && (h == 14 || h == 15) {
+			return 8000
+		}
+		return 10000
+	})
+	cbl, err := CBLBaseline(actual, []Event{event}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the event the CBL equals the honest 10 MW history.
+	idx, _ := cbl.IndexAt(event.Start)
+	if cbl.At(idx) != 10000 {
+		t.Errorf("CBL inside event = %v, want 10000", cbl.At(idx))
+	}
+	// Outside it keeps the actual.
+	if cbl.At(0) != actual.At(0) {
+		t.Error("CBL must keep actuals outside events")
+	}
+	// Settlement credits exactly the true 4 MWh curtailment.
+	p := &Program{Kind: EmergencyDR, CommittedReduction: 2000, EnergyIncentive: 0.5}
+	s, _, err := p.SettleWithCBL(actual, []Event{event}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.CurtailedEnergy.MWh()-4) > 1e-9 {
+		t.Errorf("honest curtailment = %v, want 4 MWh", s.CurtailedEnergy)
+	}
+}
+
+func TestCBLBaselineGamingInflatesCredit(t *testing.T) {
+	// Gaming site: runs benchmarks at 14:00–16:00 on look-back days
+	// (12 MW instead of 10), consumes a flat 10 MW on the event day
+	// WITHOUT shedding anything.
+	event := Event{Start: t0.Add(6*24*time.Hour + 14*time.Hour), Duration: 2 * time.Hour, RequestedReduction: 2000}
+	actual := weekSeries(func(d, h int) float64 {
+		if d < 6 && (h == 14 || h == 15) {
+			return 12000 // inflate the look-back window
+		}
+		return 10000
+	})
+	p := &Program{Kind: EmergencyDR, CommittedReduction: 2000, EnergyIncentive: 0.5}
+	s, cbl, err := p.SettleWithCBL(actual, []Event{event}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := cbl.IndexAt(event.Start)
+	if cbl.At(idx) != 12000 {
+		t.Errorf("gamed CBL = %v, want inflated 12000", cbl.At(idx))
+	}
+	// Phantom curtailment: 2 MW × 2 h = 4 MWh credited for nothing.
+	if math.Abs(s.CurtailedEnergy.MWh()-4) > 1e-9 {
+		t.Errorf("phantom curtailment = %v, want 4 MWh", s.CurtailedEnergy)
+	}
+	if s.EnergyPayment != units.CurrencyUnits(2000) {
+		t.Errorf("phantom payment = %v", s.EnergyPayment)
+	}
+}
+
+func TestCBLSkipsEventDaysInLookback(t *testing.T) {
+	// Two events on consecutive days at the same hour: the second
+	// event's look-back must skip the first event's (reduced) day.
+	ev1 := Event{Start: t0.Add(5*24*time.Hour + 14*time.Hour), Duration: time.Hour, RequestedReduction: 2000}
+	ev2 := Event{Start: t0.Add(6*24*time.Hour + 14*time.Hour), Duration: time.Hour, RequestedReduction: 2000}
+	actual := weekSeries(func(d, h int) float64 {
+		if (d == 5 || d == 6) && h == 14 {
+			return 8000 // shed during both events
+		}
+		return 10000
+	})
+	cbl, err := CBLBaseline(actual, []Event{ev1, ev2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := cbl.IndexAt(ev2.Start)
+	if cbl.At(idx) != 10000 {
+		t.Errorf("CBL for second event = %v, want 10000 (event day skipped)", cbl.At(idx))
+	}
+}
+
+func TestCBLNoHistoryKeepsActual(t *testing.T) {
+	// Event on day 0: no look-back exists → no curtailment credited.
+	event := Event{Start: t0.Add(14 * time.Hour), Duration: time.Hour, RequestedReduction: 2000}
+	actual := weekSeries(func(d, h int) float64 {
+		if d == 0 && h == 14 {
+			return 8000
+		}
+		return 10000
+	})
+	cbl, err := CBLBaseline(actual, []Event{event}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := cbl.IndexAt(event.Start)
+	if cbl.At(idx) != 8000 {
+		t.Errorf("no-history CBL = %v, want the actual", cbl.At(idx))
+	}
+}
+
+func TestCBLValidation(t *testing.T) {
+	empty := timeseries.MustNewPower(t0, time.Hour, nil)
+	if _, err := CBLBaseline(empty, nil, 5); err == nil {
+		t.Error("empty series should fail")
+	}
+	s := timeseries.ConstantPower(t0, time.Hour, 24, 1)
+	if _, err := CBLBaseline(s, nil, 0); err == nil {
+		t.Error("zero look-back should fail")
+	}
+	odd := timeseries.ConstantPower(t0, 7*time.Hour, 24, 1)
+	if _, err := CBLBaseline(odd, nil, 5); err == nil {
+		t.Error("interval not dividing 24h should fail")
+	}
+}

@@ -1,0 +1,291 @@
+// Package market models wholesale price formation and the demand-response
+// program catalog an ESP offers. Prices form on net load through a convex
+// merit-order curve (cheap baseload first, expensive peakers last, a
+// scarcity adder near the capacity limit), which produces the two price
+// products behind the typology's dynamic tariffs: a day-ahead price from
+// forecast net load and a real-time price from actual net load.
+//
+// DR programs follow the paper's taxonomy of related work: price-based
+// programs (the dynamic tariff itself, critical-peak pricing) and
+// incentive-based programs (emergency DR, capacity bidding, regulation),
+// with the settlement arithmetic — baseline, curtailment measurement,
+// incentive payment, under-delivery penalty — that decides whether DR is
+// worth an SC's while.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// PriceModel maps system utilization (net load / capacity) to a price.
+type PriceModel struct {
+	// Capacity is the dispatchable generation capacity.
+	Capacity units.Power
+	// Base is the price at zero load (must be ≥ 0).
+	Base units.EnergyPrice
+	// Slope scales the convex merit-order term.
+	Slope units.EnergyPrice
+	// Gamma is the convexity exponent (≥ 1; 3–5 gives peaker-like knees).
+	Gamma float64
+	// ScarcityThreshold is the utilization beyond which the scarcity
+	// adder kicks in (e.g. 0.92).
+	ScarcityThreshold float64
+	// ScarcityAdder is the price added linearly as utilization runs
+	// from the threshold to 1.
+	ScarcityAdder units.EnergyPrice
+}
+
+// Validate checks the model.
+func (m PriceModel) Validate() error {
+	if m.Capacity <= 0 {
+		return errors.New("market: capacity must be positive")
+	}
+	if m.Base < 0 || m.Slope < 0 || m.ScarcityAdder < 0 {
+		return errors.New("market: price components must be non-negative")
+	}
+	if m.Gamma < 1 {
+		return errors.New("market: gamma must be >= 1")
+	}
+	if m.ScarcityThreshold <= 0 || m.ScarcityThreshold > 1 {
+		return errors.New("market: scarcity threshold must be in (0,1]")
+	}
+	return nil
+}
+
+// DefaultPriceModel returns a model calibrated to produce realistic
+// wholesale prices (≈30–60 /MWh off-peak, spiking toward several hundred
+// per MWh in scarcity hours) for the given capacity.
+func DefaultPriceModel(capacity units.Power) PriceModel {
+	return PriceModel{
+		Capacity:          capacity,
+		Base:              0.020, // 20/MWh floor
+		Slope:             0.060,
+		Gamma:             4,
+		ScarcityThreshold: 0.92,
+		ScarcityAdder:     0.500, // up to +500/MWh at full scarcity
+	}
+}
+
+// PriceAt returns the price for one net-load observation.
+func (m PriceModel) PriceAt(netLoad units.Power) units.EnergyPrice {
+	u := float64(netLoad) / float64(m.Capacity)
+	if u < 0 {
+		u = 0
+	}
+	p := float64(m.Base) + float64(m.Slope)*math.Pow(u, m.Gamma)
+	if u > m.ScarcityThreshold {
+		frac := (u - m.ScarcityThreshold) / (1 - m.ScarcityThreshold)
+		if frac > 1 {
+			frac = 1
+		}
+		p += float64(m.ScarcityAdder) * frac
+	}
+	return units.EnergyPrice(p)
+}
+
+// PriceSeries converts a net-load profile into a price feed.
+func (m PriceModel) PriceSeries(netLoad *timeseries.PowerSeries) (*timeseries.PriceSeries, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	samples := make([]units.EnergyPrice, netLoad.Len())
+	for i := 0; i < netLoad.Len(); i++ {
+		samples[i] = m.PriceAt(netLoad.At(i))
+	}
+	return timeseries.NewPrice(netLoad.Start(), netLoad.Interval(), samples)
+}
+
+// DayAheadPrice forms the day-ahead product: prices computed from a
+// smoothed (hourly-resampled) version of the net load, re-expanded to
+// the original interval. This captures the day-ahead market's inability
+// to see intra-hour volatility.
+func (m PriceModel) DayAheadPrice(netLoad *timeseries.PowerSeries) (*timeseries.PriceSeries, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	hourly := netLoad
+	if netLoad.Interval() < time.Hour && time.Hour%netLoad.Interval() == 0 {
+		var err error
+		hourly, err = netLoad.Resample(time.Hour)
+		if err != nil {
+			return nil, err
+		}
+	}
+	samples := make([]units.EnergyPrice, netLoad.Len())
+	for i := 0; i < netLoad.Len(); i++ {
+		ts := netLoad.TimeAt(i)
+		idx, _ := hourly.IndexAt(ts)
+		samples[i] = m.PriceAt(hourly.At(idx))
+	}
+	return timeseries.NewPrice(netLoad.Start(), netLoad.Interval(), samples)
+}
+
+// ProgramKind classifies a DR program.
+type ProgramKind int
+
+// Program kinds, following the incentive-based vs price-based taxonomy.
+const (
+	// EmergencyDR pays for curtailment during declared reliability
+	// events; enrollment may be mandatory for large consumers.
+	EmergencyDR ProgramKind = iota
+	// CapacityBidding pays an availability rate for committed capacity
+	// plus an energy rate when dispatched, with under-delivery penalties.
+	CapacityBidding
+	// Regulation pays for fast bidirectional response capacity.
+	Regulation
+	// CriticalPeakPricing is price-based: a very high price during
+	// declared critical events layered on a normal tariff.
+	CriticalPeakPricing
+)
+
+var programKindNames = map[ProgramKind]string{
+	EmergencyDR:         "emergency-dr",
+	CapacityBidding:     "capacity-bidding",
+	Regulation:          "regulation",
+	CriticalPeakPricing: "critical-peak-pricing",
+}
+
+// String returns the kind name.
+func (k ProgramKind) String() string {
+	if n, ok := programKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("ProgramKind(%d)", int(k))
+}
+
+// IncentiveBased reports whether the program pays explicit incentives
+// (as opposed to working through the price signal).
+func (k ProgramKind) IncentiveBased() bool { return k != CriticalPeakPricing }
+
+// Program is one DR program offering.
+type Program struct {
+	Kind ProgramKind
+	Name string
+	// CommittedReduction is the load reduction the participant commits
+	// to deliver when dispatched.
+	CommittedReduction units.Power
+	// EnergyIncentive pays per kWh actually curtailed during events.
+	EnergyIncentive units.EnergyPrice
+	// AvailabilityIncentive pays per kW of committed reduction per
+	// settlement period, dispatched or not (capacity/regulation).
+	AvailabilityIncentive units.DemandPrice
+	// UnderDeliveryPenalty charges per kWh of shortfall versus the
+	// committed reduction during events.
+	UnderDeliveryPenalty units.EnergyPrice
+	// Notice is the dispatch lead time.
+	Notice time.Duration
+	// MaxEventDuration bounds one dispatch.
+	MaxEventDuration time.Duration
+	// MaxEventsPerPeriod bounds dispatches per settlement period.
+	MaxEventsPerPeriod int
+}
+
+// Validate checks the program.
+func (p *Program) Validate() error {
+	if p.CommittedReduction <= 0 {
+		return errors.New("market: committed reduction must be positive")
+	}
+	if p.EnergyIncentive < 0 || p.AvailabilityIncentive < 0 || p.UnderDeliveryPenalty < 0 {
+		return errors.New("market: program rates must be non-negative")
+	}
+	if p.Notice < 0 || p.MaxEventDuration < 0 {
+		return errors.New("market: program durations must be non-negative")
+	}
+	return nil
+}
+
+// Event is one DR dispatch.
+type Event struct {
+	Start    time.Time
+	Duration time.Duration
+	// RequestedReduction is the reduction asked of the participant
+	// (≤ the program's committed reduction).
+	RequestedReduction units.Power
+}
+
+// End returns the instant the event ends.
+func (e Event) End() time.Time { return e.Start.Add(e.Duration) }
+
+// DispatchFromStress converts grid stress events into program dispatches,
+// clipping durations and event counts to the program's limits.
+func (p *Program) DispatchFromStress(stress []grid.StressEvent) []Event {
+	var out []Event
+	for _, s := range stress {
+		if p.MaxEventsPerPeriod > 0 && len(out) >= p.MaxEventsPerPeriod {
+			break
+		}
+		d := s.Duration
+		if p.MaxEventDuration > 0 && d > p.MaxEventDuration {
+			d = p.MaxEventDuration
+		}
+		out = append(out, Event{
+			Start:              s.Start,
+			Duration:           d,
+			RequestedReduction: p.CommittedReduction,
+		})
+	}
+	return out
+}
+
+// Settlement is the outcome of settling one participant over a period.
+type Settlement struct {
+	// CurtailedEnergy is measured baseline-minus-actual during events,
+	// floored at zero per interval.
+	CurtailedEnergy units.Energy
+	// ShortfallEnergy is the under-delivery versus commitment.
+	ShortfallEnergy units.Energy
+	// EnergyPayment, AvailabilityPayment and Penalty decompose the net.
+	EnergyPayment       units.Money
+	AvailabilityPayment units.Money
+	Penalty             units.Money
+	// Net is what the participant receives (may be negative).
+	Net units.Money
+}
+
+// Settle measures performance of actual load against a baseline over the
+// dispatched events and computes payments. baseline and actual must be
+// aligned series covering the events.
+func (p *Program) Settle(baseline, actual *timeseries.PowerSeries, events []Event) (*Settlement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	diff, err := baseline.Sub(actual)
+	if err != nil {
+		return nil, err
+	}
+	s := &Settlement{}
+	h := diff.Interval().Hours()
+	for i := 0; i < diff.Len(); i++ {
+		ts := diff.TimeAt(i)
+		var ev *Event
+		for k := range events {
+			if !ts.Before(events[k].Start) && ts.Before(events[k].End()) {
+				ev = &events[k]
+				break
+			}
+		}
+		if ev == nil {
+			continue
+		}
+		reduction := diff.At(i)
+		if reduction < 0 {
+			reduction = 0
+		}
+		s.CurtailedEnergy += units.Energy(float64(reduction) * h)
+		if reduction < ev.RequestedReduction {
+			s.ShortfallEnergy += units.Energy(float64(ev.RequestedReduction-reduction) * h)
+		}
+	}
+	s.EnergyPayment = p.EnergyIncentive.Cost(s.CurtailedEnergy)
+	s.AvailabilityPayment = p.AvailabilityIncentive.Cost(p.CommittedReduction)
+	s.Penalty = p.UnderDeliveryPenalty.Cost(s.ShortfallEnergy)
+	s.Net = s.EnergyPayment + s.AvailabilityPayment - s.Penalty
+	return s, nil
+}

@@ -1,0 +1,319 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.July, 18, 0, 0, 0, 0, time.UTC)
+
+func TestPriceModelValidate(t *testing.T) {
+	good := DefaultPriceModel(1000)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default model should validate: %v", err)
+	}
+	bad := []PriceModel{
+		{Capacity: 0, Gamma: 1, ScarcityThreshold: 0.9},
+		{Capacity: 1000, Base: -1, Gamma: 1, ScarcityThreshold: 0.9},
+		{Capacity: 1000, Gamma: 0.5, ScarcityThreshold: 0.9},
+		{Capacity: 1000, Gamma: 1, ScarcityThreshold: 0},
+		{Capacity: 1000, Gamma: 1, ScarcityThreshold: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPriceAtMonotone(t *testing.T) {
+	m := DefaultPriceModel(1000)
+	prev := units.EnergyPrice(-1)
+	for u := 0.0; u <= 1.2; u += 0.05 {
+		p := m.PriceAt(units.Power(1000 * u))
+		if p < prev {
+			t.Fatalf("price must be monotone in load: %v then %v at u=%.2f", prev, p, u)
+		}
+		prev = p
+	}
+	// Negative net load clamps to base.
+	if got := m.PriceAt(-100); got != m.Base {
+		t.Errorf("negative load price = %v, want base", got)
+	}
+}
+
+func TestPriceRealism(t *testing.T) {
+	m := DefaultPriceModel(1000)
+	offpeak := m.PriceAt(500) // 50% utilization
+	if offpeak.PerMWh() < 15 || offpeak.PerMWh() > 80 {
+		t.Errorf("off-peak price = %.1f /MWh, want 15–80", offpeak.PerMWh())
+	}
+	scarcity := m.PriceAt(990) // 99% utilization
+	if scarcity.PerMWh() < 300 {
+		t.Errorf("scarcity price = %.1f /MWh, want > 300", scarcity.PerMWh())
+	}
+}
+
+func TestPriceSeriesAndDayAhead(t *testing.T) {
+	// Net load with intra-hour volatility: RT should see the spike,
+	// DA (hourly averaged) should not fully.
+	samples := make([]units.Power, 96)
+	for i := range samples {
+		samples[i] = 600
+	}
+	samples[40] = 990 // one 15-min spike
+	net := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+	m := DefaultPriceModel(1000)
+
+	rt, err := m.PriceSeries(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := m.DayAheadPrice(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 96 || da.Len() != 96 {
+		t.Fatal("series lengths")
+	}
+	if rt.At(40) <= da.At(40) {
+		t.Errorf("RT price %v at the spike should exceed DA %v", rt.At(40), da.At(40))
+	}
+	// Away from the spike they agree closely.
+	if math.Abs(float64(rt.At(10)-da.At(10))) > 1e-9 {
+		t.Errorf("flat hours should match: rt %v da %v", rt.At(10), da.At(10))
+	}
+}
+
+func TestPriceSeriesValidates(t *testing.T) {
+	net := timeseries.ConstantPower(t0, time.Hour, 4, 500)
+	bad := PriceModel{Capacity: 0, Gamma: 1, ScarcityThreshold: 0.9}
+	if _, err := bad.PriceSeries(net); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := bad.DayAheadPrice(net); err == nil {
+		t.Error("invalid model should fail for DA")
+	}
+	// Hourly input passes through DayAhead unchanged.
+	m := DefaultPriceModel(1000)
+	da, err := m.DayAheadPrice(net)
+	if err != nil || da.Len() != 4 {
+		t.Errorf("hourly DA: %v (%v)", da, err)
+	}
+}
+
+func TestProgramKindNames(t *testing.T) {
+	for _, k := range []ProgramKind{EmergencyDR, CapacityBidding, Regulation, CriticalPeakPricing} {
+		if k.String() == "" {
+			t.Errorf("kind %d should have a name", int(k))
+		}
+	}
+	if ProgramKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+	if !EmergencyDR.IncentiveBased() || CriticalPeakPricing.IncentiveBased() {
+		t.Error("incentive-based classification wrong")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Kind: EmergencyDR, CommittedReduction: 1000, EnergyIncentive: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good program: %v", err)
+	}
+	bad := []*Program{
+		{CommittedReduction: 0},
+		{CommittedReduction: 1000, EnergyIncentive: -1},
+		{CommittedReduction: 1000, Notice: -time.Minute},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDispatchFromStress(t *testing.T) {
+	p := &Program{
+		Kind: EmergencyDR, CommittedReduction: 2000,
+		MaxEventDuration: time.Hour, MaxEventsPerPeriod: 2,
+	}
+	stress := []grid.StressEvent{
+		{Start: t0, Duration: 3 * time.Hour},
+		{Start: t0.Add(10 * time.Hour), Duration: 30 * time.Minute},
+		{Start: t0.Add(20 * time.Hour), Duration: time.Hour},
+	}
+	events := p.DispatchFromStress(stress)
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want capped at 2", len(events))
+	}
+	if events[0].Duration != time.Hour {
+		t.Errorf("duration should clip to max: %v", events[0].Duration)
+	}
+	if events[1].Duration != 30*time.Minute {
+		t.Errorf("short event should keep its duration: %v", events[1].Duration)
+	}
+	if events[0].RequestedReduction != 2000 {
+		t.Errorf("requested = %v", events[0].RequestedReduction)
+	}
+	if !events[0].End().Equal(t0.Add(time.Hour)) {
+		t.Errorf("End = %v", events[0].End())
+	}
+	// No limits: all stress events dispatch at full duration.
+	p2 := &Program{Kind: EmergencyDR, CommittedReduction: 2000}
+	if got := p2.DispatchFromStress(stress); len(got) != 3 || got[0].Duration != 3*time.Hour {
+		t.Errorf("unlimited dispatch = %+v", got)
+	}
+}
+
+func TestSettleFullDelivery(t *testing.T) {
+	p := &Program{
+		Kind: EmergencyDR, CommittedReduction: 2000,
+		EnergyIncentive: 0.50, UnderDeliveryPenalty: 1.00,
+	}
+	baseline := timeseries.ConstantPower(t0, 15*time.Minute, 8, 10000)
+	// Actual drops by exactly 2 MW during the one-hour event (samples 2–5).
+	actualSamples := []units.Power{10000, 10000, 8000, 8000, 8000, 8000, 10000, 10000}
+	actual := timeseries.MustNewPower(t0, 15*time.Minute, actualSamples)
+	events := []Event{{Start: t0.Add(30 * time.Minute), Duration: time.Hour, RequestedReduction: 2000}}
+
+	s, err := p.Settle(baseline, actual, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curtailed: 2 MW × 1 h = 2 MWh.
+	if math.Abs(s.CurtailedEnergy.MWh()-2) > 1e-9 {
+		t.Errorf("curtailed = %v", s.CurtailedEnergy)
+	}
+	if s.ShortfallEnergy != 0 {
+		t.Errorf("shortfall = %v, want 0", s.ShortfallEnergy)
+	}
+	if s.EnergyPayment != units.CurrencyUnits(1000) {
+		t.Errorf("payment = %v, want 1000", s.EnergyPayment)
+	}
+	if s.Penalty != 0 || s.Net != s.EnergyPayment {
+		t.Errorf("net = %v", s.Net)
+	}
+}
+
+func TestSettleUnderDelivery(t *testing.T) {
+	p := &Program{
+		Kind: CapacityBidding, CommittedReduction: 2000,
+		EnergyIncentive: 0.50, AvailabilityIncentive: 5, UnderDeliveryPenalty: 1.00,
+	}
+	baseline := timeseries.ConstantPower(t0, time.Hour, 2, 10000)
+	// Only 1 MW delivered of 2 MW committed for one hour.
+	actual := timeseries.MustNewPower(t0, time.Hour, []units.Power{9000, 10000})
+	events := []Event{{Start: t0, Duration: time.Hour, RequestedReduction: 2000}}
+	s, err := p.Settle(baseline, actual, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.CurtailedEnergy.MWh()-1) > 1e-9 {
+		t.Errorf("curtailed = %v", s.CurtailedEnergy)
+	}
+	if math.Abs(s.ShortfallEnergy.MWh()-1) > 1e-9 {
+		t.Errorf("shortfall = %v", s.ShortfallEnergy)
+	}
+	// Energy: 1 MWh × 0.5 = 500; availability: 2000 kW × 5 = 10000;
+	// penalty: 1 MWh × 1.0 = 1000.
+	if s.Net != units.CurrencyUnits(500+10000-1000) {
+		t.Errorf("net = %v", s.Net)
+	}
+}
+
+func TestSettleIgnoresIncreases(t *testing.T) {
+	p := &Program{Kind: EmergencyDR, CommittedReduction: 1000, EnergyIncentive: 0.5}
+	baseline := timeseries.ConstantPower(t0, time.Hour, 1, 10000)
+	actual := timeseries.ConstantPower(t0, time.Hour, 1, 12000) // consumed MORE
+	events := []Event{{Start: t0, Duration: time.Hour, RequestedReduction: 1000}}
+	s, err := p.Settle(baseline, actual, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CurtailedEnergy != 0 {
+		t.Errorf("curtailed = %v, want 0 (no negative curtailment)", s.CurtailedEnergy)
+	}
+	if math.Abs(s.ShortfallEnergy.MWh()-1) > 1e-9 {
+		t.Errorf("shortfall = %v, want full commitment", s.ShortfallEnergy)
+	}
+}
+
+func TestSettleErrors(t *testing.T) {
+	bad := &Program{CommittedReduction: 0}
+	base := timeseries.ConstantPower(t0, time.Hour, 2, 1)
+	if _, err := bad.Settle(base, base, nil); err == nil {
+		t.Error("invalid program should fail")
+	}
+	good := &Program{CommittedReduction: 1000}
+	other := timeseries.ConstantPower(t0, time.Hour, 3, 1)
+	if _, err := good.Settle(base, other, nil); err == nil {
+		t.Error("misaligned series should fail")
+	}
+}
+
+// Property: settlement net is monotone in delivered reduction — deliver
+// more, never earn less.
+func TestQuickSettleMonotone(t *testing.T) {
+	p := &Program{
+		Kind: EmergencyDR, CommittedReduction: 2000,
+		EnergyIncentive: 0.5, UnderDeliveryPenalty: 0.8,
+	}
+	baseline := timeseries.ConstantPower(t0, time.Hour, 1, 10000)
+	events := []Event{{Start: t0, Duration: time.Hour, RequestedReduction: 2000}}
+	net := func(delivered units.Power) units.Money {
+		actual := timeseries.ConstantPower(t0, time.Hour, 1, 10000-delivered)
+		s, err := p.Settle(baseline, actual, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Net
+	}
+	f := func(a, b uint16) bool {
+		da, db := units.Power(a%3000), units.Power(b%3000)
+		if da > db {
+			da, db = db, da
+		}
+		return net(da) <= net(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prices from a profile are bounded by prices at its min/max.
+func TestQuickPriceSeriesBounds(t *testing.T) {
+	m := DefaultPriceModel(10000)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]units.Power, len(raw))
+		for i, v := range raw {
+			samples[i] = units.Power(v % 12000)
+		}
+		net := timeseries.MustNewPower(t0, time.Hour, samples)
+		ps, err := m.PriceSeries(net)
+		if err != nil {
+			return false
+		}
+		mn, _ := net.Min()
+		pk, _, _ := net.Peak()
+		lo, hi := m.PriceAt(mn), m.PriceAt(pk)
+		for i := 0; i < ps.Len(); i++ {
+			if ps.At(i) < lo-1e-12 || ps.At(i) > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package market
+
+// Frequency-regulation service: the fast, bidirectional product LANL's
+// "generation and voltage control programs" participation (§4) points
+// at. The balancing authority broadcasts a normalized signal in [-1, 1];
+// a participant offering R kW of regulation capacity must track
+// signal×R around its baseline. Settlement pays capacity scaled by a
+// performance score, PJM-style: poor tracking earns little.
+//
+// Supercomputers are interesting regulation providers precisely because
+// of the fast ramping the paper highlights — the same capability that
+// strains the grid when uncontrolled can serve it when dispatched. The
+// tracker models the facility's one limit: a maximum ramp rate.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// RegulationSignal is a normalized AGC-like control signal in [-1, 1]
+// at a fixed interval (typically seconds; we use the metering interval
+// for tractability).
+type RegulationSignal struct {
+	Start    time.Time
+	Interval time.Duration
+	Values   []float64
+}
+
+// GenerateRegulationSignal draws a bounded, zero-reverting random walk —
+// the standard shape of a regulation test signal.
+func GenerateRegulationSignal(start time.Time, interval time.Duration, n int, seed int64) (*RegulationSignal, error) {
+	if interval <= 0 {
+		return nil, errors.New("market: signal interval must be positive")
+	}
+	if n <= 0 {
+		return nil, errors.New("market: signal needs at least one sample")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, n)
+	v := 0.0
+	for i := range values {
+		v = 0.9*v + 0.3*rng.NormFloat64()
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		values[i] = v
+	}
+	return &RegulationSignal{Start: start, Interval: interval, Values: values}, nil
+}
+
+// TrackingResult is the outcome of following a regulation signal.
+type TrackingResult struct {
+	// Response is the facility's achieved deviation from baseline
+	// (kW, positive = consuming more).
+	Response []units.Power
+	// Score is the mean tracking accuracy in [0,1]:
+	// 1 − mean(|achieved − requested|)/capacity.
+	Score float64
+	// Payment = capacity × rate × score.
+	Payment units.Money
+}
+
+// TrackRegulation simulates a facility offering `capacity` of regulation
+// around its baseline, limited by maxRamp. rate is the capacity payment
+// per kW per settlement period at perfect score. The convention here is
+// grid-side: signal +1 asks the participant to RAISE grid frequency,
+// i.e. consume capacity kW less; −1 to consume capacity kW more.
+func TrackRegulation(sig *RegulationSignal, capacity units.Power, maxRamp units.RampRate, rate units.DemandPrice) (*TrackingResult, error) {
+	if sig == nil || len(sig.Values) == 0 {
+		return nil, errors.New("market: empty regulation signal")
+	}
+	if capacity <= 0 {
+		return nil, errors.New("market: regulation capacity must be positive")
+	}
+	if maxRamp <= 0 {
+		return nil, errors.New("market: max ramp must be positive")
+	}
+	if rate < 0 {
+		return nil, errors.New("market: rate must be non-negative")
+	}
+	stepMinutes := sig.Interval.Minutes()
+	maxStep := float64(maxRamp) * stepMinutes // kW change per step
+	achieved := 0.0                           // current deviation, kW (positive = consuming less)
+	response := make([]units.Power, len(sig.Values))
+	var errSum float64
+	for i, s := range sig.Values {
+		target := s * float64(capacity)
+		delta := target - achieved
+		if delta > maxStep {
+			delta = maxStep
+		}
+		if delta < -maxStep {
+			delta = -maxStep
+		}
+		achieved += delta
+		// Facility-side response: consuming less = negative load delta.
+		response[i] = units.Power(-achieved)
+		errSum += math.Abs(target-achieved) / float64(capacity)
+	}
+	score := 1 - errSum/float64(len(sig.Values))
+	if score < 0 {
+		score = 0
+	}
+	payment := units.MoneyFromFloat(float64(rate) * float64(capacity) * score)
+	return &TrackingResult{Response: response, Score: score, Payment: payment}, nil
+}
+
+// ApplyRegulation overlays a tracking response on a facility baseline,
+// producing the metered profile during regulation service. The signal
+// must not be longer than the baseline; it is applied from the
+// baseline's start.
+func ApplyRegulation(baseline *timeseries.PowerSeries, res *TrackingResult) (*timeseries.PowerSeries, error) {
+	if res == nil || len(res.Response) == 0 {
+		return nil, errors.New("market: empty tracking result")
+	}
+	if len(res.Response) > baseline.Len() {
+		return nil, errors.New("market: response longer than baseline")
+	}
+	samples := baseline.Samples()
+	for i, r := range res.Response {
+		v := samples[i] + r
+		if v < 0 {
+			v = 0
+		}
+		samples[i] = v
+	}
+	return timeseries.NewPower(baseline.Start(), baseline.Interval(), samples)
+}

@@ -1,0 +1,138 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func TestGenerateRegulationSignal(t *testing.T) {
+	sig, err := GenerateRegulationSignal(t0, time.Minute, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Values) != 600 {
+		t.Fatalf("len = %d", len(sig.Values))
+	}
+	var sum float64
+	for _, v := range sig.Values {
+		if v < -1 || v > 1 {
+			t.Fatalf("signal out of [-1,1]: %v", v)
+		}
+		sum += v
+	}
+	// Zero-reverting: long-run mean near zero.
+	if mean := sum / 600; math.Abs(mean) > 0.3 {
+		t.Errorf("signal mean = %v, want ≈0", mean)
+	}
+	// Deterministic.
+	again, _ := GenerateRegulationSignal(t0, time.Minute, 600, 1)
+	for i := range sig.Values {
+		if sig.Values[i] != again.Values[i] {
+			t.Fatal("equal seeds must reproduce")
+		}
+	}
+}
+
+func TestGenerateRegulationSignalValidation(t *testing.T) {
+	if _, err := GenerateRegulationSignal(t0, 0, 10, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := GenerateRegulationSignal(t0, time.Minute, 0, 1); err == nil {
+		t.Error("zero length should fail")
+	}
+}
+
+func TestTrackRegulationPerfectWithFastRamp(t *testing.T) {
+	sig, _ := GenerateRegulationSignal(t0, time.Minute, 300, 2)
+	// Ramp so fast every step is achievable: score ≈ 1.
+	res, err := TrackRegulation(sig, 2000, units.RampRate(1e9), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 0.999 {
+		t.Errorf("fast-ramp score = %v, want ≈1", res.Score)
+	}
+	// Payment = capacity × rate × score ≈ 10000.
+	if res.Payment < units.CurrencyUnits(9990) || res.Payment > units.CurrencyUnits(10000) {
+		t.Errorf("payment = %v", res.Payment)
+	}
+}
+
+func TestTrackRegulationSlowRampScoresLower(t *testing.T) {
+	sig, _ := GenerateRegulationSignal(t0, time.Minute, 300, 2)
+	fast, _ := TrackRegulation(sig, 2000, 2000, 5) // 2 MW/min
+	slow, err := TrackRegulation(sig, 2000, 20, 5) // 20 kW/min
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Score >= fast.Score {
+		t.Errorf("slow ramp %v should score below fast %v", slow.Score, fast.Score)
+	}
+	if slow.Payment >= fast.Payment {
+		t.Error("payment must follow score")
+	}
+	if slow.Score < 0 || slow.Score > 1 {
+		t.Errorf("score out of range: %v", slow.Score)
+	}
+}
+
+func TestTrackRegulationValidation(t *testing.T) {
+	sig, _ := GenerateRegulationSignal(t0, time.Minute, 10, 1)
+	if _, err := TrackRegulation(nil, 1000, 100, 5); err == nil {
+		t.Error("nil signal should fail")
+	}
+	if _, err := TrackRegulation(sig, 0, 100, 5); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := TrackRegulation(sig, 1000, 0, 5); err == nil {
+		t.Error("zero ramp should fail")
+	}
+	if _, err := TrackRegulation(sig, 1000, 100, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestApplyRegulation(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Minute, 10, 10000)
+	sig, _ := GenerateRegulationSignal(t0, time.Minute, 10, 3)
+	res, err := TrackRegulation(sig, 2000, units.RampRate(1e9), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := ApplyRegulation(baseline, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metered = baseline + response everywhere, bounded away from the
+	// baseline by capacity.
+	for i := 0; i < metered.Len(); i++ {
+		dev := math.Abs(float64(metered.At(i) - 10000))
+		if dev > 2000+1e-9 {
+			t.Fatalf("deviation %v exceeds capacity at %d", dev, i)
+		}
+	}
+	// Errors.
+	if _, err := ApplyRegulation(baseline, &TrackingResult{}); err == nil {
+		t.Error("empty result should fail")
+	}
+	short := timeseries.ConstantPower(t0, time.Minute, 5, 10000)
+	if _, err := ApplyRegulation(short, res); err == nil {
+		t.Error("response longer than baseline should fail")
+	}
+}
+
+func TestApplyRegulationClampsAtZero(t *testing.T) {
+	baseline := timeseries.ConstantPower(t0, time.Minute, 5, 100)
+	res := &TrackingResult{Response: []units.Power{-500, 0, 0, 0, 0}}
+	metered, err := ApplyRegulation(baseline, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metered.At(0) != 0 {
+		t.Errorf("metered load must clamp at zero, got %v", metered.At(0))
+	}
+}

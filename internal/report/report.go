@@ -1,0 +1,214 @@
+// Package report renders the library's outputs — survey tables, typology
+// trees, itemized bills, experiment results — as aligned ASCII for
+// terminals and as Markdown for documents. It is deliberately free of
+// domain knowledge: callers hand it strings.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a rectangular report with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long
+// rows are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths returns the display width of each column.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+func pad(s string, width int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-n)
+}
+
+// Render draws the table as aligned ASCII.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", utf8.RuneCountInString(t.Title)))
+		b.WriteByte('\n')
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, w[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var total int
+	for i, width := range w {
+		if i > 0 {
+			total += 2
+		}
+		total += width
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(escaped, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 CSV (header row first). The title
+// is not emitted — CSV consumers want pure data.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// TreeNode is a generic labeled tree for rendering hierarchies (the
+// contract typology of Figure 1, bill structures, ...).
+type TreeNode struct {
+	Label    string
+	Detail   string
+	Children []*TreeNode
+}
+
+// RenderTree draws the tree with box-drawing connectors. Details, when
+// present, are appended after an em-dash.
+func RenderTree(root *TreeNode) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeNode(&b, root, "", true, true)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *TreeNode, prefix string, isLast, isRoot bool) {
+	label := n.Label
+	if n.Detail != "" {
+		label += " — " + n.Detail
+	}
+	if isRoot {
+		b.WriteString(label)
+		b.WriteByte('\n')
+	} else {
+		connector := "├── "
+		if isLast {
+			connector = "└── "
+		}
+		b.WriteString(prefix + connector + label + "\n")
+	}
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			childPrefix += "    "
+		} else {
+			childPrefix += "│   "
+		}
+	}
+	for i, c := range n.Children {
+		writeNode(b, c, childPrefix, i == len(n.Children)-1, false)
+	}
+}
+
+// Check renders a Table 2-style tick: "✓" for true, "" for false.
+func Check(v bool) string {
+	if v {
+		return "✓"
+	}
+	return ""
+}
+
+// KV renders an aligned key/value block (for bill summaries and
+// experiment headlines).
+func KV(pairs [][2]string) string {
+	width := 0
+	for _, p := range pairs {
+		if n := utf8.RuneCountInString(p[0]); n > width {
+			width = n
+		}
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%s  %s\n", pad(p[0], width), p[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "22")
+	out := tbl.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "====") {
+		t.Error("title and underline missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "Value" column starts at the same offset everywhere.
+	header := lines[2]
+	row := lines[4]
+	if strings.Index(header, "Value") != strings.Index(row+"  1", "1") && !strings.Contains(row, "alpha") {
+		t.Errorf("alignment check failed:\n%s", out)
+	}
+}
+
+func TestTableRenderWithoutTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	out := tbl.Render()
+	if strings.Contains(out, "=") {
+		t.Error("no title, no underline")
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("1")                // short
+	tbl.AddRow("1", "2", "3", "4") // long, extra dropped
+	if len(tbl.Rows[0]) != 3 || tbl.Rows[0][1] != "" {
+		t.Error("short row should pad")
+	}
+	if len(tbl.Rows[1]) != 3 {
+		t.Error("long row should truncate")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("T", "A", "B")
+	tbl.AddRow("x|y", "z")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "### T") {
+		t.Error("markdown title")
+	}
+	if !strings.Contains(md, "| A | B |") || !strings.Contains(md, "| --- | --- |") {
+		t.Error("markdown structure")
+	}
+	if !strings.Contains(md, `x\|y`) {
+		t.Error("pipes must be escaped")
+	}
+	// No title variant.
+	if strings.Contains(NewTable("", "A").Markdown(), "###") {
+		t.Error("no title, no heading")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("ignored title", "A", "B")
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow(`with"quote`, "with\nnewline")
+	out := tbl.CSV()
+	lines := strings.SplitN(out, "\n", 3)
+	if lines[0] != "A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `plain,"with,comma"` {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Error("quotes must be doubled")
+	}
+	if strings.Contains(out, "ignored title") {
+		t.Error("CSV must not emit the title")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	root := &TreeNode{
+		Label: "root",
+		Children: []*TreeNode{
+			{Label: "a", Detail: "first", Children: []*TreeNode{
+				{Label: "a1"},
+				{Label: "a2"},
+			}},
+			{Label: "b"},
+		},
+	}
+	out := RenderTree(root)
+	for _, want := range []string{"root", "├── a — first", "│   ├── a1", "│   └── a2", "└── b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	if RenderTree(nil) != "" {
+		t.Error("nil tree renders empty")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if Check(true) != "✓" || Check(false) != "" {
+		t.Error("check marks")
+	}
+}
+
+func TestKV(t *testing.T) {
+	out := KV([][2]string{
+		{"Total", "1,234.00"},
+		{"Peak demand", "15.00 MW"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Values align at the same column.
+	if strings.Index(lines[0], "1,234.00") != strings.Index(lines[1], "15.00 MW") {
+		t.Errorf("values should align:\n%s", out)
+	}
+}

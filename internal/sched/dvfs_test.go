@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hpc"
+)
+
+// dvfsMachine has two power states so capping can downshift:
+// nominal 1 kW/node, powersave 0.6 kW/node at 0.5× frequency.
+func dvfsMachine(t *testing.T) *hpc.Machine {
+	t.Helper()
+	node := &hpc.NodeSpec{
+		Name:      "dvfs-node",
+		IdlePower: 0.1,
+		States: []hpc.PowerState{
+			{Name: "nominal", FreqFactor: 1.0, Power: 1.0},
+			{Name: "powersave", FreqFactor: 0.5, Power: 0.6},
+		},
+		Cores: 1,
+	}
+	m, err := hpc.NewMachine("dvfs", node, 10, hpc.PUEModel{Fixed: 0, Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDVFSUnderCapStartsInLowerState(t *testing.T) {
+	m := dvfsMachine(t)
+	// Cap 7 kW IT with shutdown: a 10-node full-power job needs 10 kW
+	// (blocked), but powersave needs 6 kW (fits).
+	j := job(1, 0, time.Hour, 10)
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, PowerCap: 7, ShutdownIdle: true, DVFSUnderCap: true,
+		Horizon: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatal("job should start")
+	}
+	rec := res.Records[0]
+	if rec.State != "powersave" {
+		t.Errorf("state = %q, want powersave", rec.State)
+	}
+	if rec.Start != 0 {
+		t.Errorf("start = %v, want immediate (in powersave)", rec.Start)
+	}
+	// Runs at half frequency → twice the runtime.
+	if res.Makespan != 2*time.Hour {
+		t.Errorf("makespan = %v, want 2 h (stretched)", res.Makespan)
+	}
+	// Power stays under the cap.
+	peak, _, _ := res.ITLoad.Peak()
+	if peak > 7 {
+		t.Errorf("IT peak %v exceeds cap", peak)
+	}
+}
+
+func TestWithoutDVFSCapBlocks(t *testing.T) {
+	m := dvfsMachine(t)
+	j := job(1, 0, time.Hour, 10)
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, PowerCap: 7, ShutdownIdle: true, DVFSUnderCap: false,
+		Horizon: 3 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Unstarted != 1 {
+		t.Errorf("without DVFS the job must stay blocked: records=%d unstarted=%d",
+			len(res.Records), res.Unstarted)
+	}
+}
+
+func TestDVFSPrefersNominalWhenUncapped(t *testing.T) {
+	m := dvfsMachine(t)
+	j := job(1, 0, time.Hour, 10)
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, DVFSUnderCap: true, ShutdownIdle: true, Horizon: 3 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].State != "nominal" {
+		t.Errorf("uncapped job should run nominal, got %q", res.Records[0].State)
+	}
+	if res.Makespan != time.Hour {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestDVFSTradesThroughputForContinuity(t *testing.T) {
+	m := dvfsMachine(t)
+	// A DR cap window over hours 0–2. With DVFS the machine keeps
+	// computing (slower); without it the queue stalls until the window
+	// lifts — DVFS finishes the work earlier overall.
+	window := CapWindow{Start: t0, End: t0.Add(2 * time.Hour), Cap: 7}
+	jobs := []*hpc.Job{job(1, 0, time.Hour, 10), job(2, 0, time.Hour, 10)}
+	withDVFS, err := Simulate(m, jobs, Config{
+		Start: t0, CapWindows: []CapWindow{window}, ShutdownIdle: true,
+		DVFSUnderCap: true, Horizon: 12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Simulate(m, jobs, Config{
+		Start: t0, CapWindows: []CapWindow{window}, ShutdownIdle: true,
+		Horizon: 12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDVFS.Makespan >= without.Makespan {
+		t.Errorf("DVFS should finish earlier under a long cap: %v vs %v",
+			withDVFS.Makespan, without.Makespan)
+	}
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/hpc"
+	"repro/internal/units"
+)
+
+func TestJobEnergyAccounting(t *testing.T) {
+	m := tinyMachine(t)
+	// One 5-node full-power job for 2 h: 5 kW × 2 h = 10 kWh.
+	j := job(1, 0, 2*time.Hour, 5)
+	res, err := Simulate(m, []*hpc.Job{j}, Config{Start: t0, ShutdownIdle: true, Horizon: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Records[0].EnergyUsed; math.Abs(float64(got)-10) > 1e-9 {
+		t.Errorf("job energy = %v, want 10 kWh", got)
+	}
+}
+
+func TestJobEnergySumMatchesITLoad(t *testing.T) {
+	// With shutdown-idle the IT profile is exactly the running jobs:
+	// the per-job energies must sum to the integrated IT load.
+	m := tinyMachine(t)
+	jobs := []*hpc.Job{
+		job(1, 0, time.Hour, 4),
+		job(2, 30*time.Minute, 2*time.Hour, 3),
+		job(3, time.Hour, 90*time.Minute, 2),
+	}
+	res, err := Simulate(m, jobs, Config{Start: t0, ShutdownIdle: true, Horizon: 8 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perJob units.Energy
+	for _, r := range res.Records {
+		perJob += r.EnergyUsed
+	}
+	if math.Abs(float64(perJob-res.ITLoad.Energy())) > 1e-6 {
+		t.Errorf("per-job sum %v vs IT load %v", perJob, res.ITLoad.Energy())
+	}
+}
+
+func TestJobEnergyUnderDVFSStretch(t *testing.T) {
+	m := dvfsMachine(t)
+	// 10 nodes in powersave (0.6 kW) for 2× the nominal hour: 12 kWh,
+	// versus 10 kWh nominal — slower but cheaper per hour, costlier in
+	// total energy here because powersave is less efficient per work.
+	j := job(1, 0, time.Hour, 10)
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, PowerCap: 7, ShutdownIdle: true, DVFSUnderCap: true,
+		Horizon: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Records[0].EnergyUsed; math.Abs(float64(got)-12) > 1e-9 {
+		t.Errorf("powersave job energy = %v, want 12 kWh", got)
+	}
+}
+
+func TestJobEnergyAcrossPreemption(t *testing.T) {
+	m := tinyMachine(t)
+	// 10-node 2 h checkpointable job preempted by a 1 h window after
+	// 30 min, with 10 min overhead: total run = 30 min + 100 min =
+	// 130 min at 10 kW → 21.667 kWh.
+	j := job(1, 0, 2*time.Hour, 10)
+	j.Checkpointable = true
+	window := CapWindow{Start: t0.Add(30 * time.Minute), End: t0.Add(90 * time.Minute), Cap: 7}
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, CapWindows: []CapWindow{window},
+		PreemptUnderCap: true, ShutdownIdle: true,
+		CheckpointOverhead: 10 * time.Minute,
+		Horizon:            12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 * (130.0 / 60.0)
+	if got := res.Records[0].EnergyUsed; math.Abs(float64(got)-want) > 1e-6 {
+		t.Errorf("preempted job energy = %v, want %.3f kWh", got, want)
+	}
+	// And it matches the metered IT energy.
+	if math.Abs(float64(res.Records[0].EnergyUsed-res.ITLoad.Energy())) > 1e-6 {
+		t.Errorf("record %v vs IT load %v", res.Records[0].EnergyUsed, res.ITLoad.Energy())
+	}
+}

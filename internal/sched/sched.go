@@ -1,0 +1,629 @@
+// Package sched simulates a power-aware batch scheduler running a job
+// trace on an hpc.Machine, producing the facility load profile that the
+// billing, demand-response and grid layers consume.
+//
+// The simulator is time-stepped (default one minute) and supports the
+// coarse-grained power-management strategies the EE HPC Working Group
+// survey identified as the most effective SC responses to ESP programs:
+// "energy and power-aware job scheduling, power capping, and shutdown".
+// Concretely:
+//
+//   - FCFS and EASY-backfill queue policies (backfill is the production
+//     baseline in SC batch systems);
+//   - a facility power cap, possibly time-varying (the DR dispatch case:
+//     a cap window during a declared grid event);
+//   - price-aware shifting: deferrable jobs wait while the real-time
+//     price is above a threshold (bounded by a maximum defer time);
+//   - idle-node shutdown: free nodes draw zero instead of idle power.
+//
+// Every run is deterministic given its inputs.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/hpc"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+// Queue policies.
+const (
+	// FCFS starts jobs strictly in arrival order.
+	FCFS Policy = iota
+	// EASYBackfill starts the queue head when possible and backfills
+	// later jobs that do not delay the head's reservation.
+	EASYBackfill
+)
+
+var policyNames = map[Policy]string{
+	FCFS:         "fcfs",
+	EASYBackfill: "easy-backfill",
+}
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// CapWindow is a time-varying IT-power cap: within [Start, End) the
+// scheduler must keep projected IT power at or below Cap. Used to model
+// DR dispatch and emergency curtailment.
+type CapWindow struct {
+	Start time.Time
+	End   time.Time
+	Cap   units.Power
+}
+
+// covers reports whether t falls inside the window.
+func (w CapWindow) covers(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Start anchors the simulation clock (job arrivals are offsets from
+	// this instant).
+	Start time.Time
+	// Step is the simulation time step (default one minute).
+	Step time.Duration
+	// MeterInterval is the sampling interval of the produced load
+	// profiles (default 15 minutes; must be a multiple of Step).
+	MeterInterval time.Duration
+	// Policy is the queue discipline (default EASYBackfill).
+	Policy Policy
+
+	// PowerCap, when positive, is a static IT-power cap: the scheduler
+	// will not start a job that would push projected IT power above it.
+	PowerCap units.Power
+	// CapWindows are additional time-varying caps (DR events). The
+	// effective cap at any instant is the minimum of all active caps.
+	CapWindows []CapWindow
+
+	// PriceFeed and PriceThreshold enable price-aware shifting: while
+	// the feed price exceeds the threshold, deferrable (checkpointable)
+	// jobs are not started unless they have waited MaxDefer already.
+	PriceFeed      *timeseries.PriceSeries
+	PriceThreshold units.EnergyPrice
+	// MaxDefer bounds price-driven waiting (default 12 h).
+	MaxDefer time.Duration
+
+	// ShutdownIdle makes free nodes draw zero power instead of idle
+	// power (the "shutdown" strategy).
+	ShutdownIdle bool
+
+	// DVFSUnderCap lets the scheduler start a job in a lower node
+	// power state when the nominal state would breach the active cap:
+	// the job draws the state's power and runs 1/FreqFactor times
+	// longer. Without it, capped jobs simply wait. A job keeps its
+	// start-time state for its whole run.
+	DVFSUnderCap bool
+
+	// PreemptUnderCap lets the scheduler checkpoint and requeue
+	// running checkpointable jobs when a cap window activates below
+	// the current draw (without it, pre-existing load rides through
+	// the window). Preempted work resumes at the front of the queue
+	// with CheckpointOverhead added to its remaining runtime.
+	PreemptUnderCap bool
+	// CheckpointOverhead is the time cost of one checkpoint/restart
+	// cycle (default 5 minutes).
+	CheckpointOverhead time.Duration
+
+	// Horizon extends the simulation past the last arrival so queued
+	// work can drain (default 7 days).
+	Horizon time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Step <= 0 {
+		out.Step = time.Minute
+	}
+	if out.MeterInterval <= 0 {
+		out.MeterInterval = 15 * time.Minute
+	}
+	if out.MaxDefer <= 0 {
+		out.MaxDefer = 12 * time.Hour
+	}
+	if out.Horizon <= 0 {
+		out.Horizon = 7 * 24 * time.Hour
+	}
+	if out.CheckpointOverhead <= 0 {
+		out.CheckpointOverhead = 5 * time.Minute
+	}
+	return out
+}
+
+// JobRecord is the per-job outcome of a run.
+type JobRecord struct {
+	Job *hpc.Job
+	// Start is when the job began executing (offset from Config.Start).
+	Start time.Duration
+	// Wait is Start − Arrival.
+	Wait time.Duration
+	// Completed reports whether the job finished inside the horizon.
+	Completed bool
+	// State names the node power state the job ran in ("nominal"
+	// unless DVFSUnderCap picked a lower one).
+	State string
+	// EnergyUsed is the job's IT energy across all its run segments —
+	// the per-job quantity behind the paper's "reduce job costs with
+	// respect to demand charges" recommendation.
+	EnergyUsed units.Energy
+}
+
+// BoundedSlowdown returns the standard scheduling metric
+// max(1, (wait+runtime)/max(runtime, 10 min)).
+func (r JobRecord) BoundedSlowdown() float64 {
+	den := r.Job.Runtime
+	if den < 10*time.Minute {
+		den = 10 * time.Minute
+	}
+	s := float64(r.Wait+r.Job.Runtime) / float64(den)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// ITLoad is the compute-only load profile; FacilityLoad includes
+	// cooling and fixed overhead via the machine's PUE model.
+	ITLoad       *timeseries.PowerSeries
+	FacilityLoad *timeseries.PowerSeries
+	// Records holds one entry per started job, in start order.
+	Records []JobRecord
+	// Unstarted counts jobs still queued when the horizon ended.
+	Unstarted int
+	// Preemptions counts checkpoint/requeue cycles forced by caps.
+	Preemptions int
+	// Utilization is used node-steps / available node-steps.
+	Utilization float64
+	// Makespan is the instant the last job completed (or the horizon).
+	Makespan time.Duration
+}
+
+// MeanWait returns the mean job wait time (0 if no jobs started).
+func (r *Result) MeanWait() time.Duration {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, rec := range r.Records {
+		sum += rec.Wait
+	}
+	return sum / time.Duration(len(r.Records))
+}
+
+// MeanBoundedSlowdown returns the mean bounded slowdown (0 if none).
+func (r *Result) MeanBoundedSlowdown() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rec := range r.Records {
+		sum += rec.BoundedSlowdown()
+	}
+	return sum / float64(len(r.Records))
+}
+
+type runningJob struct {
+	job   *hpc.Job
+	end   time.Duration // simulation offset when it completes
+	power units.Power   // total draw of the job (all nodes)
+}
+
+// Simulate runs the job trace on the machine under the config.
+func Simulate(m *hpc.Machine, jobs []*hpc.Job, cfg Config) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("sched: nil machine")
+	}
+	c := cfg.withDefaults()
+	if c.MeterInterval%c.Step != 0 {
+		return nil, errors.New("sched: meter interval must be a multiple of the step")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		if j.Nodes > m.Nodes {
+			return nil, fmt.Errorf("sched: job %d needs %d nodes, machine has %d", j.ID, j.Nodes, m.Nodes)
+		}
+	}
+	queue := append([]*hpc.Job(nil), jobs...)
+	sort.SliceStable(queue, func(a, b int) bool { return queue[a].Arrival < queue[b].Arrival })
+
+	var lastArrival time.Duration
+	if len(queue) > 0 {
+		lastArrival = queue[len(queue)-1].Arrival
+	}
+	end := lastArrival + c.Horizon
+
+	state := &simState{
+		machine:  m,
+		cfg:      c,
+		free:     m.Nodes,
+		pending:  queue,
+		nominal:  m.Node.States[0],
+		endLimit: end,
+	}
+	return state.run()
+}
+
+type simState struct {
+	machine *hpc.Machine
+	cfg     Config
+	nominal hpc.PowerState
+
+	free     int
+	pending  []*hpc.Job // not yet arrived or not yet started, arrival order
+	running  []runningJob
+	itPower  units.Power
+	endLimit time.Duration
+
+	records    []JobRecord
+	usedSteps  float64 // node-steps of work done
+	totalSteps float64
+	makespan   time.Duration
+
+	// preempted marks job IDs that were checkpointed at least once, so
+	// their restart does not duplicate the job record.
+	preempted   map[int]bool
+	preemptions int
+	// recordIdx maps job IDs to their index in records.
+	recordIdx map[int]int
+}
+
+// enforceCap checkpoints and requeues checkpointable running jobs when
+// the active cap sits below the current draw (newest starts first —
+// least sunk work). Non-checkpointable jobs ride through the window.
+func (s *simState) enforceCap(now time.Duration, wallNow time.Time) {
+	cap := s.effectiveCap(wallNow)
+	if cap <= 0 {
+		return
+	}
+	current := func() units.Power {
+		it := s.itPower
+		if !s.cfg.ShutdownIdle {
+			it += units.Power(float64(s.machine.Node.IdlePower) * float64(s.free))
+		}
+		return it
+	}
+	for current() > cap {
+		// Pick the most recently started checkpointable job.
+		victim := -1
+		for i := len(s.running) - 1; i >= 0; i-- {
+			if s.running[i].job.Checkpointable {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		r := s.running[victim]
+		remaining := r.end - now
+		if remaining <= 0 {
+			return // completes this step anyway
+		}
+		s.running = append(s.running[:victim], s.running[victim+1:]...)
+		s.free += r.job.Nodes
+		s.itPower -= r.power
+		if len(s.running) == 0 {
+			s.itPower = 0
+		}
+		// Give back the unrun part of the segment's energy; the resume
+		// segment re-adds what actually runs (plus checkpoint overhead).
+		if i, ok := s.recordIdx[r.job.ID]; ok {
+			s.records[i].EnergyUsed -= r.power.Over(remaining)
+		}
+		// Requeue the remainder at the front of the queue.
+		resumed := *r.job
+		resumed.Runtime = remaining + s.cfg.CheckpointOverhead
+		if resumed.Walltime < resumed.Runtime {
+			resumed.Walltime = resumed.Runtime
+		}
+		s.pending = append([]*hpc.Job{&resumed}, s.pending...)
+		if s.preempted == nil {
+			s.preempted = make(map[int]bool)
+		}
+		s.preempted[resumed.ID] = true
+		s.preemptions++
+	}
+}
+
+func (s *simState) run() (*Result, error) {
+	c := s.cfg
+	stepsPerMeter := int(c.MeterInterval / c.Step)
+	var samples []units.Power
+	var acc float64
+	accN := 0
+
+	for now := time.Duration(0); now < s.endLimit; now += c.Step {
+		wallNow := c.Start.Add(now)
+
+		// 1. Complete finished jobs.
+		s.completeJobs(now)
+
+		// 2. Enforce a newly binding cap by preemption if configured.
+		if c.PreemptUnderCap {
+			s.enforceCap(now, wallNow)
+		}
+
+		// 3. Try to start queued, arrived jobs under the policy.
+		s.startJobs(now, wallNow)
+
+		// 3. Account power and utilization for this step.
+		it := s.itPower
+		if !c.ShutdownIdle {
+			it += units.Power(float64(s.machine.Node.IdlePower) * float64(s.free))
+		}
+		acc += float64(it)
+		accN++
+		if accN == stepsPerMeter {
+			samples = append(samples, units.Power(acc/float64(accN)))
+			acc, accN = 0, 0
+		}
+		s.usedSteps += float64(s.machine.Nodes - s.free)
+		s.totalSteps += float64(s.machine.Nodes)
+
+		// Early exit: nothing running, nothing pending.
+		if len(s.running) == 0 && len(s.pending) == 0 {
+			break
+		}
+	}
+	if accN > 0 {
+		// Trailing partial group: divide by the full group size so the
+		// sample × interval preserves energy (the unsimulated remainder
+		// of the interval is genuinely zero draw — the machine drained).
+		samples = append(samples, units.Power(acc/float64(stepsPerMeter)))
+	}
+
+	itLoad, err := timeseries.NewPower(c.Start, c.MeterInterval, samples)
+	if err != nil {
+		return nil, err
+	}
+	facility := itLoad.Map(s.machine.PUE.Total)
+
+	util := 0.0
+	if s.totalSteps > 0 {
+		util = s.usedSteps / s.totalSteps
+	}
+	return &Result{
+		ITLoad:       itLoad,
+		FacilityLoad: facility,
+		Records:      s.records,
+		Unstarted:    len(s.pending),
+		Preemptions:  s.preemptions,
+		Utilization:  util,
+		Makespan:     s.makespan,
+	}, nil
+}
+
+func (s *simState) completeJobs(now time.Duration) {
+	keep := s.running[:0]
+	for _, r := range s.running {
+		if r.end <= now {
+			s.free += r.job.Nodes
+			s.itPower -= r.power
+			if r.end > s.makespan {
+				s.makespan = r.end
+			}
+			// Mark the record completed.
+			if i, ok := s.recordIdx[r.job.ID]; ok {
+				s.records[i].Completed = true
+			}
+			continue
+		}
+		keep = append(keep, r)
+	}
+	s.running = keep
+	if len(s.running) == 0 {
+		s.itPower = 0 // guard float drift when the machine drains
+	}
+}
+
+// effectiveCap returns the binding IT-power cap at wallNow (0 = uncapped).
+func (s *simState) effectiveCap(wallNow time.Time) units.Power {
+	cap := s.cfg.PowerCap
+	for _, w := range s.cfg.CapWindows {
+		if w.covers(wallNow) && (cap <= 0 || w.Cap < cap) {
+			cap = w.Cap
+		}
+	}
+	return cap
+}
+
+// priceDefer reports whether price-aware shifting wants to hold job j at
+// wallNow.
+func (s *simState) priceDefer(j *hpc.Job, now time.Duration, wallNow time.Time) bool {
+	if s.cfg.PriceFeed == nil || !j.Checkpointable {
+		return false
+	}
+	price, _ := s.cfg.PriceFeed.PriceAt(wallNow)
+	if price <= s.cfg.PriceThreshold {
+		return false
+	}
+	return now-j.Arrival < s.cfg.MaxDefer
+}
+
+// stateFor picks the power state job j would start in right now, or
+// reports that it cannot start. Without DVFSUnderCap only the nominal
+// state is considered; with it, lower states are tried in spec order
+// until one fits under the active cap.
+func (s *simState) stateFor(j *hpc.Job, wallNow time.Time) (hpc.PowerState, bool) {
+	if j.Nodes > s.free {
+		return hpc.PowerState{}, false
+	}
+	cap := s.effectiveCap(wallNow)
+	if cap <= 0 {
+		return s.nominal, true
+	}
+	idle := units.Power(0)
+	if !s.cfg.ShutdownIdle {
+		idle = units.Power(float64(s.machine.Node.IdlePower) * float64(s.free-j.Nodes))
+	}
+	states := s.machine.Node.States[:1]
+	if s.cfg.DVFSUnderCap {
+		states = s.machine.Node.States
+	}
+	for _, st := range states {
+		jobPower := units.Power(float64(j.NodePower(s.machine.Node, st)) * float64(j.Nodes))
+		if s.itPower+jobPower+idle <= cap {
+			return st, true
+		}
+	}
+	return hpc.PowerState{}, false
+}
+
+// canStart reports whether job j fits right now under nodes and cap.
+func (s *simState) canStart(j *hpc.Job, wallNow time.Time) bool {
+	_, ok := s.stateFor(j, wallNow)
+	return ok
+}
+
+func (s *simState) start(j *hpc.Job, now time.Duration, state hpc.PowerState) {
+	power := units.Power(float64(j.NodePower(s.machine.Node, state)) * float64(j.Nodes))
+	runtime := time.Duration(float64(j.Runtime) / state.FreqFactor)
+	s.free -= j.Nodes
+	s.itPower += power
+	s.running = append(s.running, runningJob{job: j, end: now + runtime, power: power})
+	segEnergy := power.Over(runtime)
+	if s.preempted[j.ID] {
+		// Resuming a checkpointed job: accumulate energy on the
+		// original record instead of duplicating it.
+		if i, ok := s.recordIdx[j.ID]; ok {
+			s.records[i].EnergyUsed += segEnergy
+		}
+		return
+	}
+	if s.recordIdx == nil {
+		s.recordIdx = make(map[int]int)
+	}
+	s.recordIdx[j.ID] = len(s.records)
+	s.records = append(s.records, JobRecord{
+		Job: j, Start: now, Wait: now - j.Arrival, State: state.Name,
+		EnergyUsed: segEnergy,
+	})
+}
+
+func (s *simState) startJobs(now time.Duration, wallNow time.Time) {
+	// Partition pending into arrived (queue) and future.
+	arrived := 0
+	for arrived < len(s.pending) && s.pending[arrived].Arrival <= now {
+		arrived++
+	}
+	if arrived == 0 {
+		return
+	}
+	queue := s.pending[:arrived]
+
+	started := make(map[int]bool)
+	switch s.cfg.Policy {
+	case FCFS:
+		for _, j := range queue {
+			if s.priceDefer(j, now, wallNow) {
+				break // strict FCFS: a held head blocks the queue
+			}
+			state, ok := s.stateFor(j, wallNow)
+			if !ok {
+				break
+			}
+			s.start(j, now, state)
+			started[j.ID] = true
+		}
+	default: // EASYBackfill
+		s.easyBackfill(queue, now, wallNow, started)
+	}
+	if len(started) == 0 {
+		return
+	}
+	keep := s.pending[:0]
+	for _, j := range s.pending {
+		if !started[j.ID] {
+			keep = append(keep, j)
+		}
+	}
+	s.pending = keep
+}
+
+// easyBackfill starts the head if possible; otherwise computes the
+// head's shadow time (when enough nodes free up, by walltime) and
+// backfills any later job that fits now and finishes (by walltime)
+// before the shadow time or uses only nodes the head will not need.
+func (s *simState) easyBackfill(queue []*hpc.Job, now time.Duration, wallNow time.Time, started map[int]bool) {
+	i := 0
+	// Greedily start from the head.
+	for i < len(queue) {
+		j := queue[i]
+		if s.priceDefer(j, now, wallNow) {
+			break
+		}
+		state, ok := s.stateFor(j, wallNow)
+		if !ok {
+			break
+		}
+		s.start(j, now, state)
+		started[j.ID] = true
+		i++
+	}
+	if i >= len(queue) {
+		return
+	}
+	head := queue[i]
+	// Shadow time: when will head.Nodes be free, assuming running jobs
+	// end at start+walltime (conservative, as EASY does)?
+	shadow, spare := s.shadowFor(head, now)
+	for _, j := range queue[i+1:] {
+		if started[j.ID] || s.priceDefer(j, now, wallNow) {
+			continue
+		}
+		state, ok := s.stateFor(j, wallNow)
+		if !ok {
+			continue
+		}
+		fitsBeforeShadow := now+j.Walltime <= shadow
+		fitsInSpare := j.Nodes <= spare
+		if fitsBeforeShadow || fitsInSpare {
+			s.start(j, now, state)
+			if fitsInSpare && !fitsBeforeShadow {
+				spare -= j.Nodes
+			}
+			started[j.ID] = true
+		}
+	}
+}
+
+// shadowFor returns the head job's earliest guaranteed start (shadow
+// time) and the node count that will remain spare at that time.
+func (s *simState) shadowFor(head *hpc.Job, now time.Duration) (time.Duration, int) {
+	if head.Nodes <= s.free {
+		return now, s.free - head.Nodes
+	}
+	// Sort running jobs by conservative end (start+walltime ≈ end here:
+	// we track actual runtime ends; EASY would use walltime, but actual
+	// ends are what our simulator knows deterministically — this makes
+	// backfill slightly more aggressive, never less safe in simulation).
+	ends := make([]runningJob, len(s.running))
+	copy(ends, s.running)
+	sort.Slice(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+	free := s.free
+	for _, r := range ends {
+		free += r.job.Nodes
+		if free >= head.Nodes {
+			return r.end, free - head.Nodes
+		}
+	}
+	// Unreachable if job fits the machine (validated), but stay safe.
+	return s.endLimit, 0
+}

@@ -1,0 +1,398 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hpc"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.June, 6, 0, 0, 0, 0, time.UTC) // a Monday
+
+// tinyMachine returns a 10-node machine with simple round numbers:
+// idle 0.1 kW, full load 1 kW per node, PUE factor 1.0, no fixed load.
+func tinyMachine(t *testing.T) *hpc.Machine {
+	t.Helper()
+	node := &hpc.NodeSpec{
+		Name:      "test-node",
+		IdlePower: 0.1,
+		States:    []hpc.PowerState{{Name: "nominal", FreqFactor: 1, Power: 1.0}},
+		Cores:     1,
+	}
+	m, err := hpc.NewMachine("tiny", node, 10, hpc.PUEModel{Fixed: 0, Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func job(id int, arrival, runtime time.Duration, nodes int) *hpc.Job {
+	return &hpc.Job{
+		ID: id, Arrival: arrival, Runtime: runtime, Walltime: runtime,
+		Nodes: nodes, PowerFraction: 1,
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "fcfs" || EASYBackfill.String() != "easy-backfill" {
+		t.Error("policy names")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should format")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := tinyMachine(t)
+	if _, err := Simulate(nil, nil, Config{Start: t0}); err == nil {
+		t.Error("nil machine should fail")
+	}
+	bad := []*hpc.Job{{ID: 1, Runtime: 0, Walltime: 1, Nodes: 1, PowerFraction: 1}}
+	if _, err := Simulate(m, bad, Config{Start: t0}); err == nil {
+		t.Error("invalid job should fail")
+	}
+	tooBig := []*hpc.Job{job(1, 0, time.Hour, 11)}
+	if _, err := Simulate(m, tooBig, Config{Start: t0}); err == nil {
+		t.Error("oversized job should fail")
+	}
+	if _, err := Simulate(m, nil, Config{Start: t0, Step: time.Minute, MeterInterval: 90 * time.Second}); err == nil {
+		t.Error("non-multiple meter interval should fail")
+	}
+}
+
+func TestSimulateEmptyTrace(t *testing.T) {
+	m := tinyMachine(t)
+	res, err := Simulate(m, nil, Config{Start: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Unstarted != 0 {
+		t.Error("empty trace should produce no records")
+	}
+	if res.MeanWait() != 0 || res.MeanBoundedSlowdown() != 0 {
+		t.Error("empty metrics should be zero")
+	}
+}
+
+func TestSingleJobPowerAccounting(t *testing.T) {
+	m := tinyMachine(t)
+	// One job on 5 nodes for 1 h: IT power = 5×1 kW + 5 idle ×0.1 = 5.5 kW.
+	jobs := []*hpc.Job{job(1, 0, time.Hour, 5)}
+	res, err := Simulate(m, jobs, Config{Start: t0, Horizon: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ITLoad.Len() == 0 {
+		t.Fatal("no load samples")
+	}
+	if got := res.ITLoad.At(0); got != 5.5 {
+		t.Errorf("IT power = %v, want 5.5", got)
+	}
+	if len(res.Records) != 1 || res.Records[0].Wait != 0 || !res.Records[0].Completed {
+		t.Errorf("record = %+v", res.Records[0])
+	}
+	if res.Makespan != time.Hour {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestShutdownIdleReducesPower(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []*hpc.Job{job(1, 0, time.Hour, 5)}
+	res, err := Simulate(m, jobs, Config{Start: t0, ShutdownIdle: true, Horizon: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ITLoad.At(0); got != 5.0 {
+		t.Errorf("IT power with shutdown = %v, want 5.0", got)
+	}
+}
+
+func TestFCFSOrdering(t *testing.T) {
+	m := tinyMachine(t)
+	// Job 1 takes the whole machine for 2 h; job 2 (1 node) arrives later
+	// and must wait under FCFS ... and also under backfill (no spare).
+	jobs := []*hpc.Job{
+		job(1, 0, 2*time.Hour, 10),
+		job(2, 10*time.Minute, time.Hour, 1),
+	}
+	res, err := Simulate(m, jobs, Config{Start: t0, Policy: FCFS, Horizon: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	if res.Records[1].Wait < 100*time.Minute {
+		t.Errorf("job 2 wait = %v, want ≈110 min", res.Records[1].Wait)
+	}
+}
+
+func TestBackfillBeatsFCFS(t *testing.T) {
+	m := tinyMachine(t)
+	// Classic backfill scenario: running job holds 6 nodes for 2 h; head
+	// job needs 10 nodes (must wait); a small short job can backfill
+	// into the 4 spare nodes without delaying the head.
+	jobs := []*hpc.Job{
+		job(1, 0, 2*time.Hour, 6),
+		job(2, 1*time.Minute, 2*time.Hour, 10),
+		job(3, 2*time.Minute, 30*time.Minute, 4),
+	}
+	fcfs, err := Simulate(m, jobs, Config{Start: t0, Policy: FCFS, Horizon: 12 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Simulate(m, jobs, Config{Start: t0, Policy: EASYBackfill, Horizon: 12 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitOf := func(res *Result, id int) time.Duration {
+		for _, r := range res.Records {
+			if r.Job.ID == id {
+				return r.Wait
+			}
+		}
+		t.Fatalf("job %d not started", id)
+		return 0
+	}
+	if waitOf(bf, 3) >= waitOf(fcfs, 3) {
+		t.Errorf("backfill should start job 3 earlier: bf=%v fcfs=%v",
+			waitOf(bf, 3), waitOf(fcfs, 3))
+	}
+	// Backfilling must not delay the head job.
+	if waitOf(bf, 2) > waitOf(fcfs, 2) {
+		t.Errorf("backfill delayed the head: bf=%v fcfs=%v", waitOf(bf, 2), waitOf(fcfs, 2))
+	}
+	if bf.Utilization <= fcfs.Utilization {
+		t.Errorf("backfill utilization %v should beat FCFS %v", bf.Utilization, fcfs.Utilization)
+	}
+}
+
+func TestPowerCapBlocksStarts(t *testing.T) {
+	m := tinyMachine(t)
+	// Cap at 6 kW IT: two 5-node full-power jobs cannot run together
+	// (5 + 5 = 10 kW > 6), so the second waits for the first.
+	jobs := []*hpc.Job{
+		job(1, 0, time.Hour, 5),
+		job(2, 0, time.Hour, 5),
+	}
+	res, err := Simulate(m, jobs, Config{
+		Start: t0, PowerCap: 6, ShutdownIdle: true, Horizon: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, _ := res.ITLoad.Peak()
+	if peak > 6 {
+		t.Errorf("IT peak %v exceeds cap 6", peak)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("both jobs should eventually run")
+	}
+	if res.Records[1].Wait < 50*time.Minute {
+		t.Errorf("second job should wait out the first, wait = %v", res.Records[1].Wait)
+	}
+}
+
+func TestCapWindowOnlyBindsInside(t *testing.T) {
+	m := tinyMachine(t)
+	// DR window caps IT power to 3 kW for hour two. A 5-node job arriving
+	// inside the window must wait until it closes.
+	window := CapWindow{Start: t0.Add(time.Hour), End: t0.Add(2 * time.Hour), Cap: 3}
+	jobs := []*hpc.Job{job(1, 70*time.Minute, time.Hour, 5)}
+	res, err := Simulate(m, jobs, Config{
+		Start: t0, CapWindows: []CapWindow{window}, ShutdownIdle: true,
+		Horizon: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Start < 2*time.Hour {
+		t.Errorf("job started at %v, should wait for window end", res.Records[0].Start)
+	}
+	// Without the window it starts immediately.
+	res2, err := Simulate(m, jobs, Config{Start: t0, ShutdownIdle: true, Horizon: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Records[0].Start != 70*time.Minute {
+		t.Errorf("uncapped start = %v", res2.Records[0].Start)
+	}
+}
+
+func TestPriceAwareShiftingDefers(t *testing.T) {
+	m := tinyMachine(t)
+	// Price is 0.50 for the first 2 h, then 0.05. A checkpointable job
+	// should defer into the cheap window; a rigid job should not.
+	feed := timeseries.MustNewPrice(t0, time.Hour, []units.EnergyPrice{
+		0.50, 0.50, 0.05, 0.05, 0.05, 0.05,
+	})
+	mk := func(checkpointable bool) []*hpc.Job {
+		j := job(1, 0, time.Hour, 5)
+		j.Checkpointable = checkpointable
+		return []*hpc.Job{j}
+	}
+	cfg := Config{
+		Start: t0, PriceFeed: feed, PriceThreshold: 0.10,
+		Horizon: 12 * time.Hour,
+	}
+	deferred, err := Simulate(m, mk(true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deferred.Records[0].Start < 2*time.Hour {
+		t.Errorf("checkpointable job started at %v, want ≥ 2 h", deferred.Records[0].Start)
+	}
+	rigid, err := Simulate(m, mk(false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rigid.Records[0].Start != 0 {
+		t.Errorf("rigid job should start immediately, got %v", rigid.Records[0].Start)
+	}
+}
+
+func TestPriceDeferBoundedByMaxDefer(t *testing.T) {
+	m := tinyMachine(t)
+	// Price never drops; MaxDefer 1 h forces the start after an hour.
+	feed := timeseries.ConstantPrice(t0, time.Hour, 48, 0.50)
+	j := job(1, 0, time.Hour, 5)
+	j.Checkpointable = true
+	res, err := Simulate(m, []*hpc.Job{j}, Config{
+		Start: t0, PriceFeed: feed, PriceThreshold: 0.10, MaxDefer: time.Hour,
+		Horizon: 12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Records[0].Start
+	if got < time.Hour || got > time.Hour+2*time.Minute {
+		t.Errorf("start = %v, want ≈1 h (MaxDefer)", got)
+	}
+}
+
+func TestFacilityLoadAppliesPUE(t *testing.T) {
+	node := &hpc.NodeSpec{
+		Name: "n", IdlePower: 0,
+		States: []hpc.PowerState{{Name: "x", FreqFactor: 1, Power: 1}},
+		Cores:  1,
+	}
+	m, err := hpc.NewMachine("pue", node, 10, hpc.PUEModel{Fixed: 100, Factor: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*hpc.Job{job(1, 0, time.Hour, 10)}
+	res, err := Simulate(m, jobs, Config{Start: t0, Horizon: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.ITLoad.At(0)
+	fac := res.FacilityLoad.At(0)
+	if fac != 100+units.Power(float64(it)*1.5) {
+		t.Errorf("facility = %v for IT %v", fac, it)
+	}
+}
+
+func TestUtilizationAndUnstarted(t *testing.T) {
+	m := tinyMachine(t)
+	// Saturating load: 20 sequential full-machine jobs of 1 h each with
+	// a 4-hour horizon after last arrival — some cannot start.
+	var jobs []*hpc.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, job(i, 0, time.Hour, 10))
+	}
+	res, err := Simulate(m, jobs, Config{Start: t0, Horizon: 4 * time.Hour, ShutdownIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unstarted == 0 {
+		t.Error("saturating trace should leave unstarted jobs")
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("utilization = %v, want ≈1", res.Utilization)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := hpc.SmallSiteMachine()
+	cfg := hpc.DefaultWorkload()
+	cfg.Span = 24 * time.Hour
+	jobs, err := hpc.GenerateWorkload(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := Config{Start: t0, Horizon: 24 * time.Hour}
+	a, err := Simulate(m, jobs, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(m, jobs, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ITLoad.Len() != b.ITLoad.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.ITLoad.Len(); i++ {
+		if a.ITLoad.At(i) != b.ITLoad.At(i) {
+			t.Fatal("identical inputs must reproduce the load")
+		}
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	r := JobRecord{
+		Job:  job(1, 0, time.Hour, 1),
+		Wait: time.Hour,
+	}
+	if got := r.BoundedSlowdown(); got != 2 {
+		t.Errorf("slowdown = %v, want 2", got)
+	}
+	// Short jobs use the 10-minute floor.
+	r2 := JobRecord{Job: job(2, 0, time.Minute, 1), Wait: 0}
+	if got := r2.BoundedSlowdown(); got != 1 {
+		t.Errorf("short-job slowdown = %v, want 1 (floored)", got)
+	}
+}
+
+func TestRealisticWorkloadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := hpc.SmallSiteMachine()
+	wcfg := hpc.DefaultWorkload()
+	wcfg.Span = 48 * time.Hour
+	jobs, err := hpc.GenerateWorkload(m, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(m, jobs, Config{Start: t0, Horizon: 72 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.3 {
+		t.Errorf("utilization = %v, suspiciously low", res.Utilization)
+	}
+	peak, _, _ := res.FacilityLoad.Peak()
+	if peak <= 0 || peak > m.PeakFacilityPower() {
+		t.Errorf("facility peak %v outside (0, %v]", peak, m.PeakFacilityPower())
+	}
+}
+
+func BenchmarkSimulateWeek(b *testing.B) {
+	m := hpc.SmallSiteMachine()
+	jobs, err := hpc.GenerateWorkload(m, hpc.DefaultWorkload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Start: t0, Horizon: 48 * time.Hour}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m, jobs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harnesses need: moments, quantiles, histograms, simple
+// linear regression, and bootstrap confidence intervals. It exists so
+// the analysis layers do not each hand-roll (and subtly disagree on)
+// these primitives; it is not a general statistics library.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean, or an error for an empty sample.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+// Samples of size < 2 yield an error.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation
+// between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. Samples of size 1 report zero StdDev.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) > 1 {
+		sd, _ = StdDev(xs)
+	}
+	lo, hi, _ := MinMax(xs)
+	q25, _ := Quantile(xs, 0.25)
+	q50, _ := Quantile(xs, 0.50)
+	q75, _ := Quantile(xs, 0.75)
+	q95, _ := Quantile(xs, 0.95)
+	q99, _ := Quantile(xs, 0.99)
+	return Summary{
+		N: len(xs), Mean: m, StdDev: sd,
+		Min: lo, P25: q25, Median: q50, P75: q75, P95: q95, P99: q99, Max: hi,
+	}, nil
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count out-of-range observations.
+	Under, Over int
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, errors.New("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard the hi boundary under float round
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records a batch of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinBounds returns the [lo, hi) bounds of bin i.
+func (h *Histogram) BinBounds(i int) (float64, float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Render draws the histogram as ASCII art, scaling bars to width.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo, hi := h.BinBounds(i)
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "[%10.2f, %10.2f) %6d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}
+
+// LinearFit is the result of a simple least-squares regression y = a + bx.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// FitLinear performs ordinary least squares on paired samples.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: x and y lengths differ")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: x has zero variance")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Intercept: my - slope*mx, Slope: slope}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // y constant and perfectly predicted by the constant fit
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fit at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// BootstrapCI estimates a two-sided confidence interval for a statistic
+// via the percentile bootstrap. stat receives a resampled copy; level is
+// e.g. 0.95; rng drives resampling (deterministic experiments pass a
+// seeded source).
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, iters int, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, errors.New("stats: confidence level must be in (0,1)")
+	}
+	if iters < 10 {
+		iters = 10
+	}
+	estimates := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[it] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	lo, _ = Quantile(estimates, alpha)
+	hi, _ = Quantile(estimates, 1-alpha)
+	return lo, hi, nil
+}
+
+// CDF returns the empirical CDF evaluated at x.
+func CDF(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

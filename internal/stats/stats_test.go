@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("empty mean should fail")
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("mean = %v (%v)", m, err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if _, err := Variance([]float64{1}); err != ErrEmpty {
+		t.Error("singleton variance should fail")
+	}
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almostEq(v, 4.571428571, 1e-6) {
+		t.Errorf("variance = %v (%v)", v, err)
+	}
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almostEq(sd, math.Sqrt(4.571428571), 1e-6) {
+		t.Errorf("sd = %v (%v)", sd, err)
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Error("empty sd should fail")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("minmax = %v %v (%v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("empty minmax should fail")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}, {-1, 1}, {2, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v (%v)", c.q, got, err)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile must not sort the input in place")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("empty quantile should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("summary should format")
+	}
+	one, err := Summarize([]float64{42})
+	if err != nil || one.StdDev != 0 {
+		t.Errorf("singleton summary = %+v (%v)", one, err)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("empty summarize should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-1, 0, 1.9, 2, 9.999, 10, 11})
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	lo, hi := h.BinBounds(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("bounds = %v %v", lo, hi)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Error("render should draw bars")
+	}
+	if h.Render(0) == "" {
+		t.Error("render with default width")
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo==hi should fail")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+	if !almostEq(fit.Predict(10), 21, 1e-12) {
+		t.Errorf("Predict = %v", fit.Predict(10))
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance should fail")
+	}
+	// Constant y: slope 0, R2 defined as 1.
+	fit, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil || fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant-y fit = %+v (%v)", fit, err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	mean := func(s []float64) float64 { m, _ := Mean(s); return m }
+	lo, hi, err := BootstrapCI(xs, mean, 0.95, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 10 && 10 < hi) {
+		t.Errorf("CI [%v, %v] should cover the true mean 10", lo, hi)
+	}
+	if hi-lo > 1.5 {
+		t.Errorf("CI [%v, %v] suspiciously wide", lo, hi)
+	}
+	if _, _, err := BootstrapCI(nil, mean, 0.95, 100, rng); err != ErrEmpty {
+		t.Error("empty bootstrap should fail")
+	}
+	if _, _, err := BootstrapCI(xs, mean, 1.5, 100, rng); err == nil {
+		t.Error("bad level should fail")
+	}
+	// Tiny iteration counts are bumped to a sane floor.
+	if _, _, err := BootstrapCI(xs, mean, 0.9, 1, rng); err != nil {
+		t.Errorf("small iters should still work: %v", err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if CDF(xs, 0) != 0 || CDF(xs, 2) != 0.5 || CDF(xs, 10) != 1 {
+		t.Error("CDF values wrong")
+	}
+	if CDF(nil, 1) != 0 {
+		t.Error("empty CDF should be 0")
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int16, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		qa, _ := Quantile(xs, a)
+		qb, _ := Quantile(xs, b)
+		return qa <= qb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram conserves observations.
+func TestQuickHistogramConserves(t *testing.T) {
+	f := func(raw []int16) bool {
+		h, _ := NewHistogram(-1000, 1000, 16)
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		h.AddAll(xs)
+		return h.Total()+h.Under+h.Over == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package storage models behind-the-meter energy storage (battery/UPS
+// systems) and the two operating policies the data-center DR literature
+// the paper cites builds on: peak shaving against demand charges and
+// price arbitrage against variable tariffs (Yao, Liu & Zhang's
+// "predictive electricity cost minimization through energy buffering",
+// cited in §2). A battery is state-of-charge-bounded, power-limited and
+// round-trip lossy; policies transform a metered load profile into the
+// grid-visible profile plus a state-of-charge trace.
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Battery is one behind-the-meter storage system.
+type Battery struct {
+	// Capacity is usable energy capacity.
+	Capacity units.Energy
+	// MaxCharge and MaxDischarge bound power in each direction.
+	MaxCharge    units.Power
+	MaxDischarge units.Power
+	// RoundTripEfficiency in (0,1]: energy out per energy in across a
+	// full cycle. Losses are applied on charge.
+	RoundTripEfficiency float64
+	// InitialSoC is the starting state of charge as a fraction of
+	// Capacity (0..1).
+	InitialSoC float64
+}
+
+// Validate checks the battery parameters.
+func (b *Battery) Validate() error {
+	if b.Capacity <= 0 {
+		return errors.New("storage: capacity must be positive")
+	}
+	if b.MaxCharge <= 0 || b.MaxDischarge <= 0 {
+		return errors.New("storage: charge and discharge limits must be positive")
+	}
+	if b.RoundTripEfficiency <= 0 || b.RoundTripEfficiency > 1 {
+		return errors.New("storage: round-trip efficiency must be in (0,1]")
+	}
+	if b.InitialSoC < 0 || b.InitialSoC > 1 {
+		return errors.New("storage: initial SoC must be in [0,1]")
+	}
+	return nil
+}
+
+// Describe returns a one-line description.
+func (b *Battery) Describe() string {
+	return fmt.Sprintf("battery %s, ±(%s/%s), η=%.0f%%",
+		b.Capacity, b.MaxCharge, b.MaxDischarge, b.RoundTripEfficiency*100)
+}
+
+// Result is the outcome of running a policy.
+type Result struct {
+	// Net is the grid-visible load (facility load ± battery power).
+	Net *timeseries.PowerSeries
+	// SoC is the state-of-charge trace (fractions of capacity), one
+	// sample per input interval, recorded at interval end.
+	SoC []float64
+	// Discharged and Charged are the total battery throughputs
+	// (Charged measured at the meter, i.e. before losses).
+	Discharged units.Energy
+	Charged    units.Energy
+	// EquivalentFullCycles is discharged energy over capacity.
+	EquivalentFullCycles float64
+}
+
+// PeakShave discharges whenever the facility load exceeds threshold and
+// recharges (up to the threshold) whenever it is below — the classic
+// demand-charge defense. The grid-visible profile never exceeds
+// max(threshold, load−MaxDischarge) and never draws more than threshold
+// while recharging.
+func PeakShave(b *Battery, load *timeseries.PowerSeries, threshold units.Power) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		return nil, errors.New("storage: threshold must be positive")
+	}
+	return run(b, load, func(p units.Power, socKWh float64) units.Power {
+		if p > threshold {
+			return -(p - threshold) // discharge request (negative = discharge)
+		}
+		return threshold - p // charge headroom
+	})
+}
+
+// Arbitrage charges when the price is at or below buyBelow and
+// discharges into the facility load when the price is at or above
+// sellAbove. Discharge is capped by the instantaneous load (no export).
+func Arbitrage(b *Battery, load *timeseries.PowerSeries, prices *timeseries.PriceSeries, buyBelow, sellAbove units.EnergyPrice) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if prices == nil {
+		return nil, errors.New("storage: arbitrage needs a price feed")
+	}
+	if sellAbove <= buyBelow {
+		return nil, errors.New("storage: sell threshold must exceed buy threshold")
+	}
+	return run(b, load, func(p units.Power, socKWh float64) units.Power {
+		// The price at this sample's time is resolved by the caller via
+		// closure state; we re-resolve inside run through load times.
+		return 0 // placeholder, replaced below
+	}, arbitragePolicy(load, prices, buyBelow, sellAbove))
+}
+
+// policyFn returns the desired battery power for a sample: positive =
+// charge at up to that power, negative = discharge at up to |value|.
+type policyFn func(load units.Power, socKWh float64) units.Power
+
+// arbitragePolicy builds a time-aware policy (needs sample index).
+func arbitragePolicy(load *timeseries.PowerSeries, prices *timeseries.PriceSeries, buyBelow, sellAbove units.EnergyPrice) indexedPolicy {
+	return func(i int, p units.Power, socKWh float64) units.Power {
+		price, _ := prices.PriceAt(load.TimeAt(i))
+		switch {
+		case price >= sellAbove:
+			return -p // discharge into the load (capped by run)
+		case price <= buyBelow:
+			return units.Power(1e18) // charge as fast as allowed
+		default:
+			return 0
+		}
+	}
+}
+
+type indexedPolicy func(i int, load units.Power, socKWh float64) units.Power
+
+// RunPolicy executes a caller-supplied dispatch policy over the load:
+// for each sample the policy sees the index, instantaneous load and
+// state of charge (as a fraction of capacity) and returns the desired
+// battery power — positive to charge at up to that power, negative to
+// discharge at up to its magnitude. Physical limits (rates, SoC bounds,
+// no-export, charge losses) are enforced by the engine. This is the
+// extension point DR strategies use.
+func RunPolicy(b *Battery, load *timeseries.PowerSeries, policy func(i int, load units.Power, socFraction float64) units.Power) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("storage: nil policy")
+	}
+	capKWh := float64(b.Capacity)
+	return run(b, load, nil, func(i int, p units.Power, socKWh float64) units.Power {
+		return policy(i, p, socKWh/capKWh)
+	})
+}
+
+// run executes a policy over the load. If ipol is non-nil it overrides
+// pol (used by time-aware policies).
+func run(b *Battery, load *timeseries.PowerSeries, pol policyFn, ipol ...indexedPolicy) (*Result, error) {
+	if load == nil || load.Len() == 0 {
+		return nil, errors.New("storage: empty load")
+	}
+	var indexed indexedPolicy
+	if len(ipol) > 0 && ipol[0] != nil {
+		indexed = ipol[0]
+	} else {
+		indexed = func(_ int, p units.Power, soc float64) units.Power { return pol(p, soc) }
+	}
+	h := load.Interval().Hours()
+	capKWh := float64(b.Capacity)
+	soc := b.InitialSoC * capKWh
+	out := make([]units.Power, load.Len())
+	socTrace := make([]float64, load.Len())
+	res := &Result{}
+	for i := 0; i < load.Len(); i++ {
+		p := load.At(i)
+		want := indexed(i, p, soc)
+		var battery units.Power // positive = charging draw, negative = discharge relief
+		if want < 0 {
+			// Discharge: bounded by request, rate, load (no export) and SoC.
+			req := -want
+			req = units.MinPower(req, b.MaxDischarge)
+			req = units.MinPower(req, p)
+			maxBySoC := units.Power(soc / h)
+			req = units.MinPower(req, maxBySoC)
+			if req > 0 {
+				soc -= float64(req) * h
+				res.Discharged += units.Energy(float64(req) * h)
+				battery = -req
+			}
+		} else if want > 0 {
+			// Charge: bounded by request, rate and remaining capacity
+			// (losses applied on the way in).
+			req := units.MinPower(want, b.MaxCharge)
+			room := capKWh - soc
+			maxByRoom := units.Power(room / (h * b.RoundTripEfficiency))
+			req = units.MinPower(req, maxByRoom)
+			if req > 0 {
+				soc += float64(req) * h * b.RoundTripEfficiency
+				res.Charged += units.Energy(float64(req) * h)
+				battery = req
+			}
+		}
+		if soc < 0 {
+			soc = 0
+		}
+		if soc > capKWh {
+			soc = capKWh
+		}
+		out[i] = p + battery
+		socTrace[i] = soc / capKWh
+	}
+	net, err := timeseries.NewPower(load.Start(), load.Interval(), out)
+	if err != nil {
+		return nil, err
+	}
+	res.Net = net
+	res.SoC = socTrace
+	res.EquivalentFullCycles = float64(res.Discharged) / capKWh
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.October, 3, 0, 0, 0, 0, time.UTC)
+
+func battery() *Battery {
+	return &Battery{
+		Capacity:            4 * units.MegawattHour,
+		MaxCharge:           2 * units.Megawatt,
+		MaxDischarge:        2 * units.Megawatt,
+		RoundTripEfficiency: 0.90,
+		InitialSoC:          0.5,
+	}
+}
+
+func TestBatteryValidate(t *testing.T) {
+	if err := battery().Validate(); err != nil {
+		t.Errorf("good battery: %v", err)
+	}
+	bad := []*Battery{
+		{Capacity: 0, MaxCharge: 1, MaxDischarge: 1, RoundTripEfficiency: 0.9},
+		{Capacity: 1, MaxCharge: 0, MaxDischarge: 1, RoundTripEfficiency: 0.9},
+		{Capacity: 1, MaxCharge: 1, MaxDischarge: 1, RoundTripEfficiency: 0},
+		{Capacity: 1, MaxCharge: 1, MaxDischarge: 1, RoundTripEfficiency: 1.5},
+		{Capacity: 1, MaxCharge: 1, MaxDischarge: 1, RoundTripEfficiency: 0.9, InitialSoC: 2},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if !strings.Contains(battery().Describe(), "battery") {
+		t.Error("describe")
+	}
+}
+
+func TestPeakShaveClipsPeak(t *testing.T) {
+	b := battery()
+	// 10 MW base with a 13 MW hour; threshold 11 MW.
+	samples := make([]units.Power, 12) // 3 hours at 15 min
+	for i := range samples {
+		samples[i] = 10000
+	}
+	for i := 4; i < 8; i++ {
+		samples[i] = 13000
+	}
+	load := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+	res, err := PeakShave(b, load, 11000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, _ := res.Net.Peak()
+	if peak > 11000 {
+		t.Errorf("shaved peak = %v, want ≤ 11 MW", peak)
+	}
+	// 2 MW × 1 h discharged.
+	if math.Abs(res.Discharged.MWh()-2) > 1e-9 {
+		t.Errorf("discharged = %v", res.Discharged)
+	}
+	// Battery recharges in the low hours but never pushes above the
+	// threshold.
+	for i := 0; i < res.Net.Len(); i++ {
+		if res.Net.At(i) > 11000+1e-9 {
+			t.Fatalf("net load above threshold at %d", i)
+		}
+	}
+	if res.EquivalentFullCycles <= 0 {
+		t.Error("cycles should be counted")
+	}
+}
+
+func TestPeakShaveSoCBounded(t *testing.T) {
+	b := battery()
+	// Sustained 14 MW: the battery drains, then the peak reappears.
+	load := timeseries.ConstantPower(t0, 15*time.Minute, 24, 14000)
+	res, err := PeakShave(b, load, 11000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, soc := range res.SoC {
+		if soc < -1e-9 || soc > 1+1e-9 {
+			t.Fatalf("SoC out of bounds at %d: %v", i, soc)
+		}
+	}
+	// With 2 MWh initial usable energy and a 3 MW excess (capped at
+	// 2 MW discharge), shaving holds for 1 h then fails.
+	early := res.Net.At(0)
+	if early != 12000 { // 14 MW − 2 MW max discharge
+		t.Errorf("early net = %v, want 12 MW (rate-limited)", early)
+	}
+	late, _ := res.Net.Window(t0.Add(3*time.Hour), t0.Add(6*time.Hour))
+	lateMin, _ := late.Min()
+	if lateMin < 14000 {
+		t.Errorf("battery exhausted: late net should return to 14 MW, got %v", lateMin)
+	}
+}
+
+func TestPeakShaveValidation(t *testing.T) {
+	load := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	if _, err := PeakShave(&Battery{}, load, 500); err == nil {
+		t.Error("invalid battery should fail")
+	}
+	if _, err := PeakShave(battery(), load, 0); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	empty := timeseries.MustNewPower(t0, time.Hour, nil)
+	if _, err := PeakShave(battery(), empty, 500); err == nil {
+		t.Error("empty load should fail")
+	}
+}
+
+func TestArbitrage(t *testing.T) {
+	b := battery()
+	b.InitialSoC = 0
+	// 12 hours: cheap first 4, mid 4, expensive last 4.
+	load := timeseries.ConstantPower(t0, time.Hour, 12, 10000)
+	prices := make([]units.EnergyPrice, 12)
+	for i := range prices {
+		switch {
+		case i < 4:
+			prices[i] = 0.02
+		case i < 8:
+			prices[i] = 0.06
+		default:
+			prices[i] = 0.30
+		}
+	}
+	feed := timeseries.MustNewPrice(t0, time.Hour, prices)
+	res, err := Arbitrage(b, load, feed, 0.03, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheap hours: net load rises (charging).
+	if res.Net.At(0) <= 10000 {
+		t.Errorf("cheap hour should charge: net = %v", res.Net.At(0))
+	}
+	// Mid hours: unchanged.
+	if res.Net.At(5) != 10000 {
+		t.Errorf("mid hour should idle: net = %v", res.Net.At(5))
+	}
+	// Expensive hours: net load falls (discharging).
+	if res.Net.At(8) >= 10000 {
+		t.Errorf("expensive hour should discharge: net = %v", res.Net.At(8))
+	}
+	// Round-trip efficiency: discharged ≤ charged × η.
+	if float64(res.Discharged) > float64(res.Charged)*b.RoundTripEfficiency+1e-6 {
+		t.Errorf("discharged %v exceeds charged %v × η", res.Discharged, res.Charged)
+	}
+}
+
+func TestArbitrageValidation(t *testing.T) {
+	load := timeseries.ConstantPower(t0, time.Hour, 4, 1000)
+	feed := timeseries.ConstantPrice(t0, time.Hour, 4, 0.05)
+	if _, err := Arbitrage(&Battery{}, load, feed, 0.02, 0.10); err == nil {
+		t.Error("invalid battery should fail")
+	}
+	if _, err := Arbitrage(battery(), load, nil, 0.02, 0.10); err == nil {
+		t.Error("nil feed should fail")
+	}
+	if _, err := Arbitrage(battery(), load, feed, 0.10, 0.02); err == nil {
+		t.Error("inverted thresholds should fail")
+	}
+}
+
+// Property: SoC stays within [0,1] and net load is non-negative under
+// peak shaving for arbitrary loads.
+func TestQuickPeakShaveInvariants(t *testing.T) {
+	b := battery()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]units.Power, len(raw))
+		for i, v := range raw {
+			samples[i] = units.Power(v)
+		}
+		load := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+		res, err := PeakShave(b, load, 20000)
+		if err != nil {
+			return false
+		}
+		for _, soc := range res.SoC {
+			if soc < -1e-9 || soc > 1+1e-9 {
+				return false
+			}
+		}
+		mn, _ := res.Net.Min()
+		return mn >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy conservation — net energy equals load energy plus
+// charged minus discharged.
+func TestQuickEnergyAccounting(t *testing.T) {
+	b := battery()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]units.Power, len(raw))
+		for i, v := range raw {
+			samples[i] = units.Power(v % 30000)
+		}
+		load := timeseries.MustNewPower(t0, 15*time.Minute, samples)
+		res, err := PeakShave(b, load, 15000)
+		if err != nil {
+			return false
+		}
+		want := float64(load.Energy()) + float64(res.Charged) - float64(res.Discharged)
+		return math.Abs(float64(res.Net.Energy())-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package survey
+
+// The survey instrument itself (§3.1): the six open-ended questions,
+// each with the motivation the paper records. The sites answering the
+// questions were not shown the motivations; the Question type keeps the
+// two separated the same way.
+
+import "repro/internal/report"
+
+// Question is one item of the "HPC power contracts and grid integration"
+// survey.
+type Question struct {
+	// ID is the paper's section number within §3.1.
+	ID string
+	// Topic is the short name used in the section headers.
+	Topic string
+	// Text is the question as posed to the sites.
+	Text string
+	// Motivation is the rationale the paper gives for asking —
+	// NOT shown to respondents.
+	Motivation string
+}
+
+// Questions returns the survey instrument in the paper's order.
+func Questions() []Question {
+	return []Question{
+		{
+			ID:    "3.1.1",
+			Topic: "Contract Negotiation Responsibility",
+			Text: "In your institution, who is responsible for negotiating the contract " +
+				"between your HPC facility and your ESP? What role do you play, if any, " +
+				"in this contract negotiation?",
+			Motivation: "The more the SC participates in the actual negotiation with the ESP, " +
+				"the greater the likelihood that the contract would be tailored to the needs " +
+				"and abilities of the SC.",
+		},
+		{
+			ID:    "3.1.2",
+			Topic: "Details on Pricing Structure",
+			Text: "Could you elaborate on the details of the pricing structure of your " +
+				"electricity? What are the basic pricing components?",
+			Motivation: "Knowing what sort of tariffs exist among SCs helps to understand the " +
+				"degree to which SCs already participate in DR-like programs and how they act " +
+				"in this context.",
+		},
+		{
+			ID:    "3.1.3",
+			Topic: "Obligations Towards the ESP",
+			Text: "Do you have any obligations towards your ESP, e.g. a contractually agreed " +
+				"power band or requirement to deliver power profiles? What is your incentive " +
+				"towards committing to these obligations?",
+			Motivation: "The range of obligations spans from none to very tightly coupled; these " +
+				"are static, 'pre-smart-grid' commitments needing no real-time communication.",
+		},
+		{
+			ID:    "3.1.4",
+			Topic: "Services Provided to ESP",
+			Text: "Do you offer any kind of services for your ESP — load capping, powering up " +
+				"backup generators, and similar two-way-communication services? What is your " +
+				"incentive for offering these services?",
+			Motivation: "Services extend the concept of obligation to one where the SC actively " +
+				"offers capabilities to the ESP in response to signals.",
+		},
+		{
+			ID:    "3.1.5",
+			Topic: "Future Relationship with your ESP",
+			Text: "How do you envision your future relationship with your electricity provider? " +
+				"Tighter, for example by selling local generation capacity? Looser, for example " +
+				"by being self-sufficient with respect to electricity?",
+			Motivation: "Combined with the current relationship, this describes the SC's " +
+				"readiness for the grid transition.",
+		},
+		{
+			ID:    "3.1.6",
+			Topic: "DR Potential",
+			Text: "Imagine your ESP offered a voluntary DR program. Is there some part of the " +
+				"load that you can reduce or increase for a certain time-span without negatively " +
+				"impacting your operations? How much load could you shift, and what incentive " +
+				"would you expect — including for shifts with tangible impact on users?",
+			Motivation: "To understand how responsive SCs are to DR and what incentives would " +
+				"have to be created, or barriers removed, to change behavior.",
+		},
+	}
+}
+
+// QuestionsTable renders the instrument.
+func QuestionsTable() *report.Table {
+	t := report.NewTable(`Survey instrument: "HPC power contracts and grid integration" (§3.1)`,
+		"§", "Topic", "Question")
+	for _, q := range Questions() {
+		t.AddRow(q.ID, q.Topic, q.Text)
+	}
+	return t
+}

@@ -1,0 +1,39 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuestionsMatchPaperStructure(t *testing.T) {
+	qs := Questions()
+	if len(qs) != 6 {
+		t.Fatalf("§3.1 has six questions, got %d", len(qs))
+	}
+	wantIDs := []string{"3.1.1", "3.1.2", "3.1.3", "3.1.4", "3.1.5", "3.1.6"}
+	for i, q := range qs {
+		if q.ID != wantIDs[i] {
+			t.Errorf("question %d ID = %s", i, q.ID)
+		}
+		if q.Topic == "" || q.Text == "" || q.Motivation == "" {
+			t.Errorf("question %s incomplete", q.ID)
+		}
+	}
+	// Spot checks against the paper's wording.
+	if !strings.Contains(qs[0].Text, "negotiating the contract") {
+		t.Error("Q1 should ask about negotiation responsibility")
+	}
+	if !strings.Contains(qs[2].Text, "power band") {
+		t.Error("Q3 should mention power bands")
+	}
+	if !strings.Contains(qs[5].Topic, "DR") {
+		t.Error("Q6 is the DR-potential question")
+	}
+}
+
+func TestQuestionsTable(t *testing.T) {
+	out := QuestionsTable().Render()
+	if !strings.Contains(out, "3.1.6") || !strings.Contains(out, "Pricing Structure") {
+		t.Error("questions table incomplete")
+	}
+}

@@ -1,0 +1,253 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+)
+
+func TestRosterMatchesTable1(t *testing.T) {
+	roster := Roster()
+	if len(roster) != 10 {
+		t.Fatalf("roster = %d sites, want 10", len(roster))
+	}
+	// Paper: four US, six European sites.
+	us, eu := 0, 0
+	for _, e := range roster {
+		switch e.Region {
+		case UnitedStates:
+			us++
+		case Europe:
+			eu++
+		}
+	}
+	if us != 4 || eu != 6 {
+		t.Errorf("regions = %d US, %d Europe; want 4 and 6", us, eu)
+	}
+	// Four German sites.
+	de := 0
+	for _, e := range roster {
+		if e.Country == "Germany" {
+			de++
+		}
+	}
+	if de != 4 {
+		t.Errorf("German sites = %d, want 4", de)
+	}
+	// Spot-check specific named sites from the paper.
+	names := make(map[string]bool)
+	for _, e := range roster {
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"Oak Ridge National Laboratory",
+		"Swiss National Supercomputing Centre",
+		"Jülich Supercomputing Centre",
+	} {
+		if !names[want] {
+			t.Errorf("roster missing %q", want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if Europe.String() != "Europe" || UnitedStates.String() != "United States" {
+		t.Error("region names")
+	}
+	if Region(9).String() == "" {
+		t.Error("unknown region should format")
+	}
+}
+
+func TestRNPString(t *testing.T) {
+	if RNPSupercomputingCenter.String() != "SC" || RNPInternal.String() != "Internal" || RNPExternal.String() != "External" {
+		t.Error("RNP names")
+	}
+	if RNP(9).String() == "" {
+		t.Error("unknown RNP should format")
+	}
+}
+
+func TestRecordsMatchTable2Matrix(t *testing.T) {
+	recs := Records()
+	if len(recs) != 10 {
+		t.Fatalf("records = %d, want 10", len(recs))
+	}
+	// Row-level spot checks straight from the printed matrix.
+	site7 := recs[6]
+	if !site7.Profile.DemandCharge || !site7.Profile.Powerband || !site7.Profile.DynamicTariff || !site7.Profile.EmergencyDR {
+		t.Errorf("site 7 row wrong: %+v", site7.Profile)
+	}
+	if site7.Profile.FixedTariff || site7.Profile.TOUTariff {
+		t.Errorf("site 7 must not have fixed/TOU: %+v", site7.Profile)
+	}
+	site6 := recs[5]
+	if site6.RNP != RNPSupercomputingCenter {
+		t.Errorf("site 6 RNP = %v, want SC", site6.RNP)
+	}
+	site10 := recs[9]
+	if !site10.Profile.FixedTariff || site10.Profile.DemandCharge {
+		t.Errorf("site 10 row wrong: %+v", site10.Profile)
+	}
+	// IDs are 1..10 in order.
+	for i, r := range recs {
+		if r.ID != i+1 {
+			t.Errorf("record %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestMatrixCounts(t *testing.T) {
+	counts, err := MatrixCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Sites != 10 {
+		t.Errorf("sites = %d", counts.Sites)
+	}
+	// Tallied straight from the printed Table 2.
+	want := map[contract.Component]int{
+		contract.CompDemandCharge:  7,
+		contract.CompPowerband:     5,
+		contract.CompFixedTariff:   7,
+		contract.CompTOUTariff:     2,
+		contract.CompDynamicTariff: 3,
+		contract.CompEmergencyDR:   2,
+	}
+	for comp, n := range want {
+		if counts.Component[comp] != n {
+			t.Errorf("%v = %d, want %d", comp, counts.Component[comp], n)
+		}
+	}
+	// RNP split 1/6/3 (§3.3 — text and matrix agree here).
+	if counts.RNP[RNPSupercomputingCenter] != 1 || counts.RNP[RNPInternal] != 6 || counts.RNP[RNPExternal] != 3 {
+		t.Errorf("RNP counts = %v", counts.RNP)
+	}
+	// §3.4: six of ten communicate swings.
+	if counts.CommunicateSwings != 6 {
+		t.Errorf("communicate swings = %d, want 6", counts.CommunicateSwings)
+	}
+}
+
+func TestTextClaims(t *testing.T) {
+	c := TextClaims()
+	if c.Component[contract.CompFixedTariff] != 8 || c.Component[contract.CompDemandCharge] != 8 {
+		t.Error("text claims eight fixed and eight demand-charge sites")
+	}
+	if c.RNP[RNPInternal] != 6 || c.Sites != 10 || c.CommunicateSwings != 6 {
+		t.Error("text claim aggregates wrong")
+	}
+}
+
+func TestDiscrepancies(t *testing.T) {
+	ds, err := Discrepancies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly four cells disagree: fixed (8v7), TOU (3v2), dynamic
+	// (2v3), demand charge (8v7).
+	if len(ds) != 4 {
+		t.Fatalf("discrepancies = %d, want 4: %+v", len(ds), ds)
+	}
+	byComp := map[contract.Component]Discrepancy{}
+	for _, d := range ds {
+		byComp[d.Component] = d
+	}
+	if d := byComp[contract.CompFixedTariff]; d.Text != 8 || d.Matrix != 7 {
+		t.Errorf("fixed discrepancy = %+v", d)
+	}
+	if d := byComp[contract.CompDynamicTariff]; d.Text != 2 || d.Matrix != 3 {
+		t.Errorf("dynamic discrepancy = %+v", d)
+	}
+}
+
+func TestBuildContractReproducesEveryRow(t *testing.T) {
+	ctx := DefaultBuildContext(time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC))
+	for _, site := range Records() {
+		c, err := BuildContract(site, ctx)
+		if err != nil {
+			t.Fatalf("site %d: %v", site.ID, err)
+		}
+		got := contract.Classify(c)
+		if got != site.Profile {
+			t.Errorf("site %d: classification %v != row %v", site.ID, got, site.Profile)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1().Render()
+	if !strings.Contains(out, "Oak Ridge National Laboratory") || !strings.Contains(out, "Switzerland") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	md := Table1().Markdown()
+	if !strings.Contains(md, "| Interview Site | Country |") {
+		t.Error("Table 1 markdown header missing")
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "Site 1") || !strings.Contains(out, "Site 10") {
+		t.Error("Table 2 rows missing")
+	}
+	if !strings.Contains(out, "✓") {
+		t.Error("Table 2 ticks missing")
+	}
+	if !strings.Contains(out, "External") || !strings.Contains(out, "Internal") || !strings.Contains(out, "SC") {
+		t.Error("Table 2 RNP column incomplete")
+	}
+	// Exactly 10 data rows.
+	if len(tbl.Rows) != 10 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	tree := Figure1()
+	if tree.Label != "SC electricity service contract" {
+		t.Errorf("root = %q", tree.Label)
+	}
+	if len(tree.Children) != 3 {
+		t.Errorf("branches = %d", len(tree.Children))
+	}
+}
+
+func TestCountsTable(t *testing.T) {
+	tbl, err := CountsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "fixed-tariff") || !strings.Contains(out, "7/10") || !strings.Contains(out, "8/10") {
+		t.Errorf("counts table incomplete:\n%s", out)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("rows = %d, want 6 components", len(tbl.Rows))
+	}
+}
+
+func TestRNPTable(t *testing.T) {
+	tbl, err := RNPTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"SC", "Internal", "External", "1", "6", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RNP table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeographicFindingRecorded(t *testing.T) {
+	if !strings.Contains(GeographicFinding, "not a difference") {
+		t.Error("the geographic finding should state the null result")
+	}
+}

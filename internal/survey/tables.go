@@ -1,0 +1,110 @@
+package survey
+
+// This file regenerates the paper's three exhibits — Table 1, Table 2
+// and Figure 1 — as report structures, by running the dataset through
+// the contract-classification pipeline.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/report"
+)
+
+// defaultStart anchors the reference feed used when classifying the
+// synthetic site contracts (the survey year).
+func defaultStart() time.Time {
+	return time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Table1 regenerates the paper's Table 1: interview sites labeled with
+// country of residence.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1: Interview sites labeled with country of residence",
+		"Interview Site", "Country")
+	for _, e := range Roster() {
+		t.AddRow(e.Name, e.Country)
+	}
+	return t
+}
+
+// Table2 regenerates the paper's Table 2: the per-site component matrix
+// and RNP column, produced by classifying each site's built contract
+// (not by echoing the stored booleans).
+func Table2() (*report.Table, error) {
+	t := report.NewTable("Table 2: Summary of survey results",
+		"", "Demand Charges", "Powerband", "Fixed", "Variable", "Dynamic", "Emergency DR", "RNP")
+	ctx := DefaultBuildContext(defaultStart())
+	for _, site := range Records() {
+		c, err := BuildContract(site, ctx)
+		if err != nil {
+			return nil, err
+		}
+		p := contract.Classify(c)
+		t.AddRow(
+			fmt.Sprintf("Site %d", site.ID),
+			report.Check(p.DemandCharge),
+			report.Check(p.Powerband),
+			report.Check(p.FixedTariff),
+			report.Check(p.TOUTariff),
+			report.Check(p.DynamicTariff),
+			report.Check(p.EmergencyDR),
+			site.RNP.String(),
+		)
+	}
+	return t, nil
+}
+
+// Figure1 regenerates the paper's Figure 1, the contract typology
+// overview, as a renderable tree.
+func Figure1() *report.TreeNode {
+	return toReportTree(contract.Typology())
+}
+
+func toReportTree(n *contract.TypologyNode) *report.TreeNode {
+	out := &report.TreeNode{Label: n.Title, Detail: n.Detail}
+	if n.IsLeaf() {
+		out.Detail = n.Detail + " [encourages: " + n.Encourages + "]"
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toReportTree(c))
+	}
+	return out
+}
+
+// CountsTable renders the aggregate component frequencies with both the
+// matrix tally and the running-text claim, flagging disagreements.
+func CountsTable() (*report.Table, error) {
+	matrix, err := MatrixCounts()
+	if err != nil {
+		return nil, err
+	}
+	text := TextClaims()
+	t := report.NewTable("Component frequencies across the ten sites",
+		"Component", "Matrix (Table 2)", "Text (§3.2.4)", "Agrees")
+	for _, comp := range contract.AllComponents() {
+		agrees := matrix.Component[comp] == text.Component[comp]
+		t.AddRow(
+			comp.String(),
+			fmt.Sprintf("%d/10", matrix.Component[comp]),
+			fmt.Sprintf("%d/10", text.Component[comp]),
+			report.Check(agrees),
+		)
+	}
+	return t, nil
+}
+
+// RNPTable renders the §3.3 negotiating-party distribution.
+func RNPTable() (*report.Table, error) {
+	matrix, err := MatrixCounts()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Responsible negotiating parties (§3.3)",
+		"RNP", "Sites")
+	for _, r := range []RNP{RNPSupercomputingCenter, RNPInternal, RNPExternal} {
+		t.AddRow(r.String(), fmt.Sprintf("%d", matrix.RNP[r]))
+	}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package timeseries
+
+// CSV interchange for load profiles: the format utility meters and
+// building-management exports commonly use — one header line, then
+// RFC 3339 timestamp and kW value per row. Only the first row's
+// timestamp and the first-to-second spacing define start and interval;
+// every subsequent row must land on the grid.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/units"
+)
+
+// WritePowerCSV writes the series as "timestamp,kw" rows with a header.
+func WritePowerCSV(w io.Writer, s *PowerSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "kw"}); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		rec := []string{
+			s.TimeAt(i).Format(time.RFC3339),
+			strconv.FormatFloat(float64(s.At(i)), 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPowerCSV parses a "timestamp,kw" CSV (with header) into a series.
+// Rows must be equally spaced and in order.
+func ReadPowerCSV(r io.Reader) (*PowerSeries, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: bad CSV: %w", err)
+	}
+	if len(rows) < 3 { // header + at least two samples to fix the interval
+		return nil, fmt.Errorf("timeseries: CSV needs a header and at least two rows")
+	}
+	rows = rows[1:] // drop header
+	parse := func(row []string) (time.Time, units.Power, error) {
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("timeseries: bad timestamp %q: %w", row[0], err)
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("timeseries: bad value %q: %w", row[1], err)
+		}
+		return ts, units.Power(v), nil
+	}
+	start, first, err := parse(rows[0])
+	if err != nil {
+		return nil, err
+	}
+	second, _, err := parse(rows[1])
+	if err != nil {
+		return nil, err
+	}
+	interval := second.Sub(start)
+	if interval <= 0 {
+		return nil, fmt.Errorf("timeseries: rows out of order")
+	}
+	samples := make([]units.Power, 0, len(rows))
+	samples = append(samples, first)
+	for i := 1; i < len(rows); i++ {
+		ts, v, err := parse(rows[i])
+		if err != nil {
+			return nil, err
+		}
+		want := start.Add(time.Duration(i) * interval)
+		if !ts.Equal(want) {
+			return nil, fmt.Errorf("timeseries: row %d at %s breaks the %s grid (want %s)",
+				i+1, ts.Format(time.RFC3339), interval, want.Format(time.RFC3339))
+		}
+		samples = append(samples, v)
+	}
+	return NewPower(start, interval, samples)
+}

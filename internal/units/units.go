@@ -1,0 +1,352 @@
+// Package units defines the physical and monetary quantity types used
+// throughout the library: electrical power (kW), electrical energy (kWh),
+// money (fixed-point micro-units), prices per energy and per power, and
+// ramp rates.
+//
+// Power and energy are float64-backed named types expressed in the unit the
+// electricity sector bills in (kilowatts and kilowatt-hours), with
+// constructors for the multiples that appear in supercomputing contexts
+// (MW feeders, GWh annual consumption). Money is an int64 number of
+// micro-units of an unspecified currency so that billing arithmetic is
+// exact: one Money unit is 1e-6 of a currency unit (dollar, euro, franc).
+//
+// The paper this library reproduces (Clausen et al., ICPP 2019) discusses
+// facility loads between 40 kW and 60 MW and annual consumptions in the
+// hundreds of GWh; all of these are representable exactly enough in these
+// types that round-trip formatting is stable.
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Power is an electrical power in kilowatts (kW). Negative power denotes
+// export to the grid (on-site generation exceeding consumption).
+type Power float64
+
+// Power constructors for common multiples.
+const (
+	Watt     Power = 0.001
+	Kilowatt Power = 1
+	Megawatt Power = 1000
+	Gigawatt Power = 1e6
+)
+
+// KW returns p expressed in kilowatts.
+func (p Power) KW() float64 { return float64(p) }
+
+// MW returns p expressed in megawatts.
+func (p Power) MW() float64 { return float64(p) / 1000 }
+
+// W returns p expressed in watts.
+func (p Power) W() float64 { return float64(p) * 1000 }
+
+// IsExport reports whether the power value denotes net export to the grid.
+func (p Power) IsExport() bool { return p < 0 }
+
+// Clamp limits p to the inclusive range [lo, hi].
+func (p Power) Clamp(lo, hi Power) Power {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// String formats the power with an auto-selected SI multiple, e.g. "12.50 MW".
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f GW", float64(p)/1e6)
+	case abs >= 1000:
+		return fmt.Sprintf("%.2f MW", float64(p)/1000)
+	case abs >= 1:
+		return fmt.Sprintf("%.2f kW", float64(p))
+	default:
+		return fmt.Sprintf("%.1f W", float64(p)*1000)
+	}
+}
+
+// Energy is an electrical energy in kilowatt-hours (kWh).
+type Energy float64
+
+// Energy constructors for common multiples.
+const (
+	WattHour     Energy = 0.001
+	KilowattHour Energy = 1
+	MegawattHour Energy = 1000
+	GigawattHour Energy = 1e6
+)
+
+// KWh returns e expressed in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) }
+
+// MWh returns e expressed in megawatt-hours.
+func (e Energy) MWh() float64 { return float64(e) / 1000 }
+
+// GWh returns e expressed in gigawatt-hours.
+func (e Energy) GWh() float64 { return float64(e) / 1e6 }
+
+// String formats the energy with an auto-selected SI multiple.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f GWh", float64(e)/1e6)
+	case abs >= 1000:
+		return fmt.Sprintf("%.2f MWh", float64(e)/1000)
+	case abs >= 1:
+		return fmt.Sprintf("%.2f kWh", float64(e))
+	default:
+		return fmt.Sprintf("%.1f Wh", float64(e)*1000)
+	}
+}
+
+// Over returns the energy consumed by drawing power p for duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Hours())
+}
+
+// Average returns the constant power that would produce energy e over
+// duration d. It panics if d is not positive, as an average power over a
+// non-positive interval is meaningless.
+func (e Energy) Average(d time.Duration) Power {
+	if d <= 0 {
+		panic("units: Energy.Average requires a positive duration")
+	}
+	return Power(float64(e) / d.Hours())
+}
+
+// RampRate is a rate of change of power, in kW per minute. Supercomputing
+// facilities are notable for very high ramp rates (the paper highlights
+// "fast ramping variability" as a grid concern).
+type RampRate float64
+
+// KWPerMin returns r expressed in kW/min.
+func (r RampRate) KWPerMin() float64 { return float64(r) }
+
+// MWPerMin returns r expressed in MW/min.
+func (r RampRate) MWPerMin() float64 { return float64(r) / 1000 }
+
+// String formats the ramp rate.
+func (r RampRate) String() string {
+	if math.Abs(float64(r)) >= 1000 {
+		return fmt.Sprintf("%.2f MW/min", float64(r)/1000)
+	}
+	return fmt.Sprintf("%.2f kW/min", float64(r))
+}
+
+// RampBetween returns the ramp rate implied by moving from power a to power
+// b over duration d. It panics if d is not positive.
+func RampBetween(a, b Power, d time.Duration) RampRate {
+	if d <= 0 {
+		panic("units: RampBetween requires a positive duration")
+	}
+	return RampRate((float64(b) - float64(a)) / d.Minutes())
+}
+
+// Money is an exact fixed-point amount of money in micro-currency-units
+// (1e-6 of a dollar/euro/franc). Using an integer representation keeps
+// billing arithmetic associative and free of float drift: itemized bill
+// lines always sum exactly to their total.
+type Money int64
+
+// Micro is the smallest representable amount of money.
+const Micro Money = 1
+
+// Cents returns the Money value for a whole number of cents.
+func Cents(c int64) Money { return Money(c * 10_000) }
+
+// CurrencyUnits returns the Money value for a whole number of currency
+// units (dollars, euros, ...).
+func CurrencyUnits(u int64) Money { return Money(u * 1_000_000) }
+
+// MoneyFromFloat converts a floating-point currency amount to Money,
+// rounding half away from zero.
+func MoneyFromFloat(v float64) Money {
+	if v >= 0 {
+		return Money(math.Floor(v*1e6 + 0.5))
+	}
+	return Money(math.Ceil(v*1e6 - 0.5))
+}
+
+// Float returns the amount as a floating-point number of currency units.
+func (m Money) Float() float64 { return float64(m) / 1e6 }
+
+// Neg returns -m.
+func (m Money) Neg() Money { return -m }
+
+// MulFloat scales m by a floating-point factor, rounding half away from zero.
+func (m Money) MulFloat(f float64) Money {
+	return MoneyFromFloat(m.Float() * f)
+}
+
+// String formats the amount with two decimals and a thousands separator,
+// e.g. "1,234,567.89".
+func (m Money) String() string {
+	neg := m < 0
+	v := int64(m)
+	if neg {
+		v = -v
+	}
+	units := v / 1_000_000
+	frac := (v % 1_000_000) / 10_000 // cents, truncated
+	s := groupThousands(units)
+	out := fmt.Sprintf("%s.%02d", s, frac)
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+func groupThousands(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+	}
+	for i := pre; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// EnergyPrice is a price per unit energy, in currency units per kWh
+// (e.g. 0.085 means 8.5 cents/kWh).
+type EnergyPrice float64
+
+// PerKWh returns the price in currency units per kWh.
+func (p EnergyPrice) PerKWh() float64 { return float64(p) }
+
+// PerMWh returns the price in currency units per MWh.
+func (p EnergyPrice) PerMWh() float64 { return float64(p) * 1000 }
+
+// Cost returns the exact Money cost of energy e at price p.
+func (p EnergyPrice) Cost(e Energy) Money {
+	return MoneyFromFloat(float64(p) * float64(e))
+}
+
+// String formats the price.
+func (p EnergyPrice) String() string {
+	return fmt.Sprintf("%.4f/kWh", float64(p))
+}
+
+// DemandPrice is a price per unit of peak power, in currency units per kW
+// per billing period (the canonical unit of a demand charge).
+type DemandPrice float64
+
+// PerKW returns the price in currency units per kW.
+func (p DemandPrice) PerKW() float64 { return float64(p) }
+
+// Cost returns the exact Money cost of billed demand d at price p.
+func (p DemandPrice) Cost(d Power) Money {
+	return MoneyFromFloat(float64(p) * float64(d))
+}
+
+// String formats the price.
+func (p DemandPrice) String() string {
+	return fmt.Sprintf("%.2f/kW", float64(p))
+}
+
+// ErrParse is returned by the Parse* functions when the input cannot be
+// interpreted as a quantity of the requested kind.
+var ErrParse = errors.New("units: cannot parse quantity")
+
+// ParsePower parses strings like "12.5 MW", "950kW", "40 kW", "60MW",
+// "700 W". The unit suffix is case-insensitive and the space optional.
+func ParsePower(s string) (Power, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "w":
+		return Power(v / 1000), nil
+	case "kw":
+		return Power(v), nil
+	case "mw":
+		return Power(v * 1000), nil
+	case "gw":
+		return Power(v * 1e6), nil
+	}
+	return 0, fmt.Errorf("%w: unknown power unit %q in %q", ErrParse, unit, s)
+}
+
+// ParseEnergy parses strings like "1.2 GWh", "350MWh", "42 kWh".
+func ParseEnergy(s string) (Energy, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "wh":
+		return Energy(v / 1000), nil
+	case "kwh":
+		return Energy(v), nil
+	case "mwh":
+		return Energy(v * 1000), nil
+	case "gwh":
+		return Energy(v * 1e6), nil
+	}
+	return 0, fmt.Errorf("%w: unknown energy unit %q in %q", ErrParse, unit, s)
+}
+
+func splitQuantity(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := strings.LastIndexFunc(s, func(r rune) bool {
+		return (r >= '0' && r <= '9') || r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E'
+	})
+	if i < 0 {
+		return 0, "", fmt.Errorf("%w: no numeric part in %q", ErrParse, s)
+	}
+	num := strings.TrimSpace(s[:i+1])
+	unit := strings.TrimSpace(s[i+1:])
+	if unit == "" {
+		return 0, "", fmt.Errorf("%w: missing unit in %q", ErrParse, s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: bad number %q in %q", ErrParse, num, s)
+	}
+	return v, unit, nil
+}
+
+// SumMoney returns the exact sum of the given amounts.
+func SumMoney(amounts ...Money) Money {
+	var total Money
+	for _, a := range amounts {
+		total += a
+	}
+	return total
+}
+
+// MaxPower returns the larger of a and b.
+func MaxPower(a, b Power) Power {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinPower returns the smaller of a and b.
+func MinPower(a, b Power) Power {
+	if a < b {
+		return a
+	}
+	return b
+}

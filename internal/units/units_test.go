@@ -1,0 +1,331 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPowerConversions(t *testing.T) {
+	p := 12.5 * Megawatt
+	if got := p.KW(); got != 12500 {
+		t.Errorf("KW() = %v, want 12500", got)
+	}
+	if got := p.MW(); got != 12.5 {
+		t.Errorf("MW() = %v, want 12.5", got)
+	}
+	if got := (2 * Kilowatt).W(); got != 2000 {
+		t.Errorf("W() = %v, want 2000", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{500 * Watt, "500.0 W"},
+		{42 * Kilowatt, "42.00 kW"},
+		{12.5 * Megawatt, "12.50 MW"},
+		{2.5 * Gigawatt, "2.50 GW"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%v).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestPowerClamp(t *testing.T) {
+	if got := Power(5).Clamp(10, 20); got != 10 {
+		t.Errorf("Clamp below = %v, want 10", got)
+	}
+	if got := Power(25).Clamp(10, 20); got != 20 {
+		t.Errorf("Clamp above = %v, want 20", got)
+	}
+	if got := Power(15).Clamp(10, 20); got != 15 {
+		t.Errorf("Clamp inside = %v, want 15", got)
+	}
+}
+
+func TestPowerExport(t *testing.T) {
+	if Power(5).IsExport() {
+		t.Error("positive power should not be export")
+	}
+	if !Power(-5).IsExport() {
+		t.Error("negative power should be export")
+	}
+}
+
+func TestEnergyOverAndAverageRoundTrip(t *testing.T) {
+	p := 3 * Megawatt
+	d := 90 * time.Minute
+	e := p.Over(d)
+	if got, want := e.MWh(), 4.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Over: got %v MWh, want %v", got, want)
+	}
+	back := e.Average(d)
+	if math.Abs(back.KW()-p.KW()) > 1e-9 {
+		t.Errorf("Average round-trip: got %v, want %v", back, p)
+	}
+}
+
+func TestEnergyAveragePanicsOnZeroDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero duration")
+		}
+	}()
+	Energy(1).Average(0)
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{500 * WattHour, "500.0 Wh"},
+		{42 * KilowattHour, "42.00 kWh"},
+		{3.25 * MegawattHour, "3.25 MWh"},
+		{1.5 * GigawattHour, "1.50 GWh"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRampBetween(t *testing.T) {
+	r := RampBetween(2*Megawatt, 8*Megawatt, 3*time.Minute)
+	if got, want := r.MWPerMin(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ramp = %v MW/min, want %v", got, want)
+	}
+	down := RampBetween(8*Megawatt, 2*Megawatt, 3*time.Minute)
+	if down >= 0 {
+		t.Errorf("downward ramp should be negative, got %v", down)
+	}
+}
+
+func TestRampBetweenPanicsOnZeroDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RampBetween(0, 1, 0)
+}
+
+func TestMoneyExactness(t *testing.T) {
+	// A classic float trap: 0.1 + 0.2. In micro-units this is exact.
+	a := MoneyFromFloat(0.1)
+	b := MoneyFromFloat(0.2)
+	if got := a + b; got != MoneyFromFloat(0.3) {
+		t.Errorf("0.1+0.2 = %v, want 0.3", got)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	cases := []struct {
+		m    Money
+		want string
+	}{
+		{CurrencyUnits(0), "0.00"},
+		{Cents(5), "0.05"},
+		{CurrencyUnits(1234567) + Cents(89), "1,234,567.89"},
+		{-Cents(250), "-2.50"},
+		{CurrencyUnits(999), "999.00"},
+		{CurrencyUnits(1000), "1,000.00"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Money(%d).String() = %q, want %q", int64(c.m), got, c.want)
+		}
+	}
+}
+
+func TestMoneyFromFloatRounding(t *testing.T) {
+	if got := MoneyFromFloat(0.0000005); got != 1 {
+		t.Errorf("round half up: got %d, want 1", got)
+	}
+	if got := MoneyFromFloat(-0.0000005); got != -1 {
+		t.Errorf("round half away from zero: got %d, want -1", got)
+	}
+}
+
+func TestEnergyPriceCost(t *testing.T) {
+	p := EnergyPrice(0.085) // 8.5 cents/kWh
+	cost := p.Cost(1000 * KilowattHour)
+	if got, want := cost, CurrencyUnits(85); got != want {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if got := p.PerMWh(); math.Abs(got-85) > 1e-9 {
+		t.Errorf("PerMWh = %v, want 85", got)
+	}
+}
+
+func TestDemandPriceCost(t *testing.T) {
+	p := DemandPrice(12) // 12 currency units per kW-month
+	cost := p.Cost(15 * Megawatt)
+	if got, want := cost, CurrencyUnits(180000); got != want {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Power
+	}{
+		{"12.5 MW", 12500},
+		{"950kW", 950},
+		{"40 kW", 40},
+		{"60MW", 60000},
+		{"700 W", 0.7},
+		{"1 gw", 1e6},
+		{"-2 MW", -2000},
+	}
+	for _, c := range cases {
+		got, err := ParsePower(c.in)
+		if err != nil {
+			t.Errorf("ParsePower(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("ParsePower(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePowerErrors(t *testing.T) {
+	for _, in := range []string{"", "MW", "12.5", "12.5 XW", "abc MW"} {
+		if _, err := ParsePower(in); err == nil {
+			t.Errorf("ParsePower(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseEnergy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Energy
+	}{
+		{"1.2 GWh", 1.2e6},
+		{"350MWh", 350000},
+		{"42 kWh", 42},
+		{"500 Wh", 0.5},
+	}
+	for _, c := range cases {
+		got, err := ParseEnergy(c.in)
+		if err != nil {
+			t.Errorf("ParseEnergy(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-6 {
+			t.Errorf("ParseEnergy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseEnergyErrors(t *testing.T) {
+	for _, in := range []string{"", "kWh", "42 kW", "x kWh"} {
+		if _, err := ParseEnergy(in); err == nil {
+			t.Errorf("ParseEnergy(%q) should fail", in)
+		}
+	}
+}
+
+func TestSumMoney(t *testing.T) {
+	if got := SumMoney(); got != 0 {
+		t.Errorf("empty sum = %v, want 0", got)
+	}
+	if got := SumMoney(Cents(1), Cents(2), Cents(3)); got != Cents(6) {
+		t.Errorf("sum = %v, want 6 cents", got)
+	}
+}
+
+func TestMinMaxPower(t *testing.T) {
+	if got := MaxPower(3, 7); got != 7 {
+		t.Errorf("MaxPower = %v", got)
+	}
+	if got := MinPower(3, 7); got != 3 {
+		t.Errorf("MinPower = %v", got)
+	}
+}
+
+// Property: power→energy→power round trip is the identity for any positive
+// duration and finite power.
+func TestQuickPowerEnergyRoundTrip(t *testing.T) {
+	f := func(kw float64, minutes uint16) bool {
+		if math.IsNaN(kw) || math.IsInf(kw, 0) || math.Abs(kw) > 1e9 {
+			return true // out of modeled domain
+		}
+		d := time.Duration(int(minutes)+1) * time.Minute
+		p := Power(kw)
+		back := p.Over(d).Average(d)
+		return math.Abs(float64(back-p)) <= 1e-6*math.Max(1, math.Abs(kw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Money addition is associative and commutative (it is int64
+// arithmetic), and String round-trips sign.
+func TestQuickMoneyAdditionExact(t *testing.T) {
+	f := func(a, b, c int32) bool {
+		ma, mb, mc := Money(a), Money(b), Money(c)
+		return (ma+mb)+mc == ma+(mb+mc) && ma+mb == mb+ma
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MoneyFromFloat(m.Float()) == m for all in-range Money values
+// (the float64 mantissa covers int64 values up to 2^53 exactly).
+func TestQuickMoneyFloatRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		m := Money(v) * 100 // widen range a bit
+		return MoneyFromFloat(m.Float()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EnergyPrice.Cost is additive in energy within rounding slack.
+func TestQuickEnergyCostAdditive(t *testing.T) {
+	f := func(priceMilli uint16, e1, e2 uint32) bool {
+		p := EnergyPrice(float64(priceMilli) / 1000)
+		a := Energy(e1 % 1_000_000)
+		b := Energy(e2 % 1_000_000)
+		sum := p.Cost(a + b)
+		parts := p.Cost(a) + p.Cost(b)
+		diff := sum - parts
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // at most one micro-unit rounding per part
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupThousands(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		12345:      "12,345",
+		1234567:    "1,234,567",
+		1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := groupThousands(in); got != want {
+			t.Errorf("groupThousands(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package repro is the public facade of scgrid, a Go library reproducing
+// "An Analysis of Contracts and Relationships between Supercomputing
+// Centers and Electricity Service Providers" (Clausen et al., ICPP 2019
+// Workshops) as an executable system.
+//
+// The library models the full SC–ESP relationship:
+//
+//   - electricity contracts as compositions of typed components — the
+//     paper's contract typology (tariffs mapped to kWh, demand charges
+//     and powerbands mapped to kW, emergency-DR obligations) — with an
+//     itemized billing engine;
+//   - the supercomputing facility (nodes, DVFS states, PUE, batch jobs,
+//     a power-aware scheduler) producing realistic MW-scale load
+//     profiles;
+//   - the ESP side (regional load, wind/solar, wholesale price
+//     formation, DR program catalog with dispatch and settlement);
+//   - SC demand-response strategies (capping, shedding, shifting,
+//     on-site generation) with operational-cost accounting;
+//   - the survey dataset behind the paper's Tables 1–2 and Figure 1,
+//     with the classification pipeline that regenerates them;
+//   - a CSCS-style procurement tender and a good-neighbor deviation
+//     reporting protocol.
+//
+// This file re-exports the stable surface; the implementation lives in
+// the internal packages, one per subsystem (see DESIGN.md for the map).
+package repro
+
+import (
+	"repro/internal/advisor"
+	"repro/internal/colo"
+	"repro/internal/contingency"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/exp"
+	"repro/internal/forecast"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/procurement"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/survey"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Quantities and series.
+type (
+	// Power is electrical power in kW.
+	Power = units.Power
+	// Energy is electrical energy in kWh.
+	Energy = units.Energy
+	// Money is an exact fixed-point currency amount.
+	Money = units.Money
+	// EnergyPrice is a price per kWh.
+	EnergyPrice = units.EnergyPrice
+	// DemandPrice is a price per kW of billed demand.
+	DemandPrice = units.DemandPrice
+	// PowerSeries is a regular-interval load profile.
+	PowerSeries = timeseries.PowerSeries
+	// PriceSeries is a regular-interval price feed.
+	PriceSeries = timeseries.PriceSeries
+)
+
+// Contract modeling.
+type (
+	// Contract is a complete SC electricity service contract.
+	Contract = contract.Contract
+	// ContractSpec is the JSON-serializable contract form.
+	ContractSpec = contract.Spec
+	// Profile is a contract's typology classification.
+	Profile = contract.Profile
+	// Bill is an itemized billing-period result.
+	Bill = contract.Bill
+	// Tariff prices energy consumption (fixed / TOU / dynamic).
+	Tariff = tariff.Tariff
+	// DemandCharge bills peak power.
+	DemandCharge = demand.Charge
+	// Powerband bounds consumption with continuous sampling.
+	Powerband = demand.Powerband
+)
+
+// Facility and grid simulation.
+type (
+	// Machine is a simulated supercomputer.
+	Machine = hpc.Machine
+	// Job is one batch job.
+	Job = hpc.Job
+	// SchedulerConfig parameterizes the batch-scheduler simulation.
+	SchedulerConfig = sched.Config
+	// SchedulerResult is a simulation outcome.
+	SchedulerResult = sched.Result
+	// PriceModel forms wholesale prices from net load.
+	PriceModel = market.PriceModel
+	// DRProgram is one demand-response program offering.
+	DRProgram = market.Program
+	// DREvent is one dispatched DR event.
+	DREvent = market.Event
+	// DRStrategy is an SC-side response capability.
+	DRStrategy = dr.Strategy
+	// DREvaluation is the economics of one participation decision.
+	DREvaluation = dr.Evaluation
+	// ForecastModel is a load-forecasting model.
+	ForecastModel = forecast.Model
+	// Tender is a CSCS-style procurement tender.
+	Tender = procurement.Tender
+	// Exhibit is one reproduced paper exhibit or derived experiment.
+	Exhibit = exp.Exhibit
+	// ContingencyPlan is an escalation ladder of grid-condition
+	// triggers and response strategies (§5 future work).
+	ContingencyPlan = contingency.Plan
+	// Battery is a behind-the-meter storage system.
+	Battery = storage.Battery
+	// ColoTenant is one colocation customer in the split-incentive
+	// model.
+	ColoTenant = colo.Tenant
+	// ContractCandidate is one structure the advisor considers.
+	ContractCandidate = advisor.Candidate
+)
+
+// Classify maps a contract onto the paper's typology (Figure 1).
+func Classify(c *Contract) Profile { return contract.Classify(c) }
+
+// ComputeBill prices one billing period's load under a contract.
+func ComputeBill(c *Contract, load *PowerSeries, in contract.BillingInput) (*Bill, error) {
+	return contract.ComputeBill(c, load, in)
+}
+
+// Analyze produces the headline contract-against-load analysis.
+func Analyze(c *Contract, load *PowerSeries, in contract.BillingInput) (*core.Analysis, error) {
+	return core.Analyze(c, load, in)
+}
+
+// Simulate runs a job trace through the batch-scheduler simulator.
+func Simulate(m *Machine, jobs []*Job, cfg SchedulerConfig) (*SchedulerResult, error) {
+	return sched.Simulate(m, jobs, cfg)
+}
+
+// EvaluateDR runs the full DR participation decision.
+func EvaluateDR(c *Contract, baseline *PowerSeries, s DRStrategy, p *DRProgram,
+	events []DREvent, in contract.BillingInput) (*DREvaluation, error) {
+	return dr.Evaluate(c, baseline, s, p, events, in)
+}
+
+// RunExperiment regenerates one paper exhibit or derived experiment by
+// ID ("T1", "T2", "F1", "E1".."E10").
+func RunExperiment(id string) (*Exhibit, error) { return exp.Run(id) }
+
+// ExperimentIDs lists the available experiments in order.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// Table1 and Table2 regenerate the paper's tables; Figure1 its typology
+// figure, rendered as text.
+func Table1() string { return survey.Table1().Render() }
+
+// Table2 regenerates the paper's Table 2.
+func Table2() (string, error) {
+	t, err := survey.Table2()
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+// Figure1 renders the contract typology tree.
+func Figure1() string { return report.RenderTree(survey.Figure1()) }
+
+// SyntheticFacilityLoad generates a statistically shaped facility load
+// profile (see hpc.LoadProfileConfig for the knobs).
+func SyntheticFacilityLoad(cfg hpc.LoadProfileConfig) (*PowerSeries, error) {
+	return hpc.SyntheticFacilityLoad(cfg)
+}
+
+// SystemLoad generates a regional demand profile (ESP side).
+func SystemLoad(cfg grid.RegionConfig) (*PowerSeries, error) {
+	return grid.SystemLoad(cfg)
+}
+
+// EvaluatePlan runs a contingency plan against grid signals and returns
+// its full impact analysis.
+func EvaluatePlan(p *ContingencyPlan, c *Contract, baseline *PowerSeries, sig contingency.Signals) (*contingency.Impact, error) {
+	return contingency.Evaluate(p, c, baseline, sig)
+}
+
+// AdviseContract ranks candidate contract structures against a reference
+// load and recommends whether to renegotiate.
+func AdviseContract(currentName string, candidates []ContractCandidate, load *PowerSeries,
+	in contract.BillingInput, materiality Money) (*advisor.Advice, error) {
+	return advisor.Advise(currentName, candidates, load, in, materiality)
+}

@@ -1,0 +1,156 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/contingency"
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/dr"
+	"repro/internal/grid"
+	"repro/internal/hpc"
+	"repro/internal/market"
+	"repro/internal/tariff"
+	"repro/internal/units"
+)
+
+var facadeStart = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func facadeContract() *Contract {
+	return &Contract{
+		Name:          "facade-test",
+		Tariffs:       []Tariff{tariff.MustNewFixed(0.08)},
+		DemandCharges: []*DemandCharge{demand.SimpleCharge(12)},
+	}
+}
+
+func TestFacadeClassifyAndBill(t *testing.T) {
+	c := facadeContract()
+	p := Classify(c)
+	if !p.FixedTariff || !p.DemandCharge {
+		t.Errorf("profile = %+v", p)
+	}
+	load, err := SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: facadeStart, Span: 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 10 * units.Megawatt, PeakToAverage: 1.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill, err := ComputeBill(c, load, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.Total <= 0 {
+		t.Error("bill should be positive")
+	}
+	a, err := Analyze(c, load, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DemandShare <= 0 {
+		t.Error("analysis demand share")
+	}
+}
+
+func TestFacadeTablesAndFigure(t *testing.T) {
+	if !strings.Contains(Table1(), "Oak Ridge") {
+		t.Error("Table1")
+	}
+	t2, err := Table2()
+	if err != nil || !strings.Contains(t2, "Site 10") {
+		t.Errorf("Table2: %v", err)
+	}
+	if !strings.Contains(Figure1(), "Powerband") {
+		t.Error("Figure1")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 26 {
+		t.Errorf("experiments = %d, want 26", len(ids))
+	}
+	e, err := RunExperiment("T1")
+	if err != nil || e.ID != "T1" {
+		t.Errorf("RunExperiment: %v", err)
+	}
+}
+
+func TestFacadeSimulateAndDR(t *testing.T) {
+	m := hpc.SmallSiteMachine()
+	wcfg := hpc.DefaultWorkload()
+	wcfg.Span = 6 * time.Hour
+	jobs, err := hpc.GenerateWorkload(m, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(m, jobs, SchedulerConfig{Start: facadeStart, Horizon: 12 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FacilityLoad.Len() == 0 {
+		t.Fatal("no load produced")
+	}
+	program := &DRProgram{Kind: market.EmergencyDR, CommittedReduction: 200, EnergyIncentive: 0.5}
+	events := []DREvent{{Start: facadeStart.Add(2 * time.Hour), Duration: time.Hour, RequestedReduction: 200}}
+	ev, err := EvaluateDR(facadeContract(), res.FacilityLoad,
+		&dr.ShedStrategy{Fraction: 0.1, OpCostPerKWh: 0.01}, program, events, contract.BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Settlement == nil {
+		t.Error("settlement missing")
+	}
+}
+
+func TestFacadeContingencyAndAdvisor(t *testing.T) {
+	load, err := SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: facadeStart, Span: 48 * time.Hour, Interval: time.Hour,
+		Base: 10 * units.Megawatt, PeakToAverage: 1.4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &ContingencyPlan{
+		Name: "facade-plan",
+		Levels: []contingency.Level{{
+			Name:     "guard",
+			Trigger:  contingency.Trigger{Kind: contingency.OwnLoadAbove, PowerBudget: 12 * units.Megawatt},
+			Strategy: &dr.CapStrategy{Cap: 12 * units.Megawatt, OpCostPerKWh: 0.01},
+		}},
+	}
+	im, err := EvaluatePlan(plan, facadeContract(), load, contingency.Signals{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.PlannedBill == nil {
+		t.Fatal("impact must carry bills")
+	}
+
+	candidates := []ContractCandidate{
+		{Name: "current", Contract: facadeContract()},
+		{Name: "flat", Contract: &Contract{
+			Name:    "flat",
+			Tariffs: []Tariff{tariff.MustNewFixed(0.09)},
+		}},
+	}
+	advice, err := AdviseContract("current", candidates, load, contract.BillingInput{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.String() == "" {
+		t.Error("advice should render")
+	}
+}
+
+func TestFacadeSystemLoad(t *testing.T) {
+	cfg := grid.DefaultRegion(facadeStart)
+	cfg.Span = 24 * time.Hour
+	s, err := SystemLoad(cfg)
+	if err != nil || s.Len() == 0 {
+		t.Errorf("SystemLoad: %v", err)
+	}
+}
