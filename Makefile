@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the full gate: build, vet,
+# and the race-enabled test suite (the parallel month evaluator in
+# internal/billing makes -race mandatory before merging).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-billing fuzz clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Full benchmark sweep (paper exhibits + ablations).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Just the billing-engine pair: legacy multi-pass vs single-pass engine.
+bench-billing:
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem .
+
+# Short fuzz pass over the timeseries parsers and transforms.
+fuzz:
+	$(GO) test ./internal/timeseries/ -fuzz FuzzReadPowerCSV -fuzztime 20s
+	$(GO) test ./internal/timeseries/ -fuzz FuzzResampleWindow -fuzztime 20s
+
+clean:
+	$(GO) clean ./...

@@ -276,10 +276,12 @@ func BenchmarkAblation_StoragePolicies(b *testing.B) {
 	})
 }
 
-// BenchmarkBillingYear prices a full metered year under a three-part
+// benchYearContract builds the year-billing fixture shared by the
+// legacy/engine benchmark pair: a full metered year under a three-part
 // contract (fixed + TOU rider + demand charge + powerband), the
 // library's hot path.
-func BenchmarkBillingYear(b *testing.B) {
+func benchYearContract(b *testing.B) (*contract.Contract, *timeseries.PowerSeries) {
+	b.Helper()
 	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
 		Start: benchStart, Span: 365 * 24 * time.Hour, Interval: 15 * time.Minute,
 		Base: 12 * units.Megawatt, PeakToAverage: 1.6, NoiseSigma: 0.03, Seed: 9,
@@ -302,10 +304,78 @@ func BenchmarkBillingYear(b *testing.B) {
 		DemandCharges: []*demand.Charge{demand.SimpleCharge(13)},
 		Powerbands:    []*demand.Powerband{band},
 	}
+	return c, load
+}
+
+// BenchmarkBillingYear prices the year through the default path (the
+// single-pass engine behind contract.BillMonths).
+func BenchmarkBillingYear(b *testing.B) {
+	c, load := benchYearContract(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bills, err := contract.BillMonths(c, load, contract.BillingInput{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bills) != 12 {
+			b.Fatalf("months = %d", len(bills))
+		}
+	}
+}
+
+// BenchmarkBillYearLegacy is the multi-pass baseline: every component
+// re-scans each month's series (tariff costs, top-N peaks, powerband
+// excursions are separate traversals), months strictly sequential.
+func BenchmarkBillYearLegacy(b *testing.B) {
+	c, load := benchYearContract(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bills, err := contract.BillMonthsLegacy(c, load, contract.BillingInput{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bills) != 12 {
+			b.Fatalf("months = %d", len(bills))
+		}
+	}
+}
+
+// BenchmarkBillYearEngine is the single-pass engine with the contract
+// compiled once outside the loop and months evaluated concurrently —
+// the intended steady-state usage for optimizers.
+func BenchmarkBillYearEngine(b *testing.B) {
+	c, load := benchYearContract(b)
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bills, err := eng.BillMonths(load, contract.BillingInput{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bills) != 12 {
+			b.Fatalf("months = %d", len(bills))
+		}
+	}
+}
+
+// BenchmarkBillYearEngineSequential isolates the single-pass win from
+// the parallel-months win by forcing a one-worker pool.
+func BenchmarkBillYearEngineSequential(b *testing.B) {
+	c, load := benchYearContract(b)
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bills, err := eng.BillMonthsWorkers(load, contract.BillingInput{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -35,15 +35,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic load: random seed")
 	monthly := flag.Bool("monthly", false, "bill per calendar month instead of one period")
 	jsonOut := flag.Bool("json", false, "emit the bill as JSON instead of a rendered table")
+	workers := flag.Int("workers", 0, "worker pool size for -monthly (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut); err != nil {
+	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "scbill:", err)
 		os.Exit(1)
 	}
 }
 
-func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool) error {
+func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int) error {
 	if contractPath == "" {
 		return fmt.Errorf("-contract is required")
 	}
@@ -70,7 +71,11 @@ func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, see
 	}
 
 	if monthly {
-		bills, err := contract.BillMonths(c, load, contract.BillingInput{})
+		eng, err := contract.NewEngine(c)
+		if err != nil {
+			return err
+		}
+		bills, err := eng.BillMonthsWorkers(load, contract.BillingInput{}, workers)
 		if err != nil {
 			return err
 		}

@@ -17,13 +17,20 @@ func writeSpec(t *testing.T) string {
 }
 
 func TestRunSyntheticLoad(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMonthly(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Forced-sequential and sized pools must work identically.
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -34,36 +41,36 @@ func TestRunCSVLoad(t *testing.T) {
 	if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false); err != nil {
+	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 10, 1.5, 7, 1, false, false); err == nil {
+	if err := run("", "", 10, 1.5, 7, 1, false, false, 0); err == nil {
 		t.Error("missing contract should fail")
 	}
-	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false); err == nil {
+	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false, 0); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{nope"), 0o644)
-	if err := run(bad, "", 10, 1.5, 7, 1, false, false); err == nil {
+	if err := run(bad, "", 10, 1.5, 7, 1, false, false, 0); err == nil {
 		t.Error("bad JSON should fail")
 	}
-	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false); err == nil {
+	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false, 0); err == nil {
 		t.Error("missing CSV should fail")
 	}
-	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false); err == nil {
+	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false, 0); err == nil {
 		t.Error("invalid synthetic parameters should fail")
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -41,7 +41,13 @@ func Rank(candidates []Candidate, load *timeseries.PowerSeries, in contract.Bill
 	}
 	scored := make([]Scored, 0, len(candidates))
 	for _, cand := range candidates {
-		bills, err := contract.BillMonths(cand.Contract, load, in)
+		// Compile once per candidate; the engine bills all months in a
+		// single pass each with the ratchet threaded through.
+		eng, err := contract.NewEngine(cand.Contract)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: candidate %q: %w", cand.Name, err)
+		}
+		bills, err := eng.BillMonths(load, in)
 		if err != nil {
 			return nil, fmt.Errorf("advisor: candidate %q: %w", cand.Name, err)
 		}

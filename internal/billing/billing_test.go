@@ -1,0 +1,253 @@
+package billing
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func series(kw ...float64) *timeseries.PowerSeries {
+	samples := make([]units.Power, len(kw))
+	for i, v := range kw {
+		samples[i] = units.Power(v)
+	}
+	return timeseries.MustNewPower(t0, time.Hour, samples)
+}
+
+// probe is a test producer that records every sample it observes.
+type probe struct {
+	name    string
+	invalid bool
+	// begun counts BeginPeriod calls across goroutines; last is the
+	// most recent accumulator (only meaningful for single-period runs).
+	begun atomic.Int64
+	last  *probeAcc
+}
+
+func (p *probe) Validate() error {
+	if p.invalid {
+		return errors.New("probe: invalid")
+	}
+	return nil
+}
+
+func (p *probe) Describe() string { return p.name }
+
+func (p *probe) BeginPeriod(ctx *PeriodContext, interval time.Duration) Accumulator {
+	p.begun.Add(1)
+	a := &probeAcc{name: p.name, hist: ctx.HistoricalPeak, interval: interval}
+	p.last = a
+	return a
+}
+
+type probeAcc struct {
+	name     string
+	hist     units.Power
+	interval time.Duration
+	samples  []Sample
+}
+
+func (a *probeAcc) Observe(s Sample) { a.samples = append(a.samples, s) }
+
+func (a *probeAcc) Lines() []LineItem {
+	return []LineItem{{
+		Class:       ClassFlatFee,
+		Description: a.name,
+		Quantity:    "flat",
+		Amount:      units.Money(len(a.samples)),
+	}}
+}
+
+func TestClassNames(t *testing.T) {
+	for c := ClassFixedTariff; c <= ClassFlatFee; c++ {
+		if strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("class %d should have a name", int(c))
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("unknown class formatting")
+	}
+}
+
+func TestWindowCovers(t *testing.T) {
+	w := Window{Start: t0, End: t0.Add(time.Hour)}
+	if !w.Covers(t0) || w.Covers(t0.Add(time.Hour)) || w.Covers(t0.Add(-time.Second)) {
+		t.Error("window coverage is half-open [start, end)")
+	}
+}
+
+func TestNewEvaluatorValidates(t *testing.T) {
+	if _, err := NewEvaluator(&probe{name: "ok"}, nil); err == nil {
+		t.Error("nil producer should fail")
+	}
+	if _, err := NewEvaluator(&probe{name: "bad", invalid: true}); err == nil {
+		t.Error("invalid producer should fail")
+	}
+	e, err := NewEvaluator(&probe{name: "a"}, &probe{name: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Producers() != 2 {
+		t.Errorf("producers = %d", e.Producers())
+	}
+}
+
+func TestEvaluatePeriodEmptyLoad(t *testing.T) {
+	e, _ := NewEvaluator(&probe{name: "p"})
+	if _, err := e.EvaluatePeriod(nil, PeriodContext{}); !errors.Is(err, ErrEmptyLoad) {
+		t.Errorf("nil load err = %v", err)
+	}
+	empty := timeseries.MustNewPower(t0, time.Hour, nil)
+	if _, err := e.EvaluatePeriod(empty, PeriodContext{}); !errors.Is(err, ErrEmptyLoad) {
+		t.Errorf("empty load err = %v", err)
+	}
+}
+
+func TestEvaluatePeriodSamplesAndAggregates(t *testing.T) {
+	p := &probe{name: "p"}
+	e, _ := NewEvaluator(p)
+	load := series(1000, 3000, 2000)
+	res, err := e.EvaluatePeriod(load, PeriodContext{HistoricalPeak: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak != 3000 || !res.PeakTime.Equal(t0.Add(time.Hour)) {
+		t.Errorf("peak = %v at %v", res.Peak, res.PeakTime)
+	}
+	if float64(res.Energy) != 6000 {
+		t.Errorf("energy = %v", res.Energy)
+	}
+	if !res.PeriodStart.Equal(load.Start()) || !res.PeriodEnd.Equal(load.End()) {
+		t.Error("period bounds")
+	}
+	// The probe observed every sample once, in order, with shared energy.
+	if len(res.Lines) != 1 || res.Lines[0].Amount != units.Money(3) {
+		t.Fatalf("lines = %+v", res.Lines)
+	}
+	if res.Total != units.Money(3) {
+		t.Errorf("total = %v", res.Total)
+	}
+	if p.begun.Load() != 1 {
+		t.Errorf("BeginPeriod calls = %d", p.begun.Load())
+	}
+	// Sample contents: index order, interval-start timestamps, shared
+	// precomputed energy (power × 1 h here).
+	obs := p.last.samples
+	if len(obs) != 3 {
+		t.Fatalf("observed %d samples", len(obs))
+	}
+	for i, s := range obs {
+		if s.Index != i {
+			t.Errorf("sample %d index = %d", i, s.Index)
+		}
+		if !s.Time.Equal(t0.Add(time.Duration(i) * time.Hour)) {
+			t.Errorf("sample %d time = %v", i, s.Time)
+		}
+		if float64(s.Energy) != float64(s.Power) {
+			t.Errorf("sample %d energy = %v for power %v", i, s.Energy, s.Power)
+		}
+	}
+	if p.last.hist != 500 || p.last.interval != time.Hour {
+		t.Errorf("context plumbed = %v/%v", p.last.hist, p.last.interval)
+	}
+}
+
+func TestFlatFeeLine(t *testing.T) {
+	load := series(1000, 2000)
+	fe, _ := NewEvaluator(FlatFee{Name: "metering", Amount: units.Money(77)})
+	fres, err := fe.EvaluatePeriod(load, PeriodContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres.Lines) != 1 {
+		t.Fatalf("lines = %+v", fres.Lines)
+	}
+	l := fres.Lines[0]
+	if l.Class != ClassFlatFee || l.Description != "metering" || l.Quantity != "flat" || l.Amount != 77 {
+		t.Errorf("fee line = %+v", l)
+	}
+	if fres.Total != 77 {
+		t.Errorf("total = %v", fres.Total)
+	}
+}
+
+func TestEvaluateMonthsEmptyAndSingle(t *testing.T) {
+	e, _ := NewEvaluator(&probe{name: "p"})
+	if _, err := e.EvaluateMonths(nil, PeriodContext{}, MonthsOptions{}); !errors.Is(err, ErrEmptyLoad) {
+		t.Errorf("nil load err = %v", err)
+	}
+	res, err := e.EvaluateMonths(series(1000, 2000), PeriodContext{}, MonthsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Peak != 2000 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+// ratchetProbe bills the historical peak it was given, exposing exactly
+// what the prescan threaded into each month.
+type ratchetProbe struct{}
+
+func (ratchetProbe) Validate() error  { return nil }
+func (ratchetProbe) Describe() string { return "ratchet-probe" }
+func (ratchetProbe) BeginPeriod(ctx *PeriodContext, _ time.Duration) Accumulator {
+	return &ratchetProbeAcc{hist: ctx.HistoricalPeak}
+}
+
+type ratchetProbeAcc struct{ hist units.Power }
+
+func (a *ratchetProbeAcc) Observe(Sample) {}
+func (a *ratchetProbeAcc) Lines() []LineItem {
+	return []LineItem{{Class: ClassDemandCharge, Description: "hist", Amount: units.Money(a.hist)}}
+}
+
+func TestEvaluateMonthsThreadsHistoricalPeak(t *testing.T) {
+	// Three months of hourly data: peaks 5 MW (Mar), 9 MW (Apr), 6 MW (May).
+	n := (31 + 30 + 31) * 24
+	samples := make([]units.Power, n)
+	for i := range samples {
+		samples[i] = 1000
+	}
+	samples[10] = 5000            // March
+	samples[31*24+10] = 9000      // April
+	samples[(31+30)*24+10] = 6000 // May
+	load := timeseries.MustNewPower(t0, time.Hour, samples)
+
+	e, _ := NewEvaluator(ratchetProbe{})
+	for _, workers := range []int{0, 1, 2, 7} {
+		res, err := e.EvaluateMonths(load, PeriodContext{HistoricalPeak: 4000}, MonthsOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 3 {
+			t.Fatalf("months = %d", len(res))
+		}
+		// March enters with the caller's 4 MW, April with March's 5 MW,
+		// May with April's 9 MW.
+		want := []units.Money{4000, 5000, 9000}
+		for i, r := range res {
+			if r.Lines[0].Amount != want[i] {
+				t.Errorf("workers=%d month %d hist = %v, want %v",
+					workers, i, r.Lines[0].Amount, want[i])
+			}
+		}
+	}
+}
+
+func TestFlatFeeValidateAndDescribe(t *testing.T) {
+	f := FlatFee{Name: "levy", Amount: -5}
+	if f.Validate() != nil {
+		t.Error("negative fee models a credit; must validate")
+	}
+	if f.Describe() != "levy" {
+		t.Error("describe")
+	}
+}

@@ -1,0 +1,112 @@
+package billing
+
+// Calendar-month evaluation with a worker pool. Months are almost
+// independent billing periods — the one cross-month dependency is the
+// ratchet demand charge, whose billed demand floors at a fraction of
+// the highest peak seen in earlier months. A naive parallelization
+// would have to serialize on that. Instead evaluation is two-phase:
+//
+//  1. Peak prescan: one cheap pass over the series computes each
+//     month's peak, from which the running historical peak entering
+//     every month follows sequentially (it is a prefix maximum).
+//  2. Parallel evaluation: with each month's historical peak known
+//     up front, all months evaluate concurrently.
+//
+// The result is ordered and deterministic: identical to evaluating the
+// months sequentially with the ratchet threaded through.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// MonthsOptions tunes EvaluateMonths.
+type MonthsOptions struct {
+	// Workers caps the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// EvaluateMonths splits the load into calendar months and evaluates
+// each month concurrently, threading the running historical peak into
+// every month's context exactly as a sequential ratchet loop would.
+// Results are in chronological month order.
+func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodContext, opts MonthsOptions) ([]*Result, error) {
+	if load == nil || load.Len() == 0 {
+		return nil, ErrEmptyLoad
+	}
+	months := load.SplitMonths()
+
+	// Phase 1: peak prescan. hist[i] is the historical peak entering
+	// month i: the max of the caller's historical peak and every
+	// earlier month's peak.
+	hist := make([]units.Power, len(months))
+	run := ctx.HistoricalPeak
+	for i, m := range months {
+		hist[i] = run
+		if p := monthPeak(m); p > run {
+			run = p
+		}
+	}
+
+	// Phase 2: evaluate months on the pool.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(months) {
+		workers = len(months)
+	}
+
+	results := make([]*Result, len(months))
+	errs := make([]error, len(months))
+	evalOne := func(i int) {
+		mctx := ctx
+		mctx.HistoricalPeak = hist[i]
+		results[i], errs[i] = e.EvaluatePeriod(months[i], mctx)
+	}
+
+	if workers <= 1 {
+		for i := range months {
+			evalOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					evalOne(i)
+				}
+			}()
+		}
+		for i := range months {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// monthPeak returns the month's maximum sample without error plumbing
+// (SplitMonths never yields empty sub-series).
+func monthPeak(m *timeseries.PowerSeries) units.Power {
+	peak := m.At(0)
+	for i := 1; i < m.Len(); i++ {
+		if p := m.At(i); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}

@@ -256,12 +256,16 @@ func Evaluate(p *Plan, c *contract.Contract, baseline *timeseries.PowerSeries, s
 	}
 	impact.Load = load
 
-	// 4. Bill both profiles.
-	baseBill, err := contract.ComputeBill(c, baseline, in)
+	// 4. Bill both profiles through one compiled engine.
+	eng, err := contract.NewEngine(c)
 	if err != nil {
 		return nil, err
 	}
-	planBill, err := contract.ComputeBill(c, load, in)
+	baseBill, err := eng.Bill(baseline, in)
+	if err != nil {
+		return nil, err
+	}
+	planBill, err := eng.Bill(load, in)
 	if err != nil {
 		return nil, err
 	}

@@ -40,12 +40,8 @@ func (b *Bill) JSON() ([]byte, error) {
 		DemandShare: b.DemandShare(),
 	}
 	for _, l := range b.Lines {
-		comp := "fee"
-		if l.Component >= 0 {
-			comp = l.Component.String()
-		}
 		out.Lines = append(out.Lines, lineItemJSON{
-			Component:   comp,
+			Component:   l.Component.String(),
 			Description: l.Description,
 			Quantity:    l.Quantity,
 			Amount:      l.Amount.Float(),

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/billing"
 	"repro/internal/demand"
 	"repro/internal/tariff"
 	"repro/internal/timeseries"
@@ -26,7 +27,8 @@ import (
 )
 
 // Component identifies a leaf of the contract typology — exactly the six
-// columns of the paper's Table 2.
+// columns of the paper's Table 2 — plus CompFlatFee for bill lines that
+// fall outside the typology.
 type Component int
 
 // Typology leaves.
@@ -37,6 +39,11 @@ const (
 	CompTOUTariff
 	CompDynamicTariff
 	CompEmergencyDR
+	// CompFlatFee marks flat service fees and folded taxes. It is not a
+	// typology leaf (the paper excludes fees as "they cannot be
+	// generalized") and so is absent from AllComponents, but bill lines
+	// need a real component value for ComponentTotal and JSON export.
+	CompFlatFee
 )
 
 var componentNames = map[Component]string{
@@ -46,6 +53,7 @@ var componentNames = map[Component]string{
 	CompTOUTariff:     "time-of-use-tariff",
 	CompDynamicTariff: "dynamic-tariff",
 	CompEmergencyDR:   "emergency-dr",
+	CompFlatFee:       "flat-fee",
 }
 
 // String returns the component's typology name.
@@ -66,12 +74,15 @@ func (c Component) Branch() string {
 		return "demand charges (kW)"
 	case CompEmergencyDR:
 		return "other"
+	case CompFlatFee:
+		return "fees"
 	default:
 		return "unknown"
 	}
 }
 
 // AllComponents lists the typology leaves in Table 2 column order.
+// CompFlatFee is excluded: it is not part of the typology.
 func AllComponents() []Component {
 	return []Component{
 		CompDemandCharge, CompPowerband,
@@ -160,6 +171,43 @@ func (o *EmergencyObligation) Cost(load *timeseries.PowerSeries, events []Emerge
 		}
 	}
 	return total
+}
+
+// BeginPeriod returns the obligation's streaming accumulator, which
+// prices excess draw during declared emergencies on the engine's single
+// pass. Declared events arrive through the period context's windows.
+func (o *EmergencyObligation) BeginPeriod(ctx *billing.PeriodContext, interval time.Duration) billing.Accumulator {
+	return &emergencyAcc{ob: o, windows: ctx.Emergencies, h: interval.Hours()}
+}
+
+var _ billing.LineItemProducer = (*EmergencyObligation)(nil)
+
+type emergencyAcc struct {
+	ob      *EmergencyObligation
+	windows []billing.Window
+	h       float64
+	total   units.Money
+}
+
+func (a *emergencyAcc) Observe(s billing.Sample) {
+	if len(a.windows) == 0 || s.Power <= a.ob.Cap {
+		return
+	}
+	for _, w := range a.windows {
+		if w.Covers(s.Time) {
+			a.total += a.ob.Penalty.Cost(units.Energy(float64(s.Power-a.ob.Cap) * a.h))
+			return
+		}
+	}
+}
+
+func (a *emergencyAcc) Lines() []billing.LineItem {
+	return []billing.LineItem{{
+		Class:       billing.ClassEmergencyDR,
+		Description: a.ob.Describe(),
+		Quantity:    fmt.Sprintf("%d events", len(a.windows)),
+		Amount:      a.total,
+	}}
 }
 
 // FixedFee is a flat per-billing-period amount (service fees, metering
@@ -309,8 +357,8 @@ func Classify(c *Contract) Profile {
 
 // LineItem is one itemized bill entry.
 type LineItem struct {
-	// Component is the typology leaf the item belongs to; -1 for items
-	// outside the typology (fees).
+	// Component is the typology leaf the item belongs to, or CompFlatFee
+	// for items outside the typology (fees).
 	Component Component
 	// Description is the human-readable label.
 	Description string
@@ -375,73 +423,16 @@ type BillingInput struct {
 
 // ComputeBill prices one billing period's load profile under the
 // contract. The bill's Total is always the exact sum of its Lines.
+//
+// It is a convenience wrapper that compiles the contract into an Engine
+// and evaluates one period; callers billing the same contract many
+// times (optimizers, sweeps) should build the Engine once and reuse it.
 func ComputeBill(c *Contract, load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if load == nil || load.Len() == 0 {
-		return nil, errors.New("contract: cannot bill an empty load profile")
-	}
-	peak, _, err := load.Peak()
+	eng, err := NewEngine(c)
 	if err != nil {
 		return nil, err
 	}
-	bill := &Bill{
-		Contract:    c.Name,
-		PeriodStart: load.Start(),
-		PeriodEnd:   load.End(),
-		Energy:      load.Energy(),
-		PeakDemand:  peak,
-	}
-	for _, t := range c.Tariffs {
-		amount := t.Cost(load)
-		bill.Lines = append(bill.Lines, LineItem{
-			Component:   tariffComponent(t),
-			Description: t.Describe(),
-			Quantity:    load.Energy().String(),
-			Amount:      amount,
-		})
-	}
-	for _, dc := range c.DemandCharges {
-		billed := dc.BilledDemand(load, in.HistoricalPeak)
-		bill.Lines = append(bill.Lines, LineItem{
-			Component:   CompDemandCharge,
-			Description: dc.Describe(),
-			Quantity:    billed.String(),
-			Amount:      dc.Price.Cost(billed),
-		})
-	}
-	for _, pb := range c.Powerbands {
-		cost := pb.Cost(load)
-		n := len(pb.Violations(load))
-		bill.Lines = append(bill.Lines, LineItem{
-			Component:   CompPowerband,
-			Description: pb.Describe(),
-			Quantity:    fmt.Sprintf("%d excursions", n),
-			Amount:      cost,
-		})
-	}
-	for _, o := range c.Emergencies {
-		cost := o.Cost(load, in.Events)
-		bill.Lines = append(bill.Lines, LineItem{
-			Component:   CompEmergencyDR,
-			Description: o.Describe(),
-			Quantity:    fmt.Sprintf("%d events", len(in.Events)),
-			Amount:      cost,
-		})
-	}
-	for _, fee := range c.Fees {
-		bill.Lines = append(bill.Lines, LineItem{
-			Component:   -1,
-			Description: fee.Name,
-			Quantity:    "flat",
-			Amount:      fee.Amount,
-		})
-	}
-	for _, l := range bill.Lines {
-		bill.Total += l.Amount
-	}
-	return bill, nil
+	return eng.Bill(load, in)
 }
 
 func tariffComponent(t tariff.Tariff) Component {
@@ -457,22 +448,13 @@ func tariffComponent(t tariff.Tariff) Component {
 
 // BillMonths splits a load profile into calendar months and bills each
 // month, threading the running historical peak into ratchet charges.
+// Months are evaluated concurrently (see Engine.BillMonths).
 func BillMonths(c *Contract, load *timeseries.PowerSeries, in BillingInput) ([]*Bill, error) {
-	months := load.SplitMonths()
-	bills := make([]*Bill, 0, len(months))
-	historical := in.HistoricalPeak
-	for _, m := range months {
-		bi := BillingInput{HistoricalPeak: historical, Events: in.Events}
-		b, err := ComputeBill(c, m, bi)
-		if err != nil {
-			return nil, err
-		}
-		bills = append(bills, b)
-		if b.PeakDemand > historical {
-			historical = b.PeakDemand
-		}
+	eng, err := NewEngine(c)
+	if err != nil {
+		return nil, err
 	}
-	return bills, nil
+	return eng.BillMonths(load, in)
 }
 
 // TotalOf sums the totals of a set of bills.

@@ -292,15 +292,21 @@ func TestBillWithAllComponents(t *testing.T) {
 	if got := bill.ComponentTotal(CompEmergencyDR); got != units.CurrencyUnits(10000) {
 		t.Errorf("emergency total = %v", got)
 	}
-	// Fee line has component -1.
+	// Fee line carries the real flat-fee component.
 	var feeSeen bool
 	for _, line := range bill.Lines {
-		if line.Component == -1 && line.Amount == units.CurrencyUnits(500) {
+		if line.Component == CompFlatFee && line.Amount == units.CurrencyUnits(500) {
 			feeSeen = true
 		}
 	}
 	if !feeSeen {
 		t.Error("fee line missing")
+	}
+	if got := bill.ComponentTotal(CompFlatFee); got != units.CurrencyUnits(500) {
+		t.Errorf("flat-fee total = %v", got)
+	}
+	if CompFlatFee.Branch() != "fees" {
+		t.Errorf("flat-fee branch = %q", CompFlatFee.Branch())
 	}
 }
 
@@ -333,6 +339,57 @@ func TestBillMonthsThreadsRatchet(t *testing.T) {
 	}
 	if TotalOf(bills) != bills[0].Total+bills[1].Total {
 		t.Error("TotalOf")
+	}
+}
+
+// A mid-year peak must ratchet every later month's billed demand while
+// leaving earlier months untouched — the "one bad month haunts the whole
+// year" behavior, asserted month by month across the parallel evaluator.
+func TestBillMonthsRatchetMidYearPeak(t *testing.T) {
+	c := &Contract{
+		Name:          "ratchet-year",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.05)},
+		DemandCharges: []*demand.Charge{demand.MustNewCharge(10, demand.Ratchet, 0, 0.8)},
+	}
+	// Six months (Mar–Aug 2016), flat 10 MW except a 25 MW spike in June.
+	start := t0
+	end := time.Date(2016, time.September, 1, 0, 0, 0, 0, time.UTC)
+	n := int(end.Sub(start) / time.Hour)
+	samples := make([]units.Power, n)
+	for i := range samples {
+		samples[i] = 10000
+	}
+	spike := time.Date(2016, time.June, 15, 12, 0, 0, 0, time.UTC)
+	samples[int(spike.Sub(start)/time.Hour)] = 25000
+	l := timeseries.MustNewPower(start, time.Hour, samples)
+
+	bills, err := BillMonths(c, l, BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bills) != 6 {
+		t.Fatalf("months = %d, want 6", len(bills))
+	}
+	price := units.DemandPrice(10)
+	// Months before the spike bill their own 10 MW peak; the spike month
+	// bills 25 MW; every later month floors at 0.8 × 25 MW = 20 MW.
+	want := []units.Power{10000, 10000, 10000, 25000, 20000, 20000}
+	for i, b := range bills {
+		if got := b.ComponentTotal(CompDemandCharge); got != price.Cost(want[i]) {
+			t.Errorf("month %d (%s) demand charge = %v, want %v billed at %v",
+				i, b.PeriodStart.Format("2006-01"), got, price.Cost(want[i]), want[i])
+		}
+	}
+	// The engine's parallel path must agree with the sequential legacy
+	// threading exactly.
+	legacy, err := BillMonthsLegacy(c, l, BillingInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bills {
+		if bills[i].Total != legacy[i].Total {
+			t.Errorf("month %d total = %v, legacy %v", i, bills[i].Total, legacy[i].Total)
+		}
 	}
 }
 
@@ -373,7 +430,7 @@ func TestBillJSON(t *testing.T) {
 		t.Fatalf("lines = %d", len(lines))
 	}
 	last := lines[2].(map[string]interface{})
-	if last["component"] != "fee" {
+	if last["component"] != "flat-fee" {
 		t.Errorf("fee component = %v", last["component"])
 	}
 	first := lines[0].(map[string]interface{})

@@ -1,0 +1,162 @@
+package contract
+
+// Engine compiles a contract into the single-pass billing engine
+// (package billing). Compilation maps every contract component onto a
+// billing.LineItemProducer — tariffs through the tariff package's
+// adapter, demand charges, powerbands and emergency obligations
+// directly (they implement the interface), fees as billing.FlatFee —
+// and validates the lot once. Evaluation then streams each billing
+// period's load series exactly once, regardless of how many components
+// the contract has, and calendar months evaluate concurrently.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/billing"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+)
+
+// Engine is a contract compiled for repeated billing. It is immutable
+// after construction and safe for concurrent use — optimizers that bill
+// the same contract in a tight loop should build one Engine and reuse
+// it rather than calling ComputeBill per iteration.
+type Engine struct {
+	c    *Contract
+	eval *billing.Evaluator
+}
+
+// NewEngine validates the contract and all its components and compiles
+// the producer set.
+func NewEngine(c *Contract) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	producers := make([]billing.LineItemProducer, 0,
+		len(c.Tariffs)+len(c.DemandCharges)+len(c.Powerbands)+len(c.Emergencies)+len(c.Fees))
+	for _, t := range c.Tariffs {
+		producers = append(producers, tariff.Producer(t))
+	}
+	for _, dc := range c.DemandCharges {
+		producers = append(producers, dc)
+	}
+	for _, pb := range c.Powerbands {
+		producers = append(producers, pb)
+	}
+	for _, o := range c.Emergencies {
+		producers = append(producers, o)
+	}
+	for _, fee := range c.Fees {
+		producers = append(producers, billing.FlatFee{Name: fee.Name, Amount: fee.Amount})
+	}
+	eval, err := billing.NewEvaluator(producers...)
+	if err != nil {
+		return nil, fmt.Errorf("contract %q: %w", c.Name, err)
+	}
+	return &Engine{c: c, eval: eval}, nil
+}
+
+// Contract returns the compiled contract.
+func (e *Engine) Contract() *Contract { return e.c }
+
+// Bill prices one billing period's load profile.
+func (e *Engine) Bill(load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
+	res, err := e.eval.EvaluatePeriod(load, periodContext(in))
+	if err != nil {
+		return nil, translateEngineErr(err)
+	}
+	return e.billFromResult(res), nil
+}
+
+// BillMonths splits the load into calendar months and bills each month
+// concurrently, threading the running historical peak into ratchet
+// charges via the engine's peak prescan. Bills come back in
+// chronological order, identical to billing the months sequentially.
+func (e *Engine) BillMonths(load *timeseries.PowerSeries, in BillingInput) ([]*Bill, error) {
+	return e.BillMonthsWorkers(load, in, 0)
+}
+
+// BillMonthsWorkers is BillMonths with an explicit worker-pool size;
+// workers <= 0 selects GOMAXPROCS, 1 forces sequential evaluation.
+func (e *Engine) BillMonthsWorkers(load *timeseries.PowerSeries, in BillingInput, workers int) ([]*Bill, error) {
+	if load == nil || load.Len() == 0 {
+		// A load with no samples has no months to bill.
+		return []*Bill{}, nil
+	}
+	results, err := e.eval.EvaluateMonths(load, periodContext(in), billing.MonthsOptions{Workers: workers})
+	if err != nil {
+		return nil, translateEngineErr(err)
+	}
+	bills := make([]*Bill, len(results))
+	for i, r := range results {
+		bills[i] = e.billFromResult(r)
+	}
+	return bills, nil
+}
+
+// periodContext maps the contract-level billing input onto the engine's
+// period context.
+func periodContext(in BillingInput) billing.PeriodContext {
+	ctx := billing.PeriodContext{HistoricalPeak: in.HistoricalPeak}
+	if len(in.Events) > 0 {
+		ctx.Emergencies = make([]billing.Window, len(in.Events))
+		for i, ev := range in.Events {
+			ctx.Emergencies[i] = billing.Window{Start: ev.Start, End: ev.End()}
+		}
+	}
+	return ctx
+}
+
+// billFromResult converts an engine period result into a Bill.
+func (e *Engine) billFromResult(r *billing.Result) *Bill {
+	bill := &Bill{
+		Contract:    e.c.Name,
+		PeriodStart: r.PeriodStart,
+		PeriodEnd:   r.PeriodEnd,
+		Energy:      r.Energy,
+		PeakDemand:  r.Peak,
+		Lines:       make([]LineItem, len(r.Lines)),
+		Total:       r.Total,
+	}
+	for i, l := range r.Lines {
+		bill.Lines[i] = LineItem{
+			Component:   componentOf(l.Class),
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			Amount:      l.Amount,
+		}
+	}
+	return bill
+}
+
+// componentOf maps engine line-item classes onto typology components.
+func componentOf(c billing.Class) Component {
+	switch c {
+	case billing.ClassFixedTariff:
+		return CompFixedTariff
+	case billing.ClassTOUTariff:
+		return CompTOUTariff
+	case billing.ClassDynamicTariff:
+		return CompDynamicTariff
+	case billing.ClassDemandCharge:
+		return CompDemandCharge
+	case billing.ClassPowerband:
+		return CompPowerband
+	case billing.ClassEmergencyDR:
+		return CompEmergencyDR
+	case billing.ClassFlatFee:
+		return CompFlatFee
+	default:
+		return CompFlatFee
+	}
+}
+
+// translateEngineErr keeps the package's historical error text for the
+// empty-load case.
+func translateEngineErr(err error) error {
+	if errors.Is(err, billing.ErrEmptyLoad) {
+		return errors.New("contract: cannot bill an empty load profile")
+	}
+	return err
+}

@@ -1,0 +1,105 @@
+package contract
+
+// Legacy multi-pass billing: each component scans the load profile
+// independently (tariff costs, billed demand, powerband excursions and
+// emergency exposure are each a separate traversal). Retained as the
+// reference implementation the single-pass Engine is golden-tested
+// against, and as the baseline for the BenchmarkBillYear* pair.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// ComputeBillLegacy prices one billing period with one pass per
+// component. It produces exactly the same Bill as Engine.Bill.
+func ComputeBillLegacy(c *Contract, load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if load == nil || load.Len() == 0 {
+		return nil, errors.New("contract: cannot bill an empty load profile")
+	}
+	peak, _, err := load.Peak()
+	if err != nil {
+		return nil, err
+	}
+	bill := &Bill{
+		Contract:    c.Name,
+		PeriodStart: load.Start(),
+		PeriodEnd:   load.End(),
+		Energy:      load.Energy(),
+		PeakDemand:  peak,
+	}
+	for _, t := range c.Tariffs {
+		amount := t.Cost(load)
+		bill.Lines = append(bill.Lines, LineItem{
+			Component:   tariffComponent(t),
+			Description: t.Describe(),
+			Quantity:    load.Energy().String(),
+			Amount:      amount,
+		})
+	}
+	for _, dc := range c.DemandCharges {
+		billed := dc.BilledDemand(load, in.HistoricalPeak)
+		bill.Lines = append(bill.Lines, LineItem{
+			Component:   CompDemandCharge,
+			Description: dc.Describe(),
+			Quantity:    billed.String(),
+			Amount:      dc.Price.Cost(billed),
+		})
+	}
+	for _, pb := range c.Powerbands {
+		vs := pb.Violations(load)
+		bill.Lines = append(bill.Lines, LineItem{
+			Component:   CompPowerband,
+			Description: pb.Describe(),
+			Quantity:    fmt.Sprintf("%d excursions", len(vs)),
+			Amount:      pb.CostOfViolations(vs),
+		})
+	}
+	for _, o := range c.Emergencies {
+		cost := o.Cost(load, in.Events)
+		bill.Lines = append(bill.Lines, LineItem{
+			Component:   CompEmergencyDR,
+			Description: o.Describe(),
+			Quantity:    fmt.Sprintf("%d events", len(in.Events)),
+			Amount:      cost,
+		})
+	}
+	for _, fee := range c.Fees {
+		bill.Lines = append(bill.Lines, LineItem{
+			Component:   CompFlatFee,
+			Description: fee.Name,
+			Quantity:    "flat",
+			Amount:      fee.Amount,
+		})
+	}
+	for _, l := range bill.Lines {
+		bill.Total += l.Amount
+	}
+	return bill, nil
+}
+
+// BillMonthsLegacy bills each calendar month sequentially, threading
+// the running historical peak into ratchet charges. It produces exactly
+// the same bills as Engine.BillMonths.
+func BillMonthsLegacy(c *Contract, load *timeseries.PowerSeries, in BillingInput) ([]*Bill, error) {
+	months := load.SplitMonths()
+	bills := make([]*Bill, 0, len(months))
+	historical := in.HistoricalPeak
+	for _, m := range months {
+		bi := BillingInput{HistoricalPeak: historical, Events: in.Events}
+		b, err := ComputeBillLegacy(c, m, bi)
+		if err != nil {
+			return nil, err
+		}
+		bills = append(bills, b)
+		if b.PeakDemand > historical {
+			historical = b.PeakDemand
+		}
+	}
+	return bills, nil
+}

@@ -95,7 +95,12 @@ type ShaveResult struct {
 // PeakShaveSweep evaluates a set of shave fractions against a contract —
 // the E2/E3 harness core.
 func PeakShaveSweep(c *contract.Contract, load *timeseries.PowerSeries, fractions []float64, in contract.BillingInput) ([]ShaveResult, error) {
-	baseBill, err := contract.ComputeBill(c, load, in)
+	// One compiled engine prices the baseline and every shaved variant.
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	baseBill, err := eng.Bill(load, in)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +110,7 @@ func PeakShaveSweep(c *contract.Contract, load *timeseries.PowerSeries, fraction
 		if err != nil {
 			return nil, err
 		}
-		bill, err := contract.ComputeBill(c, shaved, in)
+		bill, err := eng.Bill(shaved, in)
 		if err != nil {
 			return nil, err
 		}

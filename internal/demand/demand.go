@@ -285,8 +285,15 @@ func (b *Powerband) Violations(load *timeseries.PowerSeries) []Excursion {
 
 // Cost returns the total penalty for all excursions in the profile.
 func (b *Powerband) Cost(load *timeseries.PowerSeries) units.Money {
+	return b.CostOfViolations(b.Violations(load))
+}
+
+// CostOfViolations prices an excursion list already produced by
+// Violations, letting callers that also need the excursions avoid a
+// second scan of the load profile.
+func (b *Powerband) CostOfViolations(vs []Excursion) units.Money {
 	var total units.Money
-	for _, v := range b.Violations(load) {
+	for _, v := range vs {
 		if v.Above {
 			total += b.OverPenalty.Cost(v.ExcessEnergy)
 		} else {

@@ -283,11 +283,16 @@ func Evaluate(
 	if err != nil {
 		return nil, err
 	}
-	baseBill, err := contract.ComputeBill(c, baseline, in)
+	// One compiled engine bills both the baseline and the response.
+	eng, err := contract.NewEngine(c)
 	if err != nil {
 		return nil, err
 	}
-	respBill, err := contract.ComputeBill(c, resp.Load, in)
+	baseBill, err := eng.Bill(baseline, in)
+	if err != nil {
+		return nil, err
+	}
+	respBill, err := eng.Bill(resp.Load, in)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,11 @@ func SweepE2(ratios []float64) ([]E2Point, error) {
 		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
 		DemandCharges: []*demand.Charge{demand.SimpleCharge(13)},
 	}
+	// The contract is fixed across the sweep: compile it once.
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]E2Point, 0, len(ratios))
 	for _, r := range ratios {
 		load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
@@ -50,7 +55,7 @@ func SweepE2(ratios []float64) ([]E2Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		bill, err := contract.ComputeBill(c, load, contract.BillingInput{})
+		bill, err := eng.Bill(load, contract.BillingInput{})
 		if err != nil {
 			return nil, err
 		}

@@ -61,7 +61,12 @@ func SweepE13(capacities []units.Energy) ([]E13Point, error) {
 		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
 		DemandCharges: []*demand.Charge{demand.MustNewCharge(13, demand.SinglePeak, 0, 0)},
 	}
-	baseBill, err := contract.ComputeBill(c, load, contract.BillingInput{})
+	// One compiled engine bills the baseline and every battery variant.
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	baseBill, err := eng.Bill(load, contract.BillingInput{})
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +85,7 @@ func SweepE13(capacities []units.Energy) ([]E13Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		bill, err := contract.ComputeBill(c, res.Net, contract.BillingInput{})
+		bill, err := eng.Bill(res.Net, contract.BillingInput{})
 		if err != nil {
 			return nil, err
 		}

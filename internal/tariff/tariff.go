@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/billing"
 	"repro/internal/calendar"
 	"repro/internal/timeseries"
 	"repro/internal/units"
@@ -83,16 +84,22 @@ type Tariff interface {
 	Describe() string
 }
 
-// costByPriceAt is the shared integration loop: bill every sample at
-// PriceAt of its interval start.
+// costByPriceAt bills every sample at PriceAt of its interval start.
+// It drives the same streaming accumulator the billing engine uses
+// (producer.go), so standalone Cost calls and engine passes share one
+// integration loop.
 func costByPriceAt(t Tariff, load *timeseries.PowerSeries) units.Money {
-	var total units.Money
+	acc := priceAtAcc{t: t}
 	h := load.Interval().Hours()
 	for i := 0; i < load.Len(); i++ {
-		e := units.Energy(float64(load.At(i)) * h)
-		total += t.PriceAt(load.TimeAt(i)).Cost(e)
+		acc.observe(billing.Sample{
+			Index:  i,
+			Time:   load.TimeAt(i),
+			Power:  load.At(i),
+			Energy: units.Energy(float64(load.At(i)) * h),
+		})
 	}
-	return total
+	return acc.amount()
 }
 
 // FixedTariff is a single constant price per kWh.

@@ -1,8 +1,12 @@
 package timeseries
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/units"
 )
 
 // FuzzReadPowerCSV checks the CSV reader never panics and that accepted
@@ -26,6 +30,78 @@ func FuzzReadPowerCSV(f *testing.F) {
 		}
 		if !s.End().After(s.Start()) {
 			t.Fatal("accepted series with inverted span")
+		}
+	})
+}
+
+// FuzzResampleWindow round-trips arbitrary series through Resample and
+// Window: resampling by a whole-group factor must conserve energy, and
+// windowing with arbitrary bounds must never panic and must stay inside
+// the parent span.
+func FuzzResampleWindow(f *testing.F) {
+	f.Add(uint8(4), uint8(2), int64(0), int64(3600), uint16(1000), uint16(2000))
+	f.Add(uint8(96), uint8(4), int64(-7200), int64(7200), uint16(0), uint16(65535))
+	f.Add(uint8(1), uint8(1), int64(900), int64(900), uint16(500), uint16(500))
+	f.Add(uint8(13), uint8(5), int64(100000), int64(-100000), uint16(9), uint16(42))
+	f.Fuzz(func(t *testing.T, n, k uint8, fromOff, toOff int64, a, b uint16) {
+		if n == 0 {
+			return
+		}
+		start := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+		interval := 15 * time.Minute
+		// Deterministic sample ramp between the two fuzzed endpoints.
+		samples := make([]units.Power, int(n))
+		for i := range samples {
+			frac := 0.0
+			if len(samples) > 1 {
+				frac = float64(i) / float64(len(samples)-1)
+			}
+			samples[i] = units.Power(float64(a) + (float64(b)-float64(a))*frac)
+		}
+		s, err := NewPower(start, interval, samples)
+		if err != nil {
+			t.Fatalf("NewPower rejected a valid series: %v", err)
+		}
+
+		// Resample by k groups: never panics; rejects non-multiples;
+		// conserves energy when every group is complete.
+		if k > 0 {
+			target := time.Duration(k) * interval
+			r, err := s.Resample(target)
+			if err != nil {
+				t.Fatalf("Resample(%v) on %v-interval series: %v", target, interval, err)
+			}
+			if r.Interval() != target {
+				t.Fatalf("resampled interval = %v, want %v", r.Interval(), target)
+			}
+			if !r.Start().Equal(s.Start()) {
+				t.Fatalf("resampled start moved: %v != %v", r.Start(), s.Start())
+			}
+			if int(n)%int(k) == 0 {
+				e0, e1 := float64(s.Energy()), float64(r.Energy())
+				if diff := math.Abs(e0 - e1); diff > 1e-6*math.Max(1, math.Abs(e0)) {
+					t.Fatalf("complete-group resample lost energy: %g != %g", e0, e1)
+				}
+			}
+		}
+
+		// Window with arbitrary bounds: never panics; either errors or
+		// returns a sub-series fully inside the parent span.
+		from := start.Add(time.Duration(fromOff) * time.Second)
+		to := start.Add(time.Duration(toOff) * time.Second)
+		w, err := s.Window(from, to)
+		if err != nil {
+			return
+		}
+		if w.Len() == 0 || w.Len() > s.Len() {
+			t.Fatalf("window returned %d samples of %d", w.Len(), s.Len())
+		}
+		if w.Start().Before(s.Start()) || w.End().After(s.End()) {
+			t.Fatalf("window [%v, %v] escapes parent [%v, %v]",
+				w.Start(), w.End(), s.Start(), s.End())
+		}
+		if w.Start().Before(from.Add(-interval)) {
+			t.Fatalf("window start %v far before requested %v", w.Start(), from)
 		}
 	})
 }

@@ -130,6 +130,16 @@ func ComputeBill(c *Contract, load *PowerSeries, in contract.BillingInput) (*Bil
 	return contract.ComputeBill(c, load, in)
 }
 
+// BillingEngine is a contract compiled for repeated billing: one pass
+// over the load per period, calendar months evaluated concurrently.
+type BillingEngine = contract.Engine
+
+// NewBillingEngine validates and compiles a contract. Callers billing
+// the same contract many times should reuse the returned engine.
+func NewBillingEngine(c *Contract) (*BillingEngine, error) {
+	return contract.NewEngine(c)
+}
+
 // Analyze produces the headline contract-against-load analysis.
 func Analyze(c *Contract, load *PowerSeries, in contract.BillingInput) (*core.Analysis, error) {
 	return core.Analyze(c, load, in)
