@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-billing fuzz clean
+.PHONY: all build vet test race check fmt-check serve bench bench-billing fuzz clean
 
 all: check
 
@@ -21,6 +21,15 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Fail if any file is not gofmt-clean (CI gate).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the billing-as-a-service daemon on :8080 (see cmd/scserved -h).
+serve:
+	$(GO) run ./cmd/scserved -addr :8080
 
 # Full benchmark sweep (paper exhibits + ablations).
 bench:

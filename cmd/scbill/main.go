@@ -123,7 +123,11 @@ func loadProfile(path string, baseMW, peakRatio float64, days int, seed int64) (
 			return nil, err
 		}
 		defer f.Close()
-		return timeseries.ReadPowerCSV(f)
+		s, err := timeseries.ReadPowerCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("load profile %s: %w", path, err)
+		}
+		return s, nil
 	}
 	return hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
 		Start:         time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC),

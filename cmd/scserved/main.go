@@ -1,0 +1,92 @@
+// Command scserved runs the billing-as-a-service daemon: a long-lived
+// HTTP/JSON server exposing bill computation (with an LRU cache of
+// compiled contract engines), the survey dataset, and the renegotiation
+// advisor. See internal/serve for the API.
+//
+// Usage:
+//
+//	scserved -addr :8080
+//	scserved -addr :8080 -max-concurrent 8 -queue 128 -timeout 10s
+//
+// The daemon sheds load with 429 + Retry-After when its request queue
+// fills, and drains in-flight bills on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "parallel bill evaluations (0 = all CPUs)")
+	queueDepth := flag.Int("queue", 64, "requests allowed to wait for a slot before shedding with 429 (-1 = no queue)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
+	cacheSize := flag.Int("cache", 128, "compiled contract engines kept in the LRU")
+	monthWorkers := flag.Int("month-workers", 0, "worker pool per monthly request (0 = all CPUs)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight bills")
+	flag.Parse()
+
+	if err := run(*addr, serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *timeout,
+		EngineCacheSize: *cacheSize,
+		MonthWorkers:    *monthWorkers,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "scserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	svc := serve.NewServer(cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("scserved listening on %s", addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("scserved: %s received, draining in-flight bills", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Refuse new work and wait for admitted bills first, then close the
+	// listener and idle connections.
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("scserved: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("scserved: drained, bye")
+	return nil
+}

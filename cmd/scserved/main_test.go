@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestRunBadAddr(t *testing.T) {
+	err := run("256.256.256.256:99999", serve.Config{}, time.Second)
+	if err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+// TestRunDrainsOnSignal boots the daemon on a free port and delivers
+// SIGTERM: run must drain and return nil.
+func TestRunDrainsOnSignal(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run("127.0.0.1:0", serve.Config{}, time.Second) }()
+
+	// Give the listener a moment, then ask the process to stop.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "http shutdown") {
+			t.Fatalf("run after SIGTERM: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}

@@ -8,6 +8,7 @@
 package advisor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,13 +34,18 @@ type Scored struct {
 	DeltaVsBest units.Money
 }
 
+// EngineCandidate is a candidate whose contract is already compiled —
+// the form long-lived services hand in, so a cached engine is billed
+// without recompiling per sweep.
+type EngineCandidate struct {
+	Name   string
+	Engine *contract.Engine
+}
+
 // Rank bills the reference load under every candidate and returns them
 // cheapest first.
 func Rank(candidates []Candidate, load *timeseries.PowerSeries, in contract.BillingInput) ([]Scored, error) {
-	if len(candidates) == 0 {
-		return nil, errors.New("advisor: no candidates")
-	}
-	scored := make([]Scored, 0, len(candidates))
+	compiled := make([]EngineCandidate, 0, len(candidates))
 	for _, cand := range candidates {
 		// Compile once per candidate; the engine bills all months in a
 		// single pass each with the ratchet threaded through.
@@ -47,11 +53,28 @@ func Rank(candidates []Candidate, load *timeseries.PowerSeries, in contract.Bill
 		if err != nil {
 			return nil, fmt.Errorf("advisor: candidate %q: %w", cand.Name, err)
 		}
-		bills, err := eng.BillMonths(load, in)
+		compiled = append(compiled, EngineCandidate{Name: cand.Name, Engine: eng})
+	}
+	return RankEngines(context.Background(), compiled, load, in)
+}
+
+// RankEngines bills the reference load under every pre-compiled
+// candidate and returns them cheapest first. Evaluation honours ctx:
+// a cancelled sweep stops at the current candidate.
+func RankEngines(ctx context.Context, candidates []EngineCandidate, load *timeseries.PowerSeries, in contract.BillingInput) ([]Scored, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("advisor: no candidates")
+	}
+	scored := make([]Scored, 0, len(candidates))
+	for _, cand := range candidates {
+		bills, err := cand.Engine.BillMonthsCtx(ctx, load, in, 0)
 		if err != nil {
 			return nil, fmt.Errorf("advisor: candidate %q: %w", cand.Name, err)
 		}
-		scored = append(scored, Scored{Candidate: cand, Annual: contract.TotalOf(bills)})
+		scored = append(scored, Scored{
+			Candidate: Candidate{Name: cand.Name, Contract: cand.Engine.Contract()},
+			Annual:    contract.TotalOf(bills),
+		})
 	}
 	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Annual < scored[b].Annual })
 	best := scored[0].Annual
@@ -121,6 +144,24 @@ func Advise(currentName string, candidates []Candidate, load *timeseries.PowerSe
 	if err != nil {
 		return nil, err
 	}
+	return adviceFromRanking(currentName, ranked, materiality)
+}
+
+// AdviseEngines is Advise over pre-compiled candidates with
+// cancellation, returning the advice together with the full ranking.
+func AdviseEngines(ctx context.Context, currentName string, candidates []EngineCandidate, load *timeseries.PowerSeries, in contract.BillingInput, materiality units.Money) (*Advice, []Scored, error) {
+	ranked, err := RankEngines(ctx, candidates, load, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	advice, err := adviceFromRanking(currentName, ranked, materiality)
+	if err != nil {
+		return nil, nil, err
+	}
+	return advice, ranked, nil
+}
+
+func adviceFromRanking(currentName string, ranked []Scored, materiality units.Money) (*Advice, error) {
 	var current *Scored
 	for i := range ranked {
 		if ranked[i].Candidate.Name == currentName {

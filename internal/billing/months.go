@@ -16,6 +16,7 @@ package billing
 // months sequentially with the ratchet threaded through.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -27,6 +28,12 @@ import (
 type MonthsOptions struct {
 	// Workers caps the worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Context, when non-nil, cancels the evaluation: workers stop
+	// picking up months once it is done and the first cancellation
+	// error is returned. Month evaluation itself also polls the
+	// context (see EvaluatePeriodCtx), so even a single enormous
+	// month honours a deadline.
+	Context context.Context
 }
 
 // EvaluateMonths splits the load into calendar months and evaluates
@@ -60,16 +67,24 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 		workers = len(months)
 	}
 
+	cctx := opts.Context
+	if cctx == nil {
+		cctx = context.Background()
+	}
+
 	results := make([]*Result, len(months))
 	errs := make([]error, len(months))
 	evalOne := func(i int) {
 		mctx := ctx
 		mctx.HistoricalPeak = hist[i]
-		results[i], errs[i] = e.EvaluatePeriod(months[i], mctx)
+		results[i], errs[i] = e.EvaluatePeriodCtx(cctx, months[i], mctx)
 	}
 
 	if workers <= 1 {
 		for i := range months {
+			if err := cctx.Err(); err != nil {
+				return nil, err
+			}
 			evalOne(i)
 		}
 	} else {
@@ -80,6 +95,13 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					// A cancelled context drains the remaining
+					// months without evaluating them; the per-month
+					// error slot records why.
+					if err := cctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
 					evalOne(i)
 				}
 			}()

@@ -1,12 +1,18 @@
 package contract
 
-// JSON export for bills — the machine-readable counterpart of the
-// rendered bill, with currency amounts as floats and typology components
-// by name.
+// JSON import/export for bills — the machine-readable counterpart of
+// the rendered bill, with currency amounts as floats and typology
+// components by name. Encoding and decoding are exact inverses:
+// DecodeBill(b.JSON()) reproduces b, and re-encoding the decoded bill
+// yields byte-identical JSON (amounts are micro-unit fixed point, so
+// the float round trip is lossless).
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
+
+	"repro/internal/units"
 )
 
 // billJSON is the serialized shape.
@@ -26,6 +32,46 @@ type lineItemJSON struct {
 	Description string  `json:"description"`
 	Quantity    string  `json:"quantity"`
 	Amount      float64 `json:"amount"`
+}
+
+// componentByName is the inverse of Component.String for decoding.
+var componentByName = func() map[string]Component {
+	m := make(map[string]Component, len(componentNames))
+	for c, n := range componentNames {
+		m[n] = c
+	}
+	return m
+}()
+
+// DecodeBill parses bill JSON produced by Bill.JSON back into a Bill.
+// The serialized demand share is derived data and is discarded (the
+// decoded bill recomputes it from its lines).
+func DecodeBill(data []byte) (*Bill, error) {
+	var in billJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("contract: bad bill JSON: %w", err)
+	}
+	b := &Bill{
+		Contract:    in.Contract,
+		PeriodStart: in.PeriodStart,
+		PeriodEnd:   in.PeriodEnd,
+		Energy:      units.Energy(in.EnergyKWh),
+		PeakDemand:  units.Power(in.PeakKW),
+		Total:       units.MoneyFromFloat(in.Total),
+	}
+	for i, l := range in.Lines {
+		comp, ok := componentByName[l.Component]
+		if !ok {
+			return nil, fmt.Errorf("contract: bill line %d: unknown component %q", i, l.Component)
+		}
+		b.Lines = append(b.Lines, LineItem{
+			Component:   comp,
+			Description: l.Description,
+			Quantity:    l.Quantity,
+			Amount:      units.MoneyFromFloat(l.Amount),
+		})
+	}
+	return b, nil
 }
 
 // JSON serializes the bill as indented JSON.

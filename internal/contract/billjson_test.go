@@ -1,0 +1,94 @@
+package contract
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBillJSONRoundTrip encodes every golden bill (including the
+// kitchen-sink contract exercising all component kinds), decodes it,
+// and re-encodes: the decoded bill must equal the original field for
+// field and the re-encoding must be byte-identical.
+func TestBillJSONRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			bill, err := ComputeBill(tc.c, tc.load, tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := bill.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeBill(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBillsIdentical(t, tc.name, decoded, bill)
+			second, err := decoded.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("re-encoding differs:\n%s\nvs\n%s", first, second)
+			}
+		})
+	}
+}
+
+func TestDecodeBillErrors(t *testing.T) {
+	if _, err := DecodeBill([]byte("not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	bad := `{"contract":"x","lines":[{"component":"witchcraft","amount":1}]}`
+	_, err := DecodeBill([]byte(bad))
+	if err == nil || !strings.Contains(err.Error(), "witchcraft") {
+		t.Errorf("unknown component should fail naming it, got %v", err)
+	}
+}
+
+// TestHashSpecCanonical pins the cache-key property the billing service
+// relies on: formatting and key order do not change the hash, content
+// does.
+func TestHashSpecCanonical(t *testing.T) {
+	a := &Spec{
+		Name:          "site",
+		Tariffs:       []TariffSpec{{Type: "fixed", Rate: 0.085}},
+		DemandCharges: []DemandChargeSpec{{PricePerKW: 12, NPeaks: 3}},
+	}
+	ha, err := HashSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same spec parsed from differently formatted JSON with shuffled
+	// keys and redundant zero fields hashes identically.
+	alt := `{"demand_charges":[{"n_peaks":3,"price_per_kw":12}],` +
+		`"tariffs":[{"rate":0.085,"type":"fixed","adder":0}],"name":"site"}`
+	parsed, err := ParseSpec([]byte(alt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashSpec(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("hash not canonical: %s != %s", ha, hb)
+	}
+
+	// A one-field change moves the hash.
+	c := *a
+	c.Tariffs = []TariffSpec{{Type: "fixed", Rate: 0.086}}
+	hc, err := HashSpec(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Error("different specs must hash differently")
+	}
+	if len(ha) != 64 {
+		t.Errorf("want hex sha256, got %q", ha)
+	}
+}

@@ -10,6 +10,7 @@ package contract
 // the contract has, and calendar months evaluate concurrently.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,7 +63,14 @@ func (e *Engine) Contract() *Contract { return e.c }
 
 // Bill prices one billing period's load profile.
 func (e *Engine) Bill(load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
-	res, err := e.eval.EvaluatePeriod(load, periodContext(in))
+	return e.BillCtx(context.Background(), load, in)
+}
+
+// BillCtx is Bill with cooperative cancellation: evaluation polls ctx
+// and stops with ctx.Err() once it is done. Services use it to bound
+// each request's evaluation by the request deadline.
+func (e *Engine) BillCtx(ctx context.Context, load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
+	res, err := e.eval.EvaluatePeriodCtx(ctx, load, periodContext(in))
 	if err != nil {
 		return nil, translateEngineErr(err)
 	}
@@ -80,11 +88,18 @@ func (e *Engine) BillMonths(load *timeseries.PowerSeries, in BillingInput) ([]*B
 // BillMonthsWorkers is BillMonths with an explicit worker-pool size;
 // workers <= 0 selects GOMAXPROCS, 1 forces sequential evaluation.
 func (e *Engine) BillMonthsWorkers(load *timeseries.PowerSeries, in BillingInput, workers int) ([]*Bill, error) {
+	return e.BillMonthsCtx(context.Background(), load, in, workers)
+}
+
+// BillMonthsCtx is BillMonthsWorkers with cooperative cancellation
+// threaded into the month worker pool: once ctx is done, workers stop
+// picking up months and the cancellation error is returned.
+func (e *Engine) BillMonthsCtx(ctx context.Context, load *timeseries.PowerSeries, in BillingInput, workers int) ([]*Bill, error) {
 	if load == nil || load.Len() == 0 {
 		// A load with no samples has no months to bill.
 		return []*Bill{}, nil
 	}
-	results, err := e.eval.EvaluateMonths(load, periodContext(in), billing.MonthsOptions{Workers: workers})
+	results, err := e.eval.EvaluateMonths(load, periodContext(in), billing.MonthsOptions{Workers: workers, Context: ctx})
 	if err != nil {
 		return nil, translateEngineErr(err)
 	}

@@ -1,0 +1,28 @@
+package contract
+
+// Canonical content hashing for contract specs. The billing service
+// caches compiled engines keyed by what a spec *means*, not by the
+// bytes a client happened to send: two requests whose JSON differs only
+// in whitespace, key order or the presence of zero-valued optional
+// fields must land on the same cache entry. HashSpec therefore hashes
+// the canonical EncodeSpec serialization of the parsed spec — Go struct
+// field order is fixed and omitempty strips zero values, so the
+// encoding is a canonical form.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// HashSpec returns the canonical content hash of a spec: the hex
+// SHA-256 of its EncodeSpec serialization. Specs that re-encode to the
+// same canonical JSON hash identically regardless of the formatting,
+// key order or redundant zero fields of the JSON they were parsed from.
+func HashSpec(s *Spec) (string, error) {
+	data, err := EncodeSpec(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,561 @@
+package serve
+
+// Request/response shapes and handlers. The bill endpoint accepts the
+// contract as a contract.Spec, the load inline (CSV or JSON samples) or
+// as a named synthetic profile, and optional billing input (historical
+// peak, declared emergencies). Single-period responses are exactly
+// contract.Bill.JSON() — byte for byte what the in-process API
+// produces — so CLI pipelines and the service are interchangeable.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/contract"
+	"repro/internal/hpc"
+	"repro/internal/survey"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// maxBodyBytes bounds request bodies (inline CSV year at one-minute
+// resolution fits comfortably).
+const maxBodyBytes = 16 << 20
+
+// defaultFlatFeedRate mirrors cmd/scbill: dynamic tariffs evaluated
+// without market data get a flat reference feed at this price.
+const defaultFlatFeedRate = 0.045
+
+// LoadSpec selects the load profile for a request: exactly one of the
+// fields must be set.
+type LoadSpec struct {
+	// CSV is an inline "timestamp,kw" profile (header optional).
+	CSV string `json:"csv,omitempty"`
+	// Series is an inline JSON profile.
+	Series *SeriesSpec `json:"series,omitempty"`
+	// Profile names a built-in synthetic profile (see NamedProfiles).
+	Profile string `json:"profile,omitempty"`
+	// Synthetic generates a profile from explicit parameters.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+}
+
+// SeriesSpec is an inline load profile: a start instant, a fixed
+// metering interval, and the kW samples.
+type SeriesSpec struct {
+	Start           time.Time `json:"start"`
+	IntervalSeconds int       `json:"interval_seconds"`
+	KW              []float64 `json:"kw"`
+}
+
+// SyntheticSpec parameterizes the synthetic facility-load generator,
+// mirroring cmd/scbill's flags.
+type SyntheticSpec struct {
+	Start           time.Time `json:"start,omitempty"`
+	Days            int       `json:"days,omitempty"`
+	IntervalMinutes int       `json:"interval_minutes,omitempty"`
+	BaseMW          float64   `json:"base_mw,omitempty"`
+	PeakRatio       float64   `json:"peak_ratio,omitempty"`
+	NoiseSigma      float64   `json:"noise_sigma,omitempty"`
+	Seed            int64     `json:"seed,omitempty"`
+}
+
+// EventSpec is one declared grid emergency.
+type EventSpec struct {
+	Start           time.Time `json:"start"`
+	DurationMinutes int       `json:"duration_minutes"`
+}
+
+// InputSpec is the optional billing input.
+type InputSpec struct {
+	HistoricalPeakKW float64     `json:"historical_peak_kw,omitempty"`
+	Events           []EventSpec `json:"events,omitempty"`
+}
+
+// FeedSpec configures the price feed behind dynamic tariffs. Only flat
+// reference feeds are supported over the wire; omitted means the
+// default reference rate.
+type FeedSpec struct {
+	FlatRatePerKWh float64 `json:"flat_rate_per_kwh"`
+}
+
+// BillRequest is the POST /v1/bill body.
+type BillRequest struct {
+	Contract json.RawMessage `json:"contract"`
+	Load     LoadSpec        `json:"load"`
+	Input    *InputSpec      `json:"input,omitempty"`
+	Feed     *FeedSpec       `json:"feed,omitempty"`
+}
+
+// AdviseCandidate is one candidate contract structure.
+type AdviseCandidate struct {
+	Name     string          `json:"name,omitempty"`
+	Contract json.RawMessage `json:"contract"`
+}
+
+// AdviseRequest is the POST /v1/advise body.
+type AdviseRequest struct {
+	Current     string            `json:"current"`
+	Candidates  []AdviseCandidate `json:"candidates"`
+	Load        LoadSpec          `json:"load"`
+	Input       *InputSpec        `json:"input,omitempty"`
+	Feed        *FeedSpec         `json:"feed,omitempty"`
+	Materiality float64           `json:"materiality,omitempty"`
+}
+
+// NamedProfiles lists the built-in synthetic load profiles and their
+// generator parameters.
+func NamedProfiles() map[string]hpc.LoadProfileConfig {
+	march := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	january := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return map[string]hpc.LoadProfileConfig{
+		// The examples/quickstart month: steady 12 MW facility.
+		"quickstart-month": {
+			Start: march, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+			Base: 12 * units.Megawatt, PeakToAverage: 1.5, NoiseSigma: 0.02, Seed: 1,
+		},
+		// A peakier month — the kitchen-sink golden-test load.
+		"peaky-month": {
+			Start: march, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+			Base: 12 * units.Megawatt, PeakToAverage: 1.8, NoiseSigma: 0.03, Seed: 21,
+		},
+		// A full calendar year for monthly billing and ratchet studies.
+		"year-in-life": {
+			Start: january, Span: 365 * 24 * time.Hour, Interval: 15 * time.Minute,
+			Base: 12 * units.Megawatt, PeakToAverage: 1.6, NoiseSigma: 0.02, Seed: 7,
+		},
+	}
+}
+
+// resolveLoad materializes the request's load profile.
+func resolveLoad(ls LoadSpec) (*timeseries.PowerSeries, error) {
+	set := 0
+	for _, present := range []bool{ls.CSV != "", ls.Series != nil, ls.Profile != "", ls.Synthetic != nil} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("load: set exactly one of csv, series, profile, synthetic")
+	}
+	switch {
+	case ls.CSV != "":
+		return timeseries.ReadPowerCSV(strings.NewReader(ls.CSV))
+	case ls.Series != nil:
+		if ls.Series.IntervalSeconds <= 0 {
+			return nil, errors.New("load.series: interval_seconds must be positive")
+		}
+		samples := make([]units.Power, len(ls.Series.KW))
+		for i, v := range ls.Series.KW {
+			samples[i] = units.Power(v)
+		}
+		return timeseries.NewPower(ls.Series.Start,
+			time.Duration(ls.Series.IntervalSeconds)*time.Second, samples)
+	case ls.Profile != "":
+		cfg, ok := NamedProfiles()[ls.Profile]
+		if !ok {
+			names := make([]string, 0, len(NamedProfiles()))
+			for n := range NamedProfiles() {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("load.profile: unknown profile %q (have: %s)",
+				ls.Profile, strings.Join(names, ", "))
+		}
+		return hpc.SyntheticFacilityLoad(cfg)
+	default:
+		return resolveSynthetic(*ls.Synthetic)
+	}
+}
+
+func resolveSynthetic(sp SyntheticSpec) (*timeseries.PowerSeries, error) {
+	cfg := hpc.LoadProfileConfig{
+		Start:         sp.Start,
+		Span:          time.Duration(sp.Days) * 24 * time.Hour,
+		Interval:      time.Duration(sp.IntervalMinutes) * time.Minute,
+		Base:          units.Power(sp.BaseMW) * units.Megawatt,
+		PeakToAverage: sp.PeakRatio,
+		NoiseSigma:    sp.NoiseSigma,
+		Seed:          sp.Seed,
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if sp.Days == 0 {
+		cfg.Span = 30 * 24 * time.Hour
+	}
+	if sp.IntervalMinutes == 0 {
+		cfg.Interval = 15 * time.Minute
+	}
+	if sp.BaseMW == 0 {
+		cfg.Base = 12 * units.Megawatt
+	}
+	if sp.PeakRatio == 0 {
+		cfg.PeakToAverage = 1.5
+	}
+	if sp.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return hpc.SyntheticFacilityLoad(cfg)
+}
+
+func resolveInput(in *InputSpec) contract.BillingInput {
+	if in == nil {
+		return contract.BillingInput{}
+	}
+	out := contract.BillingInput{HistoricalPeak: units.Power(in.HistoricalPeakKW)}
+	for _, ev := range in.Events {
+		out.Events = append(out.Events, contract.EmergencyEvent{
+			Start:    ev.Start,
+			Duration: time.Duration(ev.DurationMinutes) * time.Minute,
+		})
+	}
+	return out
+}
+
+// specNeedsFeed reports whether any tariff in the spec prices against a
+// market feed — only then does the feed participate in the cache key.
+func specNeedsFeed(spec *contract.Spec) bool {
+	for _, t := range spec.Tariffs {
+		if t.Type == "dynamic" {
+			return true
+		}
+	}
+	return false
+}
+
+// engineFor parses the raw contract spec, resolves the feed, and
+// returns the compiled engine — from the LRU when the same spec (and,
+// for dynamic tariffs, the same feed) was compiled before.
+func (s *Server) engineFor(raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("contract: missing contract spec")
+	}
+	spec, err := contract.ParseSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	key, err := contract.HashSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	rate := defaultFlatFeedRate
+	if feedSpec != nil && feedSpec.FlatRatePerKWh > 0 {
+		rate = feedSpec.FlatRatePerKWh
+	}
+	var feed *timeseries.PriceSeries
+	if specNeedsFeed(spec) {
+		// Flat reference feed over the load span, as cmd/scbill does.
+		n := int(load.End().Sub(load.Start())/time.Hour) + 1
+		feed = timeseries.ConstantPrice(load.Start(), time.Hour, n, units.EnergyPrice(rate))
+		key = fmt.Sprintf("%s|flat:%g:%s:%d", key, rate,
+			load.Start().UTC().Format(time.RFC3339), n)
+	}
+
+	return s.cache.get(key, func() (*contract.Engine, error) {
+		c, err := spec.Build(contract.BuildContext{Feed: feed})
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEngine(c)
+	})
+}
+
+func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
+	var req BillRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	load, err := resolveLoad(req.Load)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng, err := s.engineFor(req.Contract, req.Feed, load)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	in := resolveInput(req.Input)
+
+	if hook := s.billHook; hook != nil {
+		hook(r.Context())
+	}
+
+	if r.URL.Query().Get("monthly") == "1" {
+		bills, err := eng.BillMonthsCtx(r.Context(), load, in, s.cfg.MonthWorkers)
+		if err != nil {
+			writeEvalError(w, err)
+			return
+		}
+		months := make([]json.RawMessage, len(bills))
+		for i, b := range bills {
+			data, err := b.JSON()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			months[i] = data
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Contract   string            `json:"contract"`
+			Months     []json.RawMessage `json:"months"`
+			GrandTotal float64           `json:"grand_total"`
+		}{eng.Contract().Name, months, contract.TotalOf(bills).Float()})
+		return
+	}
+
+	bill, err := eng.BillCtx(r.Context(), load, in)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	data, err := bill.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Candidates) == 0 {
+		writeError(w, http.StatusBadRequest, "advise: no candidates")
+		return
+	}
+	load, err := resolveLoad(req.Load)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	candidates := make([]advisor.EngineCandidate, 0, len(req.Candidates))
+	for i, c := range req.Candidates {
+		eng, err := s.engineFor(c.Contract, req.Feed, load)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("advise: candidate %d: %v", i, err))
+			return
+		}
+		name := c.Name
+		if name == "" {
+			name = eng.Contract().Name
+		}
+		candidates = append(candidates, advisor.EngineCandidate{Name: name, Engine: eng})
+	}
+	advice, ranked, err := advisor.AdviseEngines(r.Context(), req.Current, candidates,
+		load, resolveInput(req.Input), units.MoneyFromFloat(req.Materiality))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeEvalError(w, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	type rankedJSON struct {
+		Name        string  `json:"name"`
+		Annual      float64 `json:"annual"`
+		DeltaVsBest float64 `json:"delta_vs_best"`
+	}
+	out := struct {
+		Ranking           []rankedJSON `json:"ranking"`
+		Current           string       `json:"current"`
+		Best              string       `json:"best"`
+		AnnualSaving      float64      `json:"annual_saving"`
+		ShouldRenegotiate bool         `json:"should_renegotiate"`
+		Advice            string       `json:"advice"`
+	}{
+		Current:           advice.Current.Candidate.Name,
+		Best:              advice.Best.Candidate.Name,
+		AnnualSaving:      advice.AnnualSaving.Float(),
+		ShouldRenegotiate: advice.ShouldRenegotiate,
+		Advice:            advice.String(),
+	}
+	for _, sc := range ranked {
+		out.Ranking = append(out.Ranking, rankedJSON{
+			Name: sc.Candidate.Name, Annual: sc.Annual.Float(), DeltaVsBest: sc.DeltaVsBest.Float(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSurveyRoster(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Name    string `json:"name"`
+		Country string `json:"country"`
+		Region  string `json:"region"`
+	}
+	var out []entry
+	for _, e := range survey.Roster() {
+		out = append(out, entry{e.Name, e.Country, e.Region.String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSurveyRecords(w http.ResponseWriter, _ *http.Request) {
+	type record struct {
+		ID                 int      `json:"id"`
+		Components         []string `json:"components"`
+		RNP                string   `json:"rnp"`
+		CommunicatesSwings bool     `json:"communicates_swings"`
+		SwingsByContract   bool     `json:"swings_by_contract"`
+	}
+	var out []record
+	for _, site := range survey.Records() {
+		rec := record{
+			ID:                 site.ID,
+			RNP:                site.RNP.String(),
+			CommunicatesSwings: site.CommunicatesSwings,
+			SwingsByContract:   site.SwingsByContract,
+		}
+		for _, comp := range site.Profile.Components() {
+			rec.Components = append(rec.Components, comp.String())
+		}
+		out = append(out, rec)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSurveyTypology(w http.ResponseWriter, _ *http.Request) {
+	matrix, err := survey.MatrixCounts()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	discrepancies, err := survey.Discrepancies()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	type discJSON struct {
+		Component string `json:"component"`
+		Text      int    `json:"text"`
+		Matrix    int    `json:"matrix"`
+	}
+	out := struct {
+		Figure1       *typologyJSON  `json:"figure1"`
+		MatrixCounts  map[string]int `json:"matrix_counts"`
+		TextClaims    map[string]int `json:"text_claims"`
+		RNP           map[string]int `json:"rnp"`
+		Sites         int            `json:"sites"`
+		Discrepancies []discJSON     `json:"discrepancies"`
+	}{
+		Figure1:      typologyTree(contract.Typology()),
+		MatrixCounts: componentCounts(matrix.Component),
+		TextClaims:   componentCounts(survey.TextClaims().Component),
+		RNP:          rnpCounts(matrix.RNP),
+		Sites:        matrix.Sites,
+	}
+	for _, d := range discrepancies {
+		out.Discrepancies = append(out.Discrepancies, discJSON{
+			Component: d.Component.String(), Text: d.Text, Matrix: d.Matrix,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type typologyJSON struct {
+	Title      string          `json:"title"`
+	Detail     string          `json:"detail,omitempty"`
+	Component  string          `json:"component,omitempty"`
+	Encourages string          `json:"encourages,omitempty"`
+	Children   []*typologyJSON `json:"children,omitempty"`
+}
+
+func typologyTree(n *contract.TypologyNode) *typologyJSON {
+	out := &typologyJSON{
+		Title:      n.Title,
+		Detail:     n.Detail,
+		Encourages: n.Encourages,
+	}
+	if n.Component >= 0 {
+		out.Component = n.Component.String()
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, typologyTree(c))
+	}
+	return out
+}
+
+func componentCounts(m map[contract.Component]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for c, n := range m {
+		out[c.String()] = n
+	}
+	return out
+}
+
+func rnpCounts(m map[survey.RNP]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for r, n := range m {
+		out[r.String()] = n
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Inflight      int     `json:"inflight"`
+	}{status, time.Since(s.started).Seconds(), s.Inflight()})
+}
+
+// decodeBody parses the JSON request body into dst, writing a 400 and
+// returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeEvalError maps an evaluation error onto a status: deadline and
+// cancellation become 504 (the request ran out of time mid-evaluation),
+// anything else is a client-side contract/load problem.
+func writeEvalError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "evaluation exceeded the request deadline")
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

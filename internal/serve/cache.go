@@ -1,0 +1,98 @@
+package serve
+
+// LRU cache of compiled billing engines. Compiling a contract spec into
+// a contract.Engine validates every component and builds the producer
+// set; billing with a compiled engine is then a single streaming pass.
+// The service compiles each distinct spec once and reuses the engine
+// across requests — the cache key is the canonical content hash of the
+// spec (contract.HashSpec) so formatting differences between clients
+// cannot cause duplicate compiles, concatenated with a descriptor of
+// the price feed for specs that contain dynamic tariffs (the same spec
+// built against a different feed is a different executable engine;
+// specs without dynamic tariffs ignore the feed and share one entry).
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/contract"
+)
+
+type cacheEntry struct {
+	key    string
+	engine *contract.Engine
+}
+
+// engineCache is a mutex-guarded LRU. Compilation happens under the
+// lock: engines compile in microseconds-to-milliseconds and holding the
+// lock guarantees a given key is compiled exactly once even under
+// concurrent identical requests.
+type engineCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List               // front = most recent
+	entries   map[string]*list.Element // key -> *cacheEntry element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	compiles  uint64
+}
+
+func newEngineCache(capacity int) *engineCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &engineCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the engine for key, compiling it with build on a miss.
+// build runs at most once per key while the key stays resident.
+func (c *engineCache) get(key string, build func() (*contract.Engine, error)) (*contract.Engine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).engine, nil
+	}
+	c.misses++
+	c.compiles++
+	eng, err := build()
+	if err != nil {
+		// Failed compiles are not cached: the error goes back to the
+		// client and the (cheap) validation re-runs on retry.
+		return nil, err
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, engine: eng})
+	c.entries[key] = el
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return eng, nil
+}
+
+// cacheStats is a consistent snapshot of the cache counters.
+type cacheStats struct {
+	size, capacity                    int
+	hits, misses, evictions, compiles uint64
+}
+
+func (c *engineCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		size:      c.order.Len(),
+		capacity:  c.capacity,
+		hits:      c.hits,
+		misses:    c.misses,
+		evictions: c.evictions,
+		compiles:  c.compiles,
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+// Bounded-concurrency admission with a finite queue. The limiter holds
+// two token buckets: slots (requests actually evaluating, capacity
+// MaxConcurrent) and queue (requests admitted into the building —
+// evaluating or waiting — capacity MaxConcurrent + QueueDepth). A
+// request first claims a queue token without blocking; if none is free
+// the server is saturated and the caller sheds the request with 429.
+// With a queue token held it blocks for an evaluation slot until its
+// deadline expires. This is the classic bounded-queue front end: the
+// wait is bounded, memory per queued request is one goroutine, and
+// overload degrades into fast, explicit rejections instead of latency
+// collapse.
+
+import (
+	"context"
+	"errors"
+)
+
+// errSaturated reports that both the evaluation slots and the wait
+// queue are full.
+var errSaturated = errors.New("serve: request queue is full")
+
+type limiter struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newLimiter(maxConcurrent, queueDepth int) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+	}
+}
+
+// acquire claims an evaluation slot, waiting in the bounded queue if
+// necessary. It returns errSaturated when the queue itself is full, or
+// ctx.Err() when the deadline expires while waiting.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-l.queue
+		return ctx.Err()
+	}
+}
+
+// release returns the slot and queue tokens.
+func (l *limiter) release() {
+	<-l.slots
+	<-l.queue
+}
+
+// active returns the number of requests currently holding an
+// evaluation slot.
+func (l *limiter) active() int { return len(l.slots) }
+
+// waiting returns the number of requests queued for a slot.
+func (l *limiter) waiting() int {
+	w := len(l.queue) - len(l.slots)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}

@@ -1,0 +1,155 @@
+package serve
+
+// Hand-rolled metrics in Prometheus text exposition format — request
+// counts by path and status, a request-latency histogram, engine-cache
+// counters, the in-flight/queued gauges and shed count. No client
+// library: the format is lines of `name{labels} value`, which fifty
+// lines of code produce exactly.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The hot
+// path is a ~3.4 ms year-bill, so the buckets resolve sub-millisecond
+// cache hits through multi-second monthly sweeps.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // "path|code" -> count
+	buckets  []uint64          // len(latencyBuckets)+1, last is +Inf
+	sum      float64
+	count    uint64
+
+	shed atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+func (m *metrics) observe(path string, code int, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", path, code)]++
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	m.buckets[i]++
+	m.sum += secs
+	m.count++
+	m.mu.Unlock()
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation under the given path label.
+func (s *Server) instrument(path string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		s.metrics.observe(path, rec.code, time.Since(start))
+	})
+}
+
+// render writes the exposition. Gauges are sampled at scrape time.
+func (m *metrics) render(w *strings.Builder, s *Server) {
+	m.mu.Lock()
+	requests := make(map[string]uint64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	buckets := append([]uint64(nil), m.buckets...)
+	sum, count := m.sum, m.count
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP scserved_requests_total Requests served, by path and status code.\n")
+	fmt.Fprintf(w, "# TYPE scserved_requests_total counter\n")
+	keys := make([]string, 0, len(requests))
+	for k := range requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		path, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "scserved_requests_total{path=%q,code=%q} %d\n", path, code, requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP scserved_request_seconds Request latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE scserved_request_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "scserved_request_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "scserved_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "scserved_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "scserved_request_seconds_count %d\n", count)
+
+	cs := s.cache.stats()
+	fmt.Fprintf(w, "# HELP scserved_engine_cache_hits_total Engine cache hits.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_cache_hits_total counter\n")
+	fmt.Fprintf(w, "scserved_engine_cache_hits_total %d\n", cs.hits)
+	fmt.Fprintf(w, "# HELP scserved_engine_cache_misses_total Engine cache misses.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_cache_misses_total counter\n")
+	fmt.Fprintf(w, "scserved_engine_cache_misses_total %d\n", cs.misses)
+	fmt.Fprintf(w, "# HELP scserved_engine_compiles_total Contract engines compiled.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_compiles_total counter\n")
+	fmt.Fprintf(w, "scserved_engine_compiles_total %d\n", cs.compiles)
+	fmt.Fprintf(w, "# HELP scserved_engine_cache_evictions_total Engines evicted from the LRU.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "scserved_engine_cache_evictions_total %d\n", cs.evictions)
+	fmt.Fprintf(w, "# HELP scserved_engine_cache_size Engines currently cached.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_cache_size gauge\n")
+	fmt.Fprintf(w, "scserved_engine_cache_size %d\n", cs.size)
+
+	fmt.Fprintf(w, "# HELP scserved_in_flight Gated requests holding an evaluation slot.\n")
+	fmt.Fprintf(w, "# TYPE scserved_in_flight gauge\n")
+	fmt.Fprintf(w, "scserved_in_flight %d\n", s.limiter.active())
+	fmt.Fprintf(w, "# HELP scserved_queued Gated requests waiting for a slot.\n")
+	fmt.Fprintf(w, "# TYPE scserved_queued gauge\n")
+	fmt.Fprintf(w, "scserved_queued %d\n", s.limiter.waiting())
+	fmt.Fprintf(w, "# HELP scserved_shed_total Requests shed with 429 because the queue was full.\n")
+	fmt.Fprintf(w, "# TYPE scserved_shed_total counter\n")
+	fmt.Fprintf(w, "scserved_shed_total %d\n", m.shed.Load())
+
+	fmt.Fprintf(w, "# HELP scserved_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE scserved_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "scserved_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do
+// (no trailing zeros).
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, s)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,235 @@
+// Package serve is the billing-as-a-service layer: a long-lived HTTP
+// daemon exposing the reproduction — bill computation, the survey
+// dataset, and the renegotiation advisor — over JSON. The related work
+// the paper cites (workload modulation under real-world pricing, demand
+// charge reduction via partial execution) assumes an always-available
+// pricing oracle operators can query against real tariff structures;
+// this package is that oracle over the paper's contract typology.
+//
+// The service amortizes the hot path the CLI tools pay per invocation:
+// compiled contract engines (contract.Engine, ~3.4 ms per year-bill
+// after a one-time compile) are cached in an LRU keyed by the canonical
+// content hash of the contract spec, so a spec is compiled once and
+// billed many times. Expensive endpoints run behind a bounded-
+// concurrency admission gate with a finite queue — when the queue is
+// full the server sheds load with 429 + Retry-After instead of
+// collapsing — and every admitted request carries a deadline that is
+// threaded as a context into the billing engine's evaluation loop.
+// Shutdown is graceful: new requests are refused while in-flight bills
+// drain.
+//
+// Endpoints:
+//
+//	POST /v1/bill?monthly=1   contract spec + load profile -> bill JSON
+//	POST /v1/advise           candidate sweep -> renegotiation advice
+//	GET  /v1/survey/roster    Table 1
+//	GET  /v1/survey/records   Table 2 (+ RNP column)
+//	GET  /v1/survey/typology  Figure 1 tree + aggregate counts
+//	GET  /healthz             liveness and drain state
+//	GET  /metrics             Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes the service layer. The zero value is usable: every field
+// has a production-lean default applied by NewServer.
+type Config struct {
+	// MaxConcurrent caps bill/advise evaluations running at once;
+	// <= 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth is how many admitted requests may wait for an
+	// evaluation slot beyond MaxConcurrent before the server sheds
+	// load with 429; < 0 means no queue (shed immediately when all
+	// slots are busy). 0 selects the default of 64.
+	QueueDepth int
+	// RequestTimeout bounds one request end to end, queue wait
+	// included; the deadline is threaded into engine evaluation.
+	// 0 selects 30 s.
+	RequestTimeout time.Duration
+	// EngineCacheSize caps the compiled-engine LRU; 0 selects 128.
+	EngineCacheSize int
+	// MonthWorkers is the per-request worker-pool size for monthly
+	// billing; 0 lets the engine pick (GOMAXPROCS). Shared servers
+	// may want 1–2 so one monthly request does not monopolize cores.
+	MonthWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.EngineCacheSize == 0 {
+		c.EngineCacheSize = 128
+	}
+	return c
+}
+
+// Server is the billing service. Create with NewServer, mount via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *engineCache
+	limiter *limiter
+	metrics *metrics
+	mux     *http.ServeMux
+	started time.Time
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	drained  chan struct{}
+
+	// billHook, when set (tests), runs inside an admitted /v1/bill
+	// request with the request context, after a slot is held and the
+	// request counts as in-flight but before evaluation.
+	billHook func(ctx context.Context)
+}
+
+// NewServer builds a server with the given configuration.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newEngineCache(cfg.EngineCacheSize),
+		limiter: newLimiter(cfg.MaxConcurrent, cfg.QueueDepth),
+		metrics: newMetrics(),
+		started: time.Now(),
+		drained: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/bill", s.instrument("/v1/bill", s.gated(s.handleBill)))
+	s.mux.Handle("POST /v1/advise", s.instrument("/v1/advise", s.gated(s.handleAdvise)))
+	s.mux.Handle("GET /v1/survey/roster", s.instrument("/v1/survey/roster", http.HandlerFunc(s.handleSurveyRoster)))
+	s.mux.Handle("GET /v1/survey/records", s.instrument("/v1/survey/records", http.HandlerFunc(s.handleSurveyRecords)))
+	s.mux.Handle("GET /v1/survey/typology", s.instrument("/v1/survey/typology", http.HandlerFunc(s.handleSurveyTypology)))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	return s
+}
+
+// Handler returns the root handler to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Inflight returns the number of requests currently being served by
+// gated endpoints.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Shutdown begins draining: gated endpoints refuse new work with 503
+// while requests already admitted run to completion. It returns when
+// every in-flight request has finished or ctx expires, whichever is
+// first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.closeDrainedLocked()
+	}
+	ch := s.drained
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) closeDrainedLocked() {
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// beginRequest admits one gated request unless the server is draining.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.draining {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+}
+
+// gated wraps an expensive handler with the service's admission
+// control: drain refusal, the per-request deadline, and the bounded
+// concurrency queue with load shedding.
+func (s *Server) gated(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.beginRequest() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		defer s.endRequest()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if err := s.limiter.acquire(ctx); err != nil {
+			if err == errSaturated {
+				s.metrics.shed.Add(1)
+				w.Header().Set("Retry-After", retryAfter(s.cfg.RequestTimeout))
+				writeError(w, http.StatusTooManyRequests, "request queue is full, retry later")
+				return
+			}
+			// Deadline expired while queued.
+			writeError(w, http.StatusGatewayTimeout, "timed out waiting for an evaluation slot")
+			return
+		}
+		defer s.limiter.release()
+		h(w, r)
+	})
+}
+
+// retryAfter suggests when a shed client should come back: one request
+// timeout is a conservative upper bound on queue turnover, floored at
+// one second.
+func retryAfter(timeout time.Duration) string {
+	secs := int(timeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,109 @@
+package survey
+
+// Property test for spec serialization over the empirical dataset: for
+// every one of the ten survey-site contracts, ParseSpec(EncodeSpec(s))
+// must reproduce the spec (re-encoding is byte-identical) and the
+// round-tripped spec must Build a contract that classifies and bills
+// identically to the original. This is the property the billing service
+// relies on: a spec that travelled through JSON is the same contract.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/hpc"
+	"repro/internal/units"
+)
+
+func TestSiteSpecRoundTripsAndBuildsIdentically(t *testing.T) {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	ctx := DefaultBuildContext(start)
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: start, Span: 30 * 24 * time.Hour, Interval: 15 * time.Minute,
+		Base: 8 * units.Megawatt, PeakToAverage: 1.6, NoiseSigma: 0.02, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := contract.BillingInput{
+		HistoricalPeak: 15 * units.Megawatt,
+		Events: []contract.EmergencyEvent{
+			{Start: start.Add(36 * time.Hour), Duration: 2 * time.Hour},
+		},
+	}
+
+	for _, site := range Records() {
+		t.Run(fmt.Sprintf("site-%d", site.ID), func(t *testing.T) {
+			spec := SiteSpec(site)
+
+			first, err := contract.EncodeSpec(&spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := contract.ParseSpec(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := contract.EncodeSpec(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("re-encoding differs:\n%s\nvs\n%s", first, second)
+			}
+
+			// The canonical hash — the service's cache key — survives
+			// the trip too.
+			h1, err := contract.HashSpec(&spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := contract.HashSpec(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				t.Errorf("hash changed across round trip: %s != %s", h1, h2)
+			}
+
+			// Both specs build contracts that classify the same and
+			// bill the same, line for line.
+			orig, err := spec.Build(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := parsed.Build(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := contract.Classify(back), contract.Classify(orig); got != want {
+				t.Fatalf("classification changed: %v != %v", got, want)
+			}
+			if got, want := contract.Classify(back), site.Profile; got != want {
+				t.Fatalf("classification %v does not match Table 2 row %v", got, want)
+			}
+			wantBill, err := contract.ComputeBill(orig, load, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBill, err := contract.ComputeBill(back, load, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := wantBill.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := gotBill.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("bills differ after round trip:\n%s\nvs\n%s", gotJSON, wantJSON)
+			}
+		})
+	}
+}

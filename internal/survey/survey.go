@@ -154,6 +154,14 @@ func DefaultBuildContext(start time.Time) contract.BuildContext {
 // price levels were explicitly out of scope) but the component structure
 // matches the site's Table 2 row exactly.
 func BuildContract(site SiteRecord, ctx contract.BuildContext) (*contract.Contract, error) {
+	spec := SiteSpec(site)
+	return spec.Build(ctx)
+}
+
+// SiteSpec returns the serializable contract spec behind BuildContract,
+// so the ten survey contracts can be shipped over the wire (the billing
+// service), stored on disk, and round-trip tested.
+func SiteSpec(site SiteRecord) contract.Spec {
 	spec := contract.Spec{Name: fmt.Sprintf("Site %d", site.ID)}
 	if site.Profile.FixedTariff {
 		spec.Tariffs = append(spec.Tariffs, contract.TariffSpec{Type: "fixed", Rate: 0.085})
@@ -183,7 +191,7 @@ func BuildContract(site SiteRecord, ctx contract.BuildContext) (*contract.Contra
 			Name: "grid-emergency", CapKW: 6000, NoticeMinutes: 30, Penalty: 1.50,
 		})
 	}
-	return spec.Build(ctx)
+	return spec
 }
 
 // Counts aggregates the Table 2 matrix.

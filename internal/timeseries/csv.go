@@ -35,27 +35,51 @@ func WritePowerCSV(w io.Writer, s *PowerSeries) error {
 	return cw.Error()
 }
 
-// ReadPowerCSV parses a "timestamp,kw" CSV (with header) into a series.
-// Rows must be equally spaced and in order.
+// csvRow is one data row plus the file line it came from, so errors can
+// point at the exact spot in the export.
+type csvRow struct {
+	line int
+	ts   string
+	kw   string
+}
+
+// ReadPowerCSV parses a "timestamp,kw" CSV into a series. A header row
+// is optional: if the first row's timestamp column does not parse as
+// RFC 3339 it is taken as a header and skipped. Rows must be equally
+// spaced and in order; errors name the offending line and field.
 func ReadPowerCSV(r io.Reader) (*PowerSeries, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 2
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("timeseries: bad CSV: %w", err)
-	}
-	if len(rows) < 3 { // header + at least two samples to fix the interval
-		return nil, fmt.Errorf("timeseries: CSV needs a header and at least two rows")
-	}
-	rows = rows[1:] // drop header
-	parse := func(row []string) (time.Time, units.Power, error) {
-		ts, err := time.Parse(time.RFC3339, row[0])
-		if err != nil {
-			return time.Time{}, 0, fmt.Errorf("timeseries: bad timestamp %q: %w", row[0], err)
+	var rows []csvRow
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
 		}
-		v, err := strconv.ParseFloat(row[1], 64)
 		if err != nil {
-			return time.Time{}, 0, fmt.Errorf("timeseries: bad value %q: %w", row[1], err)
+			// csv.ParseError already carries the line number.
+			return nil, fmt.Errorf("timeseries: bad CSV: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		rows = append(rows, csvRow{line: line, ts: rec[0], kw: rec[1]})
+	}
+	if len(rows) > 0 {
+		if _, err := time.Parse(time.RFC3339, rows[0].ts); err != nil {
+			rows = rows[1:] // header row
+		}
+	}
+	if len(rows) < 2 { // at least two samples to fix the interval
+		return nil, fmt.Errorf("timeseries: CSV needs at least two data rows to fix the sample interval")
+	}
+	parse := func(row csvRow) (time.Time, units.Power, error) {
+		ts, err := time.Parse(time.RFC3339, row.ts)
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("timeseries: line %d: timestamp field %q is not RFC 3339 (e.g. 2016-03-01T00:00:00Z)",
+				row.line, row.ts)
+		}
+		v, err := strconv.ParseFloat(row.kw, 64)
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("timeseries: line %d: kw field %q is not a number", row.line, row.kw)
 		}
 		return ts, units.Power(v), nil
 	}
@@ -69,7 +93,8 @@ func ReadPowerCSV(r io.Reader) (*PowerSeries, error) {
 	}
 	interval := second.Sub(start)
 	if interval <= 0 {
-		return nil, fmt.Errorf("timeseries: rows out of order")
+		return nil, fmt.Errorf("timeseries: line %d: timestamp %s is not after line %d's %s (rows must be in order)",
+			rows[1].line, second.Format(time.RFC3339), rows[0].line, start.Format(time.RFC3339))
 	}
 	samples := make([]units.Power, 0, len(rows))
 	samples = append(samples, first)
@@ -80,8 +105,8 @@ func ReadPowerCSV(r io.Reader) (*PowerSeries, error) {
 		}
 		want := start.Add(time.Duration(i) * interval)
 		if !ts.Equal(want) {
-			return nil, fmt.Errorf("timeseries: row %d at %s breaks the %s grid (want %s)",
-				i+1, ts.Format(time.RFC3339), interval, want.Format(time.RFC3339))
+			return nil, fmt.Errorf("timeseries: line %d: timestamp %s breaks the %s grid (want %s)",
+				rows[i].line, ts.Format(time.RFC3339), interval, want.Format(time.RFC3339))
 		}
 		samples = append(samples, v)
 	}

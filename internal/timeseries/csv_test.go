@@ -45,6 +45,70 @@ func TestReadPowerCSVErrors(t *testing.T) {
 	}
 }
 
+// TestReadPowerCSVHeaderOptional accepts meter exports without a header
+// row and reads the same series either way.
+func TestReadPowerCSVHeaderOptional(t *testing.T) {
+	body := "2016-01-01T00:00:00Z,1000\n2016-01-01T00:15:00Z,2000.5\n2016-01-01T00:30:00Z,0\n"
+	bare, err := ReadPowerCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("headerless CSV rejected: %v", err)
+	}
+	withHeader, err := ReadPowerCSV(strings.NewReader("timestamp,kw\n" + body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Len() != 3 || withHeader.Len() != 3 {
+		t.Fatalf("lengths %d / %d, want 3", bare.Len(), withHeader.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if bare.At(i) != withHeader.At(i) {
+			t.Errorf("sample %d: %v vs %v", i, bare.At(i), withHeader.At(i))
+		}
+	}
+}
+
+// TestReadPowerCSVErrorsNameLineAndField pins the friendliness contract:
+// parse errors point at the file line and say which field is broken.
+func TestReadPowerCSVErrorsNameLineAndField(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     []string
+	}{
+		{
+			"bad value with header",
+			"timestamp,kw\n2016-01-01T00:00:00Z,1\n2016-01-01T00:15:00Z,twelve\n2016-01-01T00:30:00Z,3\n",
+			[]string{"line 3", "kw field", `"twelve"`},
+		},
+		{
+			"bad timestamp mid-file",
+			"2016-01-01T00:00:00Z,1\n2016-01-01T00:15:00Z,2\n01/01/2016 00:30,3\n",
+			[]string{"line 3", "timestamp field", "RFC 3339"},
+		},
+		{
+			"off grid names line",
+			"timestamp,kw\n2016-01-01T00:00:00Z,1\n2016-01-01T00:15:00Z,2\n2016-01-01T00:31:00Z,3\n",
+			[]string{"line 4", "grid"},
+		},
+		{
+			"out of order names both lines",
+			"2016-01-01T01:00:00Z,1\n2016-01-01T00:00:00Z,2\n2016-01-01T02:00:00Z,3\n",
+			[]string{"line 2", "line 1", "in order"},
+		},
+	}
+	for _, tc := range cases {
+		_, err := ReadPowerCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, frag)
+			}
+		}
+	}
+}
+
 func TestReadPowerCSVBadSecondTimestamp(t *testing.T) {
 	in := "timestamp,kw\n2016-01-01T00:00:00Z,1\nbad,2\n2016-01-01T00:30:00Z,3\n"
 	if _, err := ReadPowerCSV(strings.NewReader(in)); err == nil {
