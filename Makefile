@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check serve bench bench-billing fuzz clean
+.PHONY: all build vet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz clean
 
 all: check
 
@@ -27,6 +27,17 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Static analysis beyond vet: staticcheck and govulncheck, each used
+# when installed and skipped with a notice otherwise, so lint runs
+# usefully both in CI (which installs them) and on bare checkouts.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+
 # Run the billing-as-a-service daemon on :8080 (see cmd/scserved -h).
 serve:
 	$(GO) run ./cmd/scserved -addr :8080
@@ -38,6 +49,11 @@ bench:
 # Just the billing-engine pair: legacy multi-pass vs single-pass engine.
 bench-billing:
 	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem .
+
+# Benchmark sweep into bench.txt for archiving (CI uploads this as a
+# build artifact so perf history survives past the run log).
+bench-artifact:
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee bench.txt
 
 # Short fuzz pass over the timeseries parsers and transforms.
 fuzz:

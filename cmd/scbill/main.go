@@ -10,9 +10,16 @@
 //	scbill -contract site.json -load meter.csv
 //	scbill -contract site.json -base-mw 12 -peak-ratio 1.8 -days 30
 //	scbill -contract site.json -base-mw 12 -monthly   # bill per month
+//	scbill -contract site.json -base-mw 12 -trace     # + span timings
+//
+// With -trace the bill is computed through the engine's traced
+// evaluation path and a per-span timing table (count, total, mean for
+// billing.period, billing.tariff, billing.demand, ...) is printed to
+// stderr after the bill.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/timeseries"
 	"repro/internal/units"
@@ -36,15 +44,16 @@ func main() {
 	monthly := flag.Bool("monthly", false, "bill per calendar month instead of one period")
 	jsonOut := flag.Bool("json", false, "emit the bill as JSON instead of a rendered table")
 	workers := flag.Int("workers", 0, "worker pool size for -monthly (0 = all CPUs, 1 = sequential)")
+	trace := flag.Bool("trace", false, "print per-stage span timings (count/total/mean) to stderr")
 	flag.Parse()
 
-	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers); err != nil {
+	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "scbill:", err)
 		os.Exit(1)
 	}
 }
 
-func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int) error {
+func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int, trace bool) error {
 	if contractPath == "" {
 		return fmt.Errorf("-contract is required")
 	}
@@ -70,12 +79,21 @@ func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, see
 		return err
 	}
 
+	// -trace attaches a span registry to the evaluation context; the
+	// engine's traced path attributes time per component family.
+	ctx := context.Background()
+	var spans *obs.Registry
+	if trace {
+		spans = obs.NewRegistry()
+		ctx = obs.WithSpans(ctx, spans)
+	}
+
 	if monthly {
 		eng, err := contract.NewEngine(c)
 		if err != nil {
 			return err
 		}
-		bills, err := eng.BillMonthsWorkers(load, contract.BillingInput{}, workers)
+		bills, err := eng.BillMonthsCtx(ctx, load, contract.BillingInput{}, workers)
 		if err != nil {
 			return err
 		}
@@ -92,6 +110,29 @@ func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, see
 		if !jsonOut {
 			fmt.Printf("Grand total: %s\n", contract.TotalOf(bills))
 		}
+		printSpans(spans)
+		return nil
+	}
+
+	if trace {
+		// Traced single-period billing goes through the engine so the
+		// context (and its registry) reaches the evaluation loop.
+		eng, err := contract.NewEngine(c)
+		if err != nil {
+			return err
+		}
+		b, err := eng.BillCtx(ctx, load, contract.BillingInput{})
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			if err := printBillJSON(b); err != nil {
+				return err
+			}
+		} else {
+			printBill(b)
+		}
+		printSpans(spans)
 		return nil
 	}
 
@@ -138,6 +179,23 @@ func loadProfile(path string, baseMW, peakRatio float64, days int, seed int64) (
 		NoiseSigma:    0.02,
 		Seed:          seed,
 	})
+}
+
+// printSpans renders the -trace timing table to stderr: one line per
+// span with its observation count, total time, and mean.
+func printSpans(spans *obs.Registry) {
+	if spans == nil {
+		return
+	}
+	snaps := spans.Snapshot()
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "span                        count      total       mean")
+	for _, s := range snaps {
+		fmt.Fprintf(os.Stderr, "%-24s %8d %9.3fms %9.4fms\n",
+			s.Name, s.Count, s.Sum*1e3, s.Mean()*1e3)
+	}
 }
 
 func printBillJSON(b *contract.Bill) error {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,20 +19,20 @@ func writeSpec(t *testing.T) string {
 }
 
 func TestRunSyntheticLoad(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMonthly(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 0); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	// Forced-sequential and sized pools must work identically.
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 1); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 4); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 4, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -41,36 +43,79 @@ func TestRunCSVLoad(t *testing.T) {
 	if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false, 0); err != nil {
+	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 10, 1.5, 7, 1, false, false, 0); err == nil {
+	if err := run("", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("missing contract should fail")
 	}
-	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false, 0); err == nil {
+	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{nope"), 0o644)
-	if err := run(bad, "", 10, 1.5, 7, 1, false, false, 0); err == nil {
+	if err := run(bad, "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("bad JSON should fail")
 	}
-	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false, 0); err == nil {
+	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false, 0, false); err == nil {
 		t.Error("missing CSV should fail")
 	}
-	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false, 0); err == nil {
+	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("invalid synthetic parameters should fail")
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true, 0); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true, 0); err != nil {
+	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true, 0, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTrace: -trace must print the span table (with the engine's
+// per-family billing spans) to stderr in both billing modes.
+func TestRunTrace(t *testing.T) {
+	capture := func(f func() error) string {
+		t.Helper()
+		old := os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stderr = w
+		errc := make(chan error, 1)
+		go func() { errc <- f() }()
+		runErr := <-errc
+		w.Close()
+		os.Stderr = old
+		out, _ := io.ReadAll(r)
+		r.Close()
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return string(out)
+	}
+
+	single := capture(func() error {
+		return run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0, true)
+	})
+	for _, want := range []string{"billing.period", "billing.tariff", "billing.demand", "count", "mean"} {
+		if !strings.Contains(single, want) {
+			t.Errorf("single-period trace missing %q:\n%s", want, single)
+		}
+	}
+
+	monthly := capture(func() error {
+		return run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 2, true)
+	})
+	for _, want := range []string{"billing.months", "billing.period"} {
+		if !strings.Contains(monthly, want) {
+			t.Errorf("monthly trace missing %q:\n%s", want, monthly)
+		}
 	}
 }

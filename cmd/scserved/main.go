@@ -7,9 +7,14 @@
 //
 //	scserved -addr :8080
 //	scserved -addr :8080 -max-concurrent 8 -queue 128 -timeout 10s
+//	scserved -addr :8080 -debug-addr 127.0.0.1:6060 -slow-request 250ms
 //
 // The daemon sheds load with 429 + Retry-After when its request queue
 // fills, and drains in-flight bills on SIGINT/SIGTERM before exiting.
+// Every request is logged as one structured line (JSON or logfmt-style
+// text) carrying the request ID; requests slower than -slow-request log
+// at warning level. With -debug-addr set, a second listener serves
+// net/http/pprof — keep it on loopback or behind a firewall.
 package main
 
 import (
@@ -18,12 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -35,26 +43,78 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "compiled contract engines kept in the LRU")
 	monthWorkers := flag.Int("month-workers", 0, "worker pool per monthly request (0 = all CPUs)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight bills")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; use 127.0.0.1:6060)")
+	slowRequest := flag.Duration("slow-request", time.Second, "log requests at or above this latency at warning level (negative = never)")
+	logFormat := flag.String("log-format", "text", "request log format: text, json, or off")
 	flag.Parse()
 
-	if err := run(*addr, serve.Config{
+	logger, err := requestLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scserved:", err)
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *debugAddr, serve.Config{
 		MaxConcurrent:   *maxConcurrent,
 		QueueDepth:      *queueDepth,
 		RequestTimeout:  *timeout,
 		EngineCacheSize: *cacheSize,
 		MonthWorkers:    *monthWorkers,
+		Logger:          logger,
+		SlowRequest:     *slowRequest,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "scserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+// requestLogger builds the per-request slog.Logger from -log-format;
+// "off" returns nil, which disables request logging in the service.
+func requestLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "off", "none":
+		return nil, nil
+	case "text", "json":
+		return obs.NewLogger(os.Stderr, format, slog.LevelInfo), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text, json, or off)", format)
+	}
+}
+
+// debugMux is the pprof handler set, registered explicitly instead of
+// importing net/http/pprof for its DefaultServeMux side effect — the
+// profiler only exists when -debug-addr asks for it.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, debugAddr string, cfg serve.Config, drainTimeout time.Duration) error {
 	svc := serve.NewServer(cfg)
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("scserved pprof on http://%s/debug/pprof/", debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("scserved: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	errCh := make(chan error, 1)
@@ -86,6 +146,11 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("scserved: pprof shutdown: %v", err)
+		}
 	}
 	log.Printf("scserved: drained, bye")
 	return nil

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"strings"
 	"syscall"
 	"testing"
@@ -10,7 +14,7 @@ import (
 )
 
 func TestRunBadAddr(t *testing.T) {
-	err := run("256.256.256.256:99999", serve.Config{}, time.Second)
+	err := run("256.256.256.256:99999", "", serve.Config{}, time.Second)
 	if err == nil {
 		t.Fatal("expected listen error")
 	}
@@ -20,7 +24,7 @@ func TestRunBadAddr(t *testing.T) {
 // SIGTERM: run must drain and return nil.
 func TestRunDrainsOnSignal(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", serve.Config{}, time.Second) }()
+	go func() { done <- run("127.0.0.1:0", "", serve.Config{}, time.Second) }()
 
 	// Give the listener a moment, then ask the process to stop.
 	time.Sleep(50 * time.Millisecond)
@@ -34,5 +38,61 @@ func TestRunDrainsOnSignal(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("run did not return after SIGTERM")
+	}
+}
+
+// TestDebugListenerServesPprof: with -debug-addr set, the profiler index
+// answers on the second listener, isolated from the service mux.
+func TestDebugListenerServesPprof(t *testing.T) {
+	// Reserve a free port for the debug listener.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- run("127.0.0.1:0", debugAddr, serve.Config{}, time.Second) }()
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("run did not return after SIGTERM")
+		}
+	}()
+
+	url := fmt.Sprintf("http://%s/debug/pprof/", debugAddr)
+	var resp *http.Response
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err = http.Get(url)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("pprof index unreachable: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: %d %.100s", resp.StatusCode, body)
+	}
+}
+
+func TestRequestLogger(t *testing.T) {
+	if lg, err := requestLogger("off"); err != nil || lg != nil {
+		t.Errorf("off: %v %v", lg, err)
+	}
+	for _, f := range []string{"text", "json"} {
+		if lg, err := requestLogger(f); err != nil || lg == nil {
+			t.Errorf("%s: %v %v", f, lg, err)
+		}
+	}
+	if _, err := requestLogger("yaml"); err == nil {
+		t.Error("unknown format must error")
 	}
 }

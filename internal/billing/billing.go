@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/units"
 )
@@ -44,6 +45,28 @@ var ErrEmptyLoad = errors.New("billing: cannot evaluate an empty load profile")
 // compiles to a mask; at 15-minute metering a year is ~35k samples, so
 // a cancelled evaluation stops within a small fraction of a period.
 const cancelCheckStride = 2048
+
+// Span names recorded when the evaluating context carries an
+// obs.Registry (obs.WithSpans). Per-family observation cost is recorded
+// under SpanFamilyPrefix + the producer's family ("billing.tariff",
+// "billing.demand", ...).
+const (
+	// SpanPeriod covers one EvaluatePeriodCtx call end to end.
+	SpanPeriod = "billing.period"
+	// SpanMonths covers one EvaluateMonths call end to end.
+	SpanMonths = "billing.months"
+	// SpanPrescan covers the ratchet peak prescan before the parallel
+	// month phase.
+	SpanPrescan = "billing.prescan"
+	// SpanFamilyPrefix prefixes per-component-family observation spans.
+	SpanFamilyPrefix = "billing."
+)
+
+// traceBlock is how many samples the traced evaluation buffers between
+// per-family timing boundaries. Larger blocks amortize the clock reads
+// that attribute observation cost to component families; the block is
+// also the traced loop's cancellation-poll stride.
+const traceBlock = 512
 
 // Class identifies what kind of contract component produced a line
 // item. It mirrors the typology leaves plus the flat-fee class the
@@ -155,6 +178,24 @@ type LineItemProducer interface {
 	BeginPeriod(ctx *PeriodContext, interval time.Duration) Accumulator
 }
 
+// FamilyReporter is an optional LineItemProducer extension: producers
+// that implement it have their per-sample observation cost attributed
+// to the named component family ("tariff", "demand", "powerband",
+// "emergency", "fee") in span traces. Producers without it pool under
+// "other".
+type FamilyReporter interface {
+	// SpanFamily names the producer's component family for traces.
+	SpanFamily() string
+}
+
+// familyOf returns a producer's trace family.
+func familyOf(p LineItemProducer) string {
+	if f, ok := p.(FamilyReporter); ok {
+		return f.SpanFamily()
+	}
+	return "other"
+}
+
 // FlatFee is the engine-level flat per-period charge (service fees,
 // metering fees, taxes folded to a constant).
 type FlatFee struct {
@@ -186,7 +227,11 @@ func (a feeAcc) Lines() []LineItem {
 	}}
 }
 
+// SpanFamily attributes fee observation cost (trivial) to "fee".
+func (f FlatFee) SpanFamily() string { return "fee" }
+
 var _ LineItemProducer = FlatFee{}
+var _ FamilyReporter = FlatFee{}
 
 // Result is the outcome of evaluating one billing period.
 type Result struct {
@@ -209,6 +254,11 @@ type Result struct {
 // safe for concurrent use.
 type Evaluator struct {
 	producers []LineItemProducer
+	// famNames / famIdx group producers by trace family (first-seen
+	// order): famIdx[g] holds the producer indices of family famNames[g].
+	// Precomputed so the traced path pays no per-period classification.
+	famNames []string
+	famIdx   [][]int
 }
 
 // NewEvaluator validates every producer and returns the evaluator.
@@ -221,7 +271,20 @@ func NewEvaluator(producers ...LineItemProducer) (*Evaluator, error) {
 			return nil, fmt.Errorf("billing: producer %d (%T): %w", i, p, err)
 		}
 	}
-	return &Evaluator{producers: producers}, nil
+	e := &Evaluator{producers: producers}
+	seen := make(map[string]int)
+	for i, p := range producers {
+		f := familyOf(p)
+		g, ok := seen[f]
+		if !ok {
+			g = len(e.famNames)
+			seen[f] = g
+			e.famNames = append(e.famNames, f)
+			e.famIdx = append(e.famIdx, nil)
+		}
+		e.famIdx[g] = append(e.famIdx[g], i)
+	}
+	return e, nil
 }
 
 // Producers returns the number of compiled producers.
@@ -250,6 +313,9 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 	accs := make([]Accumulator, len(e.producers))
 	for i, p := range e.producers {
 		accs[i] = p.BeginPeriod(&pctx, interval)
+	}
+	if reg := obs.SpansFrom(ctx); reg != nil {
+		return e.evaluateTraced(ctx, reg, load, accs)
 	}
 
 	done := ctx.Done()
@@ -290,5 +356,85 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 			res.Total += l.Amount
 		}
 	}
+	return res, nil
+}
+
+// evaluateTraced is the span-recording twin of the streaming loop,
+// taken when the context carries an obs.Registry. It buffers samples in
+// blocks and feeds each component family's accumulators block-at-a-time
+// between clock reads, so attributing observation cost per family costs
+// one timestamp pair per family per block instead of per sample. Every
+// accumulator still sees every sample exactly once in chronological
+// order, so the arithmetic — and therefore the bill — is identical to
+// the untraced path.
+func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load *timeseries.PowerSeries, accs []Accumulator) (*Result, error) {
+	endPeriod := obs.Span(ctx, SpanPeriod)
+	groups := make([][]Accumulator, len(e.famIdx))
+	for g, idx := range e.famIdx {
+		groups[g] = make([]Accumulator, len(idx))
+		for j, i := range idx {
+			groups[g][j] = accs[i]
+		}
+	}
+
+	done := ctx.Done()
+	interval := load.Interval()
+	h := interval.Hours()
+	var kwh float64
+	peak := load.At(0)
+	peakIdx := 0
+	nanos := make([]time.Duration, len(groups))
+	buf := make([]Sample, 0, traceBlock)
+	n := load.Len()
+	for base := 0; base < n; base += traceBlock {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		end := base + traceBlock
+		if end > n {
+			end = n
+		}
+		buf = buf[:0]
+		for i := base; i < end; i++ {
+			p := load.At(i)
+			en := float64(p) * h
+			kwh += en
+			if p > peak {
+				peak, peakIdx = p, i
+			}
+			buf = append(buf, Sample{Index: i, Time: load.TimeAt(i), Power: p, Energy: units.Energy(en)})
+		}
+		for g, group := range groups {
+			t0 := time.Now()
+			for _, a := range group {
+				for _, s := range buf {
+					a.Observe(s)
+				}
+			}
+			nanos[g] += time.Since(t0)
+		}
+	}
+	for g, name := range e.famNames {
+		reg.Observe(SpanFamilyPrefix+name, nanos[g].Seconds())
+	}
+
+	res := &Result{
+		PeriodStart: load.Start(),
+		PeriodEnd:   load.End(),
+		Energy:      units.Energy(kwh),
+		Peak:        peak,
+		PeakTime:    load.TimeAt(peakIdx),
+	}
+	for _, a := range accs {
+		for _, l := range a.Lines() {
+			res.Lines = append(res.Lines, l)
+			res.Total += l.Amount
+		}
+	}
+	endPeriod()
 	return res, nil
 }

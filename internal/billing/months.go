@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/units"
 )
@@ -44,11 +45,17 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 	if load == nil || load.Len() == 0 {
 		return nil, ErrEmptyLoad
 	}
+	cctx := opts.Context
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	defer obs.Span(cctx, SpanMonths)()
 	months := load.SplitMonths()
 
 	// Phase 1: peak prescan. hist[i] is the historical peak entering
 	// month i: the max of the caller's historical peak and every
 	// earlier month's peak.
+	endPrescan := obs.Span(cctx, SpanPrescan)
 	hist := make([]units.Power, len(months))
 	run := ctx.HistoricalPeak
 	for i, m := range months {
@@ -57,6 +64,7 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 			run = p
 		}
 	}
+	endPrescan()
 
 	// Phase 2: evaluate months on the pool.
 	workers := opts.Workers
@@ -65,11 +73,6 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 	}
 	if workers > len(months) {
 		workers = len(months)
-	}
-
-	cctx := opts.Context
-	if cctx == nil {
-		cctx = context.Background()
 	}
 
 	results := make([]*Result, len(months))

@@ -1,0 +1,141 @@
+package calendar
+
+// Wall-clock boundary behavior under daylight saving time. Billing
+// periods are calendar months in the contract's local time zone, so a
+// month containing a DST transition is not 31×24 hours long — the
+// spring-forward month is an hour short, the fall-back month an hour
+// long. Europe/Zurich 2016: clocks jump 02:00→03:00 on March 27 and
+// fall back 03:00→02:00 on October 30.
+
+import (
+	"testing"
+	"time"
+)
+
+func zurich(t *testing.T) *time.Location {
+	t.Helper()
+	loc, err := time.LoadLocation("Europe/Zurich")
+	if err != nil {
+		t.Skipf("tzdata unavailable: %v", err)
+	}
+	return loc
+}
+
+func TestMonthOfSpringForward(t *testing.T) {
+	loc := zurich(t)
+	p := MonthOf(time.Date(2016, time.March, 15, 12, 0, 0, 0, loc))
+
+	if !p.Start.Equal(time.Date(2016, time.March, 1, 0, 0, 0, 0, loc)) {
+		t.Errorf("start = %v", p.Start)
+	}
+	if !p.End.Equal(time.Date(2016, time.April, 1, 0, 0, 0, 0, loc)) {
+		t.Errorf("end = %v", p.End)
+	}
+	// March 2016 in Zurich loses the 02:00–03:00 hour on the 27th.
+	if want := 31*24*time.Hour - time.Hour; p.Duration() != want {
+		t.Errorf("March duration = %v, want %v", p.Duration(), want)
+	}
+
+	// The boundaries must sit at local midnight, not a UTC offset echo.
+	for _, tt := range []time.Time{p.Start, p.End} {
+		if h, m, s := tt.Clock(); h != 0 || m != 0 || s != 0 {
+			t.Errorf("boundary %v not at local midnight", tt)
+		}
+	}
+}
+
+func TestMonthOfFallBack(t *testing.T) {
+	loc := zurich(t)
+	p := MonthOf(time.Date(2016, time.October, 30, 2, 30, 0, 0, loc))
+	// October 2016 repeats the 02:00–03:00 hour on the 30th.
+	if want := 31*24*time.Hour + time.Hour; p.Duration() != want {
+		t.Errorf("October duration = %v, want %v", p.Duration(), want)
+	}
+}
+
+func TestYearOfDSTNeutral(t *testing.T) {
+	loc := zurich(t)
+	p := YearOf(time.Date(2016, time.July, 1, 0, 0, 0, 0, loc))
+	// The lost spring hour returns in autumn: a full year is exactly
+	// 366 days in 2016 (leap year) despite two DST transitions.
+	if want := 366 * 24 * time.Hour; p.Duration() != want {
+		t.Errorf("2016 duration = %v, want %v", p.Duration(), want)
+	}
+	if !p.Start.Equal(time.Date(2016, time.January, 1, 0, 0, 0, 0, loc)) ||
+		!p.End.Equal(time.Date(2017, time.January, 1, 0, 0, 0, 0, loc)) {
+		t.Errorf("year bounds = %v .. %v", p.Start, p.End)
+	}
+}
+
+func TestMonthsBetweenAcrossSpringForward(t *testing.T) {
+	loc := zurich(t)
+	from := time.Date(2016, time.February, 10, 0, 0, 0, 0, loc)
+	to := time.Date(2016, time.May, 10, 0, 0, 0, 0, loc)
+	months := MonthsBetween(from, to)
+	if len(months) != 4 {
+		t.Fatalf("got %d periods, want 4 (Feb..May)", len(months))
+	}
+
+	// Interior boundaries are local midnights on the 1st; the two DST
+	// transitions in the range must not introduce gaps or overlaps.
+	for i := 1; i < len(months); i++ {
+		if !months[i].Start.Equal(months[i-1].End) {
+			t.Errorf("gap between period %d and %d: %v vs %v",
+				i-1, i, months[i-1].End, months[i].Start)
+		}
+	}
+	mar := months[1]
+	if !mar.Start.Equal(time.Date(2016, time.March, 1, 0, 0, 0, 0, loc)) {
+		t.Errorf("March start = %v", mar.Start)
+	}
+	if want := 31*24*time.Hour - time.Hour; mar.Duration() != want {
+		t.Errorf("clipped-range March duration = %v, want %v", mar.Duration(), want)
+	}
+
+	// Total coverage equals the requested range exactly.
+	var total time.Duration
+	for _, p := range months {
+		total += p.Duration()
+	}
+	if total != to.Sub(from) {
+		t.Errorf("periods cover %v, range is %v", total, to.Sub(from))
+	}
+}
+
+func TestHourBandDuringRepeatedHour(t *testing.T) {
+	loc := zurich(t)
+	band := HourBand{From: 22, To: 6} // classic night band, wraps midnight
+
+	// 2016-10-30 02:30 occurs twice in Zurich; both instants read as
+	// hour 2 on the wall clock, so the night band covers both.
+	first := time.Date(2016, time.October, 30, 0, 30, 0, 0, loc).Add(2 * time.Hour)  // 02:30 CEST
+	second := time.Date(2016, time.October, 30, 0, 30, 0, 0, loc).Add(3 * time.Hour) // 02:30 CET
+	if first.Equal(second) {
+		t.Fatal("expected two distinct instants for the repeated wall time")
+	}
+	for _, tt := range []time.Time{first, second} {
+		if tt.Hour() != 2 {
+			t.Fatalf("instant %v has hour %d, want 2", tt, tt.Hour())
+		}
+		if !band.Contains(tt) {
+			t.Errorf("night band must contain %v", tt)
+		}
+	}
+
+	// The skipped hour on March 27 simply never occurs: 02:30 local
+	// normalizes to 03:30 CEST — still night, but a band covering only
+	// the skipped hour matches no instant of that day.
+	skipped := time.Date(2016, time.March, 27, 2, 30, 0, 0, loc)
+	if skipped.Hour() != 3 {
+		t.Fatalf("skipped wall time normalized to hour %d, want 3", skipped.Hour())
+	}
+	if !band.Contains(skipped) {
+		t.Error("normalized 03:30 is still inside the 22-06 night band")
+	}
+	gap := HourBand{From: 2, To: 3}
+	for tt := time.Date(2016, time.March, 27, 0, 0, 0, 0, loc); tt.Day() == 27; tt = tt.Add(15 * time.Minute) {
+		if gap.Contains(tt) {
+			t.Errorf("band 02-03 matched %v on the spring-forward day", tt)
+		}
+	}
+}

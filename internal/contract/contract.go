@@ -180,6 +180,10 @@ func (o *EmergencyObligation) BeginPeriod(ctx *billing.PeriodContext, interval t
 	return &emergencyAcc{ob: o, windows: ctx.Emergencies, h: interval.Hours()}
 }
 
+// SpanFamily attributes observation cost to the emergency-DR family
+// (the typology's "other" branch) in span traces.
+func (o *EmergencyObligation) SpanFamily() string { return "emergency" }
+
 var _ billing.LineItemProducer = (*EmergencyObligation)(nil)
 
 type emergencyAcc struct {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/tariff"
 	"repro/internal/timeseries"
 )
@@ -70,6 +71,7 @@ func (e *Engine) Bill(load *timeseries.PowerSeries, in BillingInput) (*Bill, err
 // and stops with ctx.Err() once it is done. Services use it to bound
 // each request's evaluation by the request deadline.
 func (e *Engine) BillCtx(ctx context.Context, load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
+	defer obs.Span(ctx, "engine.bill")()
 	res, err := e.eval.EvaluatePeriodCtx(ctx, load, periodContext(in))
 	if err != nil {
 		return nil, translateEngineErr(err)
@@ -95,6 +97,7 @@ func (e *Engine) BillMonthsWorkers(load *timeseries.PowerSeries, in BillingInput
 // threaded into the month worker pool: once ctx is done, workers stop
 // picking up months and the cancellation error is returned.
 func (e *Engine) BillMonthsCtx(ctx context.Context, load *timeseries.PowerSeries, in BillingInput, workers int) ([]*Bill, error) {
+	defer obs.Span(ctx, "engine.bill_months")()
 	if load == nil || load.Len() == 0 {
 		// A load with no samples has no months to bill.
 		return []*Bill{}, nil

@@ -41,6 +41,10 @@ func (c *Charge) BeginPeriod(ctx *billing.PeriodContext, _ time.Duration) billin
 	return a
 }
 
+// SpanFamily attributes observation cost to the demand-charge family
+// (the kW branch of the typology) in span traces.
+func (c *Charge) SpanFamily() string { return "demand" }
+
 var _ billing.LineItemProducer = (*Charge)(nil)
 
 type peakEntry struct {
@@ -146,6 +150,10 @@ func (b *Powerband) Validate() error {
 func (b *Powerband) BeginPeriod(_ *billing.PeriodContext, interval time.Duration) billing.Accumulator {
 	return &bandAcc{band: b, h: interval.Hours()}
 }
+
+// SpanFamily attributes observation cost to the powerband family in
+// span traces.
+func (b *Powerband) SpanFamily() string { return "powerband" }
 
 var _ billing.LineItemProducer = (*Powerband)(nil)
 

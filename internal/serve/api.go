@@ -20,6 +20,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/contract"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/survey"
 	"repro/internal/timeseries"
 	"repro/internal/units"
@@ -232,8 +233,10 @@ func specNeedsFeed(spec *contract.Spec) bool {
 
 // engineFor parses the raw contract spec, resolves the feed, and
 // returns the compiled engine — from the LRU when the same spec (and,
-// for dynamic tariffs, the same feed) was compiled before.
-func (s *Server) engineFor(raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, error) {
+// for dynamic tariffs, the same feed) was compiled before. The cache
+// span covers the whole lookup (including any single-flight wait); the
+// compile span covers only an actual build.
+func (s *Server) engineFor(ctx context.Context, raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, error) {
 	if len(raw) == 0 {
 		return nil, errors.New("contract: missing contract spec")
 	}
@@ -259,7 +262,9 @@ func (s *Server) engineFor(raw json.RawMessage, feedSpec *FeedSpec, load *timese
 			load.Start().UTC().Format(time.RFC3339), n)
 	}
 
+	defer obs.Span(ctx, stageCache)()
 	return s.cache.get(key, func() (*contract.Engine, error) {
+		defer obs.Span(ctx, stageCompile)()
 		c, err := spec.Build(contract.BuildContext{Feed: feed})
 		if err != nil {
 			return nil, err
@@ -278,7 +283,7 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	eng, err := s.engineFor(req.Contract, req.Feed, load)
+	eng, err := s.engineFor(r.Context(), req.Contract, req.Feed, load)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -290,11 +295,15 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if r.URL.Query().Get("monthly") == "1" {
+		endEval := obs.Span(r.Context(), stageEvaluate)
 		bills, err := eng.BillMonthsCtx(r.Context(), load, in, s.cfg.MonthWorkers)
+		endEval()
 		if err != nil {
 			writeEvalError(w, err)
 			return
 		}
+		endEncode := obs.Span(r.Context(), stageEncode)
+		defer endEncode()
 		months := make([]json.RawMessage, len(bills))
 		for i, b := range bills {
 			data, err := b.JSON()
@@ -312,11 +321,15 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	endEval := obs.Span(r.Context(), stageEvaluate)
 	bill, err := eng.BillCtx(r.Context(), load, in)
+	endEval()
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
+	endEncode := obs.Span(r.Context(), stageEncode)
+	defer endEncode()
 	data, err := bill.JSON()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -342,7 +355,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	candidates := make([]advisor.EngineCandidate, 0, len(req.Candidates))
 	for i, c := range req.Candidates {
-		eng, err := s.engineFor(c.Contract, req.Feed, load)
+		eng, err := s.engineFor(r.Context(), c.Contract, req.Feed, load)
 		if err != nil {
 			writeError(w, http.StatusBadRequest,
 				fmt.Sprintf("advise: candidate %d: %v", i, err))
@@ -354,8 +367,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		candidates = append(candidates, advisor.EngineCandidate{Name: name, Engine: eng})
 	}
+	endEval := obs.Span(r.Context(), stageEvaluate)
 	advice, ranked, err := advisor.AdviseEngines(r.Context(), req.Current, candidates,
 		load, resolveInput(req.Input), units.MoneyFromFloat(req.Materiality))
+	endEval()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeEvalError(w, err)

@@ -10,6 +10,15 @@ package serve
 // the price feed for specs that contain dynamic tariffs (the same spec
 // built against a different feed is a different executable engine;
 // specs without dynamic tariffs ignore the feed and share one entry).
+//
+// Compilation is per-key single-flight, not under the global mutex: a
+// miss inserts a placeholder entry and compiles after releasing the
+// lock, so a slow compile parks only requests for the same key while
+// hits (and misses for other keys) proceed. Concurrent requests for an
+// in-flight key wait on the entry's ready channel and share the one
+// compile. Eviction is safe during compilation: waiters hold the entry
+// pointer directly, so an entry evicted mid-compile still delivers its
+// engine to everyone already waiting and simply is not reused after.
 
 import (
 	"container/list"
@@ -18,15 +27,17 @@ import (
 	"repro/internal/contract"
 )
 
+// cacheEntry is one cached (possibly still compiling) engine. engine
+// and err may be read only after ready is closed.
 type cacheEntry struct {
 	key    string
+	ready  chan struct{}
 	engine *contract.Engine
+	err    error
 }
 
-// engineCache is a mutex-guarded LRU. Compilation happens under the
-// lock: engines compile in microseconds-to-milliseconds and holding the
-// lock guarantees a given key is compiled exactly once even under
-// concurrent identical requests.
+// engineCache is a mutex-guarded LRU with single-flight compilation.
+// The mutex guards only the map/list/counters — never a compile.
 type engineCache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -36,6 +47,7 @@ type engineCache struct {
 	misses    uint64
 	evictions uint64
 	compiles  uint64
+	building  int // compiles currently in flight
 }
 
 func newEngineCache(capacity int) *engineCache {
@@ -50,24 +62,26 @@ func newEngineCache(capacity int) *engineCache {
 }
 
 // get returns the engine for key, compiling it with build on a miss.
-// build runs at most once per key while the key stays resident.
+// build runs at most once per key while the key stays resident; callers
+// that race on the same missing key share one compile, and callers for
+// other keys never wait on it.
 func (c *engineCache) get(key string, build func() (*contract.Engine, error)) (*contract.Engine, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
 		c.hits++
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).engine, nil
+		c.mu.Unlock()
+		// Resident but possibly still compiling: wait without holding
+		// the lock so unrelated lookups proceed.
+		<-ent.ready
+		return ent.engine, ent.err
 	}
 	c.misses++
 	c.compiles++
-	eng, err := build()
-	if err != nil {
-		// Failed compiles are not cached: the error goes back to the
-		// client and the (cheap) validation re-runs on retry.
-		return nil, err
-	}
-	el := c.order.PushFront(&cacheEntry{key: key, engine: eng})
+	c.building++
+	ent := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(ent)
 	c.entries[key] = el
 	if c.order.Len() > c.capacity {
 		oldest := c.order.Back()
@@ -75,13 +89,32 @@ func (c *engineCache) get(key string, build func() (*contract.Engine, error)) (*
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
-	return eng, nil
+	c.mu.Unlock()
+
+	ent.engine, ent.err = build()
+	close(ent.ready)
+
+	c.mu.Lock()
+	c.building--
+	if ent.err != nil {
+		// Failed compiles are not cached: the error goes back to every
+		// waiter and the (cheap) validation re-runs on retry. Remove
+		// only our own entry — the key may have been evicted and
+		// re-inserted by an unrelated compile meanwhile.
+		if el2, ok := c.entries[key]; ok && el2 == el {
+			c.order.Remove(el2)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	return ent.engine, ent.err
 }
 
 // cacheStats is a consistent snapshot of the cache counters.
 type cacheStats struct {
 	size, capacity                    int
 	hits, misses, evictions, compiles uint64
+	building                          int
 }
 
 func (c *engineCache) stats() cacheStats {
@@ -94,5 +127,6 @@ func (c *engineCache) stats() cacheStats {
 		misses:    c.misses,
 		evictions: c.evictions,
 		compiles:  c.compiles,
+		building:  c.building,
 	}
 }

@@ -1,0 +1,198 @@
+package serve
+
+// Engine-cache concurrency tests: per-key single-flight compilation
+// must never let one slow compile serialize the rest of the cache.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+)
+
+func testEngine(t *testing.T) *contract.Engine {
+	t.Helper()
+	c, err := quickstartSpec().Build(contract.BuildContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestCacheHitProceedsDuringParkedCompile is the head-of-line-blocking
+// regression test: while a compile for key "slow" is parked, a hit on
+// an unrelated resident key must return promptly instead of waiting on
+// the global mutex.
+func TestCacheHitProceedsDuringParkedCompile(t *testing.T) {
+	c := newEngineCache(8)
+	fast := testEngine(t)
+	if _, err := c.get("fast", func() (*contract.Engine, error) { return fast, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	park := make(chan struct{})
+	started := make(chan struct{})
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		_, _ = c.get("slow", func() (*contract.Engine, error) {
+			close(started)
+			<-park
+			return testEngine(t), nil
+		})
+	}()
+	<-started
+
+	hit := make(chan *contract.Engine, 1)
+	go func() {
+		eng, _ := c.get("fast", func() (*contract.Engine, error) {
+			panic("resident key must not recompile")
+		})
+		hit <- eng
+	}()
+	select {
+	case eng := <-hit:
+		if eng != fast {
+			t.Errorf("hit returned a different engine")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cache hit blocked behind a parked compile")
+	}
+
+	close(park)
+	<-slowDone
+	st := c.stats()
+	if st.compiles != 2 || st.hits != 1 {
+		t.Errorf("stats after parked compile: %+v", st)
+	}
+}
+
+// TestCacheSingleFlight: concurrent requests for the same missing key
+// share one compile and all receive the same engine.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newEngineCache(8)
+	eng := testEngine(t)
+	var builds int
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	got := make([]*contract.Engine, 8)
+	for i := 0; i < len(got); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = c.get("k", func() (*contract.Engine, error) {
+				builds++ // single-flight: only one goroutine runs build
+				<-gate
+				return eng, nil
+			})
+		}(i)
+	}
+	waitUntil(t, "a compile to start", func() bool {
+		return c.stats().building == 1
+	})
+	close(gate)
+	wg.Wait()
+
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+	for i, e := range got {
+		if e != eng {
+			t.Errorf("caller %d got a different engine", i)
+		}
+	}
+	st := c.stats()
+	if st.compiles != 1 || st.misses != 1 || st.hits != 7 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestCacheEvictionDuringCompile: evicting an entry mid-compile must
+// not orphan its waiters — they still get the compiled engine — and a
+// later request for the evicted key compiles anew.
+func TestCacheEvictionDuringCompile(t *testing.T) {
+	c := newEngineCache(1)
+	slowEng := testEngine(t)
+	park := make(chan struct{})
+	started := make(chan struct{})
+	got := make(chan *contract.Engine, 1)
+	go func() {
+		eng, _ := c.get("a", func() (*contract.Engine, error) {
+			close(started)
+			<-park
+			return slowEng, nil
+		})
+		got <- eng
+	}()
+	<-started
+
+	// Insert "b": capacity 1 evicts the still-compiling "a".
+	if _, err := c.get("b", func() (*contract.Engine, error) { return testEngine(t), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.evictions != 1 {
+		t.Fatalf("want the compiling entry evicted, stats %+v", st)
+	}
+
+	close(park)
+	if eng := <-got; eng != slowEng {
+		t.Error("waiter on the evicted entry must still receive its engine")
+	}
+
+	// "a" is gone from the map: the next get recompiles.
+	recompiled := false
+	if _, err := c.get("a", func() (*contract.Engine, error) {
+		recompiled = true
+		return testEngine(t), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recompiled {
+		t.Error("evicted key must compile anew")
+	}
+}
+
+// TestCacheFailedCompileNotCached: a failed build propagates its error
+// to every concurrent waiter and leaves the key absent so a retry
+// rebuilds.
+func TestCacheFailedCompileNotCached(t *testing.T) {
+	c := newEngineCache(4)
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.get("bad", func() (*contract.Engine, error) {
+				<-gate
+				return nil, boom
+			})
+		}(i)
+	}
+	waitUntil(t, "a compile to start", func() bool { return c.stats().building == 1 })
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d error = %v, want boom", i, err)
+		}
+	}
+	st := c.stats()
+	if st.size != 0 {
+		t.Errorf("failed compile must not stay cached: %+v", st)
+	}
+	// Retry rebuilds and can succeed.
+	eng := testEngine(t)
+	out, err := c.get("bad", func() (*contract.Engine, error) { return eng, nil })
+	if err != nil || out != eng {
+		t.Errorf("retry after failed compile: %v %v", out, err)
+	}
+}

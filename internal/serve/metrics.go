@@ -1,10 +1,11 @@
 package serve
 
 // Hand-rolled metrics in Prometheus text exposition format — request
-// counts by path and status, a request-latency histogram, engine-cache
-// counters, the in-flight/queued gauges and shed count. No client
-// library: the format is lines of `name{labels} value`, which fifty
-// lines of code produce exactly.
+// counts by path and status, request-latency and per-stage latency
+// histograms (proper _bucket/_sum/_count series with the +Inf bucket),
+// engine-cache counters and gauges, the in-flight/queued gauges and
+// shed count. No client library: the histograms come from internal/obs
+// and the format is lines of `name{labels} value`.
 
 import (
 	"fmt"
@@ -14,22 +15,31 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds. The hot
-// path is a ~3.4 ms year-bill, so the buckets resolve sub-millisecond
-// cache hits through multi-second monthly sweeps.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
+// Stage span names recorded into the server's registry. The billing
+// engine adds its own spans (billing.period, billing.tariff, ...) to
+// the same registry through the request context.
+const (
+	stageAdmissionWait = "admission_wait"
+	stageCache         = "cache"
+	stageCompile       = "compile"
+	stageEvaluate      = "evaluate"
+	stageEncode        = "encode"
+)
 
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]uint64 // "path|code" -> count
-	buckets  []uint64          // len(latencyBuckets)+1, last is +Inf
-	sum      float64
-	count    uint64
+
+	// latency is the all-requests histogram behind
+	// scserved_request_seconds; gated tracks only the service time of
+	// admitted gated requests (slot acquisition to handler return) and
+	// feeds the Retry-After estimate.
+	latency *obs.Histogram
+	gated   *obs.Histogram
 
 	shed atomic.Uint64
 }
@@ -37,41 +47,98 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]uint64),
-		buckets:  make([]uint64, len(latencyBuckets)+1),
+		latency:  obs.NewHistogram(),
+		gated:    obs.NewHistogram(),
 	}
 }
 
 func (m *metrics) observe(path string, code int, elapsed time.Duration) {
-	secs := elapsed.Seconds()
 	m.mu.Lock()
 	m.requests[fmt.Sprintf("%s|%d", path, code)]++
-	i := sort.SearchFloat64s(latencyBuckets, secs)
-	m.buckets[i]++
-	m.sum += secs
-	m.count++
 	m.mu.Unlock()
+	m.latency.Observe(elapsed.Seconds())
 }
 
-// statusRecorder captures the status code a handler writes.
+// observeGated records one admitted gated request's service time.
+func (m *metrics) observeGated(elapsed time.Duration) {
+	m.gated.Observe(elapsed.Seconds())
+}
+
+// gatedMean returns the mean service time of admitted gated requests in
+// seconds, 0 before any request completes.
+func (m *metrics) gatedMean() float64 {
+	return m.gated.Snapshot().Mean()
+}
+
+// statusRecorder captures the status code a handler produces. The
+// status is latched by whichever comes first — an explicit WriteHeader
+// or the implicit 200 of the first Write — mirroring net/http, which
+// ignores any later WriteHeader. Without latching on Write, a handler
+// that writes a body and then calls WriteHeader(500) (a no-op on the
+// wire) would be miscounted as a 500.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.code = code
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation under the given path label.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		// Implicit 200: the first Write sends the header.
+		r.code = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the observability front end: a
+// request ID (client-supplied X-Request-ID or freshly generated) and
+// the server's span registry go into the context, the status code and
+// latency are recorded, and the request is logged — at warning level
+// with a "slow" marker above the configured threshold.
 func (s *Server) instrument(path string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 64 {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithSpans(ctx, s.stages)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", id)
+
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h.ServeHTTP(rec, r)
-		s.metrics.observe(path, rec.code, time.Since(start))
+		elapsed := time.Since(start)
+		s.metrics.observe(path, rec.code, elapsed)
+		s.logRequest(path, id, rec.code, elapsed)
 	})
+}
+
+func (s *Server) logRequest(path, id string, code int, elapsed time.Duration) {
+	lg := s.cfg.Logger
+	if lg == nil {
+		return
+	}
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		lg.Warn("slow request",
+			"path", path, "code", code, "request_id", id,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+			"threshold_ms", float64(s.cfg.SlowRequest)/float64(time.Millisecond))
+		return
+	}
+	lg.Info("request",
+		"path", path, "code", code, "request_id", id,
+		"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
 }
 
 // render writes the exposition. Gauges are sampled at scrape time.
@@ -81,8 +148,6 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	for k, v := range m.requests {
 		requests[k] = v
 	}
-	buckets := append([]uint64(nil), m.buckets...)
-	sum, count := m.sum, m.count
 	m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP scserved_requests_total Requests served, by path and status code.\n")
@@ -99,15 +164,19 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 
 	fmt.Fprintf(w, "# HELP scserved_request_seconds Request latency histogram.\n")
 	fmt.Fprintf(w, "# TYPE scserved_request_seconds histogram\n")
-	var cum uint64
-	for i, ub := range latencyBuckets {
-		cum += buckets[i]
-		fmt.Fprintf(w, "scserved_request_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	m.latency.Snapshot().WriteProm(w, "scserved_request_seconds", "")
+
+	// Per-stage latency: one histogram per span name, covering both the
+	// HTTP stages (admission_wait, cache, compile, evaluate, encode) and
+	// the billing engine's spans (billing.period, billing.tariff, ...).
+	stages := s.stages.Snapshot()
+	if len(stages) > 0 {
+		fmt.Fprintf(w, "# HELP scserved_stage_seconds Per-stage latency, by pipeline stage or billing span.\n")
+		fmt.Fprintf(w, "# TYPE scserved_stage_seconds histogram\n")
+		for _, st := range stages {
+			st.WriteProm(w, "scserved_stage_seconds", fmt.Sprintf("stage=%q", st.Name))
+		}
 	}
-	cum += buckets[len(latencyBuckets)]
-	fmt.Fprintf(w, "scserved_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "scserved_request_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "scserved_request_seconds_count %d\n", count)
 
 	cs := s.cache.stats()
 	fmt.Fprintf(w, "# HELP scserved_engine_cache_hits_total Engine cache hits.\n")
@@ -125,6 +194,12 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_engine_cache_size Engines currently cached.\n")
 	fmt.Fprintf(w, "# TYPE scserved_engine_cache_size gauge\n")
 	fmt.Fprintf(w, "scserved_engine_cache_size %d\n", cs.size)
+	fmt.Fprintf(w, "# HELP scserved_engine_cache_capacity Engine LRU capacity.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_cache_capacity gauge\n")
+	fmt.Fprintf(w, "scserved_engine_cache_capacity %d\n", cs.capacity)
+	fmt.Fprintf(w, "# HELP scserved_engine_compiles_inflight Engine compiles currently running.\n")
+	fmt.Fprintf(w, "# TYPE scserved_engine_compiles_inflight gauge\n")
+	fmt.Fprintf(w, "scserved_engine_compiles_inflight %d\n", cs.building)
 
 	fmt.Fprintf(w, "# HELP scserved_in_flight Gated requests holding an evaluation slot.\n")
 	fmt.Fprintf(w, "# TYPE scserved_in_flight gauge\n")
@@ -132,6 +207,12 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_queued Gated requests waiting for a slot.\n")
 	fmt.Fprintf(w, "# TYPE scserved_queued gauge\n")
 	fmt.Fprintf(w, "scserved_queued %d\n", s.limiter.waiting())
+	fmt.Fprintf(w, "# HELP scserved_slots Evaluation slot capacity (MaxConcurrent).\n")
+	fmt.Fprintf(w, "# TYPE scserved_slots gauge\n")
+	fmt.Fprintf(w, "scserved_slots %d\n", s.cfg.MaxConcurrent)
+	fmt.Fprintf(w, "# HELP scserved_queue_capacity Admission queue capacity (QueueDepth).\n")
+	fmt.Fprintf(w, "# TYPE scserved_queue_capacity gauge\n")
+	fmt.Fprintf(w, "scserved_queue_capacity %d\n", s.cfg.QueueDepth)
 	fmt.Fprintf(w, "# HELP scserved_shed_total Requests shed with 429 because the queue was full.\n")
 	fmt.Fprintf(w, "# TYPE scserved_shed_total counter\n")
 	fmt.Fprintf(w, "scserved_shed_total %d\n", m.shed.Load())
@@ -139,12 +220,6 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE scserved_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "scserved_uptime_seconds %g\n", time.Since(s.started).Seconds())
-}
-
-// trimFloat renders a bucket bound the way Prometheus clients do
-// (no trailing zeros).
-func trimFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -31,11 +31,15 @@ package serve
 
 import (
 	"context"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes the service layer. The zero value is usable: every field
@@ -59,6 +63,13 @@ type Config struct {
 	// billing; 0 lets the engine pick (GOMAXPROCS). Shared servers
 	// may want 1–2 so one monthly request does not monopolize cores.
 	MonthWorkers int
+	// Logger receives one structured line per request (log/slog);
+	// nil disables request logging.
+	Logger *slog.Logger
+	// SlowRequest is the latency at or above which a request is logged
+	// at warning level instead of info. 0 selects 1 s; < 0 disables
+	// the slow marker (every request logs at info).
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.EngineCacheSize == 0 {
 		c.EngineCacheSize = 128
 	}
+	switch {
+	case c.SlowRequest < 0:
+		c.SlowRequest = 0
+	case c.SlowRequest == 0:
+		c.SlowRequest = time.Second
+	}
 	return c
 }
 
@@ -87,6 +104,11 @@ type Server struct {
 	cache   *engineCache
 	limiter *limiter
 	metrics *metrics
+	// stages collects per-stage latency spans — the HTTP pipeline's
+	// (admission_wait, cache, compile, evaluate, encode) and, because
+	// the registry rides the request context into the engine, the
+	// billing spans (billing.period, billing.tariff, ...).
+	stages  *obs.Registry
 	mux     *http.ServeMux
 	started time.Time
 
@@ -109,6 +131,7 @@ func NewServer(cfg Config) *Server {
 		cache:   newEngineCache(cfg.EngineCacheSize),
 		limiter: newLimiter(cfg.MaxConcurrent, cfg.QueueDepth),
 		metrics: newMetrics(),
+		stages:  obs.NewRegistry(),
 		started: time.Now(),
 		drained: make(chan struct{}),
 	}
@@ -204,10 +227,13 @@ func (s *Server) gated(h http.HandlerFunc) http.Handler {
 		defer cancel()
 		r = r.WithContext(ctx)
 
-		if err := s.limiter.acquire(ctx); err != nil {
+		wait := time.Now()
+		err := s.limiter.acquire(ctx)
+		s.stages.Observe(stageAdmissionWait, time.Since(wait).Seconds())
+		if err != nil {
 			if err == errSaturated {
 				s.metrics.shed.Add(1)
-				w.Header().Set("Retry-After", retryAfter(s.cfg.RequestTimeout))
+				w.Header().Set("Retry-After", s.retryAfterHint())
 				writeError(w, http.StatusTooManyRequests, "request queue is full, retry later")
 				return
 			}
@@ -216,15 +242,22 @@ func (s *Server) gated(h http.HandlerFunc) http.Handler {
 			return
 		}
 		defer s.limiter.release()
+		serviceStart := time.Now()
 		h(w, r)
+		s.metrics.observeGated(time.Since(serviceStart))
 	})
 }
 
-// retryAfter suggests when a shed client should come back: one request
-// timeout is a conservative upper bound on queue turnover, floored at
-// one second.
-func retryAfter(timeout time.Duration) string {
-	secs := int(timeout / time.Second)
+// retryAfterHint suggests when a shed client should come back, from the
+// observed backlog rather than a static timeout: the requests ahead of
+// a retrying client (everyone holding or waiting for a slot) drain at
+// MaxConcurrent × the mean observed service time. Floored at one second
+// — also the cold answer before any request has completed — and capped
+// at a minute.
+func (s *Server) retryAfterHint() string {
+	backlog := s.limiter.active() + s.limiter.waiting()
+	per := s.metrics.gatedMean()
+	secs := int(math.Ceil(per * float64(backlog) / float64(s.cfg.MaxConcurrent)))
 	if secs < 1 {
 		secs = 1
 	}

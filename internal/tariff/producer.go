@@ -35,6 +35,10 @@ func (p producer) Validate() error {
 
 func (p producer) Describe() string { return p.t.Describe() }
 
+// SpanFamily attributes observation cost to the tariff family (the kWh
+// branch of the typology) in span traces.
+func (p producer) SpanFamily() string { return "tariff" }
+
 func (p producer) BeginPeriod(_ *billing.PeriodContext, interval time.Duration) billing.Accumulator {
 	return &tariffAcc{
 		t:     p.t,
