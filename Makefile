@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz clean
+.PHONY: all build vet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz chaos clean
 
 all: check
 
@@ -54,6 +54,18 @@ bench-billing:
 # build artifact so perf history survives past the run log).
 bench-artifact:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee bench.txt
+
+# Chaos soak: the fault-injected price-feed acceptance suite plus the
+# resilience state-machine tests, race-enabled with a short timeout so
+# a wedged retry loop fails fast instead of hanging CI. The verbose log
+# is teed to chaos-soak.log (CI uploads it as an artifact).
+# (log-then-cat instead of tee so the test's exit status survives the
+# POSIX shell make uses.)
+chaos:
+	@$(GO) test -race -count=1 -timeout 120s -v \
+		-run 'Chaos|Breaker|Cached|Injector' \
+		./internal/serve/ ./internal/feed/ ./internal/chaos/ ./internal/resilience/ \
+		> chaos-soak.log 2>&1; status=$$?; cat chaos-soak.log; exit $$status
 
 # Short fuzz pass over the timeseries parsers and transforms.
 fuzz:

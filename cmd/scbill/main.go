@@ -8,9 +8,14 @@
 // Usage:
 //
 //	scbill -contract site.json -load meter.csv
+//	scbill -contract site.json -load meter.csv -feed prices.csv
 //	scbill -contract site.json -base-mw 12 -peak-ratio 1.8 -days 30
 //	scbill -contract site.json -base-mw 12 -monthly   # bill per month
 //	scbill -contract site.json -base-mw 12 -trace     # + span timings
+//
+// Dynamic tariffs price against -feed, a "timestamp,price_per_kwh" CSV
+// (or .json price file); without it they fall back to a flat reference
+// feed at 0.045/kWh over the profile span.
 //
 // With -trace the bill is computed through the engine's traced
 // evaluation path and a per-span timing table (count, total, mean for
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/feed"
 	"repro/internal/hpc"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -37,6 +43,7 @@ import (
 func main() {
 	contractPath := flag.String("contract", "", "path to a JSON contract spec (required)")
 	loadPath := flag.String("load", "", "path to a timestamp,kw CSV load profile")
+	feedPath := flag.String("feed", "", "price-feed file for dynamic tariffs (timestamp,price_per_kwh CSV or .json; default: flat 0.045/kWh)")
 	baseMW := flag.Float64("base-mw", 12, "synthetic load: base facility power in MW")
 	peakRatio := flag.Float64("peak-ratio", 1.5, "synthetic load: peak-to-average ratio")
 	days := flag.Int("days", 30, "synthetic load: span in days")
@@ -47,13 +54,25 @@ func main() {
 	trace := flag.Bool("trace", false, "print per-stage span timings (count/total/mean) to stderr")
 	flag.Parse()
 
-	if err := run(*contractPath, *loadPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers, *trace); err != nil {
+	if err := run(*contractPath, *loadPath, *feedPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "scbill:", err)
 		os.Exit(1)
 	}
 }
 
-func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int, trace bool) error {
+// priceFeed resolves the dynamic-tariff price series: the -feed file
+// when given (strictly parsed — NaN/Inf prices and broken timestamp
+// grids are rejected with line numbers), else the flat reference feed
+// over the profile span (real deployments would pass market data).
+func priceFeed(path string, load *timeseries.PowerSeries) (*timeseries.PriceSeries, error) {
+	if path == "" {
+		return timeseries.ConstantPrice(load.Start(), time.Hour,
+			int(load.End().Sub(load.Start())/time.Hour)+1, 0.045), nil
+	}
+	return (&feed.File{Path: path}).Fetch(context.Background(), load.Start(), load.End())
+}
+
+func run(contractPath, loadPath, feedPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int, trace bool) error {
 	if contractPath == "" {
 		return fmt.Errorf("-contract is required")
 	}
@@ -70,11 +89,11 @@ func run(contractPath, loadPath string, baseMW, peakRatio float64, days int, see
 	if err != nil {
 		return err
 	}
-	// Dynamic tariffs need a feed; provide a flat reference feed over
-	// the profile span (real deployments would pass market data).
-	feed := timeseries.ConstantPrice(load.Start(), time.Hour,
-		int(load.End().Sub(load.Start())/time.Hour)+1, 0.045)
-	c, err := spec.Build(contract.BuildContext{Feed: feed})
+	prices, err := priceFeed(feedPath, load)
+	if err != nil {
+		return err
+	}
+	c, err := spec.Build(contract.BuildContext{Feed: prices})
 	if err != nil {
 		return err
 	}

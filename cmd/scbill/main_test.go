@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeSpec(t *testing.T) string {
@@ -19,20 +21,20 @@ func writeSpec(t *testing.T) string {
 }
 
 func TestRunSyntheticLoad(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 7, 1, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMonthly(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 0, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 40, 1, true, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	// Forced-sequential and sized pools must work identically.
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 1, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 40, 1, true, false, 1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 4, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 40, 1, true, false, 4, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,36 +45,36 @@ func TestRunCSVLoad(t *testing.T) {
 	if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), p, 0, 0, 0, 0, false, false, 0, false); err != nil {
+	if err := run(writeSpec(t), p, "", 0, 0, 0, 0, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
+	if err := run("", "", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("missing contract should fail")
 	}
-	if err := run("/nonexistent.json", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
+	if err := run("/nonexistent.json", "", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{nope"), 0o644)
-	if err := run(bad, "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
+	if err := run(bad, "", "", 10, 1.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("bad JSON should fail")
 	}
-	if err := run(writeSpec(t), "/nonexistent.csv", 0, 0, 0, 0, false, false, 0, false); err == nil {
+	if err := run(writeSpec(t), "/nonexistent.csv", "", 0, 0, 0, 0, false, false, 0, false); err == nil {
 		t.Error("missing CSV should fail")
 	}
-	if err := run(writeSpec(t), "", -1, 0.5, 7, 1, false, false, 0, false); err == nil {
+	if err := run(writeSpec(t), "", "", -1, 0.5, 7, 1, false, false, 0, false); err == nil {
 		t.Error("invalid synthetic parameters should fail")
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
-	if err := run(writeSpec(t), "", 10, 1.5, 7, 1, false, true, 0, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 7, 1, false, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(writeSpec(t), "", 10, 1.5, 40, 1, true, true, 0, false); err != nil {
+	if err := run(writeSpec(t), "", "", 10, 1.5, 40, 1, true, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -102,7 +104,7 @@ func TestRunTrace(t *testing.T) {
 	}
 
 	single := capture(func() error {
-		return run(writeSpec(t), "", 10, 1.5, 7, 1, false, false, 0, true)
+		return run(writeSpec(t), "", "", 10, 1.5, 7, 1, false, false, 0, true)
 	})
 	for _, want := range []string{"billing.period", "billing.tariff", "billing.demand", "count", "mean"} {
 		if !strings.Contains(single, want) {
@@ -111,11 +113,38 @@ func TestRunTrace(t *testing.T) {
 	}
 
 	monthly := capture(func() error {
-		return run(writeSpec(t), "", 10, 1.5, 40, 1, true, false, 2, true)
+		return run(writeSpec(t), "", "", 10, 1.5, 40, 1, true, false, 2, true)
 	})
 	for _, want := range []string{"billing.months", "billing.period"} {
 		if !strings.Contains(monthly, want) {
 			t.Errorf("monthly trace missing %q:\n%s", want, monthly)
 		}
+	}
+}
+
+// TestRunWithFeedFile: dynamic tariffs price against the -feed file,
+// and a malformed feed is rejected with a line-numbered error.
+func TestRunWithFeedFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "dyn.json")
+	os.WriteFile(spec, []byte(`{"name":"dyn-site","tariffs":[{"type":"dynamic","multiplier":1.1}]}`), 0o644)
+
+	feedPath := filepath.Join(dir, "prices.csv")
+	var csv strings.Builder
+	csv.WriteString("timestamp,price_per_kwh\n")
+	start := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8*24; i++ {
+		fmt.Fprintf(&csv, "%s,0.04\n", start.Add(time.Duration(i)*time.Hour).Format(time.RFC3339))
+	}
+	os.WriteFile(feedPath, []byte(csv.String()), 0o644)
+	if err := run(spec, "", feedPath, 10, 1.5, 7, 1, false, false, 0, false); err != nil {
+		t.Fatalf("bill with -feed: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("timestamp,price_per_kwh\n2016-03-01T00:00:00Z,NaN\n2016-03-01T01:00:00Z,0.03\n"), 0o644)
+	err := run(spec, "", bad, 10, 1.5, 7, 1, false, false, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("NaN feed must fail with a line number, got: %v", err)
 	}
 }

@@ -15,6 +15,18 @@
 // text) carrying the request ID; requests slower than -slow-request log
 // at warning level. With -debug-addr set, a second listener serves
 // net/http/pprof — keep it on loopback or behind a firewall.
+//
+// Dynamic tariffs can bill against a live market feed:
+//
+//	scserved -feed-url http://market.example/prices.csv
+//	scserved -feed-file /var/lib/market/prices.csv -feed-ttl 5m -feed-stale-budget 1h
+//
+// The feed is cached with a TTL, served stale within -feed-stale-budget
+// while the upstream is failing (background refresh retries behind a
+// circuit breaker), and past the budget bills degrade to the contract's
+// fallback_rate (or -fallback-rate) and are marked degraded. The
+// -chaos-* flags wrap the feed with a deterministic fault injector for
+// soak testing — never set them in production.
 package main
 
 import (
@@ -31,8 +43,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/feed"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/units"
 )
 
 func main() {
@@ -46,12 +61,37 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; use 127.0.0.1:6060)")
 	slowRequest := flag.Duration("slow-request", time.Second, "log requests at or above this latency at warning level (negative = never)")
 	logFormat := flag.String("log-format", "text", "request log format: text, json, or off")
+	feedURL := flag.String("feed-url", "", "HTTP price feed for dynamic tariffs (CSV, or JSON by Content-Type)")
+	feedFile := flag.String("feed-file", "", "price-feed file for dynamic tariffs (.json = JSON, else CSV; re-read on refresh)")
+	feedFlatRate := flag.Float64("feed-flat-rate", 0, "serve dynamic tariffs from a flat feed at this price/kWh (testing)")
+	feedTTL := flag.Duration("feed-ttl", 5*time.Minute, "how long fetched prices stay fresh")
+	feedStaleBudget := flag.Duration("feed-stale-budget", time.Hour, "max age of cached prices served while the feed is failing")
+	fallbackRate := flag.Float64("fallback-rate", 0, "fixed price/kWh for degraded bills when the spec declares no fallback_rate (0 = built-in default)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for the feed fault injector (soak testing)")
+	chaosErrorRate := flag.Float64("chaos-error-rate", 0, "probability an upstream price fetch fails outright")
+	chaosLatencyRate := flag.Float64("chaos-latency-rate", 0, "probability an upstream price fetch is delayed by -chaos-latency")
+	chaosLatency := flag.Duration("chaos-latency", 50*time.Millisecond, "injected upstream latency spike")
 	flag.Parse()
 
 	logger, err := requestLogger(*logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scserved:", err)
 		os.Exit(2)
+	}
+
+	priceFeed, err := buildFeed(feedOptions{
+		url: *feedURL, file: *feedFile, flatRate: *feedFlatRate,
+		ttl: *feedTTL, staleBudget: *feedStaleBudget,
+		chaosSeed: *chaosSeed, chaosErrorRate: *chaosErrorRate,
+		chaosLatencyRate: *chaosLatencyRate, chaosLatency: *chaosLatency,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scserved:", err)
+		os.Exit(2)
+	}
+	if priceFeed != nil {
+		defer priceFeed.Close()
+		log.Printf("scserved price feed: %s", priceFeed.Describe())
 	}
 
 	if err := run(*addr, *debugAddr, serve.Config{
@@ -62,10 +102,58 @@ func main() {
 		MonthWorkers:    *monthWorkers,
 		Logger:          logger,
 		SlowRequest:     *slowRequest,
+		PriceFeed:       priceFeed,
+		FallbackRate:    *fallbackRate,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "scserved:", err)
 		os.Exit(1)
 	}
+}
+
+// feedOptions collects the price-feed and chaos flags.
+type feedOptions struct {
+	url, file        string
+	flatRate         float64
+	ttl, staleBudget time.Duration
+	chaosSeed        int64
+	chaosErrorRate   float64
+	chaosLatencyRate float64
+	chaosLatency     time.Duration
+}
+
+// buildFeed assembles the resilient price-feed stack from the flags:
+// provider (HTTP, file, or flat) -> optional chaos injector -> cached
+// wrapper. Returns nil when no feed source is selected.
+func buildFeed(o feedOptions) (*feed.Cached, error) {
+	var provider feed.PriceProvider
+	switch {
+	case o.url != "" && o.file != "":
+		return nil, errors.New("set at most one of -feed-url and -feed-file")
+	case o.url != "":
+		provider = &feed.HTTP{URL: o.url}
+	case o.file != "":
+		provider = &feed.File{Path: o.file}
+	case o.flatRate > 0:
+		provider = &feed.Flat{Rate: units.EnergyPrice(o.flatRate)}
+	default:
+		if o.chaosErrorRate > 0 || o.chaosLatencyRate > 0 {
+			return nil, errors.New("-chaos-* flags need a feed source (-feed-url, -feed-file, or -feed-flat-rate)")
+		}
+		return nil, nil
+	}
+	if o.chaosErrorRate > 0 || o.chaosLatencyRate > 0 || o.chaosSeed != 0 {
+		provider = chaos.New(provider, chaos.Config{
+			Seed:        o.chaosSeed,
+			ErrorRate:   o.chaosErrorRate,
+			LatencyRate: o.chaosLatencyRate,
+			Latency:     o.chaosLatency,
+		})
+		log.Printf("scserved: CHAOS MODE: %s", provider.Describe())
+	}
+	return feed.NewCached(provider, feed.CachedConfig{
+		TTL:             o.ttl,
+		StalenessBudget: o.staleBudget,
+	}), nil
 }
 
 // requestLogger builds the per-request slog.Logger from -log-format;

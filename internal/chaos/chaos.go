@@ -1,0 +1,167 @@
+// Package chaos fault-injects price providers so the resilience stack
+// can be exercised deterministically. The surveyed centers' dynamic
+// tariffs depend on live market data, and the interesting billing
+// failures all start with that dependency misbehaving: refused
+// connections, latency spikes, hung sockets, and structurally valid
+// but numerically garbage payloads. Injector wraps any feed provider
+// and produces exactly those faults from a seeded PRNG, so a soak run
+// that finds a bug can be replayed bit-for-bit from its seed.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/feed"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// ErrInjected is the base error for injected fetch failures.
+var ErrInjected = errors.New("chaos: injected feed failure")
+
+// Config sets fault probabilities, each in [0, 1] and drawn
+// independently per call in the order error, stuck, malformed,
+// latency. The zero value injects nothing.
+type Config struct {
+	// Seed fixes the fault schedule; runs with the same seed and call
+	// sequence see the same faults.
+	Seed int64
+	// ErrorRate is the probability a Fetch fails outright.
+	ErrorRate float64
+	// LatencyRate is the probability a Fetch is delayed by Latency
+	// before proceeding normally.
+	LatencyRate float64
+	// Latency is the injected delay; <= 0 selects 50 ms.
+	Latency time.Duration
+	// StuckRate is the probability a Fetch blocks until its context
+	// dies — the hung-socket fault. Keep this small or give callers
+	// deadlines.
+	StuckRate float64
+	// MalformedRate is the probability a Fetch returns a structurally
+	// valid series poisoned with a NaN sample, which must be caught by
+	// feed.Validate at the cache boundary.
+	MalformedRate float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Calls, Errors, Latencies, Stuck, Malformed uint64
+}
+
+// Injector wraps a PriceProvider with seeded fault injection. Safe for
+// concurrent use.
+type Injector struct {
+	next feed.PriceProvider
+	cfg  Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New wraps next with fault injection per cfg.
+func New(next feed.PriceProvider, cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Millisecond
+	}
+	return &Injector{
+		next: next,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// roll draws the per-call fault decisions under one lock acquisition so
+// concurrent fetches cannot interleave draws (which would break seed
+// reproducibility for a fixed call order).
+func (j *Injector) roll() (fail, stuck, malformed, delayed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats.Calls++
+	fail = j.rng.Float64() < j.cfg.ErrorRate
+	stuck = j.rng.Float64() < j.cfg.StuckRate
+	malformed = j.rng.Float64() < j.cfg.MalformedRate
+	delayed = j.rng.Float64() < j.cfg.LatencyRate
+	switch {
+	case fail:
+		j.stats.Errors++
+	case stuck:
+		j.stats.Stuck++
+	case malformed:
+		j.stats.Malformed++
+	}
+	if delayed && !fail && !stuck {
+		j.stats.Latencies++
+	}
+	return fail, stuck, malformed, delayed
+}
+
+// Fetch applies at most one primary fault (error, stuck, or malformed,
+// in that precedence) plus an optional latency spike, then delegates.
+func (j *Injector) Fetch(ctx context.Context, start, end time.Time) (*timeseries.PriceSeries, error) {
+	fail, stuck, malformed, delayed := j.roll()
+	switch {
+	case fail:
+		return nil, fmt.Errorf("%w: connection refused", ErrInjected)
+	case stuck:
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: upstream hung: %v", ErrInjected, ctx.Err())
+	}
+	if delayed {
+		t := time.NewTimer(j.cfg.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: upstream slow: %v", ErrInjected, ctx.Err())
+		}
+	}
+	s, err := j.next.Fetch(ctx, start, end)
+	if err != nil {
+		return nil, err
+	}
+	if malformed {
+		return poison(s), nil
+	}
+	return s, nil
+}
+
+// poison rebuilds s with its middle sample replaced by NaN — parses
+// and type-checks fine, must die at feed.Validate.
+func poison(s *timeseries.PriceSeries) *timeseries.PriceSeries {
+	samples := make([]units.EnergyPrice, s.Len())
+	for i := range samples {
+		samples[i] = s.At(i)
+	}
+	samples[len(samples)/2] = units.EnergyPrice(math.NaN())
+	out, err := timeseries.NewPrice(s.Start(), s.Interval(), samples)
+	if err != nil {
+		// NewPrice does not inspect sample values; reaching here means
+		// it grew validation, and the poisoned-series fault needs a new
+		// vehicle.
+		panic(fmt.Sprintf("chaos: cannot build poisoned series: %v", err))
+	}
+	return out
+}
+
+// Describe labels the wrapped provider as fault-injected.
+func (j *Injector) Describe() string {
+	return fmt.Sprintf("chaos(seed=%d, err=%.2f, stuck=%.2f, malformed=%.2f, latency=%.2f@%s) over %s",
+		j.cfg.Seed, j.cfg.ErrorRate, j.cfg.StuckRate, j.cfg.MalformedRate,
+		j.cfg.LatencyRate, j.cfg.Latency, j.next.Describe())
+}
+
+// Stats returns a snapshot of the fault counters.
+func (j *Injector) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+var _ feed.PriceProvider = (*Injector)(nil)

@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/feed"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func upstream() feed.PriceProvider {
+	return feed.NewStatic(timeseries.ConstantPrice(t0, time.Hour, 25, units.EnergyPrice(0.05)))
+}
+
+func TestInjectorPassThrough(t *testing.T) {
+	j := New(upstream(), Config{Seed: 1})
+	for i := 0; i < 10; i++ {
+		s, err := j.Fetch(context.Background(), t0, t0.Add(time.Hour))
+		if err != nil {
+			t.Fatalf("zero-rate injector failed: %v", err)
+		}
+		if err := feed.Validate(s); err != nil {
+			t.Fatalf("zero-rate injector corrupted the series: %v", err)
+		}
+	}
+	if st := j.Stats(); st.Calls != 10 || st.Errors+st.Stuck+st.Malformed+st.Latencies != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestInjectorDeterministicPerSeed pins the replay guarantee: same
+// seed, same call sequence, same faults.
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		j := New(upstream(), Config{Seed: seed, ErrorRate: 0.4})
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, err := j.Fetch(context.Background(), t0, t0.Add(time.Hour))
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between two runs with seed 42", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 50-call fault schedules")
+	}
+}
+
+func TestInjectorErrorRate(t *testing.T) {
+	j := New(upstream(), Config{Seed: 7, ErrorRate: 0.3})
+	failures := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := j.Fetch(context.Background(), t0, t0.Add(time.Hour)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("failure is not ErrInjected: %v", err)
+			}
+			failures++
+		}
+	}
+	// 0.3 ± generous slack; a seeded PRNG makes this stable.
+	if failures < n*20/100 || failures > n*40/100 {
+		t.Fatalf("%d/%d failures, want ~30%%", failures, n)
+	}
+	if st := j.Stats(); st.Errors != uint64(failures) {
+		t.Fatalf("stats.Errors = %d, observed %d", st.Errors, failures)
+	}
+}
+
+func TestInjectorMalformedCaughtByValidate(t *testing.T) {
+	j := New(upstream(), Config{Seed: 3, MalformedRate: 1})
+	s, err := j.Fetch(context.Background(), t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.Validate(s); err == nil {
+		t.Fatal("poisoned series passed feed.Validate")
+	}
+}
+
+func TestInjectorStuckHonorsContext(t *testing.T) {
+	j := New(upstream(), Config{Seed: 5, StuckRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	startAt := time.Now()
+	_, err := j.Fetch(ctx, t0, t0.Add(time.Hour))
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("stuck fetch: %v", err)
+	}
+	if time.Since(startAt) > 5*time.Second {
+		t.Fatal("stuck fetch outlived its context")
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	j := New(upstream(), Config{Seed: 9, LatencyRate: 1, Latency: 30 * time.Millisecond})
+	startAt := time.Now()
+	if _, err := j.Fetch(context.Background(), t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(startAt); d < 30*time.Millisecond {
+		t.Fatalf("latency fault took %s, want >= 30ms", d)
+	}
+	if st := j.Stats(); st.Latencies != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestInjectorBehindCache is the integration sanity check: a flaky
+// injected feed behind feed.Cached still yields only legal answers.
+func TestInjectorBehindCache(t *testing.T) {
+	j := New(upstream(), Config{Seed: 11, ErrorRate: 0.5, MalformedRate: 0.2})
+	c := feed.NewCached(j, feed.CachedConfig{TTL: time.Nanosecond})
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		res := c.Prices(context.Background(), t0, t0.Add(time.Hour))
+		switch res.State {
+		case feed.Fresh, feed.Stale:
+			if err := feed.Validate(res.Series); err != nil {
+				t.Fatalf("call %d: cache served a series failing validation: %v", i, err)
+			}
+		case feed.Degraded:
+			if res.Reason == "" {
+				t.Fatalf("call %d: degraded without reason", i)
+			}
+		}
+	}
+}

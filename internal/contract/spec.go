@@ -48,6 +48,11 @@ type TariffSpec struct {
 	// Dynamic configuration: effective price = feed × Multiplier + Adder.
 	Multiplier float64 `json:"multiplier,omitempty"`
 	Adder      float64 `json:"adder,omitempty"`
+	// FallbackRate is the fixed backstop price a dynamic tariff bills at
+	// when the market feed is unavailable past its staleness budget —
+	// the contractual "if the index is not published, the price of the
+	// last schedule applies" clause. 0 means the biller's default.
+	FallbackRate float64 `json:"fallback_rate,omitempty"`
 	// CPP configuration ("cpp" type): a fixed base at Rate with
 	// CriticalRate during declared events, at most MaxCriticalEvents
 	// per period (0 = unlimited). Events are declared at runtime on the
@@ -143,6 +148,34 @@ func (s *Spec) Build(ctx BuildContext) (*Contract, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// FallbackSpec returns a copy of the spec with every dynamic tariff
+// replaced by a fixed tariff at its declared FallbackRate (or
+// defaultRate when the spec declares none). This is the degraded-mode
+// contract: when the price feed is down past its staleness budget the
+// bill is computed against the fixed backstop instead of market data.
+// Specs without dynamic tariffs are returned unchanged.
+func (s *Spec) FallbackSpec(defaultRate float64) *Spec {
+	changed := false
+	out := *s
+	out.Tariffs = make([]TariffSpec, len(s.Tariffs))
+	copy(out.Tariffs, s.Tariffs)
+	for i, ts := range out.Tariffs {
+		if ts.Type != "dynamic" {
+			continue
+		}
+		rate := ts.FallbackRate
+		if rate == 0 {
+			rate = defaultRate
+		}
+		out.Tariffs[i] = TariffSpec{Type: "fixed", Rate: rate}
+		changed = true
+	}
+	if !changed {
+		return s
+	}
+	return &out
 }
 
 func (ts TariffSpec) build(ctx BuildContext) (tariff.Tariff, error) {

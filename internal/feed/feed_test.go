@@ -1,0 +1,137 @@
+package feed
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Error("nil series validated")
+	}
+	good := timeseries.ConstantPrice(t0, time.Hour, 3, 0.05)
+	if err := Validate(good); err != nil {
+		t.Errorf("good series rejected: %v", err)
+	}
+	poisoned, err := timeseries.NewPrice(t0, time.Hour,
+		[]units.EnergyPrice{0.03, units.EnergyPrice(math.NaN()), 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := Validate(poisoned)
+	if verr == nil || !strings.Contains(verr.Error(), "sample 1") {
+		t.Errorf("NaN sample: %v", verr)
+	}
+}
+
+func TestStaticProvider(t *testing.T) {
+	s := daySeries()
+	p := NewStatic(s)
+	got, err := p.Fetch(context.Background(), t0, t0.Add(time.Hour))
+	if err != nil || got != s {
+		t.Fatalf("Fetch = %v, %v", got, err)
+	}
+	if _, err := (&Static{}).Fetch(context.Background(), t0, t0); err == nil {
+		t.Error("empty static feed fetched without error")
+	}
+}
+
+func TestFlatProvider(t *testing.T) {
+	p := &Flat{Rate: 0.045}
+	s, err := p.Fetch(context.Background(), t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covers(s, t0, t0.Add(24*time.Hour)) {
+		t.Fatalf("flat series [%s, %s] does not cover the requested day", s.Start(), s.End())
+	}
+	if v, ok := s.PriceAt(t0.Add(13 * time.Hour)); !ok || float64(v) != 0.045 {
+		t.Fatalf("PriceAt = %v, %v", v, ok)
+	}
+	if _, err := p.Fetch(context.Background(), t0, t0); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestFileProvider(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "prices.csv")
+	if err := os.WriteFile(csvPath, []byte(goodCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := &File{Path: csvPath}
+	s, err := p.Fetch(context.Background(), t0, t0.Add(time.Hour))
+	if err != nil || s.Len() != 3 {
+		t.Fatalf("CSV file fetch: %v, %v", s, err)
+	}
+
+	jsonPath := filepath.Join(dir, "prices.json")
+	body := `{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.03,0.04]}`
+	if err := os.WriteFile(jsonPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = (&File{Path: jsonPath}).Fetch(context.Background(), t0, t0)
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("JSON file fetch: %v, %v", s, err)
+	}
+
+	// A missing file and a malformed file both fail with the path in
+	// the error.
+	if _, err := (&File{Path: filepath.Join(dir, "nope.csv")}).Fetch(context.Background(), t0, t0); err == nil {
+		t.Error("missing file fetched")
+	}
+	badPath := filepath.Join(dir, "bad.csv")
+	os.WriteFile(badPath, []byte("timestamp,price_per_kwh\n2016-03-01T00:00:00Z,NaN\n2016-03-01T01:00:00Z,0.03\n"), 0o644)
+	_, err = (&File{Path: badPath}).Fetch(context.Background(), t0, t0)
+	if err == nil || !strings.Contains(err.Error(), badPath) {
+		t.Errorf("malformed file error %v should name %s", err, badPath)
+	}
+}
+
+func TestHTTPProvider(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/csv":
+			w.Header().Set("Content-Type", "text/csv")
+			w.Write([]byte(goodCSV))
+		case "/json":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.03,0.04]}`))
+		case "/flaky":
+			http.Error(w, "try later", http.StatusServiceUnavailable)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	s, err := (&HTTP{URL: srv.URL + "/csv"}).Fetch(context.Background(), t0, t0)
+	if err != nil || s.Len() != 3 {
+		t.Fatalf("CSV fetch: %v, %v", s, err)
+	}
+	s, err = (&HTTP{URL: srv.URL + "/json"}).Fetch(context.Background(), t0, t0)
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("JSON fetch: %v, %v", s, err)
+	}
+	_, err = (&HTTP{URL: srv.URL + "/flaky"}).Fetch(context.Background(), t0, t0)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("503 fetch error: %v", err)
+	}
+
+	// Context cancellation aborts an in-flight fetch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&HTTP{URL: srv.URL + "/csv"}).Fetch(ctx, t0, t0); err == nil {
+		t.Error("cancelled fetch succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+package feed
+
+// Price-feed parsing. A bill computed from garbage prices is worse
+// than no bill, so both wire formats are strict: NaN/Inf prices and
+// out-of-order or off-grid timestamps are rejected with errors that
+// name the offending line or element, in the same style as the
+// timeseries load-CSV errors. Negative prices are accepted — real-time
+// markets do clear negative — but non-finite ones never are.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// ParseCSV reads a "timestamp,price_per_kwh" price feed (header row
+// optional). Rows must be in strictly increasing time order on a fixed
+// grid set by the first two rows; prices must be finite numbers.
+// Errors name the offending line and field.
+func ParseCSV(r io.Reader) (*timeseries.PriceSeries, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	type row struct {
+		line      int
+		ts, price string
+	}
+	var rows []row
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// csv.ParseError already carries the line number.
+			return nil, fmt.Errorf("price feed: bad CSV: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		rows = append(rows, row{line: line, ts: rec[0], price: rec[1]})
+	}
+	if len(rows) > 0 {
+		if _, err := time.Parse(time.RFC3339, rows[0].ts); err != nil {
+			rows = rows[1:] // header row
+		}
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("price feed: CSV needs at least two data rows to fix the sample interval")
+	}
+	parse := func(rw row) (time.Time, units.EnergyPrice, error) {
+		ts, err := time.Parse(time.RFC3339, rw.ts)
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("price feed: line %d: timestamp field %q is not RFC 3339 (e.g. 2016-03-01T00:00:00Z)",
+				rw.line, rw.ts)
+		}
+		v, err := strconv.ParseFloat(rw.price, 64)
+		if err != nil {
+			return time.Time{}, 0, fmt.Errorf("price feed: line %d: price field %q is not a number", rw.line, rw.price)
+		}
+		if !isFinite(v) {
+			return time.Time{}, 0, fmt.Errorf("price feed: line %d: price %q is not finite (a bill computed from NaN/Inf prices is garbage)",
+				rw.line, rw.price)
+		}
+		return ts, units.EnergyPrice(v), nil
+	}
+	start, first, err := parse(rows[0])
+	if err != nil {
+		return nil, err
+	}
+	second, _, err := parse(rows[1])
+	if err != nil {
+		return nil, err
+	}
+	interval := second.Sub(start)
+	if interval <= 0 {
+		return nil, fmt.Errorf("price feed: line %d: timestamp %s is not after line %d's %s (rows must be in strictly increasing order)",
+			rows[1].line, second.Format(time.RFC3339), rows[0].line, start.Format(time.RFC3339))
+	}
+	samples := make([]units.EnergyPrice, 0, len(rows))
+	samples = append(samples, first)
+	for i := 1; i < len(rows); i++ {
+		ts, v, err := parse(rows[i])
+		if err != nil {
+			return nil, err
+		}
+		want := start.Add(time.Duration(i) * interval)
+		switch {
+		case !ts.After(start.Add(time.Duration(i-1) * interval)):
+			return nil, fmt.Errorf("price feed: line %d: timestamp %s is not after the previous row (rows must be in strictly increasing order)",
+				rows[i].line, ts.Format(time.RFC3339))
+		case !ts.Equal(want):
+			return nil, fmt.Errorf("price feed: line %d: timestamp %s breaks the %s grid (want %s)",
+				rows[i].line, ts.Format(time.RFC3339), interval, want.Format(time.RFC3339))
+		}
+		samples = append(samples, v)
+	}
+	return timeseries.NewPrice(start, interval, samples)
+}
+
+// feedJSON is the JSON wire shape: an explicit start and interval plus
+// the dense price array.
+type feedJSON struct {
+	Start           time.Time `json:"start"`
+	IntervalSeconds int       `json:"interval_seconds"`
+	Prices          []float64 `json:"prices"`
+}
+
+// ParseJSON reads the JSON price-feed shape
+//
+//	{"start": "2016-03-01T00:00:00Z", "interval_seconds": 3600,
+//	 "prices": [0.031, 0.042, ...]}
+//
+// The grid is monotonic by construction; the interval must be
+// positive and every price finite (encoding/json already refuses the
+// bare NaN/Infinity tokens, so the finiteness check guards extension
+// decoders and hand-built values). Errors name the offending element.
+func ParseJSON(r io.Reader) (*timeseries.PriceSeries, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in feedJSON
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("price feed: bad JSON: %w", err)
+	}
+	if in.Start.IsZero() {
+		return nil, fmt.Errorf("price feed: JSON is missing \"start\"")
+	}
+	if in.IntervalSeconds <= 0 {
+		return nil, fmt.Errorf("price feed: JSON \"interval_seconds\" %d must be positive", in.IntervalSeconds)
+	}
+	if len(in.Prices) == 0 {
+		return nil, fmt.Errorf("price feed: JSON \"prices\" is empty")
+	}
+	samples := make([]units.EnergyPrice, len(in.Prices))
+	for i, v := range in.Prices {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("price feed: prices[%d] is not finite", i)
+		}
+		samples[i] = units.EnergyPrice(v)
+	}
+	return timeseries.NewPrice(in.Start, time.Duration(in.IntervalSeconds)*time.Second, samples)
+}

@@ -1,0 +1,168 @@
+package feed
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const goodCSV = `timestamp,price_per_kwh
+2016-03-01T00:00:00Z,0.031
+2016-03-01T01:00:00Z,0.042
+2016-03-01T02:00:00Z,-0.005
+`
+
+func TestParseCSV(t *testing.T) {
+	s, err := ParseCSV(strings.NewReader(goodCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Interval() != time.Hour {
+		t.Fatalf("parsed %d samples at %s, want 3 at 1h", s.Len(), s.Interval())
+	}
+	// Negative prices are legal: real-time markets clear negative.
+	if float64(s.At(2)) != -0.005 {
+		t.Errorf("sample 2 = %v, want -0.005", s.At(2))
+	}
+	// Headerless input works too.
+	headerless := strings.Join(strings.Split(goodCSV, "\n")[1:], "\n")
+	if _, err := ParseCSV(strings.NewReader(headerless)); err != nil {
+		t.Fatalf("headerless: %v", err)
+	}
+}
+
+// TestParseCSVRejectsMalformed pins the strict-parsing satellite: every
+// class of garbage is refused with an error naming the offending line.
+func TestParseCSVRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, csv, wantErr string
+	}{
+		{
+			name: "NaN price",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,NaN\n",
+			wantErr: "line 3: price \"NaN\" is not finite",
+		},
+		{
+			name: "positive infinity",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,+Inf\n" +
+				"2016-03-01T01:00:00Z,0.03\n",
+			wantErr: "line 2: price \"+Inf\" is not finite",
+		},
+		{
+			name: "negative infinity",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,-inf\n",
+			wantErr: "line 3: price \"-inf\" is not finite",
+		},
+		{
+			name: "non-numeric price",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,cheap\n",
+			wantErr: "line 3: price field \"cheap\" is not a number",
+		},
+		{
+			name: "backwards timestamps",
+			csv: "timestamp,price_per_kwh\n2016-03-01T02:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,0.04\n",
+			wantErr: "line 3: timestamp 2016-03-01T01:00:00Z is not after line 2's 2016-03-01T02:00:00Z",
+		},
+		{
+			name: "repeated timestamp",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,0.04\n2016-03-01T01:00:00Z,0.05\n",
+			wantErr: "line 4: timestamp 2016-03-01T01:00:00Z is not after the previous row",
+		},
+		{
+			name: "off-grid timestamp",
+			csv: "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n" +
+				"2016-03-01T01:00:00Z,0.04\n2016-03-01T02:30:00Z,0.05\n",
+			wantErr: "line 4: timestamp 2016-03-01T02:30:00Z breaks the 1h0m0s grid",
+		},
+		{
+			name:    "bad timestamp",
+			csv:     "2016-03-01T00:00:00Z,0.03\nyesterday,0.04\n",
+			wantErr: "line 2: timestamp field \"yesterday\" is not RFC 3339",
+		},
+		{
+			name:    "too few rows",
+			csv:     "timestamp,price_per_kwh\n2016-03-01T00:00:00Z,0.03\n",
+			wantErr: "at least two data rows",
+		},
+		{
+			name:    "wrong field count",
+			csv:     "2016-03-01T00:00:00Z,0.03,extra\n",
+			wantErr: "bad CSV",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseCSV(strings.NewReader(tc.csv))
+			if err == nil {
+				t.Fatalf("parsed successfully, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	s, err := ParseJSON(strings.NewReader(
+		`{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.031,0.042,-0.005]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Interval() != time.Hour {
+		t.Fatalf("parsed %d samples at %s, want 3 at 1h", s.Len(), s.Interval())
+	}
+}
+
+func TestParseJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{
+			name:    "NaN token",
+			body:    `{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.03,NaN]}`,
+			wantErr: "bad JSON",
+		},
+		{
+			name:    "infinity via exponent overflow",
+			body:    `{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.03,1e999]}`,
+			wantErr: "bad JSON",
+		},
+		{
+			name:    "missing start",
+			body:    `{"interval_seconds":3600,"prices":[0.03,0.04]}`,
+			wantErr: `missing "start"`,
+		},
+		{
+			name:    "non-positive interval",
+			body:    `{"start":"2016-03-01T00:00:00Z","interval_seconds":0,"prices":[0.03]}`,
+			wantErr: `"interval_seconds" 0 must be positive`,
+		},
+		{
+			name:    "empty prices",
+			body:    `{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[]}`,
+			wantErr: `"prices" is empty`,
+		},
+		{
+			name:    "unknown field",
+			body:    `{"start":"2016-03-01T00:00:00Z","interval_seconds":3600,"prices":[0.03],"pricez":[1]}`,
+			wantErr: "bad JSON",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJSON(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("parsed successfully, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

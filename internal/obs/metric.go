@@ -1,0 +1,68 @@
+package obs
+
+// Scalar metrics to complement the histograms: a monotonically
+// increasing Counter and an instantaneous Gauge, both lock-free and
+// safe for concurrent use. They exist so lower layers (the circuit
+// breaker in internal/resilience, the price-feed cache in
+// internal/feed) can expose state transitions without knowing how the
+// serving layer renders them — the zero value of each is ready to use,
+// and a nil receiver is a no-op, so instrumented code never has to
+// check whether anyone is watching.
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; methods on a nil *Counter are no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move in both directions.
+// The zero value is ready to use; methods on a nil *Gauge are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,152 @@
+// Package resilience holds the generic fault-tolerance primitives the
+// price-feed subsystem is built on: a Retry policy with exponential
+// backoff and deterministic seeded jitter, and a Breaker circuit
+// breaker (closed → open → half-open with a probe budget). Both are
+// stdlib-only and carry no feed-specific knowledge — the paper's
+// contingency discussion (sites keeping a fixed-price backstop, LANL's
+// on-site generation) is about operating through upstream failure, and
+// these are the mechanisms that turn "the market feed is down" into a
+// bounded, observable degradation instead of an outage.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Retry is an exponential-backoff retry policy. The zero value is
+// usable: every field has a production-lean default. Jitter is
+// deterministic per (Seed, attempt), so a fixed seed reproduces the
+// exact delay sequence — chaos runs and tests can replay a schedule.
+type Retry struct {
+	// MaxAttempts bounds the total tries (first call included);
+	// <= 0 selects 4.
+	MaxAttempts int
+	// Base is the backoff envelope's first delay; <= 0 selects 100 ms.
+	Base time.Duration
+	// Cap is the backoff ceiling; <= 0 selects 10 s.
+	Cap time.Duration
+	// Multiplier grows the envelope per attempt; < 1 selects 2.
+	Multiplier float64
+	// Seed drives the deterministic jitter. The same seed yields the
+	// same delay for the same attempt number.
+	Seed int64
+	// Sleep waits between attempts; nil selects a context-aware timer
+	// wait. Tests inject a recorder here.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.Base <= 0 {
+		r.Base = 100 * time.Millisecond
+	}
+	if r.Cap <= 0 {
+		r.Cap = 10 * time.Second
+	}
+	if r.Cap < r.Base {
+		r.Cap = r.Base
+	}
+	if r.Multiplier < 1 {
+		r.Multiplier = 2
+	}
+	if r.Sleep == nil {
+		r.Sleep = sleepCtx
+	}
+	return r
+}
+
+// sleepCtx waits for d or until the context is done, whichever is
+// first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, allocation-free
+// bijective mixer good enough to decorrelate per-attempt jitter.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitterFrac returns a deterministic fraction in [0, 1) for (seed,
+// attempt).
+func jitterFrac(seed int64, attempt int) float64 {
+	return float64(splitmix64(uint64(seed)^splitmix64(uint64(attempt)))>>11) / float64(1<<53)
+}
+
+// Backoff returns the jittered delay before retrying after the given
+// zero-based attempt. The delay always lies within [Base, Cap]: the
+// exponential envelope is min(Cap, Base×Multiplier^attempt) and the
+// jitter places the delay uniformly between Base and that envelope, so
+// early retries stay prompt while repeated failures spread out without
+// ever collapsing below the base or exceeding the cap.
+func (r Retry) Backoff(attempt int) time.Duration {
+	r = r.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	envelope := float64(r.Cap)
+	// Grow in float space, bailing out once past the cap so large
+	// attempt numbers cannot overflow.
+	e := float64(r.Base)
+	for i := 0; i < attempt; i++ {
+		e *= r.Multiplier
+		if e >= envelope {
+			e = envelope
+			break
+		}
+	}
+	if e < envelope {
+		envelope = e
+	}
+	d := float64(r.Base) + jitterFrac(r.Seed, attempt)*(envelope-float64(r.Base))
+	if math.IsNaN(d) || d < float64(r.Base) {
+		d = float64(r.Base)
+	}
+	if d > float64(r.Cap) {
+		d = float64(r.Cap)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, the attempt budget is spent, or the
+// context is done. Between failures it sleeps Backoff(attempt). The
+// last error is returned wrapped with the attempt count; a context
+// error (from the context itself, not op's return) stops retrying
+// immediately.
+func (r Retry) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	r = r.withDefaults()
+	var err error
+	for attempt := 0; attempt < r.MaxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				return cerr
+			}
+			return fmt.Errorf("resilience: gave up after %d attempts (%w): last error: %v", attempt, cerr, err)
+		}
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if attempt+1 >= r.MaxAttempts {
+			break
+		}
+		if serr := r.Sleep(ctx, r.Backoff(attempt)); serr != nil {
+			return fmt.Errorf("resilience: gave up after %d attempts (%w): last error: %v", attempt+1, serr, err)
+		}
+	}
+	return fmt.Errorf("resilience: gave up after %d attempts: %w", r.MaxAttempts, err)
+}

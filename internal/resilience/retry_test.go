@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	r := Retry{Base: 50 * time.Millisecond, Cap: 5 * time.Second, Seed: 42}
+	other := Retry{Base: 50 * time.Millisecond, Cap: 5 * time.Second, Seed: 43}
+	var differs bool
+	for attempt := 0; attempt < 10; attempt++ {
+		a, b := r.Backoff(attempt), r.Backoff(attempt)
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %v then %v", attempt, a, b)
+		}
+		if attempt > 0 && other.Backoff(attempt) != a {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds never produced a different schedule")
+	}
+}
+
+func TestBackoffEnvelopeGrows(t *testing.T) {
+	r := Retry{Base: 10 * time.Millisecond, Cap: time.Second, Multiplier: 2, Seed: 7}
+	// The envelope doubles per attempt; the jittered value must respect
+	// [Base, min(Cap, Base×2^attempt)].
+	for attempt := 0; attempt < 12; attempt++ {
+		d := r.Backoff(attempt)
+		envelope := 10 * time.Millisecond << attempt
+		if envelope > time.Second || envelope <= 0 {
+			envelope = time.Second
+		}
+		if d < 10*time.Millisecond || d > envelope {
+			t.Errorf("attempt %d: backoff %v outside [10ms, %v]", attempt, d, envelope)
+		}
+	}
+}
+
+func TestDoStopsOnSuccess(t *testing.T) {
+	calls := 0
+	r := Retry{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	var slept []time.Duration
+	r := Retry{MaxAttempts: 3, Seed: 1,
+		Sleep: func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }}
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want wrapped %v", err, boom)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 calls with 2 sleeps between", calls, len(slept))
+	}
+	// The recorded sleeps are exactly the deterministic schedule.
+	for i, d := range slept {
+		if want := r.Backoff(i); d != want {
+			t.Errorf("sleep %d = %v, want Backoff(%d) = %v", i, d, i, want)
+		}
+	}
+}
+
+func TestDoStopsWhenContextDies(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	r := Retry{MaxAttempts: 10, Sleep: func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}
+	err := r.Do(ctx, func(context.Context) error { calls++; return errors.New("down") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled in the chain", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after the context died, want 1", calls)
+	}
+}
+
+func TestSleepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx on dead context = %v", err)
+	}
+	if err := sleepCtx(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("sleepCtx = %v", err)
+	}
+}
+
+// FuzzBackoff pins the jitter window invariant for arbitrary policies:
+// every delay stays within [Base, Cap], and the schedule is a pure
+// function of (seed, attempt).
+func FuzzBackoff(f *testing.F) {
+	f.Add(int64(1), int64(100), int64(10000), 2.0, 3)
+	f.Add(int64(-9), int64(1), int64(1), 1.5, 0)
+	f.Add(int64(7), int64(50000), int64(1000), 10.0, 40)
+	f.Fuzz(func(t *testing.T, seed, baseMS, capMS int64, mult float64, attempt int) {
+		if baseMS < 0 || capMS < 0 || baseMS > 1<<20 || capMS > 1<<20 || attempt < 0 || attempt > 1000 {
+			t.Skip()
+		}
+		r := Retry{
+			Base:       time.Duration(baseMS) * time.Millisecond,
+			Cap:        time.Duration(capMS) * time.Millisecond,
+			Multiplier: mult,
+			Seed:       seed,
+		}
+		eff := r.withDefaults()
+		d := r.Backoff(attempt)
+		if d < eff.Base || d > eff.Cap {
+			t.Fatalf("Backoff(%d) = %v outside [%v, %v] (policy %+v)", attempt, d, eff.Base, eff.Cap, eff)
+		}
+		if again := r.Backoff(attempt); again != d {
+			t.Fatalf("Backoff(%d) not reproducible: %v then %v", attempt, d, again)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package serve
 // produces — so CLI pipelines and the service are interchangeable.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/contract"
+	"repro/internal/feed"
 	"repro/internal/hpc"
 	"repro/internal/obs"
 	"repro/internal/survey"
@@ -231,46 +233,133 @@ func specNeedsFeed(spec *contract.Spec) bool {
 	return false
 }
 
+// feedResolution records how a request's market prices were obtained —
+// for response headers, the degraded body marking, and metrics. The
+// zero value means "no server feed consulted" (static spec, explicit
+// flat rate, or no feed configured).
+type feedResolution struct {
+	used   bool
+	state  feed.State
+	age    time.Duration
+	reason string
+}
+
+func (fr feedResolution) degraded() bool { return fr.used && fr.state == feed.Degraded }
+
+// worse keeps the more severe of two resolutions (degraded > stale >
+// fresh > unused), for multi-engine requests like /v1/advise.
+func (fr feedResolution) worse(other feedResolution) feedResolution {
+	switch {
+	case !other.used:
+		return fr
+	case !fr.used, other.state > fr.state:
+		return other
+	default:
+		return fr
+	}
+}
+
 // engineFor parses the raw contract spec, resolves the feed, and
 // returns the compiled engine — from the LRU when the same spec (and,
 // for dynamic tariffs, the same feed) was compiled before. The cache
 // span covers the whole lookup (including any single-flight wait); the
 // compile span covers only an actual build.
-func (s *Server) engineFor(ctx context.Context, raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, error) {
+//
+// Feed resolution, for specs with a dynamic tariff: an explicit
+// feed.flat_rate_per_kwh in the request (or no configured PriceFeed)
+// selects the flat reference feed, bit-for-bit the pre-feed behavior.
+// Otherwise the configured feed answers fresh or stale — the engine is
+// keyed on the feed version, so a refreshed feed recompiles and a
+// stable one reuses the cache — and a degraded answer swaps the spec
+// for its fixed-fallback form (Spec.FallbackSpec) so billing proceeds
+// at the contract's declared backstop price instead of failing.
+func (s *Server) engineFor(ctx context.Context, raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, feedResolution, error) {
+	var res feedResolution
 	if len(raw) == 0 {
-		return nil, errors.New("contract: missing contract spec")
+		return nil, res, errors.New("contract: missing contract spec")
 	}
 	spec, err := contract.ParseSpec(raw)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 	key, err := contract.HashSpec(spec)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 
-	rate := defaultFlatFeedRate
-	if feedSpec != nil && feedSpec.FlatRatePerKWh > 0 {
-		rate = feedSpec.FlatRatePerKWh
-	}
-	var feed *timeseries.PriceSeries
-	if specNeedsFeed(spec) {
+	var prices *timeseries.PriceSeries
+	switch {
+	case !specNeedsFeed(spec):
+		// Static specs never consult a feed; key and build match the
+		// pre-feed fast path exactly.
+	case s.cfg.PriceFeed == nil || (feedSpec != nil && feedSpec.FlatRatePerKWh > 0):
 		// Flat reference feed over the load span, as cmd/scbill does.
+		rate := defaultFlatFeedRate
+		if feedSpec != nil && feedSpec.FlatRatePerKWh > 0 {
+			rate = feedSpec.FlatRatePerKWh
+		}
 		n := int(load.End().Sub(load.Start())/time.Hour) + 1
-		feed = timeseries.ConstantPrice(load.Start(), time.Hour, n, units.EnergyPrice(rate))
+		prices = timeseries.ConstantPrice(load.Start(), time.Hour, n, units.EnergyPrice(rate))
 		key = fmt.Sprintf("%s|flat:%g:%s:%d", key, rate,
 			load.Start().UTC().Format(time.RFC3339), n)
+	default:
+		fr := s.cfg.PriceFeed.Prices(ctx, load.Start(), load.End())
+		res = feedResolution{used: true, state: fr.State, age: fr.Age, reason: fr.Reason}
+		if fr.State == feed.Degraded {
+			spec = spec.FallbackSpec(s.cfg.FallbackRate)
+			key = fmt.Sprintf("%s|fallback:%g", key, s.cfg.FallbackRate)
+		} else {
+			prices = fr.Series
+			key = fmt.Sprintf("%s|feed:%d", key, fr.Version)
+		}
 	}
 
 	defer obs.Span(ctx, stageCache)()
-	return s.cache.get(key, func() (*contract.Engine, error) {
+	eng, err := s.cache.get(key, func() (*contract.Engine, error) {
 		defer obs.Span(ctx, stageCompile)()
-		c, err := spec.Build(contract.BuildContext{Feed: feed})
+		c, err := spec.Build(contract.BuildContext{Feed: prices})
 		if err != nil {
 			return nil, err
 		}
 		return contract.NewEngine(c)
 	})
+	return eng, res, err
+}
+
+// noteFeed sets the feed-state response headers and counts stale and
+// degraded answers. Must run before the response body is written.
+func (s *Server) noteFeed(w http.ResponseWriter, fr feedResolution) {
+	if !fr.used {
+		return
+	}
+	w.Header().Set("X-SCBill-Feed", fr.state.String())
+	switch fr.state {
+	case feed.Stale:
+		s.metrics.feedStale.Add(1)
+		w.Header().Set("X-SCBill-Feed-Age", fr.age.Round(time.Second).String())
+	case feed.Degraded:
+		s.metrics.degraded.Add(1)
+		w.Header().Set("X-SCBill-Degraded", fr.reason)
+	}
+}
+
+// markDegraded splices "degraded": true and the reason into a rendered
+// bill without re-marshalling, so non-degraded responses stay byte-
+// identical to contract.Bill.JSON().
+func markDegraded(data []byte, reason string) []byte {
+	i := bytes.LastIndexByte(data, '}')
+	if i < 0 {
+		return data
+	}
+	reasonJSON, _ := json.Marshal(reason)
+	var b bytes.Buffer
+	b.Grow(len(data) + len(reasonJSON) + 64)
+	b.Write(bytes.TrimRight(data[:i], " \t\n"))
+	b.WriteString(",\n  \"degraded\": true,\n  \"degraded_reason\": ")
+	b.Write(reasonJSON)
+	b.WriteString("\n}")
+	b.Write(data[i+1:])
+	return b.Bytes()
 }
 
 func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
@@ -283,11 +372,12 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	eng, err := s.engineFor(r.Context(), req.Contract, req.Feed, load)
+	eng, feedRes, err := s.engineFor(r.Context(), req.Contract, req.Feed, load)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.noteFeed(w, feedRes)
 	in := resolveInput(req.Input)
 
 	if hook := s.billHook; hook != nil {
@@ -314,10 +404,13 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 			months[i] = data
 		}
 		writeJSON(w, http.StatusOK, struct {
-			Contract   string            `json:"contract"`
-			Months     []json.RawMessage `json:"months"`
-			GrandTotal float64           `json:"grand_total"`
-		}{eng.Contract().Name, months, contract.TotalOf(bills).Float()})
+			Contract       string            `json:"contract"`
+			Months         []json.RawMessage `json:"months"`
+			GrandTotal     float64           `json:"grand_total"`
+			Degraded       bool              `json:"degraded,omitempty"`
+			DegradedReason string            `json:"degraded_reason,omitempty"`
+		}{eng.Contract().Name, months, contract.TotalOf(bills).Float(),
+			feedRes.degraded(), degradedReason(feedRes)})
 		return
 	}
 
@@ -335,8 +428,20 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if feedRes.degraded() {
+		data = markDegraded(data, feedRes.reason)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
+}
+
+// degradedReason returns the reason only for degraded resolutions, so
+// omitempty drops the field from healthy responses.
+func degradedReason(fr feedResolution) string {
+	if fr.degraded() {
+		return fr.reason
+	}
+	return ""
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -353,20 +458,23 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var feedRes feedResolution
 	candidates := make([]advisor.EngineCandidate, 0, len(req.Candidates))
 	for i, c := range req.Candidates {
-		eng, err := s.engineFor(r.Context(), c.Contract, req.Feed, load)
+		eng, fr, err := s.engineFor(r.Context(), c.Contract, req.Feed, load)
 		if err != nil {
 			writeError(w, http.StatusBadRequest,
 				fmt.Sprintf("advise: candidate %d: %v", i, err))
 			return
 		}
+		feedRes = feedRes.worse(fr)
 		name := c.Name
 		if name == "" {
 			name = eng.Contract().Name
 		}
 		candidates = append(candidates, advisor.EngineCandidate{Name: name, Engine: eng})
 	}
+	s.noteFeed(w, feedRes)
 	endEval := obs.Span(r.Context(), stageEvaluate)
 	advice, ranked, err := advisor.AdviseEngines(r.Context(), req.Current, candidates,
 		load, resolveInput(req.Input), units.MoneyFromFloat(req.Materiality))
@@ -521,16 +629,33 @@ func rnpCounts(m map[survey.RNP]int) map[string]int {
 	return out
 }
 
+// handleHealthz is the liveness probe: 200 for as long as the process
+// can serve HTTP at all, draining included. Restart decisions belong to
+// a dead process, not a graceful drain — that distinction is /readyz's.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status, code := "ok", http.StatusOK
+	status := "ok"
 	if s.Draining() {
-		status, code = "draining", http.StatusServiceUnavailable
+		status = "draining"
 	}
-	writeJSON(w, code, struct {
+	writeJSON(w, http.StatusOK, struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		Inflight      int     `json:"inflight"`
 	}{status, time.Since(s.started).Seconds(), s.Inflight()})
+}
+
+// handleReadyz is the readiness probe: it flips to 503 the moment
+// Shutdown begins, so load balancers stop routing new work while the
+// in-flight requests drain behind a still-live /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ready", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status   string `json:"status"`
+		Inflight int    `json:"inflight"`
+	}{status, s.Inflight()})
 }
 
 // decodeBody parses the JSON request body into dst, writing a 400 and

@@ -42,6 +42,14 @@ type metrics struct {
 	gated   *obs.Histogram
 
 	shed atomic.Uint64
+	// panics counts handler panics recovered by instrument.
+	panics atomic.Uint64
+	// degraded counts bill/advise responses computed on the fixed
+	// fallback tariff because the price feed was unavailable past its
+	// staleness budget; feedStale counts responses served on cached
+	// prices while the feed was failing within the budget.
+	degraded  atomic.Uint64
+	feedStale atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -117,10 +125,26 @@ func (s *Server) instrument(path string, h http.Handler) http.Handler {
 
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			if v := recover(); v != nil {
+				// A panicking handler must not take the daemon down: count
+				// it, log it with the request ID, and answer 500 if the
+				// handler had not started the response (if it had, the
+				// connection is poisoned and closing it is all we can do).
+				s.metrics.panics.Add(1)
+				if lg := s.cfg.Logger; lg != nil {
+					lg.Error("handler panic",
+						"path", path, "request_id", id, "panic", fmt.Sprint(v))
+				}
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			s.metrics.observe(path, rec.code, elapsed)
+			s.logRequest(path, id, rec.code, elapsed)
+		}()
 		h.ServeHTTP(rec, r)
-		elapsed := time.Since(start)
-		s.metrics.observe(path, rec.code, elapsed)
-		s.logRequest(path, id, rec.code, elapsed)
 	})
 }
 
@@ -216,6 +240,45 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_shed_total Requests shed with 429 because the queue was full.\n")
 	fmt.Fprintf(w, "# TYPE scserved_shed_total counter\n")
 	fmt.Fprintf(w, "scserved_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "# HELP scserved_panics_total Handler panics recovered by the middleware.\n")
+	fmt.Fprintf(w, "# TYPE scserved_panics_total counter\n")
+	fmt.Fprintf(w, "scserved_panics_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "# HELP scserved_degraded_total Responses billed on the fixed fallback tariff because the price feed was down past its staleness budget.\n")
+	fmt.Fprintf(w, "# TYPE scserved_degraded_total counter\n")
+	fmt.Fprintf(w, "scserved_degraded_total %d\n", m.degraded.Load())
+	fmt.Fprintf(w, "# HELP scserved_feed_stale_total Responses billed on cached prices while the feed was failing within the staleness budget.\n")
+	fmt.Fprintf(w, "# TYPE scserved_feed_stale_total counter\n")
+	fmt.Fprintf(w, "scserved_feed_stale_total %d\n", m.feedStale.Load())
+
+	if pf := s.cfg.PriceFeed; pf != nil {
+		fs := pf.Stats()
+		fmt.Fprintf(w, "# HELP scserved_feed_answers_total Price-feed cache answers, by state.\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_answers_total counter\n")
+		fmt.Fprintf(w, "scserved_feed_answers_total{state=\"fresh\"} %d\n", fs.Fresh)
+		fmt.Fprintf(w, "scserved_feed_answers_total{state=\"stale\"} %d\n", fs.Stale)
+		fmt.Fprintf(w, "scserved_feed_answers_total{state=\"degraded\"} %d\n", fs.Degraded)
+		fmt.Fprintf(w, "# HELP scserved_feed_refreshes_total Successful upstream price fetches.\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_refreshes_total counter\n")
+		fmt.Fprintf(w, "scserved_feed_refreshes_total %d\n", fs.Refreshes)
+		fmt.Fprintf(w, "# HELP scserved_feed_refresh_failures_total Failed upstream price-fetch attempts.\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_refresh_failures_total counter\n")
+		fmt.Fprintf(w, "scserved_feed_refresh_failures_total %d\n", fs.RefreshFailures)
+		if age, ok := pf.Age(); ok {
+			fmt.Fprintf(w, "# HELP scserved_feed_age_seconds Age of the cached price series.\n")
+			fmt.Fprintf(w, "# TYPE scserved_feed_age_seconds gauge\n")
+			fmt.Fprintf(w, "scserved_feed_age_seconds %g\n", age.Seconds())
+		}
+		bs := pf.Breaker().Stats()
+		fmt.Fprintf(w, "# HELP scserved_feed_breaker_state Feed circuit-breaker state (0 closed, 1 half-open, 2 open).\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_breaker_state gauge\n")
+		fmt.Fprintf(w, "scserved_feed_breaker_state %d\n", pf.Breaker().State())
+		fmt.Fprintf(w, "# HELP scserved_feed_breaker_opens_total Times the feed breaker tripped open.\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_breaker_opens_total counter\n")
+		fmt.Fprintf(w, "scserved_feed_breaker_opens_total %d\n", bs.Opens)
+		fmt.Fprintf(w, "# HELP scserved_feed_breaker_rejections_total Fetches rejected fast by the open feed breaker.\n")
+		fmt.Fprintf(w, "# TYPE scserved_feed_breaker_rejections_total counter\n")
+		fmt.Fprintf(w, "scserved_feed_breaker_rejections_total %d\n", bs.Rejections)
+	}
 
 	fmt.Fprintf(w, "# HELP scserved_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE scserved_uptime_seconds gauge\n")

@@ -25,8 +25,16 @@
 //	GET  /v1/survey/roster    Table 1
 //	GET  /v1/survey/records   Table 2 (+ RNP column)
 //	GET  /v1/survey/typology  Figure 1 tree + aggregate counts
-//	GET  /healthz             liveness and drain state
+//	GET  /healthz             liveness (200 as long as the process serves)
+//	GET  /readyz              readiness (503 as soon as draining begins)
 //	GET  /metrics             Prometheus text exposition
+//
+// Dynamic tariffs can bill against a live market feed (Config.PriceFeed,
+// a feed.Cached): prices are served fresh, stale within a staleness
+// budget when the upstream is flaky, or — once the budget is blown —
+// the bill degrades to the contract's declared fixed fallback rate and
+// is marked degraded in both body and X-SCBill-Degraded header. A dead
+// price feed therefore never turns into a 5xx on /v1/bill.
 package serve
 
 import (
@@ -39,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/feed"
 	"repro/internal/obs"
 )
 
@@ -70,6 +79,15 @@ type Config struct {
 	// at warning level instead of info. 0 selects 1 s; < 0 disables
 	// the slow marker (every request logs at info).
 	SlowRequest time.Duration
+	// PriceFeed, when set, supplies market prices for dynamic tariffs.
+	// Requests that pin an explicit flat feed rate bypass it, and specs
+	// without dynamic tariffs never consult it. nil keeps the flat
+	// reference-feed behavior for every request.
+	PriceFeed *feed.Cached
+	// FallbackRate is the fixed price dynamic tariffs bill at when the
+	// feed is degraded and the spec declares no fallback_rate of its
+	// own; <= 0 selects the flat reference rate (0.045/kWh).
+	FallbackRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +111,9 @@ func (c Config) withDefaults() Config {
 		c.SlowRequest = 0
 	case c.SlowRequest == 0:
 		c.SlowRequest = time.Second
+	}
+	if c.FallbackRate <= 0 {
+		c.FallbackRate = defaultFlatFeedRate
 	}
 	return c
 }
@@ -142,6 +163,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.Handle("GET /v1/survey/records", s.instrument("/v1/survey/records", http.HandlerFunc(s.handleSurveyRecords)))
 	s.mux.Handle("GET /v1/survey/typology", s.instrument("/v1/survey/typology", http.HandlerFunc(s.handleSurveyTypology)))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /readyz", s.instrument("/readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	return s
 }

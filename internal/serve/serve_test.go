@@ -456,14 +456,26 @@ func TestShutdownDrains(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining server must refuse new work with 503, got %d: %s", resp.StatusCode, body)
 	}
+	// Probe split during drain: liveness stays 200 (the process is
+	// healthy, just finishing up) while readiness flips to 503 so the
+	// balancer stops routing here.
 	hresp, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hbody, _ := io.ReadAll(hresp.Body)
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hbody), "draining") {
-		t.Errorf("healthz during drain: %d %s", hresp.StatusCode, hbody)
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hbody), "draining") {
+		t.Errorf("healthz during drain must stay 200 and report draining: %d %s", hresp.StatusCode, hbody)
+	}
+	rresp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbody, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(rbody), "draining") {
+		t.Errorf("readyz during drain must 503: %d %s", rresp.StatusCode, rbody)
 	}
 
 	select {
