@@ -1,10 +1,12 @@
 # Developer entry points. `make check` is the full gate: build, vet,
-# and the race-enabled test suite (the parallel month evaluator in
-# internal/billing makes -race mandatory before merging).
+# the scvet invariant suite, and the race-enabled test suite (the
+# parallel month evaluator in internal/billing makes -race mandatory
+# before merging).
 
 GO ?= go
+SCVET := bin/scvet
 
-.PHONY: all build vet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz chaos clean
+.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz chaos clean
 
 all: check
 
@@ -14,28 +16,45 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Build the repo's custom analyzer suite from the module itself: scvet
+# can never be "not installed", so unlike the third-party linters it
+# never soft-skips.
+scvet-build:
+	$(GO) build -o $(SCVET) ./cmd/scvet
+
+# The vettool path must be absolute: go vet execs it from each
+# package's directory.
+scvet: scvet-build
+	$(GO) vet -vettool=$(CURDIR)/$(SCVET) ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet scvet race
 
 # Fail if any file is not gofmt-clean (CI gate).
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Static analysis beyond vet: staticcheck and govulncheck, each used
-# when installed and skipped with a notice otherwise, so lint runs
-# usefully both in CI (which installs them) and on bare checkouts.
-lint: vet
+# Static analysis beyond vet: the in-tree scvet suite always runs;
+# staticcheck and govulncheck run when installed. Locally a missing
+# tool skips with a notice (bare checkouts stay usable); in CI ($CI
+# set) a missing tool is a hard failure — CI must never silently "pass"
+# a gate it didn't run.
+lint: vet scvet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "lint: staticcheck not installed in CI" >&2; exit 1; \
 	else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "lint: govulncheck not installed in CI" >&2; exit 1; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
 # Run the billing-as-a-service daemon on :8080 (see cmd/scserved -h).
@@ -74,3 +93,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -f $(SCVET)

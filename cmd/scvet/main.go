@@ -1,0 +1,33 @@
+// Command scvet is the repo's custom static-analysis suite, packaged
+// as a `go vet -vettool`-compatible multichecker:
+//
+//	go build -o bin/scvet ./cmd/scvet
+//	go vet -vettool=$(pwd)/bin/scvet ./...
+//
+// It runs five analyzers that mechanically enforce the billing
+// invariants (see each package's doc, or `scvet -scvet.doc`):
+// moneyfloat, nondeterm, ctxloop, lockheld, metricname. A finding can
+// be suppressed — with an auditable reason — by a directive on the
+// same line or the line above:
+//
+//	//lint:scvet-ignore <analyzer> <reason>
+package main
+
+import (
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/moneyfloat"
+	"repro/internal/analysis/nondeterm"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		moneyfloat.Analyzer,
+		nondeterm.Analyzer,
+		ctxloop.Analyzer,
+		lockheld.Analyzer,
+		metricname.Analyzer,
+	)
+}

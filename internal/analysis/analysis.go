@@ -1,0 +1,206 @@
+// Package analysis is the reproduction's stdlib-only static-analysis
+// framework: a deliberately small mirror of the golang.org/x/tools
+// go/analysis API (Analyzer, Pass, Diagnostic) plus the shared driver
+// logic the scvet suite runs on. The repo's billing invariants —
+// micro-unit fixed-point money, byte-identical bill JSON, seeded
+// determinism, ctx-cancellable evaluation loops, no slow work under a
+// mutex — are enforceable mechanically, but the module has a
+// no-network, zero-dependency constraint, so instead of importing
+// x/tools this package reimplements the thin slice of it the suite
+// needs on go/ast + go/types alone. The shapes match x/tools on
+// purpose: if the dependency ever becomes available, each analyzer
+// ports by changing an import path.
+//
+// Two drivers consume this package: unitchecker (the `go vet
+// -vettool` protocol, used by cmd/scvet in `make lint` / `make check`)
+// and analysistest (fixture packages under testdata/ with `// want`
+// annotations, used by each analyzer's tests). Both funnel through
+// RunAnalyzers so suppression directives behave identically in CI and
+// in tests.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a directive comment on the same line
+// or on the line directly above:
+//
+//	//lint:scvet-ignore <analyzer> <reason>
+//
+// The reason is mandatory: a directive without one does not suppress
+// anything and is itself reported as a diagnostic (category
+// "scvet-ignore"), so silence always has an auditable justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects the package in the Pass
+// and reports findings through pass.Report / pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// scvet-ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by documentation and
+	// kept next to the invariant the analyzer guards.
+	Doc string
+	// Run performs the analysis. A non-nil error aborts the whole
+	// scvet run (driver failure, not a finding).
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only (driver filters)
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report emits one diagnostic. The Analyzer field is stamped by the
+// driver; analyzers only fill Pos and Message.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the package's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// IgnoreAnalyzer is the pseudo-analyzer name under which malformed
+// suppression directives (no reason) are reported.
+const IgnoreAnalyzer = "scvet-ignore"
+
+// ignorePrefix is the directive marker, after the comment slashes.
+const ignorePrefix = "lint:scvet-ignore"
+
+// directive is one parsed //lint:scvet-ignore comment.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseDirectives extracts every scvet-ignore directive in the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are not directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := directive{pos: c.Pos()}
+				posn := fset.Position(c.Pos())
+				d.file, d.line = posn.Filename, posn.Line
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers type-checks nothing — it receives an already-checked
+// package — and runs every analyzer over the non-test files, applying
+// suppression directives. The returned diagnostics are sorted by
+// position and include one extra finding per malformed directive.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prod := files[:0:0]
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // invariants target production code
+		}
+		prod = append(prod, f)
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     prod,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	dirs := parseDirectives(fset, prod)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(fset, d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.reason == "" {
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: IgnoreAnalyzer,
+				Message:  "scvet-ignore directive without a reason (want //lint:scvet-ignore <analyzer> <reason>); it suppresses nothing",
+			})
+		}
+	}
+
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}
+
+// suppressed reports whether a reasoned directive covers the
+// diagnostic: same file, matching analyzer, and the directive sits on
+// the diagnostic's line or the line directly above it.
+func suppressed(fset *token.FileSet, d Diagnostic, dirs []directive) bool {
+	posn := fset.Position(d.Pos)
+	for _, dir := range dirs {
+		if dir.reason == "" || dir.analyzer != d.Analyzer || dir.file != posn.Filename {
+			continue
+		}
+		if dir.line == posn.Line || dir.line == posn.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package analysis_test
+
+// Driver-level tests: _test.go filtering, diagnostic ordering, and the
+// scvet-ignore suppression contract (reasoned directives suppress on
+// their own line or the line below; reasonless directives suppress
+// nothing and are themselves reported).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const prodSrc = `package p
+
+func bad() {}
+
+func f() {
+	bad()
+	bad() //lint:scvet-ignore testcheck boundary code audited in review
+	//lint:scvet-ignore testcheck the line-above form also counts
+	bad()
+	//lint:scvet-ignore othercheck a different analyzer's directive does not cover testcheck
+	bad()
+	//lint:scvet-ignore testcheck
+	bad()
+}
+`
+
+const testSrc = `package p
+
+func g() {
+	bad() // in a _test.go file: never analyzed
+}
+`
+
+// testcheck flags every call to a function named bad.
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls to bad()",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionAndFiltering(t *testing.T) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range map[string]string{"p.go": prodSrc, "p_test.go": testSrc} {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{testcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type finding struct {
+		line     int
+		analyzer string
+	}
+	var got []finding
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if posn.Filename != "p.go" {
+			t.Errorf("diagnostic from %s: _test.go files must not be analyzed", posn.Filename)
+		}
+		got = append(got, finding{posn.Line, d.Analyzer})
+	}
+	want := []finding{
+		{6, "testcheck"},              // no directive
+		{11, "testcheck"},             // othercheck directive does not cover testcheck
+		{12, analysis.IgnoreAnalyzer}, // reasonless directive is itself a finding
+		{13, "testcheck"},             // ... and suppresses nothing
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d = %+v, want %+v (order must be positional)", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package analysistest runs a scvet analyzer over fixture packages
+// under a testdata directory and checks its diagnostics against
+// `// want` annotations — a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout mirrors x/tools: fixtures live in testdata/src/<pkgpath>/ and
+// are loaded GOPATH-style, so a fixture at testdata/src/internal/units
+// is importable from sibling fixtures as "internal/units" and carries
+// the package path "internal/units" — which is exactly what the
+// analyzers' segment-aligned scope matching keys on. Standard-library
+// imports resolve from GOROOT source via the "source" compiler
+// importer, so fixtures may import time, sync, math/rand, and friends.
+//
+// Annotations:
+//
+//	code()        // want "regexp" "second regexp"
+//	// want-below "regexp"       (applies to the next line; used when
+//	                              the diagnostic's own line already
+//	                              carries a directive comment)
+//
+// Each expectation must match exactly one diagnostic reported on its
+// line, by analyzer-agnostic regexp match on the message. Unmatched
+// diagnostics and unsatisfied expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("analysistest: no testdata directory: %v", err)
+	}
+	return dir
+}
+
+// loader shares one FileSet and one source importer per testdata root:
+// the "source" importer type-checks stdlib packages from GOROOT source,
+// which is expensive enough to be worth caching across fixture
+// packages and analyzers within a test binary.
+type loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*loader{}
+)
+
+// loaderFor returns the cached loader for the testdata root, pointing
+// go/build's default context at it GOPATH-style so fixture-local
+// imports ("internal/units") resolve under testdata/src.
+func loaderFor(testdata string) *loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[testdata]; ok {
+		return l
+	}
+	// The source importer captures &build.Default; pointing GOPATH at
+	// the fixture tree is what makes testdata/src the import root.
+	// Test binaries for one analyzer package share one testdata dir,
+	// so the mutation is stable for the life of the process. Module
+	// mode must be off or go/build would ask the go command to resolve
+	// fixture imports against the enclosing repro module (where they
+	// deliberately don't exist).
+	os.Setenv("GO111MODULE", "off")
+	build.Default.GOPATH = testdata
+	fset := token.NewFileSet()
+	l := &loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	loaders[testdata] = l
+	return l
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's (suppression-filtered) diagnostics against the fixture's
+// want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := loaderFor(testdata)
+	for _, pkgpath := range pkgpaths {
+		runOne(t, l, testdata, a, pkgpath)
+	}
+}
+
+func runOne(t *testing.T, l *loader, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Errorf("%s: %v", pkgpath, err)
+		return
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Errorf("%s: %v", pkgpath, err)
+			return
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Errorf("%s: no Go files in %s", pkgpath, dir)
+		return
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		t.Errorf("%s: fixture does not type-check: %v", pkgpath, err)
+		return
+	}
+
+	diags, err := analysis.RunAnalyzers(l.fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", pkgpath, err)
+		return
+	}
+
+	wants := collectWants(t, l.fset, files)
+	for _, d := range diags {
+		posn := l.fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: [%s] %s", pkgpath, posn, d.Analyzer, d.Message)
+		}
+	}
+	var leftover []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", key.file, key.line, w.String()))
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Errorf("%s: %s", pkgpath, msg)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses `// want "rx"...` and `// want-below "rx"...`
+// annotations out of the fixture comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				lineDelta := 0
+				spec, below := strings.CutPrefix(text, "want-below")
+				if below {
+					lineDelta = 1
+				} else if spec, ok = strings.CutPrefix(text, "want"); !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := lineKey{posn.Filename, posn.Line + lineDelta}
+				for _, q := range splitQuoted(spec) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", posn, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], rx)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the double-quoted or backquoted tokens of s.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		case '`':
+			j := strings.IndexByte(s[i+1:], '`')
+			if j >= 0 {
+				out = append(out, s[i:i+j+2])
+				i += j + 1
+			}
+		}
+	}
+	return out
+}

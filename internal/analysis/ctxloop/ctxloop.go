@@ -1,0 +1,176 @@
+// Package ctxloop requires sample loops in billing paths to poll for
+// cancellation.
+//
+// Invariant guarded: a year of 15-minute samples is ~35k points and a
+// pathological request can carry far more; scserved threads a request
+// context into every evaluation precisely so that a disconnected
+// client stops burning CPU. A function that takes a context and then
+// iterates PowerSeries samples without ever consulting it silently
+// breaks that contract. Inside internal/billing and internal/contract,
+// any outermost loop whose body reads PowerSeries samples (At/TimeAt)
+// must poll ctx.Done(), receive from a done channel, or delegate to a
+// context-aware ...Ctx helper (possibly every N iterations — the
+// stride check counts).
+//
+// Functions without a context parameter are exempt: they have nothing
+// to poll (bounded helpers like a per-month peak scan stay legal), and
+// the analyzer's job is to keep the ctx-taking entry points honest.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var scopes = []string{
+	"internal/billing",
+	"internal/contract",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "require loops over PowerSeries samples in ctx-taking billing functions " +
+		"to poll ctx.Done() or call a ...Ctx helper",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass.TypesInfo, fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the declared function takes a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks statements looking for outermost loops. Only maximal
+// loops are judged: a bounded inner loop is fine when the enclosing
+// loop polls (the per-block trace loop shape), so the poll and the
+// sample reads are sought anywhere in the outermost loop's subtree.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a literal's ctx discipline is its own affair
+		case *ast.ForStmt, *ast.RangeStmt:
+			if readsSamples(pass.TypesInfo, n) && !pollsCancellation(pass.TypesInfo, n) {
+				pass.Reportf(n.Pos(),
+					"loop reads PowerSeries samples but never polls ctx; check ctx.Done() (a strided check is fine) or call a ...Ctx helper")
+			}
+			return false // inner loops are covered by the outermost verdict
+		}
+		return true
+	})
+}
+
+// readsSamples reports whether the subtree calls PowerSeries.At or
+// PowerSeries.TimeAt (outside nested function literals).
+func readsSamples(info *types.Info, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || (fn.Name() != "At" && fn.Name() != "TimeAt" && fn.Name() != "Value") {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if analysis.TypeIs(sig.Recv().Type(), "internal/timeseries", "PowerSeries") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pollsCancellation reports whether the subtree contains any
+// cancellation poll: a ctx.Done() call, a receive from a struct{}
+// channel (the shape Done() returns), a call that forwards a
+// context.Context argument, or a call to a ...Ctx helper.
+func pollsCancellation(info *types.Info, loop ast.Node) bool {
+	polled := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if polled {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-done where done is a struct{} channel.
+			if n.Op.String() == "<-" {
+				if tv, ok := info.Types[n.X]; ok {
+					if ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan); ok {
+						if _, isStruct := types.Unalias(ch.Elem()).Underlying().(*types.Struct); isStruct {
+							polled = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(info, n); fn != nil {
+				if fn.Name() == "Done" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+						analysis.IsContextType(sig.Recv().Type()) {
+						polled = true
+						return false
+					}
+				}
+				if strings.HasSuffix(fn.Name(), "Ctx") {
+					polled = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := info.Types[arg]; ok && analysis.IsContextType(tv.Type) {
+					polled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return polled
+}

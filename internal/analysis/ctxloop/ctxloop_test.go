@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer,
+		"internal/billing/pos",
+		"internal/billing/neg",
+		"outofscope/sweep",
+	)
+}

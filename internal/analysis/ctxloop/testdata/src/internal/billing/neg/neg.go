@@ -1,0 +1,111 @@
+// Package neg holds ctxloop near-misses that must stay silent.
+package neg
+
+import (
+	"context"
+
+	"internal/timeseries"
+)
+
+// The canonical strided poll: checking ctx.Done() every N samples
+// counts — the analyzer asks for a poll anywhere in the loop, not one
+// per iteration.
+func StridedPoll(ctx context.Context, load *timeseries.PowerSeries) (float64, error) {
+	done := ctx.Done()
+	var kwh float64
+	for i := 0; i < load.Len(); i++ {
+		if i&2047 == 0 {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		kwh += load.At(i)
+	}
+	return kwh, nil
+}
+
+// Calling ctx.Done() directly in the loop condition machinery also
+// counts.
+func DirectPoll(ctx context.Context, load *timeseries.PowerSeries) float64 {
+	var kwh float64
+	for i := 0; i < load.Len(); i++ {
+		select {
+		case <-ctx.Done():
+			return kwh
+		default:
+		}
+		kwh += load.At(i)
+	}
+	return kwh
+}
+
+func chunkCtx(ctx context.Context, load *timeseries.PowerSeries, lo, hi int) float64 {
+	var kwh float64
+	for i := lo; i < hi; i++ {
+		select {
+		case <-ctx.Done():
+			return kwh
+		default:
+		}
+		kwh += load.At(i)
+	}
+	return kwh
+}
+
+// Delegating each chunk to a ...Ctx helper counts as polling.
+func Delegated(ctx context.Context, load *timeseries.PowerSeries) float64 {
+	var kwh float64
+	for base := 0; base < load.Len(); base += 512 {
+		end := base + 512
+		if end > load.Len() {
+			end = load.Len()
+		}
+		kwh += chunkCtx(ctx, load, base, end)
+	}
+	return kwh
+}
+
+// Only the outermost loop is judged: a bounded inner block loop is
+// fine when the enclosing loop polls (the traced-evaluation shape).
+func Blocked(ctx context.Context, load *timeseries.PowerSeries) (float64, error) {
+	done := ctx.Done()
+	var kwh float64
+	for base := 0; base < load.Len(); base += 512 {
+		select {
+		case <-done:
+			return 0, ctx.Err()
+		default:
+		}
+		end := base + 512
+		if end > load.Len() {
+			end = load.Len()
+		}
+		for i := base; i < end; i++ {
+			kwh += load.At(i)
+		}
+	}
+	return kwh, nil
+}
+
+// No context parameter, nothing to poll: bounded helpers like the
+// per-month peak scan stay legal.
+func monthPeak(load *timeseries.PowerSeries, lo, hi int) (peak float64) {
+	for i := lo; i < hi; i++ {
+		if p := load.At(i); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// A loop that never touches the sample stream has nothing to answer
+// for, context parameter or not.
+func CountdownCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

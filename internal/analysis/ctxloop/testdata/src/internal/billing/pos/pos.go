@@ -1,0 +1,36 @@
+// Package pos holds ctxloop true positives: functions that accept a
+// context and then iterate PowerSeries samples without ever polling it.
+package pos
+
+import (
+	"context"
+
+	"internal/timeseries"
+)
+
+func SumEnergy(ctx context.Context, load *timeseries.PowerSeries) float64 {
+	var kwh float64
+	for i := 0; i < load.Len(); i++ { // want "loop reads PowerSeries samples but never polls ctx"
+		kwh += load.At(i)
+	}
+	return kwh
+}
+
+func Peak(ctx context.Context, load *timeseries.PowerSeries) (peak float64) {
+	_ = ctx.Err()                     // a pre-loop check is not a poll: the loop itself never looks again
+	for i := 0; i < load.Len(); i++ { // want "loop reads PowerSeries samples but never polls ctx"
+		if p := load.At(i); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// The ctx can hide among other parameters; position doesn't matter.
+func Windowed(load *timeseries.PowerSeries, ctx context.Context, stride int) float64 {
+	var acc float64
+	for i := 0; i < load.Len(); i += stride { // want "loop reads PowerSeries samples but never polls ctx"
+		acc += load.At(i) + float64(load.TimeAt(i).Unix())
+	}
+	return acc
+}

@@ -1,0 +1,15 @@
+// Package timeseries is a fixture stub of the repo's PowerSeries:
+// just enough surface for the ctxloop fixtures to type-check.
+package timeseries
+
+import "time"
+
+type PowerSeries struct {
+	start    time.Time
+	interval time.Duration
+	samples  []float64
+}
+
+func (s *PowerSeries) Len() int               { return len(s.samples) }
+func (s *PowerSeries) At(i int) float64       { return s.samples[i] }
+func (s *PowerSeries) TimeAt(i int) time.Time { return s.start.Add(time.Duration(i) * s.interval) }

@@ -1,0 +1,17 @@
+// Package sweep is outside the ctxloop scopes: experiment sweeps and
+// CLIs may iterate series without a cancellation protocol.
+package sweep
+
+import (
+	"context"
+
+	"internal/timeseries"
+)
+
+func Total(ctx context.Context, load *timeseries.PowerSeries) float64 {
+	var kwh float64
+	for i := 0; i < load.Len(); i++ {
+		kwh += load.At(i)
+	}
+	return kwh
+}

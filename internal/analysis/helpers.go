@@ -1,0 +1,140 @@
+package analysis
+
+// Shared type- and AST-interrogation helpers used by the scvet
+// analyzers. Scope matching is segment-aligned ("internal/billing"
+// matches both the production path "repro/internal/billing" and the
+// fixture path "internal/billing/pos") so analyzers behave identically
+// under go vet and under analysistest's GOPATH-style fixture loading.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathHasSegments reports whether want ("internal/billing") appears in
+// path as a contiguous, slash-segment-aligned run.
+func PathHasSegments(path, want string) bool {
+	if path == want {
+		return true
+	}
+	segs := strings.Split(path, "/")
+	wsegs := strings.Split(want, "/")
+	if len(wsegs) > len(segs) {
+		return false
+	}
+	for i := 0; i+len(wsegs) <= len(segs); i++ {
+		match := true
+		for j, w := range wsegs {
+			if segs[i+j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// InScope reports whether the package path matches any of the
+// segment-aligned scopes.
+func InScope(pkg *types.Package, scopes ...string) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, s := range scopes {
+		if PathHasSegments(pkg.Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for calls through function
+// values, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// FuncIs reports whether fn is the named function or method of a
+// package whose path matches pkgSegs (segment-aligned).
+func FuncIs(fn *types.Func, pkgSegs, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
+		PathHasSegments(fn.Pkg().Path(), pkgSegs)
+}
+
+// IsConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// IsBuiltin reports whether the call invokes a language builtin
+// (len, append, close, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedOf unwraps pointers and aliases down to the named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// TypeIs reports whether t (possibly behind a pointer or alias) is the
+// named type name declared in a package matching pkgSegs.
+func TypeIs(t types.Type, pkgSegs, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && PathHasSegments(n.Obj().Pkg().Path(), pkgSegs)
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg().Path() == "context"
+}
+
+// IsClockFuncType reports whether t is exactly func() time.Time — the
+// blessed injected-clock shape that may be called anywhere, including
+// under a lock.
+func IsClockFuncType(t types.Type) bool {
+	sig, ok := types.Unalias(t).(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return TypeIs(sig.Results().At(0).Type(), "time", "Time")
+}
+
+// IsFloat reports whether t's core representation is a floating-point
+// kind (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,366 @@
+// Package lockheld forbids slow or blocking work while a mutex is
+// held.
+//
+// Invariant guarded: scserved's hot paths serialize on small critical
+// sections (engine cache, feed cache, breaker state). Doing anything
+// slow under one of those locks — a network call, a retry/breaker Do,
+// an engine compile, a channel send, a sleep — turns a per-request
+// cost into a whole-server stall, and calling back into user code
+// under a lock invites the reentrancy deadlock class PR 3 fixed by
+// hand in the engine cache. The analyzer tracks Lock/RLock ... Unlock
+// pairs intra-procedurally (straight-line, if/else, switch, loops) and
+// flags banned operations on any path where a lock is still held.
+// Methods named ...Locked with a receiver are analyzed as holding
+// their receiver's lock at entry, per the repo's naming convention.
+//
+// Calls through plain function values are banned too (a callback's
+// cost is unknowable at the call site) with one blessing: values of
+// type func() time.Time — the injected-clock shape — are exempt.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "forbid network calls, retry/breaker Do, engine compiles, sleeps, and " +
+		"channel operations while holding a sync.Mutex/RWMutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]bool{}
+			if fd.Recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+				held["the caller's lock (...Locked convention)"] = true
+			}
+			w := &walker{pass: pass}
+			w.stmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list in order, mutating held as locks are
+// acquired and released, and returns true if the list always
+// terminates (ends in return or an unconditional control transfer).
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement; the bool result reports "control never
+// proceeds past this statement".
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.lockOp(call, held) {
+				return false
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the
+		// function, which is exactly what tracking "still held" models;
+		// other deferred work runs at return and is out of scope.
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold the caller's lock; its
+		// body is a function literal and literals are not descended.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(s.Arrow, "channel send while holding %s; release the lock first", heldNames(held))
+		}
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: stop tracking this list
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		branches := [][]ast.Stmt{s.Body.List}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			branches = append(branches, e.List)
+		case *ast.IfStmt:
+			branches = append(branches, []ast.Stmt{e})
+		}
+		w.branchJoin(branches, held, s.Else == nil)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				w.stmt(sw.Init, held)
+			}
+			if sw.Tag != nil {
+				w.expr(sw.Tag, held)
+			}
+			body = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				w.stmt(ts.Init, held)
+			}
+			body = ts.Body
+		}
+		var branches [][]ast.Stmt
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branches = append(branches, cc.Body)
+			}
+		}
+		w.branchJoin(branches, held, true)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range body(s.Body) {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.pass.Reportf(s.Pos(), "blocking select while holding %s; release the lock first", heldNames(held))
+		}
+		var branches [][]ast.Stmt
+		for _, c := range body(s.Body) {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branches = append(branches, cc.Body)
+			}
+		}
+		w.branchJoin(branches, held, true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		loop := copyHeld(held)
+		w.stmts(s.Body.List, loop)
+		if s.Post != nil {
+			w.stmt(s.Post, loop)
+		}
+		union(held, loop)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		loop := copyHeld(held)
+		w.stmts(s.Body.List, loop)
+		union(held, loop)
+	}
+	return false
+}
+
+// branchJoin walks each branch on a copy of the entry state and joins
+// the survivors: a branch that terminates (returns) contributes
+// nothing; the rest contribute the union of their exit states, plus
+// the fall-through entry state when the construct may be skipped
+// entirely (no else / no exhaustive cases).
+func (w *walker) branchJoin(branches [][]ast.Stmt, held map[string]bool, mayFallThrough bool) {
+	exit := map[string]bool{}
+	if mayFallThrough {
+		union(exit, held)
+	}
+	any := mayFallThrough
+	for _, b := range branches {
+		st := copyHeld(held)
+		if !w.stmts(b, st) {
+			union(exit, st)
+			any = true
+		}
+	}
+	if any {
+		for k := range held {
+			delete(held, k)
+		}
+		union(held, exit)
+	}
+}
+
+// lockOp handles mu.Lock/RLock/Unlock/RUnlock expression statements,
+// returning true if the call was one.
+func (w *walker) lockOp(call *ast.CallExpr, held map[string]bool) bool {
+	fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held[key] = true
+		return true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+		return true
+	case "TryLock", "TryRLock":
+		// Result-dependent; treated as not acquiring for tracking.
+		return true
+	}
+	return false
+}
+
+// expr inspects an expression subtree for banned operations while a
+// lock is held. Function literals are not descended: they run later,
+// in a context of their own.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.pass.Reportf(n.OpPos, "blocking channel receive while holding %s; release the lock first", heldNames(held))
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags banned callees while a lock is held.
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
+	info := w.pass.TypesInfo
+	if analysis.IsBuiltin(info, call) || analysis.IsConversion(info, call) {
+		return
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		// A call through a plain function value: unknowable cost and a
+		// reentrancy hazard — except the blessed injected clock.
+		if tv, ok := info.Types[call.Fun]; ok && analysis.IsClockFuncType(tv.Type) {
+			return
+		}
+		w.pass.Reportf(call.Pos(),
+			"call through function value %s while holding %s; deliver callbacks after unlocking",
+			types.ExprString(call.Fun), heldNames(held))
+		return
+	}
+	name := fn.Name()
+	var pkgPath string
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	hasRecv := sig != nil && sig.Recv() != nil
+
+	bad := ""
+	switch {
+	case pkgPath == "time" && name == "Sleep":
+		bad = "time.Sleep"
+	case pkgPath == "sync" && name == "Wait":
+		bad = "sync ...Wait"
+	case pkgPath == "net/http" && (name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		bad = "net/http " + name
+	case pkgPath == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+		bad = "net." + name
+	case pkgPath == "os/exec" && hasRecv && (name == "Run" || name == "Output" || name == "CombinedOutput" || name == "Start" || name == "Wait"):
+		bad = "os/exec Cmd." + name
+	case name == "Do" && analysis.PathHasSegments(pkgPath, "internal/resilience"):
+		bad = "resilience " + recvName(sig) + ".Do"
+	case analysis.PathHasSegments(pkgPath, "internal/contract") && (name == "Build" || name == "NewEngine"):
+		bad = "contract engine compile (" + name + ")"
+	case name == "Fetch" && hasRecv && sig.Params().Len() > 0 && analysis.IsContextType(sig.Params().At(0).Type()):
+		bad = "provider Fetch"
+	}
+	if bad != "" {
+		w.pass.Reportf(call.Pos(), "%s while holding %s; release the lock first", bad, heldNames(held))
+	}
+}
+
+func recvName(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return "Retry/Breaker"
+	}
+	if n := analysis.NamedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return "Retry/Breaker"
+}
+
+func body(b *ast.BlockStmt) []ast.Stmt {
+	if b == nil {
+		return nil
+	}
+	return b.List
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func union(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func heldNames(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

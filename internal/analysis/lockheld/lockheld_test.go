@@ -1,0 +1,15 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockheld.Analyzer,
+		"locktest/pos",
+		"locktest/neg",
+	)
+}

@@ -1,0 +1,11 @@
+// Package contract is a fixture stub of the repo's spec-compile
+// surface: just enough for the lockheld fixtures to type-check.
+package contract
+
+type Spec struct{}
+
+type Engine struct{}
+
+func (s Spec) Build() (*Engine, error) { return &Engine{}, nil }
+
+func NewEngine(s Spec) (*Engine, error) { return s.Build() }

@@ -1,0 +1,13 @@
+// Package resilience is a fixture stub of the repo's retry/breaker
+// surface: just enough for the lockheld fixtures to type-check.
+package resilience
+
+import "context"
+
+type Retry struct{}
+
+func (r *Retry) Do(ctx context.Context, op func(context.Context) error) error { return op(ctx) }
+
+type Breaker struct{}
+
+func (b *Breaker) Do(ctx context.Context, op func(context.Context) error) error { return op(ctx) }

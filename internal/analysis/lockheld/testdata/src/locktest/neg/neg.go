@@ -1,0 +1,106 @@
+// Package neg holds lockheld near-misses that must stay silent: the
+// unlock-before-slow-work shapes the production caches actually use.
+package neg
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu    sync.Mutex
+	val   []float64
+	stamp time.Time
+	now   func() time.Time
+	ttl   time.Duration
+	ch    chan int
+	onEvt func(int)
+}
+
+// Unlock before the slow call: the straight-line happy path.
+func (c *cache) refresh() error {
+	c.mu.Lock()
+	stale := c.now().Sub(c.stamp) > c.ttl // injected clock: blessed under the lock
+	c.mu.Unlock()
+	if !stale {
+		return nil
+	}
+	resp, err := http.Get("http://example.com/prices")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	c.mu.Lock()
+	c.stamp = c.now()
+	c.mu.Unlock()
+	return nil
+}
+
+// The fresh-hit fast path: unlock inside the if body, return; the
+// slow work after the if runs with the lock released on every path.
+func (c *cache) prices() ([]float64, error) {
+	c.mu.Lock()
+	if c.now().Sub(c.stamp) <= c.ttl {
+		v := c.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	resp, err := http.Get("http://example.com/prices")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.val, nil
+}
+
+// Channel operations without any lock held are no business of this
+// analyzer.
+func (c *cache) publish(v int) {
+	c.ch <- v
+	_ = <-c.ch
+}
+
+// A select with a default never blocks; polling under a short lock is
+// legal.
+func (c *cache) poll() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-c.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Work handed to a goroutine does not run under the caller's lock.
+func (c *cache) fanOut() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		c.onEvt(1)
+	}()
+}
+
+// Deliver callbacks after unlocking: the fixed breaker shape.
+func (c *cache) notify(evts []int) {
+	c.mu.Lock()
+	pending := evts
+	c.mu.Unlock()
+	for _, e := range pending {
+		c.onEvt(e)
+	}
+}
+
+// Calling a plain named helper under the lock is fine — the analyzer
+// is intra-procedural and bans only the known-slow call classes.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.len()
+}
+
+func (c *cache) len() int { return len(c.val) }

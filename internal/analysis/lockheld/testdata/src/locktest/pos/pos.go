@@ -1,0 +1,114 @@
+// Package pos holds lockheld true positives: slow or blocking work
+// performed while a sync.Mutex/RWMutex is held.
+package pos
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"internal/contract"
+	"internal/resilience"
+)
+
+type fetcher interface {
+	Fetch(ctx context.Context, lo, hi int64) ([]float64, error)
+}
+
+type server struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	ch     chan int
+	onEvt  func(int)
+	client *http.Client
+	feed   fetcher
+	wg     sync.WaitGroup
+}
+
+func (s *server) sleepy() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want `time.Sleep while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) sendHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+}
+
+func (s *server) recvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `blocking channel receive while holding s.mu`
+}
+
+func (s *server) netHeld() error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := http.Get("http://example.com/prices") // want `net/http Get while holding s.rw`
+	return err
+}
+
+func (s *server) dialHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := net.Dial("tcp", "db:5432") // want `net.Dial while holding s.mu`
+	return err
+}
+
+func (s *server) clientHeld(req *http.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.client.Do(req) // want `net/http Do while holding s.mu`
+	return err
+}
+
+func (s *server) callbackHeld() {
+	s.mu.Lock()
+	s.onEvt(1) // want `call through function value s.onEvt while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) compileHeld(spec contract.Spec) (*contract.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return spec.Build() // want `contract engine compile \(Build\) while holding s.mu`
+}
+
+func (s *server) retryHeld(ctx context.Context, r *resilience.Retry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.Do(ctx, func(context.Context) error { return nil }) // want `resilience Retry.Do while holding s.mu`
+}
+
+func (s *server) fetchHeld(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.feed.Fetch(ctx, 0, 1) // want `provider Fetch while holding s.mu`
+	return err
+}
+
+func (s *server) waitHeld() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync ...Wait while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) selectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding s.mu`
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+}
+
+// Methods named ...Locked hold their receiver's lock by convention:
+// the body is analyzed as held-at-entry. This is the breaker bug shape.
+func (s *server) notifyLocked() {
+	s.onEvt(2) // want `call through function value s.onEvt while holding the caller's lock`
+}

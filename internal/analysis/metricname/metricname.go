@@ -1,0 +1,131 @@
+// Package metricname lints the hand-rolled Prometheus exposition in
+// internal/serve and internal/obs.
+//
+// Invariant guarded: scserved writes its /metrics page by hand (the
+// repo is dependency-free), so nothing but convention keeps the metric
+// namespace coherent. The analyzer checks every string literal:
+// scserved_* tokens must match scserved_[a-z_]+ with the conventional
+// unit/kind suffixes; "# TYPE" headers must agree with the name
+// (counters end in _total, gauges don't, histograms are named for
+// their unit: _seconds or _bytes); and the _bucket/_sum/_count series
+// of a histogram are emitted only by obs.WriteProm — hand-rolling them
+// elsewhere forks the exposition format.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var scopes = []string{
+	"internal/serve",
+	"internal/obs",
+}
+
+var (
+	tokenRx = regexp.MustCompile(`scserved_[A-Za-z0-9_]+`)
+	nameRx  = regexp.MustCompile(`^scserved_[a-z_]+$`)
+	typeRx  = regexp.MustCompile(`# TYPE\s+(\S+)\s+(\S+)`)
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "require Prometheus names in internal/serve and internal/obs to match " +
+		"scserved_[a-z_]+ with suffixes agreeing with the # TYPE kind",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	handRolledOK := analysis.InScope(pass.Pkg, "internal/obs")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind == token.STRING {
+					checkLiteral(pass, n, handRolledOK)
+				}
+			case *ast.CallExpr:
+				checkWriteProm(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit, handRolledOK bool) {
+	text, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for _, tok := range tokenRx.FindAllString(text, -1) {
+		if !nameRx.MatchString(tok) {
+			pass.Reportf(lit.Pos(),
+				"metric name %q does not match scserved_[a-z_]+ (lowercase letters and underscores only)", tok)
+			continue
+		}
+		if !handRolledOK && histogramSeriesSuffix(tok) {
+			pass.Reportf(lit.Pos(),
+				"hand-rolled histogram series %q; the _bucket/_sum/_count lines are emitted by obs.WriteProm", tok)
+		}
+	}
+	for _, m := range typeRx.FindAllStringSubmatch(text, -1) {
+		name, kind := m[1], m[2]
+		if !strings.HasPrefix(name, "scserved_") {
+			continue
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(), "counter %q must end in _total", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(), "gauge %q must not end in _total (that suffix is for counters)", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+				pass.Reportf(lit.Pos(), "histogram %q must be named for its unit (_seconds or _bytes)", name)
+			}
+		}
+	}
+}
+
+// histogramSeriesSuffix reports whether the name is one of the derived
+// series a Prometheus histogram exposes.
+func histogramSeriesSuffix(name string) bool {
+	return strings.HasSuffix(name, "_bucket") ||
+		strings.HasSuffix(name, "_sum") ||
+		strings.HasSuffix(name, "_count")
+}
+
+// checkWriteProm requires the metric-family name passed to a WriteProm
+// call to carry a histogram unit suffix.
+func checkWriteProm(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "WriteProm" {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			continue
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil || !strings.HasPrefix(name, "scserved_") {
+			continue
+		}
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(lit.Pos(),
+				"histogram family %q must be named for its unit (_seconds or _bytes)", name)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metricname.Analyzer,
+		"internal/serve/pos",
+		"internal/serve/neg",
+		"internal/obs/writer",
+		"outofscope/exporter",
+	)
+}

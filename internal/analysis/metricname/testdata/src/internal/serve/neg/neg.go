@@ -1,0 +1,25 @@
+// Package neg holds metricname near-misses that must stay silent: the
+// compliant exposition shapes the production /metrics page uses.
+package neg
+
+import (
+	"fmt"
+	"io"
+)
+
+type snapshot struct{}
+
+func (snapshot) WriteProm(w io.Writer, name, labels string) {}
+
+func emit(w io.Writer, s snapshot) {
+	fmt.Fprintf(w, "# TYPE scserved_requests_total counter\n")
+	fmt.Fprintf(w, "scserved_requests_total{code=%q} %d\n", "200", 7)
+	fmt.Fprintf(w, "# TYPE scserved_in_flight gauge\n")
+	fmt.Fprintf(w, "scserved_in_flight 2\n")
+	fmt.Fprintf(w, "# TYPE scserved_feed_age_seconds gauge\n")
+	fmt.Fprintf(w, "# TYPE scserved_request_seconds histogram\n")
+	s.WriteProm(w, "scserved_request_seconds", "")
+	s.WriteProm(w, "scserved_payload_bytes", "")
+	// Non-scserved names are someone else's namespace.
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+}

@@ -1,0 +1,22 @@
+// Package pos holds metricname true positives (in scope: its package
+// path contains internal/serve).
+package pos
+
+import (
+	"fmt"
+	"io"
+)
+
+type snapshot struct{}
+
+func (snapshot) WriteProm(w io.Writer, name, labels string) {}
+
+func emit(w io.Writer, s snapshot) {
+	fmt.Fprintf(w, "scserved_BadName 1\n")                          // want `metric name "scserved_BadName" does not match`
+	fmt.Fprintf(w, "scserved_http_5xx_total 0\n")                   // want `metric name "scserved_http_5xx_total" does not match`
+	fmt.Fprintf(w, "# TYPE scserved_requests counter\n")            // want `counter "scserved_requests" must end in _total`
+	fmt.Fprintf(w, "# TYPE scserved_active_total gauge\n")          // want `gauge "scserved_active_total" must not end in _total`
+	fmt.Fprintf(w, "# TYPE scserved_latency histogram\n")           // want `histogram "scserved_latency" must be named for its unit`
+	fmt.Fprintf(w, "scserved_request_seconds_bucket{le=\"1\"} 3\n") // want `hand-rolled histogram series "scserved_request_seconds_bucket"`
+	s.WriteProm(w, "scserved_latency", "")                          // want `histogram family "scserved_latency" must be named for its unit`
+}

@@ -1,0 +1,7 @@
+// Package exporter is outside the metricname scopes; it may spell
+// metric-like strings however it wants (e.g. docs or test fixtures).
+package exporter
+
+const doc = "# TYPE scserved_Whatever gauge"
+
+func name() string { return "scserved_NotAMetricHere_total" }

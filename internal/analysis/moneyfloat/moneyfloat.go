@@ -1,0 +1,107 @@
+// Package moneyfloat forbids float equality and raw float literals on
+// money values.
+//
+// Invariant guarded: bills are computed in micro-unit fixed point
+// (units.Money, an int64). Float-typed money — units.EnergyPrice,
+// units.DemandPrice, or the result of Money.Float() — exists only at
+// the tariff-input and presentation edges and must never be compared
+// with == or !=, where representation error makes equal amounts
+// unequal. Raw float literals must not flow into micro-unit amounts
+// except through the blessed conversion helpers: internal/units owns
+// the converters and internal/contract is the one place tariff specs
+// turn external float rates into Money.
+package moneyfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "moneyfloat",
+	Doc: "forbid ==/!= on float-typed money and raw float literals flowing " +
+		"into micro-unit amounts outside internal/units and internal/contract",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.InScope(pass.Pkg, "internal/units") {
+		return nil // home of the blessed converters
+	}
+	blessedLiterals := analysis.InScope(pass.Pkg, "internal/contract")
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				why := floatMoney(pass, n.X)
+				if why == "" {
+					why = floatMoney(pass, n.Y)
+				}
+				if why != "" {
+					pass.Reportf(n.OpPos,
+						"%s on float-typed money (%s) is unreliable; convert to units.Money and compare micro-units",
+						n.Op, why)
+				}
+			case *ast.CallExpr:
+				if analysis.IsConversion(info, n) && len(n.Args) == 1 {
+					if analysis.TypeIs(info.Types[n.Fun].Type, "internal/units", "Money") &&
+						analysis.IsFloat(info.Types[ast.Unparen(n.Args[0])].Type) {
+						pass.Reportf(n.Pos(),
+							"float-to-Money conversion truncates; use units.MoneyFromFloat for half-away-from-zero rounding")
+					}
+					return true
+				}
+				if blessedLiterals {
+					return true
+				}
+				if fn := analysis.CalleeFunc(info, n); analysis.FuncIs(fn, "internal/units", "MoneyFromFloat") &&
+					len(n.Args) == 1 && isFloatLiteral(n.Args[0]) {
+					pass.Reportf(n.Args[0].Pos(),
+						"raw float literal flows into micro-unit money; use units.Cents/units.CurrencyUnits or define the rate in internal/contract")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// floatMoney describes why e is float-typed money, or returns "".
+func floatMoney(pass *analysis.Pass, e ast.Expr) string {
+	info := pass.TypesInfo
+	t := info.Types[e].Type
+	if analysis.TypeIs(t, "internal/units", "EnergyPrice") {
+		return "units.EnergyPrice"
+	}
+	if analysis.TypeIs(t, "internal/units", "DemandPrice") {
+		return "units.DemandPrice"
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Name() == "Float" {
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				if recv := sig.Recv(); recv != nil &&
+					analysis.TypeIs(recv.Type(), "internal/units", "Money") {
+					return "units.Money.Float()"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// isFloatLiteral matches 1.5, -1.5, +1.5 (and parenthesisations).
+func isFloatLiteral(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.FLOAT
+}

@@ -1,0 +1,16 @@
+package moneyfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/moneyfloat"
+)
+
+func TestMoneyFloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), moneyfloat.Analyzer,
+		"moneytest/pos",
+		"moneytest/neg",
+		"internal/contract/blessed",
+	)
+}

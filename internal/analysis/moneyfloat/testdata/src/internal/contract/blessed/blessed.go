@@ -1,0 +1,10 @@
+// Package blessed sits under internal/contract, the one place tariff
+// specs may turn literal float rates into Money: the literal rule is
+// waived here (equality on float money stays banned everywhere).
+package blessed
+
+import "internal/units"
+
+var demandRate = units.MoneyFromFloat(18.50) // blessed: inside internal/contract
+
+func defaultFee() units.Money { return units.MoneyFromFloat(4.2) }

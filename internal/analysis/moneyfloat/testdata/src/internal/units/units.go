@@ -1,0 +1,17 @@
+// Package units is a fixture stub of the repo's money types: just
+// enough surface for the moneyfloat fixtures to type-check.
+package units
+
+type Money int64
+
+type EnergyPrice float64
+
+type DemandPrice float64
+
+func MoneyFromFloat(v float64) Money { return Money(v * 1e6) }
+
+func Cents(c int64) Money { return Money(c * 10_000) }
+
+func CurrencyUnits(u int64) Money { return Money(u * 1_000_000) }
+
+func (m Money) Float() float64 { return float64(m) / 1e6 }

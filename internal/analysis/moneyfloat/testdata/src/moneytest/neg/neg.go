@@ -1,0 +1,28 @@
+// Package neg holds moneyfloat near-misses that must stay silent.
+package neg
+
+import "internal/units"
+
+// Ordered comparisons on float money are fine: representation error
+// cannot flip a strict ordering the way it breaks equality.
+func ordered(a, b units.EnergyPrice, d units.DemandPrice) []bool {
+	return []bool{a < b, a >= b, d > 0}
+}
+
+// Money is int64 micro-units; equality is exact.
+func moneyEquality(m1, m2 units.Money) bool { return m1 == m2 }
+
+// Integer-to-Money conversion is exact.
+func fromInt(n int64) units.Money { return units.Money(n) }
+
+// MoneyFromFloat on a variable is the blessed path for values that are
+// genuinely float at the boundary (parsed tariffs); only literals are
+// flagged.
+func fromVar(rate float64) units.Money { return units.MoneyFromFloat(rate) }
+
+// The integer constructors are the blessed way to write constants.
+func constants() units.Money { return units.Cents(250) + units.CurrencyUnits(3) }
+
+// Float arithmetic that never meets == / Money is not money linting's
+// business.
+func arithmetic(a units.EnergyPrice) float64 { return float64(a) * 1.1 }

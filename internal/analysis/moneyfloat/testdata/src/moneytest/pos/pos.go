@@ -1,0 +1,37 @@
+// Package pos holds moneyfloat true positives.
+package pos
+
+import "internal/units"
+
+func comparisons(a, b units.EnergyPrice, d units.DemandPrice, m units.Money) []bool {
+	return []bool{
+		a == b,         // want `== on float-typed money \(units.EnergyPrice\)`
+		d != 0,         // want `!= on float-typed money \(units.DemandPrice\)`
+		m.Float() == 0, // want `== on float-typed money \(units.Money.Float\(\)\)`
+		3.5 != a,       // want `!= on float-typed money \(units.EnergyPrice\)`
+	}
+}
+
+func conversion(x float64) units.Money {
+	return units.Money(x) // want "float-to-Money conversion truncates"
+}
+
+func literals() units.Money {
+	fee := units.MoneyFromFloat(19.99)    // want "raw float literal flows into micro-unit money"
+	credit := units.MoneyFromFloat(-0.07) // want "raw float literal flows into micro-unit money"
+	return fee + credit
+}
+
+var credit = units.MoneyFromFloat(-0.07) // want "raw float literal flows into micro-unit money"
+
+// A reasoned suppression silences the diagnostic:
+//
+//lint:scvet-ignore moneyfloat survey table transcribes published per-kWh rates verbatim
+var surveyRate = units.MoneyFromFloat(0.085)
+
+// A reasonless suppression silences nothing and is itself reported.
+func unexcused() units.Money {
+	// want-below "scvet-ignore directive without a reason"
+	//lint:scvet-ignore moneyfloat
+	return units.MoneyFromFloat(1.5) // want "raw float literal flows into micro-unit money"
+}

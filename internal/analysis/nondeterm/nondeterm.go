@@ -1,0 +1,139 @@
+// Package nondeterm forbids nondeterminism in the billing core.
+//
+// Invariant guarded: the same contract spec and load series must
+// produce byte-identical bills on every run (the repo's golden tests
+// depend on it, and the paper's comparisons are meaningless without
+// it). Inside internal/billing, internal/contract, internal/feed and
+// internal/resilience that means: no wall-clock reads (time.Now,
+// time.Since — clocks are injected, so taking a *reference* to
+// time.Now as a default is fine, calling it is not), no process-seeded
+// global math/rand (construct a seeded generator with rand.New /
+// rand.NewSource instead), and no output produced while ranging over a
+// map (collect the keys, sort, then emit).
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var scopes = []string{
+	"internal/billing",
+	"internal/contract",
+	"internal/feed",
+	"internal/resilience",
+}
+
+// seededConstructors are the math/rand functions that build an
+// explicitly seeded generator; everything else at package level draws
+// from the process-global source.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc: "forbid wall-clock reads, global math/rand, and map-iteration-ordered " +
+		"output in the deterministic billing packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			pass.Reportf(call.Pos(),
+				"time.%s() reads the wall clock in deterministic billing code; inject a clock (func() time.Time) and call that",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand are fine: the generator was built from
+		// an explicit seed. Package-level functions draw from the
+		// process-global, per-run source.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		if seededConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s() is process-seeded and nondeterministic; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkMapRange flags a range over a map whose body emits output: the
+// iteration order leaks into what the user (or a golden file) sees.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := emitsOutput(pass.TypesInfo, call); why != "" {
+			pass.Reportf(call.Pos(),
+				"%s inside range over map has nondeterministic order; collect keys, sort, then emit", why)
+			return false
+		}
+		return true
+	})
+}
+
+// emitsOutput describes a call that writes user-visible output, or "".
+func emitsOutput(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return "(" + types.TypeString(sig.Recv().Type(), nil) + ")." + name
+		}
+	}
+	return ""
+}

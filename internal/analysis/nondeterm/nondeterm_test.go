@@ -1,0 +1,16 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondeterm"
+)
+
+func TestNonDeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nondeterm.Analyzer,
+		"internal/billing/pos",
+		"internal/billing/neg",
+		"outofscope/clock",
+	)
+}

@@ -1,0 +1,59 @@
+// Package neg holds nondeterm near-misses that must stay silent.
+package neg
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Taking a reference to time.Now as the injectable default is the
+// blessed wiring idiom; only calling it is banned.
+type config struct {
+	Now func() time.Time
+}
+
+func defaults(c config) config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Reading the injected clock is the whole point of injecting it.
+func stamp(c config) time.Time { return c.Now() }
+
+// A seeded generator is deterministic: constructors and methods on the
+// resulting *rand.Rand are fine.
+func seeded(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 4)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// Collect-then-sort is the blessed way to emit map contents.
+func printTotals(w io.Writer, totals map[string]int64) {
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, totals[name])
+	}
+}
+
+// Ranging over a map without emitting output (pure aggregation) is
+// order-insensitive and legal.
+func sum(totals map[string]int64) int64 {
+	var s int64
+	for _, v := range totals {
+		s += v
+	}
+	return s
+}

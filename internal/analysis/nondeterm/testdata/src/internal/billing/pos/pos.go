@@ -1,0 +1,45 @@
+// Package pos holds nondeterm true positives (in scope: its package
+// path contains internal/billing).
+package pos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now\(\) reads the wall clock`
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since\(\) reads the wall clock`
+}
+
+func jitter() int {
+	return rand.Intn(100) // want `global rand.Intn\(\) is process-seeded`
+}
+
+func noise() float64 {
+	return rand.Float64() // want `global rand.Float64\(\) is process-seeded`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle\(\) is process-seeded`
+}
+
+func printTotals(w io.Writer, totals map[string]int64) {
+	for name, cents := range totals {
+		fmt.Fprintf(w, "%s %d\n", name, cents) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+func buildReport(totals map[string]int64) string {
+	var b strings.Builder
+	for name := range totals {
+		b.WriteString(name) // want `\(\*strings.Builder\).WriteString inside range over map`
+	}
+	return b.String()
+}

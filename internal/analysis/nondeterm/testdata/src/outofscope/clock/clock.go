@@ -1,0 +1,11 @@
+// Package clock is outside the nondeterm scopes (no internal/billing,
+// internal/contract, internal/feed, or internal/resilience segment in
+// its path), so wall-clock reads here are legal — the serving layer,
+// CLIs, and observability code are allowed real time.
+package clock
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,282 @@
+// Package unitchecker adapts the scvet analyzers to the `go vet
+// -vettool` protocol, mirroring the contract of
+// golang.org/x/tools/go/analysis/unitchecker on the standard library
+// alone.
+//
+// cmd/go drives a vettool in three modes:
+//
+//   - `tool -V=full` — print a version line ("<name> version devel
+//     buildID=<hex>") that the build system folds into its cache key,
+//     so editing scvet invalidates stale vet results;
+//   - `tool -flags` — print a JSON description of the flags the tool
+//     accepts, so cmd/go can validate pass-through flags;
+//   - `tool [flags] <unit>.cfg` — analyze one compilation unit
+//     described by the JSON config cmd/go wrote: file list, import
+//     map, and export-data paths for every dependency.
+//
+// Per-unit runs type-check from the gc export data listed in the
+// config (no source re-parse of dependencies), run the analyzers over
+// the unit's non-test files, and exit 0 when clean, 2 with
+// file:line:col diagnostics when not — exactly the exit convention
+// go vet expects. The facts/vetx output file is always written (empty:
+// the scvet analyzers are fact-free) because cmd/go caches it.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema of the .cfg file cmd/go hands a vettool,
+// one per compilation unit (field set matches cmd/go's vetConfig).
+type Config struct {
+	ID                        string // package ID as reported in -json output
+	Compiler                  string // "gc"
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path as written -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool   // only facts are wanted (dependency pass)
+	VetxOutput                string // where to write the facts file
+	SucceedOnTypecheckFailure bool   // cmd/go reports build errors itself
+}
+
+// Main implements the vettool protocol for the given analyzers. It
+// does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("scvet: ")
+
+	args := os.Args[1:]
+	jsonOut := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch arg := args[0]; {
+		case arg == "-V=full":
+			printVersion()
+			os.Exit(0)
+		case arg == "-flags":
+			printFlags()
+			os.Exit(0)
+		case arg == "-json":
+			jsonOut = true
+		case strings.HasPrefix(arg, "-c="):
+			// Accepted for go vet compatibility; context printing is
+			// not implemented.
+		case arg == "-scvet.doc":
+			printDoc(analyzers)
+			os.Exit(0)
+		default:
+			log.Fatalf("unrecognized flag %s", arg)
+		}
+		args = args[1:]
+	}
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`usage: scvet [-json] [-c=N] <unit>.cfg
+
+scvet is a go vet analysis tool; run it via
+	go vet -vettool=$(pwd)/bin/scvet ./...
+or see the analyzer docs with
+	scvet -scvet.doc`)
+	}
+
+	diags, fset, cfg, err := runUnit(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exit := 0
+	if jsonOut {
+		writeJSONDiagnostics(os.Stdout, cfg.ID, fset, diags)
+	} else if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		exit = 2
+	}
+	os.Exit(exit)
+}
+
+// printVersion emits the -V=full line. The buildID is a hash of the
+// executable so cmd/go's vet-result cache turns over when scvet is
+// rebuilt with different analyzers.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := selfHash()
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// printFlags describes the accepted flags in the JSON shape cmd/go
+// parses to validate pass-through vet flags.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit JSON output"},
+		{Name: "c", Bool: false, Usage: "display offending line with this many lines of context"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func printDoc(analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+	}
+}
+
+// runUnit analyzes one compilation unit per its .cfg file.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, *Config, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// cmd/go caches the facts file; write it unconditionally (empty —
+	// the scvet analyzers neither produce nor consume facts).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: only facts were wanted.
+		return nil, token.NewFileSet(), cfg, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // cmd/go will report the build error itself
+			}
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the unit's import map, reading gc export
+	// data from the files cmd/go staged for each dependency.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	tcfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, nil, nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, cfg, nil
+}
+
+// writeJSONDiagnostics mirrors the x/tools unitchecker -json shape:
+// {"<pkg id>": {"<analyzer>": [{"posn": ..., "message": ...}]}}.
+func writeJSONDiagnostics(w io.Writer, pkgID string, fset *token.FileSet, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,110 @@
+package unitchecker_test
+
+// End-to-end protocol test: build the real cmd/scvet binary and drive
+// it through the real `go vet -vettool` machinery against synthetic
+// modules in a temp dir — one with a violation (vet must fail and name
+// it), one clean (vet must exit 0). This is the test that would catch
+// a drift between unitchecker and cmd/go's vettool contract (-V=full
+// version-line format, -flags JSON, per-unit .cfg runs, exit codes).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func goCmd(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GO111MODULE=on", "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestGoVetProtocol(t *testing.T) {
+	tmp := t.TempDir()
+	scvet := filepath.Join(tmp, "scvet")
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := goCmd(t, wd, "build", "-o", scvet, "repro/cmd/scvet"); err != nil {
+		t.Fatalf("building scvet: %v\n%s", err, out)
+	}
+
+	t.Run("dirty module fails with a named diagnostic", func(t *testing.T) {
+		dir := filepath.Join(tmp, "dirty")
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/dirty\n\ngo 1.22\n",
+			"internal/billing/clock.go": `package billing
+
+import "time"
+
+// Stamp reads the wall clock inside a deterministic-billing package
+// path: scvet must fail the build.
+func Stamp() time.Time { return time.Now() }
+`,
+		})
+		out, err := goCmd(t, dir, "vet", "-vettool="+scvet, "./...")
+		if err == nil {
+			t.Fatalf("go vet succeeded on a module with a violation; output:\n%s", out)
+		}
+		if !strings.Contains(out, "nondeterm") || !strings.Contains(out, "time.Now") {
+			t.Errorf("diagnostic must name the analyzer and the offense; got:\n%s", out)
+		}
+		if !strings.Contains(out, "clock.go:7") {
+			t.Errorf("diagnostic must carry a file:line position; got:\n%s", out)
+		}
+	})
+
+	t.Run("suppressed and clean module passes", func(t *testing.T) {
+		dir := filepath.Join(tmp, "clean")
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/clean\n\ngo 1.22\n",
+			"internal/billing/clock.go": `package billing
+
+import "time"
+
+type Config struct{ Now func() time.Time }
+
+// Injected-clock wiring: a reference to time.Now is the blessed idiom.
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+//lint:scvet-ignore nondeterm exercised by the protocol test: reasoned ignores suppress
+func Sentinel() time.Time { return time.Now() }
+`,
+			"cmd/tool/main.go": `package main
+
+import "fmt"
+
+func main() { fmt.Println("ok") }
+`,
+		})
+		out, err := goCmd(t, dir, "vet", "-vettool="+scvet, "./...")
+		if err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}

@@ -259,6 +259,11 @@ type Evaluator struct {
 	// Precomputed so the traced path pays no per-period classification.
 	famNames []string
 	famIdx   [][]int
+	// now is the clock the traced path stamps span durations with. It
+	// is instrumentation only — no billing arithmetic may depend on it —
+	// and it is injectable (WithNow) so evaluation stays testable
+	// without wall-clock reads.
+	now func() time.Time
 }
 
 // NewEvaluator validates every producer and returns the evaluator.
@@ -271,7 +276,7 @@ func NewEvaluator(producers ...LineItemProducer) (*Evaluator, error) {
 			return nil, fmt.Errorf("billing: producer %d (%T): %w", i, p, err)
 		}
 	}
-	e := &Evaluator{producers: producers}
+	e := &Evaluator{producers: producers, now: time.Now}
 	seen := make(map[string]int)
 	for i, p := range producers {
 		f := familyOf(p)
@@ -289,6 +294,15 @@ func NewEvaluator(producers ...LineItemProducer) (*Evaluator, error) {
 
 // Producers returns the number of compiled producers.
 func (e *Evaluator) Producers() int { return len(e.producers) }
+
+// WithNow replaces the span-timing clock and returns e. Only the
+// traced path reads it; bill arithmetic is clock-free either way.
+func (e *Evaluator) WithNow(now func() time.Time) *Evaluator {
+	if now != nil {
+		e.now = now
+	}
+	return e
+}
 
 // EvaluatePeriod streams the load series once, feeding every producer's
 // accumulator, and assembles the period result. The built-in energy and
@@ -409,13 +423,13 @@ func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load 
 			buf = append(buf, Sample{Index: i, Time: load.TimeAt(i), Power: p, Energy: units.Energy(en)})
 		}
 		for g, group := range groups {
-			t0 := time.Now()
+			t0 := e.now()
 			for _, a := range group {
 				for _, s := range buf {
 					a.Observe(s)
 				}
 			}
-			nanos[g] += time.Since(t0)
+			nanos[g] += e.now().Sub(t0)
 		}
 	}
 	for g, name := range e.famNames {

@@ -72,9 +72,12 @@ type BreakerConfig struct {
 	ProbeBudget int
 	// Now is the clock (tests inject a fake); nil selects time.Now.
 	Now func() time.Time
-	// OnTransition, when set, observes every state change. It is
-	// called with the breaker's lock held: keep it fast and do not
-	// call back into the breaker.
+	// OnTransition, when set, observes every state change. Transitions
+	// are queued under the breaker's lock and delivered in order after
+	// it is released, so the callback may safely call back into the
+	// breaker (State, Stats, even Allow). Delivery happens on the
+	// goroutine whose Allow/done triggered the change, before that
+	// call returns.
 	OnTransition func(from, to State)
 	// Obs wires the breaker to metrics instruments.
 	Obs BreakerObs
@@ -118,7 +121,15 @@ type Breaker struct {
 	openedAt time.Time
 	probes   int // in-flight half-open probes
 	stats    BreakerStats
+	// pending queues OnTransition notifications recorded under mu;
+	// they are drained and delivered after the lock is released so the
+	// callback never runs inside the critical section (reentrancy and
+	// slow-callback safety).
+	pending []transition
 }
+
+// transition is one queued OnTransition notification.
+type transition struct{ from, to State }
 
 // NewBreaker builds a breaker in the closed state.
 func NewBreaker(cfg BreakerConfig) *Breaker {
@@ -147,7 +158,23 @@ func (b *Breaker) transitionLocked(to State) {
 	b.cfg.Obs.StateGauge.Set(int64(to))
 	b.cfg.Obs.Transitions.Inc()
 	if b.cfg.OnTransition != nil {
-		b.cfg.OnTransition(from, to)
+		b.pending = append(b.pending, transition{from, to})
+	}
+}
+
+// deliverPending flushes queued OnTransition notifications. Callers
+// must NOT hold b.mu: the whole point is that the user callback runs
+// outside the critical section.
+func (b *Breaker) deliverPending() {
+	if b.cfg.OnTransition == nil {
+		return
+	}
+	b.mu.Lock()
+	pending := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	for _, tr := range pending {
+		b.cfg.OnTransition(tr.from, tr.to)
 	}
 }
 
@@ -175,6 +202,14 @@ func (b *Breaker) Stats() BreakerStats {
 // half-open holds one of the ProbeBudget probe slots until its done
 // runs.
 func (b *Breaker) Allow() (done func(success bool), err error) {
+	done, err = b.admit()
+	b.deliverPending()
+	return done, err
+}
+
+// admit is Allow's critical section; any transition it causes is
+// queued for delivery after the lock is released.
+func (b *Breaker) admit() (done func(success bool), err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
@@ -214,6 +249,13 @@ func (b *Breaker) doneFunc(admittedIn State) func(success bool) {
 }
 
 func (b *Breaker) complete(admittedIn State, success bool) {
+	b.settle(admittedIn, success)
+	b.deliverPending()
+}
+
+// settle is complete's critical section; any transition it causes is
+// queued for delivery after the lock is released.
+func (b *Breaker) settle(admittedIn State, success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if success {

@@ -1,0 +1,71 @@
+package resilience
+
+// Regression test for the lock-held callback bug scvet's lockheld
+// analyzer surfaced: OnTransition used to fire inside the breaker's
+// critical section, so a callback touching the breaker (even just
+// State()) self-deadlocked. Transitions are now queued under the lock
+// and delivered after it is released.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestBreakerOnTransitionReentrancy drives the breaker through its
+// full closed → open → half-open → closed cycle with an OnTransition
+// callback that re-enters the breaker. Before the fix this deadlocked
+// on the first transition; the watchdog turns that hang into a test
+// failure.
+func TestBreakerOnTransitionReentrancy(t *testing.T) {
+	clock := newFakeClock()
+	var b *Breaker
+	var seen []string
+	b = NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		ProbeBudget:      1,
+		Now:              clock.Now,
+		OnTransition: func(from, to State) {
+			// Re-entering the breaker here is the whole point: the
+			// callback must run outside the critical section, and it
+			// must observe the post-transition state.
+			seen = append(seen, fmt.Sprintf("%s->%s observed=%s", from, to, b.State()))
+		},
+	})
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		done, err := b.Allow()
+		if err != nil {
+			t.Errorf("closed Allow: %v", err)
+			return
+		}
+		done(false) // threshold 1: trips closed -> open
+
+		clock.Advance(2 * time.Second)
+		probe, err := b.Allow() // cooldown over: open -> half-open, takes the probe
+		if err != nil {
+			t.Errorf("post-cooldown Allow: %v", err)
+			return
+		}
+		probe(true) // successful probe: half-open -> closed
+	}()
+
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: OnTransition callback could not re-enter the breaker")
+	}
+
+	want := []string{
+		"closed->open observed=open",
+		"open->half-open observed=half-open",
+		"half-open->closed observed=closed",
+	}
+	if !reflect.DeepEqual(seen, want) {
+		t.Errorf("transition delivery:\n got %q\nwant %q", seen, want)
+	}
+}
