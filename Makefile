@@ -6,7 +6,7 @@
 GO ?= go
 SCVET := bin/scvet
 
-.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact fuzz chaos clean
+.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check fuzz chaos clean
 
 all: check
 
@@ -73,6 +73,28 @@ bench-billing:
 # build artifact so perf history survives past the run log).
 bench-artifact:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee bench.txt
+
+# Structured billing-benchmark record: the BillYear* family parsed by
+# cmd/scbench into $(BENCH_OUT) (name, ns/op, B/op, allocs/op, commit).
+# Run locally to refresh the committed BENCH_billing.json baseline
+# after an intentional perf change.
+BENCH_OUT ?= BENCH_billing.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem -count 1 . \
+		| $(GO) run ./cmd/scbench \
+			-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+			-out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# CI perf gate: rerun the billing benchmarks into BENCH_current.json and
+# fail on a >15% ns/op regression of BillYearEngine vs the committed
+# BENCH_billing.json baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem -count 1 . \
+		| $(GO) run ./cmd/scbench \
+			-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+			-out BENCH_current.json \
+			-compare BENCH_billing.json -gate BillYearEngine -threshold 0.15
 
 # Chaos soak: the fault-injected price-feed acceptance suite plus the
 # resilience state-machine tests, race-enabled with a short timeout so

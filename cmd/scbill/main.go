@@ -12,6 +12,13 @@
 //	scbill -contract site.json -base-mw 12 -peak-ratio 1.8 -days 30
 //	scbill -contract site.json -base-mw 12 -monthly   # bill per month
 //	scbill -contract site.json -base-mw 12 -trace     # + span timings
+//	scbill -batch specs.d/ -load meter.csv            # one load, N contracts
+//
+// With -batch DIR, every *.json spec in DIR (sorted by name) is billed
+// against the single load profile: the load is parsed once, the price
+// feed resolved once, and evaluation fans across the contract batch
+// pool — the CLI twin of POST /v1/bill/batch. One failing spec reports
+// its error and fails the exit code without aborting the other bills.
 //
 // Dynamic tariffs price against -feed, a "timestamp,price_per_kwh" CSV
 // (or .json price file); without it they fall back to a flat reference
@@ -28,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/contract"
@@ -41,7 +50,8 @@ import (
 )
 
 func main() {
-	contractPath := flag.String("contract", "", "path to a JSON contract spec (required)")
+	contractPath := flag.String("contract", "", "path to a JSON contract spec (required unless -batch)")
+	batchDir := flag.String("batch", "", "directory of *.json contract specs to bill against one load")
 	loadPath := flag.String("load", "", "path to a timestamp,kw CSV load profile")
 	feedPath := flag.String("feed", "", "price-feed file for dynamic tariffs (timestamp,price_per_kwh CSV or .json; default: flat 0.045/kWh)")
 	baseMW := flag.Float64("base-mw", 12, "synthetic load: base facility power in MW")
@@ -54,10 +64,114 @@ func main() {
 	trace := flag.Bool("trace", false, "print per-stage span timings (count/total/mean) to stderr")
 	flag.Parse()
 
+	if *batchDir != "" {
+		if *contractPath != "" {
+			fmt.Fprintln(os.Stderr, "scbill: -contract and -batch are mutually exclusive")
+			os.Exit(1)
+		}
+		if err := runBatch(*batchDir, *loadPath, *feedPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "scbill:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*contractPath, *loadPath, *feedPath, *baseMW, *peakRatio, *days, *seed, *monthly, *jsonOut, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "scbill:", err)
 		os.Exit(1)
 	}
+}
+
+// runBatch bills every *.json spec in dir against one load profile via
+// the contract batch pool. The load and price feed are resolved once
+// and shared by every engine, so N specs cost one parse plus N compiles
+// and evaluations.
+func runBatch(dir, loadPath, feedPath string, baseMW, peakRatio float64, days int, seed int64, monthly, jsonOut bool, workers int) error {
+	specPaths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(specPaths)
+	if len(specPaths) == 0 {
+		return fmt.Errorf("batch: no *.json specs in %s", dir)
+	}
+
+	load, err := loadProfile(loadPath, baseMW, peakRatio, days, seed)
+	if err != nil {
+		return err
+	}
+	prices, err := priceFeed(feedPath, load)
+	if err != nil {
+		return err
+	}
+
+	// Compile every spec up front; a broken spec fails its own slot
+	// (Engine nil -> per-item error from BillBatch) without blocking the
+	// rest of the directory.
+	items := make([]contract.BatchItem, len(specPaths))
+	buildErrs := make([]error, len(specPaths))
+	for i, path := range specPaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			buildErrs[i] = err
+			continue
+		}
+		spec, err := contract.ParseSpec(data)
+		if err != nil {
+			buildErrs[i] = fmt.Errorf("%s: %w", path, err)
+			continue
+		}
+		c, err := spec.Build(contract.BuildContext{Feed: prices})
+		if err != nil {
+			buildErrs[i] = fmt.Errorf("%s: %w", path, err)
+			continue
+		}
+		eng, err := contract.NewEngine(c)
+		if err != nil {
+			buildErrs[i] = fmt.Errorf("%s: %w", path, err)
+			continue
+		}
+		items[i] = contract.BatchItem{Engine: eng, Load: load}
+	}
+
+	outcomes := contract.BillBatch(context.Background(), items, contract.BillingInput{},
+		contract.BatchOptions{Monthly: monthly, Workers: workers, MonthWorkers: 1})
+
+	failed := 0
+	for i, path := range specPaths {
+		err := buildErrs[i]
+		if err == nil {
+			err = outcomes[i].Err
+		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "scbill: %s: %v\n", path, err)
+			continue
+		}
+		bills := outcomes[i].Months
+		if !monthly {
+			bills = []*contract.Bill{outcomes[i].Bill}
+		}
+		if !jsonOut {
+			fmt.Printf("== %s\n", path)
+		}
+		for _, b := range bills {
+			if jsonOut {
+				if err := printBillJSON(b); err != nil {
+					return err
+				}
+				continue
+			}
+			printBill(b)
+			fmt.Println()
+		}
+		if monthly && !jsonOut {
+			fmt.Printf("Grand total: %s\n", contract.TotalOf(outcomes[i].Months))
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("batch: %d of %d specs failed", failed, len(specPaths))
+	}
+	return nil
 }
 
 // priceFeed resolves the dynamic-tariff price series: the -feed file

@@ -122,6 +122,38 @@ func TestRunTrace(t *testing.T) {
 	}
 }
 
+// TestRunBatch: -batch bills every spec in the directory against one
+// load, with per-spec error isolation and a failing exit when any spec
+// is broken.
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	for i, rate := range []float64{0.05, 0.07, 0.09} {
+		spec := fmt.Sprintf(`{"name":"site-%d","tariffs":[{"type":"fixed","rate":%g}],"demand_charges":[{"price_per_kw":12}]}`, i, rate)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("site-%d.json", i)), []byte(spec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runBatch(dir, "", "", 10, 1.5, 7, 1, false, false, 0); err != nil {
+		t.Fatalf("batch over good specs: %v", err)
+	}
+	if err := runBatch(dir, "", "", 10, 1.5, 40, 1, true, true, 2); err != nil {
+		t.Fatalf("monthly JSON batch: %v", err)
+	}
+
+	// One broken spec fails the run but not the other bills.
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte(`{"name":"x","tariffs":[{"type":"warp"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runBatch(dir, "", "", 10, 1.5, 7, 1, false, false, 0)
+	if err == nil || !strings.Contains(err.Error(), "1 of 4") {
+		t.Fatalf("broken spec must fail the batch with a count, got: %v", err)
+	}
+
+	if err := runBatch(t.TempDir(), "", "", 10, 1.5, 7, 1, false, false, 0); err == nil {
+		t.Error("empty directory must fail")
+	}
+}
+
 // TestRunWithFeedFile: dynamic tariffs price against the -feed file,
 // and a malformed feed is rejected with a line-numbered error.
 func TestRunWithFeedFile(t *testing.T) {

@@ -12,6 +12,14 @@
 // context-aware ...Ctx helper (possibly every N iterations — the
 // stride check counts).
 //
+// The columnar evaluation path reads samples without ever calling At:
+// it ranges over month blocks (PowerSeries.Blocks/AppendBlocks) and
+// scans the MonthBlock.Samples slices directly. Those block-scan loops
+// carry exactly the same obligation — a year of samples is a year of
+// samples whichever representation it flows through — so fetching a
+// block view or touching a MonthBlock's Samples field inside the loop
+// counts as reading the sample stream.
+//
 // Functions without a context parameter are exempt: they have nothing
 // to poll (bounded helpers like a per-month peak scan stay legal), and
 // the analyzer's job is to keep the ctx-taking entry points honest.
@@ -32,8 +40,9 @@ var scopes = []string{
 
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxloop",
-	Doc: "require loops over PowerSeries samples in ctx-taking billing functions " +
-		"to poll ctx.Done() or call a ...Ctx helper",
+	Doc: "require loops over PowerSeries samples (per-sample reads or columnar " +
+		"month-block scans) in ctx-taking billing functions to poll ctx.Done() " +
+		"or call a ...Ctx helper",
 	Run: run,
 }
 
@@ -92,8 +101,11 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	})
 }
 
-// readsSamples reports whether the subtree calls PowerSeries.At or
-// PowerSeries.TimeAt (outside nested function literals).
+// readsSamples reports whether the subtree reads the sample stream
+// (outside nested function literals): a per-sample accessor call
+// (PowerSeries.At/TimeAt/Value), a block-view fetch
+// (PowerSeries.Blocks/AppendBlocks), or a columnar read of a
+// MonthBlock's Samples field.
 func readsSamples(info *types.Info, loop ast.Node) bool {
 	found := false
 	ast.Inspect(loop, func(n ast.Node) bool {
@@ -103,21 +115,33 @@ func readsSamples(info *types.Info, loop ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := analysis.CalleeFunc(info, call)
-		if fn == nil || (fn.Name() != "At" && fn.Name() != "TimeAt" && fn.Name() != "Value") {
-			return true
-		}
-		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			return true
-		}
-		if analysis.TypeIs(sig.Recv().Type(), "internal/timeseries", "PowerSeries") {
-			found = true
-			return false
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// blk.Samples on a timeseries.MonthBlock: the columnar scan.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal &&
+				n.Sel.Name == "Samples" &&
+				analysis.TypeIs(sel.Recv(), "internal/timeseries", "MonthBlock") {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "At", "TimeAt", "Value", "Blocks", "AppendBlocks":
+			default:
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if analysis.TypeIs(sig.Recv().Type(), "internal/timeseries", "PowerSeries") {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

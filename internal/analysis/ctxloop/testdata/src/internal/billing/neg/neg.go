@@ -89,6 +89,45 @@ func Blocked(ctx context.Context, load *timeseries.PowerSeries) (float64, error)
 	return kwh, nil
 }
 
+// The columnar hot-path shape: month blocks scanned chunk-at-a-time
+// with a strided <-done poll between chunks. This is the loop the
+// billing evaluator runs; it must stay legal.
+func ColumnarScan(ctx context.Context, load *timeseries.PowerSeries) (float64, error) {
+	done := ctx.Done()
+	var kwh float64
+	for _, blk := range load.Blocks() {
+		samples := blk.Samples
+		for off := 0; off < len(samples); off += 2048 {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+			end := off + 2048
+			if end > len(samples) {
+				end = len(samples)
+			}
+			for _, p := range samples[off:end] {
+				kwh += p
+			}
+		}
+	}
+	return kwh, nil
+}
+
+// Block scans without a context parameter have nothing to poll, same
+// as per-sample helpers.
+func blockPeak(load *timeseries.PowerSeries) (peak float64) {
+	for _, blk := range load.Blocks() {
+		for _, p := range blk.Samples {
+			if p > peak {
+				peak = p
+			}
+		}
+	}
+	return peak
+}
+
 // No context parameter, nothing to poll: bounded helpers like the
 // per-month peak scan stay legal.
 func monthPeak(load *timeseries.PowerSeries, lo, hi int) (peak float64) {

@@ -34,3 +34,26 @@ func Windowed(load *timeseries.PowerSeries, ctx context.Context, stride int) flo
 	}
 	return acc
 }
+
+// A columnar block scan reads the same sample stream without ever
+// calling At: touching MonthBlock.Samples carries the same obligation.
+func BlockScan(ctx context.Context, load *timeseries.PowerSeries) float64 {
+	var kwh float64
+	blocks := load.Blocks()
+	for _, blk := range blocks { // want "loop reads PowerSeries samples but never polls ctx"
+		for _, p := range blk.Samples {
+			kwh += p
+		}
+	}
+	return kwh
+}
+
+// Fetching the block view inside the loop counts too, even before any
+// per-sample read is visible to the analyzer.
+func BlockFetch(ctx context.Context, loads []*timeseries.PowerSeries) int {
+	n := 0
+	for _, load := range loads { // want "loop reads PowerSeries samples but never polls ctx"
+		n += len(load.AppendBlocks(nil))
+	}
+	return n
+}

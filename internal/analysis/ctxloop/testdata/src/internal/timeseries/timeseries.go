@@ -13,3 +13,18 @@ type PowerSeries struct {
 func (s *PowerSeries) Len() int               { return len(s.samples) }
 func (s *PowerSeries) At(i int) float64       { return s.samples[i] }
 func (s *PowerSeries) TimeAt(i int) time.Time { return s.start.Add(time.Duration(i) * s.interval) }
+
+// MonthBlock mirrors the columnar block view: a contiguous slice of one
+// calendar month's samples plus its offset into the series.
+type MonthBlock struct {
+	Offset  int
+	Samples []float64
+}
+
+func (s *PowerSeries) Blocks() []MonthBlock {
+	return s.AppendBlocks(nil)
+}
+
+func (s *PowerSeries) AppendBlocks(dst []MonthBlock) []MonthBlock {
+	return append(dst, MonthBlock{Samples: s.samples})
+}

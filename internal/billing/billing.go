@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -251,7 +252,7 @@ type Result struct {
 
 // Evaluator is a compiled set of producers, reusable across any number
 // of periods and load profiles. It is immutable after construction and
-// safe for concurrent use.
+// safe for concurrent use (SetColumnar is the one test-only exception).
 type Evaluator struct {
 	producers []LineItemProducer
 	// famNames / famIdx group producers by trace family (first-seen
@@ -259,6 +260,18 @@ type Evaluator struct {
 	// Precomputed so the traced path pays no per-period classification.
 	famNames []string
 	famIdx   [][]int
+	// kernels holds every producer's compiled columnar kernel, in
+	// producer order; nil when any producer failed to compile, in which
+	// case evaluation stays on the sample-walk path.
+	kernels []Kernel
+	// columnar selects the evaluation path. Set at construction when
+	// all producers compile; SetColumnar can force the sample-walk
+	// oracle for equivalence testing.
+	columnar bool
+	// pool recycles scanSets (the per-period scanner state plus block
+	// scratch) so steady-state columnar evaluation does not allocate
+	// scanner machinery.
+	pool sync.Pool
 	// now is the clock the traced path stamps span durations with. It
 	// is instrumentation only — no billing arithmetic may depend on it —
 	// and it is injectable (WithNow) so evaluation stays testable
@@ -266,7 +279,10 @@ type Evaluator struct {
 	now func() time.Time
 }
 
-// NewEvaluator validates every producer and returns the evaluator.
+// NewEvaluator validates every producer and returns the evaluator. When
+// every producer compiles a columnar kernel (KernelProducer), the
+// evaluator takes the columnar fast path; otherwise it keeps the
+// per-sample accumulator walk.
 func NewEvaluator(producers ...LineItemProducer) (*Evaluator, error) {
 	for i, p := range producers {
 		if p == nil {
@@ -289,7 +305,40 @@ func NewEvaluator(producers ...LineItemProducer) (*Evaluator, error) {
 		}
 		e.famIdx[g] = append(e.famIdx[g], i)
 	}
+	kernels := make([]Kernel, len(producers))
+	compiled := true
+	for i, p := range producers {
+		kp, ok := p.(KernelProducer)
+		if !ok {
+			compiled = false
+			break
+		}
+		k := kp.CompileKernel()
+		if k == nil {
+			compiled = false
+			break
+		}
+		kernels[i] = k
+	}
+	if compiled {
+		e.kernels = kernels
+		e.columnar = true
+	}
+	e.pool.New = func() any { return e.newScanSet() }
 	return e, nil
+}
+
+// Columnar reports whether the evaluator is on the columnar fast path.
+func (e *Evaluator) Columnar() bool { return e.columnar }
+
+// SetColumnar switches between the columnar fast path and the legacy
+// per-sample walk, returning the path actually in effect (enabling is
+// refused when some producer did not compile a kernel). Both paths
+// produce bit-identical results; this is a test and diagnostics hook —
+// do not call it concurrently with evaluation.
+func (e *Evaluator) SetColumnar(on bool) bool {
+	e.columnar = on && e.kernels != nil
+	return e.columnar
 }
 
 // Producers returns the number of compiled producers.
@@ -317,11 +366,26 @@ func (e *Evaluator) EvaluatePeriod(load *timeseries.PowerSeries, ctx PeriodConte
 // service) use it to enforce per-request deadlines on evaluation itself
 // rather than only between requests.
 func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.PowerSeries, pctx PeriodContext) (*Result, error) {
+	res := new(Result)
+	if err := e.evaluatePeriodInto(ctx, load, pctx, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evaluatePeriodInto evaluates one period into a caller-owned Result —
+// the allocation-lean core EvaluateMonths fills its result slab with.
+// It dispatches between the columnar fast path (columnar.go) and the
+// legacy per-sample walk that remains the golden oracle.
+func (e *Evaluator) evaluatePeriodInto(ctx context.Context, load *timeseries.PowerSeries, pctx PeriodContext, res *Result) error {
 	if load == nil || load.Len() == 0 {
-		return nil, ErrEmptyLoad
+		return ErrEmptyLoad
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
+	}
+	if e.columnar {
+		return e.evaluateColumnar(ctx, load, pctx, res)
 	}
 	interval := load.Interval()
 	accs := make([]Accumulator, len(e.producers))
@@ -329,7 +393,7 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 		accs[i] = p.BeginPeriod(&pctx, interval)
 	}
 	if reg := obs.SpansFrom(ctx); reg != nil {
-		return e.evaluateTraced(ctx, reg, load, accs)
+		return e.evaluateTraced(ctx, reg, load, accs, res)
 	}
 
 	done := ctx.Done()
@@ -341,7 +405,7 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 		if done != nil && i&(cancelCheckStride-1) == 0 {
 			select {
 			case <-done:
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
 		}
@@ -357,20 +421,18 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 		}
 	}
 
-	res := &Result{
-		PeriodStart: load.Start(),
-		PeriodEnd:   load.End(),
-		Energy:      units.Energy(kwh),
-		Peak:        peak,
-		PeakTime:    load.TimeAt(peakIdx),
-	}
+	res.PeriodStart = load.Start()
+	res.PeriodEnd = load.End()
+	res.Energy = units.Energy(kwh)
+	res.Peak = peak
+	res.PeakTime = load.TimeAt(peakIdx)
 	for _, a := range accs {
 		for _, l := range a.Lines() {
 			res.Lines = append(res.Lines, l)
 			res.Total += l.Amount
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // evaluateTraced is the span-recording twin of the streaming loop,
@@ -381,7 +443,7 @@ func (e *Evaluator) EvaluatePeriodCtx(ctx context.Context, load *timeseries.Powe
 // accumulator still sees every sample exactly once in chronological
 // order, so the arithmetic — and therefore the bill — is identical to
 // the untraced path.
-func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load *timeseries.PowerSeries, accs []Accumulator) (*Result, error) {
+func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load *timeseries.PowerSeries, accs []Accumulator, res *Result) error {
 	endPeriod := obs.Span(ctx, SpanPeriod)
 	groups := make([][]Accumulator, len(e.famIdx))
 	for g, idx := range e.famIdx {
@@ -404,7 +466,7 @@ func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load 
 		if done != nil {
 			select {
 			case <-done:
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
 		}
@@ -436,13 +498,11 @@ func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load 
 		reg.Observe(SpanFamilyPrefix+name, nanos[g].Seconds())
 	}
 
-	res := &Result{
-		PeriodStart: load.Start(),
-		PeriodEnd:   load.End(),
-		Energy:      units.Energy(kwh),
-		Peak:        peak,
-		PeakTime:    load.TimeAt(peakIdx),
-	}
+	res.PeriodStart = load.Start()
+	res.PeriodEnd = load.End()
+	res.Energy = units.Energy(kwh)
+	res.Peak = peak
+	res.PeakTime = load.TimeAt(peakIdx)
 	for _, a := range accs {
 		for _, l := range a.Lines() {
 			res.Lines = append(res.Lines, l)
@@ -450,5 +510,5 @@ func (e *Evaluator) evaluateTraced(ctx context.Context, reg *obs.Registry, load 
 		}
 	}
 	endPeriod()
-	return res, nil
+	return nil
 }

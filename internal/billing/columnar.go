@@ -1,0 +1,177 @@
+package billing
+
+// Columnar evaluation: the tight-slice-scan twin of the per-sample
+// accumulator walk in billing.go. The period's load is viewed as
+// contiguous month blocks (timeseries.MonthBlock); each block is fed to
+// every compiled scanner chunk-at-a-time, so the inner loops are plain
+// []units.Power scans with no interface dispatch per sample. Built-in
+// energy/peak aggregates, context polling (every cancelCheckStride
+// samples untraced, every traceBlock samples traced) and the per-family
+// span attribution of the traced path are preserved exactly; the
+// arithmetic is bit-identical to the legacy walk by the kernel
+// compilation contract (kernel.go).
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// scanSet is the pooled per-evaluation state of the columnar path: one
+// scanner per kernel, the trace-family grouping of those scanners, the
+// month-block scratch, and the period context handed to Begin (kept on
+// the set so taking its address does not force a heap escape per
+// period).
+type scanSet struct {
+	scanners []Scanner
+	groups   [][]Scanner
+	blocks   []timeseries.MonthBlock
+	pctx     PeriodContext
+}
+
+// newScanSet builds the pool's scanSet from the compiled kernels.
+func (e *Evaluator) newScanSet() *scanSet {
+	ss := &scanSet{scanners: make([]Scanner, len(e.kernels))}
+	for i, k := range e.kernels {
+		ss.scanners[i] = k.NewScanner()
+	}
+	ss.groups = make([][]Scanner, len(e.famIdx))
+	for g, idx := range e.famIdx {
+		ss.groups[g] = make([]Scanner, len(idx))
+		for j, i := range idx {
+			ss.groups[g][j] = ss.scanners[i]
+		}
+	}
+	return ss
+}
+
+// evaluateColumnar is the columnar counterpart of the sample walk in
+// evaluatePeriodInto. load is non-empty and ctx not yet cancelled
+// (checked by the caller).
+func (e *Evaluator) evaluateColumnar(ctx context.Context, load *timeseries.PowerSeries, pctx PeriodContext, res *Result) error {
+	ss := e.pool.Get().(*scanSet)
+	defer e.pool.Put(ss)
+
+	interval := load.Interval()
+	n := load.Len()
+	ss.pctx = pctx
+	start := load.Start()
+	for _, sc := range ss.scanners {
+		sc.Begin(&ss.pctx, start, interval, n)
+	}
+	ss.blocks = load.AppendBlocks(ss.blocks)
+
+	if reg := obs.SpansFrom(ctx); reg != nil {
+		return e.columnarTraced(ctx, reg, load, ss, res)
+	}
+
+	done := ctx.Done()
+	h := interval.Hours()
+	var kwh float64
+	peak := load.At(0)
+	peakIdx := 0
+	for _, blk := range ss.blocks {
+		samples := blk.Samples
+		for off := 0; off < len(samples); off += cancelCheckStride {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			end := off + cancelCheckStride
+			if end > len(samples) {
+				end = len(samples)
+			}
+			chunk := samples[off:end]
+			base := blk.Offset + off
+			for j, p := range chunk {
+				en := float64(p) * h
+				kwh += en
+				if p > peak {
+					peak, peakIdx = p, base+j
+				}
+			}
+			for _, sc := range ss.scanners {
+				sc.Scan(chunk, base)
+			}
+		}
+	}
+	e.finishColumnar(ss, load, res, kwh, peak, peakIdx)
+	return nil
+}
+
+// columnarTraced is the span-recording twin of the columnar loop: same
+// chunking as the traced sample walk (traceBlock), with each component
+// family's scanners timed per chunk so observation cost attributes to
+// "billing.<family>" spans exactly as on the legacy path.
+func (e *Evaluator) columnarTraced(ctx context.Context, reg *obs.Registry, load *timeseries.PowerSeries, ss *scanSet, res *Result) error {
+	endPeriod := obs.Span(ctx, SpanPeriod)
+	done := ctx.Done()
+	h := load.Interval().Hours()
+	var kwh float64
+	peak := load.At(0)
+	peakIdx := 0
+	nanos := make([]time.Duration, len(ss.groups))
+	for _, blk := range ss.blocks {
+		samples := blk.Samples
+		for off := 0; off < len(samples); off += traceBlock {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			end := off + traceBlock
+			if end > len(samples) {
+				end = len(samples)
+			}
+			chunk := samples[off:end]
+			base := blk.Offset + off
+			for j, p := range chunk {
+				en := float64(p) * h
+				kwh += en
+				if p > peak {
+					peak, peakIdx = p, base+j
+				}
+			}
+			for g, group := range ss.groups {
+				t0 := e.now()
+				for _, sc := range group {
+					sc.Scan(chunk, base)
+				}
+				nanos[g] += e.now().Sub(t0)
+			}
+		}
+	}
+	for g, name := range e.famNames {
+		reg.Observe(SpanFamilyPrefix+name, nanos[g].Seconds())
+	}
+	e.finishColumnar(ss, load, res, kwh, peak, peakIdx)
+	endPeriod()
+	return nil
+}
+
+// finishColumnar assembles the period result from the scanners.
+func (e *Evaluator) finishColumnar(ss *scanSet, load *timeseries.PowerSeries, res *Result, kwh float64, peak units.Power, peakIdx int) {
+	res.PeriodStart = load.Start()
+	res.PeriodEnd = load.End()
+	res.Energy = units.Energy(kwh)
+	res.Peak = peak
+	res.PeakTime = load.TimeAt(peakIdx)
+	lines := make([]LineItem, 0, len(ss.scanners))
+	for _, sc := range ss.scanners {
+		lines = sc.AppendLines(lines)
+	}
+	var total units.Money
+	for _, l := range lines {
+		total += l.Amount
+	}
+	res.Lines = lines
+	res.Total = total
+}

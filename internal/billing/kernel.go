@@ -1,0 +1,89 @@
+package billing
+
+// Columnar kernel interfaces. A Kernel is the compiled, columnar twin
+// of a LineItemProducer: where an Accumulator observes boxed Samples
+// one at a time through an interface call, a Scanner consumes
+// contiguous []units.Power chunks of a month block in a tight loop —
+// no per-sample dispatch, near-zero allocation. Producers opt in by
+// implementing KernelProducer; the evaluator takes the columnar path
+// only when every producer compiles (a single holdout falls the whole
+// evaluation back to the sample-walk oracle, keeping bills exact).
+//
+// The compilation contract is strict arithmetic identity: a scanner
+// must perform the same floating-point operations in the same order as
+// the producer's accumulator, so the columnar path is byte-identical to
+// the legacy path bill-for-bill (pinned by contract's golden tests).
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// Kernel is a producer compiled for columnar evaluation. Kernels are
+// immutable and safe for concurrent NewScanner calls; all per-period
+// state lives in the Scanner.
+type Kernel interface {
+	// NewScanner returns a fresh per-period scanner. Scanners are
+	// pooled and reused across periods via Begin.
+	NewScanner() Scanner
+}
+
+// Scanner is a kernel's per-period state. The evaluator calls Begin
+// once per period, Scan for every chunk of the period's samples in
+// order (each sample exactly once), and AppendLines after the last
+// chunk. Scanners are reused across periods: Begin must fully reset.
+type Scanner interface {
+	// Begin resets the scanner for a period starting at start with the
+	// given metering interval and n total samples. pctx remains valid
+	// until AppendLines returns.
+	Begin(pctx *PeriodContext, start time.Time, interval time.Duration, n int)
+	// Scan consumes one chunk. base is the period-relative index of
+	// samples[0]; chunks arrive in order and partition the period.
+	Scan(samples []units.Power, base int)
+	// AppendLines appends the period's line items to dst and returns
+	// the extended slice, called once after the last chunk.
+	AppendLines(dst []LineItem) []LineItem
+}
+
+// KernelProducer is an optional LineItemProducer extension: producers
+// that can compile themselves into a columnar kernel implement it.
+// CompileKernel may return nil when this particular instance cannot be
+// compiled (e.g. a tariff stack containing a non-compilable component);
+// the evaluator then keeps the sample-walk path for the whole contract.
+type KernelProducer interface {
+	CompileKernel() Kernel
+}
+
+// CompileKernel compiles the flat fee: no per-sample work at all.
+func (f FlatFee) CompileKernel() Kernel { return feeKernel{fee: f} }
+
+var _ KernelProducer = FlatFee{}
+
+type feeKernel struct{ fee FlatFee }
+
+func (k feeKernel) NewScanner() Scanner { return &feeScanner{fee: k.fee} }
+
+type feeScanner struct{ fee FlatFee }
+
+func (s *feeScanner) Begin(*PeriodContext, time.Time, time.Duration, int) {}
+
+func (s *feeScanner) Scan([]units.Power, int) {}
+
+func (s *feeScanner) AppendLines(dst []LineItem) []LineItem {
+	return append(dst, LineItem{
+		Class:       ClassFlatFee,
+		Description: s.fee.Name,
+		Quantity:    "flat",
+		Amount:      s.fee.Amount,
+	})
+}
+
+// CeilIndex returns the smallest sample index i such that
+// start + i*interval is at or after start + d — the standard
+// duration-to-index ceiling conversion kernels use to turn wall-clock
+// boundaries (month edges, price-feed slots, emergency windows) into
+// sample indices. d must be non-negative.
+func CeilIndex(d, interval time.Duration) int {
+	return int((d + interval - 1) / interval)
+}

@@ -50,23 +50,25 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 		cctx = context.Background()
 	}
 	defer obs.Span(cctx, SpanMonths)()
-	months := load.SplitMonths()
+	months := load.Months()
 
-	// Phase 1: peak prescan. hist[i] is the historical peak entering
-	// month i: the max of the caller's historical peak and every
-	// earlier month's peak.
+	// Phase 1: peak prescan over the columnar block view — tight slice
+	// scans sharing the series' storage, no per-month copies. hist[i]
+	// is the historical peak entering month i: the max of the caller's
+	// historical peak and every earlier month's peak.
 	endPrescan := obs.Span(cctx, SpanPrescan)
-	hist := make([]units.Power, len(months))
+	blocks := load.Blocks()
+	hist := make([]units.Power, len(blocks))
 	run := ctx.HistoricalPeak
-	for i, m := range months {
+	for i := range blocks {
 		hist[i] = run
-		if p := monthPeak(m); p > run {
+		if p := blocks[i].Peak(); p > run {
 			run = p
 		}
 	}
 	endPrescan()
 
-	// Phase 2: evaluate months on the pool.
+	// Phase 2: evaluate months on the pool, into one result slab.
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -75,12 +77,14 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 		workers = len(months)
 	}
 
+	slab := make([]Result, len(months))
 	results := make([]*Result, len(months))
 	errs := make([]error, len(months))
 	evalOne := func(i int) {
 		mctx := ctx
 		mctx.HistoricalPeak = hist[i]
-		results[i], errs[i] = e.EvaluatePeriodCtx(cctx, months[i], mctx)
+		errs[i] = e.evaluatePeriodInto(cctx, &months[i], mctx, &slab[i])
+		results[i] = &slab[i]
 	}
 
 	if workers <= 1 {
@@ -122,16 +126,4 @@ func (e *Evaluator) EvaluateMonths(load *timeseries.PowerSeries, ctx PeriodConte
 		}
 	}
 	return results, nil
-}
-
-// monthPeak returns the month's maximum sample without error plumbing
-// (SplitMonths never yields empty sub-series).
-func monthPeak(m *timeseries.PowerSeries) units.Power {
-	peak := m.At(0)
-	for i := 1; i < m.Len(); i++ {
-		if p := m.At(i); p > peak {
-			peak = p
-		}
-	}
-	return peak
 }

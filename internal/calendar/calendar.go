@@ -43,7 +43,14 @@ func (s Season) String() string {
 // hemisphere utility definition: June–September summer, November–February
 // winter, the rest shoulder.
 func SeasonOf(t time.Time) Season {
-	switch t.Month() {
+	return SeasonOfMonth(t.Month())
+}
+
+// SeasonOfMonth is SeasonOf on the calendar month alone — the season is
+// a function of the month only, which is what lets TOU schedules be
+// compiled into month-indexed lookup tables.
+func SeasonOfMonth(m time.Month) Season {
+	switch m {
 	case time.June, time.July, time.August, time.September:
 		return Summer
 	case time.November, time.December, time.January, time.February:
@@ -139,7 +146,11 @@ type HourBand struct {
 
 // Contains reports whether the hour of t lies in the band.
 func (b HourBand) Contains(t time.Time) bool {
-	h := t.Hour()
+	return b.ContainsHour(t.Hour())
+}
+
+// ContainsHour reports whether wall-clock hour h (0..23) lies in the band.
+func (b HourBand) ContainsHour(h int) bool {
 	if b.From < b.To {
 		return h >= b.From && h < b.To
 	}
@@ -172,11 +183,19 @@ type Rule struct {
 
 // Matches reports whether the rule applies at instant t.
 func (r Rule) Matches(t time.Time, holidays *HolidayCalendar) bool {
-	if r.Season != AllYear && SeasonOf(t) != r.Season {
+	return r.MatchesSlot(t.Month(), KindOf(t, holidays), t.Hour())
+}
+
+// MatchesSlot reports whether the rule applies at any instant whose
+// calendar month is m, whose day classifies as k (per KindOf), and whose
+// wall-clock hour is h. Matches is exactly MatchesSlot on the instant's
+// (month, day-kind, hour) triple — rule matching depends on nothing
+// else, which is what lets schedules compile to slot-indexed tables.
+func (r Rule) MatchesSlot(m time.Month, k DayKind, h int) bool {
+	if r.Season != AllYear && SeasonOfMonth(m) != r.Season {
 		return false
 	}
 	if r.DayKind != AnyDay {
-		k := KindOf(t, holidays)
 		if r.DayKind == Weekday && k != Weekday {
 			return false
 		}
@@ -188,7 +207,7 @@ func (r Rule) Matches(t time.Time, holidays *HolidayCalendar) bool {
 			return false
 		}
 	}
-	return r.Hours.Contains(t)
+	return r.Hours.ContainsHour(h)
 }
 
 // String describes the rule.
@@ -306,12 +325,26 @@ func MustNewSchedule(fallback string, holidays *HolidayCalendar, entries ...Sche
 
 // LabelAt returns the label in effect at instant t.
 func (s *Schedule) LabelAt(t time.Time) string {
+	return s.LabelForSlot(t.Month(), KindOf(t, s.holidays), t.Hour())
+}
+
+// LabelForSlot returns the label for the (month, day-kind, hour) slot.
+// LabelAt(t) is exactly LabelForSlot(t.Month(), DayKindAt(t), t.Hour()):
+// a schedule's label is a pure function of that triple, so callers can
+// precompute a 12×kind×24 price table once per compiled tariff.
+func (s *Schedule) LabelForSlot(m time.Month, k DayKind, h int) string {
 	for _, e := range s.entries {
-		if e.Rule.Matches(t, s.holidays) {
+		if e.Rule.MatchesSlot(m, k, h) {
 			return e.Label
 		}
 	}
 	return s.fallback
+}
+
+// DayKindAt classifies instant t's day under the schedule's holiday
+// calendar — the day-kind argument LabelForSlot expects.
+func (s *Schedule) DayKindAt(t time.Time) DayKind {
+	return KindOf(t, s.holidays)
 }
 
 // Labels returns all distinct labels the schedule can produce, sorted,

@@ -1,0 +1,52 @@
+package calendar
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLabelForSlotMatchesLabelAt pins the compilation contract the TOU
+// kernel relies on: LabelAt(t) must equal LabelForSlot over the
+// instant's (month, day-kind, hour) triple for every instant, with and
+// without a holiday calendar.
+func TestLabelForSlotMatchesLabelAt(t *testing.T) {
+	holidays := NewHolidayCalendar(
+		time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, time.August, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, time.December, 26, 0, 0, 0, 0, time.UTC),
+	)
+	schedules := map[string]*Schedule{
+		"day-night":          DayNight(8, 20, nil),
+		"day-night-holidays": DayNight(8, 20, holidays),
+		"seasonal":           SeasonalDayNight(7, 22, holidays),
+		"wrapping-night": MustNewSchedule("base", holidays,
+			ScheduleEntry{Rule: Rule{Season: Winter, Hours: HourBand{From: 22, To: 6}}, Label: "winter-night"},
+			ScheduleEntry{Rule: Rule{DayKind: Weekend}, Label: "weekend"},
+			ScheduleEntry{Rule: Rule{DayKind: Holiday}, Label: "holiday"},
+		),
+	}
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	for name, sched := range schedules {
+		t.Run(name, func(t *testing.T) {
+			// Every hour of a leap year covers all seasons, day kinds,
+			// holidays and hour bands.
+			for i := 0; i < 366*24; i++ {
+				at := start.Add(time.Duration(i) * time.Hour)
+				want := sched.LabelAt(at)
+				got := sched.LabelForSlot(at.Month(), sched.DayKindAt(at), at.Hour())
+				if got != want {
+					t.Fatalf("%s at %v: LabelForSlot %q, LabelAt %q", name, at, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSeasonOfMonthMatchesSeasonOf(t *testing.T) {
+	for m := time.January; m <= time.December; m++ {
+		at := time.Date(2016, m, 15, 12, 0, 0, 0, time.UTC)
+		if SeasonOfMonth(m) != SeasonOf(at) {
+			t.Fatalf("month %v: SeasonOfMonth %v, SeasonOf %v", m, SeasonOfMonth(m), SeasonOf(at))
+		}
+	}
+}

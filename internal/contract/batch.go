@@ -1,0 +1,114 @@
+package contract
+
+// Batch billing: N (engine, load) pairs evaluated as one unit of work.
+// The fan-out mirrors the billing engine's month pool — a bounded
+// worker pool fed by an index channel, results in input order, errors
+// isolated per item so one bad contract cannot poison the batch. The
+// serve layer and scbill -batch both sit on top of this; each item's
+// bill is exactly what Bill/BillMonths would have produced for that
+// pair, so batching is a pure amortization (parse and compile once,
+// evaluate N times), never an arithmetic change.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/timeseries"
+)
+
+// BatchItem is one unit of a batch: a compiled engine and the load it
+// bills. Engines and loads may repeat across items (one profile × N
+// contracts, or N profiles × one contract).
+type BatchItem struct {
+	Engine *Engine
+	Load   *timeseries.PowerSeries
+}
+
+// BatchOutcome is one item's result. Exactly one of Bill (single
+// period), Months (monthly batch) or Err is meaningful.
+type BatchOutcome struct {
+	Bill   *Bill
+	Months []*Bill
+	Err    error
+}
+
+// BatchOptions tunes BillBatch.
+type BatchOptions struct {
+	// Monthly selects per-calendar-month bills instead of one bill per
+	// item.
+	Monthly bool
+	// Workers caps the batch fan-out pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MonthWorkers is the per-item month pool size used when Monthly is
+	// set; <= 0 lets the engine pick. Batches that already fan out
+	// across items usually want 1 here to avoid nested parallelism.
+	MonthWorkers int
+}
+
+// BillBatch evaluates every item and returns the outcomes in item
+// order. A cancelled context stops work: items not yet evaluated
+// report the context's error. Item failures do not abort the batch.
+func BillBatch(ctx context.Context, items []BatchItem, in BillingInput, opts BatchOptions) []BatchOutcome {
+	out := make([]BatchOutcome, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	evalOne := func(i int) {
+		it := items[i]
+		if it.Engine == nil {
+			out[i].Err = errors.New("contract: batch item has no engine")
+			return
+		}
+		if opts.Monthly {
+			out[i].Months, out[i].Err = it.Engine.BillMonthsCtx(ctx, it.Load, in, opts.MonthWorkers)
+		} else {
+			out[i].Bill, out[i].Err = it.Engine.BillCtx(ctx, it.Load, in)
+		}
+	}
+
+	if workers <= 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				out[i].Err = err
+				continue
+			}
+			evalOne(i)
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := ctx.Err(); err != nil {
+					out[i].Err = err
+					continue
+				}
+				evalOne(i)
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -62,6 +62,16 @@ func NewEngine(c *Contract) (*Engine, error) {
 // Contract returns the compiled contract.
 func (e *Engine) Contract() *Contract { return e.c }
 
+// Columnar reports whether the engine bills on the columnar fast path
+// (every contract component compiled a kernel).
+func (e *Engine) Columnar() bool { return e.eval.Columnar() }
+
+// SetColumnar switches the engine between the columnar fast path and
+// the legacy per-sample walk, returning the path in effect. Both paths
+// produce byte-identical bills; this is a test and diagnostics hook —
+// do not call it concurrently with billing.
+func (e *Engine) SetColumnar(on bool) bool { return e.eval.SetColumnar(on) }
+
 // Bill prices one billing period's load profile.
 func (e *Engine) Bill(load *timeseries.PowerSeries, in BillingInput) (*Bill, error) {
 	return e.BillCtx(context.Background(), load, in)
@@ -106,9 +116,21 @@ func (e *Engine) BillMonthsCtx(ctx context.Context, load *timeseries.PowerSeries
 	if err != nil {
 		return nil, translateEngineErr(err)
 	}
+	// Convert into slab-backed bills: one Bill slab and one shared
+	// line-item slab (sub-sliced with full capacity caps so a caller
+	// appending to one bill's lines cannot clobber the next bill's).
+	nlines := 0
+	for _, r := range results {
+		nlines += len(r.Lines)
+	}
 	bills := make([]*Bill, len(results))
+	slab := make([]Bill, len(results))
+	lineSlab := make([]LineItem, nlines)
 	for i, r := range results {
-		bills[i] = e.billFromResult(r)
+		lines := lineSlab[:len(r.Lines):len(r.Lines)]
+		lineSlab = lineSlab[len(r.Lines):]
+		e.fillBill(&slab[i], r, lines)
+		bills[i] = &slab[i]
 	}
 	return bills, nil
 }
@@ -128,24 +150,31 @@ func periodContext(in BillingInput) billing.PeriodContext {
 
 // billFromResult converts an engine period result into a Bill.
 func (e *Engine) billFromResult(r *billing.Result) *Bill {
-	bill := &Bill{
+	bill := &Bill{}
+	e.fillBill(bill, r, make([]LineItem, len(r.Lines)))
+	return bill
+}
+
+// fillBill populates a caller-owned Bill from an engine period result;
+// lines must have len(r.Lines) elements and becomes the bill's Lines.
+func (e *Engine) fillBill(bill *Bill, r *billing.Result, lines []LineItem) {
+	*bill = Bill{
 		Contract:    e.c.Name,
 		PeriodStart: r.PeriodStart,
 		PeriodEnd:   r.PeriodEnd,
 		Energy:      r.Energy,
 		PeakDemand:  r.Peak,
-		Lines:       make([]LineItem, len(r.Lines)),
+		Lines:       lines,
 		Total:       r.Total,
 	}
 	for i, l := range r.Lines {
-		bill.Lines[i] = LineItem{
+		lines[i] = LineItem{
 			Component:   componentOf(l.Class),
 			Description: l.Description,
 			Quantity:    l.Quantity,
 			Amount:      l.Amount,
 		}
 	}
-	return bill
 }
 
 // componentOf maps engine line-item classes onto typology components.

@@ -274,18 +274,41 @@ func (fr feedResolution) worse(other feedResolution) feedResolution {
 // for its fixed-fallback form (Spec.FallbackSpec) so billing proceeds
 // at the contract's declared backstop price instead of failing.
 func (s *Server) engineFor(ctx context.Context, raw json.RawMessage, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, feedResolution, error) {
-	var res feedResolution
+	ps, err := parseSpecRaw(raw)
+	if err != nil {
+		return nil, feedResolution{}, err
+	}
+	return s.engineForSpec(ctx, ps, feedSpec, load)
+}
+
+// parsedSpec is a contract spec parsed and content-hashed once, so
+// batch requests re-billing the same spec against many loads pay the
+// parse exactly once per distinct input.
+type parsedSpec struct {
+	spec *contract.Spec
+	key  string
+}
+
+func parseSpecRaw(raw json.RawMessage) (parsedSpec, error) {
 	if len(raw) == 0 {
-		return nil, res, errors.New("contract: missing contract spec")
+		return parsedSpec{}, errors.New("contract: missing contract spec")
 	}
 	spec, err := contract.ParseSpec(raw)
 	if err != nil {
-		return nil, res, err
+		return parsedSpec{}, err
 	}
 	key, err := contract.HashSpec(spec)
 	if err != nil {
-		return nil, res, err
+		return parsedSpec{}, err
 	}
+	return parsedSpec{spec: spec, key: key}, nil
+}
+
+// engineForSpec is engineFor after spec parsing: feed resolution, cache
+// lookup and (on a miss) the compile.
+func (s *Server) engineForSpec(ctx context.Context, ps parsedSpec, feedSpec *FeedSpec, load *timeseries.PowerSeries) (*contract.Engine, feedResolution, error) {
+	var res feedResolution
+	spec, key := ps.spec, ps.key
 
 	var prices *timeseries.PriceSeries
 	switch {
@@ -394,23 +417,14 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		}
 		endEncode := obs.Span(r.Context(), stageEncode)
 		defer endEncode()
-		months := make([]json.RawMessage, len(bills))
-		for i, b := range bills {
-			data, err := b.JSON()
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, err.Error())
-				return
-			}
-			months[i] = data
+		data, err := monthlyBillBody(eng, bills, feedRes)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
 		}
-		writeJSON(w, http.StatusOK, struct {
-			Contract       string            `json:"contract"`
-			Months         []json.RawMessage `json:"months"`
-			GrandTotal     float64           `json:"grand_total"`
-			Degraded       bool              `json:"degraded,omitempty"`
-			DegradedReason string            `json:"degraded_reason,omitempty"`
-		}{eng.Contract().Name, months, contract.TotalOf(bills).Float(),
-			feedRes.degraded(), degradedReason(feedRes)})
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		_, _ = w.Write([]byte("\n"))
 		return
 	}
 
@@ -433,6 +447,29 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
+}
+
+// monthlyBillBody renders the monthly-billing response object — the
+// exact bytes /v1/bill?monthly=1 serves before its trailing newline,
+// shared with the batch endpoint so per-item batch bodies stay
+// byte-identical to sequential responses.
+func monthlyBillBody(eng *contract.Engine, bills []*contract.Bill, fr feedResolution) ([]byte, error) {
+	months := make([]json.RawMessage, len(bills))
+	for i, b := range bills {
+		data, err := b.JSON()
+		if err != nil {
+			return nil, err
+		}
+		months[i] = data
+	}
+	return json.MarshalIndent(struct {
+		Contract       string            `json:"contract"`
+		Months         []json.RawMessage `json:"months"`
+		GrandTotal     float64           `json:"grand_total"`
+		Degraded       bool              `json:"degraded,omitempty"`
+		DegradedReason string            `json:"degraded_reason,omitempty"`
+	}{eng.Contract().Name, months, contract.TotalOf(bills).Float(),
+		fr.degraded(), degradedReason(fr)}, "", "  ")
 }
 
 // degradedReason returns the reason only for degraded resolutions, so

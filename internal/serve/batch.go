@@ -1,0 +1,244 @@
+package serve
+
+// POST /v1/bill/batch: one load profile × N contract specs, or N load
+// profiles × one contract spec, billed as a single admitted request.
+// Each distinct input is parsed once (loads materialized up front,
+// specs parsed and content-hashed once, engines compiled once through
+// the LRU) and evaluation fans across the contract batch pool. Every
+// item's body is byte-identical to what a sequential /v1/bill call
+// with the same inputs would have returned — the envelope is assembled
+// by hand so rendered bills embed verbatim, never re-marshalled — and
+// degraded feed resolutions mark only the items they affected.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/contract"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// maxBatchItems bounds one batch request: enough for a year of monthly
+// re-bids or a healthy candidate sweep, small enough that a single
+// request cannot monopolize the service.
+const maxBatchItems = 64
+
+// BatchRequest is the POST /v1/bill/batch body. Exactly one of
+// Contract/Contracts and exactly one of Load/Loads must be set, and at
+// most one side may be plural.
+type BatchRequest struct {
+	Contract  json.RawMessage   `json:"contract,omitempty"`
+	Contracts []json.RawMessage `json:"contracts,omitempty"`
+	Load      *LoadSpec         `json:"load,omitempty"`
+	Loads     []LoadSpec        `json:"loads,omitempty"`
+	Input     *InputSpec        `json:"input,omitempty"`
+	Feed      *FeedSpec         `json:"feed,omitempty"`
+}
+
+// shape validates the request and returns the spec and load lists.
+func (req *BatchRequest) shape() (specs []json.RawMessage, loads []LoadSpec, err error) {
+	switch {
+	case len(req.Contract) > 0 && len(req.Contracts) > 0:
+		return nil, nil, errors.New("batch: set contract or contracts, not both")
+	case len(req.Contract) > 0:
+		specs = []json.RawMessage{req.Contract}
+	case len(req.Contracts) > 0:
+		specs = req.Contracts
+	default:
+		return nil, nil, errors.New("batch: missing contract or contracts")
+	}
+	switch {
+	case req.Load != nil && len(req.Loads) > 0:
+		return nil, nil, errors.New("batch: set load or loads, not both")
+	case req.Load != nil:
+		loads = []LoadSpec{*req.Load}
+	case len(req.Loads) > 0:
+		loads = req.Loads
+	default:
+		return nil, nil, errors.New("batch: missing load or loads")
+	}
+	if len(specs) > 1 && len(loads) > 1 {
+		return nil, nil, errors.New("batch: one load x N contracts or N loads x one contract, not N x M")
+	}
+	if n := max(len(specs), len(loads)); n > maxBatchItems {
+		return nil, nil, fmt.Errorf("batch: %d items exceeds the limit of %d", n, maxBatchItems)
+	}
+	return specs, loads, nil
+}
+
+// batchItemResult is one item's rendered outcome.
+type batchItemResult struct {
+	status   int
+	degraded bool
+	body     []byte
+}
+
+func batchErrorBody(msg string) []byte {
+	data, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return data
+}
+
+// batchEvalStatus maps a per-item evaluation error onto the status and
+// body a sequential /v1/bill call would have produced (writeEvalError).
+func batchEvalStatus(err error) (int, []byte) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout, batchErrorBody("evaluation exceeded the request deadline")
+	}
+	return http.StatusBadRequest, batchErrorBody(err.Error())
+}
+
+func (s *Server) handleBillBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	specs, loadSpecs, err := req.shape()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := max(len(specs), len(loadSpecs))
+	monthly := r.URL.Query().Get("monthly") == "1"
+	s.metrics.batchRequests.Add(1)
+	s.metrics.batchItems.Add(uint64(n))
+
+	// Materialize every distinct load once.
+	loads := make([]*timeseries.PowerSeries, len(loadSpecs))
+	loadErrs := make([]error, len(loadSpecs))
+	for i := range loadSpecs {
+		loads[i], loadErrs[i] = resolveLoad(loadSpecs[i])
+	}
+	// Parse every distinct spec once (repeated raw bytes share a parse).
+	parsed := make([]parsedSpec, len(specs))
+	specErrs := make([]error, len(specs))
+	seen := make(map[string]int, len(specs))
+	for i, raw := range specs {
+		if j, ok := seen[string(raw)]; ok {
+			parsed[i], specErrs[i] = parsed[j], specErrs[j]
+			continue
+		}
+		parsed[i], specErrs[i] = parseSpecRaw(raw)
+		seen[string(raw)] = i
+	}
+
+	// Per-item engine resolution. The LRU makes repeated (spec, feed)
+	// pairs compile once; the flat-feed key depends on the load span, so
+	// resolution is per item even in one-contract mode.
+	results := make([]batchItemResult, n)
+	items := make([]contract.BatchItem, n)
+	frs := make([]feedResolution, n)
+	var worst feedResolution
+	for i := 0; i < n; i++ {
+		si, li := 0, 0
+		if len(specs) > 1 {
+			si = i
+		}
+		if len(loadSpecs) > 1 {
+			li = i
+		}
+		switch {
+		case specErrs[si] != nil:
+			results[i] = batchItemResult{status: http.StatusBadRequest, body: batchErrorBody(specErrs[si].Error())}
+		case loadErrs[li] != nil:
+			results[i] = batchItemResult{status: http.StatusBadRequest, body: batchErrorBody(loadErrs[li].Error())}
+		default:
+			eng, fr, err := s.engineForSpec(r.Context(), parsed[si], req.Feed, loads[li])
+			if err != nil {
+				results[i] = batchItemResult{status: http.StatusBadRequest, body: batchErrorBody(err.Error())}
+				continue
+			}
+			frs[i] = fr
+			worst = worst.worse(fr)
+			items[i] = contract.BatchItem{Engine: eng, Load: loads[li]}
+		}
+	}
+
+	if hook := s.billHook; hook != nil {
+		hook(r.Context())
+	}
+
+	// Evaluate the resolvable items across the batch pool.
+	endEval := obs.Span(r.Context(), stageBatchEvaluate)
+	outcomes := contract.BillBatch(r.Context(), items, resolveInput(req.Input), contract.BatchOptions{
+		Monthly:      monthly,
+		Workers:      s.cfg.MaxConcurrent,
+		MonthWorkers: s.cfg.MonthWorkers,
+	})
+	endEval()
+
+	// Encode per item: exactly the bytes a sequential /v1/bill response
+	// would carry (markDegraded splice included).
+	for i := range results {
+		if results[i].status != 0 {
+			continue
+		}
+		endEncode := obs.Span(r.Context(), stageBatchEncode)
+		results[i] = s.encodeBatchItem(items[i].Engine, outcomes[i], frs[i], monthly)
+		endEncode()
+	}
+
+	s.noteFeed(w, worst)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(renderBatchEnvelope(results))
+}
+
+// encodeBatchItem renders one evaluated item.
+func (s *Server) encodeBatchItem(eng *contract.Engine, out contract.BatchOutcome, fr feedResolution, monthly bool) batchItemResult {
+	if out.Err != nil {
+		status, body := batchEvalStatus(out.Err)
+		return batchItemResult{status: status, body: body}
+	}
+	if monthly {
+		body, err := monthlyBillBody(eng, out.Months, fr)
+		if err != nil {
+			return batchItemResult{status: http.StatusInternalServerError, body: batchErrorBody(err.Error())}
+		}
+		return batchItemResult{status: http.StatusOK, degraded: fr.degraded(), body: body}
+	}
+	body, err := out.Bill.JSON()
+	if err != nil {
+		return batchItemResult{status: http.StatusInternalServerError, body: batchErrorBody(err.Error())}
+	}
+	if fr.degraded() {
+		body = markDegraded(body, fr.reason)
+	}
+	return batchItemResult{status: http.StatusOK, degraded: fr.degraded(), body: body}
+}
+
+// renderBatchEnvelope assembles the response by hand so item bodies
+// embed verbatim — encoding/json would re-indent the nested documents
+// and break per-item byte identity with sequential responses.
+func renderBatchEnvelope(results []batchItemResult) []byte {
+	var buf bytes.Buffer
+	total := 0
+	for _, it := range results {
+		total += len(it.body)
+	}
+	buf.Grow(total + 64*len(results) + 64)
+	buf.WriteString("{\n  \"count\": ")
+	buf.WriteString(strconv.Itoa(len(results)))
+	buf.WriteString(",\n  \"items\": [")
+	for i, it := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n    {\"status\": ")
+		buf.WriteString(strconv.Itoa(it.status))
+		if it.degraded {
+			buf.WriteString(", \"degraded\": true")
+		}
+		buf.WriteString(", \"body\": ")
+		buf.Write(it.body)
+		buf.WriteByte('}')
+	}
+	buf.WriteString("\n  ]\n}\n")
+	return buf.Bytes()
+}

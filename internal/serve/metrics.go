@@ -28,6 +28,10 @@ const (
 	stageCompile       = "compile"
 	stageEvaluate      = "evaluate"
 	stageEncode        = "encode"
+	// Batch-aware stages: one batch_evaluate span covers the whole
+	// fan-out across the batch pool, one batch_encode span per item.
+	stageBatchEvaluate = "batch_evaluate"
+	stageBatchEncode   = "batch_encode"
 )
 
 type metrics struct {
@@ -50,6 +54,11 @@ type metrics struct {
 	// prices while the feed was failing within the budget.
 	degraded  atomic.Uint64
 	feedStale atomic.Uint64
+	// batchRequests counts /v1/bill/batch requests admitted past body
+	// validation; batchItems counts the items they carried — one gated
+	// admission slot serves batchItems/batchRequests bills on average.
+	batchRequests atomic.Uint64
+	batchItems    atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -249,6 +258,12 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_feed_stale_total Responses billed on cached prices while the feed was failing within the staleness budget.\n")
 	fmt.Fprintf(w, "# TYPE scserved_feed_stale_total counter\n")
 	fmt.Fprintf(w, "scserved_feed_stale_total %d\n", m.feedStale.Load())
+	fmt.Fprintf(w, "# HELP scserved_batch_requests_total Batch bill requests accepted.\n")
+	fmt.Fprintf(w, "# TYPE scserved_batch_requests_total counter\n")
+	fmt.Fprintf(w, "scserved_batch_requests_total %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "# HELP scserved_batch_items_total Items carried by batch bill requests.\n")
+	fmt.Fprintf(w, "# TYPE scserved_batch_items_total counter\n")
+	fmt.Fprintf(w, "scserved_batch_items_total %d\n", m.batchItems.Load())
 
 	if pf := s.cfg.PriceFeed; pf != nil {
 		fs := pf.Stats()

@@ -21,6 +21,8 @@
 // Endpoints:
 //
 //	POST /v1/bill?monthly=1   contract spec + load profile -> bill JSON
+//	POST /v1/bill/batch       one load x N contracts (or N loads x one
+//	                          contract) -> per-item bills in one request
 //	POST /v1/advise           candidate sweep -> renegotiation advice
 //	GET  /v1/survey/roster    Table 1
 //	GET  /v1/survey/records   Table 2 (+ RNP column)
@@ -158,6 +160,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/bill", s.instrument("/v1/bill", s.gated(s.handleBill)))
+	s.mux.Handle("POST /v1/bill/batch", s.instrument("/v1/bill/batch", s.gated(s.handleBillBatch)))
 	s.mux.Handle("POST /v1/advise", s.instrument("/v1/advise", s.gated(s.handleAdvise)))
 	s.mux.Handle("GET /v1/survey/roster", s.instrument("/v1/survey/roster", http.HandlerFunc(s.handleSurveyRoster)))
 	s.mux.Handle("GET /v1/survey/records", s.instrument("/v1/survey/records", http.HandlerFunc(s.handleSurveyRecords)))

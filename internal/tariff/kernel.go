@@ -1,0 +1,392 @@
+package tariff
+
+// Columnar kernels for the kWh branch. Each in-package tariff kind
+// compiles to a billing.Kernel whose scanner replicates the matching
+// accumulator's arithmetic exactly (producer.go): a fixed tariff sums
+// energy and rounds once; TOU and dynamic tariffs price and round per
+// sample. The per-sample PriceAt lookup is compiled away:
+//
+//   - TOU: the schedule is lowered to a month × day-kind × hour price
+//     cube at compile time (calendar.LabelForSlot guarantees the label
+//     is a pure function of that triple), and the scanner advances the
+//     effective price once per wall-clock hour segment instead of per
+//     sample.
+//   - Dynamic: the feed's slot grid is walked segment-wise with the
+//     same clamping PriceSeries.PriceAt applies at the edges.
+//
+// CPP tariffs (and any other out-of-package Tariff) do not compile:
+// compileTariffKernel returns nil and the evaluator keeps the
+// sample-walk path for the whole contract.
+
+import (
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/calendar"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// maxSegEnd marks a price segment that runs to the end of any period.
+const maxSegEnd = int(^uint(0) >> 1)
+
+// CompileKernel compiles the adapted tariff into a columnar kernel, or
+// nil when the tariff (or any stacked component) has no exact kernel.
+func (p producer) CompileKernel() billing.Kernel {
+	cost := compileCostKernel(p.t)
+	if cost == nil {
+		return nil
+	}
+	return &tariffKernel{
+		class: classFor(p.t.Kind()),
+		desc:  p.t.Describe(),
+		cost:  cost,
+	}
+}
+
+var _ billing.KernelProducer = producer{}
+
+// tariffKernel pairs the compiled cost kernel with the precomputed
+// line-item metadata (class and description are period-invariant).
+type tariffKernel struct {
+	class billing.Class
+	desc  string
+	cost  costKernel
+}
+
+func (k *tariffKernel) NewScanner() billing.Scanner {
+	return &tariffScanner{class: k.class, desc: k.desc, cost: k.cost.newScanner()}
+}
+
+// tariffScanner mirrors tariffAcc: a running period-energy sum for the
+// quantity column plus the wrapped cost scanner.
+type tariffScanner struct {
+	class billing.Class
+	desc  string
+	cost  costScanner
+	h     float64
+	kwh   float64
+	buf   []byte
+}
+
+func (s *tariffScanner) Begin(_ *billing.PeriodContext, start time.Time, interval time.Duration, n int) {
+	s.h = interval.Hours()
+	s.kwh = 0
+	s.cost.begin(start, interval, n)
+}
+
+func (s *tariffScanner) Scan(samples []units.Power, base int) {
+	h := s.h
+	kwh := s.kwh
+	for _, p := range samples {
+		kwh += float64(p) * h
+	}
+	s.kwh = kwh
+	s.cost.scan(samples, base)
+}
+
+func (s *tariffScanner) AppendLines(dst []billing.LineItem) []billing.LineItem {
+	s.buf = units.AppendEnergy(s.buf[:0], units.Energy(s.kwh))
+	return append(dst, billing.LineItem{
+		Class:       s.class,
+		Description: s.desc,
+		Quantity:    string(s.buf),
+		Amount:      s.cost.amount(),
+	})
+}
+
+// costKernel / costScanner are the columnar twins of costAccumulator.
+type costKernel interface {
+	newScanner() costScanner
+}
+
+type costScanner interface {
+	begin(start time.Time, interval time.Duration, n int)
+	scan(samples []units.Power, base int)
+	amount() units.Money
+}
+
+// compileCostKernel lowers a tariff's cost arithmetic, mirroring
+// newCostAccumulator's dispatch. Unknown tariff implementations return
+// nil: they have no exact columnar form.
+func compileCostKernel(t Tariff) costKernel {
+	switch tt := t.(type) {
+	case *FixedTariff:
+		return fixedCostKernel{rate: tt.Rate}
+	case *TOUTariff:
+		return compileTOUKernel(tt)
+	case *DynamicTariff:
+		return feedCostKernel{feed: tt.feed, mult: tt.multiplier, adder: tt.adder}
+	case *Stack:
+		kids := make([]costKernel, len(tt.components))
+		for i, c := range tt.components {
+			k := compileCostKernel(c)
+			if k == nil {
+				return nil
+			}
+			kids[i] = k
+		}
+		return stackCostKernel{kids: kids}
+	default:
+		return nil
+	}
+}
+
+// fixedCostKernel reproduces fixedAcc: sum energy, price once.
+type fixedCostKernel struct{ rate units.EnergyPrice }
+
+func (k fixedCostKernel) newScanner() costScanner { return &fixedCostScanner{rate: k.rate} }
+
+type fixedCostScanner struct {
+	rate units.EnergyPrice
+	h    float64
+	kwh  float64
+}
+
+func (s *fixedCostScanner) begin(_ time.Time, interval time.Duration, _ int) {
+	s.h = interval.Hours()
+	s.kwh = 0
+}
+
+func (s *fixedCostScanner) scan(samples []units.Power, _ int) {
+	h := s.h
+	kwh := s.kwh
+	for _, p := range samples {
+		kwh += float64(p) * h
+	}
+	s.kwh = kwh
+}
+
+func (s *fixedCostScanner) amount() units.Money { return s.rate.Cost(units.Energy(s.kwh)) }
+
+// priceCube is a TOU schedule lowered to a dense lookup: month ×
+// day-kind (indexed by calendar.DayKind) × hour.
+type priceCube [12][4][24]units.EnergyPrice
+
+// compileTOUKernel bakes the schedule's label function and the rate map
+// into a price cube. calendar.LabelForSlot is the pinned contract that
+// the label depends only on (month, day-kind, hour).
+func compileTOUKernel(t *TOUTariff) costKernel {
+	k := &touCostKernel{sched: t.schedule}
+	for m := time.January; m <= time.December; m++ {
+		for _, kind := range []calendar.DayKind{calendar.Weekday, calendar.Weekend, calendar.Holiday} {
+			for h := 0; h < 24; h++ {
+				k.cube[m-1][kind][h] = t.rates[t.schedule.LabelForSlot(m, kind, h)]
+			}
+		}
+	}
+	return k
+}
+
+type touCostKernel struct {
+	sched *calendar.Schedule
+	cube  priceCube
+}
+
+func (k *touCostKernel) newScanner() costScanner {
+	return &touCostScanner{sched: k.sched, cube: &k.cube}
+}
+
+// touCostScanner reproduces priceAtAcc for a TOU tariff: every sample's
+// energy is billed at the slot price of its interval start, rounding
+// per sample. The effective price advances per wall-clock hour segment;
+// each advance re-derives (month, day-kind, hour) from the exact sample
+// instant, so irregular intervals and DST transitions stay exact (a
+// segment that cannot make progress degrades to per-sample advancing).
+type touCostScanner struct {
+	sched *calendar.Schedule
+	cube  *priceCube
+
+	start    time.Time
+	interval time.Duration
+	h        float64
+	total    units.Money
+
+	price  units.EnergyPrice
+	segEnd int
+
+	// Day-kind cache: KindOf is constant within a calendar day, and a
+	// holiday lookup costs a date-key rendering.
+	curY, curD int
+	curM       time.Month
+	kind       calendar.DayKind
+	haveDay    bool
+}
+
+func (s *touCostScanner) begin(start time.Time, interval time.Duration, _ int) {
+	s.start = start
+	s.interval = interval
+	s.h = interval.Hours()
+	s.total = 0
+	s.segEnd = 0
+	s.haveDay = false
+}
+
+func (s *touCostScanner) scan(samples []units.Power, base int) {
+	h := s.h
+	total := s.total
+	for j := 0; j < len(samples); {
+		if base+j >= s.segEnd {
+			s.advance(base + j)
+		}
+		end := s.segEnd - base
+		if end > len(samples) {
+			end = len(samples)
+		}
+		price := s.price
+		for ; j < end; j++ {
+			en := float64(samples[j]) * h
+			total += price.Cost(units.Energy(en))
+		}
+	}
+	s.total = total
+}
+
+// advance recomputes the effective price at sample index i and the
+// first index past the current wall-clock hour.
+func (s *touCostScanner) advance(i int) {
+	t := s.start.Add(time.Duration(i) * s.interval)
+	y, mo, d := t.Date()
+	if !s.haveDay || y != s.curY || mo != s.curM || d != s.curD {
+		s.curY, s.curM, s.curD = y, mo, d
+		s.kind = s.sched.DayKindAt(t)
+		s.haveDay = true
+	}
+	hour := t.Hour()
+	s.price = s.cube[mo-1][s.kind][hour]
+	boundary := time.Date(y, mo, d, hour, 0, 0, 0, t.Location()).Add(time.Hour)
+	seg := billing.CeilIndex(boundary.Sub(s.start), s.interval)
+	if seg <= i {
+		// Wall clock stalled or stepped back (DST fall-back's repeated
+		// hour): advance sample by sample, each priced from its exact
+		// instant.
+		seg = i + 1
+	}
+	s.segEnd = seg
+}
+
+func (s *touCostScanner) amount() units.Money { return s.total }
+
+// feedCostKernel reproduces priceAtAcc for a dynamic tariff: the feed
+// price in effect at each sample's interval start (with PriceAt's edge
+// clamping), marked up, priced and rounded per sample.
+type feedCostKernel struct {
+	feed  *timeseries.PriceSeries
+	mult  float64
+	adder units.EnergyPrice
+}
+
+func (k feedCostKernel) newScanner() costScanner {
+	return &feedCostScanner{feed: k.feed, mult: k.mult, adder: k.adder}
+}
+
+type feedCostScanner struct {
+	feed  *timeseries.PriceSeries
+	mult  float64
+	adder units.EnergyPrice
+
+	start    time.Time
+	interval time.Duration
+	h        float64
+	total    units.Money
+
+	price  units.EnergyPrice
+	segEnd int
+}
+
+func (s *feedCostScanner) begin(start time.Time, interval time.Duration, _ int) {
+	s.start = start
+	s.interval = interval
+	s.h = interval.Hours()
+	s.total = 0
+	s.segEnd = 0
+}
+
+func (s *feedCostScanner) scan(samples []units.Power, base int) {
+	h := s.h
+	total := s.total
+	for j := 0; j < len(samples); {
+		if base+j >= s.segEnd {
+			s.advance(base + j)
+		}
+		end := s.segEnd - base
+		if end > len(samples) {
+			end = len(samples)
+		}
+		price := s.price
+		for ; j < end; j++ {
+			en := float64(samples[j]) * h
+			total += price.Cost(units.Energy(en))
+		}
+	}
+	s.total = total
+}
+
+// advance mirrors PriceSeries.PriceAt at sample index i and finds the
+// first index whose instant leaves the current feed slot.
+func (s *feedCostScanner) advance(i int) {
+	t := s.start.Add(time.Duration(i) * s.interval)
+	fs := s.feed.Start()
+	fi := s.feed.Interval()
+	flen := s.feed.Len()
+	var raw units.EnergyPrice
+	seg := maxSegEnd
+	switch {
+	case flen == 0:
+		raw = 0
+	case t.Before(fs):
+		raw = s.feed.At(0)
+		seg = billing.CeilIndex(fs.Sub(s.start), s.interval)
+	default:
+		j := int(t.Sub(fs) / fi)
+		if j >= flen {
+			raw = s.feed.At(flen - 1)
+		} else {
+			raw = s.feed.At(j)
+			boundary := fs.Add(time.Duration(j+1) * fi)
+			seg = billing.CeilIndex(boundary.Sub(s.start), s.interval)
+		}
+	}
+	if seg <= i {
+		seg = i + 1
+	}
+	s.segEnd = seg
+	s.price = units.EnergyPrice(float64(raw)*s.mult) + s.adder
+}
+
+func (s *feedCostScanner) amount() units.Money { return s.total }
+
+// stackCostKernel reproduces stackAcc: each component accumulates
+// independently and the amounts sum at the end, preserving
+// per-component rounding.
+type stackCostKernel struct{ kids []costKernel }
+
+func (k stackCostKernel) newScanner() costScanner {
+	kids := make([]costScanner, len(k.kids))
+	for i, kid := range k.kids {
+		kids[i] = kid.newScanner()
+	}
+	return &stackCostScanner{kids: kids}
+}
+
+type stackCostScanner struct{ kids []costScanner }
+
+func (s *stackCostScanner) begin(start time.Time, interval time.Duration, n int) {
+	for _, k := range s.kids {
+		k.begin(start, interval, n)
+	}
+}
+
+func (s *stackCostScanner) scan(samples []units.Power, base int) {
+	for _, k := range s.kids {
+		k.scan(samples, base)
+	}
+}
+
+func (s *stackCostScanner) amount() units.Money {
+	var total units.Money
+	for _, k := range s.kids {
+		total += k.amount()
+	}
+	return total
+}

@@ -1,0 +1,99 @@
+package timeseries
+
+// Columnar month-block view of a PowerSeries. The billing engine's hot
+// path wants contiguous per-calendar-month sample slices it can scan
+// without per-sample method dispatch and without the defensive copy the
+// Samples() contract makes. MonthBlock is that view: it shares the
+// series' storage deliberately (the one sanctioned zero-copy window
+// into a PowerSeries) and is read-only by convention — mutating a
+// block's samples corrupts the series it views.
+//
+// The partition is exactly SplitMonths': a sample belongs to the
+// calendar month containing its interval start, in the series'
+// location. The boundaries are computed with O(months) wall-clock
+// arithmetic rather than a per-sample month lookup, which is what makes
+// the ratchet peak prescan allocation-free.
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// MonthBlock is one calendar month of a PowerSeries as a contiguous
+// sample slice. Samples aliases the parent series' storage: treat it as
+// read-only.
+type MonthBlock struct {
+	// Start is the start instant of the block's first sample interval.
+	Start time.Time
+	// Offset is the index of the block's first sample in the parent
+	// series.
+	Offset int
+	// Samples are the block's samples, sharing the parent's storage.
+	Samples []units.Power
+}
+
+// Peak returns the block's maximum sample (0 for an empty block;
+// AppendBlocks never produces one).
+func (b MonthBlock) Peak() units.Power {
+	if len(b.Samples) == 0 {
+		return 0
+	}
+	peak := b.Samples[0]
+	for _, p := range b.Samples[1:] {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Blocks returns the series' calendar-month blocks in chronological
+// order. Equivalent to AppendBlocks(nil).
+func (s *PowerSeries) Blocks() []MonthBlock {
+	return s.AppendBlocks(nil)
+}
+
+// AppendBlocks appends the series' calendar-month blocks to dst
+// (truncated first) and returns the extended slice. Passing a scratch
+// slice with sufficient capacity makes the call allocation-free, which
+// the billing engine's prescan relies on. The partition is identical to
+// SplitMonths: each sample belongs to the month containing its interval
+// start, partial edge months included as-is.
+func (s *PowerSeries) AppendBlocks(dst []MonthBlock) []MonthBlock {
+	dst = dst[:0]
+	n := len(s.samples)
+	cur := 0
+	for cur < n {
+		t := s.TimeAt(cur)
+		y, m, _ := t.Date()
+		nextMonth := time.Date(y, m+1, 1, 0, 0, 0, 0, t.Location())
+		// First sample index at or past the next month's start.
+		end := cur + 1 + int((nextMonth.Sub(t)-1)/s.interval)
+		if end > n {
+			end = n
+		}
+		if end <= cur {
+			end = cur + 1 // defensive: blocks always advance
+		}
+		dst = append(dst, MonthBlock{Start: t, Offset: cur, Samples: s.samples[cur:end:end]})
+		cur = end
+	}
+	return dst
+}
+
+// Months returns the calendar-month sub-series as a single value slab
+// (one backing array for all months, each sharing the parent's sample
+// storage like Window does). It is the low-allocation counterpart of
+// SplitMonths for callers that iterate months by index.
+func (s *PowerSeries) Months() []PowerSeries {
+	if len(s.samples) == 0 {
+		return nil
+	}
+	blocks := s.AppendBlocks(nil)
+	out := make([]PowerSeries, len(blocks))
+	for i, b := range blocks {
+		out[i] = PowerSeries{start: b.Start, interval: s.interval, samples: b.Samples}
+	}
+	return out
+}

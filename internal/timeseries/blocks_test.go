@@ -1,0 +1,152 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// randSeries builds a deterministic random series for partition tests.
+func randSeries(t *testing.T, start time.Time, interval time.Duration, n int, seed int64) *PowerSeries {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]units.Power, n)
+	for i := range samples {
+		samples[i] = units.Power(1000 + 500*rng.Float64())
+	}
+	return MustNewPower(start, interval, samples)
+}
+
+// assertBlocksMatchSplit checks AppendBlocks and Months against the
+// canonical SplitMonths partition, sample by sample.
+func assertBlocksMatchSplit(t *testing.T, s *PowerSeries) {
+	t.Helper()
+	split := s.SplitMonths()
+	blocks := s.Blocks()
+	months := s.Months()
+	if len(blocks) != len(split) || len(months) != len(split) {
+		t.Fatalf("partition sizes differ: split %d, blocks %d, months %d",
+			len(split), len(blocks), len(months))
+	}
+	offset := 0
+	for i, m := range split {
+		b := blocks[i]
+		if !b.Start.Equal(m.Start()) {
+			t.Fatalf("month %d: block start %v, split start %v", i, b.Start, m.Start())
+		}
+		if b.Offset != offset {
+			t.Fatalf("month %d: block offset %d, want %d", i, b.Offset, offset)
+		}
+		if len(b.Samples) != m.Len() {
+			t.Fatalf("month %d: block has %d samples, split has %d", i, len(b.Samples), m.Len())
+		}
+		for j := range b.Samples {
+			if b.Samples[j] != m.At(j) {
+				t.Fatalf("month %d sample %d: block %v, split %v", i, j, b.Samples[j], m.At(j))
+			}
+		}
+		v := months[i]
+		if !v.Start().Equal(m.Start()) || v.Interval() != m.Interval() || v.Len() != m.Len() {
+			t.Fatalf("month %d: Months() view differs from split", i)
+		}
+		for j := 0; j < v.Len(); j++ {
+			if v.At(j) != m.At(j) {
+				t.Fatalf("month %d sample %d: view %v, split %v", i, j, v.At(j), m.At(j))
+			}
+		}
+		peak, _, err := m.Peak()
+		if err != nil {
+			t.Fatalf("month %d: split peak: %v", i, err)
+		}
+		if got := b.Peak(); got != peak {
+			t.Fatalf("month %d: block peak %v, split peak %v", i, got, peak)
+		}
+		offset += m.Len()
+	}
+	if offset != s.Len() {
+		t.Fatalf("partition covers %d of %d samples", offset, s.Len())
+	}
+}
+
+func TestBlocksMatchSplitMonthsUTC(t *testing.T) {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	s := randSeries(t, start, 15*time.Minute, 366*96, 1)
+	assertBlocksMatchSplit(t, s)
+}
+
+func TestBlocksMatchSplitMonthsPartialEdges(t *testing.T) {
+	// Start mid-month at an odd minute, end mid-month: partial first and
+	// last months, boundaries not aligned to the interval grid.
+	start := time.Date(2016, time.March, 17, 13, 7, 0, 0, time.UTC)
+	for _, interval := range []time.Duration{15 * time.Minute, 7 * time.Minute, time.Hour} {
+		s := randSeries(t, start, interval, 5000, 2)
+		assertBlocksMatchSplit(t, s)
+	}
+}
+
+func TestBlocksMatchSplitMonthsZurichDST(t *testing.T) {
+	loc, err := time.LoadLocation("Europe/Zurich")
+	if err != nil {
+		t.Skipf("tzdata unavailable: %v", err)
+	}
+	// 2016 transitions: spring forward March 27, fall back October 30.
+	for _, tc := range []struct {
+		name  string
+		start time.Time
+		n     int
+	}{
+		{"spring", time.Date(2016, time.February, 15, 0, 0, 0, 0, loc), 90 * 96},
+		{"fall", time.Date(2016, time.September, 20, 23, 45, 0, 0, loc), 70 * 96},
+		{"year", time.Date(2016, time.January, 1, 0, 0, 0, 0, loc), 366 * 96},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := randSeries(t, tc.start, 15*time.Minute, tc.n, 3)
+			assertBlocksMatchSplit(t, s)
+		})
+	}
+}
+
+func TestBlocksMatchSplitMonthsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2015, time.June, 1, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 50; trial++ {
+		start := base.Add(time.Duration(rng.Intn(400*24*60)) * time.Minute)
+		interval := time.Duration(1+rng.Intn(180)) * time.Minute
+		n := 1 + rng.Intn(20000)
+		s := randSeries(t, start, interval, n, int64(trial))
+		assertBlocksMatchSplit(t, s)
+	}
+}
+
+func TestBlocksEmptySeries(t *testing.T) {
+	s := MustNewPower(time.Now(), time.Minute, nil)
+	if got := s.Blocks(); len(got) != 0 {
+		t.Fatalf("empty series produced %d blocks", len(got))
+	}
+	if got := s.Months(); got != nil {
+		t.Fatalf("empty series produced %d month views", len(got))
+	}
+}
+
+// TestAppendBlocksPrescanZeroAlloc pins the allocation-free contract of
+// the peak prescan: with a reused scratch slice, partitioning a year
+// into month blocks and scanning each block's peak must not allocate.
+func TestAppendBlocksPrescanZeroAlloc(t *testing.T) {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	s := randSeries(t, start, 15*time.Minute, 366*96, 7)
+	scratch := make([]MonthBlock, 0, 16)
+	var sink units.Power
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = s.AppendBlocks(scratch)
+		for _, b := range scratch {
+			if p := b.Peak(); p > sink {
+				sink = p
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("prescan allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,56 @@
+package units
+
+// Append-style formatters for the hot billing path. The billing
+// engine's columnar scanners render one quantity string per line item
+// per period; the fmt-based String methods cost several allocations
+// each (interface boxing, scratch buffers). AppendPower/AppendEnergy
+// produce byte-identical output via strconv into a caller-owned buffer,
+// so a reused scratch buffer leaves exactly one allocation — the final
+// string — per rendered quantity.
+
+import (
+	"math"
+	"strconv"
+)
+
+// AppendPower appends the exact Power.String() rendering of p to dst
+// and returns the extended slice.
+func AppendPower(dst []byte, p Power) []byte {
+	v := float64(p)
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e6:
+		dst = strconv.AppendFloat(dst, v/1e6, 'f', 2, 64)
+		return append(dst, " GW"...)
+	case abs >= 1000:
+		dst = strconv.AppendFloat(dst, v/1000, 'f', 2, 64)
+		return append(dst, " MW"...)
+	case abs >= 1:
+		dst = strconv.AppendFloat(dst, v, 'f', 2, 64)
+		return append(dst, " kW"...)
+	default:
+		dst = strconv.AppendFloat(dst, v*1000, 'f', 1, 64)
+		return append(dst, " W"...)
+	}
+}
+
+// AppendEnergy appends the exact Energy.String() rendering of e to dst
+// and returns the extended slice.
+func AppendEnergy(dst []byte, e Energy) []byte {
+	v := float64(e)
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e6:
+		dst = strconv.AppendFloat(dst, v/1e6, 'f', 2, 64)
+		return append(dst, " GWh"...)
+	case abs >= 1000:
+		dst = strconv.AppendFloat(dst, v/1000, 'f', 2, 64)
+		return append(dst, " MWh"...)
+	case abs >= 1:
+		dst = strconv.AppendFloat(dst, v, 'f', 2, 64)
+		return append(dst, " kWh"...)
+	default:
+		dst = strconv.AppendFloat(dst, v*1000, 'f', 1, 64)
+		return append(dst, " Wh"...)
+	}
+}

@@ -1,0 +1,67 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// appendSweep is the shared value sweep for the byte-identity tests:
+// every SI bucket, both signs, bucket edges, sub-unit values and
+// specials.
+var appendSweep = []float64{
+	0, 0.001, 0.04, 0.5, 0.999, 0.9999,
+	1, 1.005, 2.675, 40, 999.994, 999.995, 999.999,
+	1000, 1234.5, 999_999.4, 999_999.5,
+	1e6, 1.23456e6, 4.2e7,
+	-0.3, -1, -40.25, -999.996, -1000, -12_500, -1e6, -3.7e6,
+	12_000, 12_345.678, 58_000, 700, 0.7,
+	math.SmallestNonzeroFloat64, math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Copysign(0, -1),
+}
+
+func TestAppendPowerMatchesString(t *testing.T) {
+	var buf [40]byte
+	for _, v := range appendSweep {
+		p := Power(v)
+		want := p.String()
+		got := string(AppendPower(buf[:0], p))
+		if got != want {
+			t.Errorf("AppendPower(%v) = %q, String() = %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendEnergyMatchesString(t *testing.T) {
+	var buf [40]byte
+	for _, v := range appendSweep {
+		e := Energy(v)
+		want := e.String()
+		got := string(AppendEnergy(buf[:0], e))
+		if got != want {
+			t.Errorf("AppendEnergy(%v) = %q, String() = %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendPowerMatchesStringDense(t *testing.T) {
+	// Dense sweep across the kW/MW range actual bills land in.
+	var buf [40]byte
+	for i := -200_000; i < 200_000; i += 37 {
+		p := Power(float64(i) * 0.13)
+		if got, want := string(AppendPower(buf[:0], p)), p.String(); got != want {
+			t.Fatalf("AppendPower(%v) = %q, String() = %q", float64(p), got, want)
+		}
+	}
+}
+
+func TestAppendZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, 40)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendPower(buf[:0], 12_345.6)
+		buf = AppendEnergy(buf[:0], 8_400_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("append helpers allocated %.1f times per run, want 0", allocs)
+	}
+}
