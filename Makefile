@@ -6,7 +6,7 @@
 GO ?= go
 SCVET := bin/scvet
 
-.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check fuzz chaos clean
+.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check optimize-accept fuzz chaos clean
 
 all: check
 
@@ -65,9 +65,10 @@ serve:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Just the billing-engine pair: legacy multi-pass vs single-pass engine.
+# The billing hot-path family: legacy multi-pass vs single-pass engine,
+# plus the optimizer's year-long annealing search on top of it.
 bench-billing:
-	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear|BenchmarkOptimizeYear' -benchmem .
 
 # Benchmark sweep into bench.txt for archiving (CI uploads this as a
 # build artifact so perf history survives past the run log).
@@ -80,21 +81,37 @@ bench-artifact:
 # after an intentional perf change.
 BENCH_OUT ?= BENCH_billing.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem -count 1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear|BenchmarkOptimizeYear' -benchmem -count 1 . \
 		| $(GO) run ./cmd/scbench \
 			-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 			-out $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # CI perf gate: rerun the billing benchmarks into BENCH_current.json and
-# fail on a >15% ns/op regression of BillYearEngine vs the committed
-# BENCH_billing.json baseline.
+# fail on a >15% ns/op or >10% allocs/op regression of the gated
+# benchmarks (the engine year-bill and the optimizer search riding on
+# it) vs the committed BENCH_billing.json baseline.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear' -benchmem -count 1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkBillYear|BenchmarkBillingYear|BenchmarkOptimizeYear' -benchmem -count 1 . \
 		| $(GO) run ./cmd/scbench \
 			-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 			-out BENCH_current.json \
-			-compare BENCH_billing.json -gate BillYearEngine -threshold 0.15
+			-compare BENCH_billing.json -gate 'BillYearEngine|OptimizeYear' \
+			-threshold 0.15 -alloc-threshold 0.10
+
+# Seeded acceptance sweep: optimize the year-in-life load against all
+# ten survey-site contracts and fail when the table drifts from the
+# committed ACCEPTANCE_optimize.md or any demand-charge/powerband site
+# is not strictly cheaper than baseline. ACCEPTANCE_current.md is
+# uploaded by CI as an artifact. After an intentional optimizer change,
+# regenerate with:
+#	go run ./cmd/scopt -survey -check -out ACCEPTANCE_optimize.md
+optimize-accept:
+	$(GO) run ./cmd/scopt -survey -check -out ACCEPTANCE_current.md
+	@if ! cmp -s ACCEPTANCE_current.md ACCEPTANCE_optimize.md; then \
+		echo "optimize-accept: sweep drifted from committed ACCEPTANCE_optimize.md:"; \
+		diff -u ACCEPTANCE_optimize.md ACCEPTANCE_current.md || true; exit 1; fi
+	@echo "optimize-accept: sweep matches ACCEPTANCE_optimize.md"
 
 # Chaos soak: the fault-injected price-feed acceptance suite plus the
 # resilience state-machine tests, race-enabled with a short timeout so

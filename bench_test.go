@@ -12,6 +12,7 @@ package repro
 // rendered outputs.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/hpc"
 	"repro/internal/market"
+	"repro/internal/optimize"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tariff"
@@ -360,6 +362,32 @@ func BenchmarkBillYearEngine(b *testing.B) {
 		}
 		if len(bills) != 12 {
 			b.Fatalf("months = %d", len(bills))
+		}
+	}
+}
+
+// BenchmarkOptimizeYear is the optimizer's acceptance benchmark: a full
+// 2000-candidate annealing search over the metered year against the
+// bench contract, priced through the incremental re-bill fast path.
+// Each op is one complete /v1/optimize-sized search; the acceptance
+// bound is one op under five seconds.
+func BenchmarkOptimizeYear(b *testing.B) {
+	c, load := benchYearContract(b)
+	eng, err := contract.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flex := optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := optimize.Optimize(context.Background(), eng, load,
+			contract.BillingInput{}, flex, optimize.Options{Seed: 1, Candidates: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Savings <= 0 {
+			b.Fatalf("no savings on the bench contract: %+v", res.Savings)
 		}
 	}
 }

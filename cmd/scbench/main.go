@@ -12,10 +12,16 @@
 // writes a JSON document with the commit, Go version, and one record
 // per benchmark. The second form additionally loads a baseline JSON
 // file and exits nonzero when any benchmark matching -gate regressed
-// its ns/op by more than -threshold (fractional: 0.15 = 15%) — the CI
-// performance gate over the billing hot path. A gate benchmark present
-// in the baseline but absent from the current run is also a failure:
-// a renamed benchmark must move its baseline in the same change.
+// its ns/op by more than -threshold (fractional: 0.15 = 15%) or its
+// allocs/op by more than -alloc-threshold — the CI performance gate
+// over the billing hot path. Gating allocations alongside wall time
+// catches a different failure: an accidental per-sample allocation in
+// the columnar kernels can hide inside run-to-run timing noise but
+// never inside the alloc count, which is deterministic. Benchmarks
+// whose baseline records no allocs/op (no -benchmem run) skip the
+// alloc gate. A gate benchmark present in the baseline but absent from
+// the current run is also a failure: a renamed benchmark must move its
+// baseline in the same change.
 package main
 
 import (
@@ -52,15 +58,16 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON report to gate against")
 	gate := flag.String("gate", "BillYearEngine", "regexp over benchmark names the regression gate covers")
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional ns/op regression vs the baseline")
+	allocThreshold := flag.Float64("alloc-threshold", 0.10, "max allowed fractional allocs/op regression vs the baseline")
 	flag.Parse()
 
-	if err := run(os.Stdin, *commit, *out, *compare, *gate, *threshold); err != nil {
+	if err := run(os.Stdin, *commit, *out, *compare, *gate, *threshold, *allocThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "scbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, commit, out, compare, gate string, threshold float64) error {
+func run(in io.Reader, commit, out, compare, gate string, threshold, allocThreshold float64) error {
 	benches, err := parseBench(in)
 	if err != nil {
 		return err
@@ -94,7 +101,7 @@ func run(in io.Reader, commit, out, compare, gate string, threshold float64) err
 	if err := json.Unmarshal(baseData, &base); err != nil {
 		return fmt.Errorf("%s: %w", compare, err)
 	}
-	return checkRegression(base, report, gate, threshold)
+	return checkRegression(base, report, gate, threshold, allocThreshold)
 }
 
 // benchLine matches one result line of `go test -bench` output:
@@ -151,8 +158,9 @@ func stripProcSuffix(name string) string {
 }
 
 // checkRegression fails when a gate-matching benchmark got more than
-// threshold slower than the baseline, or disappeared from the run.
-func checkRegression(base, cur Report, gate string, threshold float64) error {
+// threshold slower (ns/op) or more than allocThreshold heavier
+// (allocs/op) than the baseline, or disappeared from the run.
+func checkRegression(base, cur Report, gate string, threshold, allocThreshold float64) error {
 	re, err := regexp.Compile(gate)
 	if err != nil {
 		return fmt.Errorf("bad -gate regexp: %w", err)
@@ -173,13 +181,22 @@ func checkRegression(base, cur Report, gate string, threshold float64) error {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", b.Name))
 			continue
 		}
-		if b.NsPerOp <= 0 {
-			continue
+		if b.NsPerOp > 0 {
+			delta := (got.NsPerOp - b.NsPerOp) / b.NsPerOp
+			if delta > threshold {
+				failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
+					b.Name, got.NsPerOp, b.NsPerOp, delta*100, threshold*100))
+			}
 		}
-		delta := (got.NsPerOp - b.NsPerOp) / b.NsPerOp
-		if delta > threshold {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
-				b.Name, got.NsPerOp, b.NsPerOp, delta*100, threshold*100))
+		// Alloc counts are deterministic per run (no timing noise), so
+		// the gate is meaningful even at tight thresholds; baselines
+		// recorded without -benchmem carry no count and skip it.
+		if b.AllocsPerOp > 0 {
+			delta := (got.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			if delta > allocThreshold {
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
+					b.Name, got.AllocsPerOp, b.AllocsPerOp, delta*100, allocThreshold*100))
+			}
 		}
 	}
 	if gated == 0 {

@@ -58,32 +58,62 @@ func report(ns float64) Report {
 	}}
 }
 
+func allocReport(ns, allocs float64) Report {
+	return Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkBillYearEngine", NsPerOp: ns, AllocsPerOp: allocs},
+	}}
+}
+
 func TestCheckRegression(t *testing.T) {
 	base := report(700000)
 
-	if err := checkRegression(base, report(700000), "BillYearEngine", 0.15); err != nil {
+	if err := checkRegression(base, report(700000), "BillYearEngine", 0.15, 0.10); err != nil {
 		t.Errorf("unchanged timing must pass: %v", err)
 	}
-	if err := checkRegression(base, report(790000), "BillYearEngine", 0.15); err != nil {
+	if err := checkRegression(base, report(790000), "BillYearEngine", 0.15, 0.10); err != nil {
 		t.Errorf("+13%% must pass under a 15%% threshold: %v", err)
 	}
-	err := checkRegression(base, report(900000), "BillYearEngine", 0.15)
+	err := checkRegression(base, report(900000), "BillYearEngine", 0.15, 0.10)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkBillYearEngine") {
 		t.Errorf("+29%% must fail the gate, got: %v", err)
 	}
 	// The legacy benchmark is outside the gate: regressing it alone is fine.
 	slowLegacy := report(700000)
 	slowLegacy.Benchmarks[1].NsPerOp *= 10
-	if err := checkRegression(base, slowLegacy, "BillYearEngine$", 0.15); err != nil {
+	if err := checkRegression(base, slowLegacy, "BillYearEngine$", 0.15, 0.10); err != nil {
 		t.Errorf("non-gated benchmark must not trip the gate: %v", err)
 	}
 
 	missing := Report{Benchmarks: []Benchmark{{Name: "BenchmarkSomethingElse", NsPerOp: 1}}}
-	if err := checkRegression(base, missing, "BillYearEngine", 0.15); err == nil {
+	if err := checkRegression(base, missing, "BillYearEngine", 0.15, 0.10); err == nil {
 		t.Error("gate benchmark missing from the run must fail")
 	}
-	if err := checkRegression(base, report(700000), "NoSuchBenchmark", 0.15); err == nil {
+	if err := checkRegression(base, report(700000), "NoSuchBenchmark", 0.15, 0.10); err == nil {
 		t.Error("a gate matching nothing in the baseline must fail loudly")
+	}
+}
+
+func TestCheckRegressionAllocGate(t *testing.T) {
+	base := allocReport(700000, 90)
+
+	if err := checkRegression(base, allocReport(700000, 90), "BillYearEngine", 0.15, 0.10); err != nil {
+		t.Errorf("unchanged allocs must pass: %v", err)
+	}
+	if err := checkRegression(base, allocReport(700000, 95), "BillYearEngine", 0.15, 0.10); err != nil {
+		t.Errorf("+5.5%% allocs must pass under a 10%% threshold: %v", err)
+	}
+	err := checkRegression(base, allocReport(700000, 120), "BillYearEngine", 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("+33%% allocs must fail the alloc gate even at unchanged ns/op, got: %v", err)
+	}
+	// Both dimensions can fail at once; the report names each.
+	err = checkRegression(base, allocReport(2000000, 200), "BillYearEngine", 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("double regression must report both dimensions, got: %v", err)
+	}
+	// A baseline without alloc counts (no -benchmem) skips the alloc gate.
+	if err := checkRegression(report(700000), allocReport(700000, 1e6), "BillYearEngine", 0.15, 0.10); err != nil {
+		t.Errorf("baseline without allocs/op must skip the alloc gate: %v", err)
 	}
 }
 
@@ -92,7 +122,7 @@ func TestRunEndToEnd(t *testing.T) {
 	baseline := filepath.Join(dir, "BENCH_billing.json")
 
 	// First pass: parse and write the baseline.
-	if err := run(strings.NewReader(sampleOutput), "abc1234", baseline, "", "BillYearEngine", 0.15); err != nil {
+	if err := run(strings.NewReader(sampleOutput), "abc1234", baseline, "", "BillYearEngine", 0.15, 0.10); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(baseline)
@@ -107,18 +137,18 @@ func TestRunEndToEnd(t *testing.T) {
 
 	// Second pass: same numbers gate clean against the baseline.
 	current := filepath.Join(dir, "BENCH_current.json")
-	if err := run(strings.NewReader(sampleOutput), "def5678", current, baseline, "BillYearEngine", 0.15); err != nil {
+	if err := run(strings.NewReader(sampleOutput), "def5678", current, baseline, "BillYearEngine", 0.15, 0.10); err != nil {
 		t.Fatalf("identical rerun must pass the gate: %v", err)
 	}
 
 	// A 2x-slower rerun trips it.
 	slow := strings.ReplaceAll(sampleOutput, "731867 ns/op", "1500000 ns/op")
-	err = run(strings.NewReader(slow), "bad", current, baseline, "BillYearEngine", 0.15)
+	err = run(strings.NewReader(slow), "bad", current, baseline, "BillYearEngine", 0.15, 0.10)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("2x regression must fail, got: %v", err)
 	}
 
-	if err := run(strings.NewReader("no benchmarks here\n"), "", current, "", "x", 0.15); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), "", current, "", "x", 0.15, 0.10); err == nil {
 		t.Error("empty input must fail")
 	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/optimize"
+)
+
+// shortCfg keeps CLI tests fast: a two-week load and a small search.
+func shortCfg() cliConfig {
+	return cliConfig{
+		baseMW: 10, peakRatio: 1.6, days: 14, loadSeed: 7,
+		flex: optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20},
+		opts: optimize.Options{Seed: 1, Candidates: 120},
+	}
+}
+
+func TestRunSiteMode(t *testing.T) {
+	var out strings.Builder
+	cfg := shortCfg()
+	cfg.site = 1
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Baseline bill", "Per-component savings", "demand-charge", "Search"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONAndSeriesExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	cfg := shortCfg()
+	cfg.site = 2
+	cfg.jsonOut = true
+	cfg.seriesOut = filepath.Join(dir, "opt.csv")
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"savings_fraction"`) {
+		t.Errorf("JSON output missing savings_fraction:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(cfg.seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "timestamp,kw") {
+		t.Errorf("series CSV missing header: %q", string(csv[:40]))
+	}
+}
+
+func TestRunSurveyToFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cliConfig{
+		surveyMode: true, check: true,
+		outPath: filepath.Join(dir, "table.md"),
+		flex:    optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20},
+		opts:    optimize.Options{Seed: 1, Candidates: 150},
+	}
+	var out strings.Builder
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	table, err := os.ReadFile(cfg.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(table), "| Site |") {
+		t.Errorf("table file malformed:\n%s", table)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out should suppress stdout, got %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	cases := []cliConfig{
+		{},                              // neither -site nor -contract
+		{site: 1, contract: "x.json"},   // both
+		{site: 99},                      // unknown site
+		{surveyMode: true, site: 3},     // -survey with -site
+		{contract: "/nonexistent.json"}, // unreadable spec
+	}
+	for i, cfg := range cases {
+		if cfg.opts.Candidates == 0 {
+			cfg.opts = optimize.Options{Seed: 1, Candidates: 10}
+			cfg.days = 7
+			cfg.baseMW = 10
+			cfg.peakRatio = 1.5
+		}
+		var out strings.Builder
+		if err := run(context.Background(), cfg, &out); err == nil {
+			t.Errorf("case %d: expected error, got none", i)
+		}
+	}
+}

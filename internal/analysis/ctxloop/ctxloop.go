@@ -20,6 +20,14 @@
 // block view or touching a MonthBlock's Samples field inside the loop
 // counts as reading the sample stream.
 //
+// The optimizer (internal/optimize) is in scope for the same reason:
+// its candidate-evaluation loop re-reads the sample stream thousands of
+// times per request — a 2000-candidate search over a year of 15-minute
+// samples touches tens of millions of points — and /v1/optimize threads
+// the request context into it. A strided poll between candidates (or
+// delegating each evaluation to a ctx-forwarding helper like
+// IncrementalMonths.Stage) satisfies the check.
+//
 // Functions without a context parameter are exempt: they have nothing
 // to poll (bounded helpers like a per-month peak scan stay legal), and
 // the analyzer's job is to keep the ctx-taking entry points honest.
@@ -36,6 +44,7 @@ import (
 var scopes = []string{
 	"internal/billing",
 	"internal/contract",
+	"internal/optimize",
 }
 
 var Analyzer = &analysis.Analyzer{

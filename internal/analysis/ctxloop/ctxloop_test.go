@@ -11,6 +11,8 @@ func TestCtxLoop(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer,
 		"internal/billing/pos",
 		"internal/billing/neg",
+		"internal/optimize/pos",
+		"internal/optimize/neg",
 		"outofscope/sweep",
 	)
 }

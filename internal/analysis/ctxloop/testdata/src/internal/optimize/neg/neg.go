@@ -1,0 +1,78 @@
+// Package neg holds optimizer-shaped loops that must stay silent: the
+// candidate-evaluation shapes internal/optimize actually uses.
+package neg
+
+import (
+	"context"
+
+	"internal/timeseries"
+)
+
+// The optimizer's real shape: a strided ctx poll between candidates
+// (every 64th iteration), per-candidate pricing delegated further down.
+func StridedSearch(ctx context.Context, load *timeseries.PowerSeries, candidates int) (float64, error) {
+	done := ctx.Done()
+	best := 0.0
+	for k := 0; k < candidates; k++ {
+		if k&63 == 0 {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		var obj float64
+		for _, blk := range load.Blocks() {
+			for _, p := range blk.Samples {
+				obj += p
+			}
+		}
+		if obj > best {
+			best = obj
+		}
+	}
+	return best, nil
+}
+
+func stageCtx(ctx context.Context, load *timeseries.PowerSeries, k int) float64 {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return load.At(k % load.Len())
+}
+
+// Delegating each candidate's evaluation to a ctx-forwarding ...Ctx
+// helper (the IncrementalMonths.Stage shape) counts as polling.
+func DelegatedSearch(ctx context.Context, load *timeseries.PowerSeries, candidates int) float64 {
+	best := 0.0
+	for k := 0; k < candidates; k++ {
+		if obj := stageCtx(ctx, load, k); obj > best {
+			best = obj
+		}
+	}
+	return best
+}
+
+// Move helpers without a context parameter have nothing to poll: a
+// single bounded perturbation over one month's samples stays legal.
+func clipMonth(blk timeseries.MonthBlock, level float64) float64 {
+	removed := 0.0
+	for _, p := range blk.Samples {
+		if p > level {
+			removed += p - level
+		}
+	}
+	return removed
+}
+
+// A candidate loop that never touches the sample stream (pure RNG
+// bookkeeping) has nothing to answer for.
+func TemperatureSchedule(ctx context.Context, candidates int) float64 {
+	temp := 1.0
+	for k := 0; k < candidates; k++ {
+		temp *= 0.999
+	}
+	return temp
+}

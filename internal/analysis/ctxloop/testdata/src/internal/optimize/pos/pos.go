@@ -1,0 +1,61 @@
+// Package pos holds ctxloop true positives shaped like optimizer
+// candidate-evaluation loops: ctx-taking searches that re-read the
+// sample stream every iteration without ever polling.
+package pos
+
+import (
+	"context"
+
+	"internal/timeseries"
+)
+
+// A search loop that prices every candidate by rescanning the samples
+// but never consults ctx: the exact bug the analyzer exists to catch —
+// a disconnected /v1/optimize client would keep this burning CPU for
+// the full candidate budget.
+func Search(ctx context.Context, load *timeseries.PowerSeries, candidates int) float64 {
+	best := 0.0
+	for k := 0; k < candidates; k++ { // want "loop reads PowerSeries samples but never polls ctx"
+		var obj float64
+		for i := 0; i < load.Len(); i++ {
+			obj += load.At(i)
+		}
+		if obj > best {
+			best = obj
+		}
+	}
+	return best
+}
+
+// Evaluating candidates through the columnar block view carries the
+// same obligation: blk.Samples is the sample stream.
+func BlockSearch(ctx context.Context, load *timeseries.PowerSeries, candidates int) float64 {
+	best := 0.0
+	for k := 0; k < candidates; k++ { // want "loop reads PowerSeries samples but never polls ctx"
+		var peak float64
+		for _, blk := range load.Blocks() {
+			for _, p := range blk.Samples {
+				if p > peak {
+					peak = p
+				}
+			}
+		}
+		if peak > best {
+			best = peak
+		}
+	}
+	return best
+}
+
+// A pre-loop ctx.Err() check is not a poll; the candidate loop itself
+// never looks again.
+func CheckedOnce(ctx context.Context, load *timeseries.PowerSeries, candidates int) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	var acc float64
+	for k := 0; k < candidates; k++ { // want "loop reads PowerSeries samples but never polls ctx"
+		acc += load.At(k % load.Len())
+	}
+	return acc
+}

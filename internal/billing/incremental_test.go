@@ -1,0 +1,240 @@
+package billing_test
+
+// Equivalence tests for the incremental month evaluator: a staged
+// re-evaluation over mutated samples must price exactly like a full
+// EvaluateMonths over the same samples, for both peak-independent and
+// ratchet (cross-month) contracts.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/demand"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func yearLoadBuf(t *testing.T) (*timeseries.PowerSeries, []units.Power) {
+	t.Helper()
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	n := 366 * 24 // 2016 is a leap year; hourly metering
+	samples := make([]units.Power, n)
+	for i := range samples {
+		// Deterministic diurnal shape with a mid-year hump so month
+		// peaks differ and the ratchet prefix actually moves.
+		day := i / 24
+		hour := i % 24
+		p := 8000.0 + 2000.0*float64(hour%12)/11.0
+		if day > 150 && day < 200 {
+			p += 4000
+		}
+		samples[i] = units.Power(p)
+	}
+	return timeseries.MustNewPower(start, time.Hour, samples), samples
+}
+
+func evaluators(t *testing.T) map[string]*billing.Evaluator {
+	t.Helper()
+	ratchet, err := billing.NewEvaluator(
+		demand.MustNewCharge(12, demand.Ratchet, 0, 0.8),
+		billing.FlatFee{Name: "service", Amount: units.MoneyFromFloat(100)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	independent, err := billing.NewEvaluator(
+		demand.SimpleCharge(12),
+		billing.FlatFee{Name: "service", Amount: units.MoneyFromFloat(100)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*billing.Evaluator{"ratchet": ratchet, "independent": independent}
+}
+
+// fullTotal bills the buffer from scratch and returns the grand total.
+func fullTotal(t *testing.T, e *billing.Evaluator, load *timeseries.PowerSeries, pctx billing.PeriodContext) units.Money {
+	t.Helper()
+	results, err := e.EvaluateMonths(load, pctx, billing.MonthsOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total units.Money
+	for _, r := range results {
+		total += r.Total
+	}
+	return total
+}
+
+func TestIncrementalMonthsMatchesFullEvaluation(t *testing.T) {
+	for name, eval := range evaluators(t) {
+		t.Run(name, func(t *testing.T) {
+			base, _ := yearLoadBuf(t)
+			buf := base.AppendSamples(nil)
+			cand := base.WithSamples(buf)
+			pctx := billing.PeriodContext{HistoricalPeak: 13000}
+
+			im, err := eval.IncrementalMonths(context.Background(), cand, pctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if im.Months() != 12 {
+				t.Fatalf("months = %d, want 12", im.Months())
+			}
+			if got, want := im.Total(), fullTotal(t, eval, cand, pctx); got != want {
+				t.Fatalf("initial total = %v, want %v", got, want)
+			}
+
+			// Shave March's peak hours and raise July's: cross-month
+			// ratchet interactions in both directions.
+			blocks := cand.Blocks()
+			for i := range blocks[2].Samples {
+				if blocks[2].Samples[i] > 9000 {
+					blocks[2].Samples[i] = 9000
+				}
+			}
+			for i := range blocks[6].Samples {
+				blocks[6].Samples[i] += 1500
+			}
+			staged, err := im.Stage(context.Background(), []int{2, 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fullTotal(t, eval, cand, pctx); staged != want {
+				t.Fatalf("staged total = %v, want full re-evaluation %v", staged, want)
+			}
+			im.Commit()
+			if im.Total() != staged {
+				t.Fatalf("committed total = %v, want %v", im.Total(), staged)
+			}
+
+			// A second stage on top of the committed state.
+			for i := range blocks[11].Samples {
+				blocks[11].Samples[i] += 500
+			}
+			staged2, err := im.Stage(context.Background(), []int{11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fullTotal(t, eval, cand, pctx); staged2 != want {
+				t.Fatalf("second staged total = %v, want %v", staged2, want)
+			}
+			im.Commit()
+
+			// Per-month results match a fresh full evaluation.
+			results, err := eval.EvaluateMonths(cand, pctx, billing.MonthsOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				if got := im.Result(i); got.Total != r.Total || got.Peak != r.Peak || got.Energy != r.Energy {
+					t.Fatalf("month %d: incremental %+v vs full %+v", i, got, r)
+				}
+			}
+		})
+	}
+}
+
+func TestIncrementalMonthsDiscardRestoresCommitted(t *testing.T) {
+	eval := evaluators(t)["ratchet"]
+	base, _ := yearLoadBuf(t)
+	buf := base.AppendSamples(nil)
+	cand := base.WithSamples(buf)
+
+	im, err := eval.IncrementalMonths(context.Background(), cand, billing.PeriodContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := im.Total()
+
+	// Mutate, stage, then reject: revert the buffer and discard.
+	undo := make([]units.Power, len(buf))
+	copy(undo, buf)
+	blocks := cand.Blocks()
+	for i := range blocks[5].Samples {
+		blocks[5].Samples[i] *= 2
+	}
+	staged, err := im.Stage(context.Background(), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged == committed {
+		t.Fatalf("doubling a month did not change the staged total")
+	}
+	copy(buf, undo)
+	im.Discard()
+
+	if im.Total() != committed {
+		t.Fatalf("total after discard = %v, want %v", im.Total(), committed)
+	}
+	// Staging the same (reverted) month again reproduces the committed
+	// total exactly.
+	restaged, err := im.Stage(context.Background(), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restaged != committed {
+		t.Fatalf("restaged total = %v, want committed %v", restaged, committed)
+	}
+	im.Discard()
+}
+
+func TestIncrementalMonthsSkipsUntouchedForIndependentContracts(t *testing.T) {
+	eval := evaluators(t)["independent"]
+	if eval.UsesHistoricalPeak() {
+		t.Fatal("independent evaluator claims to use the historical peak")
+	}
+	base, _ := yearLoadBuf(t)
+	buf := base.AppendSamples(nil)
+	cand := base.WithSamples(buf)
+
+	im, err := eval.IncrementalMonths(context.Background(), cand, billing.PeriodContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := im.Evaluations() // 12: the initial pass
+	blocks := cand.Blocks()
+	for i := range blocks[3].Samples {
+		blocks[3].Samples[i] += 100
+	}
+	if _, err := im.Stage(context.Background(), []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Evaluations() - before; got != 1 {
+		t.Fatalf("stage of one month performed %d evaluations, want 1", got)
+	}
+	im.Commit()
+}
+
+func TestIncrementalMonthsRatchetReevaluatesDownstream(t *testing.T) {
+	eval := evaluators(t)["ratchet"]
+	if !eval.UsesHistoricalPeak() {
+		t.Fatal("ratchet evaluator does not report using the historical peak")
+	}
+	base, _ := yearLoadBuf(t)
+	buf := base.AppendSamples(nil)
+	cand := base.WithSamples(buf)
+
+	im, err := eval.IncrementalMonths(context.Background(), cand, billing.PeriodContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := im.Evaluations()
+	// A new all-time peak in February must re-price every later month
+	// (the 80% ratchet floor rises everywhere downstream).
+	blocks := cand.Blocks()
+	blocks[1].Samples[0] = 40000
+	staged, err := im.Stage(context.Background(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Evaluations() - before; got != 11 {
+		t.Fatalf("ratchet stage performed %d evaluations, want 11 (Feb..Dec)", got)
+	}
+	if want := fullTotal(t, eval, cand, billing.PeriodContext{}); staged != want {
+		t.Fatalf("staged total = %v, want %v", staged, want)
+	}
+	im.Commit()
+}

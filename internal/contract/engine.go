@@ -135,6 +135,20 @@ func (e *Engine) BillMonthsCtx(ctx context.Context, load *timeseries.PowerSeries
 	return bills, nil
 }
 
+// Incremental opens a staged month-by-month billing session over the
+// load — the optimizer's objective fast path. The caller typically
+// builds load via timeseries.PowerSeries.WithSamples over a mutable
+// buffer, mutates the buffer between candidates, and Stages only the
+// months it touched; see billing.IncrementalMonths for the
+// stage/commit/discard contract.
+func (e *Engine) Incremental(ctx context.Context, load *timeseries.PowerSeries, in BillingInput) (*billing.IncrementalMonths, error) {
+	im, err := e.eval.IncrementalMonths(ctx, load, periodContext(in))
+	if err != nil {
+		return nil, translateEngineErr(err)
+	}
+	return im, nil
+}
+
 // periodContext maps the contract-level billing input onto the engine's
 // period context.
 func periodContext(in BillingInput) billing.PeriodContext {

@@ -155,6 +155,12 @@ func (c *Charge) Cost(load *timeseries.PowerSeries, historicalPeak units.Power) 
 	return c.Price.Cost(c.BilledDemand(load, historicalPeak))
 }
 
+// UsesHistoricalPeak reports whether the charge's billed demand reads
+// the period's historical peak — only the ratchet method does. This is
+// the billing.HistoricalPeakUser hook the incremental month evaluator
+// uses to decide whether touching one month can re-price later ones.
+func (c *Charge) UsesHistoricalPeak() bool { return c.Method == Ratchet }
+
 // Describe returns a one-line description.
 func (c *Charge) Describe() string {
 	switch c.Method {

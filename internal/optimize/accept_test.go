@@ -1,0 +1,48 @@
+package optimize_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/optimize"
+)
+
+// TestSurveySweepShort runs the acceptance sweep with a reduced search
+// so the suite stays fast; the full 2000-candidate table is pinned by
+// make optimize-accept against ACCEPTANCE_optimize.md. Even the short
+// sweep must satisfy the acceptance criterion: strictly cheaper on
+// every demand-charge/powerband contract.
+func TestSurveySweepShort(t *testing.T) {
+	flex := optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20}
+	opts := optimize.Options{Seed: 1, Candidates: 200}
+	outcomes, err := optimize.SurveySweep(context.Background(), flex, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 10 {
+		t.Fatalf("sites = %d, want 10", len(outcomes))
+	}
+	if err := optimize.CheckSweep(outcomes); err != nil {
+		t.Fatal(err)
+	}
+	demandSide := 0
+	for _, o := range outcomes {
+		if o.DemandSide {
+			demandSide++
+		}
+		if o.OptimizedTotal > o.BaselineTotal {
+			t.Errorf("site %d: optimized %.2f above baseline %.2f", o.Site, o.OptimizedTotal, o.BaselineTotal)
+		}
+	}
+	if demandSide != 8 {
+		t.Errorf("demand-side sites = %d, want 8 (all but sites 8 and 10)", demandSide)
+	}
+
+	table := optimize.RenderSurveyTable(outcomes, flex, opts)
+	for _, want := range []string{"| Site |", "| 1 | DC+Fix+ToU |", "| 10 | Fix |", "seed 1, 200 candidates"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

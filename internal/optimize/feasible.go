@@ -1,0 +1,84 @@
+package optimize
+
+// Independent feasibility verification: CheckFeasible re-derives the
+// flexibility envelope from the baseline alone and checks a candidate
+// schedule against it, sharing no state with the search. Optimize runs
+// it on every returned schedule (an infeasible result is an internal
+// invariant failure, never silently returned), and the fuzz tests run
+// it against adversarial envelopes.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// Feasibility tolerances. Budgets and floors are checked with an
+// absolute-plus-relative slack covering float accumulation over a year
+// of 15-minute samples; they are far below anything billable.
+const (
+	// tolKW is the per-sample slack on floor and ramp checks.
+	tolKW = 1e-6
+	// tolEnergyRel is the relative slack on energy conservation and
+	// budget checks.
+	tolEnergyRel = 1e-6
+)
+
+// CheckFeasible verifies that candidate is a legal reshaping of
+// baseline under flex: aligned series, per-sample floor respected,
+// every ramp step within the envelope, total energy conserved up to the
+// declared dropped amount, and the dropped amount within the
+// partial-execution budget. droppedKWh is the energy the optimizer
+// reports as dropped (0 for pure deferral).
+func CheckFeasible(baseline, candidate *timeseries.PowerSeries, flex Flexibility, droppedKWh float64) error {
+	if baseline == nil || candidate == nil {
+		return fmt.Errorf("optimize: nil series")
+	}
+	if !candidate.Start().Equal(baseline.Start()) ||
+		candidate.Interval() != baseline.Interval() ||
+		candidate.Len() != baseline.Len() {
+		return fmt.Errorf("optimize: candidate is not aligned with the baseline")
+	}
+	if err := flex.Validate(); err != nil {
+		return err
+	}
+
+	floor := flex.FloorKW
+	maxRamp := flex.MaxRampKW
+	if maxRamp <= 0 {
+		maxRamp = math.Inf(1)
+	}
+	n := baseline.Len()
+	for i := 0; i < n; i++ {
+		b, c := float64(baseline.At(i)), float64(candidate.At(i))
+		lo := math.Min(b, floor)
+		if lo < 0 {
+			lo = 0
+		}
+		if c < lo-tolKW {
+			return fmt.Errorf("optimize: sample %d at %.3f kW is below the floor %.3f kW", i, c, lo)
+		}
+		if i+1 < n {
+			bStep := math.Abs(float64(baseline.At(i+1)) - b)
+			allow := math.Max(bStep, maxRamp)
+			if step := math.Abs(float64(candidate.At(i+1)) - c); step > allow+tolKW {
+				return fmt.Errorf("optimize: ramp %.3f kW at step %d exceeds the envelope %.3f kW", step, i, allow)
+			}
+		}
+	}
+
+	eBase := float64(baseline.Energy())
+	eCand := float64(candidate.Energy())
+	tolE := tolEnergyRel * math.Max(math.Abs(eBase), 1)
+	removed := eBase - eCand
+	if math.Abs(removed-droppedKWh) > tolE {
+		return fmt.Errorf("optimize: energy not conserved: baseline %.6f kWh, candidate %.6f kWh, declared dropped %.6f kWh",
+			eBase, eCand, droppedKWh)
+	}
+	if droppedKWh > flex.PartialFraction*eBase+tolE {
+		return fmt.Errorf("optimize: dropped %.6f kWh exceeds the partial-execution budget %.6f kWh",
+			droppedKWh, flex.PartialFraction*eBase)
+	}
+	return nil
+}

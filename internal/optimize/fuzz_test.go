@@ -1,0 +1,82 @@
+package optimize_test
+
+// Fuzz pin for the optimizer's safety contract: whatever the seed and
+// flexibility envelope, every returned schedule conserves energy within
+// the partial-execution budget, never violates ramp or floor
+// constraints, and never costs more than the baseline.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/hpc"
+	"repro/internal/optimize"
+	"repro/internal/units"
+)
+
+func FuzzOptimizeFeasible(f *testing.F) {
+	f.Add(int64(1), 0.10, 0.20, 0.0, 0.0)
+	f.Add(int64(99), 0.50, 0.0, 500.0, 9000.0)
+	f.Add(int64(7), 0.01, 0.99, 50.0, 11000.0)
+	f.Add(int64(-3), 1.0, 1.0, 1.0, 20000.0)
+	f.Add(int64(0), 0.0, 0.05, 0.0, 100.0)
+
+	// A compact two-month load so each fuzz execution stays cheap.
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: time.Date(2016, time.March, 15, 0, 0, 0, 0, time.UTC),
+		Span:  40 * 24 * time.Hour, Interval: time.Hour,
+		Base: 10 * units.Megawatt, PeakToAverage: 1.7, NoiseSigma: 0.05, Seed: 5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng := demandEngine(f)
+
+	f.Fuzz(func(t *testing.T, seed int64, deferFrac, partialFrac, rampKW, floorKW float64) {
+		flex := optimize.Flexibility{
+			DeferrableFraction: clamp01(deferFrac),
+			PartialFraction:    clamp01(partialFrac),
+			MaxRampKW:          clampRange(rampKW, 0, 1e6),
+			FloorKW:            clampRange(floorKW, 0, 1e6),
+		}
+		res, err := optimize.Optimize(context.Background(), eng, load,
+			contract.BillingInput{}, flex, optimize.Options{Seed: seed, Candidates: 48})
+		if err != nil {
+			t.Fatalf("flex %+v seed %d: %v", flex, seed, err)
+		}
+		if err := optimize.CheckFeasible(load, res.Series, flex, res.DroppedKWh); err != nil {
+			t.Fatalf("infeasible schedule escaped: %v (flex %+v seed %d)", err, flex, seed)
+		}
+		if res.OptimizedMoney() > res.BaselineMoney() {
+			t.Fatalf("optimized bill %v exceeds baseline %v", res.OptimizedMoney(), res.BaselineMoney())
+		}
+		eBase, eOpt := float64(load.Energy()), res.Optimized.EnergyKWh
+		budget := flex.PartialFraction*eBase + 1e-3
+		if eBase-eOpt > budget {
+			t.Fatalf("energy drop %.3f kWh exceeds partial budget %.3f kWh", eBase-eOpt, budget)
+		}
+	})
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

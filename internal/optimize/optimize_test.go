@@ -1,0 +1,210 @@
+package optimize_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/demand"
+	"repro/internal/hpc"
+	"repro/internal/optimize"
+	"repro/internal/tariff"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+var optStart = time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// testLoad is a deterministic three-month facility profile with real
+// diurnal peaks — enough months for cross-month moves without year-long
+// test runtimes.
+func testLoad(t testing.TB) *timeseries.PowerSeries {
+	t.Helper()
+	load, err := hpc.SyntheticFacilityLoad(hpc.LoadProfileConfig{
+		Start: optStart, Span: 90 * 24 * time.Hour, Interval: time.Hour,
+		Base: 10 * units.Megawatt, PeakToAverage: 1.6, NoiseSigma: 0.02, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return load
+}
+
+// demandEngine compiles a fixed-tariff + 3-peak demand-charge contract:
+// the canonical peak-shaving target.
+func demandEngine(t testing.TB) *contract.Engine {
+	t.Helper()
+	eng, err := contract.NewEngine(&contract.Contract{
+		Name:          "opt-demand",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.SimpleCharge(15)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// ratchetEngine adds a ratchet demand charge and an upper powerband, so
+// the incremental objective exercises its cross-month path.
+func ratchetEngine(t testing.TB) *contract.Engine {
+	t.Helper()
+	band, err := demand.NewUpperPowerband(15*units.Megawatt, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := contract.NewEngine(&contract.Contract{
+		Name:          "opt-ratchet",
+		Tariffs:       []tariff.Tariff{tariff.MustNewFixed(0.06)},
+		DemandCharges: []*demand.Charge{demand.MustNewCharge(12, demand.Ratchet, 0, 0.8)},
+		Powerbands:    []*demand.Powerband{band},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+var tenPercent = optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20}
+
+func TestOptimizeBeatsBaselineOnDemandCharge(t *testing.T) {
+	load := testLoad(t)
+	for name, eng := range map[string]*contract.Engine{
+		"demand":  demandEngine(t),
+		"ratchet": ratchetEngine(t),
+	} {
+		t.Run(name, func(t *testing.T) {
+			res, err := optimize.Optimize(context.Background(), eng, load,
+				contract.BillingInput{}, tenPercent, optimize.Options{Seed: 7, Candidates: 600})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OptimizedMoney() >= res.BaselineMoney() {
+				t.Fatalf("no savings: baseline %v, optimized %v", res.BaselineMoney(), res.OptimizedMoney())
+			}
+			if res.Savings <= 0 || res.SavingsFraction <= 0 {
+				t.Fatalf("savings fields not positive: %+v", res)
+			}
+			if err := optimize.CheckFeasible(load, res.Series, tenPercent, res.DroppedKWh); err != nil {
+				t.Fatalf("returned schedule infeasible: %v", err)
+			}
+			if res.Optimized.PeakKW >= res.Baseline.PeakKW {
+				t.Errorf("peak did not drop: %v -> %v", res.Baseline.PeakKW, res.Optimized.PeakKW)
+			}
+			// The saving must come out of the kW branch, not arithmetic
+			// drift in the energy branch.
+			var demandSaving float64
+			for _, c := range res.Components {
+				if c.Component == "demand-charge" || c.Component == "powerband" {
+					demandSaving += c.Saving
+				}
+			}
+			if demandSaving <= 0 {
+				t.Errorf("no demand-side saving in components: %+v", res.Components)
+			}
+			if res.Stats.Evaluated == 0 || res.Stats.Improved == 0 {
+				t.Errorf("search stats empty: %+v", res.Stats)
+			}
+			// The incremental fast path must have re-billed far fewer
+			// months than candidates × months.
+			if max := res.Stats.Evaluated * 3; res.Stats.MonthsReevaluated > max {
+				t.Errorf("months reevaluated %d exceeds %d", res.Stats.MonthsReevaluated, max)
+			}
+		})
+	}
+}
+
+func TestOptimizeDeterministicAcrossRuns(t *testing.T) {
+	load := testLoad(t)
+	eng := ratchetEngine(t)
+	run := func() []byte {
+		res, err := optimize.Optimize(context.Background(), eng, load,
+			contract.BillingInput{HistoricalPeak: 14000}, tenPercent,
+			optimize.Options{Seed: 42, Candidates: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The optimized samples must be identical too, not only the
+		// summary: marshal them alongside.
+		samples, err := json.Marshal(res.Series.Samples())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(data, samples...)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different results:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestOptimizeZeroFlexibilityReturnsBaseline(t *testing.T) {
+	load := testLoad(t)
+	eng := demandEngine(t)
+	res, err := optimize.Optimize(context.Background(), eng, load,
+		contract.BillingInput{}, optimize.Flexibility{}, optimize.Options{Seed: 1, Candidates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Savings != 0 || res.OptimizedMoney() != res.BaselineMoney() {
+		t.Fatalf("zero flexibility produced savings: %+v", res)
+	}
+	for i := 0; i < load.Len(); i++ {
+		if res.Series.At(i) != load.At(i) {
+			t.Fatalf("sample %d changed under zero flexibility", i)
+		}
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	eng := demandEngine(t)
+	load := testLoad(t)
+	if _, err := optimize.Optimize(context.Background(), eng, nil,
+		contract.BillingInput{}, tenPercent, optimize.Options{}); err == nil {
+		t.Error("nil baseline accepted")
+	}
+	bad := optimize.Flexibility{DeferrableFraction: 1.5}
+	if _, err := optimize.Optimize(context.Background(), eng, load,
+		contract.BillingInput{}, bad, optimize.Options{}); err == nil {
+		t.Error("out-of-range flexibility accepted")
+	}
+}
+
+func TestOptimizeHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := optimize.Optimize(ctx, demandEngine(t), testLoad(t),
+		contract.BillingInput{}, tenPercent, optimize.Options{Seed: 1, Candidates: 2000})
+	if err == nil {
+		t.Fatal("cancelled optimize returned no error")
+	}
+}
+
+func TestCheckFeasibleRejectsViolations(t *testing.T) {
+	base := timeseries.MustNewPower(optStart, time.Hour, []units.Power{5000, 5000, 5000, 5000})
+	flex := optimize.Flexibility{DeferrableFraction: 0.5, FloorKW: 4000, MaxRampKW: 100}
+
+	below := timeseries.MustNewPower(optStart, time.Hour, []units.Power{5000, 3000, 5000, 7000})
+	if err := optimize.CheckFeasible(base, below, flex, 0); err == nil {
+		t.Error("floor violation accepted")
+	}
+	rampy := timeseries.MustNewPower(optStart, time.Hour, []units.Power{4500, 5500, 4500, 5500})
+	if err := optimize.CheckFeasible(base, rampy, flex, 0); err == nil {
+		t.Error("ramp violation accepted")
+	}
+	leaky := timeseries.MustNewPower(optStart, time.Hour, []units.Power{4990, 4990, 4990, 4990})
+	if err := optimize.CheckFeasible(base, leaky, flex, 0); err == nil {
+		t.Error("energy loss without declared drop accepted")
+	}
+	same := timeseries.MustNewPower(optStart, time.Hour, []units.Power{5000, 5000, 5000, 5000})
+	if err := optimize.CheckFeasible(base, same, flex, 0); err != nil {
+		t.Errorf("identity schedule rejected: %v", err)
+	}
+}

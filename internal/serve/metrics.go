@@ -21,7 +21,8 @@ import (
 
 // Stage span names recorded into the server's registry. The billing
 // engine adds its own spans (billing.period, billing.tariff, ...) to
-// the same registry through the request context.
+// the same registry through the request context, as does the optimizer
+// (optimize_search, optimize_evaluate — see internal/optimize).
 const (
 	stageAdmissionWait = "admission_wait"
 	stageCache         = "cache"

@@ -1,0 +1,219 @@
+package serve
+
+// End-to-end coverage for POST /v1/optimize: byte-stable responses on a
+// fixed seed (pinned by a committed golden body), the shared admission
+// gate (429 when saturated, 504 when queued past the deadline), and the
+// /v1/bill-identical degraded-feed semantics.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/optimize"
+)
+
+// optimizeRequest is the canonical test request: the quickstart
+// contract (demand charge + powerband) against the quickstart month
+// under 10% deferrable / 20% partial flexibility, with a short seeded
+// search so the suite stays fast.
+func optimizeRequest(t *testing.T) OptimizeRequest {
+	return OptimizeRequest{
+		Contract:    specJSON(t, quickstartSpec()),
+		Load:        LoadSpec{Profile: "quickstart-month"},
+		Flexibility: optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20},
+		Search:      &SearchSpec{Seed: 7, Candidates: 250},
+	}
+}
+
+// TestOptimizeEndpointByteStable: the same seeded request must produce
+// byte-identical bodies across calls and across processes — the second
+// is pinned by the committed golden file (regenerate with
+// UPDATE_OPTIMIZE_GOLDEN=1 go test ./internal/serve -run ByteStable).
+func TestOptimizeEndpointByteStable(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := optimizeRequest(t)
+	resp, first := postBill(t, ts, "/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize failed: %d: %s", resp.StatusCode, first)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	_, second := postBill(t, ts, "/v1/optimize", req)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed produced different response bytes:\n%s\n---\n%s", first, second)
+	}
+
+	var res optimize.Result
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatalf("response is not an optimize.Result: %v", err)
+	}
+	if res.Savings <= 0 {
+		t.Errorf("quickstart contract has a demand charge; expected savings, got %+v", res.Savings)
+	}
+	if res.Seed != 7 || res.Stats.Candidates != 250 {
+		t.Errorf("search parameters not echoed: seed %d candidates %d", res.Seed, res.Stats.Candidates)
+	}
+
+	golden := filepath.Join("testdata", "optimize_golden.json")
+	if os.Getenv("UPDATE_OPTIMIZE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_OPTIMIZE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("response drifted from committed golden %s (UPDATE_OPTIMIZE_GOLDEN=1 to regenerate)", golden)
+	}
+}
+
+// TestOptimizeSheds429: /v1/optimize sits behind the same admission
+// gate as /v1/bill — with the only slot parked and no queue, it sheds.
+func TestOptimizeSheds429(t *testing.T) {
+	s := NewServer(Config{MaxConcurrent: 1, QueueDepth: -1})
+	release := make(chan struct{})
+	s.billHook = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bill := BillRequest{
+		Contract: specJSON(t, quickstartSpec()),
+		Load:     LoadSpec{Profile: "quickstart-month"},
+	}
+	go postBillAsync(ts, "/v1/bill", bill)
+	waitUntil(t, "slot held", func() bool { return s.limiter.active() == 1 })
+
+	resp, body := postBill(t, ts, "/v1/optimize", optimizeRequest(t))
+	close(release)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server must shed optimize with 429, got %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+}
+
+// TestOptimizeQueued504: an optimize request that waits in the
+// admission queue past its deadline gets 504, like /v1/bill.
+func TestOptimizeQueued504(t *testing.T) {
+	s := NewServer(Config{MaxConcurrent: 1, QueueDepth: 1, RequestTimeout: 80 * time.Millisecond})
+	release := make(chan struct{})
+	s.billHook = func(context.Context) { <-release }
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		close(release)
+		ts.Close()
+	}()
+
+	bill := BillRequest{
+		Contract: specJSON(t, quickstartSpec()),
+		Load:     LoadSpec{Profile: "quickstart-month"},
+	}
+	go postBillAsync(ts, "/v1/bill", bill)
+	waitUntil(t, "slot held", func() bool { return s.limiter.active() == 1 })
+
+	resp, body := postBill(t, ts, "/v1/optimize", optimizeRequest(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("optimize queued past deadline must 504, got %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestOptimizeDegradedFeedMarked: with the market feed dead past its
+// staleness budget, /v1/optimize bills on the contract's fallback rate
+// and marks the response degraded — header and body — exactly as
+// /v1/bill does.
+func TestOptimizeDegradedFeedMarked(t *testing.T) {
+	u := newPriceUpstream(t)
+	u.down.Store(true) // the feed never succeeds
+	_, ts, _ := newFeedServer(t, u, time.Minute)
+
+	req := OptimizeRequest{
+		Contract:    specJSON(t, dynamicSpec()),
+		Load:        LoadSpec{Profile: "quickstart-month"},
+		Flexibility: optimize.Flexibility{DeferrableFraction: 0.10, PartialFraction: 0.20},
+		Search:      &SearchSpec{Seed: 3, Candidates: 120},
+	}
+	resp, body := postBill(t, ts, "/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded feed must not fail optimize: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-SCBill-Feed"); got != "degraded" {
+		t.Errorf("X-SCBill-Feed = %q, want degraded", got)
+	}
+	if resp.Header.Get("X-SCBill-Degraded") == "" {
+		t.Error("degraded response must carry X-SCBill-Degraded reason")
+	}
+	var marked struct {
+		Degraded       bool    `json:"degraded"`
+		DegradedReason string  `json:"degraded_reason"`
+		Savings        float64 `json:"savings"`
+		BaselineTotal  float64 `json:"baseline_total"`
+	}
+	if err := json.Unmarshal(body, &marked); err != nil {
+		t.Fatal(err)
+	}
+	if !marked.Degraded || marked.DegradedReason == "" {
+		t.Errorf(`degraded body marking missing: %+v`, marked)
+	}
+	if marked.BaselineTotal <= 0 {
+		t.Errorf("degraded optimize still bills on the fallback rate, got baseline %v", marked.BaselineTotal)
+	}
+}
+
+// TestOptimizeRejectsBadRequests covers the endpoint's 400 surface.
+func TestOptimizeRejectsBadRequests(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  OptimizeRequest
+	}{
+		{"missing contract", OptimizeRequest{
+			Load:        LoadSpec{Profile: "quickstart-month"},
+			Flexibility: optimize.Flexibility{DeferrableFraction: 0.1},
+		}},
+		{"bad flexibility", OptimizeRequest{
+			Contract:    specJSON(t, quickstartSpec()),
+			Load:        LoadSpec{Profile: "quickstart-month"},
+			Flexibility: optimize.Flexibility{DeferrableFraction: 1.5},
+		}},
+		{"candidates over cap", OptimizeRequest{
+			Contract:    specJSON(t, quickstartSpec()),
+			Load:        LoadSpec{Profile: "quickstart-month"},
+			Flexibility: optimize.Flexibility{DeferrableFraction: 0.1},
+			Search:      &SearchSpec{Candidates: maxOptimizeCandidates + 1},
+		}},
+		{"no load", OptimizeRequest{
+			Contract:    specJSON(t, quickstartSpec()),
+			Flexibility: optimize.Flexibility{DeferrableFraction: 0.1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postBill(t, ts, "/v1/optimize", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("want 400, got %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}

@@ -24,6 +24,8 @@
 //	POST /v1/bill/batch       one load x N contracts (or N loads x one
 //	                          contract) -> per-item bills in one request
 //	POST /v1/advise           candidate sweep -> renegotiation advice
+//	POST /v1/optimize         load + flexibility envelope -> cheapest
+//	                          feasible reshaped schedule and its savings
 //	GET  /v1/survey/roster    Table 1
 //	GET  /v1/survey/records   Table 2 (+ RNP column)
 //	GET  /v1/survey/typology  Figure 1 tree + aggregate counts
@@ -162,6 +164,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.Handle("POST /v1/bill", s.instrument("/v1/bill", s.gated(s.handleBill)))
 	s.mux.Handle("POST /v1/bill/batch", s.instrument("/v1/bill/batch", s.gated(s.handleBillBatch)))
 	s.mux.Handle("POST /v1/advise", s.instrument("/v1/advise", s.gated(s.handleAdvise)))
+	s.mux.Handle("POST /v1/optimize", s.instrument("/v1/optimize", s.gated(s.handleOptimize)))
 	s.mux.Handle("GET /v1/survey/roster", s.instrument("/v1/survey/roster", http.HandlerFunc(s.handleSurveyRoster)))
 	s.mux.Handle("GET /v1/survey/records", s.instrument("/v1/survey/records", http.HandlerFunc(s.handleSurveyRecords)))
 	s.mux.Handle("GET /v1/survey/typology", s.instrument("/v1/survey/typology", http.HandlerFunc(s.handleSurveyTypology)))

@@ -1,0 +1,45 @@
+package timeseries
+
+// Mutable-buffer helpers for load-reshaping optimizers. The optimizer in
+// internal/optimize perturbs a candidate schedule thousands of times per
+// request; going through Samples() (which copies) or Map() (which
+// allocates a new series) per candidate would dominate the search cost.
+// The sanctioned pattern is instead:
+//
+//	buf := baseline.AppendSamples(nil) // one private copy
+//	cand := baseline.WithSamples(buf)  // same clock, caller-owned storage
+//	// ... mutate buf in place; cand (and its Blocks/Months views)
+//	// always reflect the current buffer contents ...
+//
+// Month-block boundaries depend only on the start instant, interval and
+// length, so views created once stay valid across any number of sample
+// mutations.
+
+import "repro/internal/units"
+
+// Clone returns a deep copy of the series: same start and interval over
+// a freshly allocated sample array. Mutating either series' storage
+// (via WithSamples buffers) never affects the other.
+func (s *PowerSeries) Clone() *PowerSeries {
+	samples := make([]units.Power, len(s.samples))
+	copy(samples, s.samples)
+	return &PowerSeries{start: s.start, interval: s.interval, samples: samples}
+}
+
+// AppendSamples appends the series' samples to dst and returns the
+// extended slice. With a capacity-sufficient scratch slice the call is
+// allocation-free; AppendSamples(nil) is a plain copy like Samples().
+func (s *PowerSeries) AppendSamples(dst []units.Power) []units.Power {
+	return append(dst, s.samples...)
+}
+
+// WithSamples returns a series with the receiver's start and interval
+// over the given caller-owned sample slice (used directly, not copied).
+// This is the one sanctioned way to build a series whose storage the
+// caller keeps mutating: the returned series, and any Blocks/Months
+// views derived from it, read the buffer's current contents. The slice
+// must keep its length; callers must not mutate it concurrently with an
+// evaluation that reads it.
+func (s *PowerSeries) WithSamples(samples []units.Power) *PowerSeries {
+	return &PowerSeries{start: s.start, interval: s.interval, samples: samples}
+}

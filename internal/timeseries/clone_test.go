@@ -1,0 +1,73 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	start := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	orig := MustNewPower(start, time.Hour, []units.Power{100, 200, 300})
+	cl := orig.Clone()
+	if !cl.Start().Equal(orig.Start()) || cl.Interval() != orig.Interval() || cl.Len() != orig.Len() {
+		t.Fatalf("clone shape mismatch: %v vs %v", cl, orig)
+	}
+	cl.samples[1] = 999
+	if orig.At(1) != 200 {
+		t.Fatalf("mutating the clone leaked into the original: %v", orig.At(1))
+	}
+	orig.samples[0] = 888
+	if cl.At(0) != 100 {
+		t.Fatalf("mutating the original leaked into the clone: %v", cl.At(0))
+	}
+}
+
+func TestAppendSamplesReusesCapacity(t *testing.T) {
+	start := time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+	s := MustNewPower(start, time.Hour, []units.Power{1, 2, 3, 4})
+	scratch := make([]units.Power, 0, 8)
+	got := s.AppendSamples(scratch[:0])
+	if len(got) != 4 || got[2] != 3 {
+		t.Fatalf("AppendSamples = %v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatalf("AppendSamples reallocated despite sufficient capacity")
+	}
+	// nil destination behaves like Samples(): a private copy.
+	cp := s.AppendSamples(nil)
+	cp[0] = 42
+	if s.At(0) != 1 {
+		t.Fatalf("AppendSamples(nil) aliased the series storage")
+	}
+}
+
+func TestWithSamplesTracksBufferMutations(t *testing.T) {
+	start := time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+	// Two months of daily samples so the view has a real month split.
+	n := 31 + 29 // 2016 is a leap year
+	base := make([]units.Power, n)
+	for i := range base {
+		base[i] = 1000
+	}
+	orig := MustNewPower(start, 24*time.Hour, base)
+
+	buf := orig.AppendSamples(nil)
+	cand := orig.WithSamples(buf)
+	blocks := cand.Blocks()
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+
+	buf[40] = 5000 // index 40 is in February
+	if cand.At(40) != 5000 {
+		t.Fatalf("WithSamples series does not see buffer mutation: %v", cand.At(40))
+	}
+	if p := blocks[1].Peak(); p != 5000 {
+		t.Fatalf("pre-existing block view does not see buffer mutation: peak %v", p)
+	}
+	if orig.At(40) != 1000 {
+		t.Fatalf("buffer mutation leaked into the source series")
+	}
+}
