@@ -6,7 +6,7 @@
 GO ?= go
 SCVET := bin/scvet
 
-.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check optimize-accept fuzz chaos clean
+.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check optimize-accept loadtest loadtest-smoke fuzz chaos clean
 
 all: check
 
@@ -112,6 +112,22 @@ optimize-accept:
 		echo "optimize-accept: sweep drifted from committed ACCEPTANCE_optimize.md:"; \
 		diff -u ACCEPTANCE_optimize.md ACCEPTANCE_current.md || true; exit 1; fi
 	@echo "optimize-accept: sweep matches ACCEPTANCE_optimize.md"
+
+# Sharded-fleet acceptance: boots a 1-backend baseline and a 3-backend
+# scroute fleet, drives both with the seeded scload generator, and
+# asserts shed-not-collapse (429s rise with offered load, admitted p99
+# bounded, zero 5xx) plus the router's raison d'être — every sharded
+# backend's engine-cache hit rate beats the unsharded baseline. Writes
+# ACCEPTANCE_loadtest.md; regenerate and commit after intentional
+# fleet/admission changes.
+loadtest:
+	scripts/loadtest.sh accept
+
+# CI smoke: 2 backends behind scroute, short overload burst; fails on
+# any 5xx or if nothing was shed. Writes loadtest-summary.md (uploaded
+# as a CI artifact).
+loadtest-smoke:
+	scripts/loadtest.sh smoke
 
 # Chaos soak: the fault-injected price-feed acceptance suite plus the
 # resilience state-machine tests, race-enabled with a short timeout so

@@ -1,0 +1,116 @@
+// Command scload is a seeded open-loop load generator for scserved and
+// scroute. It fires requests on a fixed arrival schedule (so an
+// overloaded server sheds instead of silently throttling the
+// generator), draws the endpoint/spec/profile mix from a seeded PRNG
+// (so runs replay identically against different fleet shapes), and
+// reports per-endpoint outcome counts and latency quantiles. See
+// internal/loadgen.
+//
+// Usage:
+//
+//	scload -target http://127.0.0.1:9090 -rps 200 -duration 30s
+//	scload -target ... -specs 96 -profiles year-in-life -batch-fraction 0.1
+//	scload -target ... -ndjson run.ndjson -assert-zero-5xx -assert-min-shed 0.05
+//
+// The -assert-* flags turn the run into an acceptance check: scload
+// exits 1 when an assertion fails, so make targets and CI can gate on
+// shed-not-collapse behavior directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL to load: a scroute front or scserved backend (required)")
+	rps := flag.Float64("rps", 50, "open-loop arrival rate, requests per second")
+	duration := flag.Duration("duration", 10*time.Second, "length of the arrival schedule")
+	seed := flag.Int64("seed", 1, "PRNG seed for the endpoint/spec/profile sequence")
+	specs := flag.Int("specs", 16, "distinct synthetic contract specs to cycle through")
+	profiles := flag.String("profiles", "quickstart-month", "comma-separated named load profiles drawn uniformly")
+	batchFraction := flag.Float64("batch-fraction", 0, "fraction of requests sent to /v1/bill/batch")
+	batchItems := flag.Int("batch-items", 8, "loads per batch request")
+	maxInflight := flag.Int("max-inflight", 512, "concurrent request cap; arrivals past it are skipped")
+	ndjson := flag.String("ndjson", "", "write one JSON line per request to this file")
+	assertZero5xx := flag.Bool("assert-zero-5xx", false, "exit 1 if any request got a 5xx or transport error")
+	assertMinShed := flag.Float64("assert-min-shed", -1, "exit 1 if the 429 fraction is below this (e.g. 0.05)")
+	assertP99 := flag.Duration("assert-p99", 0, "exit 1 if admitted p99 exceeds this (0 = no bound)")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "scload: -target is required")
+		os.Exit(2)
+	}
+
+	cfg := loadgen.Config{
+		Target:        strings.TrimSuffix(*target, "/"),
+		RPS:           *rps,
+		Duration:      *duration,
+		Seed:          *seed,
+		Specs:         *specs,
+		Profiles:      splitList(*profiles),
+		BatchFraction: *batchFraction,
+		BatchItems:    *batchItems,
+		MaxInflight:   *maxInflight,
+	}
+	if *ndjson != "" {
+		f, err := os.Create(*ndjson)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scload:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.NDJSON = f
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil && rep == nil {
+		fmt.Fprintln(os.Stderr, "scload:", err)
+		os.Exit(2)
+	}
+	rep.WriteSummary(os.Stdout)
+
+	failed := false
+	_, _, _, serverErr, _, transport := rep.Totals()
+	if *assertZero5xx && (serverErr > 0 || transport > 0) {
+		fmt.Fprintf(os.Stderr, "scload: ASSERT FAILED: %d 5xx and %d transport errors (want 0)\n", serverErr, transport)
+		failed = true
+	}
+	if *assertMinShed >= 0 {
+		if got := rep.ShedFraction(); got < *assertMinShed {
+			fmt.Fprintf(os.Stderr, "scload: ASSERT FAILED: shed fraction %.3f below %.3f\n", got, *assertMinShed)
+			failed = true
+		}
+	}
+	if *assertP99 > 0 {
+		if got := time.Duration(rep.AdmittedP99() * float64(time.Second)); got > *assertP99 {
+			fmt.Fprintf(os.Stderr, "scload: ASSERT FAILED: admitted p99 %s above %s\n", got.Round(time.Millisecond), *assertP99)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

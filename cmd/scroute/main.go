@@ -1,0 +1,147 @@
+// Command scroute fronts a sharded scserved fleet: a stateless reverse
+// proxy that consistent-hashes each request's contract spec — the same
+// canonical hash the backends key their compiled-engine LRU on — onto
+// a rendezvous ring of backends, so every spec keeps hitting the one
+// backend whose cache is hot for it. See internal/route.
+//
+// Usage:
+//
+//	scroute -addr :9090 -backends http://127.0.0.1:9101,http://127.0.0.1:9102
+//	scroute -addr :9090 -backends ... -poll-interval 500ms -open-timeout 5s
+//
+// Backends are health-checked against /readyz on -poll-interval; a
+// backend that fails -failure-threshold consecutive forwards or polls
+// is ejected from the ring (its keys fail over to their next-ranked
+// backend) and readmitted by a successful probe after -open-timeout.
+// The router exposes its own /healthz, /readyz (503 when the whole
+// fleet is ejected), and /metrics (scroute_* namespace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	backends := flag.String("backends", "", "comma-separated scserved base URLs (required)")
+	pollInterval := flag.Duration("poll-interval", time.Second, "backend /readyz poll cadence")
+	failureThreshold := flag.Int("failure-threshold", 3, "consecutive failures before a backend is ejected")
+	openTimeout := flag.Duration("open-timeout", 5*time.Second, "cooldown before an ejected backend is probed for readmission")
+	upstreamTimeout := flag.Duration("upstream-timeout", 2*time.Minute, "per-forward deadline to a backend")
+	logFormat := flag.String("log-format", "text", "membership log format: text, json, or off")
+	flag.Parse()
+
+	logger, err := routeLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scroute:", err)
+		os.Exit(2)
+	}
+
+	urls := splitBackends(*backends)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "scroute: -backends is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	// A transport with a deep idle pool per backend: the default keeps 2
+	// idle conns per host, which under fleet load churns a connection
+	// per forward.
+	transport := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 512,
+	}
+	rt, err := route.NewRouter(route.Config{
+		Backends:         urls,
+		Client:           &http.Client{Timeout: *upstreamTimeout, Transport: transport},
+		PollInterval:     *pollInterval,
+		FailureThreshold: *failureThreshold,
+		OpenTimeout:      *openTimeout,
+		Logger:           logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scroute:", err)
+		os.Exit(2)
+	}
+
+	if err := run(*addr, rt, urls); err != nil {
+		fmt.Fprintln(os.Stderr, "scroute:", err)
+		os.Exit(1)
+	}
+}
+
+func splitBackends(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(part), "/"))
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func routeLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "off", "none":
+		return nil, nil
+	case "text", "json":
+		return obs.NewLogger(os.Stderr, format, slog.LevelInfo), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text, json, or off)", format)
+	}
+}
+
+func run(addr string, rt *route.Router, urls []string) error {
+	pollCtx, stopPolls := context.WithCancel(context.Background())
+	defer stopPolls()
+	rt.Start(pollCtx)
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("scroute listening on %s, fleet: %s", addr, strings.Join(urls, ", "))
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("scroute: %s received, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stopPolls()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("scroute: drained, bye")
+	return nil
+}

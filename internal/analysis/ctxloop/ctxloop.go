@@ -28,6 +28,14 @@
 // delegating each evaluation to a ctx-forwarding helper like
 // IncrementalMonths.Stage) satisfies the check.
 //
+// The router (internal/route) carries the dual obligation. Its
+// ctx-taking functions run clock-driven background loops — health
+// pollers sleeping or ticking between probes — and a loop that blocks
+// on the clock without ever consulting ctx leaks its goroutine past
+// shutdown. There the rule is: any outermost loop that waits on the
+// clock (time.Sleep, or a receive from a time.Time channel such as a
+// ticker's) must poll cancellation the same way the sample loops must.
+//
 // Functions without a context parameter are exempt: they have nothing
 // to poll (bounded helpers like a per-month peak scan stay legal), and
 // the analyzer's job is to keep the ctx-taking entry points honest.
@@ -47,16 +55,26 @@ var scopes = []string{
 	"internal/optimize",
 }
 
+// waitScopes are packages whose ctx-taking functions run clock-driven
+// background loops instead of sample scans; there the obligation is a
+// cancellation poll next to every clock wait.
+var waitScopes = []string{
+	"internal/route",
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxloop",
 	Doc: "require loops over PowerSeries samples (per-sample reads or columnar " +
 		"month-block scans) in ctx-taking billing functions to poll ctx.Done() " +
-		"or call a ...Ctx helper",
+		"or call a ...Ctx helper; in router packages, require clock-wait loops " +
+		"(sleep/ticker) in ctx-taking functions to poll cancellation",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if !analysis.InScope(pass.Pkg, scopes...) {
+	samples := analysis.InScope(pass.Pkg, scopes...)
+	waits := analysis.InScope(pass.Pkg, waitScopes...)
+	if !samples && !waits {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -65,7 +83,12 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !hasCtxParam(pass.TypesInfo, fd) {
 				continue
 			}
-			checkBody(pass, fd.Body)
+			if samples {
+				checkBody(pass, fd.Body)
+			}
+			if waits {
+				checkWaitBody(pass, fd.Body)
+			}
 		}
 	}
 	return nil
@@ -108,6 +131,70 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// checkWaitBody is checkBody's router-side dual: outermost loops that
+// block on the clock must poll cancellation, or shutdown leaks the
+// goroutine.
+func checkWaitBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if waitsOnClock(pass.TypesInfo, n) && !pollsCancellation(pass.TypesInfo, n) {
+				pass.Reportf(n.Pos(),
+					"loop blocks on the clock but never polls ctx; select on ctx.Done() alongside the sleep or ticker")
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// waitsOnClock reports whether the subtree blocks on the passage of
+// time (outside nested function literals): a time.Sleep call, or a
+// receive from / range over a time.Time channel (ticker or timer).
+func waitsOnClock(info *types.Info, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isTimeChan(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isTimeChan(info, n.X) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if analysis.FuncIs(analysis.CalleeFunc(info, n), "time", "Sleep") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTimeChan reports whether the expression is a channel of time.Time.
+func isTimeChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	return analysis.TypeIs(ch.Elem(), "time", "Time")
 }
 
 // readsSamples reports whether the subtree reads the sample stream
@@ -176,7 +263,10 @@ func pollsCancellation(info *types.Info, loop ast.Node) bool {
 			if n.Op.String() == "<-" {
 				if tv, ok := info.Types[n.X]; ok {
 					if ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan); ok {
-						if _, isStruct := types.Unalias(ch.Elem()).Underlying().(*types.Struct); isStruct {
+						// Empty struct only: chan struct{} is the Done()
+						// shape; a chan time.Time (whose underlying type
+						// is also a struct) is a clock, not a poll.
+						if st, isStruct := types.Unalias(ch.Elem()).Underlying().(*types.Struct); isStruct && st.NumFields() == 0 {
 							polled = true
 						}
 					}

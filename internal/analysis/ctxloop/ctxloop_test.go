@@ -13,6 +13,8 @@ func TestCtxLoop(t *testing.T) {
 		"internal/billing/neg",
 		"internal/optimize/pos",
 		"internal/optimize/neg",
+		"internal/route/pos",
+		"internal/route/neg",
 		"outofscope/sweep",
 	)
 }

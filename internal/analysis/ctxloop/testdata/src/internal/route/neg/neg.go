@@ -1,0 +1,65 @@
+// Package neg holds compliant router loop shapes that must stay
+// silent.
+package neg
+
+import (
+	"context"
+	"time"
+)
+
+// The canonical poll loop: ticker and ctx.Done() in one select — the
+// shape the router's health poller uses.
+func PollLoop(ctx context.Context, t *time.Ticker, probe func() bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			probe()
+		}
+	}
+}
+
+// Forwarding ctx into the per-tick work counts as polling (the callee
+// owns the cancellation check).
+func DelegatedWait(ctx context.Context, t *time.Ticker, probe func(context.Context) bool) {
+	for {
+		<-t.C
+		if !probe(ctx) {
+			return
+		}
+	}
+}
+
+// Receiving from a struct{} stop channel is an accepted cancellation
+// vocabulary too.
+func StopChannelWait(ctx context.Context, stop chan struct{}, t *time.Ticker, probe func() bool) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			probe()
+		}
+	}
+}
+
+// No context parameter: helpers with their own lifecycle discipline
+// are exempt.
+func backgroundFlush(t *time.Ticker, flush func()) {
+	for range t.C {
+		flush()
+	}
+}
+
+// A ctx-taking function whose loop never blocks on the clock has
+// nothing to answer for (measuring time is not waiting on it).
+func CountRecent(ctx context.Context, stamps []time.Time, cutoff time.Time) int {
+	n := 0
+	for _, ts := range stamps {
+		if ts.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}

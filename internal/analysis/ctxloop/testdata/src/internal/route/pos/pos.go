@@ -1,0 +1,32 @@
+// Package pos holds clock-wait violations ctxloop must flag: router
+// background loops that block on the clock without polling ctx leak
+// their goroutines past shutdown.
+package pos
+
+import (
+	"context"
+	"time"
+)
+
+// A health poller that sleeps without consulting ctx never exits.
+func SleepPoller(ctx context.Context, probe func() bool) {
+	for { // want "loop blocks on the clock but never polls ctx"
+		time.Sleep(50 * time.Millisecond)
+		probe()
+	}
+}
+
+// A bare ticker receive carries the same obligation.
+func TickerPoller(ctx context.Context, t *time.Ticker, probe func() bool) {
+	for { // want "loop blocks on the clock but never polls ctx"
+		<-t.C
+		probe()
+	}
+}
+
+// Ranging over the ticker channel is still a clock wait.
+func RangePoller(ctx context.Context, t *time.Ticker, probe func() bool) {
+	for range t.C { // want "loop blocks on the clock but never polls ctx"
+		probe()
+	}
+}

@@ -1,14 +1,18 @@
 // Package metricname lints the hand-rolled Prometheus exposition in
-// internal/serve and internal/obs.
+// internal/serve, internal/obs, and internal/route.
 //
-// Invariant guarded: scserved writes its /metrics page by hand (the
+// Invariant guarded: the fleet writes its /metrics pages by hand (the
 // repo is dependency-free), so nothing but convention keeps the metric
-// namespace coherent. The analyzer checks every string literal:
-// scserved_* tokens must match scserved_[a-z_]+ with the conventional
-// unit/kind suffixes; "# TYPE" headers must agree with the name
-// (counters end in _total, gauges don't, histograms are named for
-// their unit: _seconds or _bytes); and the _bucket/_sum/_count series
-// of a histogram are emitted only by obs.WriteProm — hand-rolling them
+// namespaces coherent. Each scope owns one namespace — the backend
+// mints scserved_* series, the router scroute_* — and a series minted
+// in the wrong package would collide (or silently vanish) when both
+// processes are scraped side by side. The analyzer checks every string
+// literal: namespace tokens must match <ns>_[a-z_]+ with the
+// conventional unit/kind suffixes and belong to the package's own
+// namespace; "# TYPE" headers must agree with the name (counters end
+// in _total, gauges don't, histograms are named for their unit:
+// _seconds or _bytes); and the _bucket/_sum/_count series of a
+// histogram are emitted only by obs.WriteProm — hand-rolling them
 // elsewhere forks the exposition format.
 package metricname
 
@@ -25,19 +29,34 @@ import (
 var scopes = []string{
 	"internal/serve",
 	"internal/obs",
+	"internal/route",
 }
 
 var (
-	tokenRx = regexp.MustCompile(`scserved_[A-Za-z0-9_]+`)
-	nameRx  = regexp.MustCompile(`^scserved_[a-z_]+$`)
+	tokenRx = regexp.MustCompile(`(?:scserved|scroute)_[A-Za-z0-9_]+`)
+	nameRx  = regexp.MustCompile(`^(?:scserved|scroute)_[a-z_]+$`)
 	typeRx  = regexp.MustCompile(`# TYPE\s+(\S+)\s+(\S+)`)
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
-	Doc: "require Prometheus names in internal/serve and internal/obs to match " +
-		"scserved_[a-z_]+ with suffixes agreeing with the # TYPE kind",
+	Doc: "require Prometheus names in internal/serve, internal/obs, and " +
+		"internal/route to match their package's namespace (scserved_ or " +
+		"scroute_) with suffixes agreeing with the # TYPE kind",
 	Run: run,
+}
+
+// bannedNamespace returns the namespace prefix the package must NOT
+// mint, "" when both are fine. internal/obs is shared plumbing, so it
+// may reference either; the backend and router each own one.
+func bannedNamespace(pass *analysis.Pass) string {
+	switch {
+	case analysis.InScope(pass.Pkg, "internal/route"):
+		return "scserved_"
+	case analysis.InScope(pass.Pkg, "internal/serve"):
+		return "scroute_"
+	}
+	return ""
 }
 
 func run(pass *analysis.Pass) error {
@@ -45,12 +64,13 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	handRolledOK := analysis.InScope(pass.Pkg, "internal/obs")
+	banned := bannedNamespace(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BasicLit:
 				if n.Kind == token.STRING {
-					checkLiteral(pass, n, handRolledOK)
+					checkLiteral(pass, n, handRolledOK, banned)
 				}
 			case *ast.CallExpr:
 				checkWriteProm(pass, n)
@@ -61,7 +81,7 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit, handRolledOK bool) {
+func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit, handRolledOK bool, banned string) {
 	text, err := strconv.Unquote(lit.Value)
 	if err != nil {
 		return
@@ -69,7 +89,12 @@ func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit, handRolledOK bool) {
 	for _, tok := range tokenRx.FindAllString(text, -1) {
 		if !nameRx.MatchString(tok) {
 			pass.Reportf(lit.Pos(),
-				"metric name %q does not match scserved_[a-z_]+ (lowercase letters and underscores only)", tok)
+				"metric name %q does not match (scserved|scroute)_[a-z_]+ (lowercase letters and underscores only)", tok)
+			continue
+		}
+		if banned != "" && strings.HasPrefix(tok, banned) {
+			pass.Reportf(lit.Pos(),
+				"metric name %q is outside this package's namespace (the backend mints scserved_*, the router scroute_*)", tok)
 			continue
 		}
 		if !handRolledOK && histogramSeriesSuffix(tok) {
@@ -79,7 +104,7 @@ func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit, handRolledOK bool) {
 	}
 	for _, m := range typeRx.FindAllStringSubmatch(text, -1) {
 		name, kind := m[1], m[2]
-		if !strings.HasPrefix(name, "scserved_") {
+		if !strings.HasPrefix(name, "scserved_") && !strings.HasPrefix(name, "scroute_") {
 			continue
 		}
 		switch kind {
@@ -120,7 +145,7 @@ func checkWriteProm(pass *analysis.Pass, call *ast.CallExpr) {
 			continue
 		}
 		name, err := strconv.Unquote(lit.Value)
-		if err != nil || !strings.HasPrefix(name, "scserved_") {
+		if err != nil || (!strings.HasPrefix(name, "scserved_") && !strings.HasPrefix(name, "scroute_")) {
 			continue
 		}
 		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {

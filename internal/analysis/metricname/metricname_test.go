@@ -11,6 +11,8 @@ func TestMetricName(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), metricname.Analyzer,
 		"internal/serve/pos",
 		"internal/serve/neg",
+		"internal/route/pos",
+		"internal/route/neg",
 		"internal/obs/writer",
 		"outofscope/exporter",
 	)

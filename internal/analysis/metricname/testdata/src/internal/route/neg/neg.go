@@ -1,0 +1,24 @@
+// Package neg holds compliant router exposition shapes that must stay
+// silent: the scroute_ namespace with conventional suffixes, histogram
+// series via WriteProm.
+package neg
+
+import (
+	"fmt"
+	"io"
+)
+
+type snapshot struct{}
+
+func (snapshot) WriteProm(w io.Writer, name, labels string) {}
+
+func emit(w io.Writer, s snapshot) {
+	fmt.Fprintf(w, "# TYPE scroute_requests_total counter\n")
+	fmt.Fprintf(w, "scroute_requests_total{path=%q,code=%q} %d\n", "/v1/bill", "200", 7)
+	fmt.Fprintf(w, "# TYPE scroute_backend_healthy gauge\n")
+	fmt.Fprintf(w, "scroute_backend_healthy{backend=%q} 1\n", "http://127.0.0.1:9101")
+	fmt.Fprintf(w, "# TYPE scroute_upstream_seconds histogram\n")
+	s.WriteProm(w, "scroute_upstream_seconds", "")
+	// Non-fleet names are someone else's namespace.
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+}

@@ -1,0 +1,24 @@
+// Package pos holds metricname true positives for the router scope
+// (in scope: its package path contains internal/route).
+package pos
+
+import (
+	"fmt"
+	"io"
+)
+
+type snapshot struct{}
+
+func (snapshot) WriteProm(w io.Writer, name, labels string) {}
+
+func emit(w io.Writer, s snapshot) {
+	fmt.Fprintf(w, "scroute_BadName 1\n")                           // want `metric name "scroute_BadName" does not match`
+	fmt.Fprintf(w, "# TYPE scroute_requests counter\n")             // want `counter "scroute_requests" must end in _total`
+	fmt.Fprintf(w, "# TYPE scroute_healthy_total gauge\n")          // want `gauge "scroute_healthy_total" must not end in _total`
+	fmt.Fprintf(w, "# TYPE scroute_upstream histogram\n")           // want `histogram "scroute_upstream" must be named for its unit`
+	fmt.Fprintf(w, "scroute_upstream_seconds_bucket{le=\"1\"} 3\n") // want `hand-rolled histogram series "scroute_upstream_seconds_bucket"`
+	s.WriteProm(w, "scroute_upstream", "")                          // want `histogram family "scroute_upstream" must be named for its unit`
+	// The router must not mint backend series: side-by-side scrapes
+	// would collide.
+	fmt.Fprintf(w, "scserved_requests_total 1\n") // want `metric name "scserved_requests_total" is outside this package's namespace`
+}

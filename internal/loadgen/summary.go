@@ -1,0 +1,46 @@
+package loadgen
+
+// Human-readable run summary: a markdown table per endpoint plus run
+// totals, the format `make loadtest` commits as its acceptance record.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// ms renders a histogram quantile (stored in seconds) in milliseconds.
+func ms(s obs.HistogramSnapshot, q float64) string {
+	if s.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", s.Quantile(q)*1000)
+}
+
+// WriteSummary writes the run header and per-endpoint outcome table.
+func (r *Report) WriteSummary(w io.Writer) {
+	sent, ok, shed, serverErr, clientErr, transport := r.Totals()
+	fmt.Fprintf(w, "target: %s  seed: %d  rps: %g  duration: %s  elapsed: %s\n",
+		r.Target, r.Seed, r.RPS, r.Duration, r.Elapsed.Round(1e6))
+	fmt.Fprintf(w, "sent: %d  2xx: %d  429: %d  4xx: %d  5xx: %d  transport-errors: %d  skipped: %d  shed: %.1f%%\n\n",
+		sent, ok, shed, clientErr, serverErr, transport, r.Skipped, 100*r.ShedFraction())
+
+	fmt.Fprintln(w, "| endpoint | sent | 2xx | 429 | 4xx | 5xx | net err | p50 ms | p90 ms | p99 ms |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|")
+	eps := r.Endpoints()
+	names := make([]string, 0, len(eps))
+	for name := range eps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := eps[name]
+		adm := e.Admitted()
+		fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+			name, e.Sent, e.OK, e.Shed, e.ClientErr, e.ServerErr, e.Transport,
+			ms(adm, 0.50), ms(adm, 0.90), ms(adm, 0.99))
+	}
+	fmt.Fprintf(w, "\nadmitted p99 across endpoints: %.1f ms\n", r.AdmittedP99()*1000)
+}

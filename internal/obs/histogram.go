@@ -82,6 +82,41 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) the way Prometheus
+// histogram_quantile does: find the bucket the rank lands in and
+// interpolate linearly between its bounds. Observations in the +Inf
+// bucket clamp to the largest finite bound — the histogram cannot say
+// more than "at least this". Returns 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, ub := range s.Bounds {
+		next := cum + float64(s.Counts[i])
+		if next >= rank {
+			lb := 0.0
+			if i > 0 {
+				lb = s.Bounds[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return ub
+			}
+			return lb + (ub-lb)*(rank-cum)/float64(s.Counts[i])
+		}
+		cum = next
+	}
+	// The rank lives in the +Inf bucket.
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // WriteProm writes the snapshot as Prometheus exposition lines:
 // cumulative name_bucket series including the +Inf bucket, then
 // name_sum and name_count. labels, when non-empty, is an inner label

@@ -1,0 +1,139 @@
+package route
+
+// Router-side metrics in the same hand-rolled Prometheus text
+// exposition style as internal/serve, under the scroute_ namespace:
+// per-path/code request counts, per-backend forward outcomes, breaker
+// ejections, retries, and an upstream latency histogram.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+type metrics struct {
+	mu              sync.Mutex
+	requests        map[string]uint64 // "path|code" -> count, as relayed to the client
+	backendRequests map[string]uint64 // "backend|code" -> count; code "error" = transport failure
+	ejections       map[string]uint64 // backend -> breaker trips into open
+
+	retries   atomic.Uint64 // forwards re-sent to a lower-ranked backend
+	noBackend atomic.Uint64 // requests that exhausted every backend
+
+	upstream *obs.Histogram // seconds per successful forward
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:        make(map[string]uint64),
+		backendRequests: make(map[string]uint64),
+		ejections:       make(map[string]uint64),
+		upstream:        obs.NewHistogram(),
+	}
+}
+
+func (m *metrics) observeRequest(path string, code int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", path, code)]++
+	m.mu.Unlock()
+}
+
+// observeBackend records one forward outcome; code <= 0 means the
+// request never produced a response (transport error).
+func (m *metrics) observeBackend(backend string, code int) {
+	label := "error"
+	if code > 0 {
+		label = fmt.Sprintf("%d", code)
+	}
+	m.mu.Lock()
+	m.backendRequests[backend+"|"+label]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeEjection(backend string) {
+	m.mu.Lock()
+	m.ejections[backend]++
+	m.mu.Unlock()
+}
+
+// render writes the exposition. healthy maps each backend name to its
+// current eligibility so the gauge reflects live breaker state rather
+// than a counter.
+func (m *metrics) render(w io.Writer, healthy map[string]bool) {
+	m.mu.Lock()
+	requests := sortedKeys(m.requests)
+	backendReqs := sortedKeys(m.backendRequests)
+	ejections := sortedKeys(m.ejections)
+
+	fmt.Fprintln(w, "# HELP scroute_requests_total Requests relayed to clients by path and status code.")
+	fmt.Fprintln(w, "# TYPE scroute_requests_total counter")
+	for _, k := range requests {
+		path, code := splitKey(k)
+		fmt.Fprintf(w, "scroute_requests_total{path=%q,code=%q} %d\n", path, code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP scroute_backend_requests_total Forward attempts by backend and outcome (code, or \"error\" for transport failures).")
+	fmt.Fprintln(w, "# TYPE scroute_backend_requests_total counter")
+	for _, k := range backendReqs {
+		backend, code := splitKey(k)
+		fmt.Fprintf(w, "scroute_backend_requests_total{backend=%q,code=%q} %d\n", backend, code, m.backendRequests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP scroute_backend_ejections_total Breaker trips that ejected a backend from the ring.")
+	fmt.Fprintln(w, "# TYPE scroute_backend_ejections_total counter")
+	for _, k := range ejections {
+		fmt.Fprintf(w, "scroute_backend_ejections_total{backend=%q} %d\n", k, m.ejections[k])
+	}
+	m.mu.Unlock()
+
+	names := make([]string, 0, len(healthy))
+	for name := range healthy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "# HELP scroute_backend_healthy Whether the backend is currently eligible for forwards (breaker not open).")
+	fmt.Fprintln(w, "# TYPE scroute_backend_healthy gauge")
+	for _, name := range names {
+		v := 0
+		if healthy[name] {
+			v = 1
+		}
+		fmt.Fprintf(w, "scroute_backend_healthy{backend=%q} %d\n", name, v)
+	}
+
+	fmt.Fprintln(w, "# HELP scroute_retries_total Forwards re-sent to a lower-ranked backend after a failure.")
+	fmt.Fprintln(w, "# TYPE scroute_retries_total counter")
+	fmt.Fprintf(w, "scroute_retries_total %d\n", m.retries.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_no_backend_total Requests that exhausted every backend without a relayable response.")
+	fmt.Fprintln(w, "# TYPE scroute_no_backend_total counter")
+	fmt.Fprintf(w, "scroute_no_backend_total %d\n", m.noBackend.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_upstream_seconds Latency of successful forwards, send to last response byte.")
+	fmt.Fprintln(w, "# TYPE scroute_upstream_seconds histogram")
+	m.upstream.Snapshot().WriteProm(w, "scroute_upstream_seconds", "")
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitKey splits a "left|right" metrics key at the last separator, so
+// paths containing no pipe round-trip exactly.
+func splitKey(k string) (string, string) {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] == '|' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

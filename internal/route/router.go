@@ -1,0 +1,390 @@
+package route
+
+// Router is the stateless front tier of a sharded scserved fleet. It
+// consistent-hashes each request's canonical contract spec hash — the
+// same sha256 key the backends use for their compiled-engine LRU —
+// onto a rendezvous ring of backends, so every spec lands on the one
+// backend whose cache is hot for it. Requests that carry no parseable
+// spec (health probes, the survey endpoints, malformed bodies the
+// backend will reject anyway) round-robin instead.
+//
+// Membership is health-aware: a per-backend resilience.Breaker absorbs
+// both forward outcomes and background /readyz polls. Transport errors
+// and 502/503 responses count as failures; FailureThreshold of them in
+// a row eject the backend (breaker opens) and the poll loop's next
+// Allow after the cooldown doubles as the readmission probe. While a
+// backend is ejected, its keys fail over to the next backend in their
+// rendezvous order — and snap back, cache intact, on readmission.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/resilience"
+)
+
+// maxBodyBytes mirrors the backend's request-body cap; the router
+// buffers bodies (for hashing and retries) so it enforces the same
+// bound.
+const maxBodyBytes = 16 << 20
+
+// Config tunes a Router. Backends is required; everything else has a
+// usable zero value.
+type Config struct {
+	// Backends are the scserved base URLs (e.g. http://127.0.0.1:9101).
+	// The URL string is also the backend's rendezvous identity, so keep
+	// it stable across restarts.
+	Backends []string
+	// Client issues forwards and health polls; nil selects a client
+	// with no overall timeout (per-request contexts bound forwards).
+	Client *http.Client
+	// PollInterval is the /readyz poll cadence; <= 0 selects 1 s.
+	PollInterval time.Duration
+	// FailureThreshold and OpenTimeout tune each backend's breaker;
+	// zero values select resilience defaults (5 failures, 30 s).
+	FailureThreshold int
+	OpenTimeout      time.Duration
+	// Logger, when set, logs ejections and readmissions.
+	Logger *slog.Logger
+}
+
+// backend is one ring member: its identity, breaker, and last-poll
+// readiness (exported on /metrics; eligibility is the breaker's call).
+type backend struct {
+	name    string
+	breaker *resilience.Breaker
+	ready   atomic.Bool
+}
+
+// Router is an http.Handler that forwards requests to a fleet of
+// scserved backends. Construct with NewRouter; optionally call Start
+// to begin background health polling.
+type Router struct {
+	cfg      Config
+	client   *http.Client
+	backends []*backend
+	names    []string
+	byName   map[string]*backend
+	rr       atomic.Uint64
+	metrics  *metrics
+	mux      *http.ServeMux
+}
+
+// NewRouter builds a router over the configured backends.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("route: no backends configured")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	rt := &Router{
+		cfg:     cfg,
+		client:  cfg.Client,
+		byName:  make(map[string]*backend, len(cfg.Backends)),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	for _, name := range cfg.Backends {
+		if _, dup := rt.byName[name]; dup {
+			return nil, fmt.Errorf("route: duplicate backend %q", name)
+		}
+		b := &backend{name: name}
+		b.ready.Store(true) // optimistic until the first poll says otherwise
+		b.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: cfg.FailureThreshold,
+			OpenTimeout:      cfg.OpenTimeout,
+			OnTransition:     rt.onTransition(name),
+		})
+		rt.backends = append(rt.backends, b)
+		rt.names = append(rt.names, name)
+		rt.byName[name] = b
+	}
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/", rt.handleProxy)
+	return rt, nil
+}
+
+// onTransition builds the breaker callback for one backend: count
+// ejections and log membership changes.
+func (rt *Router) onTransition(name string) func(from, to resilience.State) {
+	return func(from, to resilience.State) {
+		switch {
+		case to == resilience.Open:
+			rt.metrics.observeEjection(name)
+			if rt.cfg.Logger != nil {
+				rt.cfg.Logger.Warn("backend ejected", "backend", name, "from", from.String())
+			}
+		case to == resilience.Closed && from != resilience.Closed:
+			if rt.cfg.Logger != nil {
+				rt.cfg.Logger.Info("backend readmitted", "backend", name)
+			}
+		}
+	}
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start launches the background /readyz poll loops; they stop when ctx
+// is canceled. Without Start the router still routes — membership then
+// reacts to forward outcomes only.
+func (rt *Router) Start(ctx context.Context) {
+	for _, b := range rt.backends {
+		go rt.pollLoop(ctx, b)
+	}
+}
+
+// pollLoop probes one backend's /readyz through its breaker until ctx
+// is canceled. While the breaker is open the Allow call is rejected
+// (the backend stays ejected for free); the first Allow after the
+// cooldown claims the half-open probe slot, so the poll cadence is
+// also the readmission cadence.
+func (rt *Router) pollLoop(ctx context.Context, b *backend) {
+	t := time.NewTicker(rt.cfg.PollInterval)
+	defer t.Stop()
+	rt.pollOnce(ctx, b)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.pollOnce(ctx, b)
+		}
+	}
+}
+
+func (rt *Router) pollOnce(ctx context.Context, b *backend) {
+	done, err := b.breaker.Allow()
+	if err != nil {
+		return // open and cooling down: stay ejected
+	}
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.PollInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.name+"/readyz", nil)
+	if err != nil {
+		done(false)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ready.Store(ok)
+	done(ok)
+}
+
+// eligible reports whether the backend currently accepts forwards: its
+// breaker is not open. (Half-open counts — a forward is as good a
+// probe as a poll.)
+func (b *backend) eligible() bool { return b.breaker.State() != resilience.Open }
+
+// healthySet maps every backend to its current eligibility.
+func (rt *Router) healthySet() map[string]bool {
+	out := make(map[string]bool, len(rt.backends))
+	for _, b := range rt.backends {
+		out[b.name] = b.eligible()
+	}
+	return out
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports 200 while at least one backend is eligible.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, b := range rt.backends {
+		if b.eligible() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.render(w, rt.healthySet())
+}
+
+// routingKey derives the consistent-hash key from a request body: the
+// canonical hash of the first contract spec it carries (`contract`, or
+// `contracts[0]` for batch). This is exactly the backends' engine-LRU
+// key, which is what makes sharding keep their caches hot. Returns
+// ok=false when the body has no parseable spec.
+func routingKey(body []byte) (string, bool) {
+	if len(body) == 0 {
+		return "", false
+	}
+	var env struct {
+		Contract  json.RawMessage   `json:"contract"`
+		Contracts []json.RawMessage `json:"contracts"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return "", false
+	}
+	raw := env.Contract
+	if len(raw) == 0 && len(env.Contracts) > 0 {
+		raw = env.Contracts[0]
+	}
+	if len(raw) == 0 {
+		return "", false
+	}
+	spec, err := contract.ParseSpec(raw)
+	if err != nil {
+		return "", false
+	}
+	key, err := contract.HashSpec(spec)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// order computes the forward preference for one request: rendezvous
+// rank for keyed requests, a rotating round-robin order otherwise.
+func (rt *Router) order(body []byte) []string {
+	if key, ok := routingKey(body); ok {
+		return Rank(rt.names, key)
+	}
+	start := int(rt.rr.Add(1)-1) % len(rt.names)
+	out := make([]string, 0, len(rt.names))
+	for i := range rt.names {
+		out = append(out, rt.names[(start+i)%len(rt.names)])
+	}
+	return out
+}
+
+// handleProxy forwards one request along its preference order. A
+// transport error or 502/503 counts against the backend's breaker and
+// moves on to the next eligible backend; any other response — 200s,
+// 400s, and crucially 429 shed — relays as-is and counts as backend
+// success. When every backend fails, the last upstream 502/503 relays
+// (it is the truth); with no response at all the router answers 502.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.metrics.observeRequest(r.URL.Path, http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+
+	var (
+		lastStatus int
+		lastHeader http.Header
+		lastBody   []byte
+		tried      int
+	)
+	for _, name := range rt.order(body) {
+		b := rt.byName[name]
+		if !b.eligible() {
+			continue
+		}
+		done, err := b.breaker.Allow()
+		if err != nil {
+			continue // lost the race to an ejection or probe slot
+		}
+		if tried > 0 {
+			rt.metrics.retries.Add(1)
+		}
+		tried++
+
+		start := time.Now()
+		resp, err := rt.forward(r, name, body)
+		if err != nil {
+			rt.metrics.observeBackend(name, 0)
+			done(false)
+			continue
+		}
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+			rt.metrics.observeBackend(name, resp.StatusCode)
+			lastStatus = resp.StatusCode
+			lastHeader = resp.Header
+			lastBody, _ = io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			done(false)
+			continue
+		}
+
+		rt.metrics.observeBackend(name, resp.StatusCode)
+		code, relayErr := rt.relay(w, resp)
+		rt.metrics.upstream.Observe(time.Since(start).Seconds())
+		// The backend served us fine either way: a relay error means
+		// the CLIENT hung up mid-copy, which must not eject the backend.
+		done(true)
+		if relayErr != nil && rt.cfg.Logger != nil {
+			rt.cfg.Logger.Info("client hangup mid-relay", "backend", name, "path", r.URL.Path)
+		}
+		rt.metrics.observeRequest(r.URL.Path, code)
+		return
+	}
+
+	if lastStatus != 0 {
+		copyHeader(w.Header(), lastHeader)
+		w.WriteHeader(lastStatus)
+		_, _ = w.Write(lastBody)
+		rt.metrics.observeRequest(r.URL.Path, lastStatus)
+		return
+	}
+	rt.metrics.noBackend.Add(1)
+	rt.metrics.observeRequest(r.URL.Path, http.StatusBadGateway)
+	writeError(w, http.StatusBadGateway, "no healthy backend")
+}
+
+// forward sends the buffered request to one backend.
+func (rt *Router) forward(r *http.Request, name string, body []byte) (*http.Response, error) {
+	url := name + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, r.Header)
+	return rt.client.Do(req)
+}
+
+// relay copies one upstream response to the client, returning the
+// status code written.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) (int, error) {
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	_, err := io.Copy(w, resp.Body)
+	return resp.StatusCode, err
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -46,6 +46,15 @@ func (l *limiter) acquire(ctx context.Context) error {
 	case l.slots <- struct{}{}:
 		return nil
 	case <-ctx.Done():
+		// A slot can free at the same instant the deadline fires, in
+		// which case select picks a branch at random: without this
+		// final non-blocking grab a request could be told "timed out
+		// waiting for a slot" while holding a winning ticket.
+		select {
+		case l.slots <- struct{}{}:
+			return nil
+		default:
+		}
 		<-l.queue
 		return ctx.Err()
 	}

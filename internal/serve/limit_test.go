@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAcquireWinsSlotRace pins the select-race fix in limiter.acquire:
+// when a slot is free at the same instant the context is done, the
+// request must get the slot, not a timeout. With both channels ready,
+// select picks a branch at random — without the final non-blocking
+// grab this loop fails within a handful of iterations.
+func TestAcquireWinsSlotRace(t *testing.T) {
+	l := newLimiter(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // ctx.Done() is permanently ready; so is the free slot
+
+	for i := 0; i < 500; i++ {
+		if err := l.acquire(ctx); err != nil {
+			t.Fatalf("iteration %d: acquire lost the race to a free slot: %v", i, err)
+		}
+		l.release()
+	}
+}
+
+// TestParkedWaiterTakesSlotReleasedAtDeadline parks a waiter behind a
+// held slot, then releases the slot and fires the waiter's deadline
+// back to back: however the select wakes up, the waiter must come away
+// holding the slot that was freed for it.
+func TestParkedWaiterTakesSlotReleasedAtDeadline(t *testing.T) {
+	l := newLimiter(1, 1)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- l.acquire(ctx) }()
+	waitUntil(t, "the waiter to park", func() bool { return l.waiting() == 1 })
+
+	l.release() // the slot frees...
+	cancel()    // ...as the deadline fires
+	if err := <-errCh; err != nil {
+		t.Fatalf("parked waiter must take the freed slot, got %v", err)
+	}
+	l.release()
+
+	if l.active() != 0 || l.waiting() != 0 {
+		t.Errorf("limiter not drained: active=%d waiting=%d", l.active(), l.waiting())
+	}
+}

@@ -35,18 +35,55 @@ const (
 	stageBatchEncode   = "batch_encode"
 )
 
+// Endpoint classes for the gated admission metrics: a one-slot batch
+// request carries up to 64 bills and an optimize request up to 5000
+// candidate evaluations, so their service times live on a different
+// scale than a single bill or advise sweep. Tracking them apart keeps
+// the Retry-After estimate honest for shed single-bill clients.
+const (
+	classSingle   = "single"
+	classBatch    = "batch"
+	classOptimize = "optimize"
+)
+
+// classFor maps a gated endpoint's path onto its admission class.
+func classFor(path string) string {
+	switch path {
+	case "/v1/bill/batch":
+		return classBatch
+	case "/v1/optimize":
+		return classOptimize
+	default:
+		return classSingle
+	}
+}
+
+// classMetrics tracks one endpoint class's admission picture: how many
+// requests of the class currently sit in the gate (holding or waiting
+// for a slot) and the class's observed service-time distribution.
+type classMetrics struct {
+	pending atomic.Int64
+	service *obs.Histogram
+}
+
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]uint64 // "path|code" -> count
 
 	// latency is the all-requests histogram behind
 	// scserved_request_seconds; gated tracks only the service time of
-	// admitted gated requests (slot acquisition to handler return) and
-	// feeds the Retry-After estimate.
+	// admitted gated requests (slot acquisition to handler return) and,
+	// together with the per-class split in classes, feeds the
+	// Retry-After estimate.
 	latency *obs.Histogram
 	gated   *obs.Histogram
+	classes map[string]*classMetrics
 
 	shed atomic.Uint64
+	// clientCancels counts requests whose client disconnected while
+	// they were queued for an evaluation slot — not a server timeout,
+	// and not worth writing a 504 to a dead connection.
+	clientCancels atomic.Uint64
 	// panics counts handler panics recovered by instrument.
 	panics atomic.Uint64
 	// degraded counts bill/advise responses computed on the fixed
@@ -67,8 +104,16 @@ func newMetrics() *metrics {
 		requests: make(map[string]uint64),
 		latency:  obs.NewHistogram(),
 		gated:    obs.NewHistogram(),
+		classes: map[string]*classMetrics{
+			classSingle:   {service: obs.NewHistogram()},
+			classBatch:    {service: obs.NewHistogram()},
+			classOptimize: {service: obs.NewHistogram()},
+		},
 	}
 }
+
+// class returns the metrics bucket for an admission class.
+func (m *metrics) class(name string) *classMetrics { return m.classes[name] }
 
 func (m *metrics) observe(path string, code int, elapsed time.Duration) {
 	m.mu.Lock()
@@ -77,9 +122,13 @@ func (m *metrics) observe(path string, code int, elapsed time.Duration) {
 	m.latency.Observe(elapsed.Seconds())
 }
 
-// observeGated records one admitted gated request's service time.
-func (m *metrics) observeGated(elapsed time.Duration) {
+// observeGated records one admitted gated request's service time, both
+// in the overall distribution and in its endpoint class's.
+func (m *metrics) observeGated(class string, elapsed time.Duration) {
 	m.gated.Observe(elapsed.Seconds())
+	if cm := m.class(class); cm != nil {
+		cm.service.Observe(elapsed.Seconds())
+	}
 }
 
 // gatedMean returns the mean service time of admitted gated requests in
@@ -250,6 +299,25 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_shed_total Requests shed with 429 because the queue was full.\n")
 	fmt.Fprintf(w, "# TYPE scserved_shed_total counter\n")
 	fmt.Fprintf(w, "scserved_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "# HELP scserved_client_cancels_total Requests whose client disconnected while queued for a slot.\n")
+	fmt.Fprintf(w, "# TYPE scserved_client_cancels_total counter\n")
+	fmt.Fprintf(w, "scserved_client_cancels_total %d\n", m.clientCancels.Load())
+
+	classNames := make([]string, 0, len(m.classes))
+	for name := range m.classes {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	fmt.Fprintf(w, "# HELP scserved_gated_pending Gated requests holding or waiting for a slot, by endpoint class.\n")
+	fmt.Fprintf(w, "# TYPE scserved_gated_pending gauge\n")
+	for _, name := range classNames {
+		fmt.Fprintf(w, "scserved_gated_pending{class=%q} %d\n", name, m.classes[name].pending.Load())
+	}
+	fmt.Fprintf(w, "# HELP scserved_gated_service_seconds Admitted gated service time, by endpoint class.\n")
+	fmt.Fprintf(w, "# TYPE scserved_gated_service_seconds histogram\n")
+	for _, name := range classNames {
+		m.classes[name].service.Snapshot().WriteProm(w, "scserved_gated_service_seconds", fmt.Sprintf("class=%q", name))
+	}
 	fmt.Fprintf(w, "# HELP scserved_panics_total Handler panics recovered by the middleware.\n")
 	fmt.Fprintf(w, "# TYPE scserved_panics_total counter\n")
 	fmt.Fprintf(w, "scserved_panics_total %d\n", m.panics.Load())

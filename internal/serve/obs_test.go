@@ -250,7 +250,7 @@ func TestRetryAfterTracksOccupancy(t *testing.T) {
 	waitUntil(t, "the queue to fill", func() bool { return s.limiter.waiting() == 4 })
 
 	for i := 0; i < 4; i++ {
-		s.metrics.observeGated(2 * time.Second)
+		s.metrics.observeGated(classSingle, 2*time.Second)
 	}
 	if got := s.retryAfterHint(); got != "6" {
 		t.Errorf("saturated hint = %s, want 6", got)

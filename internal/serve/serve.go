@@ -42,7 +42,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -161,10 +165,10 @@ func NewServer(cfg Config) *Server {
 		drained: make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.Handle("POST /v1/bill", s.instrument("/v1/bill", s.gated(s.handleBill)))
-	s.mux.Handle("POST /v1/bill/batch", s.instrument("/v1/bill/batch", s.gated(s.handleBillBatch)))
-	s.mux.Handle("POST /v1/advise", s.instrument("/v1/advise", s.gated(s.handleAdvise)))
-	s.mux.Handle("POST /v1/optimize", s.instrument("/v1/optimize", s.gated(s.handleOptimize)))
+	s.mux.Handle("POST /v1/bill", s.instrument("/v1/bill", s.gated("/v1/bill", s.handleBill)))
+	s.mux.Handle("POST /v1/bill/batch", s.instrument("/v1/bill/batch", s.gated("/v1/bill/batch", s.handleBillBatch)))
+	s.mux.Handle("POST /v1/advise", s.instrument("/v1/advise", s.gated("/v1/advise", s.handleAdvise)))
+	s.mux.Handle("POST /v1/optimize", s.instrument("/v1/optimize", s.gated("/v1/optimize", s.handleOptimize)))
 	s.mux.Handle("GET /v1/survey/roster", s.instrument("/v1/survey/roster", http.HandlerFunc(s.handleSurveyRoster)))
 	s.mux.Handle("GET /v1/survey/records", s.instrument("/v1/survey/records", http.HandlerFunc(s.handleSurveyRecords)))
 	s.mux.Handle("GET /v1/survey/typology", s.instrument("/v1/survey/typology", http.HandlerFunc(s.handleSurveyTypology)))
@@ -242,8 +246,10 @@ func (s *Server) endRequest() {
 
 // gated wraps an expensive handler with the service's admission
 // control: drain refusal, the per-request deadline, and the bounded
-// concurrency queue with load shedding.
-func (s *Server) gated(h http.HandlerFunc) http.Handler {
+// concurrency queue with load shedding. The path selects the endpoint
+// class tracked for the Retry-After estimate.
+func (s *Server) gated(path string, h http.HandlerFunc) http.Handler {
+	class := classFor(path)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.beginRequest() {
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -255,36 +261,93 @@ func (s *Server) gated(h http.HandlerFunc) http.Handler {
 		defer cancel()
 		r = r.WithContext(ctx)
 
+		// Buffer the body before parking in the admission queue:
+		// net/http only watches the connection for a client disconnect
+		// once the request body has been consumed, so without this a
+		// hung-up client would hold its queue token — invisible — until
+		// the deadline. With the body drained, a disconnect cancels the
+		// request context and unparks the waiter immediately.
+		if r.Body != nil && r.Body != http.NoBody {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+
+		cm := s.metrics.class(class)
+		cm.pending.Add(1)
 		wait := time.Now()
 		err := s.limiter.acquire(ctx)
 		s.stages.Observe(stageAdmissionWait, time.Since(wait).Seconds())
 		if err != nil {
-			if err == errSaturated {
+			cm.pending.Add(-1)
+			switch {
+			case err == errSaturated:
 				s.metrics.shed.Add(1)
 				w.Header().Set("Retry-After", s.retryAfterHint())
 				writeError(w, http.StatusTooManyRequests, "request queue is full, retry later")
-				return
+			case errors.Is(err, context.Canceled):
+				// The client hung up while the request was queued: there
+				// is no one left to answer, so a 504 would only be
+				// written to a dead connection and miscounted as a
+				// server-side timeout. Count and log it as what it is.
+				s.metrics.clientCancels.Add(1)
+				if lg := s.cfg.Logger; lg != nil {
+					lg.Info("client canceled while queued",
+						"path", path, "request_id", obs.RequestIDFrom(r.Context()))
+				}
+			default:
+				// Deadline expired while queued.
+				writeError(w, http.StatusGatewayTimeout, "timed out waiting for an evaluation slot")
 			}
-			// Deadline expired while queued.
-			writeError(w, http.StatusGatewayTimeout, "timed out waiting for an evaluation slot")
 			return
 		}
+		defer cm.pending.Add(-1)
 		defer s.limiter.release()
 		serviceStart := time.Now()
 		h(w, r)
-		s.metrics.observeGated(time.Since(serviceStart))
+		s.metrics.observeGated(class, time.Since(serviceStart))
 	})
 }
 
 // retryAfterHint suggests when a shed client should come back, from the
 // observed backlog rather than a static timeout: the requests ahead of
 // a retrying client (everyone holding or waiting for a slot) drain at
-// MaxConcurrent × the mean observed service time. Floored at one second
-// — also the cold answer before any request has completed — and capped
-// at a minute.
+// MaxConcurrent × the expected service time per backlogged request.
+// That expectation is derived from the class mix of what is actually
+// pending — a queue full of single bills drains orders of magnitude
+// faster than one stuffed with 64-item batches or 5000-candidate
+// optimize searches, and the overall mean would let one historic batch
+// over-penalize every shed single-bill client. Classes with no service
+// history yet fall back to the overall gated mean. Floored at one
+// second — also the cold answer before any request has completed — and
+// capped at a minute.
 func (s *Server) retryAfterHint() string {
 	backlog := s.limiter.active() + s.limiter.waiting()
-	per := s.metrics.gatedMean()
+	overall := s.metrics.gatedMean()
+
+	// Expected per-request service time, weighted by the pending class
+	// mix. The shedding caller has already left the pending counts.
+	var weighted, pending float64
+	for _, cm := range s.metrics.classes {
+		n := float64(cm.pending.Load())
+		if n <= 0 {
+			continue
+		}
+		mean := cm.service.Snapshot().Mean()
+		if mean == 0 {
+			mean = overall
+		}
+		weighted += n * mean
+		pending += n
+	}
+	per := overall
+	if pending > 0 {
+		per = weighted / pending
+	}
+
 	secs := int(math.Ceil(per * float64(backlog) / float64(s.cfg.MaxConcurrent)))
 	if secs < 1 {
 		secs = 1

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -404,6 +405,112 @@ func TestQueueWaitHonorsDeadline(t *testing.T) {
 	}
 }
 
+// TestQueuedClientCancelIsNotA504: a client that hangs up while its
+// request waits for a slot is a cancellation, not a server timeout —
+// it must be counted as a client cancel and must not produce a 504.
+func TestQueuedClientCancelIsNotA504(t *testing.T) {
+	s := NewServer(Config{MaxConcurrent: 1, QueueDepth: 1, RequestTimeout: 30 * time.Second})
+	release := make(chan struct{})
+	s.billHook = func(context.Context) { <-release }
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		close(release)
+		ts.Close()
+	}()
+
+	req := BillRequest{
+		Contract: specJSON(t, quickstartSpec()),
+		Load:     LoadSpec{Profile: "quickstart-month"},
+	}
+	go postBillAsync(ts, "/v1/bill", req)
+	waitUntil(t, "slot held", func() bool { return s.limiter.active() == 1 })
+
+	// The second request queues behind the parked bill, then its client
+	// disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/bill", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	clientErr := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(hr)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientErr <- err
+	}()
+	waitUntil(t, "second request to queue", func() bool { return s.limiter.waiting() == 1 })
+
+	cancel()
+	if err := <-clientErr; err == nil {
+		t.Fatal("canceled request must fail client-side")
+	}
+	waitUntil(t, "the cancel to be counted", func() bool {
+		return s.metrics.clientCancels.Load() == 1
+	})
+
+	s.metrics.mu.Lock()
+	got504 := s.metrics.requests["/v1/bill|504"]
+	s.metrics.mu.Unlock()
+	if got504 != 0 {
+		t.Errorf("client cancel miscounted as %d 504(s)", got504)
+	}
+}
+
+// TestRetryAfterUsesClassMix: the Retry-After estimate must price the
+// backlog by what is pending, not by the overall historical mean — a
+// queue of single bills is not slower because a 64-item batch ran an
+// hour ago, and a queue of batches is not faster because single bills
+// usually dominate.
+func TestRetryAfterUsesClassMix(t *testing.T) {
+	s := NewServer(Config{MaxConcurrent: 1, QueueDepth: 8})
+
+	// Service history: palatial batches next to quick single bills.
+	for i := 0; i < 3; i++ {
+		s.metrics.observeGated(classBatch, 40*time.Second)
+		s.metrics.observeGated(classSingle, 100*time.Millisecond)
+	}
+
+	// Backlog: one active + two waiting.
+	if err := s.limiter.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.limiter.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.limiter.acquire(ctx)
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+	waitUntil(t, "the queue to fill", func() bool { return s.limiter.waiting() == 2 })
+
+	// All-singles backlog: ceil(3 × 0.1 s / 1) = 1 s, not the ~60 s the
+	// batch-inflated overall mean would suggest.
+	s.metrics.class(classSingle).pending.Add(3)
+	if got := s.retryAfterHint(); got != "1" {
+		t.Errorf("all-singles backlog hint = %s, want 1", got)
+	}
+	s.metrics.class(classSingle).pending.Add(-3)
+
+	// All-batches backlog: ceil(3 × 40 s / 1) clamps to the 60 s cap.
+	s.metrics.class(classBatch).pending.Add(3)
+	if got := s.retryAfterHint(); got != "60" {
+		t.Errorf("all-batches backlog hint = %s, want 60", got)
+	}
+	s.metrics.class(classBatch).pending.Add(-3)
+}
+
 // TestEvaluationHonorsDeadline: once the request deadline passes,
 // evaluation itself stops (the context is threaded into the engine) and
 // the client gets 504.
@@ -490,6 +597,100 @@ func TestShutdownDrains(t *testing.T) {
 	}
 	if err := <-shutdownDone; err != nil {
 		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestShutdownUnderQueuedLoad drills the drain semantics the single
+// in-flight test above cannot: requests parked inside limiter.acquire
+// are admitted work (beginRequest ran) and must complete with 200 once
+// slots free up — never be 503'd mid-drain — while multiple concurrent
+// and repeated Shutdown calls all return cleanly.
+func TestShutdownUnderQueuedLoad(t *testing.T) {
+	cases := []struct {
+		name      string
+		queued    int // requests parked in limiter.acquire behind the slot holder
+		shutdowns int // concurrent Shutdown calls
+	}{
+		{"queued request completes", 1, 1},
+		{"concurrent shutdowns", 1, 2},
+		{"deep queue drains", 3, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewServer(Config{MaxConcurrent: 1, QueueDepth: 8, RequestTimeout: 30 * time.Second})
+			release := make(chan struct{})
+			s.billHook = func(context.Context) { <-release }
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			data, err := json.Marshal(BillRequest{
+				Contract: specJSON(t, quickstartSpec()),
+				Load:     LoadSpec{Profile: "quickstart-month"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			codes := make(chan int, 1+tc.queued)
+			for i := 0; i < 1+tc.queued; i++ {
+				go func() {
+					resp, err := ts.Client().Post(ts.URL+"/v1/bill", "application/json", bytes.NewReader(data))
+					if err != nil {
+						codes <- 0
+						return
+					}
+					resp.Body.Close()
+					codes <- resp.StatusCode
+				}()
+			}
+			waitUntil(t, "slot held and queue parked", func() bool {
+				return s.limiter.active() == 1 && s.limiter.waiting() == tc.queued
+			})
+
+			shutdownDone := make(chan error, tc.shutdowns)
+			for i := 0; i < tc.shutdowns; i++ {
+				go func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					shutdownDone <- s.Shutdown(ctx)
+				}()
+			}
+			waitUntil(t, "drain to begin", s.Draining)
+
+			// Fresh work is refused while the queue drains.
+			resp, body := postBill(t, ts, "/v1/bill", BillRequest{
+				Contract: specJSON(t, quickstartSpec()),
+				Load:     LoadSpec{Profile: "quickstart-month"},
+			})
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("draining server must 503 new work, got %d: %s", resp.StatusCode, body)
+			}
+
+			// No Shutdown may return while admitted requests are parked.
+			select {
+			case err := <-shutdownDone:
+				t.Fatalf("Shutdown returned with requests still parked: %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+
+			close(release)
+			for i := 0; i < 1+tc.queued; i++ {
+				if code := <-codes; code != http.StatusOK {
+					t.Errorf("admitted request %d finished %d, want 200 (queued work must drain, not 503)", i, code)
+				}
+			}
+			for i := 0; i < tc.shutdowns; i++ {
+				if err := <-shutdownDone; err != nil {
+					t.Errorf("Shutdown %d: %v", i, err)
+				}
+			}
+
+			// A late Shutdown on a drained server returns immediately.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("repeat Shutdown after drain: %v", err)
+			}
+		})
 	}
 }
 
