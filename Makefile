@@ -6,7 +6,7 @@
 GO ?= go
 SCVET := bin/scvet
 
-.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check optimize-accept loadtest loadtest-smoke fuzz chaos clean
+.PHONY: all build vet scvet-build scvet test race check fmt-check lint serve bench bench-billing bench-artifact bench-json bench-check optimize-accept loadtest loadtest-smoke fleetchaos fleetchaos-smoke fuzz chaos clean
 
 all: check
 
@@ -128,6 +128,20 @@ loadtest:
 # as a CI artifact).
 loadtest-smoke:
 	scripts/loadtest.sh smoke
+
+# Fleet chaos acceptance: 3 backends behind scchaos fault proxies
+# behind scroute; scload events blackhole one backend mid-load and
+# then brown it out 10x while windowed assertions check ejection,
+# hedging, and the retry-budget cap. Writes ACCEPTANCE_fleetchaos.md;
+# regenerate and commit after intentional routing/resilience changes.
+fleetchaos:
+	scripts/fleetchaos.sh accept
+
+# CI smoke: 2 backends, 1 chaos proxy, one short blackhole flip; fails
+# if the error rate stays elevated after the ejection window. Writes
+# fleetchaos-summary.md (uploaded as a CI artifact).
+fleetchaos-smoke:
+	scripts/fleetchaos.sh smoke
 
 # Chaos soak: the fault-injected price-feed acceptance suite plus the
 # resilience state-machine tests, race-enabled with a short timeout so

@@ -1,0 +1,199 @@
+// Command scchaos runs a fleet of listener-level chaos proxies between
+// scroute and its scserved backends, with an HTTP admin API for
+// switching faults mid-run. It is the fault-injection half of the
+// fleet chaos harness (make fleetchaos): scload drives traffic through
+// the router while scenario scripts flip proxies into blackhole,
+// reset, latency, trickle, or cut mode and assert on the client-
+// visible outcome.
+//
+// Usage:
+//
+//	scchaos -admin :9300 \
+//	    -proxy p1=127.0.0.1:9201@127.0.0.1:9101 \
+//	    -proxy p2=127.0.0.1:9202@127.0.0.1:9102
+//
+// Each -proxy is name=listen@target. The admin API:
+//
+//	GET  /v1/proxies   current proxies and their faults
+//	POST /v1/fault     {"proxy":"p1","mode":"latency","latency_ms":400,"jitter_ms":100}
+//	GET  /healthz      liveness
+//
+// Setting a fault severs that proxy's live connections, so keep-alive
+// pools warmed under the old fault re-dial through the new one.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// proxyFlags collects repeated -proxy name=listen@target specs.
+type proxyFlags []string
+
+func (p *proxyFlags) String() string     { return strings.Join(*p, ",") }
+func (p *proxyFlags) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var specs proxyFlags
+	flag.Var(&specs, "proxy", "proxy spec name=listen@target (repeatable)")
+	admin := flag.String("admin", ":9300", "admin API listen address")
+	seed := flag.Int64("seed", 1, "jitter PRNG seed (per-proxy seeds derive from it)")
+	flag.Parse()
+
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "scchaos: at least one -proxy name=listen@target is required")
+		os.Exit(2)
+	}
+	proxies := make(map[string]*chaos.Proxy, len(specs))
+	for i, spec := range specs {
+		name, listen, target, err := parseProxySpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scchaos:", err)
+			os.Exit(2)
+		}
+		if _, dup := proxies[name]; dup {
+			fmt.Fprintf(os.Stderr, "scchaos: duplicate proxy name %q\n", name)
+			os.Exit(2)
+		}
+		p, err := chaos.NewProxy(chaos.ProxyConfig{
+			Name:   name,
+			Listen: listen,
+			Target: target,
+			Seed:   *seed + int64(i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scchaos:", err)
+			os.Exit(2)
+		}
+		defer p.Close()
+		proxies[name] = p
+		log.Printf("scchaos: proxy %s listening on %s -> %s", name, p.Addr(), target)
+	}
+
+	if err := run(*admin, proxies); err != nil {
+		fmt.Fprintln(os.Stderr, "scchaos:", err)
+		os.Exit(1)
+	}
+}
+
+// parseProxySpec splits name=listen@target.
+func parseProxySpec(spec string) (name, listen, target string, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", "", "", fmt.Errorf("bad -proxy %q (want name=listen@target)", spec)
+	}
+	listen, target, ok = strings.Cut(rest, "@")
+	if !ok || name == "" || listen == "" || target == "" {
+		return "", "", "", fmt.Errorf("bad -proxy %q (want name=listen@target)", spec)
+	}
+	return name, listen, target, nil
+}
+
+// proxyStatus is one row of GET /v1/proxies.
+type proxyStatus struct {
+	Name   string      `json:"name"`
+	Listen string      `json:"listen"`
+	Target string      `json:"target"`
+	Fault  chaos.Fault `json:"fault"`
+}
+
+// faultRequest is the POST /v1/fault body. Durations arrive in
+// integer milliseconds so scenario scripts can speak plain JSON.
+type faultRequest struct {
+	Proxy         string `json:"proxy"`
+	Mode          string `json:"mode"`
+	LatencyMS     int64  `json:"latency_ms"`
+	JitterMS      int64  `json:"jitter_ms"`
+	BytesPerSec   int    `json:"bytes_per_sec"`
+	CutAfterBytes int64  `json:"cut_after_bytes"`
+}
+
+func adminHandler(proxies map[string]*chaos.Proxy) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/proxies", func(w http.ResponseWriter, _ *http.Request) {
+		out := make([]proxyStatus, 0, len(proxies))
+		for _, p := range proxies {
+			out = append(out, proxyStatus{Name: p.Name(), Listen: p.Addr(), Target: p.Target(), Fault: p.Fault()})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("POST /v1/fault", func(w http.ResponseWriter, r *http.Request) {
+		var req faultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad fault body: %v", err))
+			return
+		}
+		p, ok := proxies[req.Proxy]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no proxy %q", req.Proxy))
+			return
+		}
+		fault := chaos.Fault{
+			Mode:          req.Mode,
+			Latency:       time.Duration(req.LatencyMS) * time.Millisecond,
+			Jitter:        time.Duration(req.JitterMS) * time.Millisecond,
+			BytesPerSec:   req.BytesPerSec,
+			CutAfterBytes: req.CutAfterBytes,
+		}
+		if err := p.SetFault(fault); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		log.Printf("scchaos: proxy %s fault -> %s", req.Proxy, p.Fault().Mode)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(proxyStatus{Name: p.Name(), Listen: p.Addr(), Target: p.Target(), Fault: p.Fault()})
+	})
+	return mux
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+func run(addr string, proxies map[string]*chaos.Proxy) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           adminHandler(proxies),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("scchaos admin listening on %s (%d proxies)", addr, len(proxies))
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("scchaos: %s received, shutting down", sig)
+	}
+	return srv.Close()
+}

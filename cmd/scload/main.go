@@ -41,9 +41,13 @@ func main() {
 	batchItems := flag.Int("batch-items", 8, "loads per batch request")
 	maxInflight := flag.Int("max-inflight", 512, "concurrent request cap; arrivals past it are skipped")
 	ndjson := flag.String("ndjson", "", "write one JSON line per request to this file")
+	var events eventFlags
+	flag.Var(&events, "event", "scheduled control action offset|url|body (repeatable; empty body = GET)")
 	assertZero5xx := flag.Bool("assert-zero-5xx", false, "exit 1 if any request got a 5xx or transport error")
 	assertMinShed := flag.Float64("assert-min-shed", -1, "exit 1 if the 429 fraction is below this (e.g. 0.05)")
 	assertP99 := flag.Duration("assert-p99", 0, "exit 1 if admitted p99 exceeds this (0 = no bound)")
+	assertErrRateAfter := flag.String("assert-error-rate-after", "", "offset:rate — exit 1 if the 5xx+transport fraction of requests arriving after offset exceeds rate (e.g. 7s:0.01)")
+	assertZero5xxAfter := flag.Duration("assert-zero-5xx-after", 0, "exit 1 on any 5xx or transport error among requests arriving after this offset")
 	flag.Parse()
 
 	if *target == "" {
@@ -61,6 +65,7 @@ func main() {
 		BatchFraction: *batchFraction,
 		BatchItems:    *batchItems,
 		MaxInflight:   *maxInflight,
+		Events:        events.parsed,
 	}
 	if *ndjson != "" {
 		f, err := os.Create(*ndjson)
@@ -100,9 +105,72 @@ func main() {
 			failed = true
 		}
 	}
+	if *assertErrRateAfter != "" {
+		cutoff, bound, err := parseErrRateAfter(*assertErrRateAfter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scload:", err)
+			os.Exit(2)
+		}
+		if got := rep.ErrorRateAfter(cutoff); got > bound {
+			f, n := rep.FailuresAfter(cutoff)
+			fmt.Fprintf(os.Stderr, "scload: ASSERT FAILED: error rate after %s is %.4f (%d/%d), above %.4f\n",
+				cutoff, got, f, n, bound)
+			failed = true
+		}
+	}
+	if *assertZero5xxAfter > 0 {
+		if f, n := rep.FailuresAfter(*assertZero5xxAfter); f > 0 {
+			fmt.Fprintf(os.Stderr, "scload: ASSERT FAILED: %d of %d requests after %s got a 5xx or transport error (want 0)\n",
+				f, n, *assertZero5xxAfter)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// eventFlags parses repeated -event "offset|url|body" specs.
+type eventFlags struct {
+	raw    []string
+	parsed []loadgen.ScheduledEvent
+}
+
+func (e *eventFlags) String() string { return strings.Join(e.raw, " ") }
+
+func (e *eventFlags) Set(v string) error {
+	parts := strings.SplitN(v, "|", 3)
+	if len(parts) < 2 {
+		return fmt.Errorf("bad -event %q (want offset|url|body)", v)
+	}
+	at, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return fmt.Errorf("bad -event offset %q: %v", parts[0], err)
+	}
+	ev := loadgen.ScheduledEvent{At: at, URL: strings.TrimSpace(parts[1])}
+	if len(parts) == 3 {
+		ev.Body = parts[2]
+	}
+	e.raw = append(e.raw, v)
+	e.parsed = append(e.parsed, ev)
+	return nil
+}
+
+// parseErrRateAfter splits "7s:0.01" into cutoff and bound.
+func parseErrRateAfter(s string) (time.Duration, float64, error) {
+	offset, rate, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -assert-error-rate-after %q (want offset:rate)", s)
+	}
+	cutoff, err := time.ParseDuration(strings.TrimSpace(offset))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -assert-error-rate-after offset %q: %v", offset, err)
+	}
+	var bound float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(rate), "%g", &bound); err != nil {
+		return 0, 0, fmt.Errorf("bad -assert-error-rate-after rate %q: %v", rate, err)
+	}
+	return cutoff, bound, nil
 }
 
 func splitList(s string) []string {

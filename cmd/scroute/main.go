@@ -13,8 +13,14 @@
 // backend that fails -failure-threshold consecutive forwards or polls
 // is ejected from the ring (its keys fail over to their next-ranked
 // backend) and readmitted by a successful probe after -open-timeout.
-// The router exposes its own /healthz, /readyz (503 when the whole
-// fleet is ejected), and /metrics (scroute_* namespace).
+// Every forward runs under a per-try timeout (-try-timeout-floor /
+// -try-timeout-ceil) so a hung backend counts as a breaker failure;
+// idempotent requests are hedged after a p95-based delay; retries and
+// hedges share a token budget (-retry-budget-ratio / -retry-budget-
+// burst); and the remaining request budget is propagated downstream as
+// X-SCBill-Deadline-Ms. The router exposes its own /healthz, /readyz
+// (503 when the whole fleet is ejected), and /metrics (scroute_*
+// namespace).
 package main
 
 import (
@@ -38,10 +44,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":9090", "listen address")
 	backends := flag.String("backends", "", "comma-separated scserved base URLs (required)")
-	pollInterval := flag.Duration("poll-interval", time.Second, "backend /readyz poll cadence")
+	pollInterval := flag.Duration("poll-interval", time.Second, "backend /readyz poll cadence (jittered ±10%)")
 	failureThreshold := flag.Int("failure-threshold", 3, "consecutive failures before a backend is ejected")
 	openTimeout := flag.Duration("open-timeout", 5*time.Second, "cooldown before an ejected backend is probed for readmission")
-	upstreamTimeout := flag.Duration("upstream-timeout", 2*time.Minute, "per-forward deadline to a backend")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "end-to-end deadline per proxied request (tightened by a propagated X-SCBill-Deadline-Ms)")
+	tryFloor := flag.Duration("try-timeout-floor", 250*time.Millisecond, "minimum per-try forward timeout")
+	tryCeil := flag.Duration("try-timeout-ceil", 10*time.Second, "maximum per-try forward timeout (the gray-failure detector)")
+	hedgeFloor := flag.Duration("hedge-delay-floor", 25*time.Millisecond, "minimum hedge delay regardless of observed p95")
+	noHedge := flag.Bool("no-hedge", false, "disable speculative hedged requests")
+	budgetRatio := flag.Float64("retry-budget-ratio", 0.1, "retry/hedge tokens earned per primary request")
+	budgetBurst := flag.Float64("retry-budget-burst", 10, "retry/hedge token bucket burst capacity")
 	logFormat := flag.String("log-format", "text", "membership log format: text, json, or off")
 	flag.Parse()
 
@@ -59,17 +71,25 @@ func main() {
 
 	// A transport with a deep idle pool per backend: the default keeps 2
 	// idle conns per host, which under fleet load churns a connection
-	// per forward.
+	// per forward. No client-level timeout — the router bounds every
+	// forward with its own per-try context.
 	transport := &http.Transport{
 		MaxIdleConns:        1024,
 		MaxIdleConnsPerHost: 512,
 	}
 	rt, err := route.NewRouter(route.Config{
 		Backends:         urls,
-		Client:           &http.Client{Timeout: *upstreamTimeout, Transport: transport},
+		Client:           &http.Client{Transport: transport},
 		PollInterval:     *pollInterval,
 		FailureThreshold: *failureThreshold,
 		OpenTimeout:      *openTimeout,
+		RequestTimeout:   *requestTimeout,
+		TryTimeoutFloor:  *tryFloor,
+		TryTimeoutCeil:   *tryCeil,
+		HedgeDelayFloor:  *hedgeFloor,
+		DisableHedge:     *noHedge,
+		BudgetRatio:      *budgetRatio,
+		BudgetBurst:      *budgetBurst,
 		Logger:           logger,
 	})
 	if err != nil {

@@ -44,6 +44,23 @@ func StopChannelWait(ctx context.Context, stop chan struct{}, t *time.Ticker, pr
 	}
 }
 
+// The hedge dispatch shape the router's proxy path uses: the select
+// waits on the hedge timer and the attempt results, but ctx.Done()
+// sits alongside them, so a client hangup or an expired deadline ends
+// the wait immediately.
+func HedgeLoop(ctx context.Context, hedge *time.Timer, results chan int, launch func()) (int, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-hedge.C:
+			launch()
+		case r := <-results:
+			return r, nil
+		}
+	}
+}
+
 // No context parameter: helpers with their own lifecycle discipline
 // are exempt.
 func backgroundFlush(t *time.Ticker, flush func()) {

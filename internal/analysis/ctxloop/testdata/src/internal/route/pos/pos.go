@@ -30,3 +30,18 @@ func RangePoller(ctx context.Context, t *time.Ticker, probe func() bool) {
 		probe()
 	}
 }
+
+// A hedge dispatch loop that selects on the hedge timer and the
+// attempt results but never on ctx.Done(): when the client hangs up,
+// the loop keeps waiting on the clock for a hedge it should never
+// fire.
+func HedgeWithoutCtx(ctx context.Context, hedge *time.Timer, results chan int, launch func()) int {
+	for { // want "loop blocks on the clock but never polls ctx"
+		select {
+		case <-hedge.C:
+			launch()
+		case r := <-results:
+			return r
+		}
+	}
+}

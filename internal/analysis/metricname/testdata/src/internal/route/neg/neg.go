@@ -19,6 +19,16 @@ func emit(w io.Writer, s snapshot) {
 	fmt.Fprintf(w, "scroute_backend_healthy{backend=%q} 1\n", "http://127.0.0.1:9101")
 	fmt.Fprintf(w, "# TYPE scroute_upstream_seconds histogram\n")
 	s.WriteProm(w, "scroute_upstream_seconds", "")
+	// The brownout families: hedge/budget/deadline counters end in
+	// _total, the live token level is a plain gauge.
+	fmt.Fprintf(w, "# TYPE scroute_hedges_total counter\n")
+	fmt.Fprintf(w, "scroute_hedges_total %d\n", 4)
+	fmt.Fprintf(w, "# TYPE scroute_hedge_wins_total counter\n")
+	fmt.Fprintf(w, "# TYPE scroute_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "# TYPE scroute_try_timeouts_total counter\n")
+	fmt.Fprintf(w, "# TYPE scroute_deadline_expired_total counter\n")
+	fmt.Fprintf(w, "# TYPE scroute_retry_budget_tokens gauge\n")
+	fmt.Fprintf(w, "scroute_retry_budget_tokens %g\n", 10.0)
 	// Non-fleet names are someone else's namespace.
 	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
 }

@@ -18,6 +18,12 @@ func emit(w io.Writer, s snapshot) {
 	fmt.Fprintf(w, "# TYPE scroute_upstream histogram\n")           // want `histogram "scroute_upstream" must be named for its unit`
 	fmt.Fprintf(w, "scroute_upstream_seconds_bucket{le=\"1\"} 3\n") // want `hand-rolled histogram series "scroute_upstream_seconds_bucket"`
 	s.WriteProm(w, "scroute_upstream", "")                          // want `histogram family "scroute_upstream" must be named for its unit`
+	// The brownout counters carry the same _total obligation, and the
+	// budget token level is a gauge, not a counter.
+	fmt.Fprintf(w, "# TYPE scroute_hedges counter\n")                  // want `counter "scroute_hedges" must end in _total`
+	fmt.Fprintf(w, "# TYPE scroute_retry_budget_exhausted counter\n")  // want `counter "scroute_retry_budget_exhausted" must end in _total`
+	fmt.Fprintf(w, "# TYPE scroute_deadline_expired counter\n")        // want `counter "scroute_deadline_expired" must end in _total`
+	fmt.Fprintf(w, "# TYPE scroute_retry_budget_tokens_total gauge\n") // want `gauge "scroute_retry_budget_tokens_total" must not end in _total`
 	// The router must not mint backend series: side-by-side scrapes
 	// would collide.
 	fmt.Fprintf(w, "scserved_requests_total 1\n") // want `metric name "scserved_requests_total" is outside this package's namespace`

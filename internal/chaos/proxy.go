@@ -1,0 +1,329 @@
+package chaos
+
+// Proxy is the fleet-level counterpart to Injector: a listener-level
+// chaos proxy that sits between scroute and one scserved backend and
+// misbehaves at the TCP layer, where gray failures actually live. The
+// router's breaker sees a crashed backend easily — a connection refused
+// is loud — but a browned-out one accepts connections and then answers
+// slowly, partially, or never. Those are exactly the faults this proxy
+// manufactures:
+//
+//	pass       forward bytes untouched (the healthy baseline)
+//	blackhole  accept, read, never answer — the classic hung backend;
+//	           only a per-try timeout ever sees this fault
+//	reset      accept then RST immediately (SO_LINGER 0)
+//	latency    delay the request path by a fixed + jittered amount per
+//	           write, modeling a browned-out backend
+//	trickle    answer at a slow-loris byte rate so time-to-first-byte
+//	           looks fine while time-to-last-byte is unbounded
+//	cut        close mid-response body after N bytes, exercising the
+//	           relay's partial-response handling
+//
+// Faults switch at runtime (SetFault); switching closes every tracked
+// connection so a keep-alive pool warmed under the old fault cannot
+// bypass the new one. Jitter draws from a seeded PRNG, so a chaos run
+// that finds a bug replays bit-for-bit from its seed.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault modes understood by the proxy.
+const (
+	FaultPass      = "pass"
+	FaultBlackhole = "blackhole"
+	FaultReset     = "reset"
+	FaultLatency   = "latency"
+	FaultTrickle   = "trickle"
+	FaultCut       = "cut"
+)
+
+// Fault describes one fault configuration. The zero value passes
+// traffic untouched.
+type Fault struct {
+	// Mode is one of the Fault* constants; "" means pass.
+	Mode string `json:"mode"`
+	// Latency and Jitter apply in latency mode: each request-direction
+	// write is delayed Latency + uniform[0, Jitter).
+	Latency time.Duration `json:"latency"`
+	Jitter  time.Duration `json:"jitter"`
+	// BytesPerSec is the trickle mode's response byte rate; <= 0
+	// selects 512 B/s.
+	BytesPerSec int `json:"bytes_per_sec"`
+	// CutAfterBytes is how much response body cut mode relays before
+	// slamming the connection; <= 0 selects 64 bytes.
+	CutAfterBytes int64 `json:"cut_after_bytes"`
+}
+
+func (f Fault) withDefaults() (Fault, error) {
+	switch f.Mode {
+	case "":
+		f.Mode = FaultPass
+	case FaultPass, FaultBlackhole, FaultReset, FaultLatency, FaultTrickle, FaultCut:
+	default:
+		return f, fmt.Errorf("chaos: unknown fault mode %q", f.Mode)
+	}
+	if f.Latency <= 0 {
+		f.Latency = 50 * time.Millisecond
+	}
+	if f.BytesPerSec <= 0 {
+		f.BytesPerSec = 512
+	}
+	if f.CutAfterBytes <= 0 {
+		f.CutAfterBytes = 64
+	}
+	return f, nil
+}
+
+// ProxyConfig configures one chaos proxy.
+type ProxyConfig struct {
+	// Name identifies the proxy on the scchaos admin API.
+	Name string
+	// Listen is the address to accept router connections on
+	// (e.g. 127.0.0.1:9201); ":0" picks a free port.
+	Listen string
+	// Target is the backend address to forward to (host:port).
+	Target string
+	// Seed fixes the jitter schedule.
+	Seed int64
+}
+
+// Proxy is a runtime-switchable TCP chaos proxy. Construct with
+// NewProxy, stop with Close.
+type Proxy struct {
+	cfg ProxyConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	fault  Fault
+	rng    *rand.Rand
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy opens the listener and starts accepting. Traffic passes
+// untouched until SetFault installs a fault.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaos: proxy %q needs a target", cfg.Name)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy %q listen: %w", cfg.Name, err)
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		fault: Fault{Mode: FaultPass},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Name returns the proxy's admin identity.
+func (p *Proxy) Name() string { return p.cfg.Name }
+
+// Addr returns the listen address (useful with ":0").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target returns the backend address this proxy forwards to.
+func (p *Proxy) Target() string { return p.cfg.Target }
+
+// Fault returns the currently installed fault.
+func (p *Proxy) Fault() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fault
+}
+
+// SetFault installs a new fault and severs every tracked connection,
+// so a keep-alive pool warmed under the previous fault re-dials
+// through the new one immediately.
+func (p *Proxy) SetFault(f Fault) error {
+	f, err := f.withDefaults()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.fault = f
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Close stops accepting, severs every connection, and waits for the
+// connection goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		p.conns[c] = struct{}{}
+		fault := p.fault
+		// Per-connection jitter source drawn under the lock so the
+		// schedule is deterministic for a given seed and accept order.
+		connSeed := p.rng.Int63()
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handleConn(c, fault, connSeed)
+	}
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// handleConn applies the fault that was installed when the connection
+// arrived. SetFault severs live connections, so a stale fault never
+// outlives a switch.
+func (p *Proxy) handleConn(client net.Conn, fault Fault, seed int64) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	switch fault.Mode {
+	case FaultBlackhole:
+		// Swallow the request and never answer: the router's dial and
+		// write succeed, and only a per-try timeout ends the wait.
+		_, _ = io.Copy(io.Discard, client)
+		return
+	case FaultReset:
+		abort(client)
+		return
+	}
+
+	upstream, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+	rng := rand.New(rand.NewSource(seed))
+
+	var reqDst io.Writer = upstream
+	if fault.Mode == FaultLatency {
+		reqDst = &delayWriter{w: upstream, latency: fault.Latency, jitter: fault.Jitter, rng: rng}
+	}
+
+	done := make(chan struct{}, 2)
+	go func() {
+		_, _ = io.Copy(reqDst, client)
+		// Half-close toward the backend so it sees EOF on the request
+		// stream while the response direction keeps flowing.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		switch fault.Mode {
+		case FaultTrickle:
+			trickle(client, upstream, fault.BytesPerSec)
+		case FaultCut:
+			if n, _ := io.CopyN(client, upstream, fault.CutAfterBytes); n == fault.CutAfterBytes {
+				abort(client)
+			}
+		default:
+			_, _ = io.Copy(client, upstream)
+			if tc, ok := client.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+		}
+		done <- struct{}{}
+	}()
+	// Either direction finishing ends the connection; the deferred
+	// closes unblock the other copier.
+	<-done
+}
+
+// abort closes a connection with SO_LINGER 0, turning the close into a
+// TCP RST rather than an orderly FIN.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// delayWriter injects Latency + uniform[0, Jitter) before each write,
+// modeling a browned-out path: every request chunk crawls.
+type delayWriter struct {
+	w       io.Writer
+	latency time.Duration
+	jitter  time.Duration
+	rng     *rand.Rand
+}
+
+func (d *delayWriter) Write(b []byte) (int, error) {
+	delay := d.latency
+	if d.jitter > 0 {
+		delay += time.Duration(d.rng.Int63n(int64(d.jitter)))
+	}
+	time.Sleep(delay)
+	return d.w.Write(b)
+}
+
+// trickle relays src to dst in 256-byte chunks at roughly bytesPerSec,
+// the slow-loris shape: bytes keep arriving, so idle timeouts never
+// fire, but the body takes unboundedly long to finish.
+func trickle(dst io.Writer, src io.Reader, bytesPerSec int) {
+	const chunk = 256
+	interval := time.Duration(float64(chunk) / float64(bytesPerSec) * float64(time.Second))
+	buf := make([]byte, chunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			time.Sleep(interval)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

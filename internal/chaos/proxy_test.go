@@ -1,0 +1,164 @@
+package chaos
+
+// Chaos-proxy tests against a real HTTP backend: every fault mode
+// produces its characteristic client-visible symptom, and switching
+// faults severs warmed keep-alive connections.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newProxyFixture(t *testing.T, body string) (*Proxy, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	p, err := NewProxy(ProxyConfig{
+		Name:   "t",
+		Listen: "127.0.0.1:0",
+		Target: strings.TrimPrefix(ts.URL, "http://"),
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	// A fresh client per fixture: fault symptoms must not leak between
+	// tests through a shared connection pool.
+	client := &http.Client{Transport: &http.Transport{}}
+	t.Cleanup(client.CloseIdleConnections)
+	return p, client
+}
+
+func getThrough(p *Proxy, client *http.Client, timeout time.Duration) (*http.Response, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.Addr()+"/", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp, string(data), err
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	p, client := newProxyFixture(t, "hello fleet")
+	resp, body, err := getThrough(p, client, 2*time.Second)
+	if err != nil {
+		t.Fatalf("pass mode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || body != "hello fleet" {
+		t.Fatalf("pass mode = %d %q, want 200 %q", resp.StatusCode, body, "hello fleet")
+	}
+}
+
+func TestProxyBlackholeNeverAnswers(t *testing.T) {
+	p, client := newProxyFixture(t, "x")
+	if err := p.SetFault(Fault{Mode: FaultBlackhole}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err := getThrough(p, client, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackhole answered; it must swallow the request")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("blackhole failed fast (%s); only the client timeout may end it", elapsed)
+	}
+}
+
+func TestProxyResetFailsFast(t *testing.T) {
+	p, client := newProxyFixture(t, "x")
+	if err := p.SetFault(Fault{Mode: FaultReset}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err := getThrough(p, client, 2*time.Second)
+	if err == nil {
+		t.Fatal("reset mode produced a response")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("reset took %s; an RST must fail fast", elapsed)
+	}
+}
+
+func TestProxyLatencyDelays(t *testing.T) {
+	p, client := newProxyFixture(t, "slow")
+	if err := p.SetFault(Fault{Mode: FaultLatency, Latency: 120 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, body, err := getThrough(p, client, 5*time.Second)
+	if err != nil {
+		t.Fatalf("latency mode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || body != "slow" {
+		t.Fatalf("latency mode = %d %q", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("latency mode answered in %s; the brownout delay is missing", elapsed)
+	}
+}
+
+func TestProxyTrickleIsSlow(t *testing.T) {
+	// 2 KiB body at 2 KiB/s ≈ 1 s of trickling; a 150 ms budget must
+	// not see the end of it.
+	p, client := newProxyFixture(t, strings.Repeat("z", 2048))
+	if err := p.SetFault(Fault{Mode: FaultTrickle, BytesPerSec: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := getThrough(p, client, 150*time.Millisecond)
+	if err == nil && len(body) == 2048 {
+		t.Fatal("trickle delivered the full body within 150 ms; it must crawl")
+	}
+}
+
+func TestProxyCutMidBody(t *testing.T) {
+	p, client := newProxyFixture(t, strings.Repeat("z", 4096))
+	if err := p.SetFault(Fault{Mode: FaultCut, CutAfterBytes: 200}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := getThrough(p, client, 2*time.Second)
+	if err == nil && len(body) == 4096 {
+		t.Fatal("cut mode delivered the full body")
+	}
+	if len(body) > 300 {
+		t.Fatalf("cut mode relayed %d bytes, want ~200 before the cut", len(body))
+	}
+}
+
+func TestSetFaultSeversWarmConnections(t *testing.T) {
+	p, client := newProxyFixture(t, "warm")
+	// Warm a keep-alive connection under pass mode.
+	if _, _, err := getThrough(p, client, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFault(Fault{Mode: FaultBlackhole}); err != nil {
+		t.Fatal(err)
+	}
+	// The warmed conn is severed, so the retried request re-dials into
+	// the blackhole and times out instead of sneaking through the pool.
+	if _, _, err := getThrough(p, client, 300*time.Millisecond); err == nil {
+		t.Fatal("request after fault switch succeeded through a stale pooled connection")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	p, _ := newProxyFixture(t, "x")
+	if err := p.SetFault(Fault{Mode: "melt"}); err == nil {
+		t.Fatal("unknown fault mode accepted")
+	}
+}

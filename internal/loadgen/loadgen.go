@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,25 @@ type Config struct {
 	Client *http.Client
 	// NDJSON, when set, receives one JSON line per finished request.
 	NDJSON io.Writer
+	// Events are scheduled control actions fired from the arrival loop
+	// mid-run — the chaos harness uses them to flip proxy faults (kill
+	// a backend at +4 s, restore it at +10 s) on the same clock the
+	// load records use, so windowed assertions line up with the faults
+	// that caused them.
+	Events []ScheduledEvent
+}
+
+// ScheduledEvent is one control action on the run clock: an HTTP
+// request sent when the arrival loop first passes At.
+type ScheduledEvent struct {
+	// At is the offset from run start.
+	At time.Duration
+	// Method defaults to POST when a Body is set, GET otherwise.
+	Method string
+	// URL is absolute (events usually target an admin API, not Target).
+	URL string
+	// Body is sent as JSON when non-empty.
+	Body string
 }
 
 func (c Config) withDefaults() Config {
@@ -136,7 +156,13 @@ type record struct {
 	Profile   string  `json:"profile"`
 	Code      int     `json:"code"` // 0 = transport error
 	LatencyMS float64 `json:"latency_ms"`
-	Error     string  `json:"error,omitempty"`
+	// Origin labels 5xx responses with the layer that produced them,
+	// from the router's X-SCRoute-Origin header: "router" for errors
+	// scroute originated (no healthy backend, expired deadline),
+	// "upstream" for backend failures it relayed. Empty off the 5xx
+	// path or when loading a bare scserved with no router in front.
+	Origin string `json:"origin,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Run executes one open-loop load run and reports what came back. It
@@ -169,6 +195,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		enc = json.NewEncoder(cfg.NDJSON)
 	}
 
+	events := append([]ScheduledEvent(nil), cfg.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	nextEvent := 0
+
 	start := time.Now()
 	interval := float64(time.Second) / cfg.RPS
 	total := int(float64(cfg.Duration) / interval)
@@ -181,6 +211,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				return rep, nil
 			case <-time.After(wait):
 			}
+		}
+
+		// Fire control events that have come due on the run clock. They
+		// run async so a slow admin API cannot skew the arrival schedule.
+		for nextEvent < len(events) && time.Since(start) >= events[nextEvent].At {
+			ev := events[nextEvent]
+			nextEvent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fireEvent(ctx, cfg.Client, ev)
+			}()
 		}
 
 		// Draw the descriptor unconditionally so the sequence stays
@@ -218,6 +260,34 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, ctx.Err()
 }
 
+// fireEvent sends one scheduled control action.
+func fireEvent(ctx context.Context, client *http.Client, ev ScheduledEvent) {
+	method := ev.Method
+	if method == "" {
+		method = http.MethodGet
+		if ev.Body != "" {
+			method = http.MethodPost
+		}
+	}
+	var body io.Reader
+	if ev.Body != "" {
+		body = bytes.NewReader([]byte(ev.Body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, ev.URL, body)
+	if err != nil {
+		return
+	}
+	if ev.Body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
 // fire sends one request and classifies the outcome.
 func fire(ctx context.Context, cfg Config, d descriptor, spec []byte, start time.Time) record {
 	rec := record{
@@ -250,8 +320,20 @@ func fire(ctx context.Context, cfg Config, d descriptor, spec []byte, start time
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	rec.Code = resp.StatusCode
+	if resp.StatusCode >= 500 {
+		rec.Origin = resp.Header.Get(originHeader)
+	}
 	return rec
 }
+
+// originHeader mirrors route.OriginHeader: the router labels every 5xx
+// it writes with the layer that produced it, which is what lets chaos
+// assertions distinguish "the router gave up" from "a backend relayed
+// its own failure".
+const (
+	originHeader = "X-SCRoute-Origin"
+	originRouter = "router"
+)
 
 // requestBody renders the JSON body for one descriptor.
 func requestBody(d descriptor, spec []byte, batchItems int) ([]byte, error) {
@@ -281,9 +363,15 @@ type EndpointStats struct {
 	Sent      uint64
 	OK        uint64 // 2xx
 	Shed      uint64 // 429
-	ServerErr uint64 // 5xx
-	ClientErr uint64 // other 4xx
-	Transport uint64 // no response at all
+	ServerErr uint64 // 5xx, total of the origin split below
+	// RouterErr counts 5xx the router originated (X-SCRoute-Origin:
+	// router — no healthy backend, expired deadline); UpstreamErr
+	// counts backend 5xx, relayed through the router or answered
+	// directly by a bare scserved.
+	RouterErr   uint64
+	UpstreamErr uint64
+	ClientErr   uint64 // other 4xx
+	Transport   uint64 // no response at all
 
 	admitted *obs.Histogram // latency of 2xx responses, seconds
 	all      *obs.Histogram // latency of every response, seconds
@@ -306,6 +394,18 @@ type Report struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*EndpointStats
+	// samples keeps one (offset, outcome) tuple per finished request so
+	// windowed assertions — "error rate after the ejection settles",
+	// "zero 5xx post-failover" — can slice the run by its own clock.
+	samples []sample
+}
+
+// sample is one finished request on the run clock.
+type sample struct {
+	offset  time.Duration
+	code    int // 0 = transport error
+	origin  string
+	latency time.Duration
 }
 
 func newReport(cfg Config) *Report {
@@ -331,6 +431,12 @@ func (r *Report) observe(endpoint string, rec record) {
 	secs := rec.LatencyMS / 1000
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.samples = append(r.samples, sample{
+		offset:  time.Duration(rec.OffsetMS * float64(time.Millisecond)),
+		code:    rec.Code,
+		origin:  rec.Origin,
+		latency: time.Duration(rec.LatencyMS * float64(time.Millisecond)),
+	})
 	e := r.endpoint(endpoint)
 	e.Sent++
 	switch {
@@ -344,10 +450,44 @@ func (r *Report) observe(endpoint string, rec record) {
 		e.Shed++
 	case rec.Code >= 500:
 		e.ServerErr++
+		if rec.Origin == originRouter {
+			e.RouterErr++
+		} else {
+			e.UpstreamErr++
+		}
 	default:
 		e.ClientErr++
 	}
 	e.all.Observe(secs)
+}
+
+// FailuresAfter counts client-visible failures (5xx or transport
+// error) among requests that arrived at or after cutoff on the run
+// clock, along with how many arrived in that window. Shed 429s are the
+// admission layer working, not failing, and do not count.
+func (r *Report) FailuresAfter(cutoff time.Duration) (failures, total uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.samples {
+		if s.offset < cutoff {
+			continue
+		}
+		total++
+		if s.code == 0 || s.code >= 500 {
+			failures++
+		}
+	}
+	return failures, total
+}
+
+// ErrorRateAfter is the client-visible failure fraction among requests
+// arriving at or after cutoff; 0 when nothing arrived in the window.
+func (r *Report) ErrorRateAfter(cutoff time.Duration) float64 {
+	failures, total := r.FailuresAfter(cutoff)
+	if total == 0 {
+		return 0
+	}
+	return float64(failures) / float64(total)
 }
 
 // Endpoints returns a snapshot copy of the per-endpoint stats.
@@ -372,6 +512,17 @@ func (r *Report) Totals() (sent, ok, shed, serverErr, clientErr, transport uint6
 		serverErr += e.ServerErr
 		clientErr += e.ClientErr
 		transport += e.Transport
+	}
+	return
+}
+
+// ErrOrigins splits the 5xx total by the layer that produced it.
+func (r *Report) ErrOrigins() (routerErr, upstreamErr uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.endpoints {
+		routerErr += e.RouterErr
+		upstreamErr += e.UpstreamErr
 	}
 	return
 }

@@ -20,15 +20,20 @@ func ms(s obs.HistogramSnapshot, q float64) string {
 }
 
 // WriteSummary writes the run header and per-endpoint outcome table.
+// The 5xx column splits by origin — router-originated errors ("the
+// router gave up": no healthy backend, expired deadline) versus
+// upstream failures a backend produced itself — so chaos assertions
+// can target the layer that actually failed.
 func (r *Report) WriteSummary(w io.Writer) {
 	sent, ok, shed, serverErr, clientErr, transport := r.Totals()
+	routerErr, upstreamErr := r.ErrOrigins()
 	fmt.Fprintf(w, "target: %s  seed: %d  rps: %g  duration: %s  elapsed: %s\n",
 		r.Target, r.Seed, r.RPS, r.Duration, r.Elapsed.Round(1e6))
-	fmt.Fprintf(w, "sent: %d  2xx: %d  429: %d  4xx: %d  5xx: %d  transport-errors: %d  skipped: %d  shed: %.1f%%\n\n",
-		sent, ok, shed, clientErr, serverErr, transport, r.Skipped, 100*r.ShedFraction())
+	fmt.Fprintf(w, "sent: %d  2xx: %d  429: %d  4xx: %d  5xx: %d (router: %d, upstream: %d)  transport-errors: %d  skipped: %d  shed: %.1f%%\n\n",
+		sent, ok, shed, clientErr, serverErr, routerErr, upstreamErr, transport, r.Skipped, 100*r.ShedFraction())
 
-	fmt.Fprintln(w, "| endpoint | sent | 2xx | 429 | 4xx | 5xx | net err | p50 ms | p90 ms | p99 ms |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|")
+	fmt.Fprintln(w, "| endpoint | sent | 2xx | 429 | 4xx | 5xx router | 5xx upstream | net err | p50 ms | p90 ms | p99 ms |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|---|")
 	eps := r.Endpoints()
 	names := make([]string, 0, len(eps))
 	for name := range eps {
@@ -38,8 +43,8 @@ func (r *Report) WriteSummary(w io.Writer) {
 	for _, name := range names {
 		e := eps[name]
 		adm := e.Admitted()
-		fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d | %s | %s | %s |\n",
-			name, e.Sent, e.OK, e.Shed, e.ClientErr, e.ServerErr, e.Transport,
+		fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+			name, e.Sent, e.OK, e.Shed, e.ClientErr, e.RouterErr, e.UpstreamErr, e.Transport,
 			ms(adm, 0.50), ms(adm, 0.90), ms(adm, 0.99))
 	}
 	fmt.Fprintf(w, "\nadmitted p99 across endpoints: %.1f ms\n", r.AdmittedP99()*1000)

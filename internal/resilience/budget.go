@@ -1,0 +1,110 @@
+package resilience
+
+// Budget is a retry/hedge token budget in the SRE retry-budget style:
+// every primary (first-attempt) request earns a fraction of a token,
+// and every extra attempt — a failover retry or a speculative hedge —
+// must spend a whole one. Under healthy traffic the bucket stays full
+// and extra attempts are free; under a fleet-wide brownout the bucket
+// drains and the fleet degrades to single-attempt behavior instead of
+// multiplying offered load into a retry storm. With ratio r and burst
+// b, attempted/offered can never exceed (1 + r) + b/offered — the
+// bound the fleet chaos acceptance pins at 1.2×.
+//
+// The budget is deliberately clock-free: refill is driven by primary
+// traffic, not time, so a quiet fleet does not bank an unbounded storm
+// allowance and tests need no fake clock.
+
+import "sync"
+
+// BudgetConfig tunes a Budget. The zero value is usable.
+type BudgetConfig struct {
+	// Ratio is the fraction of a token earned per primary request;
+	// <= 0 selects 0.1 (one extra attempt allowed per ten primaries).
+	Ratio float64
+	// Burst caps banked tokens and is also the initial balance, so a
+	// cold start can absorb a short failure burst; <= 0 selects 10.
+	Burst float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Ratio <= 0 {
+		c.Ratio = 0.1
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	return c
+}
+
+// BudgetStats is a snapshot of the budget's counters.
+type BudgetStats struct {
+	Primaries uint64  // primary requests observed (each earns Ratio tokens)
+	Granted   uint64  // extra attempts the budget paid for
+	Denied    uint64  // extra attempts refused for lack of tokens
+	Tokens    float64 // current balance
+}
+
+// Budget is a concurrency-safe retry/hedge token bucket. Construct
+// with NewBudget; share one instance between every caller that can
+// multiply load (failover retries and hedges draw from the same pool).
+type Budget struct {
+	cfg BudgetConfig
+
+	mu     sync.Mutex
+	tokens float64
+	stats  BudgetStats
+}
+
+// NewBudget builds a budget with a full bucket.
+func NewBudget(cfg BudgetConfig) *Budget {
+	cfg = cfg.withDefaults()
+	return &Budget{cfg: cfg, tokens: cfg.Burst}
+}
+
+// OnPrimary records one primary request, earning Ratio tokens up to
+// the burst cap. Call it once per offered request, not per attempt.
+func (b *Budget) OnPrimary() {
+	b.mu.Lock()
+	b.stats.Primaries++
+	b.tokens += b.cfg.Ratio
+	if b.tokens > b.cfg.Burst {
+		b.tokens = b.cfg.Burst
+	}
+	b.mu.Unlock()
+}
+
+// TryAcquire spends one token for an extra attempt. It never blocks:
+// false means the budget is exhausted and the caller must make do with
+// the attempts it already has. The whole-token check tolerates float
+// accumulation error (ten 0.1-refills must buy one token).
+func (b *Budget) TryAcquire() bool {
+	const eps = 1e-9
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1-eps {
+		b.stats.Denied++
+		return false
+	}
+	b.tokens--
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+	b.stats.Granted++
+	return true
+}
+
+// Tokens returns the current balance.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Stats returns a snapshot of the budget's counters.
+func (b *Budget) Stats() BudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.Tokens = b.tokens
+	return st
+}

@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBudgetColdStartBurst: a fresh budget starts with a full bucket so
+// a cold-start failure burst can still fail over.
+func TestBudgetColdStartBurst(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 0.1, Burst: 3})
+	for i := 0; i < 3; i++ {
+		if !b.TryAcquire() {
+			t.Fatalf("acquire %d refused on a full cold-start bucket", i)
+		}
+	}
+	if b.TryAcquire() {
+		t.Fatal("acquire past burst must be refused")
+	}
+	st := b.Stats()
+	if st.Granted != 3 || st.Denied != 1 {
+		t.Fatalf("stats = %+v, want 3 granted / 1 denied", st)
+	}
+}
+
+// TestBudgetRefillByPrimaries: tokens refill as a fraction of primary
+// requests — ten primaries at ratio 0.1 buy one retry.
+func TestBudgetRefillByPrimaries(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 0.1, Burst: 5})
+	for b.TryAcquire() { // drain the cold-start burst
+	}
+	for i := 0; i < 9; i++ {
+		b.OnPrimary()
+	}
+	if b.TryAcquire() {
+		t.Fatal("0.9 tokens must not buy a retry")
+	}
+	b.OnPrimary()
+	if !b.TryAcquire() {
+		t.Fatal("10 primaries at ratio 0.1 must buy exactly one retry")
+	}
+	if b.TryAcquire() {
+		t.Fatal("the one earned token is spent; next acquire must fail")
+	}
+}
+
+// TestBudgetBurstCap: banked tokens never exceed Burst no matter how
+// long traffic stays healthy.
+func TestBudgetBurstCap(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 1, Burst: 2})
+	for i := 0; i < 100; i++ {
+		b.OnPrimary()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %g, want capped at 2", got)
+	}
+}
+
+// TestBudgetStormBound: the attempted/offered multiplication bound —
+// with ratio r and burst b, extra attempts over N offered requests can
+// never exceed r*N + b, even when every request wants a retry.
+func TestBudgetStormBound(t *testing.T) {
+	const offered = 1000
+	cfg := BudgetConfig{Ratio: 0.1, Burst: 10}
+	b := NewBudget(cfg)
+	extra := 0
+	for i := 0; i < offered; i++ {
+		b.OnPrimary()
+		if b.TryAcquire() { // brownout: every request asks for a retry
+			extra++
+		}
+	}
+	bound := int(cfg.Ratio*offered + cfg.Burst)
+	if extra > bound {
+		t.Fatalf("%d extra attempts over %d offered exceeds the %d bound", extra, offered, bound)
+	}
+	// And the ratio the acceptance pins: attempted/offered <= 1.2 here.
+	if ratio := float64(offered+extra) / float64(offered); ratio > 1.2+1e-9 {
+		t.Fatalf("attempted/offered = %.3f, want <= 1.2", ratio)
+	}
+}
+
+// TestBudgetConcurrent: hammer the budget from many goroutines under
+// -race and check conservation: granted <= ratio*primaries + burst.
+func TestBudgetConcurrent(t *testing.T) {
+	cfg := BudgetConfig{Ratio: 0.5, Burst: 4}
+	b := NewBudget(cfg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.OnPrimary()
+				b.TryAcquire()
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if max := cfg.Ratio*float64(st.Primaries) + cfg.Burst; float64(st.Granted) > max {
+		t.Fatalf("granted %d exceeds earned %g", st.Granted, max)
+	}
+	if st.Tokens < 0 || st.Tokens > cfg.Burst {
+		t.Fatalf("balance %g outside [0, %g]", st.Tokens, cfg.Burst)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 type metrics struct {
@@ -21,8 +22,13 @@ type metrics struct {
 	backendRequests map[string]uint64 // "backend|code" -> count; code "error" = transport failure
 	ejections       map[string]uint64 // backend -> breaker trips into open
 
-	retries   atomic.Uint64 // forwards re-sent to a lower-ranked backend
-	noBackend atomic.Uint64 // requests that exhausted every backend
+	retries         atomic.Uint64 // forwards re-sent to a lower-ranked backend
+	noBackend       atomic.Uint64 // requests that exhausted every backend
+	hedges          atomic.Uint64 // speculative second attempts launched
+	hedgeWins       atomic.Uint64 // hedges whose response was relayed
+	budgetExhausted atomic.Uint64 // retries/hedges refused by the token budget
+	tryTimeouts     atomic.Uint64 // forwards killed by the per-try timeout
+	deadlineExpired atomic.Uint64 // requests arriving with a spent deadline budget
 
 	upstream *obs.Histogram // seconds per successful forward
 }
@@ -62,8 +68,8 @@ func (m *metrics) observeEjection(backend string) {
 
 // render writes the exposition. healthy maps each backend name to its
 // current eligibility so the gauge reflects live breaker state rather
-// than a counter.
-func (m *metrics) render(w io.Writer, healthy map[string]bool) {
+// than a counter; budget is a live snapshot of the retry/hedge bucket.
+func (m *metrics) render(w io.Writer, healthy map[string]bool, budget resilience.BudgetStats) {
 	m.mu.Lock()
 	requests := sortedKeys(m.requests)
 	backendReqs := sortedKeys(m.backendRequests)
@@ -95,7 +101,7 @@ func (m *metrics) render(w io.Writer, healthy map[string]bool) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Fprintln(w, "# HELP scroute_backend_healthy Whether the backend is currently eligible for forwards (breaker not open).")
+	fmt.Fprintln(w, "# HELP scroute_backend_healthy Whether the backend is currently eligible for forwards (last poll passed, breaker not open).")
 	fmt.Fprintln(w, "# TYPE scroute_backend_healthy gauge")
 	for _, name := range names {
 		v := 0
@@ -113,7 +119,31 @@ func (m *metrics) render(w io.Writer, healthy map[string]bool) {
 	fmt.Fprintln(w, "# TYPE scroute_no_backend_total counter")
 	fmt.Fprintf(w, "scroute_no_backend_total %d\n", m.noBackend.Load())
 
-	fmt.Fprintln(w, "# HELP scroute_upstream_seconds Latency of successful forwards, send to last response byte.")
+	fmt.Fprintln(w, "# HELP scroute_hedges_total Speculative second attempts launched after the hedge delay.")
+	fmt.Fprintln(w, "# TYPE scroute_hedges_total counter")
+	fmt.Fprintf(w, "scroute_hedges_total %d\n", m.hedges.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_hedge_wins_total Hedged attempts whose response was the one relayed to the client.")
+	fmt.Fprintln(w, "# TYPE scroute_hedge_wins_total counter")
+	fmt.Fprintf(w, "scroute_hedge_wins_total %d\n", m.hedgeWins.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_retry_budget_exhausted_total Failover retries and hedges refused because the token budget was spent.")
+	fmt.Fprintln(w, "# TYPE scroute_retry_budget_exhausted_total counter")
+	fmt.Fprintf(w, "scroute_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_try_timeouts_total Forwards killed by the per-try timeout (gray-failure detector).")
+	fmt.Fprintln(w, "# TYPE scroute_try_timeouts_total counter")
+	fmt.Fprintf(w, "scroute_try_timeouts_total %d\n", m.tryTimeouts.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_deadline_expired_total Requests whose propagated X-SCBill-Deadline-Ms was already spent on arrival.")
+	fmt.Fprintln(w, "# TYPE scroute_deadline_expired_total counter")
+	fmt.Fprintf(w, "scroute_deadline_expired_total %d\n", m.deadlineExpired.Load())
+
+	fmt.Fprintln(w, "# HELP scroute_retry_budget_tokens Current balance of the shared retry/hedge token bucket.")
+	fmt.Fprintln(w, "# TYPE scroute_retry_budget_tokens gauge")
+	fmt.Fprintf(w, "scroute_retry_budget_tokens %g\n", budget.Tokens)
+
+	fmt.Fprintln(w, "# HELP scroute_upstream_seconds Latency of successful forwards, send to response headers.")
 	fmt.Fprintln(w, "# TYPE scroute_upstream_seconds histogram")
 	m.upstream.Snapshot().WriteProm(w, "scroute_upstream_seconds", "")
 }

@@ -9,21 +9,49 @@ package route
 // backend will reject anyway) round-robin instead.
 //
 // Membership is health-aware: a per-backend resilience.Breaker absorbs
-// both forward outcomes and background /readyz polls. Transport errors
-// and 502/503 responses count as failures; FailureThreshold of them in
-// a row eject the backend (breaker opens) and the poll loop's next
-// Allow after the cooldown doubles as the readmission probe. While a
-// backend is ejected, its keys fail over to the next backend in their
-// rendezvous order — and snap back, cache intact, on readmission.
+// both forward outcomes and background /readyz polls. Transport errors,
+// per-try timeouts, and 502/503 responses count as failures;
+// FailureThreshold of them in a row eject the backend (breaker opens)
+// and the poll loop's next Allow after the cooldown doubles as the
+// readmission probe. While a backend is ejected, its keys fail over to
+// the next backend in their rendezvous order — and snap back, cache
+// intact, on readmission.
+//
+// Gray failures — a backend that accepts connections but answers
+// slowly or never — are handled by three mechanisms the crash path
+// alone cannot provide:
+//
+//   - every forward runs under a per-try timeout derived from the
+//     remaining request deadline split across the backends left in the
+//     preference order, so a hung backend counts as a breaker failure
+//     and the request moves down the ranking instead of stalling;
+//   - idempotent requests are hedged: after a p95-based delay (per
+//     backend, from a decaying latency digest fed by the same
+//     observation point as the upstream histogram) one speculative
+//     second attempt goes to the next-ranked backend, first usable
+//     response wins, the loser is canceled;
+//   - failover retries and hedges share one resilience.Budget token
+//     bucket refilled as a fraction of primary requests, so a
+//     fleet-wide brownout degrades to single-attempt behavior instead
+//     of a retry storm.
+//
+// The router stamps X-SCBill-Deadline-Ms (the remaining budget) on
+// every forward; backends parse it into the request context and stop
+// evaluating bills the caller has already abandoned.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +64,22 @@ import (
 // bound.
 const maxBodyBytes = 16 << 20
 
+// DeadlineHeader carries the remaining request budget downstream in
+// integer milliseconds. The router stamps it on every forward;
+// internal/serve parses it into the request context.
+const DeadlineHeader = "X-SCBill-Deadline-Ms"
+
+// OriginHeader labels error responses with the layer that produced
+// them, so load harness assertions can target the right one: "router"
+// for errors the router originated (no healthy backend, deadline
+// expired, retry budget spent), "upstream" for backend 502/503s the
+// router relays truthfully.
+const (
+	OriginHeader   = "X-SCRoute-Origin"
+	OriginRouter   = "router"
+	OriginUpstream = "upstream"
+)
+
 // Config tunes a Router. Backends is required; everything else has a
 // usable zero value.
 type Config struct {
@@ -46,22 +90,71 @@ type Config struct {
 	// Client issues forwards and health polls; nil selects a client
 	// with no overall timeout (per-request contexts bound forwards).
 	Client *http.Client
-	// PollInterval is the /readyz poll cadence; <= 0 selects 1 s.
+	// PollInterval is the /readyz poll cadence; <= 0 selects 1 s. Each
+	// poll loop jitters its own cadence ±10% so fleet probes do not
+	// synchronize.
 	PollInterval time.Duration
 	// FailureThreshold and OpenTimeout tune each backend's breaker;
 	// zero values select resilience defaults (5 failures, 30 s).
 	FailureThreshold int
 	OpenTimeout      time.Duration
+	// RequestTimeout bounds one proxied request end to end when the
+	// client sends no X-SCBill-Deadline-Ms of its own; <= 0 selects
+	// 30 s. A client header below it tightens the deadline.
+	RequestTimeout time.Duration
+	// TryTimeoutFloor and TryTimeoutCeil clamp the per-try timeout,
+	// which is the remaining deadline split evenly across the backends
+	// left in the preference order. The floor keeps a near-deadline
+	// request from starving its last try; the ceiling is the gray-
+	// failure detector — a backend slower than it counts as a breaker
+	// failure. <= 0 select 250 ms and 10 s.
+	TryTimeoutFloor time.Duration
+	TryTimeoutCeil  time.Duration
+	// HedgeDelayFloor floors the p95-based hedge delay so an empty or
+	// very fast digest cannot hedge every request; <= 0 selects 25 ms.
+	HedgeDelayFloor time.Duration
+	// DisableHedge turns speculative second attempts off; failover
+	// retries after hard failures still run, budget permitting.
+	DisableHedge bool
+	// BudgetRatio and BudgetBurst tune the shared retry/hedge token
+	// budget; zero values select the resilience defaults (0.1 tokens
+	// earned per primary request, burst 10).
+	BudgetRatio float64
+	BudgetBurst float64
 	// Logger, when set, logs ejections and readmissions.
 	Logger *slog.Logger
 }
 
-// backend is one ring member: its identity, breaker, and last-poll
-// readiness (exported on /metrics; eligibility is the breaker's call).
+func (c Config) withDefaults() Config {
+	if c.PollInterval <= 0 {
+		c.PollInterval = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TryTimeoutFloor <= 0 {
+		c.TryTimeoutFloor = 250 * time.Millisecond
+	}
+	if c.TryTimeoutCeil <= 0 {
+		c.TryTimeoutCeil = 10 * time.Second
+	}
+	if c.TryTimeoutCeil < c.TryTimeoutFloor {
+		c.TryTimeoutCeil = c.TryTimeoutFloor
+	}
+	if c.HedgeDelayFloor <= 0 {
+		c.HedgeDelayFloor = 25 * time.Millisecond
+	}
+	return c
+}
+
+// backend is one ring member: its identity, breaker, last-poll
+// readiness (exported on /metrics; eligibility is the breaker's call),
+// and the decaying latency digest the hedge delay is derived from.
 type backend struct {
 	name    string
 	breaker *resilience.Breaker
 	ready   atomic.Bool
+	latency digest
 }
 
 // Router is an http.Handler that forwards requests to a fleet of
@@ -73,6 +166,7 @@ type Router struct {
 	backends []*backend
 	names    []string
 	byName   map[string]*backend
+	budget   *resilience.Budget
 	rr       atomic.Uint64
 	metrics  *metrics
 	mux      *http.ServeMux
@@ -83,13 +177,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("route: no backends configured")
 	}
-	if cfg.PollInterval <= 0 {
-		cfg.PollInterval = time.Second
-	}
+	cfg = cfg.withDefaults()
 	rt := &Router{
 		cfg:     cfg,
 		client:  cfg.Client,
 		byName:  make(map[string]*backend, len(cfg.Backends)),
+		budget:  resilience.NewBudget(resilience.BudgetConfig{Ratio: cfg.BudgetRatio, Burst: cfg.BudgetBurst}),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
@@ -152,32 +245,54 @@ func (rt *Router) Start(ctx context.Context) {
 // is canceled. While the breaker is open the Allow call is rejected
 // (the backend stays ejected for free); the first Allow after the
 // cooldown claims the half-open probe slot, so the poll cadence is
-// also the readmission cadence.
+// also the readmission cadence. Each wait is jittered ±10% (seeded
+// from the backend's ring identity, so a fleet's cadences are distinct
+// but reproducible) to keep the fleet's probes from synchronizing into
+// a thundering herd on a recovering backend.
 func (rt *Router) pollLoop(ctx context.Context, b *backend) {
-	t := time.NewTicker(rt.cfg.PollInterval)
-	defer t.Stop()
+	rng := newPollRNG(b.name)
 	rt.pollOnce(ctx, b)
+	t := time.NewTimer(jitteredInterval(rt.cfg.PollInterval, rng))
+	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
 			rt.pollOnce(ctx, b)
+			t.Reset(jitteredInterval(rt.cfg.PollInterval, rng))
 		}
 	}
 }
 
+// newPollRNG seeds one backend's jitter source from its ring identity,
+// so a fleet's poll cadences are distinct but reproducible.
+func newPollRNG(name string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(score(name, "poll-jitter"))))
+}
+
+// jitteredInterval spreads d uniformly over ±10%.
+func jitteredInterval(d time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*rng.Float64()))
+}
+
+// pollOnce sends one /readyz probe. The request is constructed before
+// the breaker is consulted: a local construction error says nothing
+// about the backend's health, so it must neither count as a breaker
+// failure nor burn the half-open probe slot.
 func (rt *Router) pollOnce(ctx context.Context, b *backend) {
-	done, err := b.breaker.Allow()
-	if err != nil {
-		return // open and cooling down: stay ejected
-	}
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.PollInterval)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.name+"/readyz", nil)
 	if err != nil {
-		done(false)
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Warn("poll request construction failed", "backend", b.name, "err", err)
+		}
 		return
+	}
+	done, err := b.breaker.Allow()
+	if err != nil {
+		return // open and cooling down: stay ejected
 	}
 	resp, err := rt.client.Do(req)
 	ok := err == nil && resp.StatusCode == http.StatusOK
@@ -189,10 +304,18 @@ func (rt *Router) pollOnce(ctx context.Context, b *backend) {
 	done(ok)
 }
 
-// eligible reports whether the backend currently accepts forwards: its
-// breaker is not open. (Half-open counts — a forward is as good a
-// probe as a poll.)
-func (b *backend) eligible() bool { return b.breaker.State() != resilience.Open }
+// eligible reports whether the backend currently accepts forwards: the
+// last /readyz poll passed and its breaker is not open. (Half-open
+// counts — a forward is as good a probe as a poll.) Gating on the poll
+// result matters for gray failure: a browned-out backend whose hedged
+// losers keep getting canceled (recorded as breaker successes, so the
+// failure streak never builds) is still pulled from rotation within
+// one poll period, because its probes run under the poll-interval
+// timeout and fail. Without polls (Start not called) ready keeps its
+// optimistic initial value and the breaker alone decides.
+func (b *backend) eligible() bool {
+	return b.ready.Load() && b.breaker.State() != resilience.Open
+}
 
 // healthySet maps every backend to its current eligibility.
 func (rt *Router) healthySet() map[string]bool {
@@ -217,12 +340,12 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
-	writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+	writeRouterError(w, http.StatusServiceUnavailable, "no healthy backend")
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	rt.metrics.render(w, rt.healthySet())
+	rt.metrics.render(w, rt.healthySet(), rt.budget.Stats())
 }
 
 // routingKey derives the consistent-hash key from a request body: the
@@ -273,94 +396,409 @@ func (rt *Router) order(body []byte) []string {
 	return out
 }
 
-// handleProxy forwards one request along its preference order. A
-// transport error or 502/503 counts against the backend's breaker and
-// moves on to the next eligible backend; any other response — 200s,
-// 400s, and crucially 429 shed — relays as-is and counts as backend
-// success. When every backend fails, the last upstream 502/503 relays
-// (it is the truth); with no response at all the router answers 502.
+// hedgeable reports whether a request may be speculatively duplicated:
+// reads, and the POST endpoints that are pure computations over their
+// body (billing, advice, optimization) — re-issuing them has no side
+// effect beyond the compute itself.
+func hedgeable(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return true
+	case http.MethodPost:
+		switch r.URL.Path {
+		case "/v1/bill", "/v1/bill/batch", "/v1/advise", "/v1/optimize":
+			return true
+		}
+	}
+	return false
+}
+
+// hedgeDelay is how long to wait for a backend before speculating: its
+// observed p95, floored so an empty or very fast digest cannot hedge
+// every request, and capped at the per-try ceiling (past that the try
+// timeout handles it).
+func (rt *Router) hedgeDelay(b *backend) time.Duration {
+	d := time.Duration(b.latency.Quantile(0.95) * float64(time.Second))
+	if d < rt.cfg.HedgeDelayFloor {
+		d = rt.cfg.HedgeDelayFloor
+	}
+	if d > rt.cfg.TryTimeoutCeil {
+		d = rt.cfg.TryTimeoutCeil
+	}
+	return d
+}
+
+// attempt is one in-flight forward and its settled outcome.
+type attempt struct {
+	b        *backend
+	done     func(success bool)
+	cancel   context.CancelFunc
+	hedge    bool
+	resp     *http.Response
+	err      error
+	elapsed  time.Duration
+	timedOut bool
+}
+
+// usable reports whether the attempt produced a response worth
+// relaying: anything but a transport error or a 502/503 (which are
+// failover triggers, not answers — unless every backend agrees).
+func (at *attempt) usable() bool {
+	return at.err == nil &&
+		at.resp.StatusCode != http.StatusBadGateway &&
+		at.resp.StatusCode != http.StatusServiceUnavailable
+}
+
+// proxyState is the per-request forward engine: the preference order,
+// the set of in-flight attempts, and the best failure seen so far.
+type proxyState struct {
+	rt       *Router
+	r        *http.Request
+	body     []byte
+	ctx      context.Context
+	deadline time.Time
+	order    []string
+	idx      int // next candidate in order
+	active   map[*attempt]struct{}
+	inflight int
+	results  chan *attempt
+
+	lastStatus int
+	lastHeader http.Header
+	lastBody   []byte
+}
+
+// handleProxy forwards one request along its preference order with
+// per-try timeouts, budget-gated failover retries and hedges. A
+// transport error, per-try timeout, or 502/503 counts against the
+// backend's breaker and moves on to the next eligible backend; any
+// other response — 200s, 400s, and crucially 429 shed — relays as-is
+// and counts as backend success. When every backend fails, the last
+// upstream 502/503 relays (it is the truth); with no response at all
+// the router answers 502.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		rt.metrics.observeRequest(r.URL.Path, http.StatusBadRequest)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeRouterError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 
-	var (
-		lastStatus int
-		lastHeader http.Header
-		lastBody   []byte
-		tried      int
-	)
-	for _, name := range rt.order(body) {
-		b := rt.byName[name]
-		if !b.eligible() {
-			continue
+	// Request deadline: a propagated X-SCBill-Deadline-Ms tightens the
+	// configured timeout, and a spent one short-circuits to 504 without
+	// touching a backend — there is no point starting work the caller
+	// has already abandoned.
+	budget := rt.cfg.RequestTimeout
+	if ms, ok := incomingDeadline(r.Header); ok {
+		if ms <= 0 {
+			rt.metrics.deadlineExpired.Add(1)
+			rt.metrics.observeRequest(r.URL.Path, http.StatusGatewayTimeout)
+			writeRouterError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("propagated deadline already expired (%d ms remaining)", ms))
+			return
 		}
-		done, err := b.breaker.Allow()
-		if err != nil {
-			continue // lost the race to an ejection or probe slot
+		if d := time.Duration(ms) * time.Millisecond; d < budget {
+			budget = d
 		}
-		if tried > 0 {
-			rt.metrics.retries.Add(1)
-		}
-		tried++
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	deadline, _ := ctx.Deadline()
 
-		start := time.Now()
-		resp, err := rt.forward(r, name, body)
-		if err != nil {
-			rt.metrics.observeBackend(name, 0)
-			done(false)
-			continue
-		}
-		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
-			rt.metrics.observeBackend(name, resp.StatusCode)
-			lastStatus = resp.StatusCode
-			lastHeader = resp.Header
-			lastBody, _ = io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-			resp.Body.Close()
-			done(false)
-			continue
-		}
-
-		rt.metrics.observeBackend(name, resp.StatusCode)
-		code, relayErr := rt.relay(w, resp)
-		rt.metrics.upstream.Observe(time.Since(start).Seconds())
-		// The backend served us fine either way: a relay error means
-		// the CLIENT hung up mid-copy, which must not eject the backend.
-		done(true)
-		if relayErr != nil && rt.cfg.Logger != nil {
-			rt.cfg.Logger.Info("client hangup mid-relay", "backend", name, "path", r.URL.Path)
-		}
-		rt.metrics.observeRequest(r.URL.Path, code)
-		return
+	rt.budget.OnPrimary()
+	st := &proxyState{
+		rt:       rt,
+		r:        r,
+		body:     body,
+		ctx:      ctx,
+		deadline: deadline,
+		order:    rt.order(body),
+		active:   make(map[*attempt]struct{}),
+		results:  make(chan *attempt, len(rt.names)+2),
 	}
 
-	if lastStatus != 0 {
-		copyHeader(w.Header(), lastHeader)
-		w.WriteHeader(lastStatus)
-		_, _ = w.Write(lastBody)
-		rt.metrics.observeRequest(r.URL.Path, lastStatus)
+	first := st.launch(false)
+	if first != nil {
+		st.inflight = 1
+	}
+
+	// One speculative attempt per request: armed at the first
+	// backend's p95 and consumed (or disarmed by the budget) once.
+	var hedgeC <-chan time.Time
+	if first != nil && !rt.cfg.DisableHedge && hedgeable(r) {
+		ht := time.NewTimer(rt.hedgeDelay(first.b))
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	for st.inflight > 0 {
+		select {
+		case <-ctx.Done():
+			st.cancelAndDrain()
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				rt.metrics.observeRequest(r.URL.Path, http.StatusGatewayTimeout)
+				writeRouterError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("request deadline (%s) exhausted before any backend answered", budget))
+			} else {
+				// Client hung up: nobody is left to answer.
+				rt.metrics.observeRequest(r.URL.Path, 499)
+			}
+			return
+		case <-hedgeC:
+			hedgeC = nil
+			if !rt.budget.TryAcquire() {
+				rt.metrics.budgetExhausted.Add(1)
+				continue
+			}
+			if at := st.launch(true); at != nil {
+				st.inflight++
+				rt.metrics.hedges.Add(1)
+			}
+		case at := <-st.results:
+			st.inflight--
+			delete(st.active, at)
+			if at.usable() {
+				st.win(w, at)
+				return
+			}
+			st.fail(at)
+			if st.inflight > 0 || st.idx >= len(st.order) {
+				continue
+			}
+			// Failover retry down the ranking, budget permitting: under
+			// a fleet-wide brownout the budget drains and requests
+			// degrade to single-attempt behavior instead of storming.
+			if !rt.budget.TryAcquire() {
+				rt.metrics.budgetExhausted.Add(1)
+				break
+			}
+			if at := st.launch(false); at != nil {
+				st.inflight++
+				rt.metrics.retries.Add(1)
+			}
+		}
+		if st.inflight == 0 {
+			break
+		}
+	}
+
+	if st.lastStatus != 0 {
+		copyHeader(w.Header(), st.lastHeader)
+		w.Header().Set(OriginHeader, OriginUpstream)
+		w.WriteHeader(st.lastStatus)
+		_, _ = w.Write(st.lastBody)
+		rt.metrics.observeRequest(r.URL.Path, st.lastStatus)
 		return
 	}
 	rt.metrics.noBackend.Add(1)
 	rt.metrics.observeRequest(r.URL.Path, http.StatusBadGateway)
-	writeError(w, http.StatusBadGateway, "no healthy backend")
+	writeRouterError(w, http.StatusBadGateway, "no healthy backend")
 }
 
-// forward sends the buffered request to one backend.
-func (rt *Router) forward(r *http.Request, name string, body []byte) (*http.Response, error) {
+// launch starts one forward to the next eligible backend in the
+// preference order, returning nil when none is left. The per-try
+// timeout is the remaining deadline split across the candidates left
+// (this one included), clamped to [TryTimeoutFloor, TryTimeoutCeil].
+func (st *proxyState) launch(hedge bool) *attempt {
+	rt := st.rt
+	for st.idx < len(st.order) {
+		left := len(st.order) - st.idx
+		name := st.order[st.idx]
+		st.idx++
+		b := rt.byName[name]
+		if !b.eligible() {
+			continue
+		}
+		actx, acancel := context.WithCancel(st.ctx)
+		req, err := rt.buildForward(actx, st.r, name, st.body)
+		if err != nil {
+			// Local construction error: the breaker was never consulted,
+			// so the backend is not penalized for our bad request.
+			acancel()
+			continue
+		}
+		done, berr := b.breaker.Allow()
+		if berr != nil {
+			acancel()
+			continue // lost the race to an ejection or probe slot
+		}
+		at := &attempt{b: b, done: done, cancel: acancel, hedge: hedge}
+		st.active[at] = struct{}{}
+		go rt.runAttempt(at, req, st.tryTimeout(left), st.results)
+		return at
+	}
+	return nil
+}
+
+// tryTimeout splits the remaining deadline across the candidates left,
+// clamped to the configured floor and ceiling.
+func (st *proxyState) tryTimeout(candidatesLeft int) time.Duration {
+	if candidatesLeft < 1 {
+		candidatesLeft = 1
+	}
+	per := time.Until(st.deadline) / time.Duration(candidatesLeft)
+	if per < st.rt.cfg.TryTimeoutFloor {
+		per = st.rt.cfg.TryTimeoutFloor
+	}
+	if per > st.rt.cfg.TryTimeoutCeil {
+		per = st.rt.cfg.TryTimeoutCeil
+	}
+	return per
+}
+
+// runAttempt issues one forward. The per-try timer guards the time to
+// response headers: a hung or browned-out backend trips it, the
+// attempt's context is canceled, and the outcome reports timedOut so
+// the caller counts it as a breaker failure. Once headers are in, the
+// winner's body relay runs under the request deadline, not the per-try
+// clock.
+func (rt *Router) runAttempt(at *attempt, req *http.Request, tryTimeout time.Duration, out chan<- *attempt) {
+	var fired atomic.Bool
+	timer := time.AfterFunc(tryTimeout, func() {
+		fired.Store(true)
+		at.cancel()
+	})
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	timer.Stop()
+	at.elapsed = time.Since(start)
+	if fired.Load() {
+		// The timer fired: even if a response squeaked in, its context
+		// is canceled and the body is poisoned — count it as the
+		// timeout it effectively was.
+		at.timedOut = true
+		if resp != nil {
+			resp.Body.Close()
+			resp = nil
+		}
+		if err == nil {
+			err = fmt.Errorf("route: per-try timeout after %s", tryTimeout)
+		} else {
+			err = fmt.Errorf("route: per-try timeout after %s: %w", tryTimeout, err)
+		}
+	}
+	at.resp, at.err = resp, err
+	out <- at
+}
+
+// win relays the first usable response: cancel the losers, feed the
+// latency digest, and stream the body to the client.
+func (st *proxyState) win(w http.ResponseWriter, at *attempt) {
+	rt := st.rt
+	st.cancelAndDrain()
+	rt.metrics.observeBackend(at.b.name, at.resp.StatusCode)
+	rt.metrics.upstream.Observe(at.elapsed.Seconds())
+	at.b.latency.Observe(at.elapsed.Seconds())
+	if at.hedge {
+		rt.metrics.hedgeWins.Add(1)
+	}
+	code, relayErr := rt.relay(w, at.resp)
+	// The backend served us fine either way: a relay error means the
+	// CLIENT hung up mid-copy, which must not eject the backend.
+	at.done(true)
+	at.cancel()
+	if relayErr != nil && rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("client hangup mid-relay", "backend", at.b.name, "path", st.r.URL.Path)
+	}
+	rt.metrics.observeRequest(st.r.URL.Path, code)
+}
+
+// fail settles one failed attempt: breaker failure, metrics, and —
+// for upstream 502/503 — capture of the most recent relayable truth.
+func (st *proxyState) fail(at *attempt) {
+	rt := st.rt
+	if at.resp != nil {
+		rt.metrics.observeBackend(at.b.name, at.resp.StatusCode)
+		st.lastStatus = at.resp.StatusCode
+		st.lastHeader = at.resp.Header
+		st.lastBody, _ = io.ReadAll(io.LimitReader(at.resp.Body, maxBodyBytes))
+		at.resp.Body.Close()
+	} else {
+		rt.metrics.observeBackend(at.b.name, 0)
+		if at.timedOut {
+			rt.metrics.tryTimeouts.Add(1)
+		}
+	}
+	at.done(false)
+	at.cancel()
+}
+
+// cancelAndDrain cancels every still-active attempt and settles their
+// outcomes on a background goroutine, so a hedge loser's context is
+// released promptly without blocking the client's response.
+func (st *proxyState) cancelAndDrain() {
+	n := 0
+	for at := range st.active {
+		at.cancel()
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	st.active = make(map[*attempt]struct{})
+	results := st.results
+	go func() {
+		for i := 0; i < n; i++ {
+			settleLoser(<-results)
+		}
+	}()
+}
+
+// settleLoser closes out an attempt that lost the race. A response —
+// even a late one — counts as backend success; a cancellation we
+// caused must not be held against the backend; only a genuine failure
+// or per-try timeout counts against the breaker.
+func settleLoser(at *attempt) {
+	switch {
+	case at.resp != nil:
+		at.resp.Body.Close()
+		at.done(!at.timedOut &&
+			at.resp.StatusCode != http.StatusBadGateway &&
+			at.resp.StatusCode != http.StatusServiceUnavailable)
+	case at.timedOut:
+		at.done(false)
+	case errors.Is(at.err, context.Canceled):
+		at.done(true)
+	default:
+		at.done(false)
+	}
+	at.cancel()
+}
+
+// incomingDeadline parses the client's X-SCBill-Deadline-Ms header.
+func incomingDeadline(h http.Header) (ms int64, ok bool) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ms, true
+}
+
+// buildForward constructs the request to one backend, stamping the
+// remaining deadline budget so the backend stops evaluating bills the
+// caller has already abandoned.
+func (rt *Router) buildForward(ctx context.Context, r *http.Request, name string, body []byte) (*http.Request, error) {
 	url := name + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	copyHeader(req.Header, r.Header)
-	return rt.client.Do(req)
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+	return req, nil
 }
 
 // relay copies one upstream response to the client, returning the
@@ -373,12 +811,55 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) (int, error)
 	return resp.StatusCode, err
 }
 
+// hopByHopHeaders are the RFC 9110 §7.6.1 connection-level fields a
+// proxy must consume rather than forward: they describe one TCP hop,
+// and relaying them corrupts the next (a forwarded Transfer-Encoding
+// or Connection: close breaks keep-alive and framing on the far side).
+var hopByHopHeaders = []string{
+	"Connection",
+	"Keep-Alive",
+	"Proxy-Authenticate",
+	"Proxy-Authorization",
+	"Proxy-Connection",
+	"Te",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// copyHeader copies end-to-end headers from src to dst, dropping the
+// hop-by-hop set plus any field nominated by a Connection header (RFC
+// 9110: such fields are hop-by-hop by declaration). Used in both
+// directions — forwarding the client's headers upstream and relaying
+// the backend's headers down.
 func copyHeader(dst, src http.Header) {
+	drop := make(map[string]bool, len(hopByHopHeaders))
+	for _, h := range hopByHopHeaders {
+		drop[h] = true
+	}
+	for _, v := range src.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = textproto.CanonicalMIMEHeaderKey(strings.TrimSpace(name)); name != "" {
+				drop[name] = true
+			}
+		}
+	}
 	for k, vs := range src {
+		if drop[textproto.CanonicalMIMEHeaderKey(k)] {
+			continue
+		}
 		for _, v := range vs {
 			dst.Add(k, v)
 		}
 	}
+}
+
+// writeRouterError writes an error the router itself originated,
+// labeled so load-harness taxonomies can tell it from a relayed
+// upstream failure.
+func writeRouterError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set(OriginHeader, OriginRouter)
+	writeError(w, code, msg)
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

@@ -97,6 +97,12 @@ type metrics struct {
 	// admission slot serves batchItems/batchRequests bills on average.
 	batchRequests atomic.Uint64
 	batchItems    atomic.Uint64
+	// deadlinePropagated counts gated requests that arrived with a
+	// parseable X-SCBill-Deadline-Ms budget from the router;
+	// deadlineExpired counts those whose budget was already spent on
+	// arrival and were refused with 504 before evaluation started.
+	deadlinePropagated atomic.Uint64
+	deadlineExpired    atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -333,6 +339,12 @@ func (m *metrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "# HELP scserved_batch_items_total Items carried by batch bill requests.\n")
 	fmt.Fprintf(w, "# TYPE scserved_batch_items_total counter\n")
 	fmt.Fprintf(w, "scserved_batch_items_total %d\n", m.batchItems.Load())
+	fmt.Fprintf(w, "# HELP scserved_deadline_propagated_total Gated requests carrying a propagated X-SCBill-Deadline-Ms budget.\n")
+	fmt.Fprintf(w, "# TYPE scserved_deadline_propagated_total counter\n")
+	fmt.Fprintf(w, "scserved_deadline_propagated_total %d\n", m.deadlinePropagated.Load())
+	fmt.Fprintf(w, "# HELP scserved_deadline_expired_total Gated requests refused because their propagated deadline was already spent on arrival.\n")
+	fmt.Fprintf(w, "# TYPE scserved_deadline_expired_total counter\n")
+	fmt.Fprintf(w, "scserved_deadline_expired_total %d\n", m.deadlineExpired.Load())
 
 	if pf := s.cfg.PriceFeed; pf != nil {
 		fs := pf.Stats()

@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -244,10 +245,41 @@ func (s *Server) endRequest() {
 	s.mu.Unlock()
 }
 
+// deadlineHeader is the propagated request budget, in integer
+// milliseconds, stamped by scroute on every forward. Parsing it into
+// the request context means a backend stops evaluating bills the
+// caller has already abandoned, and its 504s report the budget it was
+// actually given rather than the configured default.
+const deadlineHeader = "X-SCBill-Deadline-Ms"
+
+// requestBudget resolves the effective deadline for one gated request:
+// the configured RequestTimeout, tightened by a propagated
+// X-SCBill-Deadline-Ms when one is present. expired reports a budget
+// already spent on arrival (<= 0 ms), which short-circuits to 504.
+func (s *Server) requestBudget(r *http.Request) (budget time.Duration, propagated, expired bool) {
+	v := r.Header.Get(deadlineHeader)
+	budget = s.cfg.RequestTimeout
+	if v == "" {
+		return budget, false, false
+	}
+	ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return budget, false, false // unparseable: ignore, keep the default
+	}
+	if ms <= 0 {
+		return 0, true, true
+	}
+	if d := time.Duration(ms) * time.Millisecond; d < budget {
+		budget = d
+	}
+	return budget, true, false
+}
+
 // gated wraps an expensive handler with the service's admission
-// control: drain refusal, the per-request deadline, and the bounded
-// concurrency queue with load shedding. The path selects the endpoint
-// class tracked for the Retry-After estimate.
+// control: drain refusal, the per-request deadline (tightened by a
+// propagated X-SCBill-Deadline-Ms), and the bounded concurrency queue
+// with load shedding. The path selects the endpoint class tracked for
+// the Retry-After estimate.
 func (s *Server) gated(path string, h http.HandlerFunc) http.Handler {
 	class := classFor(path)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +289,17 @@ func (s *Server) gated(path string, h http.HandlerFunc) http.Handler {
 		}
 		defer s.endRequest()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		budget, propagated, expired := s.requestBudget(r)
+		if expired {
+			s.metrics.deadlineExpired.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				"propagated deadline already expired; refusing to start evaluation")
+			return
+		}
+		if propagated {
+			s.metrics.deadlinePropagated.Add(1)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
 		r = r.WithContext(ctx)
 
@@ -299,8 +341,11 @@ func (s *Server) gated(path string, h http.HandlerFunc) http.Handler {
 						"path", path, "request_id", obs.RequestIDFrom(r.Context()))
 				}
 			default:
-				// Deadline expired while queued.
-				writeError(w, http.StatusGatewayTimeout, "timed out waiting for an evaluation slot")
+				// Deadline expired while queued. Report the budget this
+				// request actually had — propagated or configured — so the
+				// 504 is truthful about the time that was available.
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("timed out waiting for an evaluation slot (budget %s)", budget))
 			}
 			return
 		}

@@ -1,0 +1,268 @@
+#!/usr/bin/env bash
+# Fleet chaos harness: boots scserved backends behind scchaos fault
+# proxies, fronts them with scroute, and drives seeded load through the
+# router while scheduled scload events flip a proxy into blackhole or
+# brownout mode mid-run. It asserts the brownout-proofing machinery
+# end to end:
+#
+#   blackhole — a backend that stops answering entirely is detected by
+#     per-try timeouts and failing polls, ejected within the poll
+#     window, and the post-ejection error rate stays under 1% with
+#     zero 5xx after readmission settles.
+#   brownout  — a backend answering 10x slow (400ms +/- 100ms per
+#     write vs a millisecond-scale baseline) is bridged by hedged
+#     requests until the poll signal pulls it from rotation; admitted
+#     p99 stays within 2x the healthy baseline (+25ms measurement
+#     grace), hedges demonstrably engage, and the retry/hedge budget
+#     caps attempted/offered at 1.2x.
+#
+# Usage:
+#   scripts/fleetchaos.sh accept   # 3 backends, blackhole + brownout
+#                                  # phases, writes ACCEPTANCE_fleetchaos.md
+#   scripts/fleetchaos.sh smoke    # 2 backends + 1 proxy, short
+#                                  # blackhole run for CI, writes
+#                                  # fleetchaos-summary.md
+#
+# The router runs with a deliberately low try-timeout ceiling (300ms)
+# and poll interval (250ms): the ceiling is the gray-failure detector
+# (a browned 400ms backend cannot answer inside it) and the poll
+# timeout inherits the interval, so probes through a faulted proxy
+# fail fast and pull the backend from rotation within one poll period.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-accept}"
+BIN=bin
+BASE=19300
+ROUTER_PORT=19320
+ADMIN_PORT=19330
+FRONT="http://127.0.0.1:$ROUTER_PORT"
+ADMIN="http://127.0.0.1:$ADMIN_PORT"
+TMP="$(mktemp -d)"
+
+go build -o $BIN/scserved ./cmd/scserved
+go build -o $BIN/scroute ./cmd/scroute
+go build -o $BIN/scload ./cmd/scload
+go build -o $BIN/scchaos ./cmd/scchaos
+
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_ready() { # url
+    for _ in $(seq 1 100); do
+        if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "fleetchaos: $1 never became ready" >&2
+    return 1
+}
+
+start_backend() { # port
+    $BIN/scserved -addr "127.0.0.1:$1" -max-concurrent 4 -queue 64 \
+        -cache 64 -timeout 20s -log-format off &
+    PIDS+=($!)
+    wait_ready "http://127.0.0.1:$1/readyz"
+}
+
+start_chaos() { # proxy specs...
+    $BIN/scchaos -admin "127.0.0.1:$ADMIN_PORT" -seed 7 "$@" &
+    PIDS+=($!)
+    wait_ready "$ADMIN/healthz"
+}
+
+start_router() { # backend-urls
+    $BIN/scroute -addr "127.0.0.1:$ROUTER_PORT" -backends "$1" \
+        -poll-interval 250ms -failure-threshold 3 -open-timeout 2s \
+        -request-timeout 6s -try-timeout-floor 100ms -try-timeout-ceil 300ms \
+        -hedge-delay-floor 25ms -retry-budget-ratio 0.1 -retry-budget-burst 10 \
+        -log-format off &
+    PIDS+=($!)
+    wait_ready "$FRONT/readyz"
+}
+
+stop_all() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    PIDS=()
+}
+
+# router_metric <family> — sum the family's series (labels collapsed).
+router_metric() {
+    curl -fsS "$FRONT/metrics" | awk -v n="$1" \
+        '$1 == n || index($1, n "{") == 1 {s += $2} END {printf "%d\n", s + 0}'
+}
+
+# fault_event <offset> <json> — an scload -event that POSTs a fault
+# flip to the scchaos admin API at a run-clock offset.
+fault_event() { printf '%s|%s/v1/fault|%s' "$1" "$ADMIN" "$2"; }
+
+# run_load <label> <rps> <duration> <seed> [extra scload flags...]
+run_load() {
+    local label=$1 rps=$2 dur=$3 seed=$4
+    shift 4
+    echo "== $label: $rps rps for $dur against $FRONT"
+    $BIN/scload -target "$FRONT" -rps "$rps" -duration "$dur" -seed "$seed" \
+        -specs 24 -profiles quickstart-month "$@" | tee "$TMP/$label.txt"
+}
+
+p99_ms() { sed -n 's/^admitted p99 across endpoints: \([0-9.]*\) ms$/\1/p' "$TMP/$1.txt"; }
+
+if [ "$MODE" = smoke ]; then
+    OUT=fleetchaos-summary.md
+    DUR="${FLEETCHAOS_DURATION:-12s}"
+    start_backend $((BASE + 1))
+    start_backend $((BASE + 2))
+    start_chaos -proxy "p1=127.0.0.1:$((BASE + 11))@127.0.0.1:$((BASE + 1))"
+    start_router "http://127.0.0.1:$((BASE + 11)),http://127.0.0.1:$((BASE + 2))"
+    run_load smoke 40 "$DUR" 5 \
+        -event "$(fault_event 3s '{"proxy":"p1","mode":"blackhole"}')" \
+        -event "$(fault_event 8s '{"proxy":"p1","mode":"pass"}')" \
+        -assert-error-rate-after 5s:0.02 -assert-zero-5xx-after 6s -assert-p99 5s
+    HEDGES=$(router_metric scroute_hedges_total)
+    TRY_TIMEOUTS=$(router_metric scroute_try_timeouts_total)
+    EJECTIONS=$(router_metric scroute_backend_ejections_total)
+    {
+        echo "# fleetchaos smoke (2 backends, 1 chaos proxy, $DUR)"
+        echo
+        echo "Blackhole on p1 at 3s, restored at 8s. Error rate after 5s < 2%,"
+        echo "zero 5xx after 6s, admitted p99 under 5s."
+        echo
+        echo '```'
+        cat "$TMP/smoke.txt"
+        echo '```'
+        echo
+        echo "Router: $TRY_TIMEOUTS per-try timeouts, $EJECTIONS ejections, $HEDGES hedges."
+    } >"$OUT"
+    echo "fleetchaos smoke: PASS — wrote $OUT"
+    exit 0
+fi
+
+OUT="${FLEETCHAOS_OUT:-ACCEPTANCE_fleetchaos.md}"
+PROXIES="http://127.0.0.1:$((BASE + 11)),http://127.0.0.1:$((BASE + 12)),http://127.0.0.1:$((BASE + 13))"
+
+boot_fleet() {
+    start_backend $((BASE + 1))
+    start_backend $((BASE + 2))
+    start_backend $((BASE + 3))
+    start_chaos \
+        -proxy "p1=127.0.0.1:$((BASE + 11))@127.0.0.1:$((BASE + 1))" \
+        -proxy "p2=127.0.0.1:$((BASE + 12))@127.0.0.1:$((BASE + 2))" \
+        -proxy "p3=127.0.0.1:$((BASE + 13))@127.0.0.1:$((BASE + 3))"
+    start_router "$PROXIES"
+}
+
+# ---- Phase 1: blackhole a backend mid-load. --------------------------
+# p1 stops answering at 4s: per-try timeouts burn its breaker while
+# hedges bridge the in-flight tail, failing polls pull it from rotation
+# within a poll period, and after the restore at 10s a half-open probe
+# readmits it. The windowed assertions are the acceptance criteria:
+# error rate < 1% once the ejection window has passed, zero 5xx after
+# readmission settles.
+boot_fleet
+run_load blackhole 60 18s 11 \
+    -event "$(fault_event 4s '{"proxy":"p1","mode":"blackhole"}')" \
+    -event "$(fault_event 10s '{"proxy":"p1","mode":"pass"}')" \
+    -assert-error-rate-after 7s:0.01 -assert-zero-5xx-after 13s -assert-p99 5s
+BH_TRY_TIMEOUTS=$(router_metric scroute_try_timeouts_total)
+BH_EJECTIONS=$(router_metric scroute_backend_ejections_total)
+BH_HEDGES=$(router_metric scroute_hedges_total)
+BH_ROUTER_5XX=$(grep -oE '5xx: [0-9]+ \(router: [0-9]+' "$TMP/blackhole.txt" | grep -oE '[0-9]+$')
+stop_all
+
+# ---- Phase 2: 10x brownout. ------------------------------------------
+# Fresh fleet: a healthy run fixes the baseline, then the same load
+# repeats with p1 browned out (every write delayed 400ms +/- 100ms)
+# from 3s to the end. The try-timeout ceiling (300ms) sits below the
+# browned latency, so p1 cannot answer inside a try; hedges mask the
+# window until failing polls eject it. Admitted p99 must stay within
+# 2x the healthy baseline (+25ms grace for millisecond-scale noise),
+# hedges must engage, and the budget must cap attempted/offered.
+boot_fleet
+run_load baseline 60 12s 21 -assert-zero-5xx -assert-p99 5s
+BASE_P99="$(p99_ms baseline)"
+BOUND_MS=$(awk -v b="$BASE_P99" 'BEGIN{printf "%d", 2*b + 25}')
+run_load brownout 60 30s 22 \
+    -event "$(fault_event 3s '{"proxy":"p1","mode":"latency","latency_ms":400,"jitter_ms":100}')" \
+    -assert-error-rate-after 6s:0.01 -assert-p99 "${BOUND_MS}ms"
+BR_P99="$(p99_ms brownout)"
+BR_HEDGES=$(router_metric scroute_hedges_total)
+BR_HEDGE_WINS=$(router_metric scroute_hedge_wins_total)
+BR_BUDGET_DENIED=$(router_metric scroute_retry_budget_exhausted_total)
+ATTEMPTED=$(router_metric scroute_backend_requests_total)
+OFFERED=$(router_metric scroute_requests_total)
+stop_all
+
+# ---- Assertions beyond scload's own. ---------------------------------
+fail=0
+if [ "$BH_EJECTIONS" -lt 1 ]; then
+    echo "fleetchaos: FAIL: blackholed backend was never ejected" >&2
+    fail=1
+fi
+if [ "$BR_HEDGES" -lt 1 ]; then
+    echo "fleetchaos: FAIL: no hedges engaged during the brownout" >&2
+    fail=1
+fi
+if ! awk -v a="$ATTEMPTED" -v o="$OFFERED" 'BEGIN{exit !(o > 0 && a <= 1.2 * o)}'; then
+    echo "fleetchaos: FAIL: attempted/offered $ATTEMPTED/$OFFERED above 1.2" >&2
+    fail=1
+fi
+RATIO=$(awk -v a="$ATTEMPTED" -v o="$OFFERED" 'BEGIN{printf "%.3f", o ? a / o : 0}')
+
+{
+    echo "# Fleet chaos acceptance: brownout-proof routing"
+    echo
+    echo "Seeded open-loop load (scload, quickstart-month bills, 24 specs)"
+    echo "through scroute fronting 3 scserved backends, each behind an"
+    echo "scchaos fault proxy. Router: 300ms try-timeout ceiling, 250ms"
+    echo "polls, 25ms hedge-delay floor, retry budget ratio 0.1 burst 10."
+    echo
+    echo "## Phase 1: blackhole (60 rps, 18s; p1 dark from 4s to 10s)"
+    echo
+    echo '```'
+    cat "$TMP/blackhole.txt"
+    echo '```'
+    echo
+    echo "Asserted by scload: error rate after 7s < 1%, zero 5xx after 13s."
+    echo "Router counters: $BH_TRY_TIMEOUTS per-try timeouts, $BH_EJECTIONS"
+    echo "ejections, $BH_HEDGES hedges, $BH_ROUTER_5XX router-originated 5xx."
+    echo
+    echo "## Phase 2: 10x brownout (60 rps; p1 +400ms/write from 3s on)"
+    echo
+    echo "Healthy baseline (12s):"
+    echo
+    echo '```'
+    cat "$TMP/baseline.txt"
+    echo '```'
+    echo
+    echo "Browned run (30s):"
+    echo
+    echo '```'
+    cat "$TMP/brownout.txt"
+    echo '```'
+    echo
+    echo "| check | value | bound | verdict |"
+    echo "|---|---|---|---|"
+    echo "| admitted p99 (browned) | ${BR_P99} ms | 2x baseline ${BASE_P99} ms + 25ms = ${BOUND_MS} ms | asserted by scload |"
+    echo "| hedges engaged | $BR_HEDGES ($BR_HEDGE_WINS won) | > 0 | $([ "$BR_HEDGES" -ge 1 ] && echo pass || echo FAIL) |"
+    echo "| attempted/offered | $ATTEMPTED/$OFFERED = $RATIO | <= 1.2 | $(awk -v a="$ATTEMPTED" -v o="$OFFERED" 'BEGIN{print (o > 0 && a <= 1.2 * o) ? "pass" : "FAIL"}') |"
+    echo "| budget refusals | $BR_BUDGET_DENIED | informational | - |"
+    echo
+    if [ "$fail" = 0 ]; then
+        echo "Verdict: PASS — a dark backend is ejected inside the poll window"
+        echo "with < 1% errors after it and zero 5xx once readmission settles;"
+        echo "a 10x browned backend is bridged by hedges and then ejected, with"
+        echo "admitted p99 inside 2x the healthy baseline and the retry/hedge"
+        echo "budget holding attempted/offered to $RATIO."
+    else
+        echo "Verdict: FAIL — see run log."
+    fi
+} >"$OUT"
+
+echo
+echo "fleetchaos: wrote $OUT"
+exit $fail
