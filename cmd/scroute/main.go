@@ -162,6 +162,9 @@ func run(addr string, rt *route.Router, urls []string) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
+	// The server is drained; wait for the loser-settlement goroutines
+	// so every hedge loser's breaker outcome lands before exit.
+	rt.Wait()
 	log.Printf("scroute: drained, bye")
 	return nil
 }

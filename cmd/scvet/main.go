@@ -4,30 +4,26 @@
 //	go build -o bin/scvet ./cmd/scvet
 //	go vet -vettool=$(pwd)/bin/scvet ./...
 //
-// It runs five analyzers that mechanically enforce the billing
-// invariants (see each package's doc, or `scvet -scvet.doc`):
-// moneyfloat, nondeterm, ctxloop, lockheld, metricname. A finding can
-// be suppressed — with an auditable reason — by a directive on the
-// same line or the line above:
+// It runs nine analyzers that mechanically enforce the billing and
+// fleet invariants (see each package's doc, or `scvet -scvet.doc`):
+// moneyfloat, nondeterm, ctxloop, lockheld, metricname, goroleak,
+// timerstop, respclose, ctxflow. A finding can be suppressed — with an
+// auditable reason — by a directive on the same line or the line
+// above:
 //
 //	//lint:scvet-ignore <analyzer> <reason>
+//
+// Beyond the vet protocol, `scvet -ignores [packages...]` inventories
+// every suppression directive in the tree (file:line, analyzer,
+// reason) and flags stale ones; `-strict` makes stale directives fail
+// the run.
 package main
 
 import (
-	"repro/internal/analysis/ctxloop"
-	"repro/internal/analysis/lockheld"
-	"repro/internal/analysis/metricname"
-	"repro/internal/analysis/moneyfloat"
-	"repro/internal/analysis/nondeterm"
+	"repro/internal/analysis/registry"
 	"repro/internal/analysis/unitchecker"
 )
 
 func main() {
-	unitchecker.Main(
-		moneyfloat.Analyzer,
-		nondeterm.Analyzer,
-		ctxloop.Analyzer,
-		lockheld.Analyzer,
-		metricname.Analyzer,
-	)
+	unitchecker.Main(registry.All()...)
 }

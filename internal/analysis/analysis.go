@@ -90,18 +90,31 @@ const IgnoreAnalyzer = "scvet-ignore"
 // ignorePrefix is the directive marker, after the comment slashes.
 const ignorePrefix = "lint:scvet-ignore"
 
-// directive is one parsed //lint:scvet-ignore comment.
-type directive struct {
-	pos      token.Pos
-	file     string
-	line     int
-	analyzer string
-	reason   string
+// A Directive is one parsed //lint:scvet-ignore comment. The ignores
+// inventory (`scvet -ignores`) renders these as the suppression
+// ledger, so the fields carry everything an auditor needs: where, what
+// was silenced, and why.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
 }
 
-// parseDirectives extracts every scvet-ignore directive in the files.
-func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
-	var out []directive
+// A DirectiveUse pairs a directive with whether it earned its keep:
+// Used is true when the directive suppressed at least one diagnostic
+// in its package on this run. A reasoned, unused directive is stale —
+// the code it blessed has moved or been fixed — and should be deleted
+// rather than left to mask a future regression.
+type DirectiveUse struct {
+	Directive
+	Used bool
+}
+
+// ParseDirectives extracts every scvet-ignore directive in the files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -114,14 +127,14 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 					continue
 				}
 				fields := strings.Fields(text)
-				d := directive{pos: c.Pos()}
+				d := Directive{Pos: c.Pos()}
 				posn := fset.Position(c.Pos())
-				d.file, d.line = posn.Filename, posn.Line
+				d.File, d.Line = posn.Filename, posn.Line
 				if len(fields) > 0 {
-					d.analyzer = fields[0]
+					d.Analyzer = fields[0]
 				}
 				if len(fields) > 1 {
-					d.reason = strings.Join(fields[1:], " ")
+					d.Reason = strings.Join(fields[1:], " ")
 				}
 				out = append(out, d)
 			}
@@ -135,6 +148,17 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 // suppression directives. The returned diagnostics are sorted by
 // position and include one extra finding per malformed directive.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersDetail(fset, files, pkg, info, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersDetail is RunAnalyzers plus the suppression ledger: one
+// DirectiveUse per scvet-ignore directive in the package, with Used
+// set when it suppressed at least one diagnostic. The ignores
+// inventory mode is built on this — a directive the run never needed
+// is stale, and staleness can only be judged by the driver that saw
+// the pre-suppression findings.
+func RunAnalyzersDetail(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, []DirectiveUse, error) {
 	prod := files[:0:0]
 	for _, f := range files {
 		name := fset.Position(f.Package).Filename
@@ -155,21 +179,26 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 
-	dirs := parseDirectives(fset, prod)
+	uses := make([]DirectiveUse, 0)
+	for _, dir := range ParseDirectives(fset, prod) {
+		uses = append(uses, DirectiveUse{Directive: dir})
+	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(fset, d, dirs) {
+		if i := suppressor(fset, d, uses); i >= 0 {
+			uses[i].Used = true
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	for _, dir := range dirs {
-		if dir.reason == "" {
+	for _, dir := range uses {
+		if dir.Reason == "" {
 			kept = append(kept, Diagnostic{
-				Pos:      dir.pos,
+				Pos:      dir.Pos,
 				Analyzer: IgnoreAnalyzer,
 				Message:  "scvet-ignore directive without a reason (want //lint:scvet-ignore <analyzer> <reason>); it suppresses nothing",
 			})
@@ -186,21 +215,21 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		return pi.Column < pj.Column
 	})
-	return kept, nil
+	return kept, uses, nil
 }
 
-// suppressed reports whether a reasoned directive covers the
-// diagnostic: same file, matching analyzer, and the directive sits on
-// the diagnostic's line or the line directly above it.
-func suppressed(fset *token.FileSet, d Diagnostic, dirs []directive) bool {
+// suppressor returns the index of the first reasoned directive that
+// covers the diagnostic — same file, matching analyzer, sitting on the
+// diagnostic's line or the line directly above — or -1 when none does.
+func suppressor(fset *token.FileSet, d Diagnostic, dirs []DirectiveUse) int {
 	posn := fset.Position(d.Pos)
-	for _, dir := range dirs {
-		if dir.reason == "" || dir.analyzer != d.Analyzer || dir.file != posn.Filename {
+	for i, dir := range dirs {
+		if dir.Reason == "" || dir.Analyzer != d.Analyzer || dir.File != posn.Filename {
 			continue
 		}
-		if dir.line == posn.Line || dir.line == posn.Line-1 {
-			return true
+		if dir.Line == posn.Line || dir.Line == posn.Line-1 {
+			return i
 		}
 	}
-	return false
+	return -1
 }

@@ -177,13 +177,44 @@ func runOne(t *testing.T, l *loader, testdata string, a *analysis.Analyzer, pkgp
 	var leftover []string
 	for key, ws := range wants {
 		for _, w := range ws {
-			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", key.file, key.line, w.String()))
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q%s",
+				key.file, key.line, w.String(), nearestDiagnostic(l.fset, diags, key)))
 		}
 	}
 	sort.Strings(leftover)
 	for _, msg := range leftover {
 		t.Errorf("%s: %s", pkgpath, msg)
 	}
+}
+
+// nearestDiagnostic describes the actual diagnostic closest to an
+// unsatisfied want — same file by line distance first, any file as a
+// fallback — so a failing fixture shows what the analyzer really said
+// instead of leaving the author to re-run with print statements. The
+// usual failure is a near-miss: the diagnostic fired one line off, or
+// with a message the regexp almost matches.
+func nearestDiagnostic(fset *token.FileSet, diags []analysis.Diagnostic, key lineKey) string {
+	if len(diags) == 0 {
+		return " (no diagnostics were reported in this package)"
+	}
+	best := -1
+	bestScore := 1 << 40
+	for i, d := range diags {
+		posn := fset.Position(d.Pos)
+		score := 1 << 20 // other-file diagnostics rank behind any same-file one
+		if posn.Filename == key.file {
+			score = posn.Line - key.line
+			if score < 0 {
+				score = -score
+			}
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	posn := fset.Position(diags[best].Pos)
+	return fmt.Sprintf("; nearest actual diagnostic: %s:%d: [%s] %s",
+		posn.Filename, posn.Line, diags[best].Analyzer, diags[best].Message)
 }
 
 type lineKey struct {

@@ -1,0 +1,44 @@
+package analysistest
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestNearestDiagnostic: an unsatisfied want is reported with the
+// closest actual diagnostic — same file by line distance, any file as
+// a fallback, and an explicit note when the analyzer said nothing.
+func TestNearestDiagnostic(t *testing.T) {
+	fset := token.NewFileSet()
+	fa := fset.AddFile("a.go", -1, 1000)
+	fb := fset.AddFile("b.go", -1, 1000)
+	for i := 0; i < 20; i++ {
+		fa.AddLine(i * 40)
+		fb.AddLine(i * 40)
+	}
+	atLine := func(f *token.File, line int) token.Pos { return f.LineStart(line) }
+
+	diags := []analysis.Diagnostic{
+		{Pos: atLine(fa, 3), Analyzer: "goroleak", Message: "goroutine has no bounded lifetime"},
+		{Pos: atLine(fa, 12), Analyzer: "timerstop", Message: "timer is not stopped"},
+		{Pos: atLine(fb, 5), Analyzer: "respclose", Message: "body is not closed"},
+	}
+
+	got := nearestDiagnostic(fset, diags, lineKey{file: "a.go", line: 11})
+	if !strings.Contains(got, "a.go:12: [timerstop] timer is not stopped") {
+		t.Errorf("want nearest same-file diagnostic a.go:12, got %q", got)
+	}
+
+	got = nearestDiagnostic(fset, diags, lineKey{file: "c.go", line: 1})
+	if !strings.Contains(got, "nearest actual diagnostic") || !strings.Contains(got, "goroleak") {
+		t.Errorf("want any-file fallback naming the first diagnostic, got %q", got)
+	}
+
+	got = nearestDiagnostic(fset, nil, lineKey{file: "a.go", line: 1})
+	if !strings.Contains(got, "no diagnostics were reported") {
+		t.Errorf("want empty-package note, got %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package ctxflow requires functions that accept a context to thread
+// it into their outbound calls.
+//
+// Invariant guarded: PR 9 made the request deadline a first-class
+// value — the router stamps X-SCBill-Deadline-Ms, internal/serve
+// parses it into the request context, and every layer below is
+// expected to stop working the moment the caller gives up. That chain
+// is only as strong as its weakest call site: one context.Background()
+// in a request path detaches everything below it from the deadline,
+// and one Bill where a BillCtx exists silently turns a cancelable
+// evaluation into an uninterruptible one. A dropped ctx is therefore a
+// correctness bug, not a style nit. Three rules, inside any function
+// that has a context.Context parameter in the fleet packages:
+//
+//  1. context.Background() / context.TODO() is a finding: derive from
+//     the ctx already in scope (context.WithTimeout(ctx, ...)), or —
+//     for work that must survive the request — accept a detached ctx
+//     from the owner instead of minting one mid-path.
+//  2. http.NewRequest is a finding: use http.NewRequestWithContext
+//     with the ctx in scope, so the transport work is cancelable.
+//  3. Calling X when an XCtx sibling exists (same package scope or
+//     same method set, first parameter context.Context) is a finding:
+//     the sibling exists precisely so this call can be canceled.
+//
+// Blessed escapes: a function whose own signature has no ctx is not
+// patrolled (constructors wiring detached daemon contexts stay legal),
+// and a deliberate detachment in a request path is blessed with
+// //lint:scvet-ignore ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "require ctx-taking functions in the fleet packages to thread their " +
+		"context: no context.Background/TODO, no http.NewRequest, no X where XCtx exists",
+	Run: run,
+}
+
+// scopes are the request-path packages behind the router's deadline
+// propagation.
+var scopes = []string{
+	"internal/route",
+	"internal/serve",
+	"internal/feed",
+	"internal/chaos",
+	"internal/loadgen",
+	"internal/resilience",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && takesContext(pass, n.Type) {
+					check(pass, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				// Literals are checked through their enclosing context:
+				// a literal inside a patrolled function is walked by
+				// check itself (it still sees the enclosing ctx), and a
+				// ctx-taking literal in an unpatrolled function is rare
+				// enough to leave to the signature rule when it lands in
+				// a declared function.
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// takesContext reports whether the function type has a
+// context.Context parameter.
+func takesContext(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && analysis.IsContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// check scans one patrolled body. Function literals are descended: a
+// literal declared here captures the enclosing ctx, so dropping it is
+// the same bug.
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case analysis.FuncIs(fn, "context", "Background"), analysis.FuncIs(fn, "context", "TODO"):
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a ctx-taking function detaches this call chain from the request deadline; derive from the ctx in scope, or bless a deliberate detachment with //lint:scvet-ignore ctxflow <reason>",
+				fn.Name())
+		case analysis.FuncIs(fn, "net/http", "NewRequest"):
+			pass.Reportf(call.Pos(),
+				"http.NewRequest inside a ctx-taking function builds an uncancelable request; use http.NewRequestWithContext with the ctx in scope")
+		default:
+			if sib := ctxSibling(fn); sib != "" {
+				pass.Reportf(call.Pos(),
+					"%s has a context-taking sibling %s; call it with the ctx in scope so the work is cancelable",
+					fn.Name(), sib)
+			}
+		}
+		return true
+	})
+}
+
+// ctxSibling returns the name of fn's <name>Ctx sibling — a function
+// in the same package scope (or method on the same receiver type)
+// whose first parameter is a context.Context — or "" when none
+// exists. Functions already threading a ctx, and the Ctx variants
+// themselves, have no sibling to prefer.
+func ctxSibling(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sigTakesContext(sig) {
+		return ""
+	}
+	want := fn.Name() + "Ctx"
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		named := analysis.NamedOf(recv.Type())
+		if named == nil {
+			return ""
+		}
+		// Walk the declared method set of the receiver's named type.
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want {
+				cand = m
+				break
+			}
+		}
+	} else if fn.Pkg() != nil {
+		cand = fn.Pkg().Scope().Lookup(want)
+	}
+	cfn, ok := cand.(*types.Func)
+	if !ok {
+		return ""
+	}
+	csig, ok := cfn.Type().(*types.Signature)
+	if !ok || csig.Params().Len() == 0 || !analysis.IsContextType(csig.Params().At(0).Type()) {
+		return ""
+	}
+	return want
+}
+
+// sigTakesContext reports whether any parameter is a context.Context.
+func sigTakesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

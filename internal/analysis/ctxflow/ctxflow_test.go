@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer,
+		"internal/serve/pos",
+		"internal/serve/neg",
+		"outofscope/tool",
+	)
+}

@@ -1,0 +1,69 @@
+// Near-miss fixtures: the compliant ctx-threading shapes, each one
+// mutation away from a positive. None may diagnose.
+package neg
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Deriving from the ctx in scope keeps the deadline chain intact.
+func derived(ctx context.Context, d time.Duration) error {
+	dctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return work(dctx)
+}
+
+// The cancelable request constructor.
+func fetch(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// A function with no ctx parameter is not patrolled: constructors
+// wiring a detached daemon context stay legal.
+type daemon struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newDaemon() *daemon {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &daemon{ctx: ctx, cancel: cancel}
+}
+
+// Calling the Ctx sibling is the point of the rule.
+type engine struct{}
+
+func (engine) Bill(n int) int                         { return n }
+func (engine) BillCtx(ctx context.Context, n int) int { return n }
+
+func evaluate(ctx context.Context, e engine, n int) int {
+	return e.BillCtx(ctx, n)
+}
+
+// A callee that already takes a ctx needs no sibling check.
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Calling a no-sibling function is fine: there is nothing more
+// cancelable to prefer.
+func plain(ctx context.Context, n int) int {
+	return double(n)
+}
+
+func double(n int) int { return 2 * n }
+
+// A deliberate detachment — audit work that must survive the request
+// — is blessed with a reason.
+func blessedDetach(ctx context.Context, audit func(context.Context)) {
+	//lint:scvet-ignore ctxflow audit trail must outlive the request by design
+	audit(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,59 @@
+// Positive fixtures: ctx-taking functions that drop their context.
+// Package path is scope-aligned with internal/serve.
+package pos
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Minting a fresh root context mid-request detaches the call chain
+// from the deadline.
+func background(ctx context.Context, d time.Duration) error {
+	dctx, cancel := context.WithTimeout(context.Background(), d) // want `context.Background\(\) inside a ctx-taking function`
+	defer cancel()
+	return work(dctx)
+}
+
+// context.TODO is the same drop with a different name.
+func todo(ctx context.Context) error {
+	return work(context.TODO()) // want `context.TODO\(\) inside a ctx-taking function`
+}
+
+// An uncancelable request in a cancelable function.
+func fetch(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want `http.NewRequest inside a ctx-taking function`
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// The dropped ctx inside a literal spawned from a patrolled function
+// is the same bug: the literal captures ctx and ignores it.
+func inLiteral(ctx context.Context, run func(func() error)) {
+	run(func() error {
+		return work(context.Background()) // want `context.Background\(\) inside a ctx-taking function`
+	})
+}
+
+// Calling the uncancelable variant when a Ctx sibling exists.
+type engine struct{}
+
+func (engine) Bill(n int) int                         { return n }
+func (engine) BillCtx(ctx context.Context, n int) int { return n }
+
+func evaluate(ctx context.Context, e engine, n int) int {
+	return e.Bill(n) // want `Bill has a context-taking sibling BillCtx`
+}
+
+// Package-scope sibling pair.
+func Evaluate(n int) int                         { return n }
+func EvaluateCtx(ctx context.Context, n int) int { return n }
+
+func sweep(ctx context.Context, n int) int {
+	return Evaluate(n) // want `Evaluate has a context-taking sibling EvaluateCtx`
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,11 @@
+// Out of scope: ctxflow only patrols the request-path packages, so a
+// dropped ctx here must not diagnose.
+package tool
+
+import "context"
+
+func Run(ctx context.Context) error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

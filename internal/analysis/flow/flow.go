@@ -1,0 +1,325 @@
+// Package flow is the intra-procedural branch-join dataflow walk
+// shared by the stateful scvet analyzers (lockheld, timerstop,
+// respclose). It was hoisted out of lockheld when the concurrency
+// analyzers arrived: all three track a "must be released before exit"
+// obligation — a lock still held, a timer not yet stopped, a response
+// body not yet closed — over the same control-flow shapes (if/else,
+// switch, select, loops, early returns), and only the per-statement
+// transfer function differs.
+//
+// The state is a set of string keys with may-hold semantics: a key is
+// present when the obligation may be outstanding on some path reaching
+// this point. Branches are walked on copies of the entry state and
+// joined by union, so a branch that releases and a branch that does
+// not join to "may still be outstanding" — the conservative answer for
+// every client. A branch that terminates (returns, or transfers
+// control unconditionally) contributes nothing to the join. Loop
+// bodies are walked once on a copy and unioned back, which
+// over-approximates "acquired inside the loop" without fixed-point
+// iteration.
+//
+// Clients supply Hooks: Stmt and Expr implement the transfer function
+// and any reporting, Cond lets a client specialize the two arms of an
+// if (nil-check pruning for respclose), Exit observes every point
+// where control leaves the function (where timerstop and respclose
+// report obligations still outstanding), and Select observes select
+// statements (where lockheld reports blocking under a lock). Function
+// literals are not descended by the walk itself — they run later, in a
+// context of their own; clients that care about literals walk them as
+// separate function bodies.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// State is the dataflow fact set: key present means the obligation it
+// names may be outstanding on some path reaching the current point.
+type State map[string]bool
+
+// Copy returns an independent copy of st.
+func Copy(st State) State {
+	out := make(State, len(st))
+	for k := range st {
+		out[k] = true
+	}
+	return out
+}
+
+// Union folds src into dst (may-hold join).
+func Union(dst, src State) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// Hooks are the client's visitors. Every field is optional.
+type Hooks struct {
+	// Stmt observes each leaf statement (expression, assign, declare,
+	// defer, go, send, inc/dec, return) with the state at that point,
+	// before the walker's generic expression scan. It implements the
+	// client's transfer function and may mutate st. Returning true
+	// suppresses the generic Expr scan of the statement's expressions
+	// (use when the hook consumed the statement itself, e.g. a
+	// mu.Lock() call or a tracked t.Stop()).
+	Stmt func(s ast.Stmt, st State) (skipExprs bool)
+
+	// Expr observes each top-level expression position the walker
+	// evaluates (conditions, call statements, assignment sides, return
+	// results, channel operands). The client inspects the subtree
+	// itself, typically pruning function literals.
+	Expr func(e ast.Expr, st State)
+
+	// Select observes each select statement before its cases are
+	// walked as branches.
+	Select func(s *ast.SelectStmt, st State)
+
+	// Cond observes an if condition together with the two branch entry
+	// states (already copied from the state at the condition). A client
+	// may specialize them — e.g. drop a tracked response from the
+	// branch where its variable is known nil. When the if has no else,
+	// elseSt is the fall-through state.
+	Cond func(cond ast.Expr, thenSt, elseSt State)
+
+	// Exit observes each point where control leaves the function: every
+	// return statement (after its result expressions were scanned) and
+	// the end of the body when it may fall through.
+	Exit func(pos token.Pos, st State)
+
+	// WalkComm, when set, walks each select case's communication
+	// statement (the send or receive after `case`) at the head of that
+	// case's branch, so sends and receives in select headers feed the
+	// transfer function. Off by default to preserve lockheld's
+	// original semantics (it reports the blocking select as a whole).
+	WalkComm bool
+}
+
+// Walk runs the dataflow walk over a function body with the given
+// entry state, which it mutates in place.
+func Walk(body *ast.BlockStmt, entry State, h Hooks) {
+	if body == nil {
+		return
+	}
+	w := &walker{h: h}
+	if !w.stmts(body.List, entry) && h.Exit != nil {
+		h.Exit(body.Rbrace, entry)
+	}
+}
+
+type walker struct {
+	h Hooks
+}
+
+// stmts walks a statement list in order, mutating st as obligations
+// are acquired and released, and returns true if the list always
+// terminates (ends in return or an unconditional control transfer).
+func (w *walker) stmts(list []ast.Stmt, st State) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaf dispatches a leaf statement: client hook first, then the
+// generic expression scan unless the hook consumed the statement.
+func (w *walker) leaf(s ast.Stmt, st State, exprs ...ast.Expr) {
+	if w.h.Stmt != nil && w.h.Stmt(s, st) {
+		return
+	}
+	for _, e := range exprs {
+		w.expr(e, st)
+	}
+}
+
+func (w *walker) expr(e ast.Expr, st State) {
+	if e != nil && w.h.Expr != nil {
+		w.h.Expr(e, st)
+	}
+}
+
+// stmt walks one statement; the bool result reports "control never
+// proceeds past this statement".
+func (w *walker) stmt(s ast.Stmt, st State) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.leaf(s, st, s.X)
+	case *ast.DeferStmt:
+		// Deferred work runs at return; only the client knows whether it
+		// discharges an obligation (a deferred Unlock keeps the lock
+		// held to the end, a deferred Stop releases the timer on every
+		// exit). The generic scan never descends a defer.
+		if w.h.Stmt != nil {
+			w.h.Stmt(s, st)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs in a context of its own; only the
+		// call's arguments are evaluated here and now.
+		if !(w.h.Stmt != nil && w.h.Stmt(s, st)) {
+			for _, arg := range s.Call.Args {
+				w.expr(arg, st)
+			}
+		}
+	case *ast.SendStmt:
+		w.leaf(s, st, s.Chan, s.Value)
+	case *ast.AssignStmt:
+		exprs := make([]ast.Expr, 0, len(s.Rhs)+len(s.Lhs))
+		exprs = append(exprs, s.Rhs...)
+		exprs = append(exprs, s.Lhs...)
+		w.leaf(s, st, exprs...)
+	case *ast.DeclStmt:
+		var exprs []ast.Expr
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					exprs = append(exprs, vs.Values...)
+				}
+			}
+		}
+		w.leaf(s, st, exprs...)
+	case *ast.IncDecStmt:
+		w.leaf(s, st, s.X)
+	case *ast.ReturnStmt:
+		w.leaf(s, st, s.Results...)
+		if w.h.Exit != nil {
+			w.h.Exit(s.Pos(), st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: stop tracking this list
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt, elseSt := Copy(st), Copy(st)
+		if w.h.Cond != nil {
+			w.h.Cond(s.Cond, thenSt, elseSt)
+		}
+		exit := State{}
+		any := false
+		if !w.stmts(s.Body.List, thenSt) {
+			Union(exit, thenSt)
+			any = true
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			if !w.stmts(e.List, elseSt) {
+				Union(exit, elseSt)
+				any = true
+			}
+		case *ast.IfStmt:
+			if !w.stmt(e, elseSt) {
+				Union(exit, elseSt)
+				any = true
+			}
+		case nil:
+			Union(exit, elseSt) // fall-through carries the else-side state
+			any = true
+		}
+		if any {
+			replace(st, exit)
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyBlk *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				w.stmt(sw.Init, st)
+			}
+			if sw.Tag != nil {
+				w.expr(sw.Tag, st)
+			}
+			bodyBlk = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				w.stmt(ts.Init, st)
+			}
+			bodyBlk = ts.Body
+		}
+		var branches [][]ast.Stmt
+		for _, c := range body(bodyBlk) {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branches = append(branches, cc.Body)
+			}
+		}
+		w.branchJoin(branches, st, true)
+	case *ast.SelectStmt:
+		if w.h.Select != nil {
+			w.h.Select(s, st)
+		}
+		var branches [][]ast.Stmt
+		for _, c := range body(s.Body) {
+			if cc, ok := c.(*ast.CommClause); ok {
+				b := cc.Body
+				if w.h.WalkComm && cc.Comm != nil {
+					b = append([]ast.Stmt{cc.Comm}, b...)
+				}
+				branches = append(branches, b)
+			}
+		}
+		w.branchJoin(branches, st, true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		loop := Copy(st)
+		w.stmts(s.Body.List, loop)
+		if s.Post != nil {
+			w.stmt(s.Post, loop)
+		}
+		Union(st, loop)
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		loop := Copy(st)
+		w.stmts(s.Body.List, loop)
+		Union(st, loop)
+	}
+	return false
+}
+
+// branchJoin walks each branch on a copy of the entry state and joins
+// the survivors: a branch that terminates contributes nothing; the
+// rest contribute the union of their exit states, plus the entry state
+// itself when the construct may be skipped entirely (non-exhaustive
+// cases).
+func (w *walker) branchJoin(branches [][]ast.Stmt, st State, mayFallThrough bool) {
+	exit := State{}
+	if mayFallThrough {
+		Union(exit, st)
+	}
+	any := mayFallThrough
+	for _, b := range branches {
+		bst := Copy(st)
+		if !w.stmts(b, bst) {
+			Union(exit, bst)
+			any = true
+		}
+	}
+	if any {
+		replace(st, exit)
+	}
+}
+
+func replace(dst, src State) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	Union(dst, src)
+}
+
+func body(b *ast.BlockStmt) []ast.Stmt {
+	if b == nil {
+		return nil
+	}
+	return b.List
+}

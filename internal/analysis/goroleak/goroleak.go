@@ -1,0 +1,211 @@
+// Package goroleak requires every goroutine spawned in the fleet-path
+// packages to have a bounded lifetime.
+//
+// Invariant guarded: the route→serve fleet path spawns goroutines per
+// request (attempt forwards, hedge losers' settlement), per connection
+// (chaos proxy copiers), and per daemon (health poll loops, feed
+// refresh). A goroutine with no shutdown signal outlives the work that
+// spawned it; at fleet request rates an unbounded accumulation is an
+// OOM with a delay fuse, and a peak-window goroutine that never exits
+// keeps billing state alive past the window — a billing error, not
+// just a leak. Every `go` statement must therefore carry evidence of a
+// bounded lifetime:
+//
+//   - ctx plumbing: the spawned function receives or references a
+//     context.Context (or an *http.Request, which carries one) — its
+//     blocking work is cancelable by the owner;
+//   - done-channel plumbing: the body receives from or selects on a
+//     captured `chan struct{}` — the owner's close is the bound;
+//   - WaitGroup registration: the body calls Done on a sync.WaitGroup
+//     (typically deferred) — the owner's Wait is the bound.
+//
+// For `go f(...)` / `go x.m(...)` where the callee is declared in the
+// same package, the callee's body is inspected with the same rules, so
+// the accept-loop idiom (`go p.acceptLoop()` with `defer p.wg.Done()`
+// inside) passes without annotation. A goroutine with none of the
+// three shapes is reported as fire-and-forget. A deliberate daemon
+// whose lifetime is the process — there should be almost none outside
+// package main — is blessed with //lint:scvet-ignore goroleak <reason>.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "require every goroutine in the fleet packages to have a bounded " +
+		"lifetime: ctx/done-channel plumbing or WaitGroup registration",
+	Run: run,
+}
+
+// scopes are the fleet-path packages where goroutines churn per
+// request or per connection.
+var scopes = []string{
+	"internal/route",
+	"internal/serve",
+	"internal/feed",
+	"internal/chaos",
+	"internal/loadgen",
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+	}
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	// Index the package's own function declarations so `go f(...)` can
+	// be judged by f's body when f lives in this package.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.check(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// check judges one go statement: spawn-site arguments first, then the
+// spawned body (literal or same-package callee).
+func (c *checker) check(g *ast.GoStmt) {
+	// Evidence at the spawn site: an argument that carries a context
+	// (context.Context itself, or an *http.Request, whose embedded
+	// context bounds the transport work the goroutine will do).
+	for _, arg := range g.Call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && carriesContext(tv.Type) {
+			return
+		}
+	}
+
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if c.bounded(fun.Body) {
+			return
+		}
+	default:
+		if fn := analysis.CalleeFunc(c.pass.TypesInfo, g.Call); fn != nil {
+			// The callee's own parameters count (a method value whose
+			// receiver-bound state carries a ctx does not — too deep).
+			if sig, ok := fn.Type().(*types.Signature); ok && sigTakesContext(sig) {
+				return
+			}
+			if fd, ok := c.decls[fn]; ok {
+				if c.bounded(fd.Body) {
+					return
+				}
+			} else {
+				// Declared in another package: its contract is invisible
+				// here, and no ctx crossed the spawn. Report — thread a
+				// ctx or wrap in a registered literal.
+			}
+		}
+	}
+
+	c.pass.Reportf(g.Pos(),
+		"goroutine has no bounded lifetime: thread a context (or done channel) into it, "+
+			"register it on a sync.WaitGroup the owner waits on, or bless a true daemon "+
+			"with //lint:scvet-ignore goroleak <reason>")
+}
+
+// bounded scans a spawned body for any of the three lifetime shapes.
+// Nested function literals are descended: a bound acquired by a nested
+// literal the body runs or registers still evidences plumbing (the
+// conservative direction for a may-analysis of "is there any signal").
+func (c *checker) bounded(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			// Any reference to a context-carrying value: <-ctx.Done(),
+			// fireEvent(ctx, ...), req-bound transport work.
+			if obj := c.pass.TypesInfo.Uses[n]; obj != nil && carriesContext(obj.Type()) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// Receive from a captured chan struct{}: the done/stop shape.
+			if n.Op.String() == "<-" && c.isDoneChan(n.X) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			// wg.Done() on a sync.WaitGroup (usually deferred). The Wait
+			// side lives with the owner; Done here is the registration.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if tv, ok := c.pass.TypesInfo.Types[sel.X]; ok &&
+					analysis.TypeIs(tv.Type, "sync", "WaitGroup") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneChan reports whether e is a value of type <-chan struct{} or
+// chan struct{} — the conventional done/stop signal. Receives from
+// data channels (typed elements) are not lifetime bounds: the sender
+// may be gone.
+func (c *checker) isDoneChan(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := types.Unalias(ch.Elem()).Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// carriesContext reports whether t is context.Context or *http.Request
+// (a request carries its context; transport work on it is cancelable).
+func carriesContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return analysis.IsContextType(t) || analysis.TypeIs(t, "net/http", "Request")
+}
+
+// sigTakesContext reports whether any parameter carries a context.
+func sigTakesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if carriesContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroleak.Analyzer,
+		"internal/chaos/pos",
+		"internal/chaos/neg",
+		"outofscope/worker",
+	)
+}

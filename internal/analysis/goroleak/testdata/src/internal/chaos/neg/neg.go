@@ -1,0 +1,113 @@
+// Near-miss fixtures: the bounded goroutine shapes the fleet path
+// actually uses, each one mutation away from a positive. None may
+// diagnose.
+package neg
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WaitGroup registration: Add before the spawn, deferred Done inside.
+func registered(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+}
+
+// ctx threaded as a spawn argument into a same-package function.
+func ctxArg(ctx context.Context, interval time.Duration) {
+	go pollLoop(ctx, interval)
+}
+
+func pollLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			t.Reset(interval)
+		}
+	}
+}
+
+// ctx captured by the literal body: referencing it is the evidence.
+func ctxCaptured(ctx context.Context, client *http.Client, url string) {
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+}
+
+// Done-channel plumbing: a captured chan struct{} receive bounds the
+// loop; the owner closes it.
+func doneChan(stop chan struct{}, f func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f()
+			}
+		}
+	}()
+}
+
+// The accept-loop idiom: the spawned same-package method registers on
+// the owner's WaitGroup inside its own body.
+type proxy struct {
+	wg    sync.WaitGroup
+	conns chan struct{}
+}
+
+func (p *proxy) start() {
+	p.wg.Add(1)
+	go p.acceptLoop()
+}
+
+func (p *proxy) acceptLoop() {
+	defer p.wg.Done()
+	for range p.conns {
+	}
+}
+
+// An *http.Request argument carries its context: the transport work
+// the goroutine does is cancelable through it.
+func attempt(req *http.Request, client *http.Client, out chan error) {
+	go runAttempt(client, req, out)
+}
+
+func runAttempt(client *http.Client, req *http.Request, out chan error) {
+	resp, err := client.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	out <- err
+}
+
+// A deliberate process-lifetime daemon is blessed with a reason.
+func blessedDaemon(f func()) {
+	//lint:scvet-ignore goroleak metrics flusher lives for the process by design
+	go func() {
+		for {
+			f()
+			time.Sleep(time.Minute)
+		}
+	}()
+}

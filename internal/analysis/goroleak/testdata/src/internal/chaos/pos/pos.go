@@ -1,0 +1,71 @@
+// Positive fixtures: fire-and-forget goroutines with no lifetime
+// bound. Package path is scope-aligned with internal/chaos.
+package pos
+
+import (
+	"sync"
+	"time"
+)
+
+// A bare worker loop: nothing can ever stop it.
+func daemonLoop(work chan int) {
+	go func() { // want "goroutine has no bounded lifetime"
+		for w := range work {
+			_ = w * 2
+		}
+	}()
+}
+
+// A periodic ticker goroutine with no shutdown signal.
+func periodic(interval time.Duration, f func()) {
+	go func() { // want "goroutine has no bounded lifetime"
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		for range tk.C {
+			f()
+		}
+	}()
+}
+
+// Spawning a same-package function whose body has no bound.
+func spawnHelper(n int) {
+	go leakyHelper(n) // want "goroutine has no bounded lifetime"
+}
+
+func leakyHelper(n int) {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A send on a data channel is not a lifetime bound: the receiver may
+// be gone and the send blocks forever.
+func sendOnly(results chan int) {
+	go func() { // want "goroutine has no bounded lifetime"
+		results <- compute()
+	}()
+}
+
+func compute() int { return 42 }
+
+// Receiving from a *data* channel is not the done shape: chan int
+// carries work, not shutdown.
+func dataRecv(jobs chan int) {
+	go func() { // want "goroutine has no bounded lifetime"
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// Add without Done in the body: registration half missing, the Wait
+// side would hang, and the goroutine itself shows no bound.
+func addNoDone(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() { // want "goroutine has no bounded lifetime"
+		f()
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

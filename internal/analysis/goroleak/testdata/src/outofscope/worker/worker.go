@@ -1,0 +1,11 @@
+// Out of scope: goroleak only patrols the fleet-path packages, so a
+// fire-and-forget goroutine here must not diagnose.
+package worker
+
+func Spawn(f func()) {
+	go func() {
+		for {
+			f()
+		}
+	}()
+}

@@ -67,11 +67,16 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// FuncIs reports whether fn is the named function or method of a
-// package whose path matches pkgSegs (segment-aligned).
+// FuncIs reports whether fn is the named package-level function of a
+// package whose path matches pkgSegs (segment-aligned). Methods never
+// match: time.Time.After must not pass for time.After.
 func FuncIs(fn *types.Func, pkgSegs, name string) bool {
-	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
-		PathHasSegments(fn.Pkg().Path(), pkgSegs)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil ||
+		!PathHasSegments(fn.Pkg().Path(), pkgSegs) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
 }
 
 // IsConversion reports whether the call expression is a type

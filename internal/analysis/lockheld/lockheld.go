@@ -8,10 +8,11 @@
 // cost into a whole-server stall, and calling back into user code
 // under a lock invites the reentrancy deadlock class PR 3 fixed by
 // hand in the engine cache. The analyzer tracks Lock/RLock ... Unlock
-// pairs intra-procedurally (straight-line, if/else, switch, loops) and
-// flags banned operations on any path where a lock is still held.
-// Methods named ...Locked with a receiver are analyzed as holding
-// their receiver's lock at entry, per the repo's naming convention.
+// pairs intra-procedurally over the shared flow walk (straight-line,
+// if/else, switch, loops) and flags banned operations on any path
+// where a lock is still held. Methods named ...Locked with a receiver
+// are analyzed as holding their receiver's lock at entry, per the
+// repo's naming convention.
 //
 // Calls through plain function values are banned too (a callback's
 // cost is unknowable at the call site) with one blessing: values of
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -41,196 +43,61 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			held := map[string]bool{}
+			held := flow.State{}
 			if fd.Recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
 				held["the caller's lock (...Locked convention)"] = true
 			}
-			w := &walker{pass: pass}
-			w.stmts(fd.Body.List, held)
+			c := &checker{pass: pass}
+			flow.Walk(fd.Body, held, flow.Hooks{
+				Stmt:   c.stmt,
+				Expr:   c.expr,
+				Select: c.selectStmt,
+			})
 		}
 	}
 	return nil
 }
 
-type walker struct {
+type checker struct {
 	pass *analysis.Pass
 }
 
-// stmts walks a statement list in order, mutating held as locks are
-// acquired and released, and returns true if the list always
-// terminates (ends in return or an unconditional control transfer).
-func (w *walker) stmts(list []ast.Stmt, held map[string]bool) bool {
-	for _, s := range list {
-		if w.stmt(s, held) {
-			return true
-		}
-	}
-	return false
-}
-
-// stmt walks one statement; the bool result reports "control never
-// proceeds past this statement".
-func (w *walker) stmt(s ast.Stmt, held map[string]bool) bool {
+// stmt is the transfer function: Lock/Unlock expression statements
+// mutate the held set (and are consumed); a channel send under a lock
+// is reported here because the walker hands the send operands to expr
+// afterwards.
+func (c *checker) stmt(s ast.Stmt, held flow.State) bool {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if w.lockOp(call, held) {
-				return false
-			}
-		}
-		w.expr(s.X, held)
-	case *ast.DeferStmt:
-		// A deferred Unlock keeps the lock held to the end of the
-		// function, which is exactly what tracking "still held" models;
-		// other deferred work runs at return and is out of scope.
-	case *ast.GoStmt:
-		// The spawned goroutine does not hold the caller's lock; its
-		// body is a function literal and literals are not descended.
-		for _, arg := range s.Call.Args {
-			w.expr(arg, held)
+			return c.lockOp(call, held)
 		}
 	case *ast.SendStmt:
 		if len(held) > 0 {
-			w.pass.Reportf(s.Arrow, "channel send while holding %s; release the lock first", heldNames(held))
+			c.pass.Reportf(s.Arrow, "channel send while holding %s; release the lock first", heldNames(held))
 		}
-		w.expr(s.Chan, held)
-		w.expr(s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			w.expr(e, held)
-		}
-		for _, e := range s.Lhs {
-			w.expr(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						w.expr(e, held)
-					}
-				}
-			}
-		}
-	case *ast.IncDecStmt:
-		w.expr(s.X, held)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			w.expr(e, held)
-		}
-		return true
-	case *ast.BranchStmt:
-		return true // break/continue/goto: stop tracking this list
-	case *ast.BlockStmt:
-		return w.stmts(s.List, held)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.expr(s.Cond, held)
-		branches := [][]ast.Stmt{s.Body.List}
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			branches = append(branches, e.List)
-		case *ast.IfStmt:
-			branches = append(branches, []ast.Stmt{e})
-		}
-		w.branchJoin(branches, held, s.Else == nil)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		var body *ast.BlockStmt
-		if sw, ok := s.(*ast.SwitchStmt); ok {
-			if sw.Init != nil {
-				w.stmt(sw.Init, held)
-			}
-			if sw.Tag != nil {
-				w.expr(sw.Tag, held)
-			}
-			body = sw.Body
-		} else {
-			ts := s.(*ast.TypeSwitchStmt)
-			if ts.Init != nil {
-				w.stmt(ts.Init, held)
-			}
-			body = ts.Body
-		}
-		var branches [][]ast.Stmt
-		for _, c := range body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				branches = append(branches, cc.Body)
-			}
-		}
-		w.branchJoin(branches, held, true)
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, c := range body(s.Body) {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-				hasDefault = true
-			}
-		}
-		if !hasDefault && len(held) > 0 {
-			w.pass.Reportf(s.Pos(), "blocking select while holding %s; release the lock first", heldNames(held))
-		}
-		var branches [][]ast.Stmt
-		for _, c := range body(s.Body) {
-			if cc, ok := c.(*ast.CommClause); ok {
-				branches = append(branches, cc.Body)
-			}
-		}
-		w.branchJoin(branches, held, true)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond, held)
-		}
-		loop := copyHeld(held)
-		w.stmts(s.Body.List, loop)
-		if s.Post != nil {
-			w.stmt(s.Post, loop)
-		}
-		union(held, loop)
-	case *ast.RangeStmt:
-		w.expr(s.X, held)
-		loop := copyHeld(held)
-		w.stmts(s.Body.List, loop)
-		union(held, loop)
 	}
 	return false
 }
 
-// branchJoin walks each branch on a copy of the entry state and joins
-// the survivors: a branch that terminates (returns) contributes
-// nothing; the rest contribute the union of their exit states, plus
-// the fall-through entry state when the construct may be skipped
-// entirely (no else / no exhaustive cases).
-func (w *walker) branchJoin(branches [][]ast.Stmt, held map[string]bool, mayFallThrough bool) {
-	exit := map[string]bool{}
-	if mayFallThrough {
-		union(exit, held)
+// selectStmt reports a select with no default — a blocking wait —
+// while a lock is held.
+func (c *checker) selectStmt(s *ast.SelectStmt, held flow.State) {
+	if s.Body == nil || len(held) == 0 {
+		return
 	}
-	any := mayFallThrough
-	for _, b := range branches {
-		st := copyHeld(held)
-		if !w.stmts(b, st) {
-			union(exit, st)
-			any = true
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return // has a default: non-blocking poll
 		}
 	}
-	if any {
-		for k := range held {
-			delete(held, k)
-		}
-		union(held, exit)
-	}
+	c.pass.Reportf(s.Pos(), "blocking select while holding %s; release the lock first", heldNames(held))
 }
 
 // lockOp handles mu.Lock/RLock/Unlock/RUnlock expression statements,
 // returning true if the call was one.
-func (w *walker) lockOp(call *ast.CallExpr, held map[string]bool) bool {
-	fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+func (c *checker) lockOp(call *ast.CallExpr, held flow.State) bool {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return false
 	}
@@ -256,7 +123,7 @@ func (w *walker) lockOp(call *ast.CallExpr, held map[string]bool) bool {
 // expr inspects an expression subtree for banned operations while a
 // lock is held. Function literals are not descended: they run later,
 // in a context of their own.
-func (w *walker) expr(e ast.Expr, held map[string]bool) {
+func (c *checker) expr(e ast.Expr, held flow.State) {
 	if e == nil || len(held) == 0 {
 		return
 	}
@@ -266,18 +133,18 @@ func (w *walker) expr(e ast.Expr, held map[string]bool) {
 			return false
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" {
-				w.pass.Reportf(n.OpPos, "blocking channel receive while holding %s; release the lock first", heldNames(held))
+				c.pass.Reportf(n.OpPos, "blocking channel receive while holding %s; release the lock first", heldNames(held))
 			}
 		case *ast.CallExpr:
-			w.checkCall(n, held)
+			c.checkCall(n, held)
 		}
 		return true
 	})
 }
 
 // checkCall flags banned callees while a lock is held.
-func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
-	info := w.pass.TypesInfo
+func (c *checker) checkCall(call *ast.CallExpr, held flow.State) {
+	info := c.pass.TypesInfo
 	if analysis.IsBuiltin(info, call) || analysis.IsConversion(info, call) {
 		return
 	}
@@ -288,7 +155,7 @@ func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
 		if tv, ok := info.Types[call.Fun]; ok && analysis.IsClockFuncType(tv.Type) {
 			return
 		}
-		w.pass.Reportf(call.Pos(),
+		c.pass.Reportf(call.Pos(),
 			"call through function value %s while holding %s; deliver callbacks after unlocking",
 			types.ExprString(call.Fun), heldNames(held))
 		return
@@ -321,7 +188,7 @@ func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
 		bad = "provider Fetch"
 	}
 	if bad != "" {
-		w.pass.Reportf(call.Pos(), "%s while holding %s; release the lock first", bad, heldNames(held))
+		c.pass.Reportf(call.Pos(), "%s while holding %s; release the lock first", bad, heldNames(held))
 	}
 }
 
@@ -335,28 +202,7 @@ func recvName(sig *types.Signature) string {
 	return "Retry/Breaker"
 }
 
-func body(b *ast.BlockStmt) []ast.Stmt {
-	if b == nil {
-		return nil
-	}
-	return b.List
-}
-
-func copyHeld(held map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(held))
-	for k := range held {
-		out[k] = true
-	}
-	return out
-}
-
-func union(dst, src map[string]bool) {
-	for k := range src {
-		dst[k] = true
-	}
-}
-
-func heldNames(held map[string]bool) string {
+func heldNames(held flow.State) string {
 	keys := make([]string, 0, len(held))
 	for k := range held {
 		keys = append(keys, k)

@@ -1,0 +1,37 @@
+// Package registry is the single source of truth for which analyzers
+// make up the scvet suite. cmd/scvet wires unitchecker.Main through
+// All, and the parity test in this package fails `make check` when a
+// registered analyzer is missing its analysistest fixture package —
+// an analyzer without fixtures is an analyzer whose rule has never
+// been demonstrated to fire.
+package registry
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/moneyfloat"
+	"repro/internal/analysis/nondeterm"
+	"repro/internal/analysis/respclose"
+	"repro/internal/analysis/timerstop"
+)
+
+// All returns the full scvet suite in a stable order: the billing
+// invariants first (PR 4), then the concurrency and resource-lifecycle
+// analyzers (PR 10).
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		moneyfloat.Analyzer,
+		nondeterm.Analyzer,
+		ctxloop.Analyzer,
+		lockheld.Analyzer,
+		metricname.Analyzer,
+		goroleak.Analyzer,
+		timerstop.Analyzer,
+		respclose.Analyzer,
+		ctxflow.Analyzer,
+	}
+}

@@ -1,0 +1,57 @@
+package registry_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/registry"
+)
+
+// TestRegistryParity fails when a registered analyzer lacks an
+// analysistest fixture package: every analyzer in the suite must ship
+// testdata/src fixtures and a test that runs them, so a rule never
+// lands without a demonstration that it fires (and that its near
+// misses stay quiet).
+func TestRegistryParity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range registry.All() {
+		if a.Name == "" {
+			t.Fatalf("registered analyzer has empty Name (doc: %.40q)", a.Doc)
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			t.Errorf("analyzer %q has nil Run", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has empty Doc", a.Name)
+		}
+
+		dir := filepath.Join("..", a.Name)
+		fixtures := filepath.Join(dir, "testdata", "src")
+		if fi, err := os.Stat(fixtures); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %q has no analysistest fixtures: %s missing", a.Name, fixtures)
+			continue
+		}
+		// The fixture tree must contain at least one Go file; an empty
+		// testdata skeleton does not count as coverage.
+		var goFiles int
+		filepath.WalkDir(fixtures, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && filepath.Ext(path) == ".go" {
+				goFiles++
+			}
+			return nil
+		})
+		if goFiles == 0 {
+			t.Errorf("analyzer %q fixture tree %s contains no Go files", a.Name, fixtures)
+		}
+
+		testFile := filepath.Join(dir, a.Name+"_test.go")
+		if _, err := os.Stat(testFile); err != nil {
+			t.Errorf("analyzer %q has no fixture-running test: %s missing", a.Name, testFile)
+		}
+	}
+}

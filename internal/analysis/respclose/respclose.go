@@ -1,0 +1,408 @@
+// Package respclose ensures http.Response bodies in the fleet path
+// are closed on every exit path — and drained before close, so the
+// transport can reuse the connection.
+//
+// Invariant guarded: the route→serve fleet path issues HTTP requests
+// at request rate (forward attempts, /readyz polls, feed fetches,
+// admin-client calls, load-generator fire). An unclosed response body
+// pins its connection and goroutine for good; a closed-but-undrained
+// body forces the transport to tear the connection down instead of
+// returning it to the keep-alive pool, which at fleet rates turns
+// every request into a fresh dial — exactly the failure mode the
+// router's deep idle pools exist to avoid. Two rules, run over the
+// shared internal/analysis/flow dataflow:
+//
+//  1. A variable bound to a call returning *http.Response must have
+//     resp.Body.Close() called on every path out of the function
+//     (a deferred Close, including inside a deferred literal, covers
+//     all exits from that point on). The err != nil / resp == nil
+//     branch of the idiomatic check prunes the nil response.
+//  2. A Close with no prior read of the body anywhere in the function
+//     is reported: drain first (io.Copy(io.Discard, resp.Body), a
+//     bounded io.CopyN, or a real read) so the connection is reusable.
+//
+// Blessed escapes: handing the response away transfers the obligation
+// — returning it, passing it (or its Body) to a call, or storing it
+// in anything that is not a simple local stops the tracking; the new
+// owner is accountable. A deliberate undrained close (poisoned body
+// after a canceled request, connection being torn down anyway) is
+// blessed with //lint:scvet-ignore respclose <reason>.
+package respclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "respclose",
+	Doc: "require http.Response bodies to be closed on all exit paths and " +
+		"drained before close in the fleet packages",
+	Run: run,
+}
+
+// scopes are the packages that issue HTTP requests on the fleet path:
+// route forwards and readyz polls, feed fetches, the chaos and load
+// harnesses, and the admin/driver commands.
+var scopes = []string{
+	"internal/route",
+	"internal/serve",
+	"internal/feed",
+	"internal/chaos",
+	"internal/loadgen",
+	"cmd/scchaos",
+	"cmd/scroute",
+	"cmd/scload",
+}
+
+// State-key prefixes: "open:<var>" is the outstanding close
+// obligation, "read:<var>" records that the body was read on this
+// path (the drain evidence rule 2 wants).
+const (
+	openPrefix = "open:"
+	readPrefix = "read:"
+)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{
+		pass:     pass,
+		created:  map[string]token.Pos{},
+		errPair:  map[string]string{},
+		reported: map[token.Pos]bool{},
+	}
+	flow.Walk(body, flow.State{}, flow.Hooks{
+		Stmt:     c.stmt,
+		Expr:     c.uses,
+		Cond:     c.cond,
+		Exit:     c.exit,
+		WalkComm: true,
+	})
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	created  map[string]token.Pos // resp var -> creation site
+	errPair  map[string]string    // err var -> resp var from the same assignment
+	reported map[token.Pos]bool   // one report per creation site
+	inDefer  bool                 // inside a defer statement's expressions
+}
+
+// respResult reports whether the call produces an *http.Response, and
+// at which result index.
+func (c *checker) respResult(e ast.Expr) (int, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	if analysis.IsConversion(c.pass.TypesInfo, call) || analysis.IsBuiltin(c.pass.TypesInfo, call) {
+		return 0, false
+	}
+	tv, ok := c.pass.TypesInfo.Types[call]
+	if !ok {
+		return 0, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isResponse(t.At(i).Type()) {
+				return i, true
+			}
+		}
+	default:
+		if isResponse(tv.Type) {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func isResponse(t types.Type) bool {
+	return analysis.TypeIs(t, "net/http", "Response")
+}
+
+// stmt is the transfer function: track `resp, err := client.Do(req)`
+// bindings, discharge on resp.Body.Close(), and let defers discharge
+// from here on.
+func (c *checker) stmt(s ast.Stmt, st flow.State) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.uses(r, st)
+		}
+		c.trackAssign(s, st)
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				c.uses(l, st) // field/index targets may consume a response
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		if name, ok := c.closeCall(s.X, st); ok {
+			c.checkDrained(s.X.Pos(), name, st)
+			delete(st, openPrefix+name)
+			return true
+		}
+		if _, ok := c.respResult(s.X); ok {
+			c.report(s.X.Pos(), "response is discarded without closing its body; bind it and defer resp.Body.Close()")
+			return true
+		}
+	case *ast.DeferStmt:
+		// A deferred Close (directly or inside a deferred literal)
+		// covers every exit from here on; other deferred uses hand the
+		// response away. The drain rule is skipped for deferred closes:
+		// the reads it wants happen after the defer statement, and the
+		// close itself runs at exit, after them.
+		c.inDefer = true
+		c.uses(s.Call.Fun, st)
+		for _, a := range s.Call.Args {
+			c.uses(a, st)
+		}
+		c.inDefer = false
+		return true
+	}
+	return false
+}
+
+// trackAssign begins tracking responses bound to simple locals.
+func (c *checker) trackAssign(s *ast.AssignStmt, st flow.State) {
+	// One call, two results: resp, err := client.Do(req).
+	if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+		if idx, ok := c.respResult(s.Rhs[0]); ok {
+			respID, isIdent := s.Lhs[idx].(*ast.Ident)
+			if !isIdent || respID.Name == "_" {
+				if isIdent {
+					c.report(s.Rhs[0].Pos(), "response is discarded without closing its body; bind it and defer resp.Body.Close()")
+				}
+				return
+			}
+			st[openPrefix+respID.Name] = true
+			c.created[respID.Name] = s.Rhs[0].Pos()
+			if errID, ok := s.Lhs[1-idx].(*ast.Ident); ok && errID.Name != "_" {
+				c.errPair[errID.Name] = respID.Name
+			}
+			return
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, r := range s.Rhs {
+			if _, ok := c.respResult(r); !ok {
+				continue
+			}
+			id, isIdent := s.Lhs[i].(*ast.Ident)
+			if !isIdent {
+				continue // stored away: the new owner is accountable
+			}
+			if id.Name == "_" {
+				c.report(r.Pos(), "response is discarded without closing its body; bind it and defer resp.Body.Close()")
+				continue
+			}
+			st[openPrefix+id.Name] = true
+			c.created[id.Name] = r.Pos()
+		}
+	}
+}
+
+// closeCall returns the tracked variable a resp.Body.Close() call
+// releases, if the call is one.
+func (c *checker) closeCall(e ast.Expr, st flow.State) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return "", false
+	}
+	body, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || body.Sel.Name != "Body" {
+		return "", false
+	}
+	id, ok := ast.Unparen(body.X).(*ast.Ident)
+	if !ok || !st[openPrefix+id.Name] {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// uses scans an expression subtree for uses of tracked responses:
+// resp.Body.Close discharges, any other resp.Body use marks the body
+// read, resp.StatusCode / resp.Header / resp.Status are free, and any
+// other appearance of resp hands it (and the obligation) away.
+func (c *checker) uses(e ast.Expr, st flow.State) {
+	if e == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok {
+			// resp.Body.Close() — discharge (covers the deferred shape).
+			if sel.Sel.Name == "Close" {
+				if body, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && body.Sel.Name == "Body" {
+					if id, ok := ast.Unparen(body.X).(*ast.Ident); ok && st[openPrefix+id.Name] {
+						c.checkDrained(sel.Pos(), id.Name, st)
+						delete(st, openPrefix+id.Name)
+						return false
+					}
+				}
+			}
+			// resp.Body in any other position is a read (or a handoff of
+			// the reader — either way the connection gets drained by it).
+			if sel.Sel.Name == "Body" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && st[openPrefix+id.Name] {
+					st[readPrefix+id.Name] = true
+					return false
+				}
+			}
+			// Metadata reads keep the obligation in place.
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && st[openPrefix+id.Name] {
+				switch sel.Sel.Name {
+				case "StatusCode", "Status", "Header", "ContentLength", "Proto", "Trailer", "Uncompressed", "TransferEncoding":
+					return false
+				default:
+					// resp.Cookies(), resp.Write(w), ... — treat as a read
+					// plus continued ownership? No: unknown methods manage
+					// the body themselves; hand the obligation away.
+					delete(st, openPrefix+id.Name)
+					return false
+				}
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && st[openPrefix+id.Name] {
+			// Bare use of resp: returned, passed to a call, stored — the
+			// obligation transfers with it.
+			delete(st, openPrefix+id.Name)
+		}
+		return true
+	})
+}
+
+// cond prunes the nil branch of the idiomatic post-call checks:
+// `if err != nil` (resp is nil where err isn't) and `if resp == nil`.
+func (c *checker) cond(cond ast.Expr, thenSt, elseSt flow.State) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	id, nilOnEq := nilCheck(be)
+	if id == "" {
+		return
+	}
+	// nilSide is the state where the checked value IS nil.
+	nilSt := thenSt
+	if !nilOnEq {
+		nilSt = elseSt
+	}
+	if resp, ok := c.errPair[id]; ok {
+		// resp is nil exactly where its paired err is non-nil: prune the
+		// obligation from the err-is-non-nil branch.
+		if nilOnEq {
+			delete(elseSt, openPrefix+resp) // cond is err == nil
+		} else {
+			delete(thenSt, openPrefix+resp) // cond is err != nil
+		}
+		return
+	}
+	if _, tracked := c.created[id]; tracked {
+		delete(nilSt, openPrefix+id)
+	}
+}
+
+// nilCheck matches `x == nil` / `x != nil` (either operand order) and
+// returns the ident name plus whether the nil case is the == branch.
+func nilCheck(be *ast.BinaryExpr) (name string, nilOnEq bool) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return "", false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	var id *ast.Ident
+	switch {
+	case isNil(y):
+		id, _ = x.(*ast.Ident)
+	case isNil(x):
+		id, _ = y.(*ast.Ident)
+	}
+	if id == nil {
+		return "", false
+	}
+	return id.Name, be.Op == token.EQL
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// report emits one diagnostic per position.
+func (c *checker) report(pos token.Pos, msg string) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+// checkDrained reports a Close on a path where the body was never
+// read: the transport cannot reuse the connection.
+func (c *checker) checkDrained(pos token.Pos, name string, st flow.State) {
+	if c.inDefer || st[readPrefix+name] {
+		return
+	}
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos,
+		"response body %s.Body is closed without being drained; io.Copy(io.Discard, %s.Body) first so the connection is reusable, or bless a deliberate teardown with //lint:scvet-ignore respclose <reason>",
+		name, name)
+}
+
+// exit reports every response still owed a Close at a point where
+// control leaves the function.
+func (c *checker) exit(pos token.Pos, st flow.State) {
+	for key := range st {
+		name, ok := cutPrefix(key, openPrefix)
+		if !ok {
+			continue
+		}
+		cr, ok := c.created[name]
+		if !ok || c.reported[cr] {
+			continue
+		}
+		c.reported[cr] = true
+		c.pass.Reportf(cr,
+			"response body %s.Body is not closed on every exit path; the connection and its goroutine leak — defer %s.Body.Close()",
+			name, name)
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}

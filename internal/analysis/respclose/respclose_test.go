@@ -1,0 +1,16 @@
+package respclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/respclose"
+)
+
+func TestRespClose(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), respclose.Analyzer,
+		"internal/feed/pos",
+		"internal/feed/neg",
+		"outofscope/client",
+	)
+}

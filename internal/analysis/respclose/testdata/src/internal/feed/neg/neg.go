@@ -1,0 +1,120 @@
+// Near-miss fixtures: the compliant response-handling shapes the
+// fleet path actually uses, each one mutation away from a positive.
+// None may diagnose.
+package neg
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// The fetch shape: deferred Close after the nil check, body read by
+// the parser. The deferred Close is exempt from the drain rule — the
+// read happens after the defer statement.
+func fetch(client *http.Client, req *http.Request) (map[string]any, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, io.ErrUnexpectedEOF
+	}
+	var out map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// The poll shape: no early return on error, a resp != nil guard, and
+// drain-before-close inside it.
+func poll(client *http.Client, req *http.Request) bool {
+	resp, err := client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return ok
+}
+
+// Drain then close on the straight line.
+func drainClose(client *http.Client, req *http.Request) (int, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Close on both branches of an if/else, each after a read.
+func bothBranches(client *http.Client, req *http.Request, strict bool) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	if strict {
+		_, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return rerr
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// Deferred literal that closes: covers all exits from here on.
+func deferredLiteral(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Returning the response transfers the obligation to the caller.
+func handoffReturn(client *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := client.Do(req)
+	return resp, err
+}
+
+// Passing the response to another function transfers the obligation.
+func handoffArg(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return consume(resp)
+}
+
+func consume(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// Storing the response in a struct transfers the obligation to the
+// owner's lifecycle.
+type attempt struct{ resp *http.Response }
+
+func handoffField(at *attempt, client *http.Client, req *http.Request) {
+	at.resp, _ = client.Do(req)
+}
+
+// A deliberate undrained close — the request was canceled and the
+// connection is being torn down anyway — is blessed with a reason.
+func blessedTeardown(client *http.Client, req *http.Request) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	//lint:scvet-ignore respclose canceled request: body poisoned, connection torn down
+	resp.Body.Close()
+}

@@ -1,0 +1,62 @@
+// Positive fixtures: response bodies leaked or closed without a
+// drain. Package path is scope-aligned with internal/feed.
+package pos
+
+import (
+	"io"
+	"net/http"
+)
+
+// Fall-through end of function with an open body.
+func fallThrough(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req) // want `response body resp.Body is not closed on every exit path`
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Closed on the happy path, leaked on the early return.
+func earlyReturn(client *http.Client, req *http.Request) (int, error) {
+	resp, err := client.Do(req) // want `response body resp.Body is not closed on every exit path`
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Only one switch case closes.
+func switchLeak(client *http.Client, req *http.Request, mode int) {
+	resp, err := client.Do(req) // want `response body resp.Body is not closed on every exit path`
+	if err != nil {
+		return
+	}
+	switch mode {
+	case 0:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	case 1:
+		_ = resp.StatusCode
+	}
+}
+
+// http.Get result discarded entirely.
+func discarded(url string) {
+	_, _ = http.Get(url) // want `response is discarded without closing its body`
+}
+
+// Closed without any read: the transport cannot reuse the connection.
+func undrained(client *http.Client, req *http.Request) (int, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close() // want `closed without being drained`
+	return resp.StatusCode, nil
+}

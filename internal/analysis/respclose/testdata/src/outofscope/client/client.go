@@ -1,0 +1,13 @@
+// Out of scope: respclose only patrols the fleet-path packages, so a
+// leaked body here must not diagnose.
+package client
+
+import "net/http"
+
+func Leak(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}

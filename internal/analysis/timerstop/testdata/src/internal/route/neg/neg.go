@@ -1,0 +1,118 @@
+// Near-miss fixtures: the compliant shapes the fleet path actually
+// uses, each one mutation away from a positive. None may diagnose.
+package neg
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// The poll-loop shape: defer Stop covers every exit, Reset keeps the
+// obligation on the same variable.
+func pollLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		t.Reset(interval)
+	}
+}
+
+// The per-try timeout shape: AfterFunc stopped on the straight line
+// after the blocking call, before any exit.
+func perTry(cancel context.CancelFunc, tryTimeout time.Duration, req *http.Request) (*http.Response, error) {
+	timer := time.AfterFunc(tryTimeout, func() { cancel() })
+	resp, err := http.DefaultClient.Do(req)
+	timer.Stop()
+	return resp, err
+}
+
+// Stop on both branches of an if/else.
+func bothBranches(d time.Duration, fast bool) {
+	t := time.NewTimer(d)
+	if fast {
+		t.Stop()
+		return
+	}
+	<-t.C
+	t.Stop()
+}
+
+// Deferred literal that stops: covers all exits from here on.
+func deferredLiteral(d time.Duration) error {
+	tk := time.NewTicker(d)
+	defer func() { tk.Stop() }()
+	<-tk.C
+	return nil
+}
+
+// Returning the timer transfers the obligation to the caller.
+func handoffReturn(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// Passing the timer to another function transfers the obligation.
+func handoffArg(d time.Duration) {
+	t := time.NewTimer(d)
+	adopt(t)
+}
+
+func adopt(t *time.Timer) { t.Stop() }
+
+// Storing the timer in a struct transfers the obligation to the
+// owner's lifecycle.
+type holder struct{ t *time.Timer }
+
+func handoffField(h *holder, d time.Duration) {
+	h.t = time.NewTimer(d)
+}
+
+// time.After outside a loop is a bounded one-shot.
+func afterOnce(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// A new timer per iteration is fine when each iteration stops it on
+// every path out.
+func perIteration(ctx context.Context, waits []time.Duration) error {
+	for _, w := range waits {
+		t := time.NewTimer(w)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	return nil
+}
+
+// The time.Time.After METHOD in a loop is a pure comparison — it must
+// not be confused with the package function time.After.
+func methodAfter(stamps []time.Time, cutoff time.Time) int {
+	n := 0
+	for _, ts := range stamps {
+		if ts.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// A blessed fire-and-release one-shot: suppression carries a reason.
+func blessedDaemon(d time.Duration, done func()) {
+	//lint:scvet-ignore timerstop one-shot self-releasing notifier owned by the runtime
+	time.AfterFunc(d, done)
+}

@@ -1,0 +1,87 @@
+// Positive fixtures: timers and tickers that are not released on
+// every exit path, plus the loop-local time.After and time.Tick
+// shapes. Package path is scope-aligned with internal/route.
+package pos
+
+import (
+	"context"
+	"time"
+)
+
+// Fall-through end of function with a live timer.
+func fallThrough(d time.Duration) {
+	t := time.NewTimer(d) // want "time.NewTimer result t is not Stopped on every exit path"
+	<-t.C
+}
+
+// Stopped on one branch, leaked on the early return.
+func oneBranch(d time.Duration, fast bool) {
+	t := time.NewTimer(d) // want "time.NewTimer result t is not Stopped on every exit path"
+	if fast {
+		return
+	}
+	t.Stop()
+}
+
+// A ticker is never stopped.
+func tickerLeak(d time.Duration, work chan struct{}) {
+	tk := time.NewTicker(d) // want "time.NewTicker result tk is not Stopped on every exit path"
+	for range work {
+		<-tk.C
+	}
+}
+
+// AfterFunc whose cancel is never released: the callback stays armed.
+func afterFuncLeak(ctx context.Context, d time.Duration, cancel context.CancelFunc) error {
+	timer := time.AfterFunc(d, func() { cancel() }) // want "time.AfterFunc result timer is not Stopped on every exit path"
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = timer
+	return nil
+}
+
+// time.After in a loop arms a fresh timer per iteration.
+func afterInLoop(ctx context.Context, interval time.Duration) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval): // want "time.After in a loop arms a new timer per iteration"
+		}
+	}
+}
+
+// time.After in a range loop, outside a select.
+func afterInRange(items []int, d time.Duration) {
+	for range items {
+		<-time.After(d) // want "time.After in a loop arms a new timer per iteration"
+	}
+}
+
+// time.Tick can never be stopped.
+func tickLeak(d time.Duration, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.Tick(d): // want "time.Tick leaks its ticker"
+		}
+	}
+}
+
+// A switch where only one case stops the timer.
+func switchLeak(mode int, d time.Duration) {
+	t := time.NewTimer(d) // want "time.NewTimer result t is not Stopped on every exit path"
+	switch mode {
+	case 0:
+		t.Stop()
+	case 1:
+		<-t.C
+	}
+}
+
+// Discarding the handle means nothing can ever Stop it.
+func discarded(d time.Duration, f func()) {
+	time.AfterFunc(d, f) // want "time.AfterFunc result is discarded"
+}

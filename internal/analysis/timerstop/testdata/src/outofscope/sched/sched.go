@@ -1,0 +1,14 @@
+// Out of scope: timerstop only patrols the fleet-path packages, so a
+// leaky timer here must not diagnose.
+package sched
+
+import "time"
+
+func leakElsewhere(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+}
+
+func tickElsewhere(d time.Duration) <-chan time.Time {
+	return time.Tick(d)
+}

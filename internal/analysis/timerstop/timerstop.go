@@ -1,0 +1,296 @@
+// Package timerstop ensures timers and tickers in the fleet path are
+// released on every exit path.
+//
+// Invariant guarded: the route→serve fleet path arms a timer per
+// request attempt (hedge delay, per-try timeout, poll interval,
+// injected latency). A time.Timer that is never Stopped holds its
+// runtime entry — and, for AfterFunc, a pending callback that can fire
+// into torn-down state — until it expires; at fleet request rates that
+// is an unbounded leak and a spurious-cancel source. Three rules:
+//
+//  1. A variable bound to time.NewTimer / time.NewTicker /
+//     time.AfterFunc must have Stop called on every path out of the
+//     function (a deferred Stop, including inside a deferred literal,
+//     covers all exits from that point on).
+//  2. time.After inside a loop is reported: each iteration arms a
+//     timer that survives until it fires even when the select moved
+//     on. Use one NewTimer and Stop/Reset it.
+//  3. time.Tick is reported anywhere in scope: the ticker it returns
+//     can never be stopped.
+//  4. A creation whose result is discarded (expression statement or
+//     assignment to _) is reported: nothing can ever Stop it.
+//
+// Blessed escapes: handing the timer away transfers the obligation —
+// returning it, passing it to a call, sending it on a channel, or
+// storing it anywhere that is not a simple local variable stops the
+// tracking (the new owner is accountable). t.Reset and <-t.C keep the
+// obligation on t. A true fire-and-release one-shot can be blessed
+// with //lint:scvet-ignore timerstop <reason>.
+//
+// The dataflow (branch copies, union joins, terminating branches) is
+// the shared internal/analysis/flow walk also used by lockheld.
+package timerstop
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timerstop",
+	Doc: "require time.NewTimer/NewTicker/AfterFunc results to be Stopped on all " +
+		"exit paths in the fleet packages; forbid time.After in loops and time.Tick",
+	Run: run,
+}
+
+// scopes are the fleet-path packages where per-request timers churn.
+var scopes = []string{
+	"internal/route",
+	"internal/serve",
+	"internal/feed",
+	"internal/chaos",
+	"internal/loadgen",
+	"internal/resilience",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg, scopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				// Literals run in a context of their own; each body is
+				// checked as its own function.
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody runs the stop-on-all-paths dataflow plus the loop-local
+// time.After / time.Tick scan over one function body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{
+		pass:     pass,
+		created:  map[string]creation{},
+		reported: map[token.Pos]bool{},
+	}
+	flow.Walk(body, flow.State{}, flow.Hooks{
+		Stmt:     c.stmt,
+		Expr:     c.uses,
+		Exit:     c.exit,
+		WalkComm: true,
+	})
+	checkLoops(pass, body, false)
+}
+
+// creation remembers where and how a tracked timer was made, for the
+// report.
+type creation struct {
+	pos  token.Pos
+	kind string // "time.NewTimer", "time.NewTicker", "time.AfterFunc"
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	created  map[string]creation
+	reported map[token.Pos]bool // one report per creation site
+}
+
+// timerCall reports whether the call is a tracked creation, and which.
+func (c *checker) timerCall(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	switch {
+	case analysis.FuncIs(fn, "time", "NewTimer"):
+		return "time.NewTimer", true
+	case analysis.FuncIs(fn, "time", "NewTicker"):
+		return "time.NewTicker", true
+	case analysis.FuncIs(fn, "time", "AfterFunc"):
+		return "time.AfterFunc", true
+	}
+	return "", false
+}
+
+// stopCall returns the tracked variable a t.Stop() call releases, if
+// the call is one.
+func stopCall(e ast.Expr, st flow.State) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stop" {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || !st[id.Name] {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func (c *checker) stmt(s ast.Stmt, st flow.State) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Scan the right-hand sides for uses of already-tracked timers
+		// first (t2 := t is a handoff), then begin tracking simple
+		// `t := time.NewTimer(...)` bindings.
+		for _, r := range s.Rhs {
+			c.uses(r, st)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, r := range s.Rhs {
+				kind, ok := c.timerCall(r)
+				if !ok {
+					continue
+				}
+				id, isIdent := s.Lhs[i].(*ast.Ident)
+				if isIdent && id.Name == "_" {
+					c.discarded(r.Pos(), kind)
+					continue
+				}
+				if !isIdent {
+					continue // stored away: the new owner is accountable
+				}
+				st[id.Name] = true
+				c.created[id.Name] = creation{pos: r.Pos(), kind: kind}
+			}
+		}
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				c.uses(l, st) // index/field targets may consume a timer
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		if name, ok := stopCall(s.X, st); ok {
+			delete(st, name)
+			return true
+		}
+		if kind, ok := c.timerCall(s.X); ok {
+			c.discarded(s.X.Pos(), kind)
+			return true
+		}
+	case *ast.DeferStmt:
+		// A deferred Stop (directly or inside a deferred literal)
+		// releases on every exit from here on; any other deferred use
+		// of a tracked timer is a handoff.
+		c.uses(s.Call.Fun, st)
+		for _, a := range s.Call.Args {
+			c.uses(a, st)
+		}
+		return true
+	}
+	return false
+}
+
+// uses scans an expression subtree for uses of tracked timers:
+// t.Stop discharges the obligation, t.Reset and t.C keep it, and any
+// other appearance of t hands the timer (and the obligation) away.
+func (c *checker) uses(e ast.Expr, st flow.State) {
+	if e == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || !st[id.Name] {
+				return true
+			}
+			switch n.Sel.Name {
+			case "Stop":
+				delete(st, id.Name)
+			case "Reset", "C":
+				// still ours, still owed a Stop
+			default:
+				delete(st, id.Name)
+			}
+			return false
+		case *ast.Ident:
+			if st[n.Name] {
+				delete(st, n.Name) // bare use: escape / ownership transfer
+			}
+		}
+		return true
+	})
+}
+
+// discarded reports a timer creation whose result is thrown away:
+// nothing can ever Stop it. A deliberate fire-and-release one-shot is
+// blessed with a reasoned scvet-ignore directive.
+func (c *checker) discarded(pos token.Pos, kind string) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos,
+		"%s result is discarded, so nothing can Stop it; keep the handle, or bless a true one-shot with //lint:scvet-ignore timerstop <reason>",
+		kind)
+}
+
+// exit reports every timer still owed a Stop at a point where control
+// leaves the function.
+func (c *checker) exit(pos token.Pos, st flow.State) {
+	for name := range st {
+		cr, ok := c.created[name]
+		if !ok || c.reported[cr.pos] {
+			continue
+		}
+		c.reported[cr.pos] = true
+		c.pass.Reportf(cr.pos,
+			"%s result %s is not Stopped on every exit path; leak per call at fleet rates — defer %s.Stop() or Stop before returning",
+			cr.kind, name, name)
+	}
+}
+
+// checkLoops reports time.After used inside a loop and time.Tick used
+// anywhere, walking nested loops but not function literals (each
+// literal body gets its own pass).
+func checkLoops(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // literal bodies get their own pass
+		case *ast.ForStmt:
+			checkLoops(pass, m.Body, true)
+			if m.Init != nil {
+				checkLoops(pass, m.Init, true)
+			}
+			if m.Cond != nil {
+				checkLoops(pass, m.Cond, true)
+			}
+			if m.Post != nil {
+				checkLoops(pass, m.Post, true)
+			}
+			return false
+		case *ast.RangeStmt:
+			checkLoops(pass, m.Body, true)
+			return false
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, m)
+			switch {
+			case analysis.FuncIs(fn, "time", "Tick"):
+				pass.Reportf(m.Pos(), "time.Tick leaks its ticker (no way to Stop it); use time.NewTicker and defer Stop")
+			case inLoop && analysis.FuncIs(fn, "time", "After"):
+				pass.Reportf(m.Pos(), "time.After in a loop arms a new timer per iteration that lives until it fires; hoist a time.NewTimer and Stop/Reset it")
+			}
+		}
+		return true
+	})
+}

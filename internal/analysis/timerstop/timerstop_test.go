@@ -1,0 +1,16 @@
+package timerstop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerstop"
+)
+
+func TestTimerStop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), timerstop.Analyzer,
+		"internal/route/pos",
+		"internal/route/neg",
+		"outofscope/sched",
+	)
+}

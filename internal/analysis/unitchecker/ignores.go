@@ -1,0 +1,268 @@
+package unitchecker
+
+// The ignores inventory: `scvet -ignores [dir]` loads the whole module
+// from source, runs every analyzer, and prints one line per
+// //lint:scvet-ignore directive — file:line, analyzer, reason — so the
+// suppression surface is a reviewable ledger instead of grep output.
+// Directives that earned nothing this run are marked: STALE when a
+// reasoned directive suppressed no diagnostic (the blessed code moved
+// or was fixed; delete the directive before it masks a regression),
+// MALFORMED when the reason is missing, and UNKNOWN ANALYZER when the
+// name matches nothing in the suite. Under -strict any marked
+// directive makes the run exit 1, so CI can hold the ledger clean.
+//
+// The vet protocol cannot drive this mode: cmd/go hands a vettool one
+// compilation unit at a time and never says when the tree is done, so
+// a tree-wide ledger needs its own loader. This one is deliberately
+// small: find go.mod, walk the module for production packages, parse,
+// topologically sort by module-local imports, and type-check with a
+// hybrid importer — module packages resolve to the packages just
+// checked, everything else falls through to the stdlib source
+// importer.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// RunIgnores prints the suppression ledger for the module containing
+// dir and returns the process exit code: 0 when the ledger is clean or
+// strict is off, 1 when strict is on and any directive is stale,
+// malformed, or names an unknown analyzer.
+func RunIgnores(w io.Writer, dir string, strict bool, analyzers []*analysis.Analyzer) (int, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := loadModule(fset, root, modPath)
+	if err != nil {
+		return 0, err
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var uses []analysis.DirectiveUse
+	checked := map[string]*types.Package{}
+	// One stdlib importer for the whole run: a fresh source importer
+	// per package would mint distinct instances of each stdlib package,
+	// and types checked against one instance are not identical to the
+	// other's.
+	std := importer.ForCompiler(fset, "source", nil)
+	for _, p := range pkgs {
+		pkg, info, err := checkPackage(fset, p, std, checked)
+		if err != nil {
+			return 0, fmt.Errorf("typecheck %s: %w", p.path, err)
+		}
+		checked[p.path] = pkg
+		_, du, err := analysis.RunAnalyzersDetail(fset, p.files, pkg, info, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		uses = append(uses, du...)
+	}
+
+	sort.Slice(uses, func(i, j int) bool {
+		if uses[i].File != uses[j].File {
+			return uses[i].File < uses[j].File
+		}
+		return uses[i].Line < uses[j].Line
+	})
+
+	var stale, malformed, unknown int
+	for _, u := range uses {
+		rel := u.File
+		if r, err := filepath.Rel(root, u.File); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		switch {
+		case u.Reason == "":
+			malformed++
+			fmt.Fprintf(w, "%s:%d: %s — [MALFORMED: missing reason; suppresses nothing]\n", rel, u.Line, u.Analyzer)
+		case !known[u.Analyzer]:
+			unknown++
+			fmt.Fprintf(w, "%s:%d: %s — %s [UNKNOWN ANALYZER]\n", rel, u.Line, u.Analyzer, u.Reason)
+		case !u.Used:
+			stale++
+			fmt.Fprintf(w, "%s:%d: %s — %s [STALE: suppressed nothing in this run]\n", rel, u.Line, u.Analyzer, u.Reason)
+		default:
+			fmt.Fprintf(w, "%s:%d: %s — %s\n", rel, u.Line, u.Analyzer, u.Reason)
+		}
+	}
+	fmt.Fprintf(w, "%d directive(s): %d active, %d stale, %d malformed, %d unknown\n",
+		len(uses), len(uses)-stale-malformed-unknown, stale, malformed, unknown)
+
+	if strict && stale+malformed+unknown > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modPkg is one parsed production package of the module, pre-typecheck.
+type modPkg struct {
+	path    string // import path
+	files   []*ast.File
+	imports []string // module-local imports only
+}
+
+// loadModule parses every production package under root and returns
+// them in dependency order (imports before importers).
+func loadModule(fset *token.FileSet, root, modPath string) ([]*modPkg, error) {
+	byPath := map[string]*modPkg{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || name == "bin" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := byPath[importPath]
+		if p == nil {
+			p = &modPkg{path: importPath}
+			byPath[importPath] = p
+		} else if p.files[0].Name.Name != f.Name.Name {
+			// Two package clauses in one directory (stray main, etc):
+			// keep the first and skip the straggler rather than failing
+			// the whole inventory.
+			return nil
+		}
+		p.files = append(p.files, f)
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+				p.imports = append(p.imports, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topological order by module-local imports, ties broken by path so
+	// the ledger is deterministic.
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []*modPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		pkg := byPath[p]
+		deps := append([]string(nil), pkg.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if byPath[dep] != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = 2
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checkPackage type-checks one module package. Module-local imports
+// resolve to already-checked packages (the topological order
+// guarantees they exist); everything else goes to the shared stdlib
+// source importer.
+func checkPackage(fset *token.FileSet, p *modPkg, std types.Importer, checked map[string]*types.Package) (*types.Package, *types.Info, error) {
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return std.Import(path)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tcfg := types.Config{Importer: imp}
+	pkg, err := tcfg.Check(p.path, fset, p.files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -70,7 +70,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	log.SetPrefix("scvet: ")
 
 	args := os.Args[1:]
-	jsonOut := false
+	jsonOut, ignores, strict := false, false, false
 	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
 		switch arg := args[0]; {
 		case arg == "-V=full":
@@ -87,17 +87,36 @@ func Main(analyzers ...*analysis.Analyzer) {
 		case arg == "-scvet.doc":
 			printDoc(analyzers)
 			os.Exit(0)
+		case arg == "-ignores":
+			ignores = true
+		case arg == "-strict":
+			strict = true
 		default:
 			log.Fatalf("unrecognized flag %s", arg)
 		}
 		args = args[1:]
 	}
 
+	if ignores {
+		dir := "."
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		code, err := RunIgnores(os.Stdout, dir, strict, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(code)
+	}
+
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		log.Fatalf(`usage: scvet [-json] [-c=N] <unit>.cfg
+       scvet -ignores [-strict] [dir]
 
 scvet is a go vet analysis tool; run it via
 	go vet -vettool=$(pwd)/bin/scvet ./...
+list the suppression ledger with
+	scvet -ignores [-strict] [dir]
 or see the analyzer docs with
 	scvet -scvet.doc`)
 	}

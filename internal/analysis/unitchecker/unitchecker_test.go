@@ -13,6 +13,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/registry"
+	"repro/internal/analysis/unitchecker"
 )
 
 func writeTree(t *testing.T, root string, files map[string]string) {
@@ -61,6 +64,43 @@ import "time"
 // path: scvet must fail the build.
 func Stamp() time.Time { return time.Now() }
 `,
+			// One violation per PR-10 analyzer, in a scope-aligned path:
+			// the e2e run must name all four.
+			"internal/route/fleet.go": `package route
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func spawn() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func wait(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+}
+
+func fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	_ = resp.Status
+	return nil
+}
+
+func handle(ctx context.Context) error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+`,
 		})
 		out, err := goCmd(t, dir, "vet", "-vettool="+scvet, "./...")
 		if err == nil {
@@ -71,6 +111,11 @@ func Stamp() time.Time { return time.Now() }
 		}
 		if !strings.Contains(out, "clock.go:7") {
 			t.Errorf("diagnostic must carry a file:line position; got:\n%s", out)
+		}
+		for _, analyzer := range []string{"goroleak", "timerstop", "respclose", "ctxflow"} {
+			if !strings.Contains(out, "["+analyzer+"]") {
+				t.Errorf("dirty module must trip %s; got:\n%s", analyzer, out)
+			}
 		}
 	})
 
@@ -95,6 +140,46 @@ func (c Config) withDefaults() Config {
 //lint:scvet-ignore nondeterm exercised by the protocol test: reasoned ignores suppress
 func Sentinel() time.Time { return time.Now() }
 `,
+			// The compliant counterparts of the dirty module's fleet
+			// shapes: the e2e run must stay quiet on all four.
+			"internal/route/fleet.go": `package route
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+func spawn(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func wait(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func fetch(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+`,
 			"cmd/tool/main.go": `package main
 
 import "fmt"
@@ -107,4 +192,99 @@ func main() { fmt.Println("ok") }
 			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
 		}
 	})
+}
+
+// TestIgnoresInventory drives the suppression ledger over a synthetic
+// module covering all four directive states: active (it suppressed a
+// real finding), stale (reasoned but nothing to suppress), malformed
+// (no reason), and unknown analyzer. Strict mode must fail on the
+// dirty ledger and pass once only the active directive remains.
+func TestIgnoresInventory(t *testing.T) {
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "ledger")
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/ledger\n\ngo 1.22\n",
+		"internal/route/daemon.go": `package route
+
+func spawnDaemon() {
+	//lint:scvet-ignore goroleak metrics flusher is a process-lifetime daemon
+	go func() {
+		for {
+		}
+	}()
+}
+
+func helper() int {
+	//lint:scvet-ignore timerstop the timer this blessed was removed long ago
+	return 1
+}
+
+func bad() int {
+	//lint:scvet-ignore respclose
+	return 2
+}
+
+func typo() int {
+	//lint:scvet-ignore gorleak reason with a misspelled analyzer name
+	return 3
+}
+`,
+	})
+
+	var out strings.Builder
+	code, err := unitchecker.RunIgnores(&out, dir, false, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("non-strict inventory exit = %d, want 0", code)
+	}
+	ledger := out.String()
+	for _, want := range []string{
+		"daemon.go:4: goroleak — metrics flusher is a process-lifetime daemon",
+		"daemon.go:12: timerstop — the timer this blessed was removed long ago [STALE",
+		"daemon.go:17: respclose — [MALFORMED",
+		"daemon.go:22: gorleak — reason with a misspelled analyzer name [UNKNOWN ANALYZER]",
+		"4 directive(s): 1 active, 1 stale, 1 malformed, 1 unknown",
+	} {
+		if !strings.Contains(ledger, want) {
+			t.Errorf("ledger missing %q; got:\n%s", want, ledger)
+		}
+	}
+	if strings.Contains(ledger, "goroleak — metrics flusher is a process-lifetime daemon [") {
+		t.Errorf("the used directive must not carry a marker; got:\n%s", ledger)
+	}
+
+	out.Reset()
+	code, err = unitchecker.RunIgnores(&out, dir, true, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("strict inventory over a dirty ledger exit = %d, want 1", code)
+	}
+
+	// With only the active directive left, strict passes.
+	clean := filepath.Join(tmp, "cleanledger")
+	writeTree(t, clean, map[string]string{
+		"go.mod": "module example.com/cleanledger\n\ngo 1.22\n",
+		"internal/route/daemon.go": `package route
+
+func spawnDaemon() {
+	//lint:scvet-ignore goroleak metrics flusher is a process-lifetime daemon
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	out.Reset()
+	code, err = unitchecker.RunIgnores(&out, clean, true, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("strict inventory over a clean ledger exit = %d, want 0; ledger:\n%s", code, out.String())
+	}
 }

@@ -249,8 +249,13 @@ func (p *Proxy) handleConn(client net.Conn, fault Fault, seed int64) {
 		reqDst = &delayWriter{w: upstream, latency: fault.Latency, jitter: fault.Jitter, rng: rng}
 	}
 
+	// Both copiers are registered on p.wg: handleConn only waits for
+	// the first direction to finish, so the loser can outlive this
+	// frame and must still hold Close() open until it unblocks.
 	done := make(chan struct{}, 2)
+	p.wg.Add(2)
 	go func() {
+		defer p.wg.Done()
 		_, _ = io.Copy(reqDst, client)
 		// Half-close toward the backend so it sees EOF on the request
 		// stream while the response direction keeps flowing.
@@ -260,6 +265,7 @@ func (p *Proxy) handleConn(client net.Conn, fault Fault, seed int64) {
 		done <- struct{}{}
 	}()
 	go func() {
+		defer p.wg.Done()
 		switch fault.Mode {
 		case FaultTrickle:
 			trickle(client, upstream, fault.BytesPerSec)

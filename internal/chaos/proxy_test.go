@@ -8,8 +8,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -160,5 +162,52 @@ func TestFaultValidation(t *testing.T) {
 	p, _ := newProxyFixture(t, "x")
 	if err := p.SetFault(Fault{Mode: "melt"}); err == nil {
 		t.Fatal("unknown fault mode accepted")
+	}
+}
+
+// TestCloseWaitsForCopiers pins the goroleak fix: the per-direction
+// copier goroutines are registered on the proxy's WaitGroup, so
+// Close() does not return while a copier is still moving bytes. The
+// trickle fault makes the window observable — its copier sleeps a full
+// second between chunks, so an unregistered copier would still be
+// alive (asleep mid-transfer) long after an un-waiting Close returned.
+func TestCloseWaitsForCopiers(t *testing.T) {
+	p, _ := newProxyFixture(t, strings.Repeat("z", 8<<10))
+	if err := p.SetFault(Fault{Mode: FaultTrickle, BytesPerSec: 256}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.0\r\nHost: t\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the trickle copier read its first chunk and enter the
+	// inter-chunk sleep.
+	time.Sleep(200 * time.Millisecond)
+
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// After Close returns, no proxy goroutine may remain. A short
+	// grace poll absorbs frame-teardown lag after wg.Done, but is far
+	// below the copier's 1s sleep quantum, so a leaked copier is still
+	// on the stack when the deadline hits.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		if !strings.Contains(stacks, "(*Proxy).handleConn") &&
+			!strings.Contains(stacks, "(*Proxy).acceptLoop") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy goroutines still running after Close:\n%s", stacks)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -202,14 +202,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
 	interval := float64(time.Second) / cfg.RPS
 	total := int(float64(cfg.Duration) / interval)
+	// One pacing timer for the whole run: time.After per iteration
+	// would arm a fresh timer per arrival that lives until it fires.
+	// The initial 0-duration fire is drained immediately so every
+	// Reset starts from an empty channel.
+	pace := time.NewTimer(0)
+	defer pace.Stop()
+	<-pace.C
 	for i := 0; i < total; i++ {
 		due := start.Add(time.Duration(float64(i) * interval))
 		if wait := time.Until(due); wait > 0 {
+			pace.Reset(wait)
 			select {
 			case <-ctx.Done():
+				if !pace.Stop() {
+					<-pace.C
+				}
 				wg.Wait()
 				return rep, nil
-			case <-time.After(wait):
+			case <-pace.C:
 			}
 		}
 

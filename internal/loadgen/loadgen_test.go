@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -139,5 +140,83 @@ func TestSpecBodiesDistinct(t *testing.T) {
 			t.Fatalf("spec %d duplicates an earlier spec", i)
 		}
 		seen[string(raw)] = true
+	}
+}
+
+// TestPacingHonorsSchedule pins the timerstop fix: the arrival loop
+// runs off one hoisted, Reset pacing timer instead of a fresh
+// time.After per iteration. A Reset/drain bug shows up here as either
+// an instant burst (elapsed far below the schedule) or a stall.
+func TestPacingHonorsSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		RPS:      20,
+		Duration: 250 * time.Millisecond,
+		Seed:     3,
+		Specs:    2,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, _, _, _, _, _ := rep.Totals()
+	if sent != 5 {
+		t.Fatalf("sent = %d arrivals, want the full 5-slot schedule", sent)
+	}
+	// Five arrivals at 50 ms spacing: the last is due at t=200 ms. An
+	// instant burst (broken pacing) finishes in single-digit ms.
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("run finished in %s; arrivals were not paced", elapsed)
+	}
+}
+
+// TestCancelMidRunReturnsPromptly: canceling the run context while the
+// generator is parked on the pacing timer must return the partial
+// report without blocking on the timer drain.
+func TestCancelMidRunReturnsPromptly(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		cancel()
+	}()
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := Run(ctx, Config{
+			Target:   ts.URL,
+			RPS:      2, // 500 ms spacing: cancellation lands mid-wait
+			Duration: 30 * time.Second,
+			Seed:     5,
+			Specs:    2,
+		})
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Run took %s to notice the cancel", elapsed)
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"net/textproto"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -170,6 +171,11 @@ type Router struct {
 	rr       atomic.Uint64
 	metrics  *metrics
 	mux      *http.ServeMux
+
+	// settleWG tracks the background goroutines that settle hedge
+	// losers after a winner is relayed. Wait blocks until they drain,
+	// so shutdown never strands a loser mid-settlement.
+	settleWG sync.WaitGroup
 }
 
 // NewRouter builds a router over the configured backends.
@@ -231,6 +237,13 @@ func (rt *Router) onTransition(name string) func(from, to resilience.State) {
 
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Wait blocks until every in-flight loser-settlement goroutine has
+// drained. Call it after the HTTP server has shut down: with no new
+// requests arriving, the settle population only shrinks, and each
+// pending loser is unblocked by the cancel that cancelAndDrain already
+// issued.
+func (rt *Router) Wait() { rt.settleWG.Wait() }
 
 // Start launches the background /readyz poll loops; they stop when ctx
 // is canceled. Without Start the router still routes — membership then
@@ -737,7 +750,15 @@ func (st *proxyState) cancelAndDrain() {
 	}
 	st.active = make(map[*attempt]struct{})
 	results := st.results
+	// Registered on the router's settle WaitGroup: every canceled
+	// attempt sends exactly one result (runAttempt's send is
+	// unconditional and the channel is buffered for the attempt
+	// count), so the loop terminates once the losers finish — and
+	// Wait() holds shutdown open until each loser's breaker outcome
+	// and body close have landed.
+	st.rt.settleWG.Add(1)
 	go func() {
+		defer st.rt.settleWG.Done()
 		for i := 0; i < n; i++ {
 			settleLoser(<-results)
 		}

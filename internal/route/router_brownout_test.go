@@ -439,3 +439,57 @@ func TestPollLocalErrorDoesNotPenalize(t *testing.T) {
 		t.Fatalf("local construction error recorded %d breaker failures, want 0", st.Failures)
 	}
 }
+
+// TestWaitDrainsLoserSettlement pins the goroleak fix in
+// cancelAndDrain: the loser-settlement goroutine is registered on the
+// router's WaitGroup, so Wait() holds shutdown open until every hedge
+// loser's outcome has landed — and returns promptly once they have,
+// because the losers' contexts were already canceled.
+func TestWaitDrainsLoserSettlement(t *testing.T) {
+	body := specBody(t, "site-wait")
+
+	hang := func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.ReadAll(r.Body)
+		<-r.Context().Done()
+	}
+	fast := func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"ok":true}`)
+	}
+
+	stubs := []*stubBackend{newStubBackend(t), newStubBackend(t)}
+	rt, front := newTestRouter(t, Config{
+		FailureThreshold: 50,
+		RequestTimeout:   10 * time.Second,
+		HedgeDelayFloor:  20 * time.Millisecond,
+	}, stubs...)
+
+	key, _ := routingKey(body)
+	owner := Owner(rt.names, key)
+	for _, sb := range stubs {
+		if sb.ts.URL == owner {
+			sb.setHandler(hang)
+		} else {
+			sb.setHandler(fast)
+		}
+	}
+
+	resp, out := postJSON(t, front.URL+"/v1/bill", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged request = %d %s, want the hedge's 200", resp.StatusCode, out)
+	}
+	if rt.metrics.hedges.Load() == 0 {
+		t.Fatal("no hedge fired; the settle goroutine was never exercised")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		rt.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Wait did not return; loser settlement never drained")
+	}
+}
